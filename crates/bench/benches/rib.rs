@@ -1,0 +1,260 @@
+//! RIB micro-benchmarks: the decision-process pipeline the paper's
+//! transactions-per-second metric ultimately measures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use bgpbench_rib::{PeerId, PeerInfo, RibEngine};
+use bgpbench_speaker::{workload, TableGenerator};
+use bgpbench_wire::{Asn, RouterId, UpdateMessage};
+
+fn engine() -> RibEngine {
+    let mut engine = RibEngine::new(Asn(65000), RouterId(1));
+    engine.add_peer(PeerInfo::new(
+        PeerId(1),
+        Asn(65001),
+        RouterId(2),
+        Ipv4Addr::new(10, 0, 0, 2),
+    ));
+    engine.add_peer(PeerInfo::new(
+        PeerId(2),
+        Asn(65002),
+        RouterId(3),
+        Ipv4Addr::new(10, 0, 0, 3),
+    ));
+    engine
+}
+
+fn announcements(asn: u16, path_len: usize, per_update: usize) -> Vec<UpdateMessage> {
+    let table = TableGenerator::new(5).generate(5000);
+    workload::announcements(
+        &table,
+        &workload::AnnounceSpec {
+            speaker_asn: Asn(asn),
+            path_len,
+            next_hop: Ipv4Addr::new(10, 0, 0, if asn == 65001 { 2 } else { 3 }),
+            prefixes_per_update: per_update,
+            seed: 5,
+        },
+    )
+}
+
+fn bench_startup(c: &mut Criterion) {
+    let updates = announcements(65001, 3, 500);
+    let mut group = c.benchmark_group("rib/startup_announce");
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("5k_prefixes_large_pkts", |b| {
+        b.iter_batched(
+            engine,
+            |mut engine| {
+                for update in &updates {
+                    black_box(engine.apply_update(PeerId(1), update).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_decision_losing_and_winning(c: &mut Criterion) {
+    let base = announcements(65001, 3, 500);
+    let losing = announcements(65002, 6, 500);
+    let winning = announcements(65002, 2, 500);
+    let mut group = c.benchmark_group("rib/incremental");
+    group.throughput(Throughput::Elements(5000));
+    for (label, phase3) in [("losing_path", &losing), ("winning_path", &winning)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut engine = engine();
+                    for update in &base {
+                        engine.apply_update(PeerId(1), update).unwrap();
+                    }
+                    engine
+                },
+                |mut engine| {
+                    for update in phase3.iter() {
+                        black_box(engine.apply_update(PeerId(2), update).unwrap());
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_withdrawals(c: &mut Criterion) {
+    let base = announcements(65001, 3, 500);
+    let table = TableGenerator::new(5).generate(5000);
+    let withdrawals = workload::withdrawals(&table, 500);
+    let mut group = c.benchmark_group("rib/withdraw");
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("5k_prefixes", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = engine();
+                for update in &base {
+                    engine.apply_update(PeerId(1), update).unwrap();
+                }
+                engine
+            },
+            |mut engine| {
+                for update in &withdrawals {
+                    black_box(engine.apply_update(PeerId(1), update).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation: the cost of route-flap damping bookkeeping under a flap
+/// storm (announce/withdraw rounds), with and without RFC 2439
+/// enabled.
+fn bench_damping_ablation(c: &mut Criterion) {
+    use bgpbench_rib::DampingConfig;
+    let table = TableGenerator::new(5).generate(2000);
+    let announce = announcements(65001, 3, 500);
+    let withdrawals = workload::withdrawals(&table, 500);
+    let mut group = c.benchmark_group("rib/flap_storm");
+    group.throughput(Throughput::Elements(3 * 2000));
+    for (label, damping) in [("without_damping", false), ("with_damping", true)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut engine = engine();
+                    if damping {
+                        engine.enable_damping(DampingConfig::default());
+                    }
+                    engine
+                },
+                |mut engine| {
+                    let mut now = 0.0;
+                    for _round in 0..3 {
+                        for update in announce.iter().take(4) {
+                            black_box(
+                                engine.apply_update_at(PeerId(1), update, now).unwrap(),
+                            );
+                        }
+                        now += 15.0;
+                        for update in &withdrawals {
+                            black_box(
+                                engine.apply_update_at(PeerId(1), update, now).unwrap(),
+                            );
+                        }
+                        now += 15.0;
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: decision-process configuration (the `always-compare-med`
+/// and AS-path-length knobs) under contested prefixes.
+fn bench_decision_config_ablation(c: &mut Criterion) {
+    use bgpbench_rib::DecisionConfig;
+    let base = announcements(65001, 3, 500);
+    let contest = announcements(65002, 3, 500);
+    let configs = [
+        ("default", DecisionConfig::default()),
+        (
+            "med_scoped",
+            DecisionConfig {
+                always_compare_med: false,
+                ..DecisionConfig::default()
+            },
+        ),
+        (
+            "ignore_path_len",
+            DecisionConfig {
+                ignore_as_path_length: true,
+                ..DecisionConfig::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("rib/decision_config");
+    group.throughput(Throughput::Elements(5000));
+    for (label, config) in configs {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut engine = engine();
+                    engine.set_decision_config(config);
+                    for update in &base {
+                        engine.apply_update(PeerId(1), update).unwrap();
+                    }
+                    engine
+                },
+                |mut engine| {
+                    for update in &contest {
+                        black_box(engine.apply_update(PeerId(2), update).unwrap());
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Scaling: decision-process cost as the number of peers holding
+/// alternatives for every prefix grows (the paper's two-speaker setup
+/// is the minimum; real routers hold dozens of Adj-RIBs-In).
+fn bench_peer_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rib/peer_scaling");
+    group.throughput(Throughput::Elements(5000));
+    for npeers in [2usize, 4, 8] {
+        let setup = || {
+            let mut engine = RibEngine::new(Asn(65000), RouterId(1));
+            for i in 1..=npeers as u32 {
+                engine.add_peer(PeerInfo::new(
+                    PeerId(i),
+                    Asn(65000 + i as u16),
+                    RouterId(i + 1),
+                    Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+                ));
+            }
+            // Every peer except the last announces an alternative.
+            for i in 1..npeers as u32 {
+                for update in announcements(65000 + i as u16, 3 + i as usize, 500) {
+                    engine.apply_update(PeerId(i), &update).unwrap();
+                }
+            }
+            engine
+        };
+        let contest = announcements(65000 + npeers as u16, 2, 500);
+        group.bench_function(format!("{npeers}_peers"), |b| {
+            b.iter_batched(
+                setup,
+                |mut engine| {
+                    // The winning announcement must be compared against
+                    // every stored alternative.
+                    for update in &contest {
+                        black_box(
+                            engine
+                                .apply_update(PeerId(npeers as u32), update)
+                                .unwrap(),
+                        );
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_startup, bench_decision_losing_and_winning, bench_withdrawals,
+        bench_damping_ablation, bench_decision_config_ablation, bench_peer_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! End-to-end scenario benchmarks: each measures how long the
+//! simulator takes (wall-clock) to run a reduced benchmark cell.
+//! These regenerate the *structure* of Table III and Fig. 5 under
+//! criterion's statistics; the `table3`/`fig5` binaries produce the
+//! full-size paper artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgpbench_core::experiments::run_cell;
+use bgpbench_core::Scenario;
+use bgpbench_models::{all_platforms, cisco3620, pentium3};
+
+/// Reduced table sizes so every cell finishes quickly under criterion.
+fn cell_prefixes(scenario: Scenario) -> usize {
+    match scenario.packet_size() {
+        bgpbench_core::PacketSize::Small => 60,
+        bgpbench_core::PacketSize::Large => 600,
+    }
+}
+
+/// Table III structure: scenario 2 and scenario 6 on every platform.
+fn bench_table3_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    for platform in all_platforms() {
+        for scenario in [Scenario::S2, Scenario::S6] {
+            let label = format!(
+                "{}/scenario{}",
+                platform.name.replace(' ', "_"),
+                scenario.number()
+            );
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    black_box(run_cell(
+                        &platform,
+                        scenario,
+                        cell_prefixes(scenario),
+                        0.0,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// All eight scenarios on the Pentium III (the paper's reference
+/// software router).
+fn bench_all_scenarios_pentium3(c: &mut Criterion) {
+    let platform = pentium3();
+    let mut group = c.benchmark_group("scenarios/pentium3");
+    for scenario in Scenario::ALL {
+        group.bench_function(format!("scenario{}", scenario.number()), |b| {
+            b.iter(|| {
+                black_box(run_cell(
+                    &platform,
+                    scenario,
+                    cell_prefixes(scenario),
+                    0.0,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 5 structure: a cross-traffic point with and without load on
+/// the two platforms with opposite behaviours (shared-CPU Pentium III
+/// vs the port-limited Cisco).
+fn bench_cross_traffic_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    for (platform, mbps) in [
+        (pentium3(), 0.0),
+        (pentium3(), 300.0),
+        (cisco3620(), 0.0),
+        (cisco3620(), 70.0),
+    ] {
+        let label = format!("{}/{}mbps", platform.name.replace(' ', "_"), mbps as u32);
+        group.bench_function(&label, |b| {
+            b.iter(|| black_box(run_cell(&platform, Scenario::S2, 600, mbps)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3_cells, bench_all_scenarios_pentium3, bench_cross_traffic_cells
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Wire-format micro-benchmarks: message encode/decode throughput at
+//! the benchmark's two packet sizes, and stream reassembly.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use bgpbench_speaker::{workload, TableGenerator};
+use bgpbench_wire::{Asn, Message, StreamDecoder, UpdateMessage};
+
+fn build_updates(prefixes: usize, per_update: usize) -> Vec<UpdateMessage> {
+    let table = TableGenerator::new(7).generate(prefixes);
+    workload::announcements(
+        &table,
+        &workload::AnnounceSpec {
+            speaker_asn: Asn(65001),
+            path_len: 4,
+            next_hop: Ipv4Addr::new(10, 0, 0, 2),
+            prefixes_per_update: per_update,
+            seed: 7,
+        },
+    )
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/encode");
+    for (label, per_update) in [("small_pkt", 1), ("large_pkt", 500)] {
+        let updates = build_updates(500, per_update);
+        group.throughput(Throughput::Elements(500));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for update in &updates {
+                    black_box(Message::Update(update.clone()).encode().unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/decode");
+    for (label, per_update) in [("small_pkt", 1), ("large_pkt", 500)] {
+        let encoded: Vec<Vec<u8>> = build_updates(500, per_update)
+            .into_iter()
+            .map(|u| Message::Update(u).encode().unwrap())
+            .collect();
+        group.throughput(Throughput::Elements(500));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for bytes in &encoded {
+                    black_box(Message::decode(bytes).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_reassembly(c: &mut Criterion) {
+    let mut stream = Vec::new();
+    for update in build_updates(1000, 500) {
+        stream.extend(Message::Update(update).encode().unwrap());
+    }
+    let mut group = c.benchmark_group("wire/stream");
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.bench_function("reassemble_1000_prefixes", |b| {
+        b.iter_batched(
+            StreamDecoder::new,
+            |mut decoder| {
+                // Feed in TCP-segment-sized chunks.
+                for chunk in stream.chunks(1460) {
+                    decoder.extend(chunk);
+                    while let Some(message) = decoder.next_message().unwrap() {
+                        black_box(message);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode, bench_decode, bench_stream_reassembly
+}
+criterion_main!(benches);

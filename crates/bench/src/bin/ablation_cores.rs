@@ -1,0 +1,18 @@
+//! Ablation: start-up throughput versus control-core count on the
+//! Xeon-class cost table (§V.C's "highly parallelizable BGP
+//! implementations" implication). Shows where XORP's five-process
+//! pipeline saturates.
+
+use bgpbench_bench::cli_config;
+use bgpbench_core::extensions::core_scaling;
+use bgpbench_core::report::{figure_csv, render_figure};
+use bgpbench_models::xeon;
+
+fn main() {
+    let (config, csv) = cli_config();
+    let figure = core_scaling(&xeon(), config.large_prefixes.min(4000), config.seed);
+    print!("{}", render_figure(&figure));
+    if csv {
+        println!("\n{}", figure_csv(&figure));
+    }
+}

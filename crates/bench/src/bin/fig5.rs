@@ -1,0 +1,19 @@
+//! Regenerates Fig. 5: transactions/s versus cross-traffic for every
+//! scenario and platform.
+
+use bgpbench_bench::cli_config;
+use bgpbench_core::experiments::figure5;
+use bgpbench_core::report::{figure_csv, render_figure};
+
+fn main() {
+    let (config, csv) = cli_config();
+    eprintln!(
+        "sweeping cross-traffic over 8 scenarios x 4 platforms x {} levels...",
+        config.cross_points
+    );
+    let figure = figure5(&config);
+    print!("{}", render_figure(&figure));
+    if csv {
+        println!("\n{}", figure_csv(&figure));
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 6: Pentium III CPU breakdown during Scenario 8
+//! without and with 300 Mbps of cross-traffic, plus the forwarding-rate
+//! dip during Phase 3.
+
+use bgpbench_bench::cli_config;
+use bgpbench_core::experiments::figure6;
+use bgpbench_core::report::{figure_csv, render_figure};
+
+fn main() {
+    let (config, csv) = cli_config();
+    let figure = figure6(&config);
+    print!("{}", render_figure(&figure));
+    if csv {
+        println!("\n{}", figure_csv(&figure));
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table III: transactions/s for all eight scenarios on
+//! all four platforms, next to the paper's numbers.
+//!
+//! ```text
+//! cargo run --release -p bgpbench-bench --bin table3 [-- --quick] [-- --csv]
+//! ```
+
+use bgpbench_bench::cli_config;
+use bgpbench_core::experiments::table3;
+use bgpbench_core::report::{render_table3, table3_csv};
+
+fn main() {
+    let (config, csv) = cli_config();
+    eprintln!(
+        "running 8 scenarios x 4 platforms ({}/{} prefixes small/large)...",
+        config.small_prefixes, config.large_prefixes
+    );
+    let table = table3(&config);
+    print!("{}", render_table3(&table));
+    let violations = table.check_observations();
+    if violations.is_empty() {
+        println!("\nall of the paper's Table III observations reproduced");
+    } else {
+        println!("\nobservation mismatches:");
+        for violation in &violations {
+            println!("  - {violation}");
+        }
+    }
+    if csv {
+        println!("\n{}", table3_csv(&table));
+    }
+}

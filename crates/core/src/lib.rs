@@ -1,0 +1,50 @@
+//! The BGP router benchmark of *Benchmarking BGP Routers* (IISWC
+//! 2007): scenario definitions, the two-speaker/three-phase
+//! methodology, the transactions-per-second metric, and the experiment
+//! drivers that regenerate every table and figure of the paper.
+//!
+//! # The benchmark in one paragraph
+//!
+//! A router under test peers with two speakers (paper Fig. 1). In
+//! Phase 1, Speaker 1 injects a full routing table; in Phase 2 the
+//! router re-advertises its table to Speaker 2; in Phase 3 a speaker
+//! sends incremental updates. Eight scenarios (Table I) cross the BGP
+//! operation {start-up announce, ending withdraw, incremental announce
+//! that loses the decision process, incremental announce that wins it}
+//! with the packetization {1 prefix per UPDATE, 500 prefixes per
+//! UPDATE}. Only the scenario's relevant phase is timed; the score is
+//! prefix-level *transactions per second*.
+//!
+//! # Entry points
+//!
+//! * [`Scenario`] — the eight benchmark scenarios;
+//! * [`run_scenario`] — one scenario on one simulated platform;
+//! * [`experiments`] — drivers for Table III and Figures 3–6;
+//! * [`live`] — the same methodology against a real BGP daemon over
+//!   TCP;
+//! * [`report`] — text rendering of results next to the paper's
+//!   numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use bgpbench_core::{run_scenario, Scenario, ScenarioConfig};
+//! use bgpbench_models::xeon;
+//!
+//! let config = ScenarioConfig { prefixes: 500, seed: 1, cross_traffic_mbps: 0.0 };
+//! let result = run_scenario(&xeon(), Scenario::S2, &config);
+//! assert_eq!(result.transactions, 500);
+//! assert!(result.tps() > 100.0);
+//! ```
+
+pub mod experiments;
+pub mod extensions;
+mod harness;
+pub mod live;
+pub mod report;
+mod scenario;
+
+pub use harness::{
+    run_scenario, run_scenario_repeated, RepeatedResult, ScenarioConfig, ScenarioResult,
+};
+pub use scenario::{BgpOperation, PacketSize, Scenario};

@@ -1,0 +1,207 @@
+//! Text rendering of benchmark results: the paper's tables and figures
+//! as terminal output and CSV.
+
+use std::fmt::Write as _;
+
+use crate::experiments::{Figure, Table3, PLATFORM_ORDER};
+use crate::scenario::Scenario;
+
+/// Renders the reproduced Table III side by side with the paper's
+/// numbers.
+pub fn render_table3(table: &Table3) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table III: BGP performance without cross-traffic (transactions per second)"
+    );
+    let _ = writeln!(out, "{:-<98}", "");
+    let _ = write!(out, "{:<12}", "Scenario");
+    for platform in PLATFORM_ORDER {
+        let _ = write!(out, " | {:>9} {:>9}", platform, "(paper)");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{:-<98}", "");
+    for scenario in Scenario::ALL {
+        let _ = write!(out, "{:<12}", format!("Scenario {}", scenario.number()));
+        for p in 0..PLATFORM_ORDER.len() {
+            let cell = table.cell(scenario, p);
+            let measured = if cell.completed {
+                format!("{:.1}", cell.measured_tps)
+            } else {
+                "timeout".to_owned()
+            };
+            let _ = write!(out, " | {:>9} {:>9.1}", measured, cell.paper_tps);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "{:-<98}", "");
+    out
+}
+
+/// Renders Table III as CSV (`scenario,platform,measured_tps,paper_tps`).
+pub fn table3_csv(table: &Table3) -> String {
+    let mut out = String::from("scenario,platform,measured_tps,paper_tps\n");
+    for scenario in Scenario::ALL {
+        for (p, platform) in PLATFORM_ORDER.iter().enumerate() {
+            let cell = table.cell(scenario, p);
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{:.1}",
+                scenario.number(),
+                platform,
+                cell.measured_tps,
+                cell.paper_tps
+            );
+        }
+    }
+    out
+}
+
+/// Renders a figure: per panel, an ASCII plot of every series plus the
+/// raw data columns.
+pub fn render_figure(figure: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", figure.title);
+    let _ = writeln!(out, "{:=<78}", "");
+    for panel in &figure.panels {
+        let _ = writeln!(out, "\n[{}]", panel.title);
+        if !panel.marks.is_empty() {
+            let marks: Vec<String> = panel
+                .marks
+                .iter()
+                .map(|(label, t)| format!("{label} @ {t:.1}s"))
+                .collect();
+            let _ = writeln!(out, "marks: {}", marks.join(", "));
+        }
+        for (name, points) in &panel.series {
+            let _ = writeln!(out, "\n  {name}:");
+            let _ = writeln!(out, "{}", ascii_plot(points, 64, 8, "    "));
+        }
+    }
+    out
+}
+
+/// Renders a figure's raw data as CSV
+/// (`panel,series,x,y` rows).
+pub fn figure_csv(figure: &Figure) -> String {
+    let mut out = String::from("panel,series,x,y\n");
+    for panel in &figure.panels {
+        for (name, points) in &panel.series {
+            for (x, y) in points {
+                let _ = writeln!(out, "{},{},{:.6},{:.6}", panel.title, name, x, y);
+            }
+        }
+    }
+    out
+}
+
+/// A crude terminal line plot: `height` rows of `width` columns,
+/// y-axis auto-scaled, `*` marking samples.
+pub fn ascii_plot(points: &[(f64, f64)], width: usize, height: usize, indent: &str) -> String {
+    if points.is_empty() {
+        return format!("{indent}(no data)");
+    }
+    let x_min = points.first().map(|&(x, _)| x).unwrap_or(0.0);
+    let x_max = points.last().map(|&(x, _)| x).unwrap_or(1.0);
+    let y_max = points.iter().map(|&(_, y)| y).fold(0.0_f64, f64::max);
+    let y_top = if y_max <= 0.0 { 1.0 } else { y_max };
+    let x_span = if x_max > x_min { x_max - x_min } else { 1.0 };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let col = (((x - x_min) / x_span) * (width as f64 - 1.0)).round() as usize;
+        let row_from_bottom = ((y / y_top) * (height as f64 - 1.0)).round() as usize;
+        let row = height - 1 - row_from_bottom.min(height - 1);
+        grid[row][col.min(width - 1)] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_top:>8.1} |")
+        } else if i == height - 1 {
+            format!("{:>8.1} |", 0.0)
+        } else {
+            format!("{:>8} |", "")
+        };
+        let _ = writeln!(out, "{indent}{label}{}", row.iter().collect::<String>());
+    }
+    let _ = write!(
+        out,
+        "{indent}{:>8} +{}\n{indent}{:>9}{:<width$}",
+        "",
+        "-".repeat(width),
+        "",
+        format!("{x_min:.1} .. {x_max:.1}"),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Panel, Table3Cell};
+
+    fn tiny_table() -> Table3 {
+        let cells = (0..8)
+            .map(|s| {
+                (0..4)
+                    .map(|p| Table3Cell {
+                        measured_tps: (s * 4 + p) as f64,
+                        paper_tps: 100.0,
+                        completed: s != 7,
+                    })
+                    .collect()
+            })
+            .collect();
+        Table3 { cells }
+    }
+
+    #[test]
+    fn table_render_contains_all_rows_and_platforms() {
+        let text = render_table3(&tiny_table());
+        for n in 1..=8 {
+            assert!(text.contains(&format!("Scenario {n}")));
+        }
+        for platform in PLATFORM_ORDER {
+            assert!(text.contains(platform));
+        }
+        // Incomplete cells render as timeouts.
+        assert!(text.contains("timeout"));
+    }
+
+    #[test]
+    fn table_csv_has_32_data_rows() {
+        let csv = table3_csv(&tiny_table());
+        assert_eq!(csv.lines().count(), 33);
+        assert!(csv.lines().nth(1).unwrap().starts_with("1,Pentium III,"));
+    }
+
+    #[test]
+    fn ascii_plot_is_bounded_and_nonempty() {
+        let points: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i % 10) as f64)).collect();
+        let plot = ascii_plot(&points, 40, 6, "  ");
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 8); // 6 rows + axis + label
+        assert!(plot.contains('*'));
+        assert_eq!(ascii_plot(&[], 10, 3, "_"), "_(no data)");
+    }
+
+    #[test]
+    fn figure_render_and_csv() {
+        let figure = Figure {
+            title: "Test figure".to_owned(),
+            panels: vec![Panel {
+                title: "panel A".to_owned(),
+                series: vec![("s1".to_owned(), vec![(0.0, 1.0), (1.0, 2.0)])],
+                marks: vec![("phase 3".to_owned(), 0.5)],
+            }],
+        };
+        let text = render_figure(&figure);
+        assert!(text.contains("Test figure"));
+        assert!(text.contains("panel A"));
+        assert!(text.contains("phase 3 @ 0.5s"));
+        let csv = figure_csv(&figure);
+        assert!(csv.contains("panel A,s1,0.000000,1.000000"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! The eight benchmark scenarios (paper Table I).
+
+use std::fmt;
+
+/// The BGP operation a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BgpOperation {
+    /// Start-up: Speaker 1 injects a full table (Phase 1 timed).
+    StartupAnnounce,
+    /// Ending: Speaker 1 withdraws every previously announced prefix
+    /// (Phase 3 timed; Phase 2 omitted).
+    EndingWithdraw,
+    /// Incremental announcements that *lose* the decision process
+    /// (longer AS path from Speaker 2) and leave the forwarding table
+    /// untouched (Phase 3 timed).
+    IncrementalNoChange,
+    /// Incremental announcements that *win* the decision process
+    /// (shorter AS path from Speaker 2) and rewrite the forwarding
+    /// table (Phase 3 timed).
+    IncrementalChange,
+}
+
+/// The benchmark's two packetizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketSize {
+    /// One prefix per UPDATE message.
+    Small,
+    /// 500 prefixes per UPDATE message.
+    Large,
+}
+
+impl PacketSize {
+    /// Prefixes carried per UPDATE.
+    pub fn prefixes_per_update(self) -> usize {
+        match self {
+            PacketSize::Small => 1,
+            PacketSize::Large => 500,
+        }
+    }
+}
+
+impl fmt::Display for PacketSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketSize::Small => f.write_str("small"),
+            PacketSize::Large => f.write_str("large"),
+        }
+    }
+}
+
+/// One of the eight benchmark scenarios of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Start-up announcements, small packets.
+    S1,
+    /// Start-up announcements, large packets.
+    S2,
+    /// Ending withdrawals, small packets.
+    S3,
+    /// Ending withdrawals, large packets.
+    S4,
+    /// Incremental announcements without forwarding-table change,
+    /// small packets.
+    S5,
+    /// Incremental announcements without forwarding-table change,
+    /// large packets.
+    S6,
+    /// Incremental announcements with forwarding-table change, small
+    /// packets.
+    S7,
+    /// Incremental announcements with forwarding-table change, large
+    /// packets.
+    S8,
+}
+
+impl Scenario {
+    /// All scenarios in table order.
+    pub const ALL: [Scenario; 8] = [
+        Scenario::S1,
+        Scenario::S2,
+        Scenario::S3,
+        Scenario::S4,
+        Scenario::S5,
+        Scenario::S6,
+        Scenario::S7,
+        Scenario::S8,
+    ];
+
+    /// The scenario number as used in the paper (1–8).
+    pub fn number(self) -> u8 {
+        match self {
+            Scenario::S1 => 1,
+            Scenario::S2 => 2,
+            Scenario::S3 => 3,
+            Scenario::S4 => 4,
+            Scenario::S5 => 5,
+            Scenario::S6 => 6,
+            Scenario::S7 => 7,
+            Scenario::S8 => 8,
+        }
+    }
+
+    /// The scenario with the given paper number.
+    ///
+    /// # Panics
+    ///
+    /// Panics for numbers outside 1–8.
+    pub fn from_number(number: u8) -> Scenario {
+        Scenario::ALL
+            .into_iter()
+            .find(|s| s.number() == number)
+            .unwrap_or_else(|| panic!("no scenario {number}"))
+    }
+
+    /// The BGP operation this scenario exercises.
+    pub fn operation(self) -> BgpOperation {
+        match self {
+            Scenario::S1 | Scenario::S2 => BgpOperation::StartupAnnounce,
+            Scenario::S3 | Scenario::S4 => BgpOperation::EndingWithdraw,
+            Scenario::S5 | Scenario::S6 => BgpOperation::IncrementalNoChange,
+            Scenario::S7 | Scenario::S8 => BgpOperation::IncrementalChange,
+        }
+    }
+
+    /// The packetization this scenario uses.
+    pub fn packet_size(self) -> PacketSize {
+        match self {
+            Scenario::S1 | Scenario::S3 | Scenario::S5 | Scenario::S7 => PacketSize::Small,
+            Scenario::S2 | Scenario::S4 | Scenario::S6 | Scenario::S8 => PacketSize::Large,
+        }
+    }
+
+    /// Whether the timed phase changes the forwarding table (Table I's
+    /// "Forwarding Table Changes" row).
+    pub fn changes_forwarding_table(self) -> bool {
+        !matches!(self.operation(), BgpOperation::IncrementalNoChange)
+    }
+
+    /// One-line description matching the paper's Table I column.
+    pub fn description(self) -> &'static str {
+        match self {
+            Scenario::S1 => "start-up announcements, small packets",
+            Scenario::S2 => "start-up announcements, large packets",
+            Scenario::S3 => "ending withdrawals, small packets",
+            Scenario::S4 => "ending withdrawals, large packets",
+            Scenario::S5 => "incremental announcements (no FIB change), small packets",
+            Scenario::S6 => "incremental announcements (no FIB change), large packets",
+            Scenario::S7 => "incremental announcements (FIB change), small packets",
+            Scenario::S8 => "incremental announcements (FIB change), large packets",
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scenario {}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_structure() {
+        // Odd scenarios are small packets, even large.
+        for scenario in Scenario::ALL {
+            let expected = if scenario.number() % 2 == 1 {
+                PacketSize::Small
+            } else {
+                PacketSize::Large
+            };
+            assert_eq!(scenario.packet_size(), expected, "{scenario}");
+        }
+        // Only 5/6 leave the forwarding table untouched.
+        for scenario in Scenario::ALL {
+            let expected = !matches!(scenario.number(), 5 | 6);
+            assert_eq!(scenario.changes_forwarding_table(), expected, "{scenario}");
+        }
+    }
+
+    #[test]
+    fn numbers_roundtrip() {
+        for scenario in Scenario::ALL {
+            assert_eq!(Scenario::from_number(scenario.number()), scenario);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no scenario 9")]
+    fn invalid_number_panics() {
+        let _ = Scenario::from_number(9);
+    }
+
+    #[test]
+    fn packet_sizes_match_the_paper() {
+        assert_eq!(PacketSize::Small.prefixes_per_update(), 1);
+        assert_eq!(PacketSize::Large.prefixes_per_update(), 500);
+    }
+
+    #[test]
+    fn operations_group_in_pairs() {
+        assert_eq!(Scenario::S1.operation(), Scenario::S2.operation());
+        assert_eq!(Scenario::S3.operation(), Scenario::S4.operation());
+        assert_eq!(Scenario::S5.operation(), Scenario::S6.operation());
+        assert_eq!(Scenario::S7.operation(), Scenario::S8.operation());
+        assert_ne!(Scenario::S1.operation(), Scenario::S3.operation());
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(Scenario::S5.to_string(), "Scenario 5");
+        assert_eq!(PacketSize::Large.to_string(), "large");
+    }
+}

@@ -1,0 +1,89 @@
+//! `bgpd` — run the bgpbench BGP daemon standalone.
+//!
+//! ```text
+//! bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS]
+//! ```
+//!
+//! Prints a state snapshot once per second; terminate with Ctrl-C.
+
+use std::net::Ipv4Addr;
+use std::process::exit;
+use std::time::Duration;
+
+use bgpbench_daemon::{BgpDaemon, DaemonConfig};
+use bgpbench_wire::{Asn, RouterId};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut config = DaemonConfig {
+        bind_addr: "127.0.0.1:1179".parse().expect("static addr parses"),
+        ..DaemonConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--listen" => match value.parse() {
+                Ok(addr) => config.bind_addr = addr,
+                Err(_) => usage(),
+            },
+            "--asn" => match value.parse::<u16>() {
+                Ok(asn) => config.local_asn = Asn(asn),
+                Err(_) => usage(),
+            },
+            "--router-id" => match value.parse::<Ipv4Addr>() {
+                Ok(addr) => config.router_id = RouterId::from(addr),
+                Err(_) => usage(),
+            },
+            "--hold" => match value.parse::<u16>() {
+                Ok(secs) => config.hold_time_secs = secs,
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let daemon = match BgpDaemon::start(config.clone()) {
+        Ok(daemon) => daemon,
+        Err(err) => {
+            eprintln!("bgpd: cannot bind {}: {err}", config.bind_addr);
+            exit(1);
+        }
+    };
+    println!(
+        "bgpd: {} (router-id {}) listening on {}",
+        config.local_asn,
+        config.router_id,
+        daemon.local_addr()
+    );
+    let mut ticks = 0u64;
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
+        ticks += 1;
+        let s = daemon.snapshot();
+        println!(
+            "sessions={} loc_rib={} fib={} updates={} transactions={}",
+            s.sessions, s.loc_rib_len, s.fib_len, s.updates_received, s.transactions
+        );
+        // Per-peer detail every five seconds.
+        if ticks % 5 == 0 {
+            for peer in daemon.peer_snapshots() {
+                println!(
+                    "  peer {} @ {}: in {} updates / {} prefixes, out {} updates / {} prefixes",
+                    peer.asn,
+                    peer.address,
+                    peer.updates_in,
+                    peer.prefixes_in,
+                    peer.updates_out,
+                    peer.prefixes_out
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+use std::net::{Ipv4Addr, SocketAddr};
+
+use bgpbench_wire::{Asn, RouterId};
+
+/// Configuration for a [`crate::BgpDaemon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// The daemon's AS number.
+    pub local_asn: Asn,
+    /// The daemon's BGP identifier.
+    pub router_id: RouterId,
+    /// Hold time advertised in OPEN messages (seconds; zero disables
+    /// keepalives entirely).
+    pub hold_time_secs: u16,
+    /// Address to listen on; port 0 picks an ephemeral port.
+    pub bind_addr: SocketAddr,
+    /// NEXT_HOP advertised for exported routes.
+    pub next_hop: Ipv4Addr,
+    /// Prefixes per UPDATE used when advertising the table to a newly
+    /// established peer (the daemon's own packetization choice).
+    pub export_prefixes_per_update: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            local_asn: Asn(65000),
+            router_id: RouterId(0x0A00_0001),
+            hold_time_secs: 90,
+            bind_addr: "127.0.0.1:0".parse().expect("static addr parses"),
+            next_hop: Ipv4Addr::new(10, 0, 0, 1),
+            export_prefixes_per_update: 500,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_listens_on_loopback_ephemeral() {
+        let config = DaemonConfig::default();
+        assert!(config.bind_addr.ip().is_loopback());
+        assert_eq!(config.bind_addr.port(), 0);
+        assert_eq!(config.local_asn, Asn(65000));
+        assert_eq!(config.export_prefixes_per_update, 500);
+    }
+}

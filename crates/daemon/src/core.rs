@@ -1,0 +1,262 @@
+//! The daemon's shared routing core: one lock around the RIB engine,
+//! the shadow FIB, and per-peer advertisement state.
+//!
+//! Holding a single lock across "apply update → update FIB → stage
+//! advertisements" gives every peer a consistent, totally-ordered view
+//! — the same serialization point the `xorp_rib` process provides in
+//! the paper's software routers.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crossbeam::channel::Sender;
+
+use bgpbench_fib::{Fib, NextHop};
+use bgpbench_rib::{
+    AdjRibOut, ExportAction, FibDirective, PeerId, PeerInfo, RibEngine, RibStats,
+};
+use bgpbench_wire::{Message, Prefix, UpdateMessage};
+
+use crate::DaemonConfig;
+
+/// Counters the daemon exposes in snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CoreStats {
+    pub updates_received: u64,
+    pub transactions: u64,
+}
+
+/// Per-session counters, exposed via
+/// [`crate::BgpDaemon::peer_snapshots`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerSnapshot {
+    /// The peer's AS number.
+    pub asn: bgpbench_wire::Asn,
+    /// The peer's session address.
+    pub address: Ipv4Addr,
+    /// UPDATE messages received from this peer.
+    pub updates_in: u64,
+    /// Prefix-level transactions received from this peer.
+    pub prefixes_in: u64,
+    /// UPDATE messages sent to this peer.
+    pub updates_out: u64,
+    /// Prefix-level announcements/withdrawals sent to this peer.
+    pub prefixes_out: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Core {
+    config: DaemonConfig,
+    engine: RibEngine,
+    fib: Fib,
+    adj_out: HashMap<PeerId, AdjRibOut>,
+    writers: HashMap<PeerId, Sender<Vec<u8>>>,
+    peer_stats: HashMap<PeerId, PeerSnapshot>,
+    next_peer: u32,
+    stats: CoreStats,
+}
+
+impl Core {
+    pub(crate) fn new(config: DaemonConfig) -> Self {
+        let engine = RibEngine::new(config.local_asn, config.router_id);
+        Core {
+            config,
+            engine,
+            fib: Fib::new(),
+            adj_out: HashMap::new(),
+            writers: HashMap::new(),
+            peer_stats: HashMap::new(),
+            next_peer: 1,
+            stats: CoreStats::default(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// Registers an established session: adds the peer to the engine,
+    /// stores its writer, and stages the initial full-table
+    /// advertisement (Phase 2 of the benchmark methodology).
+    pub(crate) fn register_peer(
+        &mut self,
+        asn: bgpbench_wire::Asn,
+        router_id: bgpbench_wire::RouterId,
+        address: Ipv4Addr,
+        writer: Sender<Vec<u8>>,
+    ) -> PeerId {
+        let id = PeerId(self.next_peer);
+        self.next_peer += 1;
+        self.engine
+            .add_peer(PeerInfo::new(id, asn, router_id, address));
+        let mut adj_out = AdjRibOut::new();
+        let routes = self.engine.export_routes(id, self.config.next_hop);
+        let actions = adj_out.sync(routes);
+        let updates = AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
+        let mut snapshot = PeerSnapshot {
+            asn,
+            address,
+            updates_in: 0,
+            prefixes_in: 0,
+            updates_out: 0,
+            prefixes_out: 0,
+        };
+        for update in updates {
+            snapshot.updates_out += 1;
+            snapshot.prefixes_out += update.transaction_count() as u64;
+            send_update(&writer, &update);
+        }
+        self.peer_stats.insert(id, snapshot);
+        self.adj_out.insert(id, adj_out);
+        self.writers.insert(id, writer);
+        id
+    }
+
+    /// Tears a session down: withdraws everything learned from the
+    /// peer and propagates the fallout to the remaining peers.
+    pub(crate) fn unregister_peer(&mut self, peer: PeerId) {
+        self.writers.remove(&peer);
+        self.adj_out.remove(&peer);
+        self.peer_stats.remove(&peer);
+        if let Ok(outcomes) = self.engine.remove_peer(peer) {
+            let prefixes: Vec<Prefix> = outcomes.iter().map(|o| o.prefix).collect();
+            for outcome in &outcomes {
+                self.apply_fib(outcome.fib);
+            }
+            self.propagate(&prefixes);
+        }
+    }
+
+    /// Applies one UPDATE from `peer`: RIB processing, FIB writes, and
+    /// propagation to every other established session.
+    pub(crate) fn apply_update_from(&mut self, peer: PeerId, update: &UpdateMessage) {
+        let Ok(outcomes) = self.engine.apply_update(peer, update) else {
+            // Malformed-by-content updates (missing mandatory
+            // attributes) are counted but do not tear the core down;
+            // the session layer sends the NOTIFICATION.
+            return;
+        };
+        self.stats.updates_received += 1;
+        self.stats.transactions += outcomes.len() as u64;
+        if let Some(peer_stats) = self.peer_stats.get_mut(&peer) {
+            peer_stats.updates_in += 1;
+            peer_stats.prefixes_in += outcomes.len() as u64;
+        }
+        let prefixes: Vec<Prefix> = outcomes.iter().map(|o| o.prefix).collect();
+        for outcome in &outcomes {
+            self.apply_fib(outcome.fib);
+        }
+        self.propagate(&prefixes);
+    }
+
+    fn apply_fib(&mut self, directive: Option<FibDirective>) {
+        match directive {
+            Some(FibDirective::Install { prefix, next_hop }) => {
+                self.fib.insert(prefix, NextHop::new(next_hop, 0));
+            }
+            Some(FibDirective::Remove { prefix }) => {
+                self.fib.remove(&prefix);
+            }
+            None => {}
+        }
+    }
+
+    /// Re-syncs the advertisement state of `prefixes` toward every
+    /// established peer and sends the resulting UPDATEs.
+    fn propagate(&mut self, prefixes: &[Prefix]) {
+        let peer_ids: Vec<PeerId> = self.writers.keys().copied().collect();
+        for peer in peer_ids {
+            let mut actions: Vec<ExportAction> = Vec::new();
+            for prefix in prefixes {
+                let desired = self.engine.loc_rib().get(prefix).and_then(|route| {
+                    if route.learned_from() == peer {
+                        None // never advertise a route back to its source
+                    } else {
+                        Some(std::sync::Arc::new(
+                            route
+                                .attrs()
+                                .exported(self.config.local_asn, self.config.next_hop),
+                        ))
+                    }
+                });
+                let adj_out = self.adj_out.get_mut(&peer).expect("writer implies adj_out");
+                if let Some(action) = adj_out.sync_prefix(*prefix, desired) {
+                    actions.push(action);
+                }
+            }
+            if actions.is_empty() {
+                continue;
+            }
+            let updates =
+                AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
+            let writer = &self.writers[&peer];
+            for update in &updates {
+                send_update(writer, update);
+            }
+            if let Some(peer_stats) = self.peer_stats.get_mut(&peer) {
+                peer_stats.updates_out += updates.len() as u64;
+                peer_stats.prefixes_out += updates
+                    .iter()
+                    .map(|u| u.transaction_count() as u64)
+                    .sum::<u64>();
+            }
+        }
+    }
+
+    /// Handles a ROUTE-REFRESH request (RFC 2918): resets the peer's
+    /// Adj-RIB-Out and re-advertises the full table.
+    pub(crate) fn refresh_peer(&mut self, peer: PeerId) {
+        let Some(writer) = self.writers.get(&peer).cloned() else {
+            return;
+        };
+        let routes = self.engine.export_routes(peer, self.config.next_hop);
+        let adj_out = self
+            .adj_out
+            .get_mut(&peer)
+            .expect("writer implies adj_out");
+        *adj_out = AdjRibOut::new();
+        let actions = adj_out.sync(routes);
+        let updates = AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
+        for update in updates {
+            send_update(&writer, &update);
+        }
+    }
+
+    pub(crate) fn established_sessions(&self) -> usize {
+        self.writers.len()
+    }
+
+    pub(crate) fn peer_snapshots(&self) -> Vec<PeerSnapshot> {
+        let mut peers: Vec<(PeerId, PeerSnapshot)> = self
+            .peer_stats
+            .iter()
+            .map(|(id, snapshot)| (*id, snapshot.clone()))
+            .collect();
+        peers.sort_by_key(|(id, _)| *id);
+        peers.into_iter().map(|(_, snapshot)| snapshot).collect()
+    }
+
+    pub(crate) fn loc_rib_len(&self) -> usize {
+        self.engine.loc_rib().len()
+    }
+
+    pub(crate) fn fib_len(&self) -> usize {
+        self.fib.len()
+    }
+
+    pub(crate) fn rib_stats(&self) -> RibStats {
+        self.engine.stats()
+    }
+
+    pub(crate) fn stats(&self) -> CoreStats {
+        self.stats
+    }
+}
+
+fn send_update(writer: &Sender<Vec<u8>>, update: &UpdateMessage) {
+    if let Ok(bytes) = Message::Update(update.clone()).encode() {
+        // A disconnected writer means the session died; the session
+        // thread will unregister it.
+        let _ = writer.send(bytes);
+    }
+}

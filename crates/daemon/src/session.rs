@@ -1,0 +1,320 @@
+//! Per-session finite state machine (RFC 4271 §8, passive side).
+
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+
+use bgpbench_rib::PeerId;
+use bgpbench_wire::{
+    ErrorCode, Message, NotificationMessage, OpenMessage, StreamDecoder, WireError,
+};
+
+use crate::core::Core;
+
+/// Observable states of a daemon session.
+///
+/// The daemon is the passive side, so the FSM runs
+/// `Active → OpenConfirm → Established` (Idle/Connect/OpenSent belong
+/// to the initiating side, played by the live speakers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Connection accepted, waiting for the peer's OPEN.
+    Active,
+    /// OPEN exchanged, waiting for the peer's KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATE processing in progress.
+    Established,
+    /// Session terminated.
+    Closed,
+}
+
+/// Runs one accepted connection to completion. Returns when the
+/// session closes for any reason.
+pub(crate) fn run_session(
+    stream: TcpStream,
+    peer_addr: SocketAddr,
+    core: Arc<Mutex<Core>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    if let Err(err) = session_loop(stream, peer_addr, &core, &shutdown) {
+        // Socket-level failures simply end the session; state cleanup
+        // happened in session_loop's scope guards.
+        let _ = err;
+    }
+}
+
+fn session_loop(
+    mut stream: TcpStream,
+    peer_addr: SocketAddr,
+    core: &Arc<Mutex<Core>>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut decoder = StreamDecoder::new();
+    let mut state = SessionState::Active;
+
+    // --- Handshake: wait for OPEN, answer OPEN + KEEPALIVE, wait for
+    // KEEPALIVE.
+    let local_open = {
+        let core = core.lock();
+        let config = core.config();
+        OpenMessage::new(config.local_asn, config.hold_time_secs, config.router_id)
+            .with_capability(bgpbench_wire::Capability::RouteRefresh)
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut peer_open: Option<OpenMessage> = None;
+    while state != SessionState::Established {
+        if shutdown.load(Ordering::Relaxed) || Instant::now() > deadline {
+            send_now(
+                &mut stream,
+                &Message::Notification(NotificationMessage::new(ErrorCode::Cease, 0)),
+            )?;
+            return Ok(());
+        }
+        match read_message(&mut stream, &mut decoder) {
+            Ok(Some(Message::Open(open))) if state == SessionState::Active => {
+                send_now(&mut stream, &Message::Open(local_open.clone()))?;
+                send_now(&mut stream, &Message::Keepalive)?;
+                peer_open = Some(open);
+                state = SessionState::OpenConfirm;
+            }
+            Ok(Some(Message::Keepalive)) if state == SessionState::OpenConfirm => {
+                state = SessionState::Established;
+            }
+            Ok(Some(Message::Notification(_))) => return Ok(()),
+            Ok(Some(_)) => {
+                // UPDATE before establishment, or OPEN in the wrong
+                // state: FSM error.
+                send_now(
+                    &mut stream,
+                    &Message::Notification(NotificationMessage::new(
+                        ErrorCode::FiniteStateMachineError,
+                        0,
+                    )),
+                )?;
+                return Ok(());
+            }
+            Ok(None) => {}
+            Err(err) if err.kind() == io::ErrorKind::InvalidData => {
+                send_now(&mut stream, &Message::Notification(classify_wire_error(&err)))?;
+                return Ok(());
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    let peer_open = peer_open.expect("established implies OPEN received");
+    let negotiated_hold = effective_hold(local_open.hold_time_secs(), peer_open.hold_time_secs());
+
+    // --- Writer thread: serializes everything the core or the timer
+    // sends toward this peer.
+    let (tx, rx): (_, Receiver<Vec<u8>>) = unbounded();
+    let writer_stream = stream.try_clone()?;
+    let writer = thread::spawn(move || writer_loop(writer_stream, rx));
+
+    let peer_ip = match peer_addr.ip() {
+        std::net::IpAddr::V4(ip) => ip,
+        std::net::IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+    };
+    let peer_id: PeerId = core.lock().register_peer(
+        peer_open.asn(),
+        peer_open.router_id(),
+        peer_ip,
+        tx.clone(),
+    );
+
+    // --- Established loop.
+    let result = established_loop(
+        &mut stream,
+        &mut decoder,
+        core,
+        shutdown,
+        peer_id,
+        negotiated_hold,
+        &tx,
+    );
+
+    core.lock().unregister_peer(peer_id);
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+fn established_loop(
+    stream: &mut TcpStream,
+    decoder: &mut StreamDecoder,
+    core: &Arc<Mutex<Core>>,
+    shutdown: &Arc<AtomicBool>,
+    peer_id: PeerId,
+    hold: Option<Duration>,
+    tx: &crossbeam::channel::Sender<Vec<u8>>,
+) -> io::Result<()> {
+    let mut last_received = Instant::now();
+    let mut last_sent = Instant::now();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            let note = NotificationMessage::new(ErrorCode::Cease, 0);
+            queue(tx, &Message::Notification(note));
+            return Ok(());
+        }
+        if let Some(hold) = hold {
+            if last_received.elapsed() > hold {
+                let note = NotificationMessage::new(ErrorCode::HoldTimerExpired, 0);
+                queue(tx, &Message::Notification(note));
+                return Ok(());
+            }
+            if last_sent.elapsed() > hold / 3 {
+                queue(tx, &Message::Keepalive);
+                last_sent = Instant::now();
+            }
+        }
+        match read_message(stream, decoder) {
+            Ok(Some(Message::Update(update))) => {
+                last_received = Instant::now();
+                core.lock().apply_update_from(peer_id, &update);
+            }
+            Ok(Some(Message::Keepalive)) => last_received = Instant::now(),
+            Ok(Some(Message::RouteRefresh { .. })) => {
+                last_received = Instant::now();
+                core.lock().refresh_peer(peer_id);
+            }
+            Ok(Some(Message::Notification(_))) => return Ok(()),
+            Ok(Some(Message::Open(_))) => {
+                let note = NotificationMessage::new(ErrorCode::FiniteStateMachineError, 0);
+                queue(tx, &Message::Notification(note));
+                return Ok(());
+            }
+            Ok(None) => {}
+            Err(err) if err.kind() == io::ErrorKind::InvalidData => {
+                let note = NotificationMessage::new(ErrorCode::UpdateMessageError, 0);
+                queue(tx, &Message::Notification(note));
+                return Ok(());
+            }
+            Err(err) if err.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    while let Ok(bytes) = rx.recv() {
+        if stream.write_all(&bytes).is_err() {
+            return;
+        }
+    }
+}
+
+fn queue(tx: &crossbeam::channel::Sender<Vec<u8>>, message: &Message) {
+    if let Ok(bytes) = message.encode() {
+        let _ = tx.send(bytes);
+    }
+}
+
+fn send_now(stream: &mut TcpStream, message: &Message) -> io::Result<()> {
+    let bytes = message
+        .encode()
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
+    stream.write_all(&bytes)
+}
+
+fn read_message(
+    stream: &mut TcpStream,
+    decoder: &mut StreamDecoder,
+) -> io::Result<Option<Message>> {
+    if let Some(message) = decoder
+        .next_message()
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?
+    {
+        return Ok(Some(message));
+    }
+    let mut buf = [0u8; 16 * 1024];
+    match stream.read(&mut buf) {
+        Ok(0) => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed the session",
+        )),
+        Ok(n) => {
+            decoder.extend(&buf[..n]);
+            decoder
+                .next_message()
+                .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))
+        }
+        Err(err)
+            if err.kind() == io::ErrorKind::WouldBlock
+                || err.kind() == io::ErrorKind::TimedOut =>
+        {
+            Ok(None)
+        }
+        Err(err) => Err(err),
+    }
+}
+
+/// Maps a wire-level decode failure onto the NOTIFICATION RFC 4271 §6
+/// prescribes: OPEN errors get code 2 with the matching subcode,
+/// anything else is a message-header error.
+fn classify_wire_error(err: &io::Error) -> NotificationMessage {
+    let Some(wire) = err.get_ref().and_then(|e| e.downcast_ref::<WireError>()) else {
+        return NotificationMessage::new(ErrorCode::MessageHeaderError, 0);
+    };
+    match wire {
+        // §6.2 subcodes: 1 unsupported version, 2 bad peer AS,
+        // 3 bad BGP identifier, 6 unacceptable hold time.
+        WireError::UnsupportedVersion(_) => {
+            NotificationMessage::new(ErrorCode::OpenMessageError, 1)
+        }
+        WireError::MalformedOpen { field } => {
+            let subcode = match *field {
+                "zero AS number" => 2,
+                "zero BGP identifier" => 3,
+                "hold time below three seconds" => 6,
+                _ => 0,
+            };
+            NotificationMessage::new(ErrorCode::OpenMessageError, subcode)
+        }
+        WireError::InconsistentLength { .. } | WireError::MalformedAttribute { .. } => {
+            NotificationMessage::new(ErrorCode::UpdateMessageError, 0)
+        }
+        _ => NotificationMessage::new(ErrorCode::MessageHeaderError, 0),
+    }
+}
+
+/// RFC 4271 §4.2: the session hold time is the minimum of both sides'
+/// proposals; zero disables the timers.
+fn effective_hold(ours: u16, theirs: u16) -> Option<Duration> {
+    let hold = ours.min(theirs);
+    (hold > 0).then(|| Duration::from_secs(u64::from(hold)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_negotiation_takes_the_minimum() {
+        assert_eq!(effective_hold(90, 30), Some(Duration::from_secs(30)));
+        assert_eq!(effective_hold(30, 90), Some(Duration::from_secs(30)));
+        assert_eq!(effective_hold(0, 90), None);
+        assert_eq!(effective_hold(90, 0), None);
+    }
+
+    #[test]
+    fn session_states_are_distinct() {
+        let states = [
+            SessionState::Active,
+            SessionState::OpenConfirm,
+            SessionState::Established,
+            SessionState::Closed,
+        ];
+        for (i, a) in states.iter().enumerate() {
+            for (j, b) in states.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Failure injection against the live daemon: timer expiry, protocol
+//! garbage mid-session, and abrupt disconnects mid-transfer.
+
+use std::io::Write;
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+use bgpbench_daemon::{BgpDaemon, DaemonConfig};
+use bgpbench_speaker::{workload, LiveSpeaker, LiveSpeakerConfig, TableGenerator};
+use bgpbench_wire::{Asn, ErrorCode, Message, RouterId};
+
+fn wait_sessions(daemon: &BgpDaemon, expected: usize, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if daemon.snapshot().sessions == expected {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+#[test]
+fn hold_timer_expiry_tears_the_session_down() {
+    let daemon = BgpDaemon::start(DaemonConfig::default()).unwrap();
+    // Negotiate the RFC minimum hold time (3 s) and then go silent.
+    let mut speaker = LiveSpeaker::connect(
+        daemon.local_addr(),
+        &LiveSpeakerConfig {
+            local_asn: Asn(65001),
+            router_id: RouterId(0x0A00_0002),
+            hold_time_secs: 3,
+        },
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert!(wait_sessions(&daemon, 1, Duration::from_secs(5)));
+
+    // Stay silent; the daemon must notify HoldTimerExpired and close.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut saw_hold_expired = false;
+    while Instant::now() < deadline && !saw_hold_expired {
+        match speaker.recv() {
+            Ok(Some(Message::Notification(note))) => {
+                assert_eq!(note.error_code(), ErrorCode::HoldTimerExpired);
+                saw_hold_expired = true;
+            }
+            Ok(Some(Message::Keepalive)) => {
+                // Deliberately do not answer.
+            }
+            Ok(Some(other)) => panic!("unexpected message: {other:?}"),
+            Ok(None) => {}
+            Err(_) => break, // connection closed after the notification
+        }
+    }
+    assert!(saw_hold_expired, "daemon never sent HoldTimerExpired");
+    assert!(wait_sessions(&daemon, 0, Duration::from_secs(5)));
+    daemon.shutdown();
+}
+
+#[test]
+fn answered_keepalives_keep_the_session_alive() {
+    let daemon = BgpDaemon::start(DaemonConfig::default()).unwrap();
+    let mut speaker = LiveSpeaker::connect(
+        daemon.local_addr(),
+        &LiveSpeakerConfig {
+            local_asn: Asn(65001),
+            router_id: RouterId(0x0A00_0002),
+            hold_time_secs: 3,
+        },
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    // Answer keepalives for well past the hold time.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        match speaker.recv() {
+            Ok(Some(Message::Keepalive)) => speaker.send_keepalive().unwrap(),
+            Ok(Some(Message::Notification(note))) => {
+                panic!("session died despite keepalives: {note}")
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+    assert_eq!(daemon.snapshot().sessions, 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn garbage_mid_session_closes_only_that_session() {
+    let daemon = BgpDaemon::start(DaemonConfig::default()).unwrap();
+    let config = LiveSpeakerConfig {
+        local_asn: Asn(65001),
+        router_id: RouterId(0x0A00_0002),
+        hold_time_secs: 90,
+    };
+    // A healthy second session that must survive.
+    let healthy = LiveSpeaker::connect(
+        daemon.local_addr(),
+        &LiveSpeakerConfig {
+            local_asn: Asn(65002),
+            router_id: RouterId(0x0A00_0003),
+            hold_time_secs: 90,
+        },
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert!(wait_sessions(&daemon, 1, Duration::from_secs(5)));
+
+    // The victim session sends a corrupted marker mid-stream.
+    {
+        let mut victim =
+            LiveSpeaker::connect(daemon.local_addr(), &config, Duration::from_secs(5)).unwrap();
+        assert!(wait_sessions(&daemon, 2, Duration::from_secs(5)));
+        // Reach under the speaker: send raw garbage over a fresh update.
+        victim
+            .send_update(
+                &bgpbench_wire::UpdateMessage::builder()
+                    .withdraw("10.0.0.0/8".parse().unwrap())
+                    .build(),
+            )
+            .unwrap();
+        // Now raw bytes that cannot be a BGP header.
+        let mut stream = victim_stream(&mut victim);
+        stream.write_all(&[0u8; 19]).unwrap();
+        // The daemon should drop this session shortly.
+        assert!(wait_sessions(&daemon, 1, Duration::from_secs(5)));
+    }
+    // The healthy session is untouched.
+    assert_eq!(daemon.snapshot().sessions, 1);
+    drop(healthy);
+    assert!(wait_sessions(&daemon, 0, Duration::from_secs(5)));
+    daemon.shutdown();
+}
+
+/// Grabs a raw handle to the speaker's socket for garbage injection.
+fn victim_stream(speaker: &mut LiveSpeaker) -> std::net::TcpStream {
+    speaker.raw_stream().try_clone().unwrap()
+}
+
+#[test]
+fn unsupported_bgp_version_gets_the_rfc_subcode() {
+    use bgpbench_wire::{Message, OpenMessage, StreamDecoder};
+    use std::io::Read;
+
+    let daemon = BgpDaemon::start(DaemonConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(daemon.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    // A valid OPEN with the version octet rewritten to 3.
+    let mut open = Message::Open(OpenMessage::new(Asn(65001), 90, RouterId(7)))
+        .encode()
+        .unwrap();
+    open[19] = 3; // version field immediately after the header
+    stream.write_all(&open).unwrap();
+
+    // Expect NOTIFICATION: OPEN message error (2), unsupported
+    // version number (1).
+    let mut decoder = StreamDecoder::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let note = loop {
+        assert!(Instant::now() < deadline, "no notification received");
+        let mut buf = [0u8; 1024];
+        match stream.read(&mut buf) {
+            Ok(0) => panic!("connection closed without notification"),
+            Ok(n) => {
+                decoder.extend(&buf[..n]);
+                if let Some(Message::Notification(note)) = decoder.next_message().unwrap() {
+                    break note;
+                }
+            }
+            Err(_) => {}
+        }
+    };
+    assert_eq!(note.error_code(), ErrorCode::OpenMessageError);
+    assert_eq!(note.subcode(), 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn disconnect_mid_table_transfer_is_cleaned_up() {
+    let daemon = BgpDaemon::start(DaemonConfig::default()).unwrap();
+    let config = LiveSpeakerConfig {
+        local_asn: Asn(65001),
+        router_id: RouterId(0x0A00_0002),
+        hold_time_secs: 90,
+    };
+    let table = TableGenerator::new(17).generate(5000);
+    let updates = workload::announcements(
+        &table,
+        &workload::AnnounceSpec {
+            speaker_asn: Asn(65001),
+            path_len: 3,
+            next_hop: Ipv4Addr::new(127, 0, 0, 1),
+            prefixes_per_update: 500,
+            seed: 17,
+        },
+    );
+    {
+        let mut speaker =
+            LiveSpeaker::connect(daemon.local_addr(), &config, Duration::from_secs(5)).unwrap();
+        // Send half the table, then vanish.
+        speaker.flood(&updates[..5]).unwrap();
+        // Dropped here: TCP reset/EOF mid-transfer.
+    }
+    assert!(wait_sessions(&daemon, 0, Duration::from_secs(5)));
+    // Whatever made it in was withdrawn on session loss.
+    let snapshot = daemon.snapshot();
+    assert_eq!(snapshot.loc_rib_len, 0);
+    assert_eq!(snapshot.fib_len, 0);
+    // And a fresh session still works.
+    let mut speaker =
+        LiveSpeaker::connect(daemon.local_addr(), &config, Duration::from_secs(5)).unwrap();
+    speaker.flood(&updates).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline && daemon.snapshot().loc_rib_len < 5000 {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(daemon.snapshot().loc_rib_len, 5000);
+    daemon.shutdown();
+}

@@ -1,0 +1,121 @@
+//! The internet checksum (RFC 1071) and its incremental update
+//! (RFC 1624), as used by the RFC 1812 forwarding path.
+
+/// Computes the 16-bit one's-complement internet checksum over `data`
+/// (RFC 1071). Odd-length input is padded with a zero octet, as the RFC
+/// specifies.
+///
+/// The returned value is ready to be stored in a header checksum field;
+/// recomputing the checksum over a header whose checksum field holds
+/// this value yields zero.
+///
+/// ```
+/// use bgpbench_fib::internet_checksum;
+/// // The classic RFC 1071 worked example.
+/// let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(internet_checksum(&data), !0xddf2u16);
+/// ```
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Incrementally updates a checksum after one 16-bit word of the
+/// covered data changed from `old_word` to `new_word` (RFC 1624,
+/// equation 3: `HC' = ~(~HC + ~m + m')`).
+///
+/// Routers use this to patch the IP header checksum after decrementing
+/// the TTL without re-summing the whole header.
+///
+/// ```
+/// use bgpbench_fib::{incremental_update, internet_checksum};
+/// let mut header = [0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00,
+///                   0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+///                   0x0a, 0x00, 0x00, 0x02];
+/// let sum = internet_checksum(&header);
+/// header[10..12].copy_from_slice(&sum.to_be_bytes());
+/// // Decrement TTL: word 4 (ttl, protocol) changes.
+/// let old_word = u16::from_be_bytes([header[8], header[9]]);
+/// header[8] -= 1;
+/// let new_word = u16::from_be_bytes([header[8], header[9]]);
+/// let patched = incremental_update(sum, old_word, new_word);
+/// header[10..12].copy_from_slice(&patched.to_be_bytes());
+/// assert_eq!(internet_checksum(&{ let mut h = header; h[10] = 0; h[11] = 0; h }), patched);
+/// ```
+pub fn incremental_update(checksum: u16, old_word: u16, new_word: u16) -> u16 {
+    let mut sum = u32::from(!checksum) + u32::from(!old_word) + u32::from(new_word);
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_of_zeroes_is_all_ones() {
+        assert_eq!(internet_checksum(&[0; 8]), 0xFFFF);
+    }
+
+    #[test]
+    fn checksum_validates_to_zero_when_embedded() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x54, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x01];
+        data.extend_from_slice(&[0, 0]); // checksum field
+        data.extend_from_slice(&[0xac, 0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c]);
+        let sum = internet_checksum(&data);
+        data[10..12].copy_from_slice(&sum.to_be_bytes());
+        // Summing data that includes its own checksum gives zero.
+        assert_eq!(internet_checksum(&data), 0);
+    }
+
+    #[test]
+    fn odd_length_is_zero_padded() {
+        assert_eq!(internet_checksum(&[0xFF]), internet_checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_for_ttl_decrement() {
+        let mut header = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0,
+            0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let original = internet_checksum(&header);
+        header[10..12].copy_from_slice(&original.to_be_bytes());
+        for _ in 0..63 {
+            let old_word = u16::from_be_bytes([header[8], header[9]]);
+            header[8] -= 1;
+            let new_word = u16::from_be_bytes([header[8], header[9]]);
+            let current = u16::from_be_bytes([header[10], header[11]]);
+            let patched = incremental_update(current, old_word, new_word);
+            header[10..12].copy_from_slice(&patched.to_be_bytes());
+
+            let mut cleared = header;
+            cleared[10] = 0;
+            cleared[11] = 0;
+            assert_eq!(internet_checksum(&cleared), patched);
+        }
+    }
+
+    #[test]
+    fn incremental_update_handles_wraparound_words() {
+        // The RFC 1624 pathological case: checksum 0xFFFF territory.
+        let patched = incremental_update(0xFFFF, 0x0000, 0xFFFF);
+        // Verify against full recompute on a two-word buffer.
+        let data_old = [0x00u8, 0x00, 0x00, 0x00];
+        let data_new = [0xFFu8, 0xFF, 0x00, 0x00];
+        assert_eq!(internet_checksum(&data_old), 0xFFFF);
+        assert_eq!(internet_checksum(&data_new), patched);
+    }
+}

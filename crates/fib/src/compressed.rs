@@ -1,0 +1,402 @@
+//! A path-compressed (Patricia/radix) trie — the classic software
+//! alternative to the plain binary trie, per the lookup-algorithm
+//! survey the paper cites (Ruiz-Sánchez et al., reference [9]).
+//!
+//! Chains of single-child nodes are collapsed into one node labelled
+//! with the common prefix, so lookups touch O(distinct branch points)
+//! nodes instead of O(32). The `lpm_compare` criterion bench contrasts
+//! it with [`crate::LpmTrie`].
+
+use std::net::Ipv4Addr;
+
+use bgpbench_wire::Prefix;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    /// The absolute prefix this node stands for (its "label").
+    key: Prefix,
+    entry: Option<T>,
+    /// Children branch on the bit at depth `key.len()`.
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Node<T> {
+    fn leaf(key: Prefix, entry: Option<T>) -> Self {
+        Node {
+            key,
+            entry,
+            children: [None, None],
+        }
+    }
+
+    fn child_count(&self) -> usize {
+        self.children.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// A path-compressed LPM trie with the same interface as
+/// [`crate::LpmTrie`].
+///
+/// ```
+/// use bgpbench_fib::CompressedTrie;
+/// use std::net::Ipv4Addr;
+///
+/// let mut trie = CompressedTrie::new();
+/// trie.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// trie.insert("10.1.0.0/16".parse().unwrap(), "fine");
+/// let (prefix, value) = trie.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+/// assert_eq!(*value, "fine");
+/// assert_eq!(prefix.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompressedTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for CompressedTrie<T> {
+    fn default() -> Self {
+        CompressedTrie::new()
+    }
+}
+
+impl<T> CompressedTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        CompressedTrie {
+            root: Node::leaf(Prefix::DEFAULT, None),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` under `prefix`, returning the previous value
+    /// for that exact prefix if there was one.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let old = Self::insert_rec(&mut self.root, prefix, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(node: &mut Node<T>, prefix: Prefix, value: T) -> Option<T> {
+        let common = common_prefix_len(&node.key, &prefix);
+        if common < node.key.len() {
+            // Split: the new internal node is the common prefix.
+            let split_key = Prefix::new_masked(prefix.network(), common)
+                .expect("common <= 32");
+            let old_node = std::mem::replace(node, Node::leaf(split_key, None));
+            let old_bit = bit_at(old_node.key.network_bits(), common);
+            node.children[old_bit] = Some(Box::new(old_node));
+            if prefix.len() == common {
+                node.entry = Some(value);
+                return None;
+            }
+            let new_bit = bit_at(prefix.network_bits(), common);
+            debug_assert_ne!(old_bit, new_bit, "split implies divergence");
+            node.children[new_bit] = Some(Box::new(Node::leaf(prefix, Some(value))));
+            return None;
+        }
+        // The node's key is a prefix of `prefix`.
+        if prefix.len() == node.key.len() {
+            return node.entry.replace(value);
+        }
+        let bit = bit_at(prefix.network_bits(), node.key.len());
+        match &mut node.children[bit] {
+            Some(child) => Self::insert_rec(child, prefix, value),
+            slot @ None => {
+                *slot = Some(Box::new(Node::leaf(prefix, Some(value))));
+                None
+            }
+        }
+    }
+
+    /// Removes the entry stored under exactly `prefix`, splicing out
+    /// pass-through nodes.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<T> {
+        let removed = Self::remove_rec(&mut self.root, prefix, true);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<T>, prefix: &Prefix, is_root: bool) -> Option<T> {
+        if node.key.len() == prefix.len() {
+            if node.key != *prefix {
+                return None;
+            }
+            let removed = node.entry.take();
+            if removed.is_some() && !is_root {
+                Self::maybe_splice(node);
+            }
+            return removed;
+        }
+        if !node.key.covers(prefix) {
+            return None;
+        }
+        let bit = bit_at(prefix.network_bits(), node.key.len());
+        let child = node.children[bit].as_deref_mut()?;
+        let removed = Self::remove_rec(child, prefix, false);
+        if removed.is_some() {
+            if child.entry.is_none() && child.child_count() == 0 {
+                node.children[bit] = None;
+            }
+            if !is_root {
+                Self::maybe_splice(node);
+            }
+        }
+        removed
+    }
+
+    /// Collapses an entry-less single-child node into its child.
+    fn maybe_splice(node: &mut Node<T>) {
+        if node.entry.is_none() && node.child_count() == 1 {
+            let child = node
+                .children
+                .iter_mut()
+                .find_map(Option::take)
+                .expect("child_count == 1");
+            *node = *child;
+        }
+    }
+
+    /// Returns the value stored under exactly `prefix`.
+    pub fn get(&self, prefix: &Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        loop {
+            if node.key.len() == prefix.len() {
+                return if node.key == *prefix {
+                    node.entry.as_ref()
+                } else {
+                    None
+                };
+            }
+            if node.key.len() > prefix.len() || !node.key.covers(prefix) {
+                return None;
+            }
+            let bit = bit_at(prefix.network_bits(), node.key.len());
+            node = node.children[bit].as_deref()?;
+        }
+    }
+
+    /// Whether an entry exists under exactly `prefix`.
+    pub fn contains(&self, prefix: &Prefix) -> bool {
+        self.get(prefix).is_some()
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(&Prefix, &T)> {
+        let mut best: Option<(&Prefix, &T)> = None;
+        let mut node = &self.root;
+        loop {
+            if !node.key.contains(addr) {
+                return best;
+            }
+            if let Some(value) = &node.entry {
+                best = Some((&node.key, value));
+            }
+            if node.key.len() == 32 {
+                return best;
+            }
+            let bit = bit_at(u32::from(addr), node.key.len());
+            match node.children[bit].as_deref() {
+                Some(child) => node = child,
+                None => return best,
+            }
+        }
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &T)> {
+        let mut stack = vec![&self.root];
+        std::iter::from_fn(move || {
+            while let Some(node) = stack.pop() {
+                if let Some(right) = node.children[1].as_deref() {
+                    stack.push(right);
+                }
+                if let Some(left) = node.children[0].as_deref() {
+                    stack.push(left);
+                }
+                if let Some(value) = &node.entry {
+                    return Some((&node.key, value));
+                }
+            }
+            None
+        })
+    }
+
+    /// Number of trie nodes (compression diagnostic: compare with the
+    /// plain binary trie's node count).
+    pub fn node_count(&self) -> usize {
+        fn count<T>(node: &Node<T>) -> usize {
+            1 + node
+                .children
+                .iter()
+                .flatten()
+                .map(|c| count(c))
+                .sum::<usize>()
+        }
+        count(&self.root)
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for CompressedTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+        let mut trie = CompressedTrie::new();
+        for (prefix, value) in iter {
+            trie.insert(prefix, value);
+        }
+        trie
+    }
+}
+
+fn bit_at(bits: u32, depth: u8) -> usize {
+    ((bits >> (31 - depth)) & 1) as usize
+}
+
+/// Length of the common prefix of two prefixes' network bits, capped
+/// at the shorter mask.
+fn common_prefix_len(a: &Prefix, b: &Prefix) -> u8 {
+    let diff = a.network_bits() ^ b.network_bits();
+    let agreement = diff.leading_zeros() as u8;
+    agreement.min(a.len()).min(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(text: &str) -> Prefix {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn basic_longest_match() {
+        let mut trie = CompressedTrie::new();
+        trie.insert(p("0.0.0.0/0"), 0);
+        trie.insert(p("10.0.0.0/8"), 8);
+        trie.insert(p("10.1.0.0/16"), 16);
+        trie.insert(p("10.1.2.0/24"), 24);
+        let cases = [
+            (Ipv4Addr::new(11, 0, 0, 1), 0),
+            (Ipv4Addr::new(10, 9, 9, 9), 8),
+            (Ipv4Addr::new(10, 1, 9, 9), 16),
+            (Ipv4Addr::new(10, 1, 2, 9), 24),
+        ];
+        for (addr, expected) in cases {
+            assert_eq!(*trie.lookup(addr).unwrap().1, expected, "{addr}");
+        }
+    }
+
+    #[test]
+    fn split_on_divergence() {
+        let mut trie = CompressedTrie::new();
+        trie.insert(p("10.1.0.0/16"), 1);
+        trie.insert(p("10.2.0.0/16"), 2);
+        // The split point is 10.0.0.0/14 (bits agree through depth 14).
+        assert_eq!(*trie.lookup(Ipv4Addr::new(10, 1, 5, 5)).unwrap().1, 1);
+        assert_eq!(*trie.lookup(Ipv4Addr::new(10, 2, 5, 5)).unwrap().1, 2);
+        assert_eq!(trie.lookup(Ipv4Addr::new(10, 3, 5, 5)), None);
+        assert_eq!(trie.len(), 2);
+    }
+
+    #[test]
+    fn insert_at_split_point() {
+        let mut trie = CompressedTrie::new();
+        trie.insert(p("10.1.0.0/16"), 1);
+        trie.insert(p("10.2.0.0/16"), 2);
+        // Now insert exactly at a potential split ancestor.
+        trie.insert(p("10.0.0.0/14"), 14);
+        assert_eq!(*trie.lookup(Ipv4Addr::new(10, 3, 0, 1)).unwrap().1, 14);
+        assert_eq!(trie.len(), 3);
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut trie = CompressedTrie::new();
+        assert_eq!(trie.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(trie.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(trie.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_splice() {
+        let mut trie = CompressedTrie::new();
+        trie.insert(p("10.1.0.0/16"), 1);
+        trie.insert(p("10.2.0.0/16"), 2);
+        assert_eq!(trie.remove(&p("10.1.0.0/16")), Some(1));
+        assert_eq!(trie.len(), 1);
+        assert_eq!(*trie.lookup(Ipv4Addr::new(10, 2, 0, 1)).unwrap().1, 2);
+        assert_eq!(trie.lookup(Ipv4Addr::new(10, 1, 0, 1)), None);
+        // Splicing keeps the node count minimal.
+        assert!(trie.node_count() <= 2);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut trie = CompressedTrie::new();
+        trie.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(trie.remove(&p("10.0.0.0/16")), None);
+        assert_eq!(trie.remove(&p("11.0.0.0/8")), None);
+        assert_eq!(trie.remove(&p("0.0.0.0/0")), None);
+        assert_eq!(trie.len(), 1);
+    }
+
+    #[test]
+    fn default_route_and_host_routes() {
+        let mut trie = CompressedTrie::new();
+        trie.insert(p("0.0.0.0/0"), 0);
+        trie.insert(p("192.0.2.1/32"), 32);
+        assert_eq!(*trie.lookup(Ipv4Addr::new(192, 0, 2, 1)).unwrap().1, 32);
+        assert_eq!(*trie.lookup(Ipv4Addr::new(192, 0, 2, 2)).unwrap().1, 0);
+        assert_eq!(trie.remove(&p("0.0.0.0/0")), Some(0));
+        assert_eq!(trie.lookup(Ipv4Addr::new(192, 0, 2, 2)), None);
+    }
+
+    #[test]
+    fn get_is_exact() {
+        let mut trie = CompressedTrie::new();
+        trie.insert(p("10.1.0.0/16"), 1);
+        trie.insert(p("10.2.0.0/16"), 2);
+        assert_eq!(trie.get(&p("10.1.0.0/16")), Some(&1));
+        // The implicit split node is not gettable.
+        assert_eq!(trie.get(&p("10.0.0.0/14")), None);
+        assert!(!trie.contains(&p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn compression_uses_far_fewer_nodes_than_depth() {
+        let mut trie = CompressedTrie::new();
+        // A single /32 should be root + 1 node, not 32 nodes.
+        trie.insert(p("203.0.113.7/32"), 1);
+        assert_eq!(trie.node_count(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut trie = CompressedTrie::new();
+        for (i, text) in ["9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16", "11.1.0.0/16"]
+            .iter()
+            .enumerate()
+        {
+            trie.insert(p(text), i);
+        }
+        let keys: Vec<Prefix> = trie.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 4);
+    }
+}

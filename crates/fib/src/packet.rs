@@ -1,0 +1,275 @@
+//! Minimal IPv4 header handling for the forwarding path.
+
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::checksum::internet_checksum;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// Errors produced while parsing an IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketError {
+    /// Fewer than 20 octets of input.
+    Truncated,
+    /// The version nibble was not 4.
+    NotIpv4(u8),
+    /// The header-length nibble was below 5 (20 octets).
+    BadHeaderLength(u8),
+    /// The header checksum did not verify (RFC 1812 §5.2.2 discard).
+    BadChecksum,
+    /// The total-length field is smaller than the header length.
+    BadTotalLength(u16),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "packet shorter than an IPv4 header"),
+            PacketError::NotIpv4(v) => write!(f, "version {v} is not IPv4"),
+            PacketError::BadHeaderLength(ihl) => write!(f, "header length nibble {ihl} invalid"),
+            PacketError::BadChecksum => write!(f, "header checksum verification failed"),
+            PacketError::BadTotalLength(len) => write!(f, "total length {len} too small"),
+        }
+    }
+}
+
+impl Error for PacketError {}
+
+/// A parsed IPv4 header (options are accepted but not interpreted).
+///
+/// ```
+/// use bgpbench_fib::Ipv4Header;
+/// use std::net::Ipv4Addr;
+///
+/// let header = Ipv4Header::new(
+///     Ipv4Addr::new(10, 0, 0, 1),
+///     Ipv4Addr::new(10, 0, 0, 2),
+///     64,
+///     1480,
+/// );
+/// let bytes = header.encode();
+/// let parsed = Ipv4Header::decode(&bytes)?;
+/// assert_eq!(parsed.ttl(), 64);
+/// # Ok::<(), bgpbench_fib::PacketError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    source: Ipv4Addr,
+    destination: Ipv4Addr,
+    ttl: u8,
+    protocol: u8,
+    total_len: u16,
+    checksum: u16,
+}
+
+impl Ipv4Header {
+    /// Creates a header with a freshly computed checksum.
+    ///
+    /// `payload_len` is the payload size; the total-length field is set
+    /// to `payload_len + 20`.
+    pub fn new(source: Ipv4Addr, destination: Ipv4Addr, ttl: u8, payload_len: u16) -> Self {
+        let mut header = Ipv4Header {
+            source,
+            destination,
+            ttl,
+            protocol: 17, // UDP, as typical benchmark cross-traffic
+            total_len: payload_len + IPV4_HEADER_LEN as u16,
+            checksum: 0,
+        };
+        header.checksum = internet_checksum(&header.encode_with_checksum(0));
+        header
+    }
+
+    /// The source address.
+    pub fn source(&self) -> Ipv4Addr {
+        self.source
+    }
+
+    /// The destination address the forwarder looks up.
+    pub fn destination(&self) -> Ipv4Addr {
+        self.destination
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.ttl
+    }
+
+    /// The protocol field.
+    pub fn protocol(&self) -> u8 {
+        self.protocol
+    }
+
+    /// The total-length field (header plus payload).
+    pub fn total_len(&self) -> u16 {
+        self.total_len
+    }
+
+    /// The checksum currently stored in the header.
+    pub fn checksum(&self) -> u16 {
+        self.checksum
+    }
+
+    /// Returns a copy with the TTL decremented and the checksum
+    /// recomputed, as the forwarding path does.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the TTL is already zero; callers must
+    /// check and discard such packets first (RFC 1812 §5.3.1).
+    pub fn decremented(&self) -> Ipv4Header {
+        debug_assert!(self.ttl > 0, "cannot decrement a zero TTL");
+        let mut next = *self;
+        next.ttl -= 1;
+        next.checksum = internet_checksum(&next.encode_with_checksum(0));
+        next
+    }
+
+    /// Serializes the header, including its stored checksum.
+    pub fn encode(&self) -> [u8; IPV4_HEADER_LEN] {
+        self.encode_with_checksum(self.checksum)
+    }
+
+    fn encode_with_checksum(&self, checksum: u16) -> [u8; IPV4_HEADER_LEN] {
+        let mut bytes = [0u8; IPV4_HEADER_LEN];
+        bytes[0] = 0x45; // version 4, IHL 5
+        bytes[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        bytes[8] = self.ttl;
+        bytes[9] = self.protocol;
+        bytes[10..12].copy_from_slice(&checksum.to_be_bytes());
+        bytes[12..16].copy_from_slice(&self.source.octets());
+        bytes[16..20].copy_from_slice(&self.destination.octets());
+        bytes
+    }
+
+    /// Parses and validates a header from the front of `input`
+    /// (RFC 1812 §5.2.2 validation steps).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] describing the first validation
+    /// failure; the forwarder counts these as drops.
+    pub fn decode(input: &[u8]) -> Result<Self, PacketError> {
+        if input.len() < IPV4_HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let version = input[0] >> 4;
+        if version != 4 {
+            return Err(PacketError::NotIpv4(version));
+        }
+        let ihl = input[0] & 0x0F;
+        if ihl < 5 {
+            return Err(PacketError::BadHeaderLength(ihl));
+        }
+        let header_len = usize::from(ihl) * 4;
+        if input.len() < header_len {
+            return Err(PacketError::Truncated);
+        }
+        if internet_checksum(&input[..header_len]) != 0 {
+            return Err(PacketError::BadChecksum);
+        }
+        let total_len = u16::from_be_bytes([input[2], input[3]]);
+        if usize::from(total_len) < header_len {
+            return Err(PacketError::BadTotalLength(total_len));
+        }
+        Ok(Ipv4Header {
+            source: Ipv4Addr::new(input[12], input[13], input[14], input[15]),
+            destination: Ipv4Addr::new(input[16], input[17], input[18], input[19]),
+            ttl: input[8],
+            protocol: input[9],
+            total_len,
+            checksum: u16::from_be_bytes([input[10], input[11]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(198, 51, 100, 2),
+            64,
+            1000,
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let header = sample();
+        let decoded = Ipv4Header::decode(&header.encode()).unwrap();
+        assert_eq!(decoded, header);
+    }
+
+    #[test]
+    fn fresh_header_checksum_verifies() {
+        assert_eq!(internet_checksum(&sample().encode()), 0);
+    }
+
+    #[test]
+    fn decrement_preserves_checksum_validity() {
+        let mut header = sample();
+        for expected_ttl in (0..64).rev() {
+            header = header.decremented();
+            assert_eq!(header.ttl(), expected_ttl);
+            assert_eq!(internet_checksum(&header.encode()), 0);
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[10] ^= 0xFF;
+        assert_eq!(Ipv4Header::decode(&bytes), Err(PacketError::BadChecksum));
+    }
+
+    #[test]
+    fn corrupted_payload_fields_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes[16] ^= 0x01; // flip a destination bit without fixing checksum
+        assert_eq!(Ipv4Header::decode(&bytes), Err(PacketError::BadChecksum));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = 0x65;
+        assert_eq!(Ipv4Header::decode(&bytes), Err(PacketError::NotIpv4(6)));
+    }
+
+    #[test]
+    fn short_header_nibble_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = 0x44;
+        assert_eq!(
+            Ipv4Header::decode(&bytes),
+            Err(PacketError::BadHeaderLength(4))
+        );
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        assert_eq!(
+            Ipv4Header::decode(&[0x45; 10]),
+            Err(PacketError::Truncated)
+        );
+    }
+
+    #[test]
+    fn total_length_below_header_is_rejected() {
+        let header = sample();
+        let mut bytes = header.encode_with_checksum(0);
+        bytes[2..4].copy_from_slice(&10u16.to_be_bytes());
+        let sum = internet_checksum(&bytes);
+        bytes[10..12].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(
+            Ipv4Header::decode(&bytes),
+            Err(PacketError::BadTotalLength(10))
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests: the LPM trie against a naive reference
+//! implementation, and checksum invariants.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use bgpbench_fib::{incremental_update, internet_checksum, CompressedTrie, LpmTrie};
+use bgpbench_wire::Prefix;
+use proptest::prelude::*;
+
+/// Naive reference: linear scan over a map, longest match wins.
+#[derive(Default)]
+struct NaiveLpm {
+    entries: BTreeMap<Prefix, u32>,
+}
+
+impl NaiveLpm {
+    fn insert(&mut self, prefix: Prefix, value: u32) -> Option<u32> {
+        self.entries.insert(prefix, value)
+    }
+
+    fn remove(&mut self, prefix: &Prefix) -> Option<u32> {
+        self.entries.remove(prefix)
+    }
+
+    fn lookup(&self, addr: Ipv4Addr) -> Option<(Prefix, u32)> {
+        self.entries
+            .iter()
+            .filter(|(prefix, _)| prefix.contains(addr))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(prefix, value)| (*prefix, *value))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Prefix, u32),
+    Remove(Prefix),
+    Lookup(Ipv4Addr),
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    // Cluster prefixes into a small address pool so operations collide.
+    (0u32..64, 0u8..=32).prop_map(|(seed, len)| {
+        let bits = seed.wrapping_mul(0x9E37_79B9);
+        Prefix::new_masked(Ipv4Addr::from(bits), len).unwrap()
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_prefix(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+        arb_prefix().prop_map(Op::Remove),
+        (0u32..64).prop_map(|seed| {
+            Op::Lookup(Ipv4Addr::from(seed.wrapping_mul(0x9E37_79B9) | 0x55))
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_naive_reference(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut trie = LpmTrie::new();
+        let mut naive = NaiveLpm::default();
+        for op in ops {
+            match op {
+                Op::Insert(prefix, value) => {
+                    prop_assert_eq!(trie.insert(prefix, value), naive.insert(prefix, value));
+                }
+                Op::Remove(prefix) => {
+                    prop_assert_eq!(trie.remove(&prefix), naive.remove(&prefix));
+                }
+                Op::Lookup(addr) => {
+                    let got = trie.lookup(addr).map(|(p, v)| (*p, *v));
+                    prop_assert_eq!(got, naive.lookup(addr));
+                }
+            }
+            prop_assert_eq!(trie.len(), naive.entries.len());
+        }
+        // Final full sweep: iteration agrees with the reference map.
+        let from_trie: Vec<(Prefix, u32)> = trie.iter().map(|(p, v)| (*p, *v)).collect();
+        let from_naive: Vec<(Prefix, u32)> =
+            naive.entries.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(from_trie, from_naive);
+    }
+
+    /// The path-compressed trie must agree with both the plain trie
+    /// and the naive reference under any operation sequence, while
+    /// never using more nodes than one per branch point plus leaves.
+    #[test]
+    fn compressed_trie_matches_plain_trie(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut plain = LpmTrie::new();
+        let mut compressed = CompressedTrie::new();
+        for op in ops {
+            match op {
+                Op::Insert(prefix, value) => {
+                    prop_assert_eq!(
+                        compressed.insert(prefix, value),
+                        plain.insert(prefix, value)
+                    );
+                }
+                Op::Remove(prefix) => {
+                    prop_assert_eq!(compressed.remove(&prefix), plain.remove(&prefix));
+                }
+                Op::Lookup(addr) => {
+                    let a = compressed.lookup(addr).map(|(p, v)| (*p, *v));
+                    let b = plain.lookup(addr).map(|(p, v)| (*p, *v));
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(compressed.len(), plain.len());
+            // Path compression bound: at most 2·entries + 1 nodes
+            // (every entry adds at most one leaf and one split node).
+            prop_assert!(compressed.node_count() <= 2 * compressed.len() + 1);
+        }
+        let from_compressed: Vec<(Prefix, u32)> =
+            compressed.iter().map(|(p, v)| (*p, *v)).collect();
+        let from_plain: Vec<(Prefix, u32)> = plain.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(from_compressed, from_plain);
+    }
+
+    #[test]
+    fn checksum_detects_single_word_changes(
+        data in prop::collection::vec(any::<u8>(), 2..64),
+        word_index in any::<prop::sample::Index>(),
+        delta in 1u16..=u16::MAX,
+    ) {
+        let mut data = data;
+        if data.len() % 2 == 1 {
+            data.push(0);
+        }
+        let original = internet_checksum(&data);
+        let words = data.len() / 2;
+        let idx = word_index.index(words) * 2;
+        let old_word = u16::from_be_bytes([data[idx], data[idx + 1]]);
+        let new_word = old_word.wrapping_add(delta);
+        data[idx..idx + 2].copy_from_slice(&new_word.to_be_bytes());
+        let recomputed = internet_checksum(&data);
+        let patched = incremental_update(original, old_word, new_word);
+        // RFC 1624: the incremental update must agree with a full
+        // recompute up to the 0x0000/0xFFFF one's-complement ambiguity.
+        let canonical = |sum: u16| if sum == 0xFFFF { 0x0000 } else { sum };
+        prop_assert_eq!(canonical(patched), canonical(recomputed));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_only_across_words(
+        words in prop::collection::vec(any::<u16>(), 1..32)
+    ) {
+        // One's-complement addition is commutative: permuting the words
+        // must not change the checksum.
+        let mut data = Vec::new();
+        for w in &words {
+            data.extend_from_slice(&w.to_be_bytes());
+        }
+        let mut reversed_words = words.clone();
+        reversed_words.reverse();
+        let mut reversed = Vec::new();
+        for w in &reversed_words {
+            reversed.extend_from_slice(&w.to_be_bytes());
+        }
+        prop_assert_eq!(internet_checksum(&data), internet_checksum(&reversed));
+    }
+}

@@ -1,0 +1,201 @@
+//! Cross-traffic generation and accounting.
+
+use bgpbench_simnet::{Job, ProcessId, TickContext};
+
+use crate::costs::CrossCosts;
+
+/// Job kind for interrupt batches (shared with the platform models).
+pub(crate) const JOB_IRQ: u16 = 100;
+/// Job kind for kernel forwarding batches.
+pub(crate) const JOB_KFWD: u16 = 101;
+
+/// Aggregate cross-traffic accounting for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CrossSummary {
+    /// Packets offered to the router.
+    pub offered_pkts: u64,
+    /// Packets forwarded.
+    pub forwarded_pkts: u64,
+    /// Packets dropped (backlog overflow while the kernel was busy).
+    pub dropped_pkts: u64,
+}
+
+impl CrossSummary {
+    /// Forwarded fraction of offered traffic (1.0 when nothing was
+    /// offered).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered_pkts == 0 {
+            1.0
+        } else {
+            self.forwarded_pkts as f64 / self.offered_pkts as f64
+        }
+    }
+}
+
+/// Injects cross-traffic load into a platform model and tracks the
+/// achieved forwarding rate.
+///
+/// On shared-CPU platforms every arriving packet costs interrupt
+/// cycles (highest priority) and kernel forwarding cycles. The kernel
+/// process serializes forwarding with FIB applies, so heavy Phase-3
+/// FIB churn delays forwarding batches; once the backlog exceeds the
+/// ring bound, arrivals drop — reproducing Fig. 6(c). On the IXP2400
+/// the packet processors forward without involving the control CPU at
+/// all, so this type only does the accounting.
+#[derive(Debug)]
+pub struct CrossTraffic {
+    costs: CrossCosts,
+    rate_mbps: f64,
+    carry_pkts: f64,
+    summary: CrossSummary,
+    /// Bits forwarded since the last rate sample.
+    window_bits: f64,
+    last_sample_s: f64,
+    sample_period_s: f64,
+}
+
+impl CrossTraffic {
+    /// Creates an idle (0 Mbps) cross-traffic source.
+    pub fn new(costs: CrossCosts) -> Self {
+        CrossTraffic {
+            costs,
+            rate_mbps: 0.0,
+            carry_pkts: 0.0,
+            summary: CrossSummary::default(),
+            window_bits: 0.0,
+            last_sample_s: 0.0,
+            // One-second windows, matching the paper's Fig. 6(c)
+            // granularity: sub-second FIB-lock outage bursts smooth
+            // into the partial dip the paper plots.
+            sample_period_s: 1.0,
+        }
+    }
+
+    /// Sets the offered load. Rates beyond the platform's forwarding
+    /// limit are clamped, matching the paper's measurement envelope.
+    pub fn set_rate_mbps(&mut self, mbps: f64) {
+        self.rate_mbps = mbps.clamp(0.0, self.costs.max_forward_mbps);
+    }
+
+    /// The current offered load in Mbps.
+    pub fn rate_mbps(&self) -> f64 {
+        self.rate_mbps
+    }
+
+    /// Accumulated accounting.
+    pub fn summary(&self) -> CrossSummary {
+        self.summary
+    }
+
+    /// Called by the owning model every tick: computes arrivals and
+    /// pushes interrupt + kernel work (or forwards directly on a
+    /// dedicated data plane). `kernel_queue_len` is the kernel
+    /// process's current backlog in jobs.
+    pub fn on_tick(
+        &mut self,
+        ctx: &mut TickContext<'_>,
+        tick_secs: f64,
+        irq: ProcessId,
+        kernel: ProcessId,
+        kernel_queue_len: usize,
+    ) {
+        if self.rate_mbps <= 0.0 {
+            self.maybe_sample(ctx);
+            return;
+        }
+        let pps = self.rate_mbps * 1e6 / (f64::from(self.costs.pkt_bytes) * 8.0);
+        self.carry_pkts += pps * tick_secs;
+        let arrivals = self.carry_pkts.floor() as u32;
+        if arrivals == 0 {
+            self.maybe_sample(ctx);
+            return;
+        }
+        self.carry_pkts -= f64::from(arrivals);
+        self.summary.offered_pkts += u64::from(arrivals);
+
+        if self.costs.dedicated_dataplane {
+            // Packet processors forward at line rate; the control CPU
+            // never sees the traffic.
+            self.summary.forwarded_pkts += u64::from(arrivals);
+            self.window_bits += f64::from(arrivals) * f64::from(self.costs.pkt_bytes) * 8.0;
+            self.maybe_sample(ctx);
+            return;
+        }
+
+        // Interrupt work is unconditional: the NIC raises it whether or
+        // not the packet is later dropped.
+        if self.costs.irq_per_pkt > 0.0 {
+            ctx.push(
+                irq,
+                Job::new(JOB_IRQ, f64::from(arrivals) * self.costs.irq_per_pkt)
+                    .with_count(arrivals),
+            );
+        }
+        // Kernel forwarding batches drop once the backlog exceeds the
+        // ring bound (the paper's Fig. 6c loss mechanism).
+        if kernel_queue_len >= self.costs.ring_cap_jobs {
+            self.summary.dropped_pkts += u64::from(arrivals);
+        } else {
+            ctx.push(
+                kernel,
+                Job::new(JOB_KFWD, f64::from(arrivals) * self.costs.kfwd_per_pkt)
+                    .with_count(arrivals),
+            );
+        }
+        self.maybe_sample(ctx);
+    }
+
+    /// Called by the owning model when a kernel forwarding batch
+    /// completes.
+    pub fn on_forwarded(&mut self, count: u32) {
+        self.summary.forwarded_pkts += u64::from(count);
+        self.window_bits += f64::from(count) * f64::from(self.costs.pkt_bytes) * 8.0;
+    }
+
+    fn maybe_sample(&mut self, ctx: &mut TickContext<'_>) {
+        let now = ctx.now().as_secs_f64();
+        if now - self.last_sample_s >= self.sample_period_s {
+            let window = now - self.last_sample_s;
+            let mbps = self.window_bits / window / 1e6;
+            ctx.record("fwd_mbps", mbps);
+            self.window_bits = 0.0;
+            self.last_sample_s = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(dedicated: bool) -> CrossCosts {
+        CrossCosts {
+            irq_per_pkt: 1000.0,
+            kfwd_per_pkt: 1000.0,
+            pkt_bytes: 1500,
+            ring_cap_jobs: 4,
+            max_forward_mbps: 315.0,
+            dedicated_dataplane: dedicated,
+        }
+    }
+
+    #[test]
+    fn rate_is_clamped_to_platform_limit() {
+        let mut cross = CrossTraffic::new(costs(false));
+        cross.set_rate_mbps(1000.0);
+        assert_eq!(cross.rate_mbps(), 315.0);
+        cross.set_rate_mbps(-5.0);
+        assert_eq!(cross.rate_mbps(), 0.0);
+    }
+
+    #[test]
+    fn delivery_ratio_defaults_to_one() {
+        assert_eq!(CrossSummary::default().delivery_ratio(), 1.0);
+        let summary = CrossSummary {
+            offered_pkts: 100,
+            forwarded_pkts: 75,
+            dropped_pkts: 25,
+        };
+        assert_eq!(summary.delivery_ratio(), 0.75);
+    }
+}

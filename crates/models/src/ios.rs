@@ -1,0 +1,395 @@
+//! The black-box commercial-router (IOS) model.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use bgpbench_fib::{Fib, NextHop};
+use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange};
+use bgpbench_simnet::{Job, Model, ProcessBuilder, ProcessId, SchedClass, TickContext};
+use bgpbench_speaker::SpeakerScript;
+use bgpbench_wire::{Asn, RouterId, UpdateMessage};
+
+use crate::costs::IosCosts;
+use crate::crosstraffic::{CrossTraffic, JOB_KFWD};
+use crate::CrossCosts;
+
+const JOB_MSG: u16 = 20;
+const JOB_EXPORT: u16 = 21;
+
+/// Messages buffered ahead of the serialized IOS BGP process.
+const INPUT_LIMIT: usize = 4;
+
+/// The Cisco 3620 model (paper §IV.A.4 treats it as a black box).
+///
+/// Observed behaviour decomposes cleanly: every received UPDATE waits a
+/// fixed process-scheduling delay (~92 ms — idle wait, not CPU) and
+/// then consumes per-prefix processing cycles. Forwarding runs at
+/// kernel priority on the same CPU, so cross-traffic starves the
+/// per-prefix work (collapsing large-packet rates near the 78 Mbps port
+/// limit) while leaving the fixed delay — and therefore small-packet
+/// rates — untouched. Both Fig. 5 Cisco signatures fall out of this
+/// one mechanism.
+#[derive(Debug)]
+pub struct IosModel {
+    costs: IosCosts,
+    ios: ProcessId,
+    kernel: ProcessId,
+    irq: ProcessId,
+    engine: RibEngine,
+    fib: Fib,
+    speakers: Vec<(PeerId, Option<SpeakerScript>, Option<f64>, f64)>,
+    pending: HashMap<u64, (u32, Vec<FibDirective>)>,
+    next_tag: u64,
+    export_queue: VecDeque<UpdateMessage>,
+    cross: CrossTraffic,
+    tick_secs: f64,
+    transactions_done: u64,
+    exported_transactions: u64,
+    local_address: Ipv4Addr,
+}
+
+impl IosModel {
+    /// The default local AS of a simulated router under test.
+    pub const LOCAL_ASN: Asn = Asn(65000);
+
+    /// Builds the model, registering its processes and peers.
+    pub fn new(
+        costs: IosCosts,
+        cross_costs: CrossCosts,
+        tick_secs: f64,
+        builder: &mut ProcessBuilder,
+        speakers: &[PeerInfo],
+    ) -> Self {
+        Self::with_local_asn(costs, cross_costs, tick_secs, builder, speakers, Self::LOCAL_ASN)
+    }
+
+    /// [`IosModel::new`] with an explicit local AS (for chained
+    /// multi-router simulations).
+    pub fn with_local_asn(
+        costs: IosCosts,
+        cross_costs: CrossCosts,
+        tick_secs: f64,
+        builder: &mut ProcessBuilder,
+        speakers: &[PeerInfo],
+        local_asn: Asn,
+    ) -> Self {
+        let ios = builder.add_process("ios_bgp", SchedClass::User);
+        let kernel = builder.add_process("ios_fwd", SchedClass::Kernel);
+        let irq = builder.add_process("interrupts", SchedClass::Interrupt);
+        let local_address = Ipv4Addr::new(10, 0, 0, 1);
+        let mut engine = RibEngine::new(local_asn, RouterId(u32::from(local_address)));
+        let speakers = speakers
+            .iter()
+            .map(|info| (engine.add_peer(*info), None, None, 0.0))
+            .collect();
+        IosModel {
+            costs,
+            ios,
+            kernel,
+            irq,
+            engine,
+            fib: Fib::new(),
+            speakers,
+            pending: HashMap::new(),
+            next_tag: 0,
+            export_queue: VecDeque::new(),
+            cross: CrossTraffic::new(cross_costs),
+            tick_secs,
+            transactions_done: 0,
+            exported_transactions: 0,
+            local_address,
+        }
+    }
+
+    /// Assigns the message stream a speaker will send.
+    pub fn load_script(&mut self, speaker: usize, script: SpeakerScript) {
+        self.speakers[speaker].1 = Some(script);
+        self.speakers[speaker].2 = None;
+        self.speakers[speaker].3 = 0.0;
+    }
+
+    /// Like [`IosModel::load_script`], but paced to `msgs_per_sec`.
+    pub fn load_script_rated(
+        &mut self,
+        speaker: usize,
+        script: SpeakerScript,
+        msgs_per_sec: f64,
+    ) {
+        assert!(msgs_per_sec > 0.0, "rate must be positive");
+        self.speakers[speaker].1 = Some(script);
+        self.speakers[speaker].2 = Some(msgs_per_sec);
+        self.speakers[speaker].3 = 0.0;
+    }
+
+    /// Queues a Phase-2 export toward `speaker`; returns the number of
+    /// UPDATE messages queued.
+    pub fn queue_export(&mut self, speaker: usize, prefixes_per_update: usize) -> usize {
+        let peer = self.speakers[speaker].0;
+        let routes = self.engine.export_routes(peer, self.local_address);
+        let mut adj_out = AdjRibOut::new();
+        let actions = adj_out.sync(routes);
+        let updates = AdjRibOut::to_updates(&actions, prefixes_per_update);
+        let n = updates.len();
+        self.export_queue.extend(updates);
+        n
+    }
+
+    /// Prefix-level transactions fully processed.
+    pub fn transactions_done(&self) -> u64 {
+        self.transactions_done
+    }
+
+    /// Prefix-level transactions advertised in Phase-2 exports.
+    pub fn exported_transactions(&self) -> u64 {
+        self.exported_transactions
+    }
+
+    /// Whether all loaded work has drained.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+            && self.export_queue.is_empty()
+            && self
+                .speakers
+                .iter()
+                .all(|(_, s, _, _)| s.as_ref().is_none_or(SpeakerScript::is_exhausted))
+    }
+
+    /// Sets the cross-traffic offered load.
+    pub fn set_cross_rate_mbps(&mut self, mbps: f64) {
+        self.cross.set_rate_mbps(mbps);
+    }
+
+    /// Cross-traffic accounting so far.
+    pub fn cross_summary(&self) -> crate::CrossSummary {
+        self.cross.summary()
+    }
+
+    /// The routing engine.
+    pub fn engine(&self) -> &RibEngine {
+        &self.engine
+    }
+
+    /// The forwarding table.
+    pub fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    fn cost_of(&self, change: RouteChange, is_withdrawal: bool) -> f64 {
+        match change {
+            RouteChange::Installed => self.costs.ann_fib,
+            RouteChange::Replaced { .. } => self.costs.replace,
+            RouteChange::Withdrawn | RouteChange::WithdrawnUnknown => self.costs.withdraw,
+            RouteChange::Unchanged if is_withdrawal => self.costs.withdraw,
+            RouteChange::Unchanged
+            | RouteChange::RejectedByPolicy
+            | RouteChange::RejectedAsLoop
+            | RouteChange::Dampened => self.costs.nochange,
+        }
+    }
+}
+
+impl Model for IosModel {
+    fn on_tick(&mut self, ctx: &mut TickContext<'_>) {
+        let kernel_backlog = ctx.queue_len(self.kernel);
+        self.cross
+            .on_tick(ctx, self.tick_secs, self.irq, self.kernel, kernel_backlog);
+
+        let mut room = INPUT_LIMIT.saturating_sub(ctx.queue_len(self.ios));
+        for idx in 0..self.speakers.len() {
+            let mut allowance = match self.speakers[idx].2 {
+                Some(rate) => {
+                    self.speakers[idx].3 += rate * self.tick_secs;
+                    let whole = self.speakers[idx].3.floor();
+                    self.speakers[idx].3 -= whole;
+                    whole as usize
+                }
+                None => usize::MAX,
+            };
+            while room > 0 && allowance > 0 {
+                allowance -= 1;
+                let Some(script) = self.speakers[idx].1.as_mut() else {
+                    break;
+                };
+                let batch = script.take(1);
+                let Some(update) = batch.first().cloned() else {
+                    break;
+                };
+                let peer = self.speakers[idx].0;
+                let n_wd = update.withdrawn().len();
+                let outcomes = self
+                    .engine
+                    .apply_update(peer, &update)
+                    .expect("benchmark updates are well-formed");
+                let mut cycles = 0.0;
+                let mut directives = Vec::new();
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    cycles += self.cost_of(outcome.change, i < n_wd);
+                    if let Some(directive) = outcome.fib {
+                        directives.push(directive);
+                    }
+                }
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                let count = outcomes.len() as u32;
+                self.pending.insert(tag, (count, directives));
+                ctx.push(
+                    self.ios,
+                    Job::new(JOB_MSG, cycles)
+                        .with_tag(tag)
+                        .with_count(count)
+                        .with_delay_ns(self.costs.pkt_delay_ns),
+                );
+                room -= 1;
+            }
+        }
+
+        while room > 0 {
+            let Some(update) = self.export_queue.pop_front() else {
+                break;
+            };
+            let n = update.transaction_count() as u32;
+            ctx.push(
+                self.ios,
+                Job::new(JOB_EXPORT, f64::from(n) * self.costs.nochange).with_count(n),
+            );
+            room -= 1;
+        }
+    }
+
+    fn on_job_complete(&mut self, _pid: ProcessId, job: Job, _ctx: &mut TickContext<'_>) {
+        match job.kind {
+            JOB_MSG => {
+                let (count, directives) = self
+                    .pending
+                    .remove(&job.tag)
+                    .expect("completion without pending entry");
+                for directive in directives {
+                    match directive {
+                        FibDirective::Install { prefix, next_hop } => {
+                            self.fib.insert(prefix, NextHop::new(next_hop, 0));
+                        }
+                        FibDirective::Remove { prefix } => {
+                            self.fib.remove(&prefix);
+                        }
+                    }
+                }
+                self.transactions_done += u64::from(count);
+            }
+            JOB_EXPORT => {
+                self.exported_transactions += u64::from(job.count);
+            }
+            JOB_KFWD => {
+                self.cross.on_forwarded(job.count);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpbench_simnet::{SimConfig, SimDuration, Simulator};
+    use bgpbench_speaker::{workload, TableGenerator};
+
+    fn cisco_sim() -> Simulator<IosModel> {
+        let spec = crate::cisco3620();
+        let config = SimConfig::new(vec![spec.core; spec.cores]);
+        let tick = config.tick.as_secs_f64();
+        Simulator::new(config, |builder| {
+            let crate::PlatformKind::Ios(costs) = spec.kind else {
+                unreachable!()
+            };
+            IosModel::new(
+                costs,
+                spec.cross,
+                tick,
+                builder,
+                &[
+                    PeerInfo::new(
+                        PeerId(1),
+                        Asn(65001),
+                        RouterId(0x0A00_0002),
+                        Ipv4Addr::new(10, 0, 0, 2),
+                    ),
+                    PeerInfo::new(
+                        PeerId(2),
+                        Asn(65002),
+                        RouterId(0x0A00_0003),
+                        Ipv4Addr::new(10, 0, 0, 3),
+                    ),
+                ],
+            )
+        })
+    }
+
+    fn spec_for(pkt: usize) -> workload::AnnounceSpec {
+        workload::AnnounceSpec {
+            speaker_asn: Asn(65001),
+            path_len: 3,
+            next_hop: Ipv4Addr::new(10, 0, 0, 2),
+            prefixes_per_update: pkt,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn small_packet_rate_is_near_eleven_per_second() {
+        // The paper's signature Cisco result: ~10.7 transactions/s on
+        // small packets regardless of scenario.
+        let mut sim = cisco_sim();
+        let table = TableGenerator::new(1).generate(30);
+        sim.model_mut().load_script(
+            0,
+            SpeakerScript::new(workload::announcements(&table, &spec_for(1))),
+        );
+        let outcome = sim.run(SimDuration::from_secs(60));
+        let tps = 30.0 / outcome.elapsed.as_secs_f64();
+        assert!((8.0..13.0).contains(&tps), "small-packet rate {tps}");
+    }
+
+    #[test]
+    fn large_packets_amortize_the_scheduling_delay() {
+        let mut sim = cisco_sim();
+        let table = TableGenerator::new(1).generate(2000);
+        sim.model_mut().load_script(
+            0,
+            SpeakerScript::new(workload::announcements(&table, &spec_for(500))),
+        );
+        let outcome = sim.run(SimDuration::from_secs(60));
+        let tps = 2000.0 / outcome.elapsed.as_secs_f64();
+        assert!(
+            (1800.0..3200.0).contains(&tps),
+            "large-packet rate {tps} outside the calibrated band"
+        );
+        assert_eq!(sim.model().fib().len(), 2000);
+    }
+
+    #[test]
+    fn cross_traffic_collapses_large_packet_rates_only() {
+        let table = TableGenerator::new(1).generate(500);
+        let rate = |pkt: usize, mbps: f64| {
+            let mut sim = cisco_sim();
+            sim.model_mut().set_cross_rate_mbps(mbps);
+            sim.model_mut().load_script(
+                0,
+                SpeakerScript::new(workload::announcements(&table, &spec_for(pkt))),
+            );
+            let done = |m: &IosModel| m.transactions_done() >= 100;
+            let outcome = sim.run_until(SimDuration::from_secs(200), done);
+            sim.model().transactions_done() as f64 / outcome.elapsed.as_secs_f64()
+        };
+        let large_idle = rate(500, 0.0);
+        let large_loaded = rate(500, 75.0);
+        assert!(
+            large_loaded < large_idle / 3.0,
+            "large-packet rate must collapse: {large_idle} -> {large_loaded}"
+        );
+        let small_idle = rate(1, 0.0);
+        let small_loaded = rate(1, 75.0);
+        assert!(
+            small_loaded > small_idle * 0.7,
+            "small-packet rate must stay flat: {small_idle} -> {small_loaded}"
+        );
+    }
+}

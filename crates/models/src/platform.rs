@@ -1,0 +1,187 @@
+//! The four benchmarked platforms (paper Table II).
+
+use bgpbench_simnet::CoreSpec;
+
+use crate::costs::{CrossCosts, IosCosts, XorpCosts};
+
+/// Which software model a platform runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlatformKind {
+    /// The XORP five-process pipeline.
+    Xorp(XorpCosts),
+    /// The black-box IOS model.
+    Ios(IosCosts),
+}
+
+/// A complete platform description: control CPU, software model, and
+/// cross-traffic coupling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Display name matching the paper's Table II ("Pentium III",
+    /// "Xeon", "IXP2400", "Cisco").
+    pub name: &'static str,
+    /// Control CPU core speed (reference cycles per second).
+    pub core: CoreSpec,
+    /// Number of control CPU cores.
+    pub cores: usize,
+    /// The software model and its cost table.
+    pub kind: PlatformKind,
+    /// Cross-traffic coupling parameters.
+    pub cross: CrossCosts,
+}
+
+/// The uni-core router: 800 MHz Pentium III, 256 MB, Linux 2.6.18,
+/// XORP 1.3, PCI32 NICs (forwarding tops out at 315 Mbps).
+pub fn pentium3() -> PlatformSpec {
+    PlatformSpec {
+        name: "Pentium III",
+        core: CoreSpec::ghz(0.8),
+        cores: 1,
+        kind: PlatformKind::Xorp(XorpCosts::pentium3()),
+        cross: CrossCosts {
+            irq_per_pkt: 4_000.0,
+            kfwd_per_pkt: 4_000.0,
+            pkt_bytes: 1_500,
+            ring_cap_jobs: 6,
+            max_forward_mbps: 315.0,
+            dedicated_dataplane: false,
+        },
+    }
+}
+
+/// The dual-core router: 3.0 GHz dual-core Xeon, 2 GB, Linux 2.6.18,
+/// XORP 1.3, PCI Express NICs (forwarding tops out at 784 Mbps).
+pub fn xeon() -> PlatformSpec {
+    PlatformSpec {
+        name: "Xeon",
+        core: CoreSpec::ghz(3.0),
+        cores: 2,
+        kind: PlatformKind::Xorp(XorpCosts::xeon()),
+        cross: CrossCosts {
+            irq_per_pkt: 6_000.0,
+            kfwd_per_pkt: 6_000.0,
+            pkt_bytes: 1_500,
+            ring_cap_jobs: 6,
+            max_forward_mbps: 784.0,
+            dedicated_dataplane: false,
+        },
+    }
+}
+
+/// The network processor router: Intel IXP2400 — eight packet
+/// processors forward at up to 940 Mbps while the 600 MHz XScale runs
+/// XORP 1.3 on Linux 2.4.18. Forwarding never touches the control CPU.
+pub fn ixp2400() -> PlatformSpec {
+    PlatformSpec {
+        name: "IXP2400",
+        core: CoreSpec::ghz(0.6),
+        cores: 1,
+        kind: PlatformKind::Xorp(XorpCosts::ixp2400()),
+        cross: CrossCosts {
+            irq_per_pkt: 0.0,
+            kfwd_per_pkt: 0.0,
+            pkt_bytes: 1_500,
+            ring_cap_jobs: 64,
+            max_forward_mbps: 940.0,
+            dedicated_dataplane: true,
+        },
+    }
+}
+
+/// The commercial router: Cisco 3620 running IOS 12.1(5)YB, treated as
+/// a black box. 100 Mbps ports limit forwarding to 78 Mbps.
+pub fn cisco3620() -> PlatformSpec {
+    PlatformSpec {
+        name: "Cisco",
+        core: CoreSpec { hz: 0.1e9 },
+        cores: 1,
+        kind: PlatformKind::Ios(IosCosts::cisco3620()),
+        cross: CrossCosts {
+            irq_per_pkt: 500.0,
+            kfwd_per_pkt: 14_500.0,
+            pkt_bytes: 1_500,
+            ring_cap_jobs: 6,
+            max_forward_mbps: 78.0,
+            dedicated_dataplane: false,
+        },
+    }
+}
+
+/// All four platforms in the paper's column order.
+pub fn all_platforms() -> [PlatformSpec; 4] {
+    [pentium3(), xeon(), ixp2400(), cisco3620()]
+}
+
+/// A hypothetical future platform for design-space exploration: the
+/// Xeon's software stack on `cores` control cores, each `speedup`×
+/// the 2007 Xeon's per-core speed.
+///
+/// The paper's §V.C asks what it would take to survive worm-scale
+/// update storms (≥ 10 000 messages/s); this constructor lets the
+/// `worm_survival` example answer that question within the model.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or `speedup` is not strictly positive.
+pub fn hypothetical(cores: usize, speedup: f64) -> PlatformSpec {
+    assert!(cores >= 1, "a platform needs at least one core");
+    assert!(speedup > 0.0, "speedup must be positive");
+    let base = xeon();
+    PlatformSpec {
+        name: "Hypothetical",
+        core: CoreSpec {
+            hz: base.core.hz * speedup,
+        },
+        cores,
+        kind: base.kind,
+        cross: base.cross,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_platforms_with_paper_names() {
+        let names: Vec<&str> = all_platforms().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["Pentium III", "Xeon", "IXP2400", "Cisco"]);
+    }
+
+    #[test]
+    fn forwarding_limits_match_the_paper() {
+        let limits: Vec<f64> = all_platforms()
+            .iter()
+            .map(|p| p.cross.max_forward_mbps)
+            .collect();
+        assert_eq!(limits, vec![315.0, 784.0, 940.0, 78.0]);
+    }
+
+    #[test]
+    fn only_the_xeon_is_multicore() {
+        for platform in all_platforms() {
+            let expected = if platform.name == "Xeon" { 2 } else { 1 };
+            assert_eq!(platform.cores, expected, "{}", platform.name);
+        }
+    }
+
+    #[test]
+    fn only_the_ixp_has_a_dedicated_dataplane() {
+        for platform in all_platforms() {
+            assert_eq!(
+                platform.cross.dedicated_dataplane,
+                platform.name == "IXP2400",
+                "{}",
+                platform.name
+            );
+        }
+    }
+
+    #[test]
+    fn only_the_cisco_runs_ios() {
+        for platform in all_platforms() {
+            let is_ios = matches!(platform.kind, PlatformKind::Ios(_));
+            assert_eq!(is_ios, platform.name == "Cisco", "{}", platform.name);
+        }
+    }
+}

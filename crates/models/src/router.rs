@@ -1,0 +1,380 @@
+//! A uniform front over the two platform models.
+
+use std::net::Ipv4Addr;
+
+use bgpbench_rib::{PeerId, PeerInfo};
+use bgpbench_simnet::{Recorder, RunOutcome, SimConfig, SimDuration, Simulator};
+use bgpbench_speaker::SpeakerScript;
+use bgpbench_wire::{Asn, RouterId};
+
+use crate::ios::IosModel;
+use crate::platform::{PlatformKind, PlatformSpec};
+use crate::xorp::XorpModel;
+use crate::CrossSummary;
+
+/// Index of a speaker attached to a [`SimRouter`] (0 = Speaker 1,
+/// 1 = Speaker 2, matching the paper's Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeakerHandle(pub usize);
+
+/// Speaker 1 of the benchmark setup.
+pub const SPEAKER_1: SpeakerHandle = SpeakerHandle(0);
+/// Speaker 2 of the benchmark setup.
+pub const SPEAKER_2: SpeakerHandle = SpeakerHandle(1);
+
+#[derive(Debug)]
+enum Inner {
+    Xorp(Simulator<XorpModel>),
+    Ios(Simulator<IosModel>),
+}
+
+/// A simulated router under test: one of the four platforms wired to
+/// the benchmark's two speakers.
+///
+/// ```
+/// use bgpbench_models::{pentium3, SimRouter, SPEAKER_1};
+/// use bgpbench_speaker::{workload, SpeakerScript, TableGenerator};
+/// use bgpbench_wire::Asn;
+/// use std::net::Ipv4Addr;
+///
+/// let mut router = SimRouter::new(&pentium3());
+/// let table = TableGenerator::new(1).generate(100);
+/// let updates = workload::announcements(&table, &workload::AnnounceSpec {
+///     speaker_asn: Asn(65001),
+///     path_len: 3,
+///     next_hop: Ipv4Addr::new(10, 0, 0, 2),
+///     prefixes_per_update: 500,
+///     seed: 1,
+/// });
+/// router.load_script(SPEAKER_1, SpeakerScript::new(updates));
+/// let elapsed = router.run_until_transactions(100, 60.0);
+/// assert!(elapsed.is_some());
+/// assert_eq!(router.fib_len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct SimRouter {
+    spec: PlatformSpec,
+    inner: Inner,
+}
+
+impl SimRouter {
+    /// Builds a router of the given platform with the benchmark's two
+    /// speakers attached (AS 65001 at 10.0.0.2 and AS 65002 at
+    /// 10.0.0.3).
+    pub fn new(spec: &PlatformSpec) -> Self {
+        Self::with_local_asn(spec, Asn(65000))
+    }
+
+    /// [`SimRouter::new`] with an explicit local AS — needed when
+    /// chaining several simulated routers (each must have a distinct
+    /// AS, or loop prevention rejects re-exported routes).
+    pub fn with_local_asn(spec: &PlatformSpec, local_asn: Asn) -> Self {
+        let config = SimConfig::new(vec![spec.core; spec.cores]);
+        let tick_secs = config.tick.as_secs_f64();
+        let speakers = [
+            PeerInfo::new(
+                PeerId(1),
+                Asn(65001),
+                RouterId(0x0A00_0002),
+                Ipv4Addr::new(10, 0, 0, 2),
+            ),
+            PeerInfo::new(
+                PeerId(2),
+                Asn(65002),
+                RouterId(0x0A00_0003),
+                Ipv4Addr::new(10, 0, 0, 3),
+            ),
+        ];
+        let inner = match spec.kind {
+            PlatformKind::Xorp(costs) => {
+                let cross = spec.cross;
+                let hz = spec.core.hz;
+                Inner::Xorp(Simulator::new(config, |builder| {
+                    XorpModel::with_local_asn(
+                        costs, cross, hz, tick_secs, builder, &speakers, local_asn,
+                    )
+                }))
+            }
+            PlatformKind::Ios(costs) => {
+                let cross = spec.cross;
+                Inner::Ios(Simulator::new(config, |builder| {
+                    IosModel::with_local_asn(
+                        costs, cross, tick_secs, builder, &speakers, local_asn,
+                    )
+                }))
+            }
+        };
+        SimRouter {
+            spec: spec.clone(),
+            inner,
+        }
+    }
+
+    /// Computes the UPDATE messages a Phase-2 export toward `speaker`
+    /// would carry, without queueing any simulated work — the handoff
+    /// point for chaining routers (hop k's exports become hop k+1's
+    /// input script).
+    pub fn export_messages(
+        &self,
+        speaker: SpeakerHandle,
+        prefixes_per_update: usize,
+    ) -> Vec<bgpbench_wire::UpdateMessage> {
+        use bgpbench_rib::AdjRibOut;
+        let local_address = Ipv4Addr::new(10, 0, 0, 1);
+        let engine = match &self.inner {
+            Inner::Xorp(sim) => sim.model().engine(),
+            Inner::Ios(sim) => sim.model().engine(),
+        };
+        let peer = PeerId(speaker.0 as u32 + 1);
+        let routes = engine.export_routes(peer, local_address);
+        let mut adj_out = AdjRibOut::new();
+        let actions = adj_out.sync(routes);
+        AdjRibOut::to_updates(&actions, prefixes_per_update)
+    }
+
+    /// The platform this router models.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Assigns the stream a speaker sends next.
+    pub fn load_script(&mut self, speaker: SpeakerHandle, script: SpeakerScript) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().load_script(speaker.0, script),
+            Inner::Ios(sim) => sim.model_mut().load_script(speaker.0, script),
+        }
+    }
+
+    /// Assigns a stream the speaker paces to `msgs_per_sec` instead of
+    /// flooding — for steady-state experiments at the paper's "order
+    /// of 100 BGP messages per second" operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msgs_per_sec` is not strictly positive.
+    pub fn load_script_rated(
+        &mut self,
+        speaker: SpeakerHandle,
+        script: SpeakerScript,
+        msgs_per_sec: f64,
+    ) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => {
+                sim.model_mut()
+                    .load_script_rated(speaker.0, script, msgs_per_sec)
+            }
+            Inner::Ios(sim) => {
+                sim.model_mut()
+                    .load_script_rated(speaker.0, script, msgs_per_sec)
+            }
+        }
+    }
+
+    /// Mean CPU load (percent of one core) of a recorded process
+    /// channel over `[from, to)` seconds — steady-state utilization
+    /// readout.
+    pub fn mean_cpu_pct(&self, process: &str, from: f64, to: f64) -> f64 {
+        self.recorder()
+            .series(&format!("cpu:{process}"))
+            .map(|series| series.mean_between(from, to))
+            .unwrap_or(0.0)
+    }
+
+    /// Queues a Phase-2 full-table export toward a speaker; returns
+    /// the number of UPDATE messages queued.
+    pub fn queue_export(&mut self, speaker: SpeakerHandle, prefixes_per_update: usize) -> usize {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().queue_export(speaker.0, prefixes_per_update),
+            Inner::Ios(sim) => sim.model_mut().queue_export(speaker.0, prefixes_per_update),
+        }
+    }
+
+    /// Sets the cross-traffic offered load in Mbps (clamped to the
+    /// platform's forwarding limit).
+    pub fn set_cross_traffic_mbps(&mut self, mbps: f64) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().set_cross_rate_mbps(mbps),
+            Inner::Ios(sim) => sim.model_mut().set_cross_rate_mbps(mbps),
+        }
+    }
+
+    /// Prefix-level transactions fully processed so far.
+    pub fn transactions_done(&self) -> u64 {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.model().transactions_done(),
+            Inner::Ios(sim) => sim.model().transactions_done(),
+        }
+    }
+
+    /// Phase-2 transactions advertised so far.
+    pub fn exported_transactions(&self) -> u64 {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.model().exported_transactions(),
+            Inner::Ios(sim) => sim.model().exported_transactions(),
+        }
+    }
+
+    /// Runs until `target` total transactions have been processed.
+    /// Returns the simulated seconds this call took, or `None` if
+    /// `limit_secs` elapsed first.
+    pub fn run_until_transactions(&mut self, target: u64, limit_secs: f64) -> Option<f64> {
+        let limit = SimDuration::from_secs_f64(limit_secs);
+        let outcome = match &mut self.inner {
+            Inner::Xorp(sim) => {
+                sim.run_until(limit, |m| m.transactions_done() >= target)
+            }
+            Inner::Ios(sim) => sim.run_until(limit, |m| m.transactions_done() >= target),
+        };
+        finished(outcome, target, self.transactions_done())
+    }
+
+    /// Runs until `target` total exported transactions have been sent.
+    pub fn run_until_exports(&mut self, target: u64, limit_secs: f64) -> Option<f64> {
+        let limit = SimDuration::from_secs_f64(limit_secs);
+        let outcome = match &mut self.inner {
+            Inner::Xorp(sim) => {
+                sim.run_until(limit, |m| m.exported_transactions() >= target)
+            }
+            Inner::Ios(sim) => sim.run_until(limit, |m| m.exported_transactions() >= target),
+        };
+        finished(outcome, target, self.exported_transactions())
+    }
+
+    /// Runs for a fixed simulated duration regardless of progress.
+    pub fn run_for(&mut self, secs: f64) {
+        let limit = SimDuration::from_secs_f64(secs);
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.run_for(limit),
+            Inner::Ios(sim) => sim.run_for(limit),
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.now().as_secs_f64(),
+            Inner::Ios(sim) => sim.now().as_secs_f64(),
+        }
+    }
+
+    /// Number of routes selected into the Loc-RIB.
+    pub fn loc_rib_len(&self) -> usize {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.model().engine().loc_rib().len(),
+            Inner::Ios(sim) => sim.model().engine().loc_rib().len(),
+        }
+    }
+
+    /// Number of routes installed in the forwarding table.
+    pub fn fib_len(&self) -> usize {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.model().fib().len(),
+            Inner::Ios(sim) => sim.model().fib().len(),
+        }
+    }
+
+    /// Cross-traffic accounting.
+    pub fn cross_summary(&self) -> CrossSummary {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.model().cross_summary(),
+            Inner::Ios(sim) => sim.model().cross_summary(),
+        }
+    }
+
+    /// The recorder with CPU-load and forwarding-rate series.
+    pub fn recorder(&self) -> &Recorder {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.recorder(),
+            Inner::Ios(sim) => sim.recorder(),
+        }
+    }
+
+    /// Places a phase mark at the current simulated time.
+    pub fn mark(&mut self, label: &str) {
+        let now = self.now_secs();
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.recorder_mut().mark(label, now),
+            Inner::Ios(sim) => sim.recorder_mut().mark(label, now),
+        }
+    }
+}
+
+fn finished(outcome: RunOutcome, target: u64, achieved: u64) -> Option<f64> {
+    if achieved >= target {
+        Some(outcome.elapsed.as_secs_f64())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{all_platforms, cisco3620, pentium3};
+    use bgpbench_speaker::{workload, TableGenerator};
+
+    fn announce_spec(pkt: usize, path_len: usize, asn: u16) -> workload::AnnounceSpec {
+        workload::AnnounceSpec {
+            speaker_asn: Asn(asn),
+            path_len,
+            next_hop: Ipv4Addr::new(10, 0, 0, if asn == 65001 { 2 } else { 3 }),
+            prefixes_per_update: pkt,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_platforms_construct_and_process() {
+        let table = TableGenerator::new(1).generate(20);
+        for spec in all_platforms() {
+            let mut router = SimRouter::new(&spec);
+            router.load_script(
+                SPEAKER_1,
+                SpeakerScript::new(workload::announcements(&table, &announce_spec(500, 3, 65001))),
+            );
+            let elapsed = router.run_until_transactions(20, 120.0);
+            assert!(elapsed.is_some(), "{} timed out", spec.name);
+            assert_eq!(router.fib_len(), 20, "{}", spec.name);
+            assert_eq!(router.loc_rib_len(), 20, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn phase_marks_are_recorded() {
+        let mut router = SimRouter::new(&pentium3());
+        router.mark("phase 1");
+        router.run_for(0.5);
+        router.mark("phase 2");
+        assert_eq!(router.recorder().mark_time("phase 1"), Some(0.0));
+        assert_eq!(router.recorder().mark_time("phase 2"), Some(0.5));
+    }
+
+    #[test]
+    fn run_until_transactions_times_out_gracefully() {
+        let mut router = SimRouter::new(&cisco3620());
+        let table = TableGenerator::new(1).generate(100);
+        router.load_script(
+            SPEAKER_1,
+            SpeakerScript::new(workload::announcements(&table, &announce_spec(1, 3, 65001))),
+        );
+        // 100 small packets on the Cisco take ~9 s; 1 s must time out.
+        assert_eq!(router.run_until_transactions(100, 1.0), None);
+        // But progress was made and can be completed afterwards.
+        assert!(router.transactions_done() > 0);
+        assert!(router.run_until_transactions(100, 60.0).is_some());
+    }
+
+    #[test]
+    fn export_roundtrip_via_wrapper() {
+        let mut router = SimRouter::new(&pentium3());
+        let table = TableGenerator::new(1).generate(150);
+        router.load_script(
+            SPEAKER_1,
+            SpeakerScript::new(workload::announcements(&table, &announce_spec(500, 3, 65001))),
+        );
+        router.run_until_transactions(150, 60.0).unwrap();
+        let queued = router.queue_export(SPEAKER_2, 500);
+        assert!(queued >= 1);
+        assert!(router.run_until_exports(150, 60.0).is_some());
+    }
+}

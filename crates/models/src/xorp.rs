@@ -1,0 +1,725 @@
+//! The XORP software-router model: five cooperating processes running
+//! the real RIB engine and FIB, with calibrated per-stage cycle costs.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use bgpbench_fib::{Fib, NextHop};
+use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange};
+use bgpbench_simnet::{Job, Model, ProcessBuilder, ProcessId, SchedClass, TickContext};
+use bgpbench_speaker::SpeakerScript;
+use bgpbench_wire::{Asn, RouterId, UpdateMessage};
+
+use crate::costs::XorpCosts;
+use crate::crosstraffic::{CrossTraffic, JOB_KFWD};
+use crate::CrossCosts;
+
+const JOB_PARSE: u16 = 1;
+const JOB_POLICY: u16 = 2;
+const JOB_DECIDE: u16 = 3;
+const JOB_RIB: u16 = 4;
+const JOB_FEA: u16 = 5;
+const JOB_KFIB: u16 = 6;
+const JOB_EXPORT: u16 = 7;
+const JOB_RTRMGR: u16 = 8;
+
+/// How many received-but-unparsed messages the BGP process buffers
+/// before TCP backpressure stops the speaker (socket receive buffer).
+const INPUT_LIMIT: usize = 8;
+
+/// Backlog cap for the periodic `xorp_rtrmgr` housekeeping.
+const RTRMGR_BACKLOG: usize = 4;
+
+/// Maximum UPDATE messages in flight across the whole pipeline —
+/// XORP's bounded inter-process (XRL) queues. This is what makes the
+/// paper's Fig. 4 contrast: with small packets the bound keeps
+/// `xorp_bgp` pacing itself to the pipeline for the entire run, while
+/// with large packets the same bound holds thousands of prefixes, so
+/// parsing races ahead and finishes early.
+const PIPELINE_LIMIT: usize = 16;
+
+/// The process handles of the XORP model.
+#[derive(Debug, Clone, Copy)]
+struct Procs {
+    bgp: ProcessId,
+    policy: ProcessId,
+    rib: ProcessId,
+    fea: ProcessId,
+    rtrmgr: ProcessId,
+    kernel: ProcessId,
+    irq: ProcessId,
+}
+
+/// Stage costs and bookkeeping for one in-flight UPDATE.
+#[derive(Debug)]
+struct Pending {
+    transactions: u32,
+    policy_cycles: f64,
+    decide_cycles: f64,
+    rib_cycles: f64,
+    fea_cycles: f64,
+    kfib_cycles: f64,
+    directives: Vec<FibDirective>,
+}
+
+/// Per-speaker connection state.
+#[derive(Debug)]
+struct Speaker {
+    peer: PeerId,
+    script: Option<SpeakerScript>,
+    /// Messages per second the speaker is throttled to (`None` =
+    /// as fast as flow control allows, the benchmark default).
+    rate_msgs_per_sec: Option<f64>,
+    /// Fractional-message carry for rated injection.
+    carry: f64,
+}
+
+/// The XORP 1.3 software model (paper §IV.B): `xorp_bgp`,
+/// `xorp_policy`, `xorp_rib`, `xorp_fea`, and `xorp_rtrmgr` as
+/// user-space processes, plus kernel forwarding/route-apply and
+/// interrupt handling. Runs the real [`RibEngine`] and [`Fib`]; the
+/// cost table only decides *when* things happen, never *what*.
+#[derive(Debug)]
+pub struct XorpModel {
+    costs: XorpCosts,
+    cpu_hz: f64,
+    tick_secs: f64,
+    procs: Procs,
+    engine: RibEngine,
+    fib: Fib,
+    speakers: Vec<Speaker>,
+    inbox: HashMap<u64, (PeerId, UpdateMessage)>,
+    pending: HashMap<u64, Pending>,
+    next_tag: u64,
+    export_queue: VecDeque<UpdateMessage>,
+    cross: CrossTraffic,
+    transactions_done: u64,
+    exported_transactions: u64,
+    local_address: Ipv4Addr,
+    /// Last time (seconds) pipeline backlogs were sampled.
+    last_backlog_sample_s: f64,
+}
+
+impl XorpModel {
+    /// The default local AS of a simulated router under test.
+    pub const LOCAL_ASN: Asn = Asn(65000);
+
+    /// Builds the model, registering its seven processes with
+    /// `builder` and one RIB peer per entry of `speakers`.
+    pub fn new(
+        costs: XorpCosts,
+        cross_costs: CrossCosts,
+        cpu_hz: f64,
+        tick_secs: f64,
+        builder: &mut ProcessBuilder,
+        speakers: &[PeerInfo],
+    ) -> Self {
+        Self::with_local_asn(
+            costs,
+            cross_costs,
+            cpu_hz,
+            tick_secs,
+            builder,
+            speakers,
+            Self::LOCAL_ASN,
+        )
+    }
+
+    /// [`XorpModel::new`] with an explicit local AS — required when
+    /// several simulated routers are chained (each AS must be distinct
+    /// or loop prevention discards the re-exported routes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_local_asn(
+        costs: XorpCosts,
+        cross_costs: CrossCosts,
+        cpu_hz: f64,
+        tick_secs: f64,
+        builder: &mut ProcessBuilder,
+        speakers: &[PeerInfo],
+        local_asn: Asn,
+    ) -> Self {
+        let procs = Procs {
+            bgp: builder.add_process("xorp_bgp", SchedClass::User),
+            policy: builder.add_process("xorp_policy", SchedClass::User),
+            rib: builder.add_process("xorp_rib", SchedClass::User),
+            fea: builder.add_process("xorp_fea", SchedClass::User),
+            rtrmgr: builder.add_process("xorp_rtrmgr", SchedClass::User),
+            kernel: builder.add_process("kernel", SchedClass::Kernel),
+            irq: builder.add_process("interrupts", SchedClass::Interrupt),
+        };
+        let local_address = Ipv4Addr::new(10, 0, 0, 1);
+        let mut engine = RibEngine::new(local_asn, RouterId(u32::from(local_address)));
+        let speakers = speakers
+            .iter()
+            .map(|info| Speaker {
+                peer: engine.add_peer(*info),
+                script: None,
+                rate_msgs_per_sec: None,
+                carry: 0.0,
+            })
+            .collect();
+        XorpModel {
+            costs,
+            cpu_hz,
+            tick_secs,
+            procs,
+            engine,
+            fib: Fib::new(),
+            speakers,
+            inbox: HashMap::new(),
+            pending: HashMap::new(),
+            next_tag: 0,
+            export_queue: VecDeque::new(),
+            cross: CrossTraffic::new(cross_costs),
+            transactions_done: 0,
+            exported_transactions: 0,
+            local_address,
+            last_backlog_sample_s: 0.0,
+        }
+    }
+
+    /// Assigns the message stream a speaker will send. Replaces any
+    /// unfinished previous script.
+    pub fn load_script(&mut self, speaker: usize, script: SpeakerScript) {
+        self.speakers[speaker].script = Some(script);
+        self.speakers[speaker].rate_msgs_per_sec = None;
+        self.speakers[speaker].carry = 0.0;
+    }
+
+    /// Like [`XorpModel::load_script`], but the speaker paces itself to
+    /// `msgs_per_sec` instead of flooding — the steady-state operation
+    /// the paper cites ("in the order of 100 BGP messages per second").
+    pub fn load_script_rated(
+        &mut self,
+        speaker: usize,
+        script: SpeakerScript,
+        msgs_per_sec: f64,
+    ) {
+        assert!(msgs_per_sec > 0.0, "rate must be positive");
+        self.speakers[speaker].script = Some(script);
+        self.speakers[speaker].rate_msgs_per_sec = Some(msgs_per_sec);
+        self.speakers[speaker].carry = 0.0;
+    }
+
+    /// Queues a Phase-2 full-table export toward `speaker`, packetized
+    /// at `prefixes_per_update`. Returns the number of UPDATE messages
+    /// queued.
+    pub fn queue_export(&mut self, speaker: usize, prefixes_per_update: usize) -> usize {
+        let peer = self.speakers[speaker].peer;
+        let routes = self.engine.export_routes(peer, self.local_address);
+        let mut adj_out = AdjRibOut::new();
+        let actions = adj_out.sync(routes);
+        let updates = AdjRibOut::to_updates(&actions, prefixes_per_update);
+        let n = updates.len();
+        self.export_queue.extend(updates);
+        n
+    }
+
+    /// Prefix-level transactions fully processed (through the FIB when
+    /// the scenario requires it) — the benchmark's counted unit.
+    pub fn transactions_done(&self) -> u64 {
+        self.transactions_done
+    }
+
+    /// Prefix-level transactions advertised in Phase-2 exports.
+    pub fn exported_transactions(&self) -> u64 {
+        self.exported_transactions
+    }
+
+    /// Whether all loaded scripts, exports, and in-flight work have
+    /// drained.
+    pub fn is_quiescent(&self) -> bool {
+        self.inbox.is_empty()
+            && self.pending.is_empty()
+            && self.export_queue.is_empty()
+            && self
+                .speakers
+                .iter()
+                .all(|s| s.script.as_ref().is_none_or(SpeakerScript::is_exhausted))
+    }
+
+    /// Sets the cross-traffic offered load.
+    pub fn set_cross_rate_mbps(&mut self, mbps: f64) {
+        self.cross.set_rate_mbps(mbps);
+    }
+
+    /// Cross-traffic accounting so far.
+    pub fn cross_summary(&self) -> crate::CrossSummary {
+        self.cross.summary()
+    }
+
+    /// The routing engine (for inspecting RIB state after a run).
+    pub fn engine(&self) -> &RibEngine {
+        &self.engine
+    }
+
+    /// The forwarding table.
+    pub fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    fn classify(&mut self, tag: u64) -> Pending {
+        let (peer, update) = self.inbox.remove(&tag).expect("parse without inbox entry");
+        let n_ann = update.nlri().len() as u32;
+        let n_wd = update.withdrawn().len() as u32;
+        let outcomes = self
+            .engine
+            .apply_update(peer, &update)
+            .expect("benchmark updates are well-formed");
+        let costs = &self.costs;
+        let mut pending = Pending {
+            transactions: n_ann + n_wd,
+            policy_cycles: f64::from(n_ann) * costs.policy,
+            decide_cycles: f64::from(n_ann + n_wd) * costs.decide,
+            rib_cycles: 0.0,
+            fea_cycles: 0.0,
+            kfib_cycles: 0.0,
+            directives: Vec::new(),
+        };
+        for outcome in outcomes {
+            match outcome.change {
+                RouteChange::Installed => pending.rib_cycles += costs.rib_insert,
+                RouteChange::Replaced { .. } => pending.rib_cycles += costs.rib_replace,
+                RouteChange::Withdrawn => pending.rib_cycles += costs.rib_remove,
+                RouteChange::Unchanged
+                | RouteChange::WithdrawnUnknown
+                | RouteChange::RejectedByPolicy
+                | RouteChange::RejectedAsLoop
+                | RouteChange::Dampened => {}
+            }
+            if let Some(directive) = outcome.fib {
+                let (user, kernel) = match (&directive, outcome.change) {
+                    (FibDirective::Install { .. }, RouteChange::Replaced { .. }) => {
+                        (costs.fib_user_replace, costs.fib_kernel_replace)
+                    }
+                    (FibDirective::Install { .. }, _) => {
+                        (costs.fib_user_install, costs.fib_kernel_install)
+                    }
+                    (FibDirective::Remove { .. }, _) => {
+                        (costs.fib_user_remove, costs.fib_kernel_remove)
+                    }
+                };
+                pending.fea_cycles += user;
+                pending.kfib_cycles += kernel;
+                pending.directives.push(directive);
+            }
+        }
+        if !pending.directives.is_empty() {
+            pending.fea_cycles += costs.ipc_batch;
+        }
+        pending
+    }
+
+    /// Advances a message to its next nonzero pipeline stage, or
+    /// retires it.
+    fn advance(&mut self, tag: u64, completed_kind: u16, ctx: &mut TickContext<'_>) {
+        let Some(pending) = self.pending.get(&tag) else {
+            return;
+        };
+        let count = pending.transactions;
+        let stages = [
+            (JOB_POLICY, self.procs.policy, pending.policy_cycles),
+            (JOB_DECIDE, self.procs.bgp, pending.decide_cycles),
+            (JOB_RIB, self.procs.rib, pending.rib_cycles),
+            (JOB_FEA, self.procs.fea, pending.fea_cycles),
+            (JOB_KFIB, self.procs.kernel, pending.kfib_cycles),
+        ];
+        let next_index = match completed_kind {
+            JOB_PARSE => 0,
+            JOB_POLICY => 1,
+            JOB_DECIDE => 2,
+            JOB_RIB => 3,
+            JOB_FEA => 4,
+            _ => stages.len(),
+        };
+        for &(kind, pid, cycles) in &stages[next_index..] {
+            if cycles > 0.0 {
+                ctx.push(pid, Job::new(kind, cycles).with_tag(tag).with_count(count));
+                return;
+            }
+        }
+        // Pipeline complete: apply the FIB writes and count.
+        let pending = self.pending.remove(&tag).expect("checked above");
+        for directive in pending.directives {
+            match directive {
+                FibDirective::Install { prefix, next_hop } => {
+                    self.fib.insert(prefix, NextHop::new(next_hop, 0));
+                }
+                FibDirective::Remove { prefix } => {
+                    self.fib.remove(&prefix);
+                }
+            }
+        }
+        self.transactions_done += u64::from(pending.transactions);
+    }
+}
+
+impl Model for XorpModel {
+    fn on_tick(&mut self, ctx: &mut TickContext<'_>) {
+        // Periodic router-manager housekeeping: only while routing
+        // work is in flight (its idle-state load is negligible and
+        // gating it lets drained simulations terminate).
+        if self.costs.rtrmgr_frac > 0.0
+            && !self.is_quiescent()
+            && ctx.queue_len(self.procs.rtrmgr) < RTRMGR_BACKLOG
+        {
+            let cycles = self.costs.rtrmgr_frac * self.cpu_hz * self.tick_secs;
+            ctx.push(self.procs.rtrmgr, Job::new(JOB_RTRMGR, cycles));
+        }
+
+        // Pipeline-backlog diagnostics: job counts waiting at each
+        // stage, sampled every 100 ms. These series expose the Fig. 4
+        // mechanism directly — with large packets the downstream
+        // stages (rib/fea) accumulate deep backlogs while xorp_bgp
+        // idles; with small packets TCP backpressure keeps every queue
+        // shallow.
+        let now = ctx.now().as_secs_f64();
+        if now - self.last_backlog_sample_s >= 0.1 {
+            self.last_backlog_sample_s = now;
+            let rib_backlog = ctx.queue_len(self.procs.rib) as f64;
+            let fea_backlog = ctx.queue_len(self.procs.fea) as f64;
+            ctx.record("backlog:xorp_rib", rib_backlog);
+            ctx.record("backlog:xorp_fea", fea_backlog);
+            let inflight_prefixes: u32 = self
+                .pending
+                .values()
+                .map(|p| p.transactions)
+                .sum::<u32>()
+                + self
+                    .inbox
+                    .values()
+                    .map(|(_, u)| u.transaction_count() as u32)
+                    .sum::<u32>();
+            ctx.record("inflight_prefixes", f64::from(inflight_prefixes));
+        }
+
+        // Cross-traffic arrivals.
+        let kernel_backlog = ctx.queue_len(self.procs.kernel);
+        self.cross.on_tick(
+            ctx,
+            self.tick_secs,
+            self.procs.irq,
+            self.procs.kernel,
+            kernel_backlog,
+        );
+
+        // Speaker input with two levels of backpressure: the socket
+        // buffer ahead of `xorp_bgp` (INPUT_LIMIT) and the bounded
+        // inter-process queues across the pipeline (PIPELINE_LIMIT).
+        let inflight_messages = self.inbox.len() + self.pending.len();
+        let mut room = INPUT_LIMIT
+            .saturating_sub(ctx.queue_len(self.procs.bgp))
+            .min(PIPELINE_LIMIT.saturating_sub(inflight_messages));
+        for idx in 0..self.speakers.len() {
+            // Rated speakers accrue an allowance per tick; flooding
+            // speakers are bounded only by flow control.
+            let mut allowance = match self.speakers[idx].rate_msgs_per_sec {
+                Some(rate) => {
+                    self.speakers[idx].carry += rate * self.tick_secs;
+                    let whole = self.speakers[idx].carry.floor();
+                    self.speakers[idx].carry -= whole;
+                    whole as usize
+                }
+                None => usize::MAX,
+            };
+            while room > 0 && allowance > 0 {
+                allowance -= 1;
+                let peer = self.speakers[idx].peer;
+                let Some(script) = self.speakers[idx].script.as_mut() else {
+                    break;
+                };
+                let batch = script.take(1);
+                let Some(update) = batch.first().cloned() else {
+                    break;
+                };
+                let n_ann = update.nlri().len() as u32;
+                let n_wd = update.withdrawn().len() as u32;
+                let cycles = self.costs.pkt_base
+                    + f64::from(n_ann) * self.costs.parse_ann
+                    + f64::from(n_wd) * self.costs.parse_wd;
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                self.inbox.insert(tag, (peer, update));
+                ctx.push(
+                    self.procs.bgp,
+                    Job::new(JOB_PARSE, cycles)
+                        .with_tag(tag)
+                        .with_count(n_ann + n_wd),
+                );
+                room -= 1;
+            }
+        }
+
+        // Phase-2 exports share the BGP process.
+        while room > 0 {
+            let Some(update) = self.export_queue.pop_front() else {
+                break;
+            };
+            let n = update.transaction_count() as u32;
+            let cycles =
+                self.costs.pkt_base + f64::from(n) * self.costs.export_per_prefix;
+            ctx.push(
+                self.procs.bgp,
+                Job::new(JOB_EXPORT, cycles).with_count(n),
+            );
+            room -= 1;
+        }
+    }
+
+    fn on_job_complete(&mut self, _pid: ProcessId, job: Job, ctx: &mut TickContext<'_>) {
+        match job.kind {
+            JOB_PARSE => {
+                let pending = self.classify(job.tag);
+                self.pending.insert(job.tag, pending);
+                self.advance(job.tag, JOB_PARSE, ctx);
+            }
+            JOB_POLICY | JOB_DECIDE | JOB_RIB | JOB_FEA | JOB_KFIB => {
+                self.advance(job.tag, job.kind, ctx);
+            }
+            JOB_EXPORT => {
+                self.exported_transactions += u64::from(job.count);
+            }
+            JOB_KFWD => {
+                self.cross.on_forwarded(job.count);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpbench_simnet::{SimConfig, SimDuration, Simulator};
+    use bgpbench_speaker::{workload, TableGenerator};
+    use bgpbench_wire::Prefix;
+
+    fn two_speakers() -> Vec<PeerInfo> {
+        vec![
+            PeerInfo::new(
+                PeerId(1),
+                Asn(65001),
+                RouterId(0x0A00_0002),
+                Ipv4Addr::new(10, 0, 0, 2),
+            ),
+            PeerInfo::new(
+                PeerId(2),
+                Asn(65002),
+                RouterId(0x0A00_0003),
+                Ipv4Addr::new(10, 0, 0, 3),
+            ),
+        ]
+    }
+
+    fn pentium3_sim() -> Simulator<XorpModel> {
+        let spec = crate::pentium3();
+        let config = SimConfig::new(vec![spec.core; spec.cores]);
+        let tick = config.tick.as_secs_f64();
+        let hz = spec.core.hz;
+        Simulator::new(config, |builder| {
+            let crate::PlatformKind::Xorp(costs) = spec.kind else {
+                unreachable!()
+            };
+            XorpModel::new(costs, spec.cross, hz, tick, builder, &two_speakers())
+        })
+    }
+
+    fn spec_for(asn: u16, pkt: usize, path_len: usize) -> workload::AnnounceSpec {
+        workload::AnnounceSpec {
+            speaker_asn: Asn(asn),
+            path_len,
+            next_hop: Ipv4Addr::new(10, 0, 0, if asn == 65001 { 2 } else { 3 }),
+            prefixes_per_update: pkt,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn startup_announcements_populate_rib_and_fib() {
+        let mut sim = pentium3_sim();
+        let table = TableGenerator::new(1).generate(200);
+        let updates = workload::announcements(&table, &spec_for(65001, 500, 3));
+        sim.model_mut()
+            .load_script(0, SpeakerScript::new(updates));
+        let outcome = sim.run(SimDuration::from_secs(60));
+        assert!(outcome.went_idle());
+        let model = sim.model();
+        assert_eq!(model.transactions_done(), 200);
+        assert_eq!(model.engine().loc_rib().len(), 200);
+        assert_eq!(model.fib().len(), 200);
+        assert!(model.is_quiescent());
+    }
+
+    #[test]
+    fn throughput_matches_the_calibrated_scenario_2_rate() {
+        // Scenario 2 on the Pentium III: large-packet start-up
+        // announcements; the paper reports 312.5 transactions/s.
+        let mut sim = pentium3_sim();
+        let table = TableGenerator::new(1).generate(1000);
+        let updates = workload::announcements(&table, &spec_for(65001, 500, 3));
+        sim.model_mut().load_script(0, SpeakerScript::new(updates));
+        let outcome = sim.run(SimDuration::from_secs(60));
+        let tps = 1000.0 / outcome.elapsed.as_secs_f64();
+        assert!(
+            (250.0..380.0).contains(&tps),
+            "scenario-2 rate {tps} outside the calibrated band"
+        );
+    }
+
+    #[test]
+    fn losing_announcements_do_not_touch_the_fib() {
+        // Scenario 5/6 situation: speaker 2 re-announces with a longer
+        // path; Loc-RIB best and FIB stay put.
+        let mut sim = pentium3_sim();
+        let table = TableGenerator::new(1).generate(100);
+        sim.model_mut().load_script(
+            0,
+            SpeakerScript::new(workload::announcements(&table, &spec_for(65001, 500, 3))),
+        );
+        sim.run(SimDuration::from_secs(60));
+        let fib_gen_before = sim.model().fib().generation();
+
+        sim.model_mut().load_script(
+            1,
+            SpeakerScript::new(workload::announcements(&table, &spec_for(65002, 500, 6))),
+        );
+        sim.run(SimDuration::from_secs(60));
+        let model = sim.model();
+        assert_eq!(model.transactions_done(), 200);
+        assert_eq!(model.fib().generation(), fib_gen_before, "FIB must not change");
+    }
+
+    #[test]
+    fn winning_announcements_rewrite_the_fib() {
+        // Scenario 7/8 situation: speaker 2 announces a shorter path.
+        let mut sim = pentium3_sim();
+        let table = TableGenerator::new(1).generate(50);
+        sim.model_mut().load_script(
+            0,
+            SpeakerScript::new(workload::announcements(&table, &spec_for(65001, 500, 4))),
+        );
+        sim.run(SimDuration::from_secs(60));
+        sim.model_mut().load_script(
+            1,
+            SpeakerScript::new(workload::announcements(&table, &spec_for(65002, 500, 2))),
+        );
+        sim.run(SimDuration::from_secs(120));
+        let model = sim.model();
+        // Every prefix now forwards toward speaker 2.
+        let hop = model
+            .fib()
+            .lookup(table[0].network())
+            .expect("route installed");
+        assert_eq!(hop.gateway(), Ipv4Addr::new(10, 0, 0, 3));
+    }
+
+    #[test]
+    fn withdrawals_empty_the_tables() {
+        let mut sim = pentium3_sim();
+        let table = TableGenerator::new(1).generate(100);
+        sim.model_mut().load_script(
+            0,
+            SpeakerScript::new(workload::announcements(&table, &spec_for(65001, 500, 3))),
+        );
+        sim.run(SimDuration::from_secs(60));
+        sim.model_mut()
+            .load_script(0, SpeakerScript::new(workload::withdrawals(&table, 500)));
+        sim.run(SimDuration::from_secs(60));
+        let model = sim.model();
+        assert_eq!(model.transactions_done(), 200);
+        assert!(model.engine().loc_rib().is_empty());
+        assert!(model.fib().is_empty());
+    }
+
+    #[test]
+    fn export_phase_advertises_the_table() {
+        let mut sim = pentium3_sim();
+        let table = TableGenerator::new(1).generate(300);
+        sim.model_mut().load_script(
+            0,
+            SpeakerScript::new(workload::announcements(&table, &spec_for(65001, 500, 3))),
+        );
+        sim.run(SimDuration::from_secs(60));
+        let queued = sim.model_mut().queue_export(1, 500);
+        assert!(queued >= 1);
+        sim.run(SimDuration::from_secs(60));
+        assert_eq!(sim.model().exported_transactions(), 300);
+    }
+
+    #[test]
+    fn cross_traffic_slows_bgp_processing() {
+        let table = TableGenerator::new(1).generate(300);
+        let elapsed = |mbps: f64| {
+            let mut sim = pentium3_sim();
+            sim.model_mut().set_cross_rate_mbps(mbps);
+            sim.model_mut().load_script(
+                0,
+                SpeakerScript::new(workload::announcements(&table, &spec_for(65001, 500, 3))),
+            );
+            let done = |m: &XorpModel| m.transactions_done() >= 300;
+            let outcome = sim.run_until(SimDuration::from_secs(120), done);
+            outcome.elapsed.as_secs_f64()
+        };
+        let idle = elapsed(0.0);
+        let loaded = elapsed(300.0);
+        assert!(
+            loaded > idle * 1.1,
+            "cross traffic must slow BGP: idle {idle}s vs loaded {loaded}s"
+        );
+    }
+
+    #[test]
+    fn cross_traffic_is_forwarded_when_cpu_allows() {
+        let mut sim = pentium3_sim();
+        sim.model_mut().set_cross_rate_mbps(100.0);
+        sim.run_until(SimDuration::from_secs(2), |_| false);
+        let summary = sim.model().cross_summary();
+        assert!(summary.offered_pkts > 10_000);
+        assert!(summary.delivery_ratio() > 0.99, "{summary:?}");
+    }
+
+    #[test]
+    fn small_packets_are_slower_than_large() {
+        let table = TableGenerator::new(1).generate(200);
+        let run = |pkt: usize| {
+            let mut sim = pentium3_sim();
+            sim.model_mut().load_script(
+                0,
+                SpeakerScript::new(workload::announcements(&table, &spec_for(65001, pkt, 3))),
+            );
+            sim.run(SimDuration::from_secs(120)).elapsed.as_secs_f64()
+        };
+        let small = run(1);
+        let large = run(500);
+        assert!(
+            small > large * 1.3,
+            "small packets must be slower: {small}s vs {large}s"
+        );
+    }
+
+    #[test]
+    fn loop_poisoned_routes_are_rejected_without_fib_activity() {
+        let mut sim = pentium3_sim();
+        let prefix: Prefix = "20.0.0.0/8".parse().unwrap();
+        let update = UpdateMessage::builder()
+            .attribute(bgpbench_wire::PathAttribute::Origin(bgpbench_wire::Origin::Igp))
+            .attribute(bgpbench_wire::PathAttribute::AsPath(
+                bgpbench_wire::AsPath::from_sequence([
+                    Asn(65001),
+                    XorpModel::LOCAL_ASN,
+                ]),
+            ))
+            .attribute(bgpbench_wire::PathAttribute::NextHop(Ipv4Addr::new(
+                10, 0, 0, 2,
+            )))
+            .announce(prefix)
+            .build();
+        sim.model_mut()
+            .load_script(0, SpeakerScript::new(vec![update]));
+        sim.run(SimDuration::from_secs(10));
+        let model = sim.model();
+        assert_eq!(model.transactions_done(), 1);
+        assert!(model.fib().is_empty());
+        assert_eq!(model.engine().stats().loop_rejected, 1);
+    }
+}

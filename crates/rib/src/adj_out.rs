@@ -1,0 +1,301 @@
+//! The Adj-RIB-Out: per-neighbor advertisement state and UPDATE
+//! generation (RFC 4271 §3.2, §9.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bgpbench_wire::{Prefix, UpdateMessage};
+
+use crate::route::RouteAttributes;
+
+/// One advertisement-stream action toward a neighbor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportAction {
+    /// Announce (or re-announce with new attributes) a prefix.
+    Announce(Prefix, Arc<RouteAttributes>),
+    /// Withdraw a previously advertised prefix.
+    Withdraw(Prefix),
+}
+
+/// The per-neighbor Adj-RIB-Out: what has been advertised, plus diffing
+/// against the desired state and packetization into UPDATE messages.
+///
+/// Packetization is where the benchmark's *small packet* / *large
+/// packet* distinction lives: [`AdjRibOut::to_updates`] groups
+/// announcements sharing an attribute set into messages carrying up to
+/// `max_prefixes_per_update` prefixes each.
+#[derive(Debug, Clone, Default)]
+pub struct AdjRibOut {
+    advertised: HashMap<Prefix, Arc<RouteAttributes>>,
+}
+
+impl AdjRibOut {
+    /// Creates an empty Adj-RIB-Out.
+    pub fn new() -> Self {
+        AdjRibOut::default()
+    }
+
+    /// Number of currently advertised prefixes.
+    pub fn len(&self) -> usize {
+        self.advertised.len()
+    }
+
+    /// Whether nothing is advertised.
+    pub fn is_empty(&self) -> bool {
+        self.advertised.is_empty()
+    }
+
+    /// The attributes most recently advertised for `prefix`.
+    pub fn get(&self, prefix: &Prefix) -> Option<&Arc<RouteAttributes>> {
+        self.advertised.get(prefix)
+    }
+
+    /// Diffs the full desired advertisement set against what has been
+    /// advertised, records the new state, and returns the actions that
+    /// realize it (announcements for new/changed prefixes, withdrawals
+    /// for disappeared ones).
+    pub fn sync<I>(&mut self, desired: I) -> Vec<ExportAction>
+    where
+        I: IntoIterator<Item = (Prefix, Arc<RouteAttributes>)>,
+    {
+        let desired: HashMap<Prefix, Arc<RouteAttributes>> = desired.into_iter().collect();
+        let mut actions = Vec::new();
+        for (prefix, attrs) in &desired {
+            let unchanged = self
+                .advertised
+                .get(prefix)
+                .is_some_and(|old| old == attrs || Arc::ptr_eq(old, attrs));
+            if !unchanged {
+                actions.push(ExportAction::Announce(*prefix, attrs.clone()));
+            }
+        }
+        for prefix in self.advertised.keys() {
+            if !desired.contains_key(prefix) {
+                actions.push(ExportAction::Withdraw(*prefix));
+            }
+        }
+        self.advertised = desired;
+        // Deterministic order: withdrawals first (RFC message layout
+        // convention), then announcements by prefix.
+        actions.sort_by_key(|action| match action {
+            ExportAction::Withdraw(prefix) => (0, *prefix),
+            ExportAction::Announce(prefix, _) => (1, *prefix),
+        });
+        actions
+    }
+
+    /// Updates the advertisement state for a single prefix and returns
+    /// the action required, if any.
+    pub fn sync_prefix(
+        &mut self,
+        prefix: Prefix,
+        desired: Option<Arc<RouteAttributes>>,
+    ) -> Option<ExportAction> {
+        match desired {
+            Some(attrs) => {
+                let unchanged = self
+                    .advertised
+                    .get(&prefix)
+                    .is_some_and(|old| old == &attrs || Arc::ptr_eq(old, &attrs));
+                if unchanged {
+                    return None;
+                }
+                self.advertised.insert(prefix, attrs.clone());
+                Some(ExportAction::Announce(prefix, attrs))
+            }
+            None => self
+                .advertised
+                .remove(&prefix)
+                .map(|_| ExportAction::Withdraw(prefix)),
+        }
+    }
+
+    /// Packetizes actions into UPDATE messages.
+    ///
+    /// Withdrawals are batched up to `max_prefixes_per_update` per
+    /// message. Announcements are grouped by attribute set (an UPDATE
+    /// carries exactly one), then split to the same limit. The limit
+    /// models the benchmark's packet sizes: 1 for small packets, 500
+    /// for large ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_prefixes_per_update` is zero.
+    pub fn to_updates(
+        actions: &[ExportAction],
+        max_prefixes_per_update: usize,
+    ) -> Vec<UpdateMessage> {
+        assert!(max_prefixes_per_update > 0, "packet size must be positive");
+        let mut updates = Vec::new();
+
+        let withdrawals: Vec<Prefix> = actions
+            .iter()
+            .filter_map(|action| match action {
+                ExportAction::Withdraw(prefix) => Some(*prefix),
+                ExportAction::Announce(..) => None,
+            })
+            .collect();
+        for chunk in withdrawals.chunks(max_prefixes_per_update) {
+            updates.push(
+                UpdateMessage::builder()
+                    .withdraw_all(chunk.iter().copied())
+                    .build(),
+            );
+        }
+
+        // Group announcements by attribute set, preserving first-seen
+        // order of each group.
+        let mut groups: Vec<(Arc<RouteAttributes>, Vec<Prefix>)> = Vec::new();
+        for action in actions {
+            let ExportAction::Announce(prefix, attrs) = action else {
+                continue;
+            };
+            match groups
+                .iter_mut()
+                .find(|(group_attrs, _)| group_attrs == attrs || Arc::ptr_eq(group_attrs, attrs))
+            {
+                Some((_, prefixes)) => prefixes.push(*prefix),
+                None => groups.push((attrs.clone(), vec![*prefix])),
+            }
+        }
+        for (attrs, prefixes) in groups {
+            let wire_attrs = attrs.to_wire();
+            for chunk in prefixes.chunks(max_prefixes_per_update) {
+                let mut builder = UpdateMessage::builder();
+                for attr in &wire_attrs {
+                    builder = builder.attribute(attr.clone());
+                }
+                updates.push(builder.announce_all(chunk.iter().copied()).build());
+            }
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpbench_wire::{AsPath, Asn, Origin};
+    use std::net::Ipv4Addr;
+
+    fn attrs(seed: u16) -> Arc<RouteAttributes> {
+        Arc::new(RouteAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence([Asn(seed)]),
+            Ipv4Addr::new(10, 0, 0, 1),
+        ))
+    }
+
+    fn p(text: &str) -> Prefix {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn initial_sync_announces_everything() {
+        let mut out = AdjRibOut::new();
+        let a = attrs(1);
+        let actions = out.sync([(p("10.0.0.0/8"), a.clone()), (p("11.0.0.0/8"), a)]);
+        assert_eq!(actions.len(), 2);
+        assert!(actions
+            .iter()
+            .all(|action| matches!(action, ExportAction::Announce(..))));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn resync_with_same_state_is_empty() {
+        let mut out = AdjRibOut::new();
+        let a = attrs(1);
+        out.sync([(p("10.0.0.0/8"), a.clone())]);
+        let actions = out.sync([(p("10.0.0.0/8"), a)]);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn sync_detects_attribute_changes_and_disappearances() {
+        let mut out = AdjRibOut::new();
+        out.sync([(p("10.0.0.0/8"), attrs(1)), (p("11.0.0.0/8"), attrs(1))]);
+        let actions = out.sync([(p("10.0.0.0/8"), attrs(2))]);
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0], ExportAction::Withdraw(p("11.0.0.0/8")));
+        assert!(matches!(actions[1], ExportAction::Announce(prefix, _) if prefix == p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn sync_prefix_single_route_lifecycle() {
+        let mut out = AdjRibOut::new();
+        let a = attrs(1);
+        assert!(matches!(
+            out.sync_prefix(p("10.0.0.0/8"), Some(a.clone())),
+            Some(ExportAction::Announce(..))
+        ));
+        // Unchanged: no action.
+        assert_eq!(out.sync_prefix(p("10.0.0.0/8"), Some(a)), None);
+        assert!(matches!(
+            out.sync_prefix(p("10.0.0.0/8"), None),
+            Some(ExportAction::Withdraw(_))
+        ));
+        // Withdrawing again: no action.
+        assert_eq!(out.sync_prefix(p("10.0.0.0/8"), None), None);
+    }
+
+    #[test]
+    fn to_updates_small_packets_one_prefix_each() {
+        let a = attrs(1);
+        let actions: Vec<ExportAction> = (0..5)
+            .map(|i| ExportAction::Announce(p(&format!("{}.0.0.0/8", 10 + i)), a.clone()))
+            .collect();
+        let updates = AdjRibOut::to_updates(&actions, 1);
+        assert_eq!(updates.len(), 5);
+        assert!(updates.iter().all(|u| u.nlri().len() == 1));
+    }
+
+    #[test]
+    fn to_updates_large_packets_batch_up_to_limit() {
+        let a = attrs(1);
+        let actions: Vec<ExportAction> = (0..1100u32)
+            .map(|i| {
+                let prefix =
+                    Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 | (i << 8)), 24).unwrap();
+                ExportAction::Announce(prefix, a.clone())
+            })
+            .collect();
+        let updates = AdjRibOut::to_updates(&actions, 500);
+        assert_eq!(updates.len(), 3);
+        assert_eq!(updates[0].nlri().len(), 500);
+        assert_eq!(updates[1].nlri().len(), 500);
+        assert_eq!(updates[2].nlri().len(), 100);
+    }
+
+    #[test]
+    fn to_updates_groups_by_attribute_set() {
+        let actions = vec![
+            ExportAction::Announce(p("10.0.0.0/8"), attrs(1)),
+            ExportAction::Announce(p("11.0.0.0/8"), attrs(2)),
+            ExportAction::Announce(p("12.0.0.0/8"), attrs(1)),
+        ];
+        let updates = AdjRibOut::to_updates(&actions, 500);
+        // Two attribute groups → two messages even though all fit in one.
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0].nlri().len(), 2);
+        assert_eq!(updates[1].nlri().len(), 1);
+    }
+
+    #[test]
+    fn to_updates_mixes_withdrawals_and_announcements() {
+        let actions = vec![
+            ExportAction::Withdraw(p("9.0.0.0/8")),
+            ExportAction::Announce(p("10.0.0.0/8"), attrs(1)),
+        ];
+        let updates = AdjRibOut::to_updates(&actions, 500);
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0].withdrawn().len(), 1);
+        assert_eq!(updates[1].nlri().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet size must be positive")]
+    fn to_updates_rejects_zero_packet_size() {
+        AdjRibOut::to_updates(&[], 0);
+    }
+}

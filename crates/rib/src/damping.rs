@@ -1,0 +1,291 @@
+//! Route-flap damping (RFC 2439).
+//!
+//! The paper motivates the benchmark with BGP instability — "routers
+//! need to continuously process BGP updates from their neighbors" and
+//! worm events multiply that load by orders of magnitude. Flap damping
+//! is the standard mechanism deployed against exactly that pathology:
+//! each flap adds a penalty to the route; above the *suppress*
+//! threshold the route is withheld from the decision process; the
+//! penalty decays exponentially and the route is reused below the
+//! *reuse* threshold.
+//!
+//! This module implements the RFC 2439 penalty machinery over
+//! simulated or wall-clock time supplied by the caller (seconds), so
+//! the same code serves the simulator and the live daemon.
+
+use std::collections::HashMap;
+
+use bgpbench_wire::Prefix;
+
+use crate::PeerId;
+
+/// Damping parameters (RFC 2439 §4.2; defaults follow the classic
+/// Cisco values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DampingConfig {
+    /// Penalty added per withdrawal flap.
+    pub withdraw_penalty: f64,
+    /// Penalty added per re-announcement flap.
+    pub announce_penalty: f64,
+    /// Penalty added per attribute change.
+    pub attribute_change_penalty: f64,
+    /// Routes with penalty above this are suppressed.
+    pub suppress_threshold: f64,
+    /// Suppressed routes with penalty decayed below this are reused.
+    pub reuse_threshold: f64,
+    /// Exponential-decay half life, in seconds.
+    pub half_life_secs: f64,
+    /// Penalty ceiling (bounds maximum suppression time).
+    pub max_penalty: f64,
+}
+
+impl Default for DampingConfig {
+    fn default() -> Self {
+        DampingConfig {
+            withdraw_penalty: 1000.0,
+            announce_penalty: 0.0,
+            attribute_change_penalty: 500.0,
+            suppress_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            half_life_secs: 900.0,
+            max_penalty: 12_000.0,
+        }
+    }
+}
+
+/// The kind of flap being recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlapKind {
+    /// The route was withdrawn.
+    Withdraw,
+    /// The route was re-announced after a withdrawal.
+    Reannounce,
+    /// The route's attributes changed.
+    AttributeChange,
+}
+
+/// Per-(peer, prefix) damping state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FlapState {
+    penalty: f64,
+    last_update_secs: f64,
+    suppressed: bool,
+}
+
+/// Tracks flap penalties and suppression for routes learned from each
+/// peer.
+///
+/// ```
+/// use bgpbench_rib::{DampingConfig, FlapKind, PeerId, RouteDamper};
+///
+/// let mut damper = RouteDamper::new(DampingConfig::default());
+/// let peer = PeerId(1);
+/// let prefix = "10.0.0.0/8".parse().unwrap();
+/// // Three quick withdraw flaps push the penalty past 2000.
+/// damper.record_flap(peer, prefix, FlapKind::Withdraw, 0.0);
+/// damper.record_flap(peer, prefix, FlapKind::Withdraw, 1.0);
+/// damper.record_flap(peer, prefix, FlapKind::Withdraw, 2.0);
+/// assert!(damper.is_suppressed(peer, &prefix, 2.0));
+/// // After a few half-lives the route is reusable again.
+/// assert!(!damper.is_suppressed(peer, &prefix, 4000.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteDamper {
+    config: DampingConfig,
+    states: HashMap<(PeerId, Prefix), FlapState>,
+}
+
+impl RouteDamper {
+    /// Creates a damper with the given parameters.
+    pub fn new(config: DampingConfig) -> Self {
+        RouteDamper {
+            config,
+            states: HashMap::new(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &DampingConfig {
+        &self.config
+    }
+
+    /// Number of (peer, prefix) pairs currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Records a flap at time `now_secs` and returns the updated
+    /// penalty.
+    pub fn record_flap(
+        &mut self,
+        peer: PeerId,
+        prefix: Prefix,
+        kind: FlapKind,
+        now_secs: f64,
+    ) -> f64 {
+        let added = match kind {
+            FlapKind::Withdraw => self.config.withdraw_penalty,
+            FlapKind::Reannounce => self.config.announce_penalty,
+            FlapKind::AttributeChange => self.config.attribute_change_penalty,
+        };
+        let config = self.config;
+        let state = self
+            .states
+            .entry((peer, prefix))
+            .or_insert(FlapState {
+                penalty: 0.0,
+                last_update_secs: now_secs,
+                suppressed: false,
+            });
+        decay(state, &config, now_secs);
+        state.penalty = (state.penalty + added).min(config.max_penalty);
+        if state.penalty >= config.suppress_threshold {
+            state.suppressed = true;
+        }
+        state.penalty
+    }
+
+    /// Whether the route from `peer` is currently suppressed.
+    ///
+    /// Evaluating suppression decays the stored penalty to `now_secs`
+    /// first, so callers may query at any cadence.
+    pub fn is_suppressed(&mut self, peer: PeerId, prefix: &Prefix, now_secs: f64) -> bool {
+        let config = self.config;
+        let Some(state) = self.states.get_mut(&(peer, *prefix)) else {
+            return false;
+        };
+        decay(state, &config, now_secs);
+        if state.suppressed && state.penalty < config.reuse_threshold {
+            state.suppressed = false;
+        }
+        state.suppressed
+    }
+
+    /// The current penalty for a route (decayed to `now_secs`).
+    pub fn penalty(&mut self, peer: PeerId, prefix: &Prefix, now_secs: f64) -> f64 {
+        let config = self.config;
+        match self.states.get_mut(&(peer, *prefix)) {
+            Some(state) => {
+                decay(state, &config, now_secs);
+                state.penalty
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Drops state whose penalty has decayed to insignificance
+    /// (below half the reuse threshold, per RFC 2439 §4.4.3's "no
+    /// longer needed" criterion).
+    pub fn sweep(&mut self, now_secs: f64) {
+        let config = self.config;
+        self.states.retain(|_, state| {
+            decay(state, &config, now_secs);
+            state.penalty >= config.reuse_threshold / 2.0
+        });
+    }
+}
+
+fn decay(state: &mut FlapState, config: &DampingConfig, now_secs: f64) {
+    if now_secs > state.last_update_secs {
+        let elapsed = now_secs - state.last_update_secs;
+        state.penalty *= 0.5_f64.powf(elapsed / config.half_life_secs);
+        state.last_update_secs = now_secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix() -> Prefix {
+        "10.0.0.0/8".parse().unwrap()
+    }
+
+    const PEER: PeerId = PeerId(1);
+
+    #[test]
+    fn single_flap_does_not_suppress() {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        damper.record_flap(PEER, prefix(), FlapKind::Withdraw, 0.0);
+        assert!(!damper.is_suppressed(PEER, &prefix(), 0.0));
+        assert_eq!(damper.penalty(PEER, &prefix(), 0.0), 1000.0);
+    }
+
+    #[test]
+    fn rapid_flaps_suppress() {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        for i in 0..3 {
+            damper.record_flap(PEER, prefix(), FlapKind::Withdraw, i as f64);
+        }
+        assert!(damper.is_suppressed(PEER, &prefix(), 3.0));
+    }
+
+    #[test]
+    fn penalty_decays_with_half_life() {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        damper.record_flap(PEER, prefix(), FlapKind::Withdraw, 0.0);
+        let after_one_half_life = damper.penalty(PEER, &prefix(), 900.0);
+        assert!((after_one_half_life - 500.0).abs() < 1.0);
+        let after_two = damper.penalty(PEER, &prefix(), 1800.0);
+        assert!((after_two - 250.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn suppressed_route_reused_after_decay() {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        for i in 0..4 {
+            damper.record_flap(PEER, prefix(), FlapKind::Withdraw, i as f64);
+        }
+        assert!(damper.is_suppressed(PEER, &prefix(), 4.0));
+        // Penalty ~4000 must decay below 750: needs ~2.4 half lives.
+        assert!(damper.is_suppressed(PEER, &prefix(), 900.0));
+        assert!(!damper.is_suppressed(PEER, &prefix(), 4.0 + 3.0 * 900.0));
+    }
+
+    #[test]
+    fn penalty_is_capped() {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        for i in 0..100 {
+            damper.record_flap(PEER, prefix(), FlapKind::Withdraw, i as f64 * 0.01);
+        }
+        assert!(damper.penalty(PEER, &prefix(), 1.0) <= 12_000.0);
+    }
+
+    #[test]
+    fn attribute_changes_penalize_less_than_withdrawals() {
+        let config = DampingConfig::default();
+        let mut damper = RouteDamper::new(config);
+        damper.record_flap(PEER, prefix(), FlapKind::AttributeChange, 0.0);
+        assert_eq!(damper.penalty(PEER, &prefix(), 0.0), 500.0);
+        // Re-announcements carry no penalty under the defaults.
+        damper.record_flap(PEER, prefix(), FlapKind::Reannounce, 0.0);
+        assert_eq!(damper.penalty(PEER, &prefix(), 0.0), 500.0);
+    }
+
+    #[test]
+    fn peers_are_tracked_independently() {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        for i in 0..3 {
+            damper.record_flap(PeerId(1), prefix(), FlapKind::Withdraw, i as f64);
+        }
+        assert!(damper.is_suppressed(PeerId(1), &prefix(), 3.0));
+        assert!(!damper.is_suppressed(PeerId(2), &prefix(), 3.0));
+    }
+
+    #[test]
+    fn sweep_drops_cold_state() {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        damper.record_flap(PEER, prefix(), FlapKind::Withdraw, 0.0);
+        assert_eq!(damper.tracked(), 1);
+        // After many half-lives the penalty is negligible.
+        damper.sweep(20.0 * 900.0);
+        assert_eq!(damper.tracked(), 0);
+    }
+
+    #[test]
+    fn unknown_routes_are_never_suppressed() {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        assert!(!damper.is_suppressed(PEER, &prefix(), 0.0));
+        assert_eq!(damper.penalty(PEER, &prefix(), 0.0), 0.0);
+    }
+}

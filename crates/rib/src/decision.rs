@@ -1,0 +1,258 @@
+//! The BGP decision process (RFC 4271 §9.1.2).
+
+use std::cmp::Ordering;
+
+use crate::route::{PeerInfo, RouteAttributes};
+use bgpbench_wire::Asn;
+
+/// Tunable knobs for the decision process.
+///
+/// The paper notes that "most vendors implement the best path selection
+/// based on the length of AS path, although it is not specified in the
+/// BGP RFC" — the default configuration matches that common vendor
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionConfig {
+    /// Compare MED between routes from *any* neighboring AS, not only
+    /// between routes from the same AS (the `always-compare-med`
+    /// vendor knob). Keeping this on makes the preference relation a
+    /// total order, which the benchmark relies on for repeatability.
+    pub always_compare_med: bool,
+    /// Skip the AS-path-length step (pure-policy selection).
+    pub ignore_as_path_length: bool,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        DecisionConfig {
+            always_compare_med: true,
+            ignore_as_path_length: false,
+        }
+    }
+}
+
+/// Compares two candidate routes for the same prefix.
+///
+/// Returns [`Ordering::Greater`] when `(a, a_peer)` is *preferred* over
+/// `(b, b_peer)`. The comparison applies, in order:
+///
+/// 1. higher LOCAL_PREF (degree of preference, §9.1.1);
+/// 2. shorter AS path (the de-facto vendor step);
+/// 3. lower ORIGIN (IGP < EGP < INCOMPLETE);
+/// 4. lower MED (missing MED treated as 0, the common default);
+/// 5. eBGP over iBGP (relative to `local_asn`);
+/// 6. lower peer BGP identifier;
+/// 7. lower peer address (final deterministic tie-break).
+///
+/// The relation is total and antisymmetric for distinct peers, so
+/// selection is deterministic — a property the benchmark's
+/// property-based tests assert.
+pub fn compare_routes(
+    config: &DecisionConfig,
+    local_asn: Asn,
+    a: &RouteAttributes,
+    a_peer: &PeerInfo,
+    b: &RouteAttributes,
+    b_peer: &PeerInfo,
+) -> Ordering {
+    // 1. LOCAL_PREF: higher wins.
+    let by_pref = a.effective_local_pref().cmp(&b.effective_local_pref());
+    if by_pref != Ordering::Equal {
+        return by_pref;
+    }
+    // 2. AS path length: shorter wins.
+    if !config.ignore_as_path_length {
+        let by_len = b.as_path().length().cmp(&a.as_path().length());
+        if by_len != Ordering::Equal {
+            return by_len;
+        }
+    }
+    // 3. Origin: lower wins.
+    let by_origin = (b.origin() as u8).cmp(&(a.origin() as u8));
+    if by_origin != Ordering::Equal {
+        return by_origin;
+    }
+    // 4. MED: lower wins (when comparable).
+    let med_comparable =
+        config.always_compare_med || a.as_path().first_as() == b.as_path().first_as();
+    if med_comparable {
+        let by_med = b.med().unwrap_or(0).cmp(&a.med().unwrap_or(0));
+        if by_med != Ordering::Equal {
+            return by_med;
+        }
+    }
+    // 5. eBGP over iBGP.
+    let a_ebgp = a_peer.asn() != local_asn;
+    let b_ebgp = b_peer.asn() != local_asn;
+    let by_session = a_ebgp.cmp(&b_ebgp);
+    if by_session != Ordering::Equal {
+        return by_session;
+    }
+    // 6. Lower router ID wins.
+    let by_id = b_peer.router_id().cmp(&a_peer.router_id());
+    if by_id != Ordering::Equal {
+        return by_id;
+    }
+    // 7. Lower peer address wins.
+    b_peer.address().cmp(&a_peer.address())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeerId;
+    use bgpbench_wire::{AsPath, Origin, RouterId};
+    use std::net::Ipv4Addr;
+
+    fn peer(id: u32, asn: u16, router_id: u32, last_octet: u8) -> PeerInfo {
+        PeerInfo::new(
+            PeerId(id),
+            Asn(asn),
+            RouterId(router_id),
+            Ipv4Addr::new(10, 0, 0, last_octet),
+        )
+    }
+
+    fn attrs(path: &[u16]) -> RouteAttributes {
+        RouteAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence(path.iter().copied().map(Asn)),
+            Ipv4Addr::new(10, 0, 0, 2),
+        )
+    }
+
+    const LOCAL: Asn = Asn(65000);
+
+    fn prefer(
+        a: &RouteAttributes,
+        ap: &PeerInfo,
+        b: &RouteAttributes,
+        bp: &PeerInfo,
+    ) -> Ordering {
+        compare_routes(&DecisionConfig::default(), LOCAL, a, ap, b, bp)
+    }
+
+    #[test]
+    fn local_pref_dominates_everything() {
+        let long_but_preferred = attrs(&[1, 2, 3, 4, 5]).with_local_pref(200);
+        let short = attrs(&[1]);
+        let p1 = peer(1, 65001, 1, 1);
+        let p2 = peer(2, 65002, 2, 2);
+        assert_eq!(
+            prefer(&long_but_preferred, &p1, &short, &p2),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn shorter_as_path_wins() {
+        let short = attrs(&[1, 2]);
+        let long = attrs(&[1, 2, 3]);
+        let p1 = peer(1, 65001, 1, 1);
+        let p2 = peer(2, 65002, 2, 2);
+        assert_eq!(prefer(&short, &p1, &long, &p2), Ordering::Greater);
+        assert_eq!(prefer(&long, &p2, &short, &p1), Ordering::Less);
+    }
+
+    #[test]
+    fn origin_breaks_equal_length_ties() {
+        let igp = attrs(&[1, 2]);
+        let incomplete = RouteAttributes::new(
+            Origin::Incomplete,
+            AsPath::from_sequence([Asn(3), Asn(4)]),
+            Ipv4Addr::new(10, 0, 0, 3),
+        );
+        let p1 = peer(1, 65001, 1, 1);
+        let p2 = peer(2, 65002, 2, 2);
+        assert_eq!(prefer(&igp, &p1, &incomplete, &p2), Ordering::Greater);
+    }
+
+    #[test]
+    fn lower_med_wins_when_rest_equal() {
+        let cheap = attrs(&[1, 2]).with_med(10);
+        let expensive = attrs(&[9, 8]).with_med(20);
+        let p1 = peer(1, 65001, 1, 1);
+        let p2 = peer(2, 65002, 2, 2);
+        assert_eq!(prefer(&cheap, &p1, &expensive, &p2), Ordering::Greater);
+    }
+
+    #[test]
+    fn missing_med_is_treated_as_zero() {
+        let none = attrs(&[1, 2]);
+        let some = attrs(&[3, 4]).with_med(1);
+        let p1 = peer(1, 65001, 1, 1);
+        let p2 = peer(2, 65002, 2, 2);
+        assert_eq!(prefer(&none, &p1, &some, &p2), Ordering::Greater);
+    }
+
+    #[test]
+    fn med_skipped_across_as_when_not_always_compare() {
+        let config = DecisionConfig {
+            always_compare_med: false,
+            ..DecisionConfig::default()
+        };
+        let a = attrs(&[1, 2]).with_med(50);
+        let b = attrs(&[3, 4]).with_med(10);
+        // Different first AS → MED incomparable → falls through to
+        // router-ID tie-break (peer 1 has the lower ID and wins).
+        let p1 = peer(1, 65001, 1, 1);
+        let p2 = peer(2, 65002, 2, 2);
+        assert_eq!(
+            compare_routes(&config, LOCAL, &a, &p1, &b, &p2),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn ebgp_preferred_over_ibgp() {
+        let a = attrs(&[1, 2]);
+        let b = attrs(&[3, 4]);
+        let ebgp_peer = peer(1, 65001, 9, 9);
+        let ibgp_peer = peer(2, LOCAL.0, 1, 1); // same AS as local
+        assert_eq!(prefer(&a, &ebgp_peer, &b, &ibgp_peer), Ordering::Greater);
+        assert_eq!(prefer(&b, &ibgp_peer, &a, &ebgp_peer), Ordering::Less);
+    }
+
+    #[test]
+    fn router_id_then_address_tie_breaks() {
+        let a = attrs(&[1, 2]);
+        let b = attrs(&[3, 4]);
+        let low_id = peer(1, 65001, 1, 5);
+        let high_id = peer(2, 65002, 2, 4);
+        assert_eq!(prefer(&a, &low_id, &b, &high_id), Ordering::Greater);
+
+        let same_id_low_addr = peer(1, 65001, 7, 1);
+        let same_id_high_addr = peer(2, 65002, 7, 2);
+        assert_eq!(
+            prefer(&a, &same_id_low_addr, &b, &same_id_high_addr),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric() {
+        let a = attrs(&[1]).with_med(3);
+        let b = attrs(&[2, 3]).with_local_pref(90);
+        let p1 = peer(1, 65001, 1, 1);
+        let p2 = peer(2, 65002, 2, 2);
+        let forward = prefer(&a, &p1, &b, &p2);
+        let backward = prefer(&b, &p2, &a, &p1);
+        assert_eq!(forward, backward.reverse());
+    }
+
+    #[test]
+    fn ignore_as_path_length_knob() {
+        let config = DecisionConfig {
+            ignore_as_path_length: true,
+            ..DecisionConfig::default()
+        };
+        let long_cheap = attrs(&[1, 2, 3, 4]).with_med(0);
+        let short_costly = attrs(&[1]).with_med(10);
+        let p1 = peer(1, 65001, 1, 1);
+        let p2 = peer(2, 65002, 2, 2);
+        assert_eq!(
+            compare_routes(&config, LOCAL, &long_cheap, &p1, &short_costly, &p2),
+            Ordering::Greater
+        );
+    }
+}

@@ -1,0 +1,930 @@
+//! The RIB engine: Adj-RIB-In, Loc-RIB, and the update-processing
+//! pipeline that classifies every prefix-level change.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bgpbench_wire::{Asn, Prefix, RouterId, UpdateMessage};
+
+use crate::damping::{DampingConfig, FlapKind, RouteDamper};
+use crate::decision::{compare_routes, DecisionConfig};
+use crate::policy::PolicyEngine;
+use crate::route::{PeerId, PeerInfo, Route, RouteAttributes};
+use crate::RibError;
+
+/// One peer's Adj-RIB-In: the unprocessed routes received from that
+/// neighbor (RFC 4271 §3.2).
+#[derive(Debug, Clone, Default)]
+pub struct AdjRibIn {
+    table: HashMap<Prefix, Arc<RouteAttributes>>,
+}
+
+impl AdjRibIn {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        AdjRibIn::default()
+    }
+
+    /// Number of routes held.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The attributes stored for `prefix`, if any.
+    pub fn get(&self, prefix: &Prefix) -> Option<&Arc<RouteAttributes>> {
+        self.table.get(prefix)
+    }
+
+    /// Iterates over `(prefix, attributes)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &Arc<RouteAttributes>)> {
+        self.table.iter()
+    }
+
+    fn insert(&mut self, prefix: Prefix, attrs: Arc<RouteAttributes>) {
+        self.table.insert(prefix, attrs);
+    }
+
+    fn remove(&mut self, prefix: &Prefix) -> Option<Arc<RouteAttributes>> {
+        self.table.remove(prefix)
+    }
+}
+
+/// The Loc-RIB: routes selected by the local decision process
+/// (RFC 4271 §3.2). Distinct from the forwarding table — the paper
+/// emphasizes that updating the FIB after a Loc-RIB change is a
+/// separately costed operation.
+#[derive(Debug, Clone, Default)]
+pub struct LocRib {
+    table: HashMap<Prefix, Route>,
+}
+
+impl LocRib {
+    /// Creates an empty Loc-RIB.
+    pub fn new() -> Self {
+        LocRib::default()
+    }
+
+    /// Number of selected routes.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no routes are selected.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The selected route for `prefix`, if any.
+    pub fn get(&self, prefix: &Prefix) -> Option<&Route> {
+        self.table.get(prefix)
+    }
+
+    /// Iterates over selected routes in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
+        self.table.iter()
+    }
+}
+
+/// What happened to one prefix as a result of an UPDATE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChange {
+    /// A route for a previously-unknown prefix was selected.
+    Installed,
+    /// The best route was replaced by a different one.
+    Replaced {
+        /// Whether the replacement changed the next hop, requiring a
+        /// forwarding-table write (Scenario 7/8 territory).
+        fib_changed: bool,
+    },
+    /// The announcement lost the decision process (or re-announced the
+    /// same best route); the Loc-RIB best is unchanged (Scenario 5/6).
+    Unchanged,
+    /// The last route for the prefix was withdrawn.
+    Withdrawn,
+    /// A withdrawal for a route this peer never announced (no-op).
+    WithdrawnUnknown,
+    /// Import policy rejected the route.
+    RejectedByPolicy,
+    /// The AS path contained the local AS (loop prevention,
+    /// RFC 4271 §9.1.2).
+    RejectedAsLoop,
+    /// Route-flap damping suppressed the announcement (RFC 2439); the
+    /// route is withheld until its penalty decays below the reuse
+    /// threshold.
+    Dampened,
+}
+
+/// The forwarding-table write a [`PrefixOutcome`] requires, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FibDirective {
+    /// Install (or overwrite) the route.
+    Install {
+        /// The destination prefix.
+        prefix: Prefix,
+        /// The BGP next hop to forward through.
+        next_hop: std::net::Ipv4Addr,
+    },
+    /// Remove the route.
+    Remove {
+        /// The destination prefix.
+        prefix: Prefix,
+    },
+}
+
+/// Per-prefix result of [`RibEngine::apply_update`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixOutcome {
+    /// The prefix this outcome describes.
+    pub prefix: Prefix,
+    /// What changed.
+    pub change: RouteChange,
+    /// The forwarding-table write to perform, if any.
+    pub fib: Option<FibDirective>,
+}
+
+/// Aggregate counters kept by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RibStats {
+    /// UPDATE messages processed.
+    pub updates: u64,
+    /// Announced prefixes processed.
+    pub announcements: u64,
+    /// Withdrawn prefixes processed.
+    pub withdrawals: u64,
+    /// Prefixes whose best route changed.
+    pub best_changed: u64,
+    /// Forwarding-table installs directed.
+    pub fib_installs: u64,
+    /// Forwarding-table removes directed.
+    pub fib_removes: u64,
+    /// Routes rejected by import policy.
+    pub policy_rejected: u64,
+    /// Routes rejected by AS-loop detection.
+    pub loop_rejected: u64,
+    /// Announcements suppressed by route-flap damping.
+    pub dampened: u64,
+}
+
+/// A complete BGP routing-table engine: per-peer Adj-RIBs-In, the
+/// decision process, import policy, and the Loc-RIB.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug)]
+pub struct RibEngine {
+    local_asn: Asn,
+    local_id: RouterId,
+    config: DecisionConfig,
+    import_policy: PolicyEngine,
+    peers: HashMap<PeerId, PeerInfo>,
+    adj_in: HashMap<PeerId, AdjRibIn>,
+    loc_rib: LocRib,
+    stats: RibStats,
+    damper: Option<RouteDamper>,
+}
+
+impl RibEngine {
+    /// Creates an engine for a speaker with the given AS and identifier,
+    /// default decision configuration, and permit-all import policy.
+    pub fn new(local_asn: Asn, local_id: RouterId) -> Self {
+        RibEngine {
+            local_asn,
+            local_id,
+            config: DecisionConfig::default(),
+            import_policy: PolicyEngine::permit_all(),
+            peers: HashMap::new(),
+            adj_in: HashMap::new(),
+            loc_rib: LocRib::new(),
+            stats: RibStats::default(),
+            damper: None,
+        }
+    }
+
+    /// Enables route-flap damping (RFC 2439).
+    ///
+    /// Semantics in this engine (a documented simplification of the
+    /// RFC): withdrawals and attribute changes accrue penalty; while a
+    /// (peer, prefix) is suppressed, announcements for it are refused
+    /// admission to the Adj-RIB-In (reported as
+    /// [`RouteChange::Dampened`]); withdrawals are always processed.
+    /// Penalties decay against the timestamps passed to
+    /// [`RibEngine::apply_update_at`].
+    pub fn enable_damping(&mut self, config: DampingConfig) {
+        self.damper = Some(RouteDamper::new(config));
+    }
+
+    /// Disables route-flap damping, forgetting all penalties.
+    pub fn disable_damping(&mut self) {
+        self.damper = None;
+    }
+
+    /// Whether damping is enabled.
+    pub fn damping_enabled(&self) -> bool {
+        self.damper.is_some()
+    }
+
+    /// Replaces the decision configuration.
+    pub fn set_decision_config(&mut self, config: DecisionConfig) {
+        self.config = config;
+    }
+
+    /// Replaces the import policy.
+    pub fn set_import_policy(&mut self, policy: PolicyEngine) {
+        self.import_policy = policy;
+    }
+
+    /// The import policy currently in force.
+    pub fn import_policy(&self) -> &PolicyEngine {
+        &self.import_policy
+    }
+
+    /// The local AS number.
+    pub fn local_asn(&self) -> Asn {
+        self.local_asn
+    }
+
+    /// The local BGP identifier.
+    pub fn local_id(&self) -> RouterId {
+        self.local_id
+    }
+
+    /// Registers a neighbor and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer id is already registered; peer ids are chosen
+    /// by the caller and must be unique.
+    pub fn add_peer(&mut self, info: PeerInfo) -> PeerId {
+        let id = info.id();
+        assert!(
+            !self.peers.contains_key(&id),
+            "peer {id} registered twice"
+        );
+        self.peers.insert(id, info);
+        self.adj_in.insert(id, AdjRibIn::new());
+        id
+    }
+
+    /// Removes a neighbor and withdraws everything learned from it, as
+    /// happens when a session drops. Returns the per-prefix outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RibError::UnknownPeer`] for an unregistered id.
+    pub fn remove_peer(&mut self, peer: PeerId) -> Result<Vec<PrefixOutcome>, RibError> {
+        if !self.peers.contains_key(&peer) {
+            return Err(RibError::UnknownPeer(peer.0));
+        }
+        let prefixes: Vec<Prefix> = self
+            .adj_in
+            .get(&peer)
+            .map(|rib| rib.iter().map(|(prefix, _)| *prefix).collect())
+            .unwrap_or_default();
+        let mut outcomes = Vec::with_capacity(prefixes.len());
+        for prefix in prefixes {
+            outcomes.push(self.withdraw_one(peer, prefix));
+        }
+        self.peers.remove(&peer);
+        self.adj_in.remove(&peer);
+        Ok(outcomes)
+    }
+
+    /// The registered peers.
+    pub fn peers(&self) -> impl Iterator<Item = &PeerInfo> {
+        self.peers.values()
+    }
+
+    /// A peer's Adj-RIB-In.
+    pub fn adj_rib_in(&self, peer: PeerId) -> Option<&AdjRibIn> {
+        self.adj_in.get(&peer)
+    }
+
+    /// The Loc-RIB.
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RibStats {
+        self.stats
+    }
+
+    /// Processes one UPDATE from `peer`: withdrawals first, then
+    /// announcements, per RFC 4271 §3.1. Returns one outcome per
+    /// prefix, in message order.
+    ///
+    /// Equivalent to [`RibEngine::apply_update_at`] at time zero —
+    /// fine while damping is disabled; with damping enabled, pass real
+    /// timestamps so penalties decay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RibError::UnknownPeer`] for an unregistered peer and
+    /// [`RibError::MissingMandatoryAttribute`] if the message announces
+    /// NLRI without the mandatory attributes.
+    pub fn apply_update(
+        &mut self,
+        peer: PeerId,
+        update: &UpdateMessage,
+    ) -> Result<Vec<PrefixOutcome>, RibError> {
+        self.apply_update_at(peer, update, 0.0)
+    }
+
+    /// [`RibEngine::apply_update`] with an explicit clock (seconds)
+    /// against which route-flap damping penalties decay.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RibEngine::apply_update`].
+    pub fn apply_update_at(
+        &mut self,
+        peer: PeerId,
+        update: &UpdateMessage,
+        now_secs: f64,
+    ) -> Result<Vec<PrefixOutcome>, RibError> {
+        if !self.peers.contains_key(&peer) {
+            return Err(RibError::UnknownPeer(peer.0));
+        }
+        self.stats.updates += 1;
+        let mut outcomes = Vec::with_capacity(update.transaction_count());
+
+        for prefix in update.withdrawn() {
+            self.stats.withdrawals += 1;
+            let had_route = self
+                .adj_in
+                .get(&peer)
+                .is_some_and(|rib| rib.get(prefix).is_some());
+            if had_route {
+                if let Some(damper) = &mut self.damper {
+                    damper.record_flap(peer, *prefix, FlapKind::Withdraw, now_secs);
+                }
+            }
+            outcomes.push(self.withdraw_one(peer, *prefix));
+        }
+
+        if update.nlri().is_empty() {
+            return Ok(outcomes);
+        }
+
+        let attrs = RouteAttributes::from_wire(update.attributes())?;
+        // Loop prevention applies to the whole attribute set.
+        if attrs.as_path().contains(self.local_asn) {
+            for prefix in update.nlri() {
+                self.stats.announcements += 1;
+                self.stats.loop_rejected += 1;
+                outcomes.push(PrefixOutcome {
+                    prefix: *prefix,
+                    change: RouteChange::RejectedAsLoop,
+                    fib: None,
+                });
+            }
+            return Ok(outcomes);
+        }
+
+        // Policy may rewrite attributes per prefix; cache the common
+        // case where the result is prefix-independent (permit-all).
+        let shared: Option<Arc<RouteAttributes>> = if self.import_policy.is_empty() {
+            Some(Arc::new(attrs.clone()))
+        } else {
+            None
+        };
+
+        for prefix in update.nlri() {
+            self.stats.announcements += 1;
+            // Flap accounting and suppression check (RFC 2439).
+            if let Some(damper) = &mut self.damper {
+                let existing = self.adj_in.get(&peer).and_then(|rib| rib.get(prefix));
+                let kind = match existing {
+                    Some(old) if old.as_ref() != &attrs => {
+                        Some(FlapKind::AttributeChange)
+                    }
+                    Some(_) => None, // identical re-announcement: no flap
+                    None => Some(FlapKind::Reannounce),
+                };
+                if let Some(kind) = kind {
+                    damper.record_flap(peer, *prefix, kind, now_secs);
+                }
+                if damper.is_suppressed(peer, prefix, now_secs) {
+                    self.stats.dampened += 1;
+                    outcomes.push(PrefixOutcome {
+                        prefix: *prefix,
+                        change: RouteChange::Dampened,
+                        fib: None,
+                    });
+                    continue;
+                }
+            }
+            let final_attrs = match &shared {
+                Some(arc) => Some(arc.clone()),
+                None => self
+                    .import_policy
+                    .evaluate(prefix, attrs.clone())
+                    .map(Arc::new),
+            };
+            let outcome = match final_attrs {
+                Some(final_attrs) => self.announce_one(peer, *prefix, final_attrs),
+                None => {
+                    self.stats.policy_rejected += 1;
+                    PrefixOutcome {
+                        prefix: *prefix,
+                        change: RouteChange::RejectedByPolicy,
+                        fib: None,
+                    }
+                }
+            };
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+
+    /// Re-runs the decision process for `prefix` over all Adj-RIBs-In
+    /// and returns the winning route, if any.
+    fn decide(&self, prefix: &Prefix) -> Option<Route> {
+        let mut best: Option<(&PeerInfo, &Arc<RouteAttributes>)> = None;
+        for (peer_id, rib) in &self.adj_in {
+            let Some(attrs) = rib.get(prefix) else {
+                continue;
+            };
+            let info = &self.peers[peer_id];
+            best = match best {
+                None => Some((info, attrs)),
+                Some((best_info, best_attrs)) => {
+                    let ordering = compare_routes(
+                        &self.config,
+                        self.local_asn,
+                        attrs,
+                        info,
+                        best_attrs,
+                        best_info,
+                    );
+                    if ordering == std::cmp::Ordering::Greater {
+                        Some((info, attrs))
+                    } else {
+                        Some((best_info, best_attrs))
+                    }
+                }
+            };
+        }
+        best.map(|(info, attrs)| Route::new(*prefix, attrs.clone(), info.id()))
+    }
+
+    fn announce_one(
+        &mut self,
+        peer: PeerId,
+        prefix: Prefix,
+        attrs: Arc<RouteAttributes>,
+    ) -> PrefixOutcome {
+        self.adj_in
+            .get_mut(&peer)
+            .expect("peer checked by caller")
+            .insert(prefix, attrs);
+        self.reselect(prefix)
+    }
+
+    fn withdraw_one(&mut self, peer: PeerId, prefix: Prefix) -> PrefixOutcome {
+        let removed = self
+            .adj_in
+            .get_mut(&peer)
+            .and_then(|rib| rib.remove(&prefix));
+        if removed.is_none() {
+            return PrefixOutcome {
+                prefix,
+                change: RouteChange::WithdrawnUnknown,
+                fib: None,
+            };
+        }
+        self.reselect(prefix)
+    }
+
+    /// Recomputes the best route for `prefix` and classifies the change
+    /// against the previous Loc-RIB entry.
+    fn reselect(&mut self, prefix: Prefix) -> PrefixOutcome {
+        let new_best = self.decide(&prefix);
+        let old_best = self.loc_rib.table.get(&prefix);
+        let (change, fib) = match (old_best, &new_best) {
+            (None, None) => (RouteChange::Unchanged, None),
+            (None, Some(new)) => (
+                RouteChange::Installed,
+                Some(FibDirective::Install {
+                    prefix,
+                    next_hop: new.attrs().next_hop(),
+                }),
+            ),
+            (Some(old), None) => {
+                let _ = old;
+                (RouteChange::Withdrawn, Some(FibDirective::Remove { prefix }))
+            }
+            (Some(old), Some(new)) => {
+                if old.learned_from() == new.learned_from() && old.attrs() == new.attrs() {
+                    (RouteChange::Unchanged, None)
+                } else {
+                    let fib_changed = old.attrs().next_hop() != new.attrs().next_hop();
+                    let fib = fib_changed.then_some(FibDirective::Install {
+                        prefix,
+                        next_hop: new.attrs().next_hop(),
+                    });
+                    (RouteChange::Replaced { fib_changed }, fib)
+                }
+            }
+        };
+        match &fib {
+            Some(FibDirective::Install { .. }) => self.stats.fib_installs += 1,
+            Some(FibDirective::Remove { .. }) => self.stats.fib_removes += 1,
+            None => {}
+        }
+        if !matches!(change, RouteChange::Unchanged) {
+            self.stats.best_changed += 1;
+        }
+        match new_best {
+            Some(route) => {
+                self.loc_rib.table.insert(prefix, route);
+            }
+            None => {
+                self.loc_rib.table.remove(&prefix);
+            }
+        }
+        PrefixOutcome {
+            prefix,
+            change,
+            fib,
+        }
+    }
+
+    /// Computes the routes to advertise to `peer`: every Loc-RIB best
+    /// not learned from that peer, in exported form (own AS prepended,
+    /// next hop set to `local_address`). Attribute sets shared by many
+    /// prefixes are transformed once.
+    pub fn export_routes(
+        &self,
+        peer: PeerId,
+        local_address: std::net::Ipv4Addr,
+    ) -> Vec<(Prefix, Arc<RouteAttributes>)> {
+        let mut cache: HashMap<*const RouteAttributes, Arc<RouteAttributes>> = HashMap::new();
+        let mut routes: Vec<(Prefix, Arc<RouteAttributes>)> = self
+            .loc_rib
+            .iter()
+            .filter(|(_, route)| route.learned_from() != peer)
+            .map(|(prefix, route)| {
+                let key = Arc::as_ptr(route.attrs());
+                let exported = cache
+                    .entry(key)
+                    .or_insert_with(|| {
+                        Arc::new(route.attrs().exported(self.local_asn, local_address))
+                    })
+                    .clone();
+                (*prefix, exported)
+            })
+            .collect();
+        routes.sort_by_key(|(prefix, _)| *prefix);
+        routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpbench_wire::{AsPath, Origin, PathAttribute};
+    use std::net::Ipv4Addr;
+
+    const LOCAL_ASN: Asn = Asn(65000);
+
+    fn engine_with_two_peers() -> (RibEngine, PeerId, PeerId) {
+        let mut engine = RibEngine::new(LOCAL_ASN, RouterId(1));
+        let p1 = engine.add_peer(PeerInfo::new(
+            PeerId(1),
+            Asn(65001),
+            RouterId(0x0A000002),
+            Ipv4Addr::new(10, 0, 0, 2),
+        ));
+        let p2 = engine.add_peer(PeerInfo::new(
+            PeerId(2),
+            Asn(65002),
+            RouterId(0x0A000003),
+            Ipv4Addr::new(10, 0, 0, 3),
+        ));
+        (engine, p1, p2)
+    }
+
+    fn announce(path: &[u16], next_hop: Ipv4Addr, prefixes: &[&str]) -> UpdateMessage {
+        let mut builder = UpdateMessage::builder()
+            .attribute(PathAttribute::Origin(Origin::Igp))
+            .attribute(PathAttribute::AsPath(AsPath::from_sequence(
+                path.iter().copied().map(Asn),
+            )))
+            .attribute(PathAttribute::NextHop(next_hop));
+        for prefix in prefixes {
+            builder = builder.announce(prefix.parse().unwrap());
+        }
+        builder.build()
+    }
+
+    fn withdraw(prefixes: &[&str]) -> UpdateMessage {
+        UpdateMessage::builder()
+            .withdraw_all(prefixes.iter().map(|p| p.parse().unwrap()))
+            .build()
+    }
+
+    const HOP1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const HOP2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+
+    #[test]
+    fn scenario_1_startup_announcements_install() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        let outcomes = engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8", "11.0.0.0/8"]))
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        for outcome in &outcomes {
+            assert_eq!(outcome.change, RouteChange::Installed);
+            assert!(matches!(outcome.fib, Some(FibDirective::Install { .. })));
+        }
+        assert_eq!(engine.loc_rib().len(), 2);
+        assert_eq!(engine.stats().fib_installs, 2);
+    }
+
+    #[test]
+    fn scenario_3_withdrawals_remove_from_fib() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        let outcomes = engine.apply_update(p1, &withdraw(&["10.0.0.0/8"])).unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::Withdrawn);
+        assert_eq!(
+            outcomes[0].fib,
+            Some(FibDirective::Remove {
+                prefix: "10.0.0.0/8".parse().unwrap()
+            })
+        );
+        assert!(engine.loc_rib().is_empty());
+    }
+
+    #[test]
+    fn scenario_5_longer_path_loses_without_fib_change() {
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        // Same prefix, longer AS path, from the other speaker.
+        let outcomes = engine
+            .apply_update(p2, &announce(&[65002, 65010, 65011], HOP2, &["10.0.0.0/8"]))
+            .unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::Unchanged);
+        assert_eq!(outcomes[0].fib, None);
+        // But it is retained in the Adj-RIB-In.
+        assert_eq!(engine.adj_rib_in(p2).unwrap().len(), 1);
+        // The best is still peer 1's route.
+        let best = engine.loc_rib().get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(best.learned_from(), p1);
+    }
+
+    #[test]
+    fn scenario_7_shorter_path_wins_and_changes_fib() {
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001, 65010], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        let outcomes = engine
+            .apply_update(p2, &announce(&[65002], HOP2, &["10.0.0.0/8"]))
+            .unwrap();
+        assert_eq!(
+            outcomes[0].change,
+            RouteChange::Replaced { fib_changed: true }
+        );
+        assert_eq!(
+            outcomes[0].fib,
+            Some(FibDirective::Install {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                next_hop: HOP2,
+            })
+        );
+        let best = engine.loc_rib().get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(best.learned_from(), p2);
+    }
+
+    #[test]
+    fn withdrawal_falls_back_to_second_best() {
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        engine
+            .apply_update(p2, &announce(&[65002, 65010], HOP2, &["10.0.0.0/8"]))
+            .unwrap();
+        // Withdraw the best; the longer path from peer 2 takes over.
+        let outcomes = engine.apply_update(p1, &withdraw(&["10.0.0.0/8"])).unwrap();
+        assert_eq!(
+            outcomes[0].change,
+            RouteChange::Replaced { fib_changed: true }
+        );
+        let best = engine.loc_rib().get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(best.learned_from(), p2);
+    }
+
+    #[test]
+    fn withdrawing_unknown_prefix_is_a_noop() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        let outcomes = engine.apply_update(p1, &withdraw(&["10.0.0.0/8"])).unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::WithdrawnUnknown);
+        assert_eq!(outcomes[0].fib, None);
+    }
+
+    #[test]
+    fn reannouncing_identical_route_is_unchanged() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        let update = announce(&[65001], HOP1, &["10.0.0.0/8"]);
+        engine.apply_update(p1, &update).unwrap();
+        let outcomes = engine.apply_update(p1, &update).unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::Unchanged);
+    }
+
+    #[test]
+    fn implicit_replacement_same_peer_new_next_hop() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        let new_hop = Ipv4Addr::new(10, 0, 0, 9);
+        let outcomes = engine
+            .apply_update(p1, &announce(&[65001], new_hop, &["10.0.0.0/8"]))
+            .unwrap();
+        assert_eq!(
+            outcomes[0].change,
+            RouteChange::Replaced { fib_changed: true }
+        );
+    }
+
+    #[test]
+    fn replacement_with_same_next_hop_needs_no_fib_write() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001, 65010], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        // Same peer, same next hop, shorter path: best changes but the
+        // forwarding behaviour does not.
+        let outcomes = engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        assert_eq!(
+            outcomes[0].change,
+            RouteChange::Replaced { fib_changed: false }
+        );
+        assert_eq!(outcomes[0].fib, None);
+    }
+
+    #[test]
+    fn as_loop_is_rejected() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        let outcomes = engine
+            .apply_update(
+                p1,
+                &announce(&[65001, LOCAL_ASN.0, 65010], HOP1, &["10.0.0.0/8"]),
+            )
+            .unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::RejectedAsLoop);
+        assert!(engine.loc_rib().is_empty());
+        assert_eq!(engine.stats().loop_rejected, 1);
+    }
+
+    #[test]
+    fn policy_rejection_is_reported() {
+        use crate::{PolicyAction, PolicyRule, RouteMatcher};
+        let (mut engine, p1, _) = engine_with_two_peers();
+        engine.set_import_policy(PolicyEngine::from_rules([PolicyRule::new(
+            RouteMatcher::PrefixWithin("10.0.0.0/8".parse().unwrap()),
+            PolicyAction::Reject,
+        )]));
+        let outcomes = engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.1.0.0/16", "11.0.0.0/8"]))
+            .unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::RejectedByPolicy);
+        assert_eq!(outcomes[1].change, RouteChange::Installed);
+        assert_eq!(engine.stats().policy_rejected, 1);
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error() {
+        let (mut engine, _, _) = engine_with_two_peers();
+        let result = engine.apply_update(PeerId(99), &withdraw(&["10.0.0.0/8"]));
+        assert_eq!(result, Err(RibError::UnknownPeer(99)));
+    }
+
+    #[test]
+    fn remove_peer_withdraws_its_routes() {
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8", "11.0.0.0/8"]))
+            .unwrap();
+        engine
+            .apply_update(p2, &announce(&[65002, 65010], HOP2, &["10.0.0.0/8"]))
+            .unwrap();
+        let outcomes = engine.remove_peer(p1).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        // 10/8 falls back to peer 2; 11/8 disappears.
+        let best = engine.loc_rib().get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(best.learned_from(), p2);
+        assert!(engine.loc_rib().get(&"11.0.0.0/8".parse().unwrap()).is_none());
+        assert!(engine.remove_peer(p1).is_err());
+    }
+
+    #[test]
+    fn export_routes_excludes_learning_peer_and_transforms() {
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8", "11.0.0.0/8"]))
+            .unwrap();
+        let local_addr = Ipv4Addr::new(10, 0, 0, 1);
+        // Toward peer 2: both routes, exported form.
+        let toward_p2 = engine.export_routes(p2, local_addr);
+        assert_eq!(toward_p2.len(), 2);
+        for (_, attrs) in &toward_p2 {
+            assert_eq!(attrs.next_hop(), local_addr);
+            assert_eq!(attrs.as_path().first_as(), Some(LOCAL_ASN));
+        }
+        // Toward peer 1 (the learning peer): nothing.
+        assert!(engine.export_routes(p1, local_addr).is_empty());
+    }
+
+    #[test]
+    fn export_routes_shares_transformed_attribute_sets() {
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8", "11.0.0.0/8"]))
+            .unwrap();
+        let exported = engine.export_routes(p2, Ipv4Addr::new(10, 0, 0, 1));
+        assert!(Arc::ptr_eq(&exported[0].1, &exported[1].1));
+    }
+
+    #[test]
+    fn damping_suppresses_flapping_routes() {
+        use crate::DampingConfig;
+        let (mut engine, p1, _) = engine_with_two_peers();
+        engine.enable_damping(DampingConfig::default());
+        assert!(engine.damping_enabled());
+        let ann = announce(&[65001], HOP1, &["10.0.0.0/8"]);
+        let wd = withdraw(&["10.0.0.0/8"]);
+        // Flap hard: each withdrawal adds 1000 penalty; after the
+        // third withdrawal the penalty (~3000) exceeds the suppress
+        // threshold (2000), so the next announcement is refused.
+        engine.apply_update_at(p1, &ann, 0.0).unwrap();
+        engine.apply_update_at(p1, &wd, 1.0).unwrap();
+        engine.apply_update_at(p1, &ann, 2.0).unwrap();
+        engine.apply_update_at(p1, &wd, 3.0).unwrap();
+        engine.apply_update_at(p1, &ann, 4.0).unwrap();
+        engine.apply_update_at(p1, &wd, 5.0).unwrap();
+        let outcomes = engine.apply_update_at(p1, &ann, 6.0).unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::Dampened);
+        assert!(engine.loc_rib().is_empty());
+        assert_eq!(engine.stats().dampened, 1);
+
+        // After several half-lives (default 900 s) the penalty decays
+        // below the reuse threshold and the route is accepted again.
+        let outcomes = engine.apply_update_at(p1, &ann, 6.0 + 4.0 * 900.0).unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::Installed);
+        assert_eq!(engine.loc_rib().len(), 1);
+    }
+
+    #[test]
+    fn damping_ignores_stable_routes() {
+        use crate::DampingConfig;
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine.enable_damping(DampingConfig::default());
+        // A stable route announced once, plus a losing alternative:
+        // no flaps, nothing suppressed.
+        engine
+            .apply_update_at(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]), 0.0)
+            .unwrap();
+        let outcomes = engine
+            .apply_update_at(p2, &announce(&[65002, 9, 9], HOP2, &["10.0.0.0/8"]), 1.0)
+            .unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::Unchanged);
+        assert_eq!(engine.stats().dampened, 0);
+        // Identical re-announcement adds no penalty.
+        let outcomes = engine
+            .apply_update_at(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]), 2.0)
+            .unwrap();
+        assert_eq!(outcomes[0].change, RouteChange::Unchanged);
+        engine.disable_damping();
+        assert!(!engine.damping_enabled());
+    }
+
+    #[test]
+    fn stats_track_the_full_lifecycle() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        engine.apply_update(p1, &withdraw(&["10.0.0.0/8"])).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.updates, 2);
+        assert_eq!(stats.announcements, 1);
+        assert_eq!(stats.withdrawals, 1);
+        assert_eq!(stats.fib_installs, 1);
+        assert_eq!(stats.fib_removes, 1);
+        assert_eq!(stats.best_changed, 2);
+    }
+}

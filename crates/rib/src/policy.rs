@@ -1,0 +1,273 @@
+//! Import/export routing policy.
+//!
+//! The paper (§III.A) stresses that BGP route selection "is always
+//! policy-based". This module provides the route-map-style policy
+//! engine the benchmark's router models evaluate on every imported
+//! route: ordered rules, each a matcher plus an action.
+
+use bgpbench_wire::{Asn, Prefix};
+
+use crate::route::RouteAttributes;
+
+/// What part of a route a policy rule matches on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteMatcher {
+    /// Matches every route.
+    Any,
+    /// Matches routes whose prefix equals or is more specific than the
+    /// given prefix.
+    PrefixWithin(Prefix),
+    /// Matches routes whose prefix equals the given prefix exactly.
+    PrefixExact(Prefix),
+    /// Matches routes whose mask length lies within the closed range.
+    PrefixLengthBetween(u8, u8),
+    /// Matches routes whose AS path contains the given AS.
+    AsPathContains(Asn),
+    /// Matches routes originated by the given AS.
+    OriginatedBy(Asn),
+    /// Matches routes carrying the given community.
+    HasCommunity(u32),
+}
+
+impl RouteMatcher {
+    /// Whether a route matches.
+    pub fn matches(&self, prefix: &Prefix, attrs: &RouteAttributes) -> bool {
+        match self {
+            RouteMatcher::Any => true,
+            RouteMatcher::PrefixWithin(outer) => outer.covers(prefix),
+            RouteMatcher::PrefixExact(exact) => exact == prefix,
+            RouteMatcher::PrefixLengthBetween(lo, hi) => {
+                (*lo..=*hi).contains(&prefix.len())
+            }
+            RouteMatcher::AsPathContains(asn) => attrs.as_path().contains(*asn),
+            RouteMatcher::OriginatedBy(asn) => attrs.as_path().origin_as() == Some(*asn),
+            RouteMatcher::HasCommunity(community) => {
+                attrs.communities().contains(community)
+            }
+        }
+    }
+}
+
+/// What a matching rule does to the route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Accept the route as-is and stop evaluating rules.
+    Accept,
+    /// Reject the route and stop evaluating rules.
+    Reject,
+    /// Overwrite LOCAL_PREF and continue with the next rule.
+    SetLocalPref(u32),
+    /// Overwrite MED and continue with the next rule.
+    SetMed(u32),
+    /// Attach a community and continue with the next rule.
+    AddCommunity(u32),
+}
+
+/// One ordered policy rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyRule {
+    matcher: RouteMatcher,
+    action: PolicyAction,
+}
+
+impl PolicyRule {
+    /// Pairs a matcher with an action.
+    pub fn new(matcher: RouteMatcher, action: PolicyAction) -> Self {
+        PolicyRule { matcher, action }
+    }
+
+    /// The rule's matcher.
+    pub fn matcher(&self) -> &RouteMatcher {
+        &self.matcher
+    }
+
+    /// The rule's action.
+    pub fn action(&self) -> PolicyAction {
+        self.action
+    }
+}
+
+/// An ordered list of policy rules evaluated first-match-modifies,
+/// terminal on `Accept`/`Reject`, defaulting to accept.
+///
+/// ```
+/// use bgpbench_rib::{PolicyAction, PolicyEngine, PolicyRule, RouteMatcher, RouteAttributes};
+/// use bgpbench_wire::{AsPath, Asn, Origin};
+/// use std::net::Ipv4Addr;
+///
+/// let engine = PolicyEngine::from_rules([
+///     PolicyRule::new(
+///         RouteMatcher::AsPathContains(Asn(666)),
+///         PolicyAction::Reject,
+///     ),
+/// ]);
+/// let bad = RouteAttributes::new(
+///     Origin::Igp,
+///     AsPath::from_sequence([Asn(666)]),
+///     Ipv4Addr::new(10, 0, 0, 1),
+/// );
+/// let prefix = "10.0.0.0/8".parse().unwrap();
+/// assert_eq!(engine.evaluate(&prefix, bad), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyEngine {
+    rules: Vec<PolicyRule>,
+}
+
+impl PolicyEngine {
+    /// An engine with no rules: everything is accepted unmodified.
+    pub fn permit_all() -> Self {
+        PolicyEngine::default()
+    }
+
+    /// Builds an engine from ordered rules.
+    pub fn from_rules<I: IntoIterator<Item = PolicyRule>>(rules: I) -> Self {
+        PolicyEngine {
+            rules: rules.into_iter().collect(),
+        }
+    }
+
+    /// Appends a rule at the lowest priority.
+    pub fn push(&mut self, rule: PolicyRule) {
+        self.rules.push(rule);
+    }
+
+    /// The configured rules, highest priority first.
+    pub fn rules(&self) -> &[PolicyRule] {
+        &self.rules
+    }
+
+    /// Number of rules a route must be evaluated against in the worst
+    /// case (used by the simulator's cost model).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the engine has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates a route. Returns the (possibly modified) attributes,
+    /// or `None` if the route is rejected.
+    pub fn evaluate(
+        &self,
+        prefix: &Prefix,
+        mut attrs: RouteAttributes,
+    ) -> Option<RouteAttributes> {
+        for rule in &self.rules {
+            if !rule.matcher.matches(prefix, &attrs) {
+                continue;
+            }
+            match rule.action {
+                PolicyAction::Accept => return Some(attrs),
+                PolicyAction::Reject => return None,
+                PolicyAction::SetLocalPref(value) => {
+                    attrs = attrs.with_local_pref(value);
+                }
+                PolicyAction::SetMed(value) => {
+                    attrs = attrs.with_med(value);
+                }
+                PolicyAction::AddCommunity(community) => {
+                    let mut communities = attrs.communities().to_vec();
+                    if !communities.contains(&community) {
+                        communities.push(community);
+                    }
+                    attrs = attrs.with_communities(communities);
+                }
+            }
+        }
+        Some(attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpbench_wire::{AsPath, Origin};
+    use std::net::Ipv4Addr;
+
+    fn attrs_with_path(path: &[u16]) -> RouteAttributes {
+        RouteAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence(path.iter().copied().map(Asn)),
+            Ipv4Addr::new(10, 0, 0, 2),
+        )
+    }
+
+    fn p(text: &str) -> Prefix {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn permit_all_accepts_unmodified() {
+        let engine = PolicyEngine::permit_all();
+        let attrs = attrs_with_path(&[1, 2]);
+        let result = engine.evaluate(&p("10.0.0.0/8"), attrs.clone()).unwrap();
+        assert_eq!(result, attrs);
+    }
+
+    #[test]
+    fn reject_rule_drops_matching_routes_only() {
+        let engine = PolicyEngine::from_rules([PolicyRule::new(
+            RouteMatcher::PrefixWithin(p("10.0.0.0/8")),
+            PolicyAction::Reject,
+        )]);
+        assert_eq!(engine.evaluate(&p("10.1.0.0/16"), attrs_with_path(&[1])), None);
+        assert!(engine
+            .evaluate(&p("11.0.0.0/8"), attrs_with_path(&[1]))
+            .is_some());
+    }
+
+    #[test]
+    fn modifications_accumulate_until_terminal_action() {
+        let engine = PolicyEngine::from_rules([
+            PolicyRule::new(RouteMatcher::Any, PolicyAction::SetLocalPref(250)),
+            PolicyRule::new(RouteMatcher::Any, PolicyAction::AddCommunity(77)),
+            PolicyRule::new(RouteMatcher::Any, PolicyAction::Accept),
+            // Never reached.
+            PolicyRule::new(RouteMatcher::Any, PolicyAction::SetLocalPref(1)),
+        ]);
+        let result = engine
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1]))
+            .unwrap();
+        assert_eq!(result.local_pref(), Some(250));
+        assert_eq!(result.communities(), &[77]);
+    }
+
+    #[test]
+    fn matchers_cover_all_route_parts() {
+        let attrs = attrs_with_path(&[100, 200]).with_communities(vec![42]);
+        let prefix = p("10.1.0.0/16");
+        let cases = [
+            (RouteMatcher::Any, true),
+            (RouteMatcher::PrefixWithin(p("10.0.0.0/8")), true),
+            (RouteMatcher::PrefixWithin(p("10.1.0.0/24")), false),
+            (RouteMatcher::PrefixExact(p("10.1.0.0/16")), true),
+            (RouteMatcher::PrefixExact(p("10.0.0.0/8")), false),
+            (RouteMatcher::PrefixLengthBetween(8, 16), true),
+            (RouteMatcher::PrefixLengthBetween(17, 24), false),
+            (RouteMatcher::AsPathContains(Asn(200)), true),
+            (RouteMatcher::AsPathContains(Asn(300)), false),
+            (RouteMatcher::OriginatedBy(Asn(200)), true),
+            (RouteMatcher::OriginatedBy(Asn(100)), false),
+            (RouteMatcher::HasCommunity(42), true),
+            (RouteMatcher::HasCommunity(43), false),
+        ];
+        for (matcher, expected) in cases {
+            assert_eq!(matcher.matches(&prefix, &attrs), expected, "{matcher:?}");
+        }
+    }
+
+    #[test]
+    fn add_community_is_idempotent() {
+        let engine = PolicyEngine::from_rules([
+            PolicyRule::new(RouteMatcher::Any, PolicyAction::AddCommunity(7)),
+            PolicyRule::new(RouteMatcher::HasCommunity(7), PolicyAction::AddCommunity(7)),
+        ]);
+        let result = engine
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1]))
+            .unwrap();
+        assert_eq!(result.communities(), &[7]);
+    }
+}

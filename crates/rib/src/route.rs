@@ -1,0 +1,389 @@
+//! Routes and their decomposed attribute sets.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use bgpbench_wire::{AsPath, Asn, Origin, PathAttribute, Prefix, RouterId};
+
+use crate::RibError;
+
+/// Identifies a configured neighbor within a [`crate::RibEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+/// Static facts about a configured neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerInfo {
+    id: PeerId,
+    asn: Asn,
+    router_id: RouterId,
+    address: Ipv4Addr,
+}
+
+impl PeerInfo {
+    /// Describes a neighbor. Sessions to a different AS are eBGP; the
+    /// engine derives iBGP/eBGP from the AS numbers.
+    pub fn new(id: PeerId, asn: Asn, router_id: RouterId, address: Ipv4Addr) -> Self {
+        PeerInfo {
+            id,
+            asn,
+            router_id,
+            address,
+        }
+    }
+
+    /// The engine-local identifier.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The neighbor's AS number.
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// The neighbor's BGP identifier.
+    pub fn router_id(&self) -> RouterId {
+        self.router_id
+    }
+
+    /// The neighbor's session address.
+    pub fn address(&self) -> Ipv4Addr {
+        self.address
+    }
+}
+
+/// The decomposed path-attribute set shared by every prefix announced
+/// in one UPDATE.
+///
+/// Attribute sets are immutable once built and shared via [`Arc`], the
+/// same "path attribute interning" real BGP implementations use to keep
+/// per-prefix memory small.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteAttributes {
+    origin: Origin,
+    as_path: AsPath,
+    next_hop: Ipv4Addr,
+    med: Option<u32>,
+    local_pref: Option<u32>,
+    atomic_aggregate: bool,
+    communities: Vec<u32>,
+}
+
+impl RouteAttributes {
+    /// Default LOCAL_PREF applied when a route carries none
+    /// (the near-universal vendor default).
+    pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+    /// Builds an attribute set directly (primarily for tests and
+    /// workload generators).
+    pub fn new(origin: Origin, as_path: AsPath, next_hop: Ipv4Addr) -> Self {
+        RouteAttributes {
+            origin,
+            as_path,
+            next_hop,
+            med: None,
+            local_pref: None,
+            atomic_aggregate: false,
+            communities: Vec::new(),
+        }
+    }
+
+    /// Sets the MULTI_EXIT_DISC, returning `self` for chaining.
+    pub fn with_med(mut self, med: u32) -> Self {
+        self.med = Some(med);
+        self
+    }
+
+    /// Sets the LOCAL_PREF, returning `self` for chaining.
+    pub fn with_local_pref(mut self, local_pref: u32) -> Self {
+        self.local_pref = Some(local_pref);
+        self
+    }
+
+    /// Sets the communities, returning `self` for chaining.
+    pub fn with_communities(mut self, communities: Vec<u32>) -> Self {
+        self.communities = communities;
+        self
+    }
+
+    /// Extracts an attribute set from the attributes of an UPDATE that
+    /// announces NLRI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RibError::MissingMandatoryAttribute`] if ORIGIN,
+    /// AS_PATH, or NEXT_HOP is absent (RFC 4271 §6.3).
+    pub fn from_wire(attrs: &[PathAttribute]) -> Result<Self, RibError> {
+        let mut origin = None;
+        let mut as_path = None;
+        let mut next_hop = None;
+        let mut med = None;
+        let mut local_pref = None;
+        let mut atomic_aggregate = false;
+        let mut communities = Vec::new();
+        for attr in attrs {
+            match attr {
+                PathAttribute::Origin(value) => origin = Some(*value),
+                PathAttribute::AsPath(value) => as_path = Some(value.clone()),
+                PathAttribute::NextHop(value) => next_hop = Some(*value),
+                PathAttribute::Med(value) => med = Some(*value),
+                PathAttribute::LocalPref(value) => local_pref = Some(*value),
+                PathAttribute::AtomicAggregate => atomic_aggregate = true,
+                PathAttribute::Communities(values) => communities = values.clone(),
+                PathAttribute::Aggregator { .. } | PathAttribute::Unknown { .. } => {}
+            }
+        }
+        Ok(RouteAttributes {
+            origin: origin.ok_or(RibError::MissingMandatoryAttribute {
+                attribute: "ORIGIN",
+            })?,
+            as_path: as_path.ok_or(RibError::MissingMandatoryAttribute {
+                attribute: "AS_PATH",
+            })?,
+            next_hop: next_hop.ok_or(RibError::MissingMandatoryAttribute {
+                attribute: "NEXT_HOP",
+            })?,
+            med,
+            local_pref,
+            atomic_aggregate,
+            communities,
+        })
+    }
+
+    /// Serializes back into wire path attributes.
+    pub fn to_wire(&self) -> Vec<PathAttribute> {
+        let mut attrs = vec![
+            PathAttribute::Origin(self.origin),
+            PathAttribute::AsPath(self.as_path.clone()),
+            PathAttribute::NextHop(self.next_hop),
+        ];
+        if let Some(med) = self.med {
+            attrs.push(PathAttribute::Med(med));
+        }
+        if let Some(local_pref) = self.local_pref {
+            attrs.push(PathAttribute::LocalPref(local_pref));
+        }
+        if self.atomic_aggregate {
+            attrs.push(PathAttribute::AtomicAggregate);
+        }
+        if !self.communities.is_empty() {
+            attrs.push(PathAttribute::Communities(self.communities.clone()));
+        }
+        attrs
+    }
+
+    /// The ORIGIN attribute.
+    pub fn origin(&self) -> Origin {
+        self.origin
+    }
+
+    /// The AS_PATH attribute.
+    pub fn as_path(&self) -> &AsPath {
+        &self.as_path
+    }
+
+    /// The NEXT_HOP attribute.
+    pub fn next_hop(&self) -> Ipv4Addr {
+        self.next_hop
+    }
+
+    /// The MULTI_EXIT_DISC, if present.
+    pub fn med(&self) -> Option<u32> {
+        self.med
+    }
+
+    /// The LOCAL_PREF, if present.
+    pub fn local_pref(&self) -> Option<u32> {
+        self.local_pref
+    }
+
+    /// LOCAL_PREF with the default applied.
+    pub fn effective_local_pref(&self) -> u32 {
+        self.local_pref.unwrap_or(Self::DEFAULT_LOCAL_PREF)
+    }
+
+    /// Whether ATOMIC_AGGREGATE is set.
+    pub fn atomic_aggregate(&self) -> bool {
+        self.atomic_aggregate
+    }
+
+    /// The communities attached to the route.
+    pub fn communities(&self) -> &[u32] {
+        &self.communities
+    }
+
+    /// Returns the attribute set as advertised over an eBGP session:
+    /// own AS prepended, next hop rewritten to the advertising address,
+    /// and non-transitive attributes (MED, LOCAL_PREF) stripped
+    /// (RFC 4271 §5.1.2, §5.1.3).
+    pub fn exported(&self, local_asn: Asn, next_hop: Ipv4Addr) -> RouteAttributes {
+        RouteAttributes {
+            origin: self.origin,
+            as_path: self.as_path.prepend(local_asn),
+            next_hop,
+            med: None,
+            local_pref: None,
+            atomic_aggregate: self.atomic_aggregate,
+            communities: self.communities.clone(),
+        }
+    }
+}
+
+/// A route: a prefix bound to an attribute set learned from a peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    prefix: Prefix,
+    attrs: Arc<RouteAttributes>,
+    learned_from: PeerId,
+}
+
+impl Route {
+    /// Binds a prefix to an attribute set learned from `peer`.
+    pub fn new(prefix: Prefix, attrs: Arc<RouteAttributes>, learned_from: PeerId) -> Self {
+        Route {
+            prefix,
+            attrs,
+            learned_from,
+        }
+    }
+
+    /// The destination prefix.
+    pub fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+
+    /// The shared attribute set.
+    pub fn attrs(&self) -> &Arc<RouteAttributes> {
+        &self.attrs
+    }
+
+    /// The peer the route was learned from.
+    pub fn learned_from(&self) -> PeerId {
+        self.learned_from
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} via {} path [{}] from {}",
+            self.prefix,
+            self.attrs.next_hop(),
+            self.attrs.as_path(),
+            self.learned_from
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_attrs() -> Vec<PathAttribute> {
+        vec![
+            PathAttribute::Origin(Origin::Igp),
+            PathAttribute::AsPath(AsPath::from_sequence([Asn(65001), Asn(65002)])),
+            PathAttribute::NextHop(Ipv4Addr::new(10, 0, 0, 2)),
+        ]
+    }
+
+    #[test]
+    fn from_wire_extracts_everything() {
+        let mut attrs = base_attrs();
+        attrs.push(PathAttribute::Med(50));
+        attrs.push(PathAttribute::LocalPref(200));
+        attrs.push(PathAttribute::AtomicAggregate);
+        attrs.push(PathAttribute::Communities(vec![0xFFFF0001]));
+        let parsed = RouteAttributes::from_wire(&attrs).unwrap();
+        assert_eq!(parsed.origin(), Origin::Igp);
+        assert_eq!(parsed.as_path().length(), 2);
+        assert_eq!(parsed.next_hop(), Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(parsed.med(), Some(50));
+        assert_eq!(parsed.local_pref(), Some(200));
+        assert_eq!(parsed.effective_local_pref(), 200);
+        assert!(parsed.atomic_aggregate());
+        assert_eq!(parsed.communities(), &[0xFFFF0001]);
+    }
+
+    #[test]
+    fn from_wire_requires_mandatory_attributes() {
+        for missing in 0..3 {
+            let mut attrs = base_attrs();
+            attrs.remove(missing);
+            assert!(matches!(
+                RouteAttributes::from_wire(&attrs),
+                Err(RibError::MissingMandatoryAttribute { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let attrs = RouteAttributes::new(
+            Origin::Egp,
+            AsPath::from_sequence([Asn(7)]),
+            Ipv4Addr::new(192, 0, 2, 9),
+        )
+        .with_med(5)
+        .with_local_pref(300)
+        .with_communities(vec![1, 2]);
+        let wire = attrs.to_wire();
+        let back = RouteAttributes::from_wire(&wire).unwrap();
+        assert_eq!(back, attrs);
+    }
+
+    #[test]
+    fn default_local_pref_is_100() {
+        let attrs = RouteAttributes::new(
+            Origin::Igp,
+            AsPath::empty(),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert_eq!(attrs.local_pref(), None);
+        assert_eq!(attrs.effective_local_pref(), 100);
+    }
+
+    #[test]
+    fn export_prepends_as_and_strips_session_attributes() {
+        let attrs = RouteAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence([Asn(65001)]),
+            Ipv4Addr::new(10, 0, 0, 2),
+        )
+        .with_med(9)
+        .with_local_pref(500);
+        let exported = attrs.exported(Asn(65000), Ipv4Addr::new(10, 9, 9, 1));
+        assert_eq!(
+            exported.as_path(),
+            &AsPath::from_sequence([Asn(65000), Asn(65001)])
+        );
+        assert_eq!(exported.next_hop(), Ipv4Addr::new(10, 9, 9, 1));
+        assert_eq!(exported.med(), None);
+        assert_eq!(exported.local_pref(), None);
+    }
+
+    #[test]
+    fn route_display_mentions_prefix_and_path() {
+        let route = Route::new(
+            "10.0.0.0/8".parse().unwrap(),
+            Arc::new(RouteAttributes::new(
+                Origin::Igp,
+                AsPath::from_sequence([Asn(3)]),
+                Ipv4Addr::new(10, 0, 0, 2),
+            )),
+            PeerId(4),
+        );
+        let text = route.to_string();
+        assert!(text.contains("10.0.0.0/8"));
+        assert!(text.contains("peer#4"));
+    }
+}

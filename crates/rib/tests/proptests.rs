@@ -1,0 +1,222 @@
+//! Property-based tests for the decision process and RIB engine.
+
+use std::cmp::Ordering;
+use std::net::Ipv4Addr;
+
+use bgpbench_rib::{
+    compare_routes, DecisionConfig, PeerId, PeerInfo, RibEngine, RouteAttributes,
+};
+use bgpbench_wire::{AsPath, Asn, Origin, PathAttribute, Prefix, RouterId, UpdateMessage};
+use proptest::prelude::*;
+
+const LOCAL_ASN: Asn = Asn(65000);
+
+fn arb_attrs() -> impl Strategy<Value = RouteAttributes> {
+    (
+        prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)],
+        prop::collection::vec(1u16..9999, 1..6),
+        any::<u32>(),
+        prop::option::of(0u32..1000),
+        prop::option::of(0u32..1000),
+    )
+        .prop_map(|(origin, path, hop, med, pref)| {
+            let mut attrs = RouteAttributes::new(
+                origin,
+                AsPath::from_sequence(path.into_iter().map(Asn)),
+                Ipv4Addr::from(hop),
+            );
+            if let Some(med) = med {
+                attrs = attrs.with_med(med);
+            }
+            if let Some(pref) = pref {
+                attrs = attrs.with_local_pref(pref);
+            }
+            attrs
+        })
+}
+
+fn arb_peer(id: u32) -> impl Strategy<Value = PeerInfo> {
+    (1u16..u16::MAX, 1u32..u32::MAX, any::<u32>()).prop_map(move |(asn, rid, addr)| {
+        PeerInfo::new(PeerId(id), Asn(asn), RouterId(rid), Ipv4Addr::from(addr))
+    })
+}
+
+proptest! {
+    /// The preference relation must be antisymmetric: swapping the
+    /// arguments reverses the ordering.
+    #[test]
+    fn decision_is_antisymmetric(
+        a in arb_attrs(), b in arb_attrs(),
+        pa in arb_peer(1), pb in arb_peer(2),
+    ) {
+        let config = DecisionConfig::default();
+        let fwd = compare_routes(&config, LOCAL_ASN, &a, &pa, &b, &pb);
+        let bwd = compare_routes(&config, LOCAL_ASN, &b, &pb, &a, &pa);
+        prop_assert_eq!(fwd, bwd.reverse());
+    }
+
+    /// With distinct peer addresses the relation is total: equality can
+    /// only arise when both routes come from the same peer state.
+    #[test]
+    fn decision_is_total_for_distinct_peers(
+        a in arb_attrs(), b in arb_attrs(),
+        pa in arb_peer(1), pb in arb_peer(2),
+    ) {
+        prop_assume!(pa.address() != pb.address() || pa.router_id() != pb.router_id());
+        let config = DecisionConfig::default();
+        let ordering = compare_routes(&config, LOCAL_ASN, &a, &pa, &b, &pb);
+        prop_assert_ne!(ordering, Ordering::Equal);
+    }
+
+    /// The relation must be transitive so that "pick the max" is
+    /// well-defined regardless of comparison order.
+    #[test]
+    fn decision_is_transitive(
+        a in arb_attrs(), b in arb_attrs(), c in arb_attrs(),
+        pa in arb_peer(1), pb in arb_peer(2), pc in arb_peer(3),
+    ) {
+        let config = DecisionConfig::default();
+        let ab = compare_routes(&config, LOCAL_ASN, &a, &pa, &b, &pb);
+        let bc = compare_routes(&config, LOCAL_ASN, &b, &pb, &c, &pc);
+        let ac = compare_routes(&config, LOCAL_ASN, &a, &pa, &c, &pc);
+        if ab == Ordering::Greater && bc == Ordering::Greater {
+            prop_assert_eq!(ac, Ordering::Greater);
+        }
+        if ab == Ordering::Less && bc == Ordering::Less {
+            prop_assert_eq!(ac, Ordering::Less);
+        }
+    }
+}
+
+fn build_update(attrs: &RouteAttributes, prefixes: &[Prefix]) -> UpdateMessage {
+    let mut builder = UpdateMessage::builder();
+    for attr in attrs.to_wire() {
+        builder = builder.attribute(attr);
+    }
+    builder.announce_all(prefixes.iter().copied()).build()
+}
+
+proptest! {
+    /// Feeding the same announcements in any order must converge to the
+    /// same Loc-RIB (selection is order-independent).
+    #[test]
+    fn loc_rib_is_announcement_order_independent(
+        attrs1 in arb_attrs(),
+        attrs2 in arb_attrs(),
+        prefixes in prop::collection::btree_set(any::<u16>(), 1..20),
+    ) {
+        let prefixes: Vec<Prefix> = prefixes
+            .into_iter()
+            .map(|seed| {
+                Prefix::new_masked(Ipv4Addr::from(u32::from(seed) << 12), 20).unwrap()
+            })
+            .collect();
+
+        let make_engine = || {
+            let mut engine = RibEngine::new(LOCAL_ASN, RouterId(1));
+            engine.add_peer(PeerInfo::new(
+                PeerId(1), Asn(65001), RouterId(2), Ipv4Addr::new(10, 0, 0, 2),
+            ));
+            engine.add_peer(PeerInfo::new(
+                PeerId(2), Asn(65002), RouterId(3), Ipv4Addr::new(10, 0, 0, 3),
+            ));
+            engine
+        };
+
+        prop_assume!(!attrs1.as_path().contains(LOCAL_ASN));
+        prop_assume!(!attrs2.as_path().contains(LOCAL_ASN));
+
+        let u1 = build_update(&attrs1, &prefixes);
+        let u2 = build_update(&attrs2, &prefixes);
+
+        let mut forward = make_engine();
+        forward.apply_update(PeerId(1), &u1).unwrap();
+        forward.apply_update(PeerId(2), &u2).unwrap();
+
+        let mut backward = make_engine();
+        backward.apply_update(PeerId(2), &u2).unwrap();
+        backward.apply_update(PeerId(1), &u1).unwrap();
+
+        for prefix in &prefixes {
+            let a = forward.loc_rib().get(prefix).map(|r| r.learned_from());
+            let b = backward.loc_rib().get(prefix).map(|r| r.learned_from());
+            prop_assert_eq!(a, b, "selection differs for {}", prefix);
+        }
+    }
+
+    /// Announce-then-withdraw from the same peer always returns the
+    /// engine to an empty Loc-RIB, and the directed FIB operations
+    /// balance out.
+    #[test]
+    fn announce_withdraw_roundtrip_empties_loc_rib(
+        attrs in arb_attrs(),
+        prefixes in prop::collection::btree_set(any::<u16>(), 1..30),
+    ) {
+        prop_assume!(!attrs.as_path().contains(LOCAL_ASN));
+        let prefixes: Vec<Prefix> = prefixes
+            .into_iter()
+            .map(|seed| Prefix::new_masked(Ipv4Addr::from(u32::from(seed) << 12), 20).unwrap())
+            .collect();
+        let mut engine = RibEngine::new(LOCAL_ASN, RouterId(1));
+        engine.add_peer(PeerInfo::new(
+            PeerId(1), Asn(65001), RouterId(2), Ipv4Addr::new(10, 0, 0, 2),
+        ));
+        engine
+            .apply_update(PeerId(1), &build_update(&attrs, &prefixes))
+            .unwrap();
+        prop_assert_eq!(engine.loc_rib().len(), prefixes.len());
+
+        let withdraw = UpdateMessage::builder()
+            .withdraw_all(prefixes.iter().copied())
+            .build();
+        engine.apply_update(PeerId(1), &withdraw).unwrap();
+        prop_assert!(engine.loc_rib().is_empty());
+        let stats = engine.stats();
+        prop_assert_eq!(stats.fib_installs, prefixes.len() as u64);
+        prop_assert_eq!(stats.fib_removes, prefixes.len() as u64);
+    }
+
+    /// The Loc-RIB winner must always be the maximum of the Adj-RIBs-In
+    /// under the comparison function (engine/decision consistency).
+    #[test]
+    fn loc_rib_holds_the_decision_maximum(
+        attrs1 in arb_attrs(),
+        attrs2 in arb_attrs(),
+    ) {
+        prop_assume!(!attrs1.as_path().contains(LOCAL_ASN));
+        prop_assume!(!attrs2.as_path().contains(LOCAL_ASN));
+        let prefix: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p1 = PeerInfo::new(PeerId(1), Asn(65001), RouterId(2), Ipv4Addr::new(10, 0, 0, 2));
+        let p2 = PeerInfo::new(PeerId(2), Asn(65002), RouterId(3), Ipv4Addr::new(10, 0, 0, 3));
+        let mut engine = RibEngine::new(LOCAL_ASN, RouterId(1));
+        engine.add_peer(p1);
+        engine.add_peer(p2);
+        engine.apply_update(PeerId(1), &build_update(&attrs1, &[prefix])).unwrap();
+        engine.apply_update(PeerId(2), &build_update(&attrs2, &[prefix])).unwrap();
+
+        let winner = engine.loc_rib().get(&prefix).unwrap().learned_from();
+        let expected = match compare_routes(
+            &DecisionConfig::default(), LOCAL_ASN, &attrs1, &p1, &attrs2, &p2,
+        ) {
+            Ordering::Greater | Ordering::Equal => PeerId(1),
+            Ordering::Less => PeerId(2),
+        };
+        prop_assert_eq!(winner, expected);
+    }
+}
+
+#[test]
+fn update_with_announcement_requires_mandatory_attrs() {
+    let mut engine = RibEngine::new(LOCAL_ASN, RouterId(1));
+    engine.add_peer(PeerInfo::new(
+        PeerId(1),
+        Asn(65001),
+        RouterId(2),
+        Ipv4Addr::new(10, 0, 0, 2),
+    ));
+    let update = UpdateMessage::builder()
+        .attribute(PathAttribute::Origin(Origin::Igp))
+        .announce("10.0.0.0/8".parse().unwrap())
+        .build();
+    assert!(engine.apply_update(PeerId(1), &update).is_err());
+}

@@ -1,0 +1,264 @@
+//! Simulated processes and the jobs they execute.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a process registered with the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) usize);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "process#{}", self.0)
+    }
+}
+
+/// Scheduling class, in strict priority order.
+///
+/// This mirrors the structure the paper observes on the Linux routers:
+/// interrupt handling preempts everything (Fig. 6b's 20–30 % interrupt
+/// load under cross-traffic), kernel forwarding runs above user space,
+/// and the BGP processes share what is left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SchedClass {
+    /// Hardware interrupt handling; preempts everything.
+    Interrupt,
+    /// In-kernel processing (forwarding path).
+    Kernel,
+    /// User-space processes (routing daemons).
+    User,
+}
+
+impl SchedClass {
+    /// All classes, highest priority first.
+    pub const ALL: [SchedClass; 3] = [SchedClass::Interrupt, SchedClass::Kernel, SchedClass::User];
+}
+
+/// A unit of work on a process's run queue.
+///
+/// A job optionally *waits* (`delay_ns`, wall-clock latency that blocks
+/// the queue without consuming CPU — used to model the commercial
+/// router's per-packet process-scheduling delay) and then *executes*
+/// (`cycles` of CPU). The `kind`/`count`/`tag` fields are opaque to the
+/// simulator; models use them to route completions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Model-defined discriminant.
+    pub kind: u16,
+    /// Model-defined item count (e.g. prefixes in a packet).
+    pub count: u32,
+    /// Model-defined payload (e.g. an index into a workload table).
+    pub tag: u64,
+    /// Reference cycles of CPU this job consumes.
+    pub cycles: f64,
+    /// Wall-clock delay served before the job may consume CPU.
+    pub delay_ns: u64,
+}
+
+impl Job {
+    /// A job of `kind` costing `cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative or not finite.
+    pub fn new(kind: u16, cycles: f64) -> Self {
+        assert!(cycles.is_finite() && cycles >= 0.0, "invalid job cost");
+        Job {
+            kind,
+            count: 1,
+            tag: 0,
+            cycles,
+            delay_ns: 0,
+        }
+    }
+
+    /// Sets the item count, returning `self` for chaining.
+    pub fn with_count(mut self, count: u32) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Sets the payload tag, returning `self` for chaining.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Sets the pre-execution wall-clock delay, returning `self`.
+    pub fn with_delay_ns(mut self, delay_ns: u64) -> Self {
+        self.delay_ns = delay_ns;
+        self
+    }
+}
+
+/// Cumulative accounting for one process.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProcessStats {
+    /// Total reference cycles executed.
+    pub busy_cycles: f64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+}
+
+/// Internal process state.
+#[derive(Debug)]
+pub(crate) struct Process {
+    pub(crate) name: String,
+    pub(crate) class: SchedClass,
+    pub(crate) queue: VecDeque<Job>,
+    /// Remaining cycles on the partially-executed head job.
+    pub(crate) head_cycles_left: f64,
+    /// Remaining wall-clock delay before the head job may execute.
+    pub(crate) head_delay_left_ns: u64,
+    /// Cycles executed during the current tick (scheduler bookkeeping).
+    pub(crate) tick_used: f64,
+    /// Cycles executed since the last recorder sample.
+    pub(crate) sample_busy: f64,
+    pub(crate) stats: ProcessStats,
+}
+
+impl Process {
+    pub(crate) fn new(name: String, class: SchedClass) -> Self {
+        Process {
+            name,
+            class,
+            queue: VecDeque::new(),
+            head_cycles_left: 0.0,
+            head_delay_left_ns: 0,
+            tick_used: 0.0,
+            sample_busy: 0.0,
+            stats: ProcessStats::default(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, job: Job) {
+        if self.queue.is_empty() {
+            self.head_cycles_left = job.cycles;
+            self.head_delay_left_ns = job.delay_ns;
+        }
+        self.queue.push_back(job);
+    }
+
+    /// Whether the process could use CPU right now.
+    pub(crate) fn runnable(&self) -> bool {
+        !self.queue.is_empty() && self.head_delay_left_ns == 0
+    }
+
+    /// Lets wall-clock time pass for a delayed head job.
+    pub(crate) fn advance_delay(&mut self, tick_ns: u64) {
+        if !self.queue.is_empty() {
+            self.head_delay_left_ns = self.head_delay_left_ns.saturating_sub(tick_ns);
+        }
+    }
+
+    /// Executes up to `budget` cycles; completed jobs are appended to
+    /// `completed`. Returns the cycles actually used.
+    pub(crate) fn consume(&mut self, budget: f64, completed: &mut Vec<(Job, usize)>, self_index: usize) -> f64 {
+        let mut used = 0.0;
+        while used < budget && self.runnable() {
+            let take = self.head_cycles_left.min(budget - used);
+            self.head_cycles_left -= take;
+            used += take;
+            if self.head_cycles_left <= 1e-6 {
+                let job = self.queue.pop_front().expect("runnable implies head");
+                self.stats.jobs_completed += 1;
+                completed.push((job, self_index));
+                if let Some(next) = self.queue.front() {
+                    self.head_cycles_left = next.cycles;
+                    self.head_delay_left_ns = next.delay_ns;
+                    if next.delay_ns > 0 {
+                        // Delay starts now; the process blocks until it
+                        // elapses on subsequent ticks.
+                        break;
+                    }
+                }
+            }
+        }
+        self.tick_used += used;
+        self.sample_busy += used;
+        self.stats.busy_cycles += used;
+        used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_primes_head_state() {
+        let mut p = Process::new("t".into(), SchedClass::User);
+        p.push(Job::new(0, 100.0));
+        assert!(p.runnable());
+        assert_eq!(p.head_cycles_left, 100.0);
+    }
+
+    #[test]
+    fn consume_completes_jobs_across_budget() {
+        let mut p = Process::new("t".into(), SchedClass::User);
+        p.push(Job::new(1, 100.0));
+        p.push(Job::new(2, 50.0));
+        let mut done = Vec::new();
+        // First 120 cycles: finishes job 1, starts job 2.
+        let used = p.consume(120.0, &mut done, 0);
+        assert_eq!(used, 120.0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0.kind, 1);
+        // Next 100 cycles: only 30 needed.
+        let used = p.consume(100.0, &mut done, 0);
+        assert!((used - 30.0).abs() < 1e-9);
+        assert_eq!(done.len(), 2);
+        assert!(!p.runnable());
+        assert_eq!(p.stats.jobs_completed, 2);
+    }
+
+    #[test]
+    fn delayed_job_blocks_until_delay_elapses() {
+        let mut p = Process::new("t".into(), SchedClass::User);
+        p.push(Job::new(1, 10.0).with_delay_ns(2_000_000));
+        assert!(!p.runnable());
+        p.advance_delay(1_000_000);
+        assert!(!p.runnable());
+        p.advance_delay(1_000_000);
+        assert!(p.runnable());
+        let mut done = Vec::new();
+        p.consume(100.0, &mut done, 0);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn delay_of_queued_job_starts_when_it_reaches_head() {
+        let mut p = Process::new("t".into(), SchedClass::User);
+        p.push(Job::new(1, 10.0));
+        p.push(Job::new(2, 10.0).with_delay_ns(1_000_000));
+        let mut done = Vec::new();
+        let used = p.consume(1000.0, &mut done, 0);
+        // Job 1 completes; job 2's delay blocks further execution.
+        assert_eq!(done.len(), 1);
+        assert_eq!(used, 10.0);
+        assert!(!p.runnable());
+        p.advance_delay(1_000_000);
+        assert!(p.runnable());
+    }
+
+    #[test]
+    fn job_builder_chain() {
+        let job = Job::new(3, 1.0).with_count(500).with_tag(42).with_delay_ns(7);
+        assert_eq!(job.kind, 3);
+        assert_eq!(job.count, 500);
+        assert_eq!(job.tag, 42);
+        assert_eq!(job.delay_ns, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid job cost")]
+    fn negative_cost_panics() {
+        let _ = Job::new(0, -1.0);
+    }
+
+    #[test]
+    fn class_priority_order() {
+        assert!(SchedClass::Interrupt < SchedClass::Kernel);
+        assert!(SchedClass::Kernel < SchedClass::User);
+    }
+}

@@ -1,0 +1,162 @@
+//! Synthetic routing-table generation.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use bgpbench_wire::Prefix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prefix-length mix approximating the global BGP table around 2007
+/// (when the paper reports "over 180,000" advertised prefixes): heavily
+/// dominated by /24s, with secondary mass at /16 and /19–/22.
+///
+/// Entries are `(mask length, weight)`.
+const LENGTH_WEIGHTS: [(u8, u32); 12] = [
+    (8, 1),
+    (13, 1),
+    (14, 1),
+    (15, 1),
+    (16, 8),
+    (17, 2),
+    (18, 4),
+    (19, 9),
+    (20, 5),
+    (21, 4),
+    (22, 6),
+    (24, 58),
+];
+
+/// Deterministic generator of unique synthetic prefixes.
+///
+/// The same seed always yields the same table, which is what makes the
+/// benchmark repeatable ("repeatable performance measurements" is an
+/// explicit design goal of the paper's benchmark).
+///
+/// ```
+/// use bgpbench_speaker::TableGenerator;
+/// let a = TableGenerator::new(1).generate(500);
+/// let b = TableGenerator::new(1).generate(500);
+/// assert_eq!(a, b);
+/// let c = TableGenerator::new(2).generate(500);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug)]
+pub struct TableGenerator {
+    rng: StdRng,
+}
+
+impl TableGenerator {
+    /// Creates a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        TableGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates `count` unique prefixes.
+    ///
+    /// Prefixes are drawn from the public unicast space (first octet
+    /// 1–223, excluding 10/8, 127/8, and 172.16/12 and 192.168/16
+    /// private blocks so they never collide with the benchmark's
+    /// session addressing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is so large that unique prefixes cannot be
+    /// found (well beyond any realistic table size).
+    pub fn generate(&mut self, count: usize) -> Vec<Prefix> {
+        let total_weight: u32 = LENGTH_WEIGHTS.iter().map(|&(_, w)| w).sum();
+        let mut seen = HashSet::with_capacity(count);
+        let mut prefixes = Vec::with_capacity(count);
+        let mut attempts: u64 = 0;
+        while prefixes.len() < count {
+            attempts += 1;
+            assert!(
+                attempts < (count as u64 + 1000) * 100,
+                "unable to generate {count} unique prefixes"
+            );
+            let mut pick = self.rng.gen_range(0..total_weight);
+            let mut len = 24;
+            for &(candidate, weight) in &LENGTH_WEIGHTS {
+                if pick < weight {
+                    len = candidate;
+                    break;
+                }
+                pick -= weight;
+            }
+            let addr: u32 = self.rng.gen();
+            let first_octet = (addr >> 24) as u8;
+            if !(1..=223).contains(&first_octet)
+                || first_octet == 10
+                || first_octet == 127
+                || (first_octet == 172 && (addr >> 20) & 0xF == 1)
+                || (addr >> 16) == 0xC0A8
+            {
+                continue;
+            }
+            let prefix = Prefix::new_masked(Ipv4Addr::from(addr), len)
+                .expect("length from table is valid");
+            if seen.insert(prefix) {
+                prefixes.push(prefix);
+            }
+        }
+        prefixes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_of_unique_prefixes() {
+        let prefixes = TableGenerator::new(7).generate(5000);
+        assert_eq!(prefixes.len(), 5000);
+        let unique: HashSet<_> = prefixes.iter().collect();
+        assert_eq!(unique.len(), 5000);
+    }
+
+    #[test]
+    fn avoids_private_and_reserved_space() {
+        let prefixes = TableGenerator::new(9).generate(5000);
+        for prefix in &prefixes {
+            let octets = prefix.network().octets();
+            assert!((1..=223).contains(&octets[0]), "{prefix}");
+            assert_ne!(octets[0], 10, "{prefix}");
+            assert_ne!(octets[0], 127, "{prefix}");
+            assert!(
+                !(octets[0] == 172 && (16..32).contains(&octets[1])),
+                "{prefix}"
+            );
+            assert!(!(octets[0] == 192 && octets[1] == 168), "{prefix}");
+        }
+    }
+
+    #[test]
+    fn length_distribution_is_dominated_by_slash24() {
+        let prefixes = TableGenerator::new(3).generate(10_000);
+        let slash24 = prefixes.iter().filter(|p| p.len() == 24).count();
+        let share = slash24 as f64 / prefixes.len() as f64;
+        assert!((0.5..0.7).contains(&share), "/24 share was {share}");
+        // Everything within the advertised mix.
+        for prefix in &prefixes {
+            assert!(
+                LENGTH_WEIGHTS.iter().any(|&(len, _)| len == prefix.len()),
+                "unexpected length {}",
+                prefix.len()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_incremental() {
+        // Two calls on one generator continue the stream without
+        // repeating prefixes.
+        let mut generator = TableGenerator::new(11);
+        let first = generator.generate(100);
+        let second = generator.generate(100);
+        let all: HashSet<_> = first.iter().chain(second.iter()).collect();
+        assert_eq!(all.len(), 200);
+    }
+}

@@ -1,0 +1,48 @@
+//! BGP benchmark load generation.
+//!
+//! The paper's methodology (§III.B) drives the router under test with
+//! two BGP speakers. This crate provides everything those speakers
+//! need:
+//!
+//! * [`TableGenerator`] — deterministic synthetic routing tables with a
+//!   2007-era prefix-length mix (substitute for the real peering tables
+//!   the authors injected);
+//! * [`workload`] — packetization of announcements/withdrawals into
+//!   UPDATE messages at the benchmark's two packet sizes (1 prefix per
+//!   message for *small*, 500 for *large*) and the AS-path length
+//!   manipulations Scenarios 5–8 rely on;
+//! * [`SpeakerScript`] — a scripted message source with a cursor, the
+//!   form the simulated harness consumes with flow control;
+//! * [`LiveSpeaker`] — a real speaker over TCP for benchmarking an
+//!   actual BGP daemon.
+//!
+//! # Examples
+//!
+//! ```
+//! use bgpbench_speaker::{workload, TableGenerator};
+//! use bgpbench_wire::Asn;
+//! use std::net::Ipv4Addr;
+//!
+//! let table = TableGenerator::new(42).generate(1000);
+//! assert_eq!(table.len(), 1000);
+//! let updates = workload::announcements(
+//!     &table,
+//!     &workload::AnnounceSpec {
+//!         speaker_asn: Asn(65001),
+//!         path_len: 3,
+//!         next_hop: Ipv4Addr::new(10, 0, 0, 2),
+//!         prefixes_per_update: 500,
+//!         seed: 7,
+//!     },
+//! );
+//! assert_eq!(updates.len(), 2); // 1000 prefixes / 500 per update
+//! ```
+
+mod generator;
+mod live;
+mod script;
+pub mod workload;
+
+pub use generator::TableGenerator;
+pub use live::{LiveSpeaker, LiveSpeakerConfig, SessionSummary};
+pub use script::SpeakerScript;

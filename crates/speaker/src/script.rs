@@ -1,0 +1,140 @@
+//! A scripted message source with a cursor.
+
+use bgpbench_wire::UpdateMessage;
+
+/// A pre-built sequence of UPDATE messages consumed with flow control.
+///
+/// The simulated harness asks the script for as many messages as the
+/// router's input queue has room for each tick; the live speaker just
+/// floods it. Either way the script tracks how many prefix-level
+/// transactions have been handed out.
+///
+/// ```
+/// use bgpbench_speaker::{SpeakerScript, workload, TableGenerator};
+/// let table = TableGenerator::new(1).generate(10);
+/// let updates = workload::withdrawals(&table, 1);
+/// let mut script = SpeakerScript::new(updates);
+/// assert_eq!(script.remaining_messages(), 10);
+/// let batch = script.take(3);
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(script.remaining_messages(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpeakerScript {
+    updates: Vec<UpdateMessage>,
+    cursor: usize,
+    transactions_taken: usize,
+}
+
+impl SpeakerScript {
+    /// Wraps a message sequence.
+    pub fn new(updates: Vec<UpdateMessage>) -> Self {
+        SpeakerScript {
+            updates,
+            cursor: 0,
+            transactions_taken: 0,
+        }
+    }
+
+    /// An empty script (for phases where a speaker is silent).
+    pub fn empty() -> Self {
+        SpeakerScript::new(Vec::new())
+    }
+
+    /// Total prefix-level transactions in the whole script.
+    pub fn total_transactions(&self) -> usize {
+        self.updates.iter().map(UpdateMessage::transaction_count).sum()
+    }
+
+    /// Messages not yet taken.
+    pub fn remaining_messages(&self) -> usize {
+        self.updates.len() - self.cursor
+    }
+
+    /// Whether every message has been taken.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor == self.updates.len()
+    }
+
+    /// Prefix-level transactions handed out so far.
+    pub fn transactions_taken(&self) -> usize {
+        self.transactions_taken
+    }
+
+    /// Takes up to `n` messages from the front of the script.
+    pub fn take(&mut self, n: usize) -> &[UpdateMessage] {
+        let end = (self.cursor + n).min(self.updates.len());
+        let batch = &self.updates[self.cursor..end];
+        self.cursor = end;
+        self.transactions_taken += batch
+            .iter()
+            .map(UpdateMessage::transaction_count)
+            .sum::<usize>();
+        batch
+    }
+
+    /// Rewinds to the beginning (for repeated runs).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.transactions_taken = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{workload, TableGenerator};
+    use bgpbench_wire::Asn;
+    use std::net::Ipv4Addr;
+
+    fn script_of(n: usize, pkt: usize) -> SpeakerScript {
+        let table = TableGenerator::new(1).generate(n);
+        SpeakerScript::new(workload::announcements(
+            &table,
+            &workload::AnnounceSpec {
+                speaker_asn: Asn(65001),
+                path_len: 3,
+                next_hop: Ipv4Addr::new(10, 0, 0, 2),
+                prefixes_per_update: pkt,
+                seed: 1,
+            },
+        ))
+    }
+
+    #[test]
+    fn take_respects_bounds() {
+        let mut script = script_of(10, 1);
+        assert_eq!(script.take(4).len(), 4);
+        assert_eq!(script.take(100).len(), 6);
+        assert!(script.is_exhausted());
+        assert_eq!(script.take(1).len(), 0);
+    }
+
+    #[test]
+    fn transaction_accounting() {
+        let mut script = script_of(1000, 500);
+        assert_eq!(script.total_transactions(), 1000);
+        script.take(1);
+        assert_eq!(script.transactions_taken(), 500);
+        script.take(1);
+        assert_eq!(script.transactions_taken(), 1000);
+    }
+
+    #[test]
+    fn reset_rewinds() {
+        let mut script = script_of(5, 1);
+        script.take(5);
+        assert!(script.is_exhausted());
+        script.reset();
+        assert_eq!(script.remaining_messages(), 5);
+        assert_eq!(script.transactions_taken(), 0);
+    }
+
+    #[test]
+    fn empty_script_is_immediately_exhausted() {
+        let mut script = SpeakerScript::empty();
+        assert!(script.is_exhausted());
+        assert_eq!(script.total_transactions(), 0);
+        assert_eq!(script.take(10).len(), 0);
+    }
+}

@@ -1,0 +1,716 @@
+//! BGP path attributes (RFC 4271 §4.3, §5).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::{Asn, WireError};
+
+/// Attribute flag bit: optional (not well-known).
+pub(crate) const FLAG_OPTIONAL: u8 = 0x80;
+/// Attribute flag bit: transitive.
+pub(crate) const FLAG_TRANSITIVE: u8 = 0x40;
+/// Attribute flag bit: partial.
+pub(crate) const FLAG_PARTIAL: u8 = 0x20;
+/// Attribute flag bit: extended (two-octet) length.
+pub(crate) const FLAG_EXTENDED: u8 = 0x10;
+
+const TYPE_ORIGIN: u8 = 1;
+const TYPE_AS_PATH: u8 = 2;
+const TYPE_NEXT_HOP: u8 = 3;
+const TYPE_MED: u8 = 4;
+const TYPE_LOCAL_PREF: u8 = 5;
+const TYPE_ATOMIC_AGGREGATE: u8 = 6;
+const TYPE_AGGREGATOR: u8 = 7;
+const TYPE_COMMUNITIES: u8 = 8;
+
+/// The ORIGIN attribute value (RFC 4271 §5.1.1).
+///
+/// Lower values are preferred by the decision process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Origin {
+    /// Learned from an interior gateway protocol.
+    #[default]
+    Igp = 0,
+    /// Learned via EGP (historic).
+    Egp = 1,
+    /// Learned by some other means (e.g. redistribution).
+    Incomplete = 2,
+}
+
+impl Origin {
+    /// Decodes the single-octet wire value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MalformedAttribute`] for values above 2.
+    pub fn from_wire(value: u8) -> Result<Self, WireError> {
+        match value {
+            0 => Ok(Origin::Igp),
+            1 => Ok(Origin::Egp),
+            2 => Ok(Origin::Incomplete),
+            _ => Err(WireError::MalformedAttribute {
+                type_code: TYPE_ORIGIN,
+                reason: "origin value out of range",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Origin::Igp => "IGP",
+            Origin::Egp => "EGP",
+            Origin::Incomplete => "INCOMPLETE",
+        };
+        f.write_str(text)
+    }
+}
+
+/// One segment of an AS_PATH (RFC 4271 §5.1.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AsPathSegment {
+    /// An ordered sequence of ASes the route has traversed.
+    Sequence(Vec<Asn>),
+    /// An unordered set (produced by aggregation).
+    Set(Vec<Asn>),
+}
+
+impl AsPathSegment {
+    /// Number of ASes this segment contributes to path length
+    /// comparison: a sequence counts each AS, a set counts as one
+    /// (RFC 4271 §9.1.2.2 note).
+    pub fn path_length(&self) -> usize {
+        match self {
+            AsPathSegment::Sequence(asns) => asns.len(),
+            AsPathSegment::Set(_) => 1,
+        }
+    }
+
+    fn segment_type(&self) -> u8 {
+        match self {
+            AsPathSegment::Set(_) => 1,
+            AsPathSegment::Sequence(_) => 2,
+        }
+    }
+
+    fn asns(&self) -> &[Asn] {
+        match self {
+            AsPathSegment::Sequence(asns) | AsPathSegment::Set(asns) => asns,
+        }
+    }
+}
+
+/// An AS_PATH: the ordered list of segments a route accumulated while
+/// crossing autonomous systems.
+///
+/// ```
+/// use bgpbench_wire::{AsPath, Asn};
+/// let path = AsPath::from_sequence([Asn(1), Asn(2), Asn(3)]);
+/// assert_eq!(path.length(), 3);
+/// assert!(path.contains(Asn(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AsPath {
+    segments: Vec<AsPathSegment>,
+}
+
+impl AsPath {
+    /// An empty path (routes originated locally).
+    pub fn empty() -> Self {
+        AsPath::default()
+    }
+
+    /// Builds a path from a single AS_SEQUENCE segment.
+    pub fn from_sequence<I: IntoIterator<Item = Asn>>(asns: I) -> Self {
+        let asns: Vec<Asn> = asns.into_iter().collect();
+        if asns.is_empty() {
+            return AsPath::empty();
+        }
+        AsPath {
+            segments: vec![AsPathSegment::Sequence(asns)],
+        }
+    }
+
+    /// Builds a path from arbitrary segments.
+    pub fn from_segments<I: IntoIterator<Item = AsPathSegment>>(segments: I) -> Self {
+        AsPath {
+            segments: segments.into_iter().collect(),
+        }
+    }
+
+    /// The segments in wire order.
+    pub fn segments(&self) -> &[AsPathSegment] {
+        &self.segments
+    }
+
+    /// AS-path length as used by the decision process.
+    pub fn length(&self) -> usize {
+        self.segments.iter().map(AsPathSegment::path_length).sum()
+    }
+
+    /// Whether `asn` appears anywhere in the path (loop detection).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.segments.iter().any(|s| s.asns().contains(&asn))
+    }
+
+    /// The first AS of the path (the neighbor that sent the route), if
+    /// the leading segment is a sequence.
+    pub fn first_as(&self) -> Option<Asn> {
+        match self.segments.first() {
+            Some(AsPathSegment::Sequence(asns)) => asns.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// The originating AS (last AS of the last sequence segment), if any.
+    pub fn origin_as(&self) -> Option<Asn> {
+        match self.segments.last() {
+            Some(AsPathSegment::Sequence(asns)) => asns.last().copied(),
+            _ => None,
+        }
+    }
+
+    /// Returns a new path with `asn` prepended, as done when a route is
+    /// advertised over an eBGP session (RFC 4271 §5.1.2).
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut segments = self.segments.clone();
+        match segments.first_mut() {
+            Some(AsPathSegment::Sequence(asns)) if asns.len() < 255 => {
+                asns.insert(0, asn);
+            }
+            _ => segments.insert(0, AsPathSegment::Sequence(vec![asn])),
+        }
+        AsPath { segments }
+    }
+
+    fn wire_len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| 2 + s.asns().len() * 2)
+            .sum()
+    }
+
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        for segment in &self.segments {
+            out.push(segment.segment_type());
+            out.push(segment.asns().len() as u8);
+            for asn in segment.asns() {
+                out.extend_from_slice(&asn.0.to_be_bytes());
+            }
+        }
+    }
+
+    fn decode(mut input: &[u8]) -> Result<Self, WireError> {
+        let mut segments = Vec::new();
+        while !input.is_empty() {
+            if input.len() < 2 {
+                return Err(WireError::MalformedAttribute {
+                    type_code: TYPE_AS_PATH,
+                    reason: "truncated segment header",
+                });
+            }
+            let seg_type = input[0];
+            let count = usize::from(input[1]);
+            let body_len = count * 2;
+            if input.len() < 2 + body_len {
+                return Err(WireError::MalformedAttribute {
+                    type_code: TYPE_AS_PATH,
+                    reason: "segment overruns attribute",
+                });
+            }
+            if count == 0 {
+                return Err(WireError::MalformedAttribute {
+                    type_code: TYPE_AS_PATH,
+                    reason: "empty segment",
+                });
+            }
+            let asns: Vec<Asn> = input[2..2 + body_len]
+                .chunks_exact(2)
+                .map(|c| Asn(u16::from_be_bytes([c[0], c[1]])))
+                .collect();
+            let segment = match seg_type {
+                1 => AsPathSegment::Set(asns),
+                2 => AsPathSegment::Sequence(asns),
+                _ => {
+                    return Err(WireError::MalformedAttribute {
+                        type_code: TYPE_AS_PATH,
+                        reason: "unknown segment type",
+                    })
+                }
+            };
+            segments.push(segment);
+            input = &input[2 + body_len..];
+        }
+        Ok(AsPath { segments })
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            return f.write_str("(empty)");
+        }
+        let mut first = true;
+        for segment in &self.segments {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            match segment {
+                AsPathSegment::Sequence(asns) => {
+                    let parts: Vec<String> =
+                        asns.iter().map(|a| a.0.to_string()).collect();
+                    write!(f, "{}", parts.join(" "))?;
+                }
+                AsPathSegment::Set(asns) => {
+                    let parts: Vec<String> =
+                        asns.iter().map(|a| a.0.to_string()).collect();
+                    write!(f, "{{{}}}", parts.join(","))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A decoded BGP path attribute.
+///
+/// Well-known attributes are represented structurally; anything else is
+/// preserved byte-for-byte in [`PathAttribute::Unknown`] so transitive
+/// attributes survive re-encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PathAttribute {
+    /// ORIGIN (type 1, well-known mandatory).
+    Origin(Origin),
+    /// AS_PATH (type 2, well-known mandatory).
+    AsPath(AsPath),
+    /// NEXT_HOP (type 3, well-known mandatory).
+    NextHop(Ipv4Addr),
+    /// MULTI_EXIT_DISC (type 4, optional non-transitive).
+    Med(u32),
+    /// LOCAL_PREF (type 5, well-known on iBGP sessions).
+    LocalPref(u32),
+    /// ATOMIC_AGGREGATE (type 6, well-known discretionary).
+    AtomicAggregate,
+    /// AGGREGATOR (type 7, optional transitive).
+    Aggregator {
+        /// AS that performed the aggregation.
+        asn: Asn,
+        /// Router that performed the aggregation.
+        router_id: Ipv4Addr,
+    },
+    /// COMMUNITIES (type 8, RFC 1997, optional transitive).
+    Communities(Vec<u32>),
+    /// Any attribute this crate does not model structurally.
+    Unknown {
+        /// The flag octet as seen on the wire (length bit is recomputed
+        /// on encode).
+        flags: u8,
+        /// Attribute type code.
+        type_code: u8,
+        /// Raw attribute value.
+        value: Vec<u8>,
+    },
+}
+
+impl PathAttribute {
+    /// The attribute type code (RFC 4271 §5).
+    pub fn type_code(&self) -> u8 {
+        match self {
+            PathAttribute::Origin(_) => TYPE_ORIGIN,
+            PathAttribute::AsPath(_) => TYPE_AS_PATH,
+            PathAttribute::NextHop(_) => TYPE_NEXT_HOP,
+            PathAttribute::Med(_) => TYPE_MED,
+            PathAttribute::LocalPref(_) => TYPE_LOCAL_PREF,
+            PathAttribute::AtomicAggregate => TYPE_ATOMIC_AGGREGATE,
+            PathAttribute::Aggregator { .. } => TYPE_AGGREGATOR,
+            PathAttribute::Communities(_) => TYPE_COMMUNITIES,
+            PathAttribute::Unknown { type_code, .. } => *type_code,
+        }
+    }
+
+    fn flags(&self) -> u8 {
+        match self {
+            PathAttribute::Origin(_)
+            | PathAttribute::AsPath(_)
+            | PathAttribute::NextHop(_)
+            | PathAttribute::LocalPref(_)
+            | PathAttribute::AtomicAggregate => FLAG_TRANSITIVE,
+            PathAttribute::Med(_) => FLAG_OPTIONAL,
+            PathAttribute::Aggregator { .. } | PathAttribute::Communities(_) => {
+                FLAG_OPTIONAL | FLAG_TRANSITIVE
+            }
+            PathAttribute::Unknown { flags, .. } => *flags & !FLAG_EXTENDED,
+        }
+    }
+
+    fn value_bytes(&self) -> Vec<u8> {
+        match self {
+            PathAttribute::Origin(origin) => vec![*origin as u8],
+            PathAttribute::AsPath(path) => {
+                let mut buf = Vec::with_capacity(path.wire_len());
+                path.encode_to(&mut buf);
+                buf
+            }
+            PathAttribute::NextHop(addr) => addr.octets().to_vec(),
+            PathAttribute::Med(value) | PathAttribute::LocalPref(value) => {
+                value.to_be_bytes().to_vec()
+            }
+            PathAttribute::AtomicAggregate => Vec::new(),
+            PathAttribute::Aggregator { asn, router_id } => {
+                let mut buf = Vec::with_capacity(6);
+                buf.extend_from_slice(&asn.0.to_be_bytes());
+                buf.extend_from_slice(&router_id.octets());
+                buf
+            }
+            PathAttribute::Communities(values) => {
+                let mut buf = Vec::with_capacity(values.len() * 4);
+                for v in values {
+                    buf.extend_from_slice(&v.to_be_bytes());
+                }
+                buf
+            }
+            PathAttribute::Unknown { value, .. } => value.clone(),
+        }
+    }
+
+    /// On-the-wire size of this attribute including flags/type/length.
+    pub fn wire_len(&self) -> usize {
+        let value_len = match self {
+            PathAttribute::Origin(_) => 1,
+            PathAttribute::AsPath(path) => path.wire_len(),
+            PathAttribute::NextHop(_) | PathAttribute::Med(_) | PathAttribute::LocalPref(_) => 4,
+            PathAttribute::AtomicAggregate => 0,
+            PathAttribute::Aggregator { .. } => 6,
+            PathAttribute::Communities(values) => values.len() * 4,
+            PathAttribute::Unknown { value, .. } => value.len(),
+        };
+        let header = if value_len > 255 { 4 } else { 3 };
+        header + value_len
+    }
+
+    /// Appends the wire encoding (flags, type, length, value) to `out`.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        let value = self.value_bytes();
+        let mut flags = self.flags();
+        if value.len() > 255 {
+            flags |= FLAG_EXTENDED;
+        }
+        out.push(flags);
+        out.push(self.type_code());
+        if flags & FLAG_EXTENDED != 0 {
+            out.extend_from_slice(&(value.len() as u16).to_be_bytes());
+        } else {
+            out.push(value.len() as u8);
+        }
+        out.extend_from_slice(&value);
+    }
+
+    /// Decodes one attribute from the front of `input`, returning it and
+    /// the number of octets consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`], [`WireError::AttributeFlags`],
+    /// or [`WireError::MalformedAttribute`] per RFC 4271 §6.3.
+    pub fn decode_from(input: &[u8]) -> Result<(Self, usize), WireError> {
+        if input.len() < 3 {
+            return Err(WireError::Truncated {
+                context: "attribute header",
+            });
+        }
+        let flags = input[0];
+        let type_code = input[1];
+        let (value_len, header_len) = if flags & FLAG_EXTENDED != 0 {
+            if input.len() < 4 {
+                return Err(WireError::Truncated {
+                    context: "extended attribute length",
+                });
+            }
+            (usize::from(u16::from_be_bytes([input[2], input[3]])), 4)
+        } else {
+            (usize::from(input[2]), 3)
+        };
+        if input.len() < header_len + value_len {
+            return Err(WireError::Truncated {
+                context: "attribute value",
+            });
+        }
+        let value = &input[header_len..header_len + value_len];
+        let consumed = header_len + value_len;
+
+        let attr = match type_code {
+            TYPE_ORIGIN => {
+                check_well_known_flags(flags, type_code)?;
+                let &[v] = value else {
+                    return Err(WireError::MalformedAttribute {
+                        type_code,
+                        reason: "origin must be one octet",
+                    });
+                };
+                PathAttribute::Origin(Origin::from_wire(v)?)
+            }
+            TYPE_AS_PATH => {
+                check_well_known_flags(flags, type_code)?;
+                PathAttribute::AsPath(AsPath::decode(value)?)
+            }
+            TYPE_NEXT_HOP => {
+                check_well_known_flags(flags, type_code)?;
+                let octets: [u8; 4] = value.try_into().map_err(|_| {
+                    WireError::MalformedAttribute {
+                        type_code,
+                        reason: "next hop must be four octets",
+                    }
+                })?;
+                PathAttribute::NextHop(Ipv4Addr::from(octets))
+            }
+            TYPE_MED => PathAttribute::Med(decode_u32(value, type_code)?),
+            TYPE_LOCAL_PREF => PathAttribute::LocalPref(decode_u32(value, type_code)?),
+            TYPE_ATOMIC_AGGREGATE => {
+                if !value.is_empty() {
+                    return Err(WireError::MalformedAttribute {
+                        type_code,
+                        reason: "atomic aggregate must be empty",
+                    });
+                }
+                PathAttribute::AtomicAggregate
+            }
+            TYPE_AGGREGATOR => {
+                let octets: [u8; 6] = value.try_into().map_err(|_| {
+                    WireError::MalformedAttribute {
+                        type_code,
+                        reason: "aggregator must be six octets",
+                    }
+                })?;
+                PathAttribute::Aggregator {
+                    asn: Asn(u16::from_be_bytes([octets[0], octets[1]])),
+                    router_id: Ipv4Addr::new(octets[2], octets[3], octets[4], octets[5]),
+                }
+            }
+            TYPE_COMMUNITIES => {
+                if !value.len().is_multiple_of(4) {
+                    return Err(WireError::MalformedAttribute {
+                        type_code,
+                        reason: "communities length not a multiple of four",
+                    });
+                }
+                PathAttribute::Communities(
+                    value
+                        .chunks_exact(4)
+                        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect(),
+                )
+            }
+            _ => {
+                if flags & FLAG_OPTIONAL == 0 {
+                    // Unrecognized well-known attribute: session error.
+                    return Err(WireError::MalformedAttribute {
+                        type_code,
+                        reason: "unrecognized well-known attribute",
+                    });
+                }
+                PathAttribute::Unknown {
+                    // The extended-length bit is a pure encoding artifact
+                    // and is recomputed on encode, so normalize it away.
+                    flags: flags & !FLAG_EXTENDED,
+                    type_code,
+                    value: value.to_vec(),
+                }
+            }
+        };
+        Ok((attr, consumed))
+    }
+}
+
+fn check_well_known_flags(flags: u8, type_code: u8) -> Result<(), WireError> {
+    if flags & FLAG_OPTIONAL != 0 || flags & FLAG_PARTIAL != 0 {
+        return Err(WireError::AttributeFlags { type_code, flags });
+    }
+    Ok(())
+}
+
+fn decode_u32(value: &[u8], type_code: u8) -> Result<u32, WireError> {
+    let octets: [u8; 4] = value.try_into().map_err(|_| WireError::MalformedAttribute {
+        type_code,
+        reason: "value must be four octets",
+    })?;
+    Ok(u32::from_be_bytes(octets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(attr: PathAttribute) {
+        let mut buf = Vec::new();
+        attr.encode_to(&mut buf);
+        assert_eq!(buf.len(), attr.wire_len(), "wire_len mismatch for {attr:?}");
+        let (decoded, consumed) = PathAttribute::decode_from(&buf).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(decoded, attr);
+    }
+
+    #[test]
+    fn roundtrip_all_known_attributes() {
+        roundtrip(PathAttribute::Origin(Origin::Igp));
+        roundtrip(PathAttribute::Origin(Origin::Incomplete));
+        roundtrip(PathAttribute::AsPath(AsPath::from_sequence([
+            Asn(1),
+            Asn(65535),
+        ])));
+        roundtrip(PathAttribute::AsPath(AsPath::from_segments([
+            AsPathSegment::Sequence(vec![Asn(3), Asn(4)]),
+            AsPathSegment::Set(vec![Asn(9), Asn(10)]),
+        ])));
+        roundtrip(PathAttribute::NextHop(Ipv4Addr::new(192, 0, 2, 254)));
+        roundtrip(PathAttribute::Med(0));
+        roundtrip(PathAttribute::Med(u32::MAX));
+        roundtrip(PathAttribute::LocalPref(100));
+        roundtrip(PathAttribute::AtomicAggregate);
+        roundtrip(PathAttribute::Aggregator {
+            asn: Asn(65000),
+            router_id: Ipv4Addr::new(10, 255, 0, 1),
+        });
+        roundtrip(PathAttribute::Communities(vec![0x0001_0002, 0xFFFF_FF01]));
+        roundtrip(PathAttribute::Unknown {
+            flags: FLAG_OPTIONAL | FLAG_TRANSITIVE | FLAG_PARTIAL,
+            type_code: 99,
+            value: vec![1, 2, 3],
+        });
+    }
+
+    #[test]
+    fn extended_length_used_for_long_values() {
+        let long = PathAttribute::Unknown {
+            flags: FLAG_OPTIONAL,
+            type_code: 200,
+            value: vec![0xAB; 300],
+        };
+        let mut buf = Vec::new();
+        long.encode_to(&mut buf);
+        assert_ne!(buf[0] & FLAG_EXTENDED, 0);
+        assert_eq!(buf.len(), 4 + 300);
+        assert_eq!(buf.len(), long.wire_len());
+        let (decoded, _) = PathAttribute::decode_from(&buf).unwrap();
+        assert_eq!(decoded, long);
+    }
+
+    #[test]
+    fn origin_rejects_out_of_range() {
+        assert!(Origin::from_wire(3).is_err());
+    }
+
+    #[test]
+    fn as_path_length_counts_sets_as_one() {
+        let path = AsPath::from_segments([
+            AsPathSegment::Sequence(vec![Asn(1), Asn(2)]),
+            AsPathSegment::Set(vec![Asn(3), Asn(4), Asn(5)]),
+        ]);
+        assert_eq!(path.length(), 3);
+    }
+
+    #[test]
+    fn as_path_prepend() {
+        let path = AsPath::from_sequence([Asn(2), Asn(3)]);
+        let prepended = path.prepend(Asn(1));
+        assert_eq!(prepended, AsPath::from_sequence([Asn(1), Asn(2), Asn(3)]));
+        assert_eq!(prepended.first_as(), Some(Asn(1)));
+        assert_eq!(prepended.origin_as(), Some(Asn(3)));
+
+        let from_empty = AsPath::empty().prepend(Asn(7));
+        assert_eq!(from_empty, AsPath::from_sequence([Asn(7)]));
+    }
+
+    #[test]
+    fn as_path_prepend_starts_new_segment_when_full() {
+        let path = AsPath::from_sequence((0..255).map(Asn));
+        let prepended = path.prepend(Asn(999));
+        assert_eq!(prepended.segments().len(), 2);
+        assert_eq!(prepended.length(), 256);
+        assert_eq!(prepended.first_as(), Some(Asn(999)));
+    }
+
+    #[test]
+    fn as_path_contains_detects_loops() {
+        let path = AsPath::from_segments([
+            AsPathSegment::Sequence(vec![Asn(1)]),
+            AsPathSegment::Set(vec![Asn(5)]),
+        ]);
+        assert!(path.contains(Asn(5)));
+        assert!(!path.contains(Asn(6)));
+    }
+
+    #[test]
+    fn as_path_display() {
+        let path = AsPath::from_segments([
+            AsPathSegment::Sequence(vec![Asn(10), Asn(20)]),
+            AsPathSegment::Set(vec![Asn(30), Asn(40)]),
+        ]);
+        assert_eq!(path.to_string(), "10 20 {30,40}");
+        assert_eq!(AsPath::empty().to_string(), "(empty)");
+    }
+
+    #[test]
+    fn as_path_decode_rejects_malformed_segments() {
+        // Truncated header.
+        assert!(AsPath::decode(&[2]).is_err());
+        // Count overruns the value.
+        assert!(AsPath::decode(&[2, 3, 0, 1]).is_err());
+        // Unknown segment type.
+        assert!(AsPath::decode(&[7, 1, 0, 1]).is_err());
+        // Empty segment.
+        assert!(AsPath::decode(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn well_known_attributes_reject_optional_flag() {
+        // ORIGIN with the optional bit set.
+        let buf = [FLAG_OPTIONAL | FLAG_TRANSITIVE, TYPE_ORIGIN, 1, 0];
+        assert!(matches!(
+            PathAttribute::decode_from(&buf),
+            Err(WireError::AttributeFlags { type_code: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_well_known_attribute_is_an_error() {
+        // Type 77 with the optional bit clear must be rejected.
+        let buf = [FLAG_TRANSITIVE, 77, 1, 0];
+        assert!(PathAttribute::decode_from(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_attribute_headers() {
+        assert!(matches!(
+            PathAttribute::decode_from(&[]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            PathAttribute::decode_from(&[0x40, 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            PathAttribute::decode_from(&[FLAG_EXTENDED | 0x40, 1, 0]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            PathAttribute::decode_from(&[0x40, 1, 5, 0]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn med_and_local_pref_reject_bad_length() {
+        let buf = [FLAG_OPTIONAL, TYPE_MED, 2, 0, 1];
+        assert!(PathAttribute::decode_from(&buf).is_err());
+        let buf = [FLAG_TRANSITIVE, TYPE_LOCAL_PREF, 5, 0, 0, 0, 0, 1];
+        assert!(PathAttribute::decode_from(&buf).is_err());
+    }
+
+    #[test]
+    fn communities_reject_ragged_length() {
+        let buf = [FLAG_OPTIONAL | FLAG_TRANSITIVE, TYPE_COMMUNITIES, 3, 1, 2, 3];
+        assert!(PathAttribute::decode_from(&buf).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding or decoding BGP wire data.
+///
+/// Every decode entry point in this crate returns `Result<_, WireError>`.
+/// The variants mirror the error conditions RFC 4271 §6 requires a BGP
+/// speaker to detect; the daemon maps them onto NOTIFICATION codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a complete field was read.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// The 16-byte header marker was not all ones (RFC 4271 §6.1).
+    InvalidMarker,
+    /// The header length field is outside `[19, 4096]` or inconsistent
+    /// with the message type (RFC 4271 §6.1).
+    BadMessageLength(u16),
+    /// The header type octet is not one of OPEN/UPDATE/NOTIFICATION/
+    /// KEEPALIVE (RFC 4271 §6.1).
+    UnknownMessageType(u8),
+    /// The OPEN message carried an unsupported protocol version
+    /// (RFC 4271 §6.2).
+    UnsupportedVersion(u8),
+    /// An OPEN field was malformed (zero AS, bad hold time, …).
+    MalformedOpen {
+        /// Which OPEN field was malformed.
+        field: &'static str,
+    },
+    /// A prefix length octet exceeded 32 bits (RFC 4271 §6.3).
+    InvalidPrefixLength(u8),
+    /// A path attribute was malformed.
+    MalformedAttribute {
+        /// Attribute type code.
+        type_code: u8,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A well-known mandatory attribute had the wrong flag bits.
+    AttributeFlags {
+        /// Attribute type code.
+        type_code: u8,
+        /// The flag octet observed on the wire.
+        flags: u8,
+    },
+    /// The encoded message would exceed the 4096-octet maximum.
+    MessageTooLong(usize),
+    /// An UPDATE section length field disagreed with the message length.
+    InconsistentLength {
+        /// Which section was inconsistent.
+        section: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { context } => {
+                write!(f, "input truncated while decoding {context}")
+            }
+            WireError::InvalidMarker => write!(f, "header marker is not all ones"),
+            WireError::BadMessageLength(len) => {
+                write!(f, "message length {len} outside valid range")
+            }
+            WireError::UnknownMessageType(t) => write!(f, "unknown message type {t}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported BGP version {v}")
+            }
+            WireError::MalformedOpen { field } => {
+                write!(f, "malformed OPEN field: {field}")
+            }
+            WireError::InvalidPrefixLength(len) => {
+                write!(f, "prefix length {len} exceeds 32 bits")
+            }
+            WireError::MalformedAttribute { type_code, reason } => {
+                write!(f, "malformed attribute type {type_code}: {reason}")
+            }
+            WireError::AttributeFlags { type_code, flags } => {
+                write!(
+                    f,
+                    "invalid flags {flags:#04x} on attribute type {type_code}"
+                )
+            }
+            WireError::MessageTooLong(len) => {
+                write!(f, "encoded message of {len} octets exceeds 4096")
+            }
+            WireError::InconsistentLength { section } => {
+                write!(f, "section length inconsistent with message length: {section}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let samples = [
+            WireError::Truncated { context: "header" },
+            WireError::InvalidMarker,
+            WireError::BadMessageLength(5),
+            WireError::UnknownMessageType(9),
+            WireError::UnsupportedVersion(3),
+            WireError::MalformedOpen { field: "hold time" },
+            WireError::InvalidPrefixLength(40),
+            WireError::MalformedAttribute {
+                type_code: 2,
+                reason: "segment overrun",
+            },
+            WireError::AttributeFlags {
+                type_code: 1,
+                flags: 0xC0,
+            },
+            WireError::MessageTooLong(5000),
+            WireError::InconsistentLength { section: "nlri" },
+        ];
+        for err in samples {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

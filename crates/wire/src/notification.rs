@@ -1,0 +1,177 @@
+//! The NOTIFICATION message (RFC 4271 §4.5, §6).
+
+use std::fmt;
+
+use crate::WireError;
+
+/// A BGP error code carried in a NOTIFICATION (RFC 4271 §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Problems with the common header.
+    MessageHeaderError,
+    /// Problems with an OPEN message.
+    OpenMessageError,
+    /// Problems with an UPDATE message.
+    UpdateMessageError,
+    /// The hold timer expired.
+    HoldTimerExpired,
+    /// An event arrived in a state that cannot accept it.
+    FiniteStateMachineError,
+    /// Administrative or unspecified session teardown.
+    Cease,
+    /// A code outside the RFC 4271 range, preserved verbatim.
+    Other(u8),
+}
+
+impl ErrorCode {
+    /// The wire octet for this code.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::MessageHeaderError => 1,
+            ErrorCode::OpenMessageError => 2,
+            ErrorCode::UpdateMessageError => 3,
+            ErrorCode::HoldTimerExpired => 4,
+            ErrorCode::FiniteStateMachineError => 5,
+            ErrorCode::Cease => 6,
+            ErrorCode::Other(code) => code,
+        }
+    }
+
+    /// Decodes a wire octet.
+    pub fn from_wire(code: u8) -> Self {
+        match code {
+            1 => ErrorCode::MessageHeaderError,
+            2 => ErrorCode::OpenMessageError,
+            3 => ErrorCode::UpdateMessageError,
+            4 => ErrorCode::HoldTimerExpired,
+            5 => ErrorCode::FiniteStateMachineError,
+            6 => ErrorCode::Cease,
+            other => ErrorCode::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ErrorCode::MessageHeaderError => "message header error",
+            ErrorCode::OpenMessageError => "open message error",
+            ErrorCode::UpdateMessageError => "update message error",
+            ErrorCode::HoldTimerExpired => "hold timer expired",
+            ErrorCode::FiniteStateMachineError => "finite state machine error",
+            ErrorCode::Cease => "cease",
+            ErrorCode::Other(code) => return write!(f, "error code {code}"),
+        };
+        f.write_str(text)
+    }
+}
+
+/// A decoded NOTIFICATION message.
+///
+/// ```
+/// use bgpbench_wire::{NotificationMessage, ErrorCode};
+/// let cease = NotificationMessage::new(ErrorCode::Cease, 0);
+/// assert_eq!(cease.error_code(), ErrorCode::Cease);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NotificationMessage {
+    error_code: ErrorCode,
+    subcode: u8,
+    data: Vec<u8>,
+}
+
+impl NotificationMessage {
+    /// Creates a NOTIFICATION with no diagnostic data.
+    pub fn new(error_code: ErrorCode, subcode: u8) -> Self {
+        NotificationMessage {
+            error_code,
+            subcode,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates a NOTIFICATION carrying diagnostic data.
+    pub fn with_data(error_code: ErrorCode, subcode: u8, data: Vec<u8>) -> Self {
+        NotificationMessage {
+            error_code,
+            subcode,
+            data,
+        }
+    }
+
+    /// The error code.
+    pub fn error_code(&self) -> ErrorCode {
+        self.error_code
+    }
+
+    /// The error subcode (meaning depends on the code).
+    pub fn subcode(&self) -> u8 {
+        self.subcode
+    }
+
+    /// Diagnostic data, if any.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub(crate) fn encode_body(&self, out: &mut Vec<u8>) {
+        out.push(self.error_code.to_wire());
+        out.push(self.subcode);
+        out.extend_from_slice(&self.data);
+    }
+
+    pub(crate) fn decode_body(input: &[u8]) -> Result<Self, WireError> {
+        if input.len() < 2 {
+            return Err(WireError::Truncated {
+                context: "notification code octets",
+            });
+        }
+        Ok(NotificationMessage {
+            error_code: ErrorCode::from_wire(input[0]),
+            subcode: input[1],
+            data: input[2..].to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for NotificationMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (subcode {})", self.error_code, self.subcode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let note =
+            NotificationMessage::with_data(ErrorCode::UpdateMessageError, 3, vec![1, 2, 3]);
+        let mut buf = Vec::new();
+        note.encode_body(&mut buf);
+        let decoded = NotificationMessage::decode_body(&buf).unwrap();
+        assert_eq!(decoded, note);
+    }
+
+    #[test]
+    fn error_code_wire_roundtrip() {
+        for code in 0u8..=255 {
+            assert_eq!(ErrorCode::from_wire(code).to_wire(), code);
+        }
+    }
+
+    #[test]
+    fn truncated_body() {
+        assert!(matches!(
+            NotificationMessage::decode_body(&[4]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn display() {
+        let note = NotificationMessage::new(ErrorCode::HoldTimerExpired, 0);
+        assert_eq!(note.to_string(), "hold timer expired (subcode 0)");
+    }
+}

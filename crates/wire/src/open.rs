@@ -1,0 +1,357 @@
+//! The OPEN message (RFC 4271 §4.2) and capability options (RFC 3392).
+
+use crate::{Asn, RouterId, WireError};
+
+/// The only BGP version this crate speaks.
+pub const BGP_VERSION: u8 = 4;
+
+const OPT_PARAM_CAPABILITIES: u8 = 2;
+
+/// A capability advertised in an OPEN optional parameter (RFC 3392).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Multiprotocol extensions (RFC 2858): AFI/SAFI pair.
+    Multiprotocol {
+        /// Address family identifier.
+        afi: u16,
+        /// Subsequent address family identifier.
+        safi: u8,
+    },
+    /// Route refresh (RFC 2918).
+    RouteRefresh,
+    /// Any capability this crate does not model structurally.
+    Unknown {
+        /// Capability code.
+        code: u8,
+        /// Raw capability value.
+        value: Vec<u8>,
+    },
+}
+
+impl Capability {
+    fn code(&self) -> u8 {
+        match self {
+            Capability::Multiprotocol { .. } => 1,
+            Capability::RouteRefresh => 2,
+            Capability::Unknown { code, .. } => *code,
+        }
+    }
+
+    fn value_bytes(&self) -> Vec<u8> {
+        match self {
+            Capability::Multiprotocol { afi, safi } => {
+                let mut buf = Vec::with_capacity(4);
+                buf.extend_from_slice(&afi.to_be_bytes());
+                buf.push(0); // reserved
+                buf.push(*safi);
+                buf
+            }
+            Capability::RouteRefresh => Vec::new(),
+            Capability::Unknown { value, .. } => value.clone(),
+        }
+    }
+
+    fn decode(code: u8, value: &[u8]) -> Result<Self, WireError> {
+        match code {
+            1 => {
+                let octets: [u8; 4] = value.try_into().map_err(|_| {
+                    WireError::MalformedOpen {
+                        field: "multiprotocol capability length",
+                    }
+                })?;
+                Ok(Capability::Multiprotocol {
+                    afi: u16::from_be_bytes([octets[0], octets[1]]),
+                    safi: octets[3],
+                })
+            }
+            2 => {
+                if !value.is_empty() {
+                    return Err(WireError::MalformedOpen {
+                        field: "route refresh capability length",
+                    });
+                }
+                Ok(Capability::RouteRefresh)
+            }
+            _ => Ok(Capability::Unknown {
+                code,
+                value: value.to_vec(),
+            }),
+        }
+    }
+}
+
+/// A decoded OPEN message.
+///
+/// ```
+/// use bgpbench_wire::{Asn, OpenMessage, RouterId};
+/// let open = OpenMessage::new(Asn(65001), 90, RouterId(0x0A000001));
+/// assert_eq!(open.asn(), Asn(65001));
+/// assert_eq!(open.hold_time_secs(), 90);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpenMessage {
+    asn: Asn,
+    hold_time_secs: u16,
+    router_id: RouterId,
+    capabilities: Vec<Capability>,
+}
+
+impl OpenMessage {
+    /// Creates an OPEN with the given AS number, hold time, and router
+    /// ID, and no capabilities.
+    pub fn new(asn: Asn, hold_time_secs: u16, router_id: RouterId) -> Self {
+        OpenMessage {
+            asn,
+            hold_time_secs,
+            router_id,
+            capabilities: Vec::new(),
+        }
+    }
+
+    /// Adds a capability, returning `self` for chaining.
+    pub fn with_capability(mut self, capability: Capability) -> Self {
+        self.capabilities.push(capability);
+        self
+    }
+
+    /// The sender's AS number.
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// Proposed hold time in seconds (zero disables keepalives).
+    pub fn hold_time_secs(&self) -> u16 {
+        self.hold_time_secs
+    }
+
+    /// The sender's BGP identifier.
+    pub fn router_id(&self) -> RouterId {
+        self.router_id
+    }
+
+    /// Advertised capabilities.
+    pub fn capabilities(&self) -> &[Capability] {
+        &self.capabilities
+    }
+
+    /// Appends the OPEN body (everything after the common header).
+    pub(crate) fn encode_body(&self, out: &mut Vec<u8>) {
+        out.push(BGP_VERSION);
+        out.extend_from_slice(&self.asn.0.to_be_bytes());
+        out.extend_from_slice(&self.hold_time_secs.to_be_bytes());
+        out.extend_from_slice(&self.router_id.0.to_be_bytes());
+        let mut params = Vec::new();
+        for capability in &self.capabilities {
+            let value = capability.value_bytes();
+            // One capability per optional parameter, the common choice.
+            params.push(OPT_PARAM_CAPABILITIES);
+            params.push((value.len() + 2) as u8);
+            params.push(capability.code());
+            params.push(value.len() as u8);
+            params.extend_from_slice(&value);
+        }
+        out.push(params.len() as u8);
+        out.extend_from_slice(&params);
+    }
+
+    /// Decodes an OPEN body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnsupportedVersion`] for any version other
+    /// than 4, and [`WireError::MalformedOpen`] / [`WireError::Truncated`]
+    /// for structural problems (RFC 4271 §6.2).
+    pub(crate) fn decode_body(input: &[u8]) -> Result<Self, WireError> {
+        if input.len() < 10 {
+            return Err(WireError::Truncated {
+                context: "open fixed fields",
+            });
+        }
+        let version = input[0];
+        if version != BGP_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let asn = Asn(u16::from_be_bytes([input[1], input[2]]));
+        if asn.0 == 0 {
+            return Err(WireError::MalformedOpen { field: "zero AS number" });
+        }
+        let hold_time_secs = u16::from_be_bytes([input[3], input[4]]);
+        if hold_time_secs == 1 || hold_time_secs == 2 {
+            // RFC 4271 §4.2: hold time must be zero or at least three.
+            return Err(WireError::MalformedOpen {
+                field: "hold time below three seconds",
+            });
+        }
+        let router_id = RouterId(u32::from_be_bytes([
+            input[5], input[6], input[7], input[8],
+        ]));
+        if router_id.0 == 0 {
+            return Err(WireError::MalformedOpen {
+                field: "zero BGP identifier",
+            });
+        }
+        let opt_len = usize::from(input[9]);
+        let params = &input[10..];
+        if params.len() != opt_len {
+            return Err(WireError::InconsistentLength {
+                section: "open optional parameters",
+            });
+        }
+        let mut capabilities = Vec::new();
+        let mut rest = params;
+        while !rest.is_empty() {
+            if rest.len() < 2 {
+                return Err(WireError::Truncated {
+                    context: "optional parameter header",
+                });
+            }
+            let param_type = rest[0];
+            let param_len = usize::from(rest[1]);
+            if rest.len() < 2 + param_len {
+                return Err(WireError::Truncated {
+                    context: "optional parameter value",
+                });
+            }
+            let value = &rest[2..2 + param_len];
+            if param_type == OPT_PARAM_CAPABILITIES {
+                let mut caps = value;
+                while !caps.is_empty() {
+                    if caps.len() < 2 {
+                        return Err(WireError::Truncated {
+                            context: "capability header",
+                        });
+                    }
+                    let code = caps[0];
+                    let cap_len = usize::from(caps[1]);
+                    if caps.len() < 2 + cap_len {
+                        return Err(WireError::Truncated {
+                            context: "capability value",
+                        });
+                    }
+                    capabilities.push(Capability::decode(code, &caps[2..2 + cap_len])?);
+                    caps = &caps[2 + cap_len..];
+                }
+            }
+            // Other parameter types (e.g. deprecated authentication) are
+            // skipped rather than rejected.
+            rest = &rest[2 + param_len..];
+        }
+        Ok(OpenMessage {
+            asn,
+            hold_time_secs,
+            router_id,
+            capabilities,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(open: OpenMessage) {
+        let mut buf = Vec::new();
+        open.encode_body(&mut buf);
+        let decoded = OpenMessage::decode_body(&buf).unwrap();
+        assert_eq!(decoded, open);
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        roundtrip(OpenMessage::new(Asn(65001), 180, RouterId(0x0A000001)));
+    }
+
+    #[test]
+    fn roundtrip_with_capabilities() {
+        roundtrip(
+            OpenMessage::new(Asn(1), 0, RouterId(1))
+                .with_capability(Capability::Multiprotocol { afi: 1, safi: 1 })
+                .with_capability(Capability::RouteRefresh)
+                .with_capability(Capability::Unknown {
+                    code: 200,
+                    value: vec![9, 9],
+                }),
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let open = OpenMessage::new(Asn(1), 90, RouterId(1));
+        let mut buf = Vec::new();
+        open.encode_body(&mut buf);
+        buf[0] = 3;
+        assert_eq!(
+            OpenMessage::decode_body(&buf),
+            Err(WireError::UnsupportedVersion(3))
+        );
+    }
+
+    #[test]
+    fn rejects_zero_asn_and_router_id() {
+        let open = OpenMessage::new(Asn(1), 90, RouterId(1));
+        let mut buf = Vec::new();
+        open.encode_body(&mut buf);
+        let mut zero_as = buf.clone();
+        zero_as[1] = 0;
+        zero_as[2] = 0;
+        assert!(matches!(
+            OpenMessage::decode_body(&zero_as),
+            Err(WireError::MalformedOpen { .. })
+        ));
+        let mut zero_id = buf;
+        zero_id[5..9].fill(0);
+        assert!(matches!(
+            OpenMessage::decode_body(&zero_id),
+            Err(WireError::MalformedOpen { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_hold_time_one_and_two() {
+        for ht in [1u16, 2] {
+            let mut buf = Vec::new();
+            OpenMessage::new(Asn(1), 90, RouterId(1)).encode_body(&mut buf);
+            buf[3..5].copy_from_slice(&ht.to_be_bytes());
+            assert!(matches!(
+                OpenMessage::decode_body(&buf),
+                Err(WireError::MalformedOpen { .. })
+            ));
+        }
+        // Zero and three are fine.
+        for ht in [0u16, 3] {
+            let mut buf = Vec::new();
+            OpenMessage::new(Asn(1), ht, RouterId(1)).encode_body(&mut buf);
+            assert!(OpenMessage::decode_body(&buf).is_ok());
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_param_length() {
+        let mut buf = Vec::new();
+        OpenMessage::new(Asn(1), 90, RouterId(1)).encode_body(&mut buf);
+        buf[9] = 7; // claims parameters that are not present
+        assert!(matches!(
+            OpenMessage::decode_body(&buf),
+            Err(WireError::InconsistentLength { .. })
+        ));
+    }
+
+    #[test]
+    fn skips_non_capability_parameters() {
+        let mut buf = Vec::new();
+        OpenMessage::new(Asn(1), 90, RouterId(1)).encode_body(&mut buf);
+        // Append a deprecated authentication parameter (type 1).
+        buf[9] = 4;
+        buf.extend_from_slice(&[1, 2, 0xAA, 0xBB]);
+        let decoded = OpenMessage::decode_body(&buf).unwrap();
+        assert!(decoded.capabilities().is_empty());
+    }
+
+    #[test]
+    fn truncated_fixed_fields() {
+        assert!(matches!(
+            OpenMessage::decode_body(&[4, 0, 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

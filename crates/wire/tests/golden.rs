@@ -1,0 +1,152 @@
+//! Golden byte-vector tests: hand-assembled RFC 4271/2918 messages
+//! checked bit-for-bit against the encoder and decoder. These pin the
+//! wire format independently of the round-trip property tests (which
+//! would not catch a symmetric encode/decode bug).
+
+use std::net::Ipv4Addr;
+
+use bgpbench_wire::{
+    AsPath, Asn, ErrorCode, Message, NotificationMessage, OpenMessage, Origin,
+    PathAttribute, RouterId, UpdateMessage,
+};
+
+const MARKER: [u8; 16] = [0xFF; 16];
+
+fn with_header(msg_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(19 + body.len());
+    bytes.extend_from_slice(&MARKER);
+    bytes.extend_from_slice(&((19 + body.len()) as u16).to_be_bytes());
+    bytes.push(msg_type);
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+#[test]
+fn golden_keepalive() {
+    let expected = with_header(4, &[]);
+    assert_eq!(Message::Keepalive.encode().unwrap(), expected);
+    assert_eq!(expected.len(), 19);
+}
+
+#[test]
+fn golden_open() {
+    // AS 65001 (0xFDE9), hold 90 (0x005A), id 10.0.0.1 (0x0A000001),
+    // no optional parameters.
+    let body = [
+        0x04, // version
+        0xFD, 0xE9, // my AS
+        0x00, 0x5A, // hold time
+        0x0A, 0x00, 0x00, 0x01, // BGP identifier
+        0x00, // opt param len
+    ];
+    let expected = with_header(1, &body);
+    let open = OpenMessage::new(Asn(65001), 90, RouterId(0x0A00_0001));
+    assert_eq!(Message::Open(open.clone()).encode().unwrap(), expected);
+    let (decoded, _) = Message::decode(&expected).unwrap();
+    assert_eq!(decoded, Message::Open(open));
+}
+
+#[test]
+fn golden_open_with_route_refresh_capability() {
+    // One optional parameter: type 2 (capabilities), containing
+    // capability code 2 (route refresh), length 0.
+    let body = [
+        0x04, 0xFD, 0xE9, 0x00, 0x5A, 0x0A, 0x00, 0x00, 0x01,
+        0x04, // opt param len
+        0x02, 0x02, // param type 2, param len 2
+        0x02, 0x00, // capability 2, cap len 0
+    ];
+    let expected = with_header(1, &body);
+    let open = OpenMessage::new(Asn(65001), 90, RouterId(0x0A00_0001))
+        .with_capability(bgpbench_wire::Capability::RouteRefresh);
+    assert_eq!(Message::Open(open).encode().unwrap(), expected);
+}
+
+#[test]
+fn golden_update_single_announcement() {
+    // Announce 10.0.0.0/8 with ORIGIN IGP, AS_PATH {65001}, NEXT_HOP
+    // 192.0.2.1. Attribute section:
+    //   40 01 01 00          ORIGIN, well-known transitive, IGP
+    //   40 02 04 02 01 FD E9 AS_PATH, one AS_SEQUENCE of one AS
+    //   40 03 04 C0 00 02 01 NEXT_HOP
+    let body = [
+        0x00, 0x00, // withdrawn routes length
+        0x00, 0x12, // total path attribute length (18)
+        0x40, 0x01, 0x01, 0x00, // ORIGIN
+        0x40, 0x02, 0x04, 0x02, 0x01, 0xFD, 0xE9, // AS_PATH
+        0x40, 0x03, 0x04, 0xC0, 0x00, 0x02, 0x01, // NEXT_HOP
+        0x08, 0x0A, // NLRI: /8, 10
+    ];
+    let expected = with_header(2, &body);
+    let update = UpdateMessage::builder()
+        .attribute(PathAttribute::Origin(Origin::Igp))
+        .attribute(PathAttribute::AsPath(AsPath::from_sequence([Asn(65001)])))
+        .attribute(PathAttribute::NextHop(Ipv4Addr::new(192, 0, 2, 1)))
+        .announce("10.0.0.0/8".parse().unwrap())
+        .build();
+    assert_eq!(Message::Update(update.clone()).encode().unwrap(), expected);
+    let (decoded, consumed) = Message::decode(&expected).unwrap();
+    assert_eq!(consumed, expected.len());
+    assert_eq!(decoded, Message::Update(update));
+}
+
+#[test]
+fn golden_update_withdrawal_only() {
+    // Withdraw 192.168.4.0/22: length octet 22, three prefix octets.
+    let body = [
+        0x00, 0x04, // withdrawn routes length
+        0x16, 0xC0, 0xA8, 0x04, // /22, 192.168.4
+        0x00, 0x00, // total path attribute length
+    ];
+    let expected = with_header(2, &body);
+    let update = UpdateMessage::builder()
+        .withdraw("192.168.4.0/22".parse().unwrap())
+        .build();
+    assert_eq!(Message::Update(update).encode().unwrap(), expected);
+}
+
+#[test]
+fn golden_notification_hold_timer_expired() {
+    let expected = with_header(3, &[0x04, 0x00]);
+    let note = NotificationMessage::new(ErrorCode::HoldTimerExpired, 0);
+    assert_eq!(Message::Notification(note).encode().unwrap(), expected);
+}
+
+#[test]
+fn golden_route_refresh_ipv4_unicast() {
+    let expected = with_header(5, &[0x00, 0x01, 0x00, 0x01]);
+    let refresh = Message::RouteRefresh { afi: 1, safi: 1 };
+    assert_eq!(refresh.encode().unwrap(), expected);
+    let (decoded, _) = Message::decode(&expected).unwrap();
+    assert_eq!(decoded, refresh);
+}
+
+#[test]
+fn golden_med_attribute_flags() {
+    // MED is optional non-transitive: flags 0x80.
+    let update = UpdateMessage::builder()
+        .attribute(PathAttribute::Med(7))
+        .build();
+    let bytes = Message::Update(update).encode().unwrap();
+    // Body starts after the 19-octet header + 2 (withdrawn len) +
+    // 2 (attr len); the first attribute octet is the flag.
+    assert_eq!(bytes[23], 0x80);
+    assert_eq!(bytes[24], 0x04); // type MED
+    assert_eq!(bytes[25], 0x04); // length 4
+    assert_eq!(&bytes[26..30], &[0, 0, 0, 7]);
+}
+
+#[test]
+fn golden_default_route_nlri_is_one_octet() {
+    let update = UpdateMessage::builder()
+        .attribute(PathAttribute::Origin(Origin::Igp))
+        .attribute(PathAttribute::AsPath(AsPath::from_sequence([Asn(1)])))
+        .attribute(PathAttribute::NextHop(Ipv4Addr::new(10, 0, 0, 1)))
+        .announce("0.0.0.0/0".parse().unwrap())
+        .build();
+    let bytes = Message::Update(update).encode().unwrap();
+    // The default route encodes as the single octet 0x00 at the tail.
+    assert_eq!(bytes.last(), Some(&0x00));
+    let attr_len = u16::from_be_bytes([bytes[21], bytes[22]]) as usize;
+    assert_eq!(bytes.len(), 19 + 2 + 2 + attr_len + 1);
+}

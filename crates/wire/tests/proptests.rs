@@ -1,0 +1,234 @@
+//! Property-based tests for the BGP wire format.
+
+use std::net::Ipv4Addr;
+
+use bgpbench_wire::{
+    AsPath, AsPathSegment, Asn, Capability, ErrorCode, Message, NotificationMessage,
+    OpenMessage, Origin, PathAttribute, Prefix, RouterId, StreamDecoder, UpdateMessage,
+};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(bits, len)| Prefix::new_masked(Ipv4Addr::from(bits), len).unwrap())
+}
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    any::<u16>().prop_map(Asn)
+}
+
+fn arb_segment() -> impl Strategy<Value = AsPathSegment> {
+    prop_oneof![
+        prop::collection::vec(arb_asn(), 1..8).prop_map(AsPathSegment::Sequence),
+        prop::collection::vec(arb_asn(), 1..8).prop_map(AsPathSegment::Set),
+    ]
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(arb_segment(), 0..4).prop_map(AsPath::from_segments)
+}
+
+fn arb_origin() -> impl Strategy<Value = Origin> {
+    prop_oneof![
+        Just(Origin::Igp),
+        Just(Origin::Egp),
+        Just(Origin::Incomplete)
+    ]
+}
+
+fn arb_attribute() -> impl Strategy<Value = PathAttribute> {
+    prop_oneof![
+        arb_origin().prop_map(PathAttribute::Origin),
+        arb_as_path().prop_map(PathAttribute::AsPath),
+        any::<u32>().prop_map(|b| PathAttribute::NextHop(Ipv4Addr::from(b))),
+        any::<u32>().prop_map(PathAttribute::Med),
+        any::<u32>().prop_map(PathAttribute::LocalPref),
+        Just(PathAttribute::AtomicAggregate),
+        (arb_asn(), any::<u32>()).prop_map(|(asn, id)| PathAttribute::Aggregator {
+            asn,
+            router_id: Ipv4Addr::from(id),
+        }),
+        prop::collection::vec(any::<u32>(), 0..6).prop_map(PathAttribute::Communities),
+        // Unknown optional attribute with arbitrary payload.
+        (any::<bool>(), 16u8..=255, prop::collection::vec(any::<u8>(), 0..300)).prop_map(
+            |(transitive, type_code, value)| {
+                let mut flags = 0x80; // optional
+                if transitive {
+                    flags |= 0x40;
+                }
+                PathAttribute::Unknown {
+                    flags,
+                    type_code,
+                    value,
+                }
+            }
+        ),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateMessage> {
+    (
+        prop::collection::vec(arb_prefix(), 0..20),
+        prop::collection::vec(arb_attribute(), 1..6),
+        prop::collection::vec(arb_prefix(), 0..20),
+    )
+        .prop_map(|(withdrawn, attrs, nlri)| {
+            let mut builder = UpdateMessage::builder().withdraw_all(withdrawn);
+            for attr in attrs {
+                builder = builder.attribute(attr);
+            }
+            builder.announce_all(nlri).build()
+        })
+}
+
+fn arb_open() -> impl Strategy<Value = OpenMessage> {
+    (
+        1u16..=u16::MAX,
+        prop_oneof![Just(0u16), 3u16..=u16::MAX],
+        1u32..=u32::MAX,
+        prop::collection::vec(
+            prop_oneof![
+                Just(Capability::RouteRefresh),
+                (any::<u16>(), any::<u8>())
+                    .prop_map(|(afi, safi)| Capability::Multiprotocol { afi, safi }),
+                (64u8..=255, prop::collection::vec(any::<u8>(), 0..16))
+                    .prop_map(|(code, value)| Capability::Unknown { code, value }),
+            ],
+            0..4,
+        ),
+    )
+        .prop_map(|(asn, hold, id, caps)| {
+            let mut open = OpenMessage::new(Asn(asn), hold, RouterId(id));
+            for cap in caps {
+                open = open.with_capability(cap);
+            }
+            open
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_open().prop_map(Message::Open),
+        arb_update().prop_map(Message::Update),
+        (any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..32)).prop_map(
+            |(code, sub, data)| {
+                Message::Notification(NotificationMessage::with_data(
+                    ErrorCode::from_wire(code),
+                    sub,
+                    data,
+                ))
+            }
+        ),
+        Just(Message::Keepalive),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn prefix_roundtrip(prefix in arb_prefix()) {
+        let mut buf = Vec::new();
+        prefix.encode_to(&mut buf);
+        let (decoded, consumed) = Prefix::decode_from(&buf).unwrap();
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(decoded, prefix);
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(prefix in arb_prefix()) {
+        let text = prefix.to_string();
+        let parsed: Prefix = text.parse().unwrap();
+        prop_assert_eq!(parsed, prefix);
+    }
+
+    #[test]
+    fn prefix_contains_its_network(prefix in arb_prefix()) {
+        prop_assert!(prefix.contains(prefix.network()));
+        prop_assert!(prefix.covers(&prefix));
+    }
+
+    #[test]
+    fn attribute_roundtrip(attr in arb_attribute()) {
+        let mut buf = Vec::new();
+        attr.encode_to(&mut buf);
+        prop_assert_eq!(buf.len(), attr.wire_len());
+        let (decoded, consumed) = PathAttribute::decode_from(&buf).unwrap();
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(decoded, attr);
+    }
+
+    #[test]
+    fn message_roundtrip(message in arb_message()) {
+        match message.encode() {
+            Ok(bytes) => {
+                let (decoded, consumed) = Message::decode(&bytes).unwrap();
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert_eq!(decoded, message);
+            }
+            Err(err) => {
+                // Only legitimately oversized messages may fail.
+                prop_assert!(matches!(
+                    err,
+                    bgpbench_wire::WireError::MessageTooLong(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_any_chunking(
+        messages in prop::collection::vec(arb_message(), 1..6),
+        chunk_len in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        let mut encodable = Vec::new();
+        for message in messages {
+            if let Ok(bytes) = message.encode() {
+                stream.extend(bytes);
+                encodable.push(message);
+            }
+        }
+        let mut decoder = StreamDecoder::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(chunk_len) {
+            decoder.extend(chunk);
+            while let Some(message) = decoder.next_message().unwrap() {
+                decoded.push(message);
+            }
+        }
+        prop_assert_eq!(decoded, encodable);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn as_path_prepend_grows_length_by_one(path in arb_as_path(), asn in arb_asn()) {
+        let prepended = path.prepend(asn);
+        prop_assert_eq!(prepended.first_as(), Some(asn));
+        prop_assert!(prepended.contains(asn));
+        // Prepending adds exactly one AS to a sequence (or a fresh
+        // one-element sequence), so the comparison length grows by one
+        // unless the leading segment was a set (then it grows by one too,
+        // since a new sequence segment is inserted).
+        prop_assert_eq!(prepended.length(), path.length() + 1);
+    }
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes);
+        let mut decoder = StreamDecoder::new();
+        decoder.extend(&bytes);
+        let _ = decoder.drain();
+    }
+
+    #[test]
+    fn decode_corrupted_valid_message_never_panics(
+        update in arb_update(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bits in 1u8..=255,
+    ) {
+        if let Ok(mut bytes) = Message::Update(update).encode() {
+            let idx = flip_at.index(bytes.len());
+            bytes[idx] ^= flip_bits;
+            let _ = Message::decode(&bytes);
+        }
+    }
+}

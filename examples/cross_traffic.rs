@@ -1,0 +1,42 @@
+//! Control-plane/data-plane interference: sweep cross-traffic on every
+//! platform for one scenario and plot transactions/s against offered
+//! load (one panel of the paper's Fig. 5).
+//!
+//! ```text
+//! cargo run --release --example cross_traffic            # Scenario 2
+//! cargo run --release --example cross_traffic -- 8       # Scenario 8
+//! ```
+
+use bgpbench::bench::experiments::{cross_levels, run_cell};
+use bgpbench::bench::report::ascii_plot;
+use bgpbench::bench::Scenario;
+use bgpbench::models::all_platforms;
+
+fn main() {
+    let number: u8 = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(2);
+    let scenario = Scenario::from_number(number);
+    let prefixes = match scenario.packet_size() {
+        bgpbench::bench::PacketSize::Small => 600,
+        bgpbench::bench::PacketSize::Large => 4000,
+    };
+    println!("{scenario} ({}) under increasing cross-traffic\n", scenario.description());
+
+    for platform in all_platforms() {
+        let points: Vec<(f64, f64)> = cross_levels(&platform, 6)
+            .into_iter()
+            .map(|mbps| {
+                let result = run_cell(&platform, scenario, prefixes, mbps);
+                (mbps, result.tps())
+            })
+            .collect();
+        println!("{} (x = Mbps offered, y = transactions/s):", platform.name);
+        println!("{}\n", ascii_plot(&points, 56, 7, "  "));
+        for (mbps, tps) in &points {
+            println!("    {mbps:>7.0} Mbps -> {tps:>10.1} tps");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,105 @@
+//! Route-flap damping (RFC 2439) against the instability workload the
+//! paper's introduction motivates the benchmark with: how much
+//! processing and FIB churn does damping save a router under a flap
+//! storm?
+//!
+//! ```text
+//! cargo run --release --example flap_damping
+//! ```
+
+use std::net::Ipv4Addr;
+
+use bgpbench::rib::{DampingConfig, PeerId, PeerInfo, RibEngine, RouteChange};
+use bgpbench::speaker::{workload, TableGenerator};
+use bgpbench::wire::{Asn, RouterId};
+
+const PREFIXES: usize = 2000;
+const ROUNDS: usize = 8;
+/// One flap round (announce + withdraw) every 30 seconds — fast enough
+/// that penalties accumulate, slow enough that a storm lasts minutes.
+const ROUND_INTERVAL_SECS: f64 = 30.0;
+
+struct Churn {
+    fib_writes: u64,
+    dampened: u64,
+}
+
+fn run(damping: bool) -> Churn {
+    let mut engine = RibEngine::new(Asn(65000), RouterId(1));
+    if damping {
+        engine.enable_damping(DampingConfig::default());
+    }
+    let peer = engine.add_peer(PeerInfo::new(
+        PeerId(1),
+        Asn(65001),
+        RouterId(2),
+        Ipv4Addr::new(10, 0, 0, 2),
+    ));
+    let table = TableGenerator::new(2007).generate(PREFIXES);
+    let spec = workload::AnnounceSpec {
+        speaker_asn: Asn(65001),
+        path_len: 3,
+        next_hop: Ipv4Addr::new(10, 0, 0, 2),
+        prefixes_per_update: 500,
+        seed: 2007,
+    };
+
+    let mut churn = Churn {
+        fib_writes: 0,
+        dampened: 0,
+    };
+    let mut now = 0.0;
+    for round in 0..ROUNDS {
+        let announce = workload::announcements(
+            &table,
+            &workload::AnnounceSpec {
+                seed: spec.seed + round as u64,
+                ..spec
+            },
+        );
+        for update in &announce {
+            for outcome in engine.apply_update_at(peer, update, now).unwrap() {
+                if outcome.fib.is_some() {
+                    churn.fib_writes += 1;
+                }
+                if outcome.change == RouteChange::Dampened {
+                    churn.dampened += 1;
+                }
+            }
+        }
+        now += ROUND_INTERVAL_SECS / 2.0;
+        for update in &workload::withdrawals(&table, 500) {
+            for outcome in engine.apply_update_at(peer, update, now).unwrap() {
+                if outcome.fib.is_some() {
+                    churn.fib_writes += 1;
+                }
+            }
+        }
+        now += ROUND_INTERVAL_SECS / 2.0;
+    }
+    churn
+}
+
+fn main() {
+    println!(
+        "flap storm: {ROUNDS} announce/withdraw rounds over {PREFIXES} prefixes, \
+         one round per {ROUND_INTERVAL_SECS:.0}s\n"
+    );
+    let plain = run(false);
+    let damped = run(true);
+    println!("{:<22} {:>12} {:>12}", "", "no damping", "RFC 2439");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "FIB writes", plain.fib_writes, damped.fib_writes
+    );
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "dampened announcements", plain.dampened, damped.dampened
+    );
+    let saved = 100.0 * (1.0 - damped.fib_writes as f64 / plain.fib_writes as f64);
+    println!(
+        "\ndamping eliminated {saved:.0}% of forwarding-table churn — the FIB write is \
+         the most expensive per-prefix operation on every platform in Table III, so this \
+         directly relieves the bottleneck the paper identifies."
+    );
+}

@@ -1,0 +1,37 @@
+//! The full benchmark: reproduce Table III (all eight scenarios on all
+//! four platforms) and check the paper's qualitative observations.
+//!
+//! ```text
+//! cargo run --release --example full_benchmark            # full size
+//! cargo run --release --example full_benchmark -- --quick # reduced
+//! ```
+
+use bgpbench::bench::experiments::{table3, ExperimentConfig};
+use bgpbench::bench::report::{render_table3, table3_csv};
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    eprintln!(
+        "running Table III with {} prefixes (small) / {} (large)...",
+        config.small_prefixes, config.large_prefixes
+    );
+    let table = table3(&config);
+    println!("{}", render_table3(&table));
+
+    let violations = table.check_observations();
+    if violations.is_empty() {
+        println!("all of the paper's Table III observations reproduced");
+    } else {
+        println!("observation mismatches:");
+        for violation in &violations {
+            println!("  - {violation}");
+        }
+    }
+
+    println!("\nCSV:\n{}", table3_csv(&table));
+}

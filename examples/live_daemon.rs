@@ -1,0 +1,46 @@
+//! Live mode: benchmark a *real* BGP daemon over loopback TCP with the
+//! same methodology the simulator uses. This measures the host machine
+//! running our daemon — a fifth "platform" next to the paper's four.
+//!
+//! ```text
+//! cargo run --release --example live_daemon
+//! ```
+
+use std::time::Duration;
+
+use bgpbench::bench::live::{run_live_scenario, LiveConfig};
+use bgpbench::bench::Scenario;
+use bgpbench::daemon::{BgpDaemon, DaemonConfig};
+
+fn main() -> std::io::Result<()> {
+    let config = LiveConfig {
+        prefixes: 20_000,
+        seed: 2007,
+        phase_timeout: Duration::from_secs(300),
+    };
+    println!(
+        "benchmarking the live daemon with {} prefixes per scenario\n",
+        config.prefixes
+    );
+    println!(
+        "{:<12} {:<55} {:>12}",
+        "scenario", "description", "tps"
+    );
+    // Each scenario gets a fresh daemon so runs are independent.
+    for scenario in Scenario::ALL {
+        let daemon = BgpDaemon::start(DaemonConfig::default())?;
+        let result = run_live_scenario(&daemon, scenario, &config)?;
+        println!(
+            "{:<12} {:<55} {:>12.1}",
+            result.scenario.to_string(),
+            scenario.description(),
+            result.tps()
+        );
+        daemon.shutdown();
+    }
+    println!(
+        "\n(compare the shape with Table III: no-FIB-change scenarios fastest, \
+         large packets beat small)"
+    );
+    Ok(())
+}

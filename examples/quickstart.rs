@@ -1,0 +1,33 @@
+//! Quickstart: run one benchmark scenario on one simulated platform.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bgpbench::bench::{run_scenario, Scenario, ScenarioConfig};
+use bgpbench::models::{all_platforms, xeon};
+
+fn main() {
+    // One scenario, one platform.
+    let config = ScenarioConfig {
+        prefixes: 5000,
+        seed: 2007,
+        cross_traffic_mbps: 0.0,
+    };
+    let result = run_scenario(&xeon(), Scenario::S2, &config);
+    println!(
+        "{} on {}: {} transactions in {:.2} simulated seconds = {:.1} transactions/s",
+        result.scenario,
+        result.platform,
+        result.transactions,
+        result.elapsed_secs,
+        result.tps()
+    );
+
+    // The same scenario across all four platforms of the paper.
+    println!("\n{} across all platforms:", Scenario::S2);
+    for platform in all_platforms() {
+        let result = run_scenario(&platform, Scenario::S2, &config);
+        println!("  {:<12} {:>10.1} transactions/s", platform.name, result.tps());
+    }
+}
