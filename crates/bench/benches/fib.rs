@@ -88,9 +88,16 @@ fn bench_forwarding_pipeline(c: &mut Criterion) {
 /// classic trade-off, DESIGN.md's FIB ablation).
 fn bench_lpm_compare(c: &mut Criterion) {
     let table = TableGenerator::new(3).generate(10_000);
-    let plain: LpmTrie<u32> = table.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
-    let compressed: CompressedTrie<u32> =
-        table.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
+    let plain: LpmTrie<u32> = table
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, i as u32))
+        .collect();
+    let compressed: CompressedTrie<u32> = table
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, i as u32))
+        .collect();
     let probes: Vec<Ipv4Addr> = table.iter().take(1000).map(|p| p.network()).collect();
 
     let mut group = c.benchmark_group("fib/lpm_compare");

@@ -136,15 +136,11 @@ fn bench_damping_ablation(c: &mut Criterion) {
                     let mut now = 0.0;
                     for _round in 0..3 {
                         for update in announce.iter().take(4) {
-                            black_box(
-                                engine.apply_update_at(PeerId(1), update, now).unwrap(),
-                            );
+                            black_box(engine.apply_update_at(PeerId(1), update, now).unwrap());
                         }
                         now += 15.0;
                         for update in &withdrawals {
-                            black_box(
-                                engine.apply_update_at(PeerId(1), update, now).unwrap(),
-                            );
+                            black_box(engine.apply_update_at(PeerId(1), update, now).unwrap());
                         }
                         now += 15.0;
                     }
@@ -237,11 +233,7 @@ fn bench_peer_scaling(c: &mut Criterion) {
                     // The winning announcement must be compared against
                     // every stored alternative.
                     for update in &contest {
-                        black_box(
-                            engine
-                                .apply_update(PeerId(npeers as u32), update)
-                                .unwrap(),
-                        );
+                        black_box(engine.apply_update(PeerId(npeers as u32), update).unwrap());
                     }
                 },
                 BatchSize::SmallInput,

@@ -7,8 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bgpbench_core::experiments::run_cell;
-use bgpbench_core::Scenario;
+use bgpbench_core::{CellSpec, Scenario};
 use bgpbench_models::{all_platforms, cisco3620, pentium3};
 
 /// Reduced table sizes so every cell finishes quickly under criterion.
@@ -29,16 +28,8 @@ fn bench_table3_cells(c: &mut Criterion) {
                 platform.name.replace(' ', "_"),
                 scenario.number()
             );
-            group.bench_function(&label, |b| {
-                b.iter(|| {
-                    black_box(run_cell(
-                        &platform,
-                        scenario,
-                        cell_prefixes(scenario),
-                        0.0,
-                    ))
-                })
-            });
+            let cell = CellSpec::new(scenario, platform.clone()).prefixes(cell_prefixes(scenario));
+            group.bench_function(&label, |b| b.iter(|| black_box(cell.run())));
         }
     }
     group.finish();
@@ -50,15 +41,9 @@ fn bench_all_scenarios_pentium3(c: &mut Criterion) {
     let platform = pentium3();
     let mut group = c.benchmark_group("scenarios/pentium3");
     for scenario in Scenario::ALL {
+        let cell = CellSpec::new(scenario, platform.clone()).prefixes(cell_prefixes(scenario));
         group.bench_function(format!("scenario{}", scenario.number()), |b| {
-            b.iter(|| {
-                black_box(run_cell(
-                    &platform,
-                    scenario,
-                    cell_prefixes(scenario),
-                    0.0,
-                ))
-            })
+            b.iter(|| black_box(cell.run()))
         });
     }
     group.finish();
@@ -76,9 +61,10 @@ fn bench_cross_traffic_cells(c: &mut Criterion) {
         (cisco3620(), 70.0),
     ] {
         let label = format!("{}/{}mbps", platform.name.replace(' ', "_"), mbps as u32);
-        group.bench_function(&label, |b| {
-            b.iter(|| black_box(run_cell(&platform, Scenario::S2, 600, mbps)))
-        });
+        let cell = CellSpec::new(Scenario::S2, platform)
+            .prefixes(600)
+            .cross_traffic(mbps);
+        group.bench_function(&label, |b| b.iter(|| black_box(cell.run())));
     }
     group.finish();
 }

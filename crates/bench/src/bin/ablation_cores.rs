@@ -3,16 +3,17 @@
 //! implementations" implication). Shows where XORP's five-process
 //! pipeline saturates.
 
-use bgpbench_bench::cli_config;
+use bgpbench_bench::Cli;
 use bgpbench_core::extensions::core_scaling;
-use bgpbench_core::report::{figure_csv, render_figure};
 use bgpbench_models::xeon;
 
 fn main() {
-    let (config, csv) = cli_config();
-    let figure = core_scaling(&xeon(), config.large_prefixes.min(4000), config.seed);
-    print!("{}", render_figure(&figure));
-    if csv {
-        println!("\n{}", figure_csv(&figure));
-    }
+    let cli = Cli::from_env();
+    let figure = core_scaling(
+        &mut cli.runner(),
+        &xeon(),
+        cli.config.large_prefixes.min(4000),
+        cli.config.seed,
+    );
+    cli.emit(&figure);
 }

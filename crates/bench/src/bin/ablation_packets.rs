@@ -2,16 +2,17 @@
 //! full curve between the paper's small/large endpoints (§V.C's
 //! "aggregate update messages into large packets" implication).
 
-use bgpbench_bench::cli_config;
+use bgpbench_bench::Cli;
 use bgpbench_core::extensions::packet_size_sweep;
-use bgpbench_core::report::{figure_csv, render_figure};
 use bgpbench_models::all_platforms;
 
 fn main() {
-    let (config, csv) = cli_config();
-    let figure = packet_size_sweep(&all_platforms(), config.large_prefixes.min(4000), config.seed);
-    print!("{}", render_figure(&figure));
-    if csv {
-        println!("\n{}", figure_csv(&figure));
-    }
+    let cli = Cli::from_env();
+    let figure = packet_size_sweep(
+        &mut cli.runner(),
+        &all_platforms(),
+        cli.config.large_prefixes.min(4000),
+        cli.config.seed,
+    );
+    cli.emit(&figure);
 }

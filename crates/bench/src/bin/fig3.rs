@@ -1,15 +1,10 @@
 //! Regenerates Fig. 3: per-process CPU load during Scenario 6 on the
 //! three XORP platforms.
 
-use bgpbench_bench::cli_config;
+use bgpbench_bench::Cli;
 use bgpbench_core::experiments::figure3;
-use bgpbench_core::report::{figure_csv, render_figure};
 
 fn main() {
-    let (config, csv) = cli_config();
-    let figure = figure3(&config);
-    print!("{}", render_figure(&figure));
-    if csv {
-        println!("\n{}", figure_csv(&figure));
-    }
+    let cli = Cli::from_env();
+    cli.emit(&figure3(&mut cli.runner(), &cli.config));
 }

@@ -1,15 +1,10 @@
 //! Regenerates Fig. 4: Pentium III CPU load with small (Scenario 1)
 //! versus large (Scenario 2) packets.
 
-use bgpbench_bench::cli_config;
+use bgpbench_bench::Cli;
 use bgpbench_core::experiments::figure4;
-use bgpbench_core::report::{figure_csv, render_figure};
 
 fn main() {
-    let (config, csv) = cli_config();
-    let figure = figure4(&config);
-    print!("{}", render_figure(&figure));
-    if csv {
-        println!("\n{}", figure_csv(&figure));
-    }
+    let cli = Cli::from_env();
+    cli.emit(&figure4(&mut cli.runner(), &cli.config));
 }

@@ -1,19 +1,14 @@
 //! Regenerates Fig. 5: transactions/s versus cross-traffic for every
 //! scenario and platform.
 
-use bgpbench_bench::cli_config;
+use bgpbench_bench::Cli;
 use bgpbench_core::experiments::figure5;
-use bgpbench_core::report::{figure_csv, render_figure};
 
 fn main() {
-    let (config, csv) = cli_config();
+    let cli = Cli::from_env();
     eprintln!(
-        "sweeping cross-traffic over 8 scenarios x 4 platforms x {} levels...",
-        config.cross_points
+        "sweeping cross-traffic over 8 scenarios x 4 platforms x {} levels on {} threads...",
+        cli.config.cross_points, cli.threads
     );
-    let figure = figure5(&config);
-    print!("{}", render_figure(&figure));
-    if csv {
-        println!("\n{}", figure_csv(&figure));
-    }
+    cli.emit(&figure5(&mut cli.runner(), &cli.config));
 }

@@ -2,15 +2,10 @@
 //! without and with 300 Mbps of cross-traffic, plus the forwarding-rate
 //! dip during Phase 3.
 
-use bgpbench_bench::cli_config;
+use bgpbench_bench::Cli;
 use bgpbench_core::experiments::figure6;
-use bgpbench_core::report::{figure_csv, render_figure};
 
 fn main() {
-    let (config, csv) = cli_config();
-    let figure = figure6(&config);
-    print!("{}", render_figure(&figure));
-    if csv {
-        println!("\n{}", figure_csv(&figure));
-    }
+    let cli = Cli::from_env();
+    cli.emit(&figure6(&mut cli.runner(), &cli.config));
 }

@@ -1,43 +1,8 @@
 //! Regenerates Table I: the benchmark scenario definitions.
 
-use bgpbench_core::Scenario;
+use bgpbench_bench::{statics, Cli};
 
 fn main() {
-    println!("Table I: BGP benchmark scenarios");
-    println!("{:-<88}", "");
-    println!(
-        "{:<10} {:<24} {:<14} {:<22} {:<10}",
-        "Scenario", "BGP operation", "UPDATE type", "Fwd table changes", "Packets"
-    );
-    println!("{:-<88}", "");
-    for scenario in Scenario::ALL {
-        let (operation, update_type) = match scenario.operation() {
-            bgpbench_core::BgpOperation::StartupAnnounce => ("Start-Up", "ANNOUNCE"),
-            bgpbench_core::BgpOperation::EndingWithdraw => ("Ending", "WITHDRAW"),
-            bgpbench_core::BgpOperation::IncrementalNoChange => {
-                ("Incremental Operation", "ANNOUNCE")
-            }
-            bgpbench_core::BgpOperation::IncrementalChange => {
-                ("Incremental Operation", "ANNOUNCE")
-            }
-        };
-        println!(
-            "{:<10} {:<24} {:<14} {:<22} {:<10}",
-            scenario.number(),
-            operation,
-            update_type,
-            if scenario.changes_forwarding_table() {
-                "Yes"
-            } else {
-                "No"
-            },
-            scenario.packet_size().to_string(),
-        );
-    }
-    println!("{:-<88}", "");
-    println!(
-        "small = {} prefix/UPDATE, large = {} prefixes/UPDATE",
-        bgpbench_core::PacketSize::Small.prefixes_per_update(),
-        bgpbench_core::PacketSize::Large.prefixes_per_update()
-    );
+    let cli = Cli::from_env();
+    cli.emit(&statics::table1());
 }

@@ -1,38 +1,8 @@
 //! Regenerates Table II: the modeled system configurations.
 
-use bgpbench_models::{all_platforms, PlatformKind};
+use bgpbench_bench::{statics, Cli};
 
 fn main() {
-    println!("Table II: system configurations of the modeled BGP routers");
-    println!("{:-<96}", "");
-    println!(
-        "{:<13} {:<26} {:<7} {:<17} {:<12} {:<16}",
-        "Name", "System type", "Cores", "Control CPU", "Fwd limit", "Software model"
-    );
-    println!("{:-<96}", "");
-    for platform in all_platforms() {
-        let system_type = match platform.name {
-            "Pentium III" => "Uni-core router",
-            "Xeon" => "Dual-core router",
-            "IXP2400" => "Network processor router",
-            _ => "Commercial router",
-        };
-        let software = match platform.kind {
-            PlatformKind::Xorp(_) => "XORP 1.3 pipeline",
-            PlatformKind::Ios(_) => "IOS black box",
-        };
-        println!(
-            "{:<13} {:<26} {:<7} {:<17} {:<12} {:<16}",
-            platform.name,
-            system_type,
-            platform.cores,
-            format!("{:.1} Gcycles/s", platform.core.hz / 1e9),
-            format!("{:.0} Mbps", platform.cross.max_forward_mbps),
-            software,
-        );
-    }
-    println!("{:-<96}", "");
-    println!(
-        "forwarding limits per the paper: PCI bus (315), PCIe (784), NP interconnect (940), 100 Mbps ports (78)"
-    );
+    let cli = Cli::from_env();
+    cli.emit(&statics::table2());
 }

@@ -2,21 +2,20 @@
 //! all four platforms, next to the paper's numbers.
 //!
 //! ```text
-//! cargo run --release -p bgpbench-bench --bin table3 [-- --quick] [-- --csv]
+//! cargo run --release -p bgpbench-bench --bin table3 -- [--quick] [--threads <n>] [--csv [<path>]]
 //! ```
 
-use bgpbench_bench::cli_config;
+use bgpbench_bench::Cli;
 use bgpbench_core::experiments::table3;
-use bgpbench_core::report::{render_table3, table3_csv};
 
 fn main() {
-    let (config, csv) = cli_config();
+    let cli = Cli::from_env();
     eprintln!(
-        "running 8 scenarios x 4 platforms ({}/{} prefixes small/large)...",
-        config.small_prefixes, config.large_prefixes
+        "running 8 scenarios x 4 platforms ({}/{} prefixes small/large) on {} threads...",
+        cli.config.small_prefixes, cli.config.large_prefixes, cli.threads
     );
-    let table = table3(&config);
-    print!("{}", render_table3(&table));
+    let table = table3(&mut cli.runner(), &cli.config);
+    cli.emit(&table);
     let violations = table.check_observations();
     if violations.is_empty() {
         println!("\nall of the paper's Table III observations reproduced");
@@ -25,8 +24,5 @@ fn main() {
         for violation in &violations {
             println!("  - {violation}");
         }
-    }
-    if csv {
-        println!("\n{}", table3_csv(&table));
     }
 }

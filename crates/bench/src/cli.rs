@@ -1,0 +1,185 @@
+//! The one command line shared by every table/figure binary.
+
+use std::path::PathBuf;
+
+use bgpbench_core::experiments::ExperimentConfig;
+use bgpbench_core::{GridRunner, Render, StderrProgress};
+
+/// Where `--csv` output goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvSink {
+    /// Print the CSV to stdout after the text rendering.
+    Stdout,
+    /// Write the CSV to a file.
+    File(PathBuf),
+}
+
+/// Parsed command line of a benchmark binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Workload sizing (`--quick` selects [`ExperimentConfig::quick`]).
+    pub config: ExperimentConfig,
+    /// Worker threads for the experiment grid (`--threads <n>`).
+    pub threads: usize,
+    /// CSV output destination, if `--csv` was given.
+    pub csv: Option<CsvSink>,
+}
+
+impl Cli {
+    /// Parses the process's arguments; prints usage and exits with
+    /// status 2 on an invalid command line.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("usage: <bin> [--quick] [--threads <n>] [--csv [<path>]]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (no program name).
+    pub fn parse<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut quick = false;
+        let mut threads: Option<usize> = None;
+        let mut csv: Option<CsvSink> = None;
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--threads" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--threads needs a count".to_owned())?;
+                    threads = Some(parse_threads(&value)?);
+                }
+                "--csv" => {
+                    // The path operand is optional: bare `--csv` prints
+                    // to stdout.
+                    let path = iter.peek().filter(|next| !next.starts_with("--")).cloned();
+                    if path.is_some() {
+                        iter.next();
+                    }
+                    csv = Some(match path {
+                        Some(path) => CsvSink::File(PathBuf::from(path)),
+                        None => CsvSink::Stdout,
+                    });
+                }
+                other => {
+                    if let Some(value) = other.strip_prefix("--threads=") {
+                        threads = Some(parse_threads(value)?);
+                    } else if let Some(value) = other.strip_prefix("--csv=") {
+                        csv = Some(CsvSink::File(PathBuf::from(value)));
+                    } else {
+                        return Err(format!("unknown argument `{other}`"));
+                    }
+                }
+            }
+        }
+        let config = if quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::full()
+        };
+        Ok(Cli {
+            config,
+            threads: threads.unwrap_or_else(default_threads),
+            csv,
+        })
+    }
+
+    /// A grid runner configured per the command line, with per-cell
+    /// progress on stderr.
+    pub fn runner(&self) -> GridRunner {
+        GridRunner::new(self.threads).with_observer(Box::new(StderrProgress::default()))
+    }
+
+    /// Prints the artifact's text rendering to stdout and routes its
+    /// CSV to wherever `--csv` pointed.
+    pub fn emit(&self, artifact: &dyn Render) {
+        print!("{}", artifact.text());
+        match &self.csv {
+            None => {}
+            Some(CsvSink::Stdout) => println!("\n{}", artifact.csv()),
+            Some(CsvSink::File(path)) => match std::fs::write(path, artifact.csv()) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(error) => {
+                    eprintln!("error: cannot write {}: {error}", path.display());
+                    std::process::exit(1);
+                }
+            },
+        }
+    }
+}
+
+fn parse_threads(value: &str) -> Result<usize, String> {
+    let threads: usize = value
+        .parse()
+        .map_err(|_| format!("invalid thread count `{value}`"))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_owned());
+    }
+    Ok(threads)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli_is_full_without_csv() {
+        let cli = Cli::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cli.config, ExperimentConfig::full());
+        assert_eq!(cli.csv, None);
+        assert!(cli.threads >= 1);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let cli = Cli::parse(["--quick", "--threads", "4", "--csv", "out.csv"]).unwrap();
+        assert_eq!(cli.config, ExperimentConfig::quick());
+        assert_eq!(cli.threads, 4);
+        assert_eq!(cli.csv, Some(CsvSink::File(PathBuf::from("out.csv"))));
+    }
+
+    #[test]
+    fn equals_forms_and_bare_csv_parse() {
+        let cli = Cli::parse(["--threads=2", "--csv"]).unwrap();
+        assert_eq!(cli.threads, 2);
+        assert_eq!(cli.csv, Some(CsvSink::Stdout));
+        let cli = Cli::parse(["--csv=data.csv"]).unwrap();
+        assert_eq!(cli.csv, Some(CsvSink::File(PathBuf::from("data.csv"))));
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(Cli::parse(["--threads"]).is_err());
+        assert!(Cli::parse(["--threads", "zero"]).is_err());
+        assert!(Cli::parse(["--threads", "0"]).is_err());
+        assert!(Cli::parse(["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn csv_followed_by_flag_prints_to_stdout() {
+        let cli = Cli::parse(["--csv", "--quick"]).unwrap();
+        assert_eq!(cli.csv, Some(CsvSink::Stdout));
+        assert_eq!(cli.config, ExperimentConfig::quick());
+    }
+
+    #[test]
+    fn runner_honors_thread_count() {
+        let cli = Cli::parse(["--threads", "3"]).unwrap();
+        assert_eq!(cli.runner().threads(), 3);
+    }
+}

@@ -1,38 +1,17 @@
-//! Shared helpers for the benchmark binaries (`table1`–`table3`,
-//! `fig3`–`fig6`) and the criterion micro-benchmarks.
+//! Shared driver for the benchmark binaries (`table1`–`table3`,
+//! `fig3`–`fig6`, `ablation_*`) and the criterion micro-benchmarks.
 //!
 //! Every binary regenerates one table or figure of the paper's
-//! evaluation section; `--quick` switches to reduced workload sizes for
-//! smoke runs. Figure binaries print the rendered figure and emit the
-//! raw data as CSV on request (`--csv`).
+//! evaluation section. All of them share one command line ([`cli`]):
+//!
+//! * `--quick` — reduced workload sizes for smoke runs;
+//! * `--threads <n>` — worker threads for the experiment grid
+//!   (defaults to the host's parallelism; results are bit-identical
+//!   at any thread count);
+//! * `--csv [<path>]` — emit the artifact's raw data as CSV, to the
+//!   given file or to stdout.
 
-use bgpbench_core::experiments::ExperimentConfig;
+pub mod cli;
+pub mod statics;
 
-/// Parses the common CLI flags of the table/figure binaries.
-///
-/// Returns the experiment configuration (`--quick` selects
-/// [`ExperimentConfig::quick`]) and whether `--csv` was requested.
-pub fn cli_config() -> (ExperimentConfig, bool) {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv = args.iter().any(|a| a == "--csv");
-    let config = if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::full()
-    };
-    (config, csv)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn default_cli_is_full_without_csv() {
-        // The test binary carries no --quick/--csv flags.
-        let (config, csv) = cli_config();
-        assert_eq!(config, ExperimentConfig::full());
-        assert!(!csv);
-    }
-}
+pub use cli::Cli;

@@ -1,0 +1,158 @@
+//! Tables I and II — the paper's definition tables, whose content is
+//! fixed rather than measured — as [`Render`]able artifacts.
+
+use std::fmt::Write as _;
+
+use bgpbench_core::{BgpOperation, PacketSize, Scenario, StaticReport};
+use bgpbench_models::{all_platforms, PlatformKind};
+
+fn operation_columns(scenario: Scenario) -> (&'static str, &'static str) {
+    match scenario.operation() {
+        BgpOperation::StartupAnnounce => ("Start-Up", "ANNOUNCE"),
+        BgpOperation::EndingWithdraw => ("Ending", "WITHDRAW"),
+        BgpOperation::IncrementalNoChange | BgpOperation::IncrementalChange => {
+            ("Incremental Operation", "ANNOUNCE")
+        }
+    }
+}
+
+/// Table I: the benchmark scenario definitions.
+pub fn table1() -> StaticReport {
+    let mut text = String::new();
+    let _ = writeln!(text, "Table I: BGP benchmark scenarios");
+    let _ = writeln!(text, "{:-<88}", "");
+    let _ = writeln!(
+        text,
+        "{:<10} {:<24} {:<14} {:<22} {:<10}",
+        "Scenario", "BGP operation", "UPDATE type", "Fwd table changes", "Packets"
+    );
+    let _ = writeln!(text, "{:-<88}", "");
+    let mut csv = String::from("scenario,operation,update_type,changes_fwd_table,packets\n");
+    for scenario in Scenario::ALL {
+        let (operation, update_type) = operation_columns(scenario);
+        let changes = if scenario.changes_forwarding_table() {
+            "Yes"
+        } else {
+            "No"
+        };
+        let _ = writeln!(
+            text,
+            "{:<10} {:<24} {:<14} {:<22} {:<10}",
+            scenario.number(),
+            operation,
+            update_type,
+            changes,
+            scenario.packet_size().to_string(),
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{}",
+            scenario.number(),
+            operation,
+            update_type,
+            changes,
+            scenario.packet_size(),
+        );
+    }
+    let _ = writeln!(text, "{:-<88}", "");
+    let _ = writeln!(
+        text,
+        "small = {} prefix/UPDATE, large = {} prefixes/UPDATE",
+        PacketSize::Small.prefixes_per_update(),
+        PacketSize::Large.prefixes_per_update()
+    );
+    StaticReport {
+        title: "Table I".to_owned(),
+        text,
+        csv,
+    }
+}
+
+/// Table II: the modeled system configurations.
+pub fn table2() -> StaticReport {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Table II: system configurations of the modeled BGP routers"
+    );
+    let _ = writeln!(text, "{:-<96}", "");
+    let _ = writeln!(
+        text,
+        "{:<13} {:<26} {:<7} {:<17} {:<12} {:<16}",
+        "Name", "System type", "Cores", "Control CPU", "Fwd limit", "Software model"
+    );
+    let _ = writeln!(text, "{:-<96}", "");
+    let mut csv =
+        String::from("name,system_type,cores,control_gcycles_per_sec,fwd_limit_mbps,software\n");
+    for platform in all_platforms() {
+        let system_type = match platform.name {
+            "Pentium III" => "Uni-core router",
+            "Xeon" => "Dual-core router",
+            "IXP2400" => "Network processor router",
+            _ => "Commercial router",
+        };
+        let software = match platform.kind {
+            PlatformKind::Xorp(_) => "XORP 1.3 pipeline",
+            PlatformKind::Ios(_) => "IOS black box",
+        };
+        let _ = writeln!(
+            text,
+            "{:<13} {:<26} {:<7} {:<17} {:<12} {:<16}",
+            platform.name,
+            system_type,
+            platform.cores,
+            format!("{:.1} Gcycles/s", platform.core.hz / 1e9),
+            format!("{:.0} Mbps", platform.cross.max_forward_mbps),
+            software,
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{:.1},{:.0},{}",
+            platform.name,
+            system_type,
+            platform.cores,
+            platform.core.hz / 1e9,
+            platform.cross.max_forward_mbps,
+            software,
+        );
+    }
+    let _ = writeln!(text, "{:-<96}", "");
+    let _ = writeln!(
+        text,
+        "forwarding limits per the paper: PCI bus (315), PCIe (784), NP interconnect (940), 100 Mbps ports (78)"
+    );
+    StaticReport {
+        title: "Table II".to_owned(),
+        text,
+        csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpbench_core::Render;
+
+    #[test]
+    fn table1_covers_all_scenarios() {
+        let report = table1();
+        for n in 1..=8 {
+            assert!(
+                report.text().contains(&format!("\n{n:<10} ")),
+                "scenario {n}"
+            );
+        }
+        assert_eq!(report.csv().lines().count(), 9);
+        assert!(report.csv().contains("1,Start-Up,ANNOUNCE,Yes,small"));
+    }
+
+    #[test]
+    fn table2_covers_all_platforms() {
+        let report = table2();
+        for name in ["Pentium III", "Xeon", "IXP2400", "Cisco"] {
+            assert!(report.text().contains(name), "{name}");
+            assert!(report.csv().contains(name), "{name} (csv)");
+        }
+        assert_eq!(report.csv().lines().count(), 5);
+    }
+}

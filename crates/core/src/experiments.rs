@@ -1,10 +1,13 @@
 //! Experiment drivers: one function per table/figure of the paper's
-//! evaluation (§V).
+//! evaluation (§V), all running on the [`GridRunner`] engine — pass
+//! `GridRunner::serial()` for single-threaded execution or
+//! `GridRunner::new(n)` to spread the grid across `n` cores with
+//! bit-identical results.
 
 use bgpbench_models::{all_platforms, ixp2400, pentium3, xeon, PlatformSpec};
 use bgpbench_simnet::Recorder;
 
-use crate::harness::{run_scenario, run_scenario_with_router, ScenarioConfig, ScenarioResult};
+use crate::runner::{CellSpec, ExperimentSpec, GridRunner};
 use crate::scenario::{PacketSize, Scenario};
 
 /// Table III of the paper: transactions per second without
@@ -60,7 +63,10 @@ impl ExperimentConfig {
         }
     }
 
-    fn prefixes_for(&self, scenario: Scenario) -> usize {
+    /// The table size a scenario uses under this config (small-packet
+    /// scenarios run smaller tables because they are slower per
+    /// prefix).
+    pub fn prefixes_for(&self, scenario: Scenario) -> usize {
         match scenario.packet_size() {
             PacketSize::Small => self.small_prefixes,
             PacketSize::Large => self.large_prefixes,
@@ -173,29 +179,31 @@ impl Table3 {
 }
 
 /// Reproduces Table III: all eight scenarios on all four platforms,
-/// no cross-traffic.
-pub fn table3(config: &ExperimentConfig) -> Table3 {
+/// no cross-traffic. A cell that panics under the runner is reported
+/// as not completed rather than aborting the table.
+pub fn table3(runner: &mut GridRunner, config: &ExperimentConfig) -> Table3 {
     let platforms = all_platforms();
-    let cells = Scenario::ALL
-        .iter()
-        .map(|&scenario| {
-            platforms
-                .iter()
+    let spec = ExperimentSpec::grid(&Scenario::ALL, &platforms, config);
+    let runs = runner.run(&spec);
+    let cells = runs
+        .chunks(platforms.len())
+        .enumerate()
+        .map(|(s, row)| {
+            row.iter()
                 .enumerate()
-                .map(|(p, platform)| {
-                    let result = run_scenario(
-                        platform,
-                        scenario,
-                        &ScenarioConfig {
-                            prefixes: config.prefixes_for(scenario),
-                            seed: config.seed,
-                            cross_traffic_mbps: 0.0,
+                .map(|(p, run)| {
+                    let paper_tps = PAPER_TABLE3[s][p];
+                    match &run.result {
+                        Ok(result) => Table3Cell {
+                            measured_tps: result.tps(),
+                            paper_tps,
+                            completed: result.completed,
                         },
-                    );
-                    Table3Cell {
-                        measured_tps: result.tps(),
-                        paper_tps: PAPER_TABLE3[usize::from(scenario.number()) - 1][p],
-                        completed: result.completed,
+                        Err(_) => Table3Cell {
+                            measured_tps: 0.0,
+                            paper_tps,
+                            completed: false,
+                        },
                     }
                 })
                 .collect()
@@ -252,22 +260,23 @@ const XORP_PROCESSES: [&str; 5] = [
 
 /// Reproduces Fig. 3: per-process CPU load over time while running
 /// Scenario 6 on the three XORP platforms.
-pub fn figure3(config: &ExperimentConfig) -> Figure {
+pub fn figure3(runner: &mut GridRunner, config: &ExperimentConfig) -> Figure {
     let scenario = Scenario::S6;
-    let panels = [pentium3(), xeon(), ixp2400()]
-        .iter()
+    let cells: Vec<CellSpec> = [pentium3(), xeon(), ixp2400()]
+        .into_iter()
         .map(|platform| {
-            let (_, router) = run_scenario_with_router(
-                platform,
-                scenario,
-                &ScenarioConfig {
-                    prefixes: config.prefixes_for(scenario),
-                    seed: config.seed,
-                    cross_traffic_mbps: 0.0,
-                },
-            );
-            cpu_panel(platform.name, router.recorder(), &XORP_PROCESSES)
+            CellSpec::new(scenario, platform)
+                .prefixes(config.prefixes_for(scenario))
+                .seed(config.seed)
         })
+        .collect();
+    let panels = runner
+        .run_map(&cells, |cell| {
+            let (_, router) = cell.run_with_router();
+            cpu_panel(cell.platform().name, router.recorder(), &XORP_PROCESSES)
+        })
+        .into_iter()
+        .map(|run| run.result.expect("figure 3 cell must complete"))
         .collect();
     Figure {
         title: "Figure 3: activity of BGP processes during Scenario 6".to_owned(),
@@ -277,27 +286,28 @@ pub fn figure3(config: &ExperimentConfig) -> Figure {
 
 /// Reproduces Fig. 4: CPU load on the Pentium III with small
 /// (Scenario 1) and large (Scenario 2) packets.
-pub fn figure4(config: &ExperimentConfig) -> Figure {
-    let panels = [Scenario::S1, Scenario::S2]
-        .iter()
-        .map(|&scenario| {
-            let (_, router) = run_scenario_with_router(
-                &pentium3(),
-                scenario,
-                &ScenarioConfig {
-                    // Use the same table size for both packetizations so
-                    // the two panels are directly comparable.
-                    prefixes: config.small_prefixes,
-                    seed: config.seed,
-                    cross_traffic_mbps: 0.0,
-                },
-            );
-            let caption = match scenario.packet_size() {
+pub fn figure4(runner: &mut GridRunner, config: &ExperimentConfig) -> Figure {
+    let cells: Vec<CellSpec> = [Scenario::S1, Scenario::S2]
+        .into_iter()
+        .map(|scenario| {
+            // Use the same table size for both packetizations so the
+            // two panels are directly comparable.
+            CellSpec::new(scenario, pentium3())
+                .prefixes(config.small_prefixes)
+                .seed(config.seed)
+        })
+        .collect();
+    let panels = runner
+        .run_map(&cells, |cell| {
+            let (_, router) = cell.run_with_router();
+            let caption = match cell.scenario().packet_size() {
                 PacketSize::Small => "small packets (Scenario 1)",
                 PacketSize::Large => "large packets (Scenario 2)",
             };
             cpu_panel(caption, router.recorder(), &XORP_PROCESSES)
         })
+        .into_iter()
+        .map(|run| run.result.expect("figure 4 cell must complete"))
         .collect();
     Figure {
         title: "Figure 4: CPU load of Pentium III with small and large packets".to_owned(),
@@ -306,9 +316,24 @@ pub fn figure4(config: &ExperimentConfig) -> Figure {
 }
 
 /// Reproduces Fig. 5: transactions per second versus cross-traffic,
-/// one panel per scenario, one series per platform.
-pub fn figure5(config: &ExperimentConfig) -> Figure {
+/// one panel per scenario, one series per platform. A panicking cell
+/// contributes a zero-rate point instead of aborting the figure.
+pub fn figure5(runner: &mut GridRunner, config: &ExperimentConfig) -> Figure {
     let platforms = all_platforms();
+    let mut cells = Vec::new();
+    for &scenario in Scenario::ALL.iter() {
+        for platform in platforms.iter() {
+            for mbps in cross_levels(platform, config.cross_points) {
+                cells.push(
+                    CellSpec::new(scenario, platform.clone())
+                        .prefixes(config.prefixes_for(scenario))
+                        .seed(config.seed)
+                        .cross_traffic(mbps),
+                );
+            }
+        }
+    }
+    let mut runs = runner.run_cells(&cells).into_iter();
     let panels = Scenario::ALL
         .iter()
         .map(|&scenario| {
@@ -318,16 +343,9 @@ pub fn figure5(config: &ExperimentConfig) -> Figure {
                     let points = cross_levels(platform, config.cross_points)
                         .into_iter()
                         .map(|mbps| {
-                            let result = run_scenario(
-                                platform,
-                                scenario,
-                                &ScenarioConfig {
-                                    prefixes: config.prefixes_for(scenario),
-                                    seed: config.seed,
-                                    cross_traffic_mbps: mbps,
-                                },
-                            );
-                            (mbps, result.tps())
+                            let run = runs.next().expect("one run per cell");
+                            let tps = run.result.map(|r| r.tps()).unwrap_or(0.0);
+                            (mbps, tps)
                         })
                         .collect();
                     (platform.name.to_owned(), points)
@@ -359,49 +377,55 @@ pub fn cross_levels(platform: &PlatformSpec, points: usize) -> Vec<f64> {
 /// Reproduces Fig. 6: Scenario 8 on the Pentium III — CPU class
 /// breakdown without and with 300 Mbps of cross-traffic, plus the
 /// forwarding-rate dip.
-pub fn figure6(config: &ExperimentConfig) -> Figure {
-    let mut panels = Vec::new();
-    let mut forwarding_panel: Option<Panel> = None;
-    for mbps in [0.0, 300.0] {
-        let (_, router) = run_scenario_with_router(
-            &pentium3(),
-            Scenario::S8,
-            &ScenarioConfig {
-                prefixes: config.small_prefixes,
-                seed: config.seed,
-                cross_traffic_mbps: mbps,
-            },
-        );
+pub fn figure6(runner: &mut GridRunner, config: &ExperimentConfig) -> Figure {
+    let cells: Vec<CellSpec> = [0.0, 300.0]
+        .into_iter()
+        .map(|mbps| {
+            CellSpec::new(Scenario::S8, pentium3())
+                .prefixes(config.small_prefixes)
+                .seed(config.seed)
+                .cross_traffic(mbps)
+        })
+        .collect();
+    let runs = runner.run_map(&cells, |cell| {
+        let mbps = cell.cross_traffic_mbps();
+        let (_, router) = cell.run_with_router();
         let recorder = router.recorder();
         let mut series = Vec::new();
         if let Some(irq) = recorder.series("cpu:interrupts") {
             series.push(("interrupts".to_owned(), irq.points().to_vec()));
         }
-        let kernel_channel = recorder.series("cpu:kernel");
-        if let Some(kernel) = kernel_channel {
+        if let Some(kernel) = recorder.series("cpu:kernel") {
             series.push(("system time".to_owned(), kernel.points().to_vec()));
         }
         // User time = sum over the XORP processes, pointwise.
-        let user = sum_channels(
-            recorder,
-            &XORP_PROCESSES.map(|name| format!("cpu:{name}")),
-        );
+        let user = sum_channels(recorder, &XORP_PROCESSES.map(|name| format!("cpu:{name}")));
         if !user.is_empty() {
             series.push(("user time".to_owned(), user));
         }
-        panels.push(Panel {
+        let cpu = Panel {
             title: format!("CPU load with {mbps:.0} Mbps of cross-traffic"),
             series,
             marks: recorder.marks().to_vec(),
-        });
-        if mbps > 0.0 {
-            if let Some(fwd) = recorder.series("fwd_mbps") {
-                forwarding_panel = Some(Panel {
-                    title: format!("forwarding rate with {mbps:.0} Mbps offered"),
-                    series: vec![("fwd_mbps".to_owned(), fwd.points().to_vec())],
-                    marks: recorder.marks().to_vec(),
-                });
-            }
+        };
+        let forwarding = if mbps > 0.0 {
+            recorder.series("fwd_mbps").map(|fwd| Panel {
+                title: format!("forwarding rate with {mbps:.0} Mbps offered"),
+                series: vec![("fwd_mbps".to_owned(), fwd.points().to_vec())],
+                marks: recorder.marks().to_vec(),
+            })
+        } else {
+            None
+        };
+        (cpu, forwarding)
+    });
+    let mut panels = Vec::new();
+    let mut forwarding_panel: Option<Panel> = None;
+    for run in runs {
+        let (cpu, forwarding) = run.result.expect("figure 6 cell must complete");
+        panels.push(cpu);
+        if forwarding.is_some() {
+            forwarding_panel = forwarding;
         }
     }
     if let Some(panel) = forwarding_panel {
@@ -428,25 +452,6 @@ fn sum_channels(recorder: &Recorder, channels: &[String]) -> Vec<(f64, f64)> {
         }
     }
     sum
-}
-
-/// Runs one scenario/platform/cross-traffic cell (the unit the
-/// criterion benches and the extension experiments call).
-pub fn run_cell(
-    platform: &PlatformSpec,
-    scenario: Scenario,
-    prefixes: usize,
-    cross_traffic_mbps: f64,
-) -> ScenarioResult {
-    run_scenario(
-        platform,
-        scenario,
-        &ScenarioConfig {
-            prefixes,
-            seed: 2007,
-            cross_traffic_mbps,
-        },
-    )
 }
 
 #[cfg(test)]
@@ -522,7 +527,7 @@ mod tests {
 
     #[test]
     fn figure4_has_two_cpu_panels() {
-        let figure = figure4(&ExperimentConfig::quick());
+        let figure = figure4(&mut GridRunner::serial(), &ExperimentConfig::quick());
         assert_eq!(figure.panels.len(), 2);
         for panel in &figure.panels {
             assert!(
@@ -536,7 +541,7 @@ mod tests {
 
     #[test]
     fn figure3_panels_cover_three_platforms() {
-        let figure = figure3(&ExperimentConfig::quick());
+        let figure = figure3(&mut GridRunner::serial(), &ExperimentConfig::quick());
         let titles: Vec<&str> = figure.panels.iter().map(|p| p.title.as_str()).collect();
         assert_eq!(titles, vec!["Pentium III", "Xeon", "IXP2400"]);
         // The IXP panel must show rtrmgr activity (the paper's Fig. 3c

@@ -20,6 +20,17 @@ use bgpbench_speaker::{workload, SpeakerScript, TableGenerator};
 use bgpbench_wire::Asn;
 
 use crate::experiments::{Figure, Panel};
+use crate::runner::{CellRun, CellSpec, GridRunner};
+use crate::scenario::Scenario;
+
+/// Transactions per second of one grid run, with panics and timeouts
+/// reported as a zero rate (sweep curves keep their shape instead of
+/// aborting).
+fn run_tps(run: CellRun) -> f64 {
+    run.result
+        .map(|r| if r.completed { r.tps() } else { 0.0 })
+        .unwrap_or(0.0)
+}
 
 /// Packetization levels swept by [`packet_size_sweep`]; the paper's
 /// Table I endpoints (1 and 500) are included.
@@ -29,19 +40,31 @@ pub const PACKET_SIZES: [usize; 9] = [1, 2, 5, 10, 25, 50, 100, 250, 500];
 /// operation) at every packetization in [`PACKET_SIZES`], for each of
 /// the given platforms.
 pub fn packet_size_sweep(
+    runner: &mut GridRunner,
     platforms: &[PlatformSpec],
     prefixes: usize,
     seed: u64,
 ) -> Figure {
-    let table = TableGenerator::new(seed).generate(prefixes);
+    let mut cells = Vec::new();
+    for platform in platforms {
+        for &pkt in PACKET_SIZES.iter() {
+            cells.push(
+                CellSpec::new(Scenario::S2, platform.clone())
+                    .prefixes(prefixes)
+                    .seed(seed)
+                    .packetization(pkt),
+            );
+        }
+    }
+    let mut runs = runner.run_cells(&cells).into_iter();
     let series = platforms
         .iter()
         .map(|platform| {
             let points = PACKET_SIZES
                 .iter()
                 .map(|&pkt| {
-                    let tps = startup_tps(platform, &table, pkt, seed);
-                    (pkt as f64, tps)
+                    let run = runs.next().expect("one run per cell");
+                    (pkt as f64, run_tps(run))
                 })
                 .collect();
             (platform.name.to_owned(), points)
@@ -62,15 +85,26 @@ pub fn packet_size_sweep(
 /// with 1–4 control cores (the multi-core implication). Returns one
 /// series per scenario operation tested: cheap (no-FIB-change-like
 /// export of decision work) and expensive (FIB installs).
-pub fn core_scaling(base: &PlatformSpec, prefixes: usize, seed: u64) -> Figure {
-    let table = TableGenerator::new(seed).generate(prefixes);
-    let points: Vec<(f64, f64)> = (1..=4usize)
+pub fn core_scaling(
+    runner: &mut GridRunner,
+    base: &PlatformSpec,
+    prefixes: usize,
+    seed: u64,
+) -> Figure {
+    let cells: Vec<CellSpec> = (1..=4usize)
         .map(|cores| {
             let mut spec = base.clone();
             spec.cores = cores;
-            let tps = startup_tps(&spec, &table, 500, seed);
-            (cores as f64, tps)
+            CellSpec::new(Scenario::S2, spec)
+                .prefixes(prefixes)
+                .seed(seed)
         })
+        .collect();
+    let points: Vec<(f64, f64)> = runner
+        .run_cells(&cells)
+        .into_iter()
+        .zip(1..=4usize)
+        .map(|(run, cores)| (cores as f64, run_tps(run)))
         .collect();
     Figure {
         title: format!(
@@ -145,16 +179,24 @@ pub fn steady_state_load(
 /// transactions-per-second rates are table-size-insensitive — which is
 /// what lets small-packet scenarios run with smaller tables.
 pub fn table_size_sweep(
+    runner: &mut GridRunner,
     platform: &PlatformSpec,
     sizes: &[usize],
     seed: u64,
 ) -> Vec<(usize, f64)> {
-    sizes
+    let cells: Vec<CellSpec> = sizes
         .iter()
         .map(|&size| {
-            let table = TableGenerator::new(seed).generate(size);
-            (size, startup_tps(platform, &table, 500, seed))
+            CellSpec::new(Scenario::S2, platform.clone())
+                .prefixes(size)
+                .seed(seed)
         })
+        .collect();
+    runner
+        .run_cells(&cells)
+        .into_iter()
+        .zip(sizes)
+        .map(|(run, &size)| (size, run_tps(run)))
         .collect()
 }
 
@@ -250,8 +292,7 @@ pub fn chain_convergence_real(
     for hop in 1..=hops {
         // Distinct local AS per hop, disjoint from the speakers' and
         // the synthetic filler ASes, so loop prevention stays quiet.
-        let mut router =
-            SimRouter::with_local_asn(platform, Asn(64000 + hop as u16));
+        let mut router = SimRouter::with_local_asn(platform, Asn(64000 + hop as u16));
         router.load_script(SPEAKER_1, SpeakerScript::new(input));
         let ingest = router
             .run_until_transactions(n, 7200.0)
@@ -271,31 +312,6 @@ pub fn chain_convergence_real(
     results
 }
 
-fn startup_tps(
-    platform: &PlatformSpec,
-    table: &[bgpbench_wire::Prefix],
-    prefixes_per_update: usize,
-    seed: u64,
-) -> f64 {
-    let mut router = SimRouter::new(platform);
-    let updates = workload::announcements(
-        table,
-        &workload::AnnounceSpec {
-            speaker_asn: Asn(65001),
-            path_len: 3,
-            next_hop: Ipv4Addr::new(10, 0, 0, 2),
-            prefixes_per_update,
-            seed,
-        },
-    );
-    router.load_script(SPEAKER_1, SpeakerScript::new(updates));
-    let n = table.len() as u64;
-    match router.run_until_transactions(n, 7200.0) {
-        Some(elapsed) if elapsed > 0.0 => n as f64 / elapsed,
-        _ => 0.0,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,14 +319,17 @@ mod tests {
 
     #[test]
     fn packet_size_sweep_is_monotone_enough() {
-        let figure = packet_size_sweep(&[pentium3()], 400, 1);
+        let figure = packet_size_sweep(&mut GridRunner::serial(), &[pentium3()], 400, 1);
         let points = &figure.panels[0].series[0].1;
         assert_eq!(points.len(), PACKET_SIZES.len());
         // Throughput at 500/packet must beat 1/packet substantially,
         // and the curve must never regress by more than noise.
         let first = points.first().unwrap().1;
         let last = points.last().unwrap().1;
-        assert!(last > first * 1.4, "amortization gain too small: {first} -> {last}");
+        assert!(
+            last > first * 1.4,
+            "amortization gain too small: {first} -> {last}"
+        );
         for pair in points.windows(2) {
             assert!(
                 pair[1].1 >= pair[0].1 * 0.95,
@@ -355,7 +374,12 @@ mod tests {
 
     #[test]
     fn rates_are_table_size_insensitive() {
-        let points = table_size_sweep(&pentium3(), &[500, 1000, 2000, 4000], 1);
+        let points = table_size_sweep(
+            &mut GridRunner::serial(),
+            &pentium3(),
+            &[500, 1000, 2000, 4000],
+            1,
+        );
         assert_eq!(points.len(), 4);
         let rates: Vec<f64> = points.iter().map(|&(_, tps)| tps).collect();
         let mean = rates.iter().sum::<f64>() / rates.len() as f64;
@@ -411,8 +435,7 @@ mod tests {
             },
         );
         for hop in 1..=hops {
-            let mut router =
-                SimRouter::with_local_asn(&xeon(), Asn(64000 + hop as u16));
+            let mut router = SimRouter::with_local_asn(&xeon(), Asn(64000 + hop as u16));
             router.load_script(SPEAKER_1, SpeakerScript::new(input));
             router
                 .run_until_transactions(prefixes as u64, 7200.0)
@@ -449,7 +472,7 @@ mod tests {
 
     #[test]
     fn core_scaling_improves_then_saturates() {
-        let figure = core_scaling(&xeon(), 800, 1);
+        let figure = core_scaling(&mut GridRunner::serial(), &xeon(), 800, 1);
         let points = &figure.panels[0].series[0].1;
         assert_eq!(points.len(), 4);
         let one = points[0].1;

@@ -90,12 +90,18 @@ impl RepeatedResult {
 
     /// Lowest observed rate.
     pub fn min_tps(&self) -> f64 {
-        self.runs.iter().map(ScenarioResult::tps).fold(f64::INFINITY, f64::min)
+        self.runs
+            .iter()
+            .map(ScenarioResult::tps)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Highest observed rate.
     pub fn max_tps(&self) -> f64 {
-        self.runs.iter().map(ScenarioResult::tps).fold(0.0, f64::max)
+        self.runs
+            .iter()
+            .map(ScenarioResult::tps)
+            .fold(0.0, f64::max)
     }
 
     /// `(max - min) / mean` — zero for perfectly repeatable results.
@@ -164,9 +170,21 @@ pub(crate) fn run_scenario_with_router(
     scenario: Scenario,
     config: &ScenarioConfig,
 ) -> (ScenarioResult, SimRouter) {
+    run_scenario_with_packetization(platform, scenario, config, None)
+}
+
+/// Like [`run_scenario_with_router`], but with the timed phase's
+/// prefixes-per-UPDATE overridden (the packet-size extension sweeps
+/// measure packetizations between the paper's small/large endpoints).
+pub(crate) fn run_scenario_with_packetization(
+    platform: &PlatformSpec,
+    scenario: Scenario,
+    config: &ScenarioConfig,
+    prefixes_per_update: Option<usize>,
+) -> (ScenarioResult, SimRouter) {
     assert!(config.prefixes > 0, "scenario needs at least one prefix");
     let mut router = SimRouter::new(platform);
-    let result = drive(&mut router, platform, scenario, config);
+    let result = drive(&mut router, platform, scenario, config, prefixes_per_update);
     (result, router)
 }
 
@@ -175,9 +193,10 @@ fn drive(
     platform: &PlatformSpec,
     scenario: Scenario,
     config: &ScenarioConfig,
+    prefixes_per_update: Option<usize>,
 ) -> ScenarioResult {
     let table = TableGenerator::new(config.seed).generate(config.prefixes);
-    let pkt = scenario.packet_size().prefixes_per_update();
+    let pkt = prefixes_per_update.unwrap_or_else(|| scenario.packet_size().prefixes_per_update());
     let n = config.prefixes as u64;
     let speaker1_base = workload::AnnounceSpec {
         speaker_asn: SPEAKER1_ASN,
@@ -300,8 +319,7 @@ mod tests {
     fn result_and_router_variant_agree() {
         let config = quick(300);
         let direct = run_scenario(&pentium3(), Scenario::S2, &config);
-        let (with_router, router) =
-            run_scenario_with_router(&pentium3(), Scenario::S2, &config);
+        let (with_router, router) = run_scenario_with_router(&pentium3(), Scenario::S2, &config);
         assert_eq!(direct.transactions, with_router.transactions);
         assert!((direct.elapsed_secs - with_router.elapsed_secs).abs() < 1e-9);
         // The router retains final state for inspection.

@@ -18,12 +18,16 @@
 //! # Entry points
 //!
 //! * [`Scenario`] — the eight benchmark scenarios;
-//! * [`run_scenario`] — one scenario on one simulated platform;
-//! * [`experiments`] — drivers for Table III and Figures 3–6;
+//! * [`CellSpec`] — one scenario × platform cell as data, with a
+//!   builder for sizing, seed, and cross-traffic;
+//! * [`GridRunner`] — executes cell grids across a thread pool with
+//!   bit-identical serial/parallel results (see [`runner`]);
+//! * [`experiments`] — drivers for Table III and Figures 3–6, all
+//!   running on the grid engine;
 //! * [`live`] — the same methodology against a real BGP daemon over
 //!   TCP;
-//! * [`report`] — text rendering of results next to the paper's
-//!   numbers.
+//! * [`report`] — the [`Render`] trait: text and CSV output for every
+//!   table and figure, next to the paper's numbers.
 //!
 //! # Examples
 //!
@@ -42,9 +46,15 @@ pub mod extensions;
 mod harness;
 pub mod live;
 pub mod report;
+pub mod runner;
 mod scenario;
 
 pub use harness::{
     run_scenario, run_scenario_repeated, RepeatedResult, ScenarioConfig, ScenarioResult,
+};
+pub use report::{Render, StaticReport};
+pub use runner::{
+    CellError, CellRun, CellSpec, ExperimentSpec, GridRunner, NullObserver, RunObserver,
+    StderrProgress,
 };
 pub use scenario::{BgpOperation, PacketSize, Scenario};

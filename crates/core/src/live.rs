@@ -49,11 +49,7 @@ fn speaker_config(asn: u16, id: u32) -> LiveSpeakerConfig {
 
 /// Waits until the daemon has processed `target` transactions,
 /// returning the elapsed wall-clock seconds.
-fn wait_transactions(
-    daemon: &BgpDaemon,
-    target: u64,
-    timeout: Duration,
-) -> io::Result<f64> {
+fn wait_transactions(daemon: &BgpDaemon, target: u64, timeout: Duration) -> io::Result<f64> {
     let start = Instant::now();
     loop {
         if daemon.snapshot().transactions >= target {
@@ -89,8 +85,7 @@ pub fn run_live_scenario(
     let addr = daemon.local_addr();
     let handshake = Duration::from_secs(10);
 
-    let mut speaker1 =
-        LiveSpeaker::connect(addr, &speaker_config(65001, 0x0A00_0002), handshake)?;
+    let mut speaker1 = LiveSpeaker::connect(addr, &speaker_config(65001, 0x0A00_0002), handshake)?;
     let base_spec = workload::AnnounceSpec {
         speaker_asn: Asn(65001),
         path_len: 3,

@@ -1,10 +1,78 @@
-//! Text rendering of benchmark results: the paper's tables and figures
-//! as terminal output and CSV.
+//! Rendering of benchmark results: the paper's tables and figures as
+//! terminal output and CSV, unified behind the [`Render`] trait.
 
 use std::fmt::Write as _;
 
 use crate::experiments::{Figure, Table3, PLATFORM_ORDER};
 use crate::scenario::Scenario;
+
+/// A renderable benchmark artifact — every table and figure the suite
+/// produces supports both human-readable text and machine-readable
+/// CSV, so one driver can serve all of them.
+pub trait Render {
+    /// The artifact's display title.
+    fn title(&self) -> String;
+
+    /// Human-readable terminal rendering.
+    fn text(&self) -> String;
+
+    /// Machine-readable CSV rendering (with a header row).
+    fn csv(&self) -> String;
+}
+
+impl Render for Table3 {
+    fn title(&self) -> String {
+        "Table III".to_owned()
+    }
+
+    fn text(&self) -> String {
+        render_table3(self)
+    }
+
+    fn csv(&self) -> String {
+        table3_csv(self)
+    }
+}
+
+impl Render for Figure {
+    fn title(&self) -> String {
+        self.title.clone()
+    }
+
+    fn text(&self) -> String {
+        render_figure(self)
+    }
+
+    fn csv(&self) -> String {
+        figure_csv(self)
+    }
+}
+
+/// A pre-rendered artifact (the static Tables I and II, whose content
+/// is fixed by the paper rather than measured).
+#[derive(Debug, Clone)]
+pub struct StaticReport {
+    /// Display title.
+    pub title: String,
+    /// Terminal rendering.
+    pub text: String,
+    /// CSV rendering.
+    pub csv: String,
+}
+
+impl Render for StaticReport {
+    fn title(&self) -> String {
+        self.title.clone()
+    }
+
+    fn text(&self) -> String {
+        self.text.clone()
+    }
+
+    fn csv(&self) -> String {
+        self.csv.clone()
+    }
+}
 
 /// Renders the reproduced Table III side by side with the paper's
 /// numbers.

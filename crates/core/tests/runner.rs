@@ -1,0 +1,144 @@
+//! Engine guarantees: serial and parallel grid execution produce
+//! bit-identical artifacts, and a panicking cell is contained to its
+//! own slot.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bgpbench_core::experiments::{figure5, table3, ExperimentConfig};
+use bgpbench_core::{CellSpec, GridRunner, Scenario};
+use bgpbench_models::{pentium3, xeon};
+
+/// Sizes small enough to run the full grid twice in a test.
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig {
+        small_prefixes: 60,
+        large_prefixes: 400,
+        seed: 2007,
+        cross_points: 2,
+    }
+}
+
+#[test]
+fn table3_is_bit_identical_serial_vs_parallel() {
+    let config = tiny();
+    let serial = table3(&mut GridRunner::new(1), &config);
+    let parallel = table3(&mut GridRunner::new(8), &config);
+    assert_eq!(
+        serial, parallel,
+        "thread count must never change Table III cells"
+    );
+}
+
+#[test]
+fn figure5_is_bit_identical_serial_vs_parallel() {
+    let config = tiny();
+    let serial = figure5(&mut GridRunner::new(1), &config);
+    let parallel = figure5(&mut GridRunner::new(8), &config);
+    assert_eq!(
+        serial, parallel,
+        "thread count must never change Figure 5 data"
+    );
+}
+
+#[test]
+fn one_panicking_cell_does_not_lose_the_others() {
+    let cells: Vec<CellSpec> = (0..6)
+        .map(|i| {
+            CellSpec::new(Scenario::S2, xeon())
+                .prefixes(100)
+                .seed(i as u64)
+        })
+        .collect();
+    let poison = 3usize;
+    let runs = GridRunner::new(4).run_map(&cells, |cell| {
+        if cell.cell_seed() == poison as u64 {
+            panic!("injected failure for seed {poison}");
+        }
+        cell.run()
+    });
+    assert_eq!(runs.len(), cells.len());
+    for (index, run) in runs.iter().enumerate() {
+        assert_eq!(run.index, index);
+        if index == poison {
+            let error = run
+                .result
+                .as_ref()
+                .expect_err("poisoned cell must surface its panic");
+            assert!(
+                error.message.contains("injected failure"),
+                "unexpected message: {}",
+                error.message
+            );
+        } else {
+            let result = run
+                .result
+                .as_ref()
+                .expect("healthy cells must survive a sibling's panic");
+            assert_eq!(result.transactions, 100);
+            assert!(result.completed);
+        }
+    }
+}
+
+#[test]
+fn a_zero_prefix_cell_reports_the_harness_panic_message() {
+    // The harness's own assertion payload must travel through the
+    // catch_unwind boundary intact.
+    let cells = vec![
+        CellSpec::new(Scenario::S2, pentium3()).prefixes(100),
+        CellSpec::new(Scenario::S2, pentium3()).prefixes(0),
+    ];
+    let runs = GridRunner::new(2).run_cells(&cells);
+    assert!(runs[0].result.is_ok());
+    let error = runs[1].result.as_ref().unwrap_err();
+    assert!(
+        error.message.contains("at least one prefix"),
+        "unexpected message: {}",
+        error.message
+    );
+}
+
+#[test]
+fn observer_failure_reporting_matches_results() {
+    struct Counter<'a> {
+        started: &'a AtomicUsize,
+        failed: &'a AtomicUsize,
+        completed: &'a AtomicUsize,
+    }
+    impl bgpbench_core::RunObserver for Counter<'_> {
+        fn on_cell_start(&mut self, _index: usize, _cell: &CellSpec) {
+            self.started.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_cell_complete(
+            &mut self,
+            _index: usize,
+            _cell: &CellSpec,
+            error: Option<&bgpbench_core::CellError>,
+            _wall: std::time::Duration,
+        ) {
+            if error.is_some() {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    static STARTED: AtomicUsize = AtomicUsize::new(0);
+    static FAILED: AtomicUsize = AtomicUsize::new(0);
+    static COMPLETED: AtomicUsize = AtomicUsize::new(0);
+    let cells = vec![
+        CellSpec::new(Scenario::S2, xeon()).prefixes(100),
+        CellSpec::new(Scenario::S2, xeon()).prefixes(0),
+        CellSpec::new(Scenario::S2, xeon()).prefixes(100).seed(9),
+    ];
+    let mut runner = GridRunner::new(2).with_observer(Box::new(Counter {
+        started: &STARTED,
+        failed: &FAILED,
+        completed: &COMPLETED,
+    }));
+    let runs = runner.run_cells(&cells);
+    assert_eq!(STARTED.load(Ordering::Relaxed), 3);
+    assert_eq!(COMPLETED.load(Ordering::Relaxed), 3);
+    assert_eq!(FAILED.load(Ordering::Relaxed), 1);
+    assert_eq!(runs.iter().filter(|r| r.result.is_err()).count(), 1);
+}

@@ -14,9 +14,7 @@ use bgpbench_daemon::{BgpDaemon, DaemonConfig};
 use bgpbench_wire::{Asn, RouterId};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS]"
-    );
+    eprintln!("usage: bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS]");
     exit(2);
 }
 
@@ -72,7 +70,7 @@ fn main() {
             s.sessions, s.loc_rib_len, s.fib_len, s.updates_received, s.transactions
         );
         // Per-peer detail every five seconds.
-        if ticks % 5 == 0 {
+        if ticks.is_multiple_of(5) {
             for peer in daemon.peer_snapshots() {
                 println!(
                     "  peer {} @ {}: in {} updates / {} prefixes, out {} updates / {} prefixes",

@@ -12,9 +12,7 @@ use std::net::Ipv4Addr;
 use crossbeam::channel::Sender;
 
 use bgpbench_fib::{Fib, NextHop};
-use bgpbench_rib::{
-    AdjRibOut, ExportAction, FibDirective, PeerId, PeerInfo, RibEngine, RibStats,
-};
+use bgpbench_rib::{AdjRibOut, ExportAction, FibDirective, PeerId, PeerInfo, RibEngine, RibStats};
 use bgpbench_wire::{Message, Prefix, UpdateMessage};
 
 use crate::DaemonConfig;
@@ -187,8 +185,7 @@ impl Core {
             if actions.is_empty() {
                 continue;
             }
-            let updates =
-                AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
+            let updates = AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
             let writer = &self.writers[&peer];
             for update in &updates {
                 send_update(writer, update);
@@ -210,10 +207,7 @@ impl Core {
             return;
         };
         let routes = self.engine.export_routes(peer, self.config.next_hop);
-        let adj_out = self
-            .adj_out
-            .get_mut(&peer)
-            .expect("writer implies adj_out");
+        let adj_out = self.adj_out.get_mut(&peer).expect("writer implies adj_out");
         *adj_out = AdjRibOut::new();
         let actions = adj_out.sync(routes);
         let updates = AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);

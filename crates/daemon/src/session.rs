@@ -103,7 +103,10 @@ fn session_loop(
             }
             Ok(None) => {}
             Err(err) if err.kind() == io::ErrorKind::InvalidData => {
-                send_now(&mut stream, &Message::Notification(classify_wire_error(&err)))?;
+                send_now(
+                    &mut stream,
+                    &Message::Notification(classify_wire_error(&err)),
+                )?;
                 return Ok(());
             }
             Err(err) => return Err(err),
@@ -122,12 +125,9 @@ fn session_loop(
         std::net::IpAddr::V4(ip) => ip,
         std::net::IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
     };
-    let peer_id: PeerId = core.lock().register_peer(
-        peer_open.asn(),
-        peer_open.router_id(),
-        peer_ip,
-        tx.clone(),
-    );
+    let peer_id: PeerId =
+        core.lock()
+            .register_peer(peer_open.asn(), peer_open.router_id(), peer_ip, tx.clone());
 
     // --- Established loop.
     let result = established_loop(
@@ -246,8 +246,7 @@ fn read_message(
                 .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))
         }
         Err(err)
-            if err.kind() == io::ErrorKind::WouldBlock
-                || err.kind() == io::ErrorKind::TimedOut =>
+            if err.kind() == io::ErrorKind::WouldBlock || err.kind() == io::ErrorKind::TimedOut =>
         {
             Ok(None)
         }

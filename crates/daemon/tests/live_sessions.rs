@@ -98,7 +98,10 @@ fn phase2_propagation_to_second_speaker() {
     .unwrap();
     let table = TableGenerator::new(11).generate(1000);
     speaker1
-        .flood(&workload::announcements(&table, &announce_spec(500, 3, 65001)))
+        .flood(&workload::announcements(
+            &table,
+            &announce_spec(500, 3, 65001),
+        ))
         .unwrap();
     wait_for(&daemon, Duration::from_secs(10), |s| s.loc_rib_len == 1000);
 
@@ -135,7 +138,10 @@ fn incremental_update_propagates_live() {
 
     let table = TableGenerator::new(12).generate(100);
     speaker1
-        .flood(&workload::announcements(&table, &announce_spec(100, 3, 65001)))
+        .flood(&workload::announcements(
+            &table,
+            &announce_spec(100, 3, 65001),
+        ))
         .unwrap();
     // Speaker 2 receives the incremental announcements.
     let summary = speaker2
@@ -144,9 +150,7 @@ fn incremental_update_propagates_live() {
     assert_eq!(summary.announced, 100);
 
     // Withdrawal flows through too.
-    speaker1
-        .flood(&workload::withdrawals(&table, 100))
-        .unwrap();
+    speaker1.flood(&workload::withdrawals(&table, 100)).unwrap();
     let summary = speaker2
         .collect_routes_until(0, 100, Duration::from_secs(10))
         .unwrap();
@@ -174,7 +178,10 @@ fn session_drop_withdraws_routes_from_peers() {
     .unwrap();
     let table = TableGenerator::new(13).generate(50);
     speaker1
-        .flood(&workload::announcements(&table, &announce_spec(50, 3, 65001)))
+        .flood(&workload::announcements(
+            &table,
+            &announce_spec(50, 3, 65001),
+        ))
         .unwrap();
     speaker2
         .collect_routes_until(50, 0, Duration::from_secs(10))
@@ -212,11 +219,17 @@ fn best_path_selection_happens_live() {
     // Speaker 1 announces with a long path, speaker 2 with a short one:
     // the daemon must prefer speaker 2 and re-advertise to speaker 1.
     speaker1
-        .flood(&workload::announcements(&table, &announce_spec(20, 5, 65001)))
+        .flood(&workload::announcements(
+            &table,
+            &announce_spec(20, 5, 65001),
+        ))
         .unwrap();
     wait_for(&daemon, Duration::from_secs(5), |s| s.loc_rib_len == 20);
     speaker2
-        .flood(&workload::announcements(&table, &announce_spec(20, 2, 65002)))
+        .flood(&workload::announcements(
+            &table,
+            &announce_spec(20, 2, 65002),
+        ))
         .unwrap();
     let summary = speaker1
         .collect_routes_until(20, 0, Duration::from_secs(10))
@@ -247,7 +260,10 @@ fn peer_snapshots_count_both_directions() {
     wait_for(&daemon, Duration::from_secs(5), |s| s.sessions == 2);
     let table = TableGenerator::new(16).generate(40);
     speaker1
-        .flood(&workload::announcements(&table, &announce_spec(20, 3, 65001)))
+        .flood(&workload::announcements(
+            &table,
+            &announce_spec(20, 3, 65001),
+        ))
         .unwrap();
     speaker2
         .collect_routes_until(40, 0, Duration::from_secs(10))
@@ -258,7 +274,10 @@ fn peer_snapshots_count_both_directions() {
     let p2 = peers.iter().find(|p| p.asn == Asn(65002)).unwrap();
     assert_eq!(p1.prefixes_in, 40);
     assert_eq!(p1.updates_in, 2);
-    assert_eq!(p1.prefixes_out, 0, "no routes should flow back to the source");
+    assert_eq!(
+        p1.prefixes_out, 0,
+        "no routes should flow back to the source"
+    );
     assert_eq!(p2.prefixes_in, 0);
     assert_eq!(p2.prefixes_out, 40);
     daemon.shutdown();
@@ -280,7 +299,10 @@ fn route_refresh_replays_the_full_table() {
         .contains(&bgpbench_wire::Capability::RouteRefresh));
     let table = TableGenerator::new(15).generate(120);
     speaker1
-        .flood(&workload::announcements(&table, &announce_spec(60, 3, 65001)))
+        .flood(&workload::announcements(
+            &table,
+            &announce_spec(60, 3, 65001),
+        ))
         .unwrap();
     wait_for(&daemon, Duration::from_secs(5), |s| s.loc_rib_len == 120);
 

@@ -88,8 +88,8 @@ mod tests {
     #[test]
     fn incremental_matches_full_recompute_for_ttl_decrement() {
         let mut header = [
-            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0,
-            0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
         ];
         let original = internet_checksum(&header);
         header[10..12].copy_from_slice(&original.to_be_bytes());

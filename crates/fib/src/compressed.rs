@@ -93,8 +93,7 @@ impl<T> CompressedTrie<T> {
         let common = common_prefix_len(&node.key, &prefix);
         if common < node.key.len() {
             // Split: the new internal node is the common prefix.
-            let split_key = Prefix::new_masked(prefix.network(), common)
-                .expect("common <= 32");
+            let split_key = Prefix::new_masked(prefix.network(), common).expect("common <= 32");
             let old_node = std::mem::replace(node, Node::leaf(split_key, None));
             let old_bit = bit_at(old_node.key.network_bits(), common);
             node.children[old_bit] = Some(Box::new(old_node));

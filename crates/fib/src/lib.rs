@@ -41,6 +41,6 @@ mod trie;
 pub use checksum::{incremental_update, internet_checksum};
 pub use compressed::CompressedTrie;
 pub use fib::{Fib, NextHop};
-pub use forwarder::{ForwardDecision, Forwarder, ForwarderStats, DropReason};
+pub use forwarder::{DropReason, ForwardDecision, Forwarder, ForwarderStats};
 pub use packet::{Ipv4Header, PacketError, IPV4_HEADER_LEN};
 pub use trie::LpmTrie;

@@ -254,10 +254,7 @@ mod tests {
 
     #[test]
     fn truncated_input_is_rejected() {
-        assert_eq!(
-            Ipv4Header::decode(&[0x45; 10]),
-            Err(PacketError::Truncated)
-        );
+        assert_eq!(Ipv4Header::decode(&[0x45; 10]), Err(PacketError::Truncated));
     }
 
     #[test]

@@ -79,8 +79,7 @@ impl<T> LpmTrie<T> {
         let mut node = &mut self.root;
         for depth in 0..prefix.len() {
             let bit = bit_at(prefix.network_bits(), depth);
-            node = node.children[bit]
-                .get_or_insert_with(|| Box::new(Node::empty()));
+            node = node.children[bit].get_or_insert_with(|| Box::new(Node::empty()));
         }
         let old = node.entry.replace((prefix, value));
         match old {
@@ -346,7 +345,13 @@ mod tests {
     #[test]
     fn iter_yields_sorted_entries() {
         let mut trie = LpmTrie::new();
-        let prefixes = ["10.0.0.0/8", "9.0.0.0/8", "10.0.0.0/16", "0.0.0.0/0", "11.1.0.0/16"];
+        let prefixes = [
+            "10.0.0.0/8",
+            "9.0.0.0/8",
+            "10.0.0.0/16",
+            "0.0.0.0/0",
+            "11.1.0.0/16",
+        ];
         for (i, text) in prefixes.iter().enumerate() {
             trie.insert(p(text), i);
         }
@@ -368,8 +373,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut trie: LpmTrie<u32> =
-            [(p("10.0.0.0/8"), 1), (p("11.0.0.0/8"), 2)].into_iter().collect();
+        let mut trie: LpmTrie<u32> = [(p("10.0.0.0/8"), 1), (p("11.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
         trie.extend([(p("12.0.0.0/8"), 3)]);
         assert_eq!(trie.len(), 3);
     }

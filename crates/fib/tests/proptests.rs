@@ -51,9 +51,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (arb_prefix(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
         arb_prefix().prop_map(Op::Remove),
-        (0u32..64).prop_map(|seed| {
-            Op::Lookup(Ipv4Addr::from(seed.wrapping_mul(0x9E37_79B9) | 0x55))
-        }),
+        (0u32..64)
+            .prop_map(|seed| { Op::Lookup(Ipv4Addr::from(seed.wrapping_mul(0x9E37_79B9) | 0x55)) }),
     ]
 }
 

@@ -202,7 +202,11 @@ mod tests {
 
     #[test]
     fn all_costs_positive() {
-        for costs in [XorpCosts::pentium3(), XorpCosts::xeon(), XorpCosts::ixp2400()] {
+        for costs in [
+            XorpCosts::pentium3(),
+            XorpCosts::xeon(),
+            XorpCosts::ixp2400(),
+        ] {
             for value in [
                 costs.pkt_base,
                 costs.parse_ann,
@@ -231,7 +235,11 @@ mod tests {
     fn replace_is_the_most_expensive_fib_operation() {
         // The paper's fourth Table III observation: scenarios that
         // replace routes (7/8) are the slowest.
-        for costs in [XorpCosts::pentium3(), XorpCosts::xeon(), XorpCosts::ixp2400()] {
+        for costs in [
+            XorpCosts::pentium3(),
+            XorpCosts::xeon(),
+            XorpCosts::ixp2400(),
+        ] {
             assert!(costs.fib_user_replace > costs.fib_user_install);
             assert!(costs.fib_user_replace > costs.fib_user_remove);
         }

@@ -60,7 +60,14 @@ impl IosModel {
         builder: &mut ProcessBuilder,
         speakers: &[PeerInfo],
     ) -> Self {
-        Self::with_local_asn(costs, cross_costs, tick_secs, builder, speakers, Self::LOCAL_ASN)
+        Self::with_local_asn(
+            costs,
+            cross_costs,
+            tick_secs,
+            builder,
+            speakers,
+            Self::LOCAL_ASN,
+        )
     }
 
     /// [`IosModel::new`] with an explicit local AS (for chained
@@ -109,12 +116,7 @@ impl IosModel {
     }
 
     /// Like [`IosModel::load_script`], but paced to `msgs_per_sec`.
-    pub fn load_script_rated(
-        &mut self,
-        speaker: usize,
-        script: SpeakerScript,
-        msgs_per_sec: f64,
-    ) {
+    pub fn load_script_rated(&mut self, speaker: usize, script: SpeakerScript, msgs_per_sec: f64) {
         assert!(msgs_per_sec > 0.0, "rate must be positive");
         self.speakers[speaker].1 = Some(script);
         self.speakers[speaker].2 = Some(msgs_per_sec);

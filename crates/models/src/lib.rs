@@ -37,8 +37,7 @@ pub use costs::{CrossCosts, IosCosts, XorpCosts};
 pub use crosstraffic::{CrossSummary, CrossTraffic};
 pub use ios::IosModel;
 pub use platform::{
-    all_platforms, cisco3620, hypothetical, ixp2400, pentium3, xeon, PlatformKind,
-    PlatformSpec,
+    all_platforms, cisco3620, hypothetical, ixp2400, pentium3, xeon, PlatformKind, PlatformSpec,
 };
 pub use router::{SimRouter, SpeakerHandle, SPEAKER_1, SPEAKER_2};
 pub use xorp::XorpModel;

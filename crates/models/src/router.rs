@@ -98,9 +98,7 @@ impl SimRouter {
             PlatformKind::Ios(costs) => {
                 let cross = spec.cross;
                 Inner::Ios(Simulator::new(config, |builder| {
-                    IosModel::with_local_asn(
-                        costs, cross, tick_secs, builder, &speakers, local_asn,
-                    )
+                    IosModel::with_local_asn(costs, cross, tick_secs, builder, &speakers, local_asn)
                 }))
             }
         };
@@ -159,14 +157,12 @@ impl SimRouter {
         msgs_per_sec: f64,
     ) {
         match &mut self.inner {
-            Inner::Xorp(sim) => {
-                sim.model_mut()
-                    .load_script_rated(speaker.0, script, msgs_per_sec)
-            }
-            Inner::Ios(sim) => {
-                sim.model_mut()
-                    .load_script_rated(speaker.0, script, msgs_per_sec)
-            }
+            Inner::Xorp(sim) => sim
+                .model_mut()
+                .load_script_rated(speaker.0, script, msgs_per_sec),
+            Inner::Ios(sim) => sim
+                .model_mut()
+                .load_script_rated(speaker.0, script, msgs_per_sec),
         }
     }
 
@@ -220,9 +216,7 @@ impl SimRouter {
     pub fn run_until_transactions(&mut self, target: u64, limit_secs: f64) -> Option<f64> {
         let limit = SimDuration::from_secs_f64(limit_secs);
         let outcome = match &mut self.inner {
-            Inner::Xorp(sim) => {
-                sim.run_until(limit, |m| m.transactions_done() >= target)
-            }
+            Inner::Xorp(sim) => sim.run_until(limit, |m| m.transactions_done() >= target),
             Inner::Ios(sim) => sim.run_until(limit, |m| m.transactions_done() >= target),
         };
         finished(outcome, target, self.transactions_done())
@@ -232,9 +226,7 @@ impl SimRouter {
     pub fn run_until_exports(&mut self, target: u64, limit_secs: f64) -> Option<f64> {
         let limit = SimDuration::from_secs_f64(limit_secs);
         let outcome = match &mut self.inner {
-            Inner::Xorp(sim) => {
-                sim.run_until(limit, |m| m.exported_transactions() >= target)
-            }
+            Inner::Xorp(sim) => sim.run_until(limit, |m| m.exported_transactions() >= target),
             Inner::Ios(sim) => sim.run_until(limit, |m| m.exported_transactions() >= target),
         };
         finished(outcome, target, self.exported_transactions())
@@ -330,7 +322,10 @@ mod tests {
             let mut router = SimRouter::new(&spec);
             router.load_script(
                 SPEAKER_1,
-                SpeakerScript::new(workload::announcements(&table, &announce_spec(500, 3, 65001))),
+                SpeakerScript::new(workload::announcements(
+                    &table,
+                    &announce_spec(500, 3, 65001),
+                )),
             );
             let elapsed = router.run_until_transactions(20, 120.0);
             assert!(elapsed.is_some(), "{} timed out", spec.name);
@@ -370,7 +365,10 @@ mod tests {
         let table = TableGenerator::new(1).generate(150);
         router.load_script(
             SPEAKER_1,
-            SpeakerScript::new(workload::announcements(&table, &announce_spec(500, 3, 65001))),
+            SpeakerScript::new(workload::announcements(
+                &table,
+                &announce_spec(500, 3, 65001),
+            )),
         );
         router.run_until_transactions(150, 60.0).unwrap();
         let queued = router.queue_export(SPEAKER_2, 500);

@@ -189,12 +189,7 @@ impl XorpModel {
     /// Like [`XorpModel::load_script`], but the speaker paces itself to
     /// `msgs_per_sec` instead of flooding — the steady-state operation
     /// the paper cites ("in the order of 100 BGP messages per second").
-    pub fn load_script_rated(
-        &mut self,
-        speaker: usize,
-        script: SpeakerScript,
-        msgs_per_sec: f64,
-    ) {
+    pub fn load_script_rated(&mut self, speaker: usize, script: SpeakerScript, msgs_per_sec: f64) {
         assert!(msgs_per_sec > 0.0, "rate must be positive");
         self.speakers[speaker].script = Some(script);
         self.speakers[speaker].rate_msgs_per_sec = Some(msgs_per_sec);
@@ -380,11 +375,7 @@ impl Model for XorpModel {
             let fea_backlog = ctx.queue_len(self.procs.fea) as f64;
             ctx.record("backlog:xorp_rib", rib_backlog);
             ctx.record("backlog:xorp_fea", fea_backlog);
-            let inflight_prefixes: u32 = self
-                .pending
-                .values()
-                .map(|p| p.transactions)
-                .sum::<u32>()
+            let inflight_prefixes: u32 = self.pending.values().map(|p| p.transactions).sum::<u32>()
                 + self
                     .inbox
                     .values()
@@ -456,12 +447,8 @@ impl Model for XorpModel {
                 break;
             };
             let n = update.transaction_count() as u32;
-            let cycles =
-                self.costs.pkt_base + f64::from(n) * self.costs.export_per_prefix;
-            ctx.push(
-                self.procs.bgp,
-                Job::new(JOB_EXPORT, cycles).with_count(n),
-            );
+            let cycles = self.costs.pkt_base + f64::from(n) * self.costs.export_per_prefix;
+            ctx.push(self.procs.bgp, Job::new(JOB_EXPORT, cycles).with_count(n));
             room -= 1;
         }
     }
@@ -539,8 +526,7 @@ mod tests {
         let mut sim = pentium3_sim();
         let table = TableGenerator::new(1).generate(200);
         let updates = workload::announcements(&table, &spec_for(65001, 500, 3));
-        sim.model_mut()
-            .load_script(0, SpeakerScript::new(updates));
+        sim.model_mut().load_script(0, SpeakerScript::new(updates));
         let outcome = sim.run(SimDuration::from_secs(60));
         assert!(outcome.went_idle());
         let model = sim.model();
@@ -586,7 +572,11 @@ mod tests {
         sim.run(SimDuration::from_secs(60));
         let model = sim.model();
         assert_eq!(model.transactions_done(), 200);
-        assert_eq!(model.fib().generation(), fib_gen_before, "FIB must not change");
+        assert_eq!(
+            model.fib().generation(),
+            fib_gen_before,
+            "FIB must not change"
+        );
     }
 
     #[test]
@@ -702,12 +692,11 @@ mod tests {
         let mut sim = pentium3_sim();
         let prefix: Prefix = "20.0.0.0/8".parse().unwrap();
         let update = UpdateMessage::builder()
-            .attribute(bgpbench_wire::PathAttribute::Origin(bgpbench_wire::Origin::Igp))
+            .attribute(bgpbench_wire::PathAttribute::Origin(
+                bgpbench_wire::Origin::Igp,
+            ))
             .attribute(bgpbench_wire::PathAttribute::AsPath(
-                bgpbench_wire::AsPath::from_sequence([
-                    Asn(65001),
-                    XorpModel::LOCAL_ASN,
-                ]),
+                bgpbench_wire::AsPath::from_sequence([Asn(65001), XorpModel::LOCAL_ASN]),
             ))
             .attribute(bgpbench_wire::PathAttribute::NextHop(Ipv4Addr::new(
                 10, 0, 0, 2,

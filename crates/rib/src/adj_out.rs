@@ -218,7 +218,9 @@ mod tests {
         let actions = out.sync([(p("10.0.0.0/8"), attrs(2))]);
         assert_eq!(actions.len(), 2);
         assert_eq!(actions[0], ExportAction::Withdraw(p("11.0.0.0/8")));
-        assert!(matches!(actions[1], ExportAction::Announce(prefix, _) if prefix == p("10.0.0.0/8")));
+        assert!(
+            matches!(actions[1], ExportAction::Announce(prefix, _) if prefix == p("10.0.0.0/8"))
+        );
     }
 
     #[test]

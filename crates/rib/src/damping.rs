@@ -129,14 +129,11 @@ impl RouteDamper {
             FlapKind::AttributeChange => self.config.attribute_change_penalty,
         };
         let config = self.config;
-        let state = self
-            .states
-            .entry((peer, prefix))
-            .or_insert(FlapState {
-                penalty: 0.0,
-                last_update_secs: now_secs,
-                suppressed: false,
-            });
+        let state = self.states.entry((peer, prefix)).or_insert(FlapState {
+            penalty: 0.0,
+            last_update_secs: now_secs,
+            suppressed: false,
+        });
         decay(state, &config, now_secs);
         state.penalty = (state.penalty + added).min(config.max_penalty);
         if state.penalty >= config.suppress_threshold {

@@ -123,12 +123,7 @@ mod tests {
 
     const LOCAL: Asn = Asn(65000);
 
-    fn prefer(
-        a: &RouteAttributes,
-        ap: &PeerInfo,
-        b: &RouteAttributes,
-        bp: &PeerInfo,
-    ) -> Ordering {
+    fn prefer(a: &RouteAttributes, ap: &PeerInfo, b: &RouteAttributes, bp: &PeerInfo) -> Ordering {
         compare_routes(&DecisionConfig::default(), LOCAL, a, ap, b, bp)
     }
 

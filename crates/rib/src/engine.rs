@@ -260,10 +260,7 @@ impl RibEngine {
     /// by the caller and must be unique.
     pub fn add_peer(&mut self, info: PeerInfo) -> PeerId {
         let id = info.id();
-        assert!(
-            !self.peers.contains_key(&id),
-            "peer {id} registered twice"
-        );
+        assert!(!self.peers.contains_key(&id), "peer {id} registered twice");
         self.peers.insert(id, info);
         self.adj_in.insert(id, AdjRibIn::new());
         id
@@ -399,9 +396,7 @@ impl RibEngine {
             if let Some(damper) = &mut self.damper {
                 let existing = self.adj_in.get(&peer).and_then(|rib| rib.get(prefix));
                 let kind = match existing {
-                    Some(old) if old.as_ref() != &attrs => {
-                        Some(FlapKind::AttributeChange)
-                    }
+                    Some(old) if old.as_ref() != &attrs => Some(FlapKind::AttributeChange),
                     Some(_) => None, // identical re-announcement: no flap
                     None => Some(FlapKind::Reannounce),
                 };
@@ -516,7 +511,10 @@ impl RibEngine {
             ),
             (Some(old), None) => {
                 let _ = old;
-                (RouteChange::Withdrawn, Some(FibDirective::Remove { prefix }))
+                (
+                    RouteChange::Withdrawn,
+                    Some(FibDirective::Remove { prefix }),
+                )
             }
             (Some(old), Some(new)) => {
                 if old.learned_from() == new.learned_from() && old.attrs() == new.attrs() {
@@ -678,7 +676,10 @@ mod tests {
         // But it is retained in the Adj-RIB-In.
         assert_eq!(engine.adj_rib_in(p2).unwrap().len(), 1);
         // The best is still peer 1's route.
-        let best = engine.loc_rib().get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        let best = engine
+            .loc_rib()
+            .get(&"10.0.0.0/8".parse().unwrap())
+            .unwrap();
         assert_eq!(best.learned_from(), p1);
     }
 
@@ -702,7 +703,10 @@ mod tests {
                 next_hop: HOP2,
             })
         );
-        let best = engine.loc_rib().get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        let best = engine
+            .loc_rib()
+            .get(&"10.0.0.0/8".parse().unwrap())
+            .unwrap();
         assert_eq!(best.learned_from(), p2);
     }
 
@@ -721,7 +725,10 @@ mod tests {
             outcomes[0].change,
             RouteChange::Replaced { fib_changed: true }
         );
-        let best = engine.loc_rib().get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        let best = engine
+            .loc_rib()
+            .get(&"10.0.0.0/8".parse().unwrap())
+            .unwrap();
         assert_eq!(best.learned_from(), p2);
     }
 
@@ -799,7 +806,10 @@ mod tests {
             PolicyAction::Reject,
         )]));
         let outcomes = engine
-            .apply_update(p1, &announce(&[65001], HOP1, &["10.1.0.0/16", "11.0.0.0/8"]))
+            .apply_update(
+                p1,
+                &announce(&[65001], HOP1, &["10.1.0.0/16", "11.0.0.0/8"]),
+            )
             .unwrap();
         assert_eq!(outcomes[0].change, RouteChange::RejectedByPolicy);
         assert_eq!(outcomes[1].change, RouteChange::Installed);
@@ -825,9 +835,15 @@ mod tests {
         let outcomes = engine.remove_peer(p1).unwrap();
         assert_eq!(outcomes.len(), 2);
         // 10/8 falls back to peer 2; 11/8 disappears.
-        let best = engine.loc_rib().get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        let best = engine
+            .loc_rib()
+            .get(&"10.0.0.0/8".parse().unwrap())
+            .unwrap();
         assert_eq!(best.learned_from(), p2);
-        assert!(engine.loc_rib().get(&"11.0.0.0/8".parse().unwrap()).is_none());
+        assert!(engine
+            .loc_rib()
+            .get(&"11.0.0.0/8".parse().unwrap())
+            .is_none());
         assert!(engine.remove_peer(p1).is_err());
     }
 

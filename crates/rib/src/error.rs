@@ -37,7 +37,10 @@ mod tests {
     #[test]
     fn display_is_meaningful() {
         assert_eq!(
-            RibError::MissingMandatoryAttribute { attribute: "AS_PATH" }.to_string(),
+            RibError::MissingMandatoryAttribute {
+                attribute: "AS_PATH"
+            }
+            .to_string(),
             "update missing mandatory attribute AS_PATH"
         );
         assert_eq!(RibError::UnknownPeer(3).to_string(), "unknown peer 3");

@@ -50,9 +50,7 @@ mod route;
 pub use adj_out::{AdjRibOut, ExportAction};
 pub use damping::{DampingConfig, FlapKind, RouteDamper};
 pub use decision::{compare_routes, DecisionConfig};
-pub use engine::{
-    AdjRibIn, FibDirective, LocRib, PrefixOutcome, RibEngine, RibStats, RouteChange,
-};
+pub use engine::{AdjRibIn, FibDirective, LocRib, PrefixOutcome, RibEngine, RibStats, RouteChange};
 pub use error::RibError;
 pub use policy::{PolicyAction, PolicyEngine, PolicyRule, RouteMatcher};
 pub use route::{PeerId, PeerInfo, Route, RouteAttributes};

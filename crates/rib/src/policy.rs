@@ -36,14 +36,10 @@ impl RouteMatcher {
             RouteMatcher::Any => true,
             RouteMatcher::PrefixWithin(outer) => outer.covers(prefix),
             RouteMatcher::PrefixExact(exact) => exact == prefix,
-            RouteMatcher::PrefixLengthBetween(lo, hi) => {
-                (*lo..=*hi).contains(&prefix.len())
-            }
+            RouteMatcher::PrefixLengthBetween(lo, hi) => (*lo..=*hi).contains(&prefix.len()),
             RouteMatcher::AsPathContains(asn) => attrs.as_path().contains(*asn),
             RouteMatcher::OriginatedBy(asn) => attrs.as_path().origin_as() == Some(*asn),
-            RouteMatcher::HasCommunity(community) => {
-                attrs.communities().contains(community)
-            }
+            RouteMatcher::HasCommunity(community) => attrs.communities().contains(community),
         }
     }
 }
@@ -150,11 +146,7 @@ impl PolicyEngine {
 
     /// Evaluates a route. Returns the (possibly modified) attributes,
     /// or `None` if the route is rejected.
-    pub fn evaluate(
-        &self,
-        prefix: &Prefix,
-        mut attrs: RouteAttributes,
-    ) -> Option<RouteAttributes> {
+    pub fn evaluate(&self, prefix: &Prefix, mut attrs: RouteAttributes) -> Option<RouteAttributes> {
         for rule in &self.rules {
             if !rule.matcher.matches(prefix, &attrs) {
                 continue;
@@ -213,7 +205,10 @@ mod tests {
             RouteMatcher::PrefixWithin(p("10.0.0.0/8")),
             PolicyAction::Reject,
         )]);
-        assert_eq!(engine.evaluate(&p("10.1.0.0/16"), attrs_with_path(&[1])), None);
+        assert_eq!(
+            engine.evaluate(&p("10.1.0.0/16"), attrs_with_path(&[1])),
+            None
+        );
         assert!(engine
             .evaluate(&p("11.0.0.0/8"), attrs_with_path(&[1]))
             .is_some());

@@ -343,11 +343,7 @@ mod tests {
 
     #[test]
     fn default_local_pref_is_100() {
-        let attrs = RouteAttributes::new(
-            Origin::Igp,
-            AsPath::empty(),
-            Ipv4Addr::new(10, 0, 0, 1),
-        );
+        let attrs = RouteAttributes::new(Origin::Igp, AsPath::empty(), Ipv4Addr::new(10, 0, 0, 1));
         assert_eq!(attrs.local_pref(), None);
         assert_eq!(attrs.effective_local_pref(), 100);
     }

@@ -24,8 +24,7 @@ fn arb_state() -> impl Strategy<Value = Vec<(Prefix, Arc<RouteAttributes>)>> {
     prop::collection::btree_map(0u16..64, arb_attrs(), 0..32).prop_map(|map| {
         map.into_iter()
             .map(|(seed, attrs)| {
-                let prefix =
-                    Prefix::new_masked(Ipv4Addr::from(u32::from(seed) << 16), 16).unwrap();
+                let prefix = Prefix::new_masked(Ipv4Addr::from(u32::from(seed) << 16), 16).unwrap();
                 (prefix, attrs)
             })
             .collect()
@@ -33,10 +32,7 @@ fn arb_state() -> impl Strategy<Value = Vec<(Prefix, Arc<RouteAttributes>)>> {
 }
 
 /// A mirror of what the neighbor would hold after applying actions.
-fn apply_actions(
-    mirror: &mut HashMap<Prefix, Arc<RouteAttributes>>,
-    actions: &[ExportAction],
-) {
+fn apply_actions(mirror: &mut HashMap<Prefix, Arc<RouteAttributes>>, actions: &[ExportAction]) {
     for action in actions {
         match action {
             ExportAction::Announce(prefix, attrs) => {

@@ -3,9 +3,7 @@
 use std::cmp::Ordering;
 use std::net::Ipv4Addr;
 
-use bgpbench_rib::{
-    compare_routes, DecisionConfig, PeerId, PeerInfo, RibEngine, RouteAttributes,
-};
+use bgpbench_rib::{compare_routes, DecisionConfig, PeerId, PeerInfo, RibEngine, RouteAttributes};
 use bgpbench_wire::{AsPath, Asn, Origin, PathAttribute, Prefix, RouterId, UpdateMessage};
 use proptest::prelude::*;
 
@@ -13,7 +11,11 @@ const LOCAL_ASN: Asn = Asn(65000);
 
 fn arb_attrs() -> impl Strategy<Value = RouteAttributes> {
     (
-        prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)],
+        prop_oneof![
+            Just(Origin::Igp),
+            Just(Origin::Egp),
+            Just(Origin::Incomplete)
+        ],
         prop::collection::vec(1u16..9999, 1..6),
         any::<u32>(),
         prop::option::of(0u32..1000),

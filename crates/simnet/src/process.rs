@@ -153,7 +153,12 @@ impl Process {
 
     /// Executes up to `budget` cycles; completed jobs are appended to
     /// `completed`. Returns the cycles actually used.
-    pub(crate) fn consume(&mut self, budget: f64, completed: &mut Vec<(Job, usize)>, self_index: usize) -> f64 {
+    pub(crate) fn consume(
+        &mut self,
+        budget: f64,
+        completed: &mut Vec<(Job, usize)>,
+        self_index: usize,
+    ) -> f64 {
         let mut used = 0.0;
         while used < budget && self.runnable() {
             let take = self.head_cycles_left.min(budget - used);
@@ -243,7 +248,10 @@ mod tests {
 
     #[test]
     fn job_builder_chain() {
-        let job = Job::new(3, 1.0).with_count(500).with_tag(42).with_delay_ns(7);
+        let job = Job::new(3, 1.0)
+            .with_count(500)
+            .with_tag(42)
+            .with_delay_ns(7);
         assert_eq!(job.kind, 3);
         assert_eq!(job.count, 500);
         assert_eq!(job.tag, 42);

@@ -109,10 +109,7 @@ impl Recorder {
 
     /// The time of the first mark with this label, if any.
     pub fn mark_time(&self, label: &str) -> Option<f64> {
-        self.marks
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|&(_, t)| t)
+        self.marks.iter().find(|(l, _)| l == label).map(|&(_, t)| t)
     }
 
     /// Renders all series as CSV: `time,channel,value` rows, channels

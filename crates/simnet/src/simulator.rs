@@ -281,9 +281,7 @@ impl<M: Model> Simulator<M> {
                     .iter()
                     .enumerate()
                     .filter(|(_, p)| {
-                        p.class == class
-                            && p.runnable()
-                            && p.tick_used < queue_budget - 1e-9
+                        p.class == class && p.runnable() && p.tick_used < queue_budget - 1e-9
                     })
                     .map(|(i, _)| i)
                     .collect();
@@ -312,8 +310,7 @@ impl<M: Model> Simulator<M> {
         active |= self.processes.iter().any(|p| p.tick_used > 1e-9);
         self.step_was_active = active;
         if !completed.is_empty() {
-            let queue_lens: Vec<usize> =
-                self.processes.iter().map(|p| p.queue.len()).collect();
+            let queue_lens: Vec<usize> = self.processes.iter().map(|p| p.queue.len()).collect();
             let mut ctx = TickContext {
                 now: self.now,
                 queue_lens: &queue_lens,

@@ -156,13 +156,19 @@ mod tests {
     fn constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
         assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]
     fn display_uses_seconds() {
         assert_eq!(SimDuration::from_millis(1234).to_string(), "1.234s");
-        assert_eq!((SimTime::ZERO + SimDuration::from_secs(2)).to_string(), "2.000s");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::from_secs(2)).to_string(),
+            "2.000s"
+        );
     }
 
     #[test]

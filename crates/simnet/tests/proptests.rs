@@ -2,8 +2,7 @@
 //! created or destroyed, priorities hold, and runs are deterministic.
 
 use bgpbench_simnet::{
-    CoreSpec, Job, Model, ProcessId, SchedClass, SimConfig, SimDuration, Simulator,
-    TickContext,
+    CoreSpec, Job, Model, ProcessId, SchedClass, SimConfig, SimDuration, Simulator, TickContext,
 };
 use proptest::prelude::*;
 
@@ -37,11 +36,7 @@ impl Model for Scripted {
     }
 }
 
-fn build(
-    cores: usize,
-    classes: &[SchedClass],
-    jobs: Vec<(usize, f64)>,
-) -> Simulator<Scripted> {
+fn build(cores: usize, classes: &[SchedClass], jobs: Vec<(usize, f64)>) -> Simulator<Scripted> {
     let classes = classes.to_vec();
     Simulator::new(
         SimConfig::new(vec![CoreSpec::ghz(1.0); cores]),

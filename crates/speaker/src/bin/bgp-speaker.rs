@@ -71,14 +71,17 @@ fn main() {
         router_id: RouterId(0x0A00_0000 | u32::from(options.asn & 0xFF)),
         hold_time_secs: 90,
     };
-    let mut speaker =
-        match LiveSpeaker::connect(&*options.target, &config, Duration::from_secs(10)) {
-            Ok(speaker) => speaker,
-            Err(err) => {
-                eprintln!("bgp-speaker: cannot establish session with {}: {err}", options.target);
-                exit(1);
-            }
-        };
+    let mut speaker = match LiveSpeaker::connect(&*options.target, &config, Duration::from_secs(10))
+    {
+        Ok(speaker) => speaker,
+        Err(err) => {
+            eprintln!(
+                "bgp-speaker: cannot establish session with {}: {err}",
+                options.target
+            );
+            exit(1);
+        }
+    };
     println!(
         "session established with {} ({})",
         options.target,

@@ -95,8 +95,8 @@ impl TableGenerator {
             {
                 continue;
             }
-            let prefix = Prefix::new_masked(Ipv4Addr::from(addr), len)
-                .expect("length from table is valid");
+            let prefix =
+                Prefix::new_masked(Ipv4Addr::from(addr), len).expect("length from table is valid");
             if seen.insert(prefix) {
                 prefixes.push(prefix);
             }

@@ -4,9 +4,7 @@ use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-use bgpbench_wire::{
-    Asn, Message, OpenMessage, RouterId, StreamDecoder, UpdateMessage, WireError,
-};
+use bgpbench_wire::{Asn, Message, OpenMessage, RouterId, StreamDecoder, UpdateMessage, WireError};
 
 /// Session parameters for a [`LiveSpeaker`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -394,12 +392,9 @@ mod tests {
     #[test]
     fn handshake_establishes_and_reports_peer_open() {
         let (addr, handle) = spawn_responder(0);
-        let speaker = LiveSpeaker::connect(
-            addr,
-            &LiveSpeakerConfig::default(),
-            Duration::from_secs(5),
-        )
-        .unwrap();
+        let speaker =
+            LiveSpeaker::connect(addr, &LiveSpeakerConfig::default(), Duration::from_secs(5))
+                .unwrap();
         assert_eq!(speaker.peer_open().asn(), Asn(65000));
         drop(speaker);
         handle.join().unwrap();
@@ -408,12 +403,9 @@ mod tests {
     #[test]
     fn collect_routes_counts_received_prefixes() {
         let (addr, handle) = spawn_responder(25);
-        let mut speaker = LiveSpeaker::connect(
-            addr,
-            &LiveSpeakerConfig::default(),
-            Duration::from_secs(5),
-        )
-        .unwrap();
+        let mut speaker =
+            LiveSpeaker::connect(addr, &LiveSpeakerConfig::default(), Duration::from_secs(5))
+                .unwrap();
         let summary = speaker
             .collect_routes(Duration::from_millis(300), Duration::from_secs(5))
             .unwrap();
@@ -427,12 +419,9 @@ mod tests {
     #[test]
     fn flood_delivers_all_updates() {
         let (addr, handle) = spawn_responder(0);
-        let mut speaker = LiveSpeaker::connect(
-            addr,
-            &LiveSpeakerConfig::default(),
-            Duration::from_secs(5),
-        )
-        .unwrap();
+        let mut speaker =
+            LiveSpeaker::connect(addr, &LiveSpeakerConfig::default(), Duration::from_secs(5))
+                .unwrap();
         let updates: Vec<UpdateMessage> = (0..10u32)
             .map(|i| {
                 UpdateMessage::builder()

@@ -43,7 +43,10 @@ impl SpeakerScript {
 
     /// Total prefix-level transactions in the whole script.
     pub fn total_transactions(&self) -> usize {
-        self.updates.iter().map(UpdateMessage::transaction_count).sum()
+        self.updates
+            .iter()
+            .map(UpdateMessage::transaction_count)
+            .sum()
     }
 
     /// Messages not yet taken.

@@ -44,7 +44,10 @@ pub struct AnnounceSpec {
 /// zero.
 pub fn announcements(prefixes: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage> {
     assert!(spec.path_len >= 1, "AS path must contain the speaker's AS");
-    assert!(spec.prefixes_per_update >= 1, "packet size must be positive");
+    assert!(
+        spec.prefixes_per_update >= 1,
+        "packet size must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(spec.seed);
     prefixes
         .chunks(spec.prefixes_per_update)
@@ -84,11 +87,7 @@ pub fn withdrawals(prefixes: &[Prefix], prefixes_per_update: usize) -> Vec<Updat
 /// the same prefixes, the traffic pattern of the "network-wide events
 /// (e.g., worm attacks)" the paper's introduction cites as the peak
 /// load a router must survive.
-pub fn flap_storm(
-    prefixes: &[Prefix],
-    spec: &AnnounceSpec,
-    rounds: usize,
-) -> Vec<UpdateMessage> {
+pub fn flap_storm(prefixes: &[Prefix], spec: &AnnounceSpec, rounds: usize) -> Vec<UpdateMessage> {
     let mut updates = Vec::new();
     for round in 0..rounds {
         let round_spec = AnnounceSpec {
@@ -190,8 +189,8 @@ mod tests {
         for path_len in [1usize, 2, 3, 6] {
             let updates = announcements(&table, &spec(5, path_len));
             for update in &updates {
-                let Some(PathAttribute::AsPath(path)) = update
-                    .find_attribute(|a| matches!(a, PathAttribute::AsPath(_)))
+                let Some(PathAttribute::AsPath(path)) =
+                    update.find_attribute(|a| matches!(a, PathAttribute::AsPath(_)))
                 else {
                     panic!("missing AS path");
                 };

@@ -185,10 +185,7 @@ impl AsPath {
     }
 
     fn wire_len(&self) -> usize {
-        self.segments
-            .iter()
-            .map(|s| 2 + s.asns().len() * 2)
-            .sum()
+        self.segments.iter().map(|s| 2 + s.asns().len() * 2).sum()
     }
 
     fn encode_to(&self, out: &mut Vec<u8>) {
@@ -259,13 +256,11 @@ impl fmt::Display for AsPath {
             first = false;
             match segment {
                 AsPathSegment::Sequence(asns) => {
-                    let parts: Vec<String> =
-                        asns.iter().map(|a| a.0.to_string()).collect();
+                    let parts: Vec<String> = asns.iter().map(|a| a.0.to_string()).collect();
                     write!(f, "{}", parts.join(" "))?;
                 }
                 AsPathSegment::Set(asns) => {
-                    let parts: Vec<String> =
-                        asns.iter().map(|a| a.0.to_string()).collect();
+                    let parts: Vec<String> = asns.iter().map(|a| a.0.to_string()).collect();
                     write!(f, "{{{}}}", parts.join(","))?;
                 }
             }
@@ -457,12 +452,13 @@ impl PathAttribute {
             }
             TYPE_NEXT_HOP => {
                 check_well_known_flags(flags, type_code)?;
-                let octets: [u8; 4] = value.try_into().map_err(|_| {
-                    WireError::MalformedAttribute {
-                        type_code,
-                        reason: "next hop must be four octets",
-                    }
-                })?;
+                let octets: [u8; 4] =
+                    value
+                        .try_into()
+                        .map_err(|_| WireError::MalformedAttribute {
+                            type_code,
+                            reason: "next hop must be four octets",
+                        })?;
                 PathAttribute::NextHop(Ipv4Addr::from(octets))
             }
             TYPE_MED => PathAttribute::Med(decode_u32(value, type_code)?),
@@ -477,12 +473,13 @@ impl PathAttribute {
                 PathAttribute::AtomicAggregate
             }
             TYPE_AGGREGATOR => {
-                let octets: [u8; 6] = value.try_into().map_err(|_| {
-                    WireError::MalformedAttribute {
-                        type_code,
-                        reason: "aggregator must be six octets",
-                    }
-                })?;
+                let octets: [u8; 6] =
+                    value
+                        .try_into()
+                        .map_err(|_| WireError::MalformedAttribute {
+                            type_code,
+                            reason: "aggregator must be six octets",
+                        })?;
                 PathAttribute::Aggregator {
                     asn: Asn(u16::from_be_bytes([octets[0], octets[1]])),
                     router_id: Ipv4Addr::new(octets[2], octets[3], octets[4], octets[5]),
@@ -531,10 +528,12 @@ fn check_well_known_flags(flags: u8, type_code: u8) -> Result<(), WireError> {
 }
 
 fn decode_u32(value: &[u8], type_code: u8) -> Result<u32, WireError> {
-    let octets: [u8; 4] = value.try_into().map_err(|_| WireError::MalformedAttribute {
-        type_code,
-        reason: "value must be four octets",
-    })?;
+    let octets: [u8; 4] = value
+        .try_into()
+        .map_err(|_| WireError::MalformedAttribute {
+            type_code,
+            reason: "value must be four octets",
+        })?;
     Ok(u32::from_be_bytes(octets))
 }
 
@@ -710,7 +709,14 @@ mod tests {
 
     #[test]
     fn communities_reject_ragged_length() {
-        let buf = [FLAG_OPTIONAL | FLAG_TRANSITIVE, TYPE_COMMUNITIES, 3, 1, 2, 3];
+        let buf = [
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            TYPE_COMMUNITIES,
+            3,
+            1,
+            2,
+            3,
+        ];
         assert!(PathAttribute::decode_from(&buf).is_err());
     }
 }

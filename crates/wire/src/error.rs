@@ -87,7 +87,10 @@ impl fmt::Display for WireError {
                 write!(f, "encoded message of {len} octets exceeds 4096")
             }
             WireError::InconsistentLength { section } => {
-                write!(f, "section length inconsistent with message length: {section}")
+                write!(
+                    f,
+                    "section length inconsistent with message length: {section}"
+                )
             }
         }
     }

@@ -52,7 +52,7 @@ pub use attrs::{AsPath, AsPathSegment, Origin, PathAttribute};
 pub use error::WireError;
 pub use framing::StreamDecoder;
 pub use message::{Message, MessageType, HEADER_LEN, MAX_MESSAGE_LEN};
-pub use notification::{NotificationMessage, ErrorCode};
+pub use notification::{ErrorCode, NotificationMessage};
 pub use open::{Capability, OpenMessage, BGP_VERSION};
 pub use types::{Asn, Prefix, PrefixParseError, RouterId};
 pub use update::{UpdateBuilder, UpdateMessage};

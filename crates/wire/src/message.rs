@@ -167,9 +167,9 @@ impl Message {
             }
             MessageType::Keepalive => Message::Keepalive,
             MessageType::RouteRefresh => {
-                let octets: [u8; 4] = body.try_into().map_err(|_| {
-                    WireError::BadMessageLength(total_len as u16)
-                })?;
+                let octets: [u8; 4] = body
+                    .try_into()
+                    .map_err(|_| WireError::BadMessageLength(total_len as u16))?;
                 Message::RouteRefresh {
                     afi: u16::from_be_bytes([octets[0], octets[1]]),
                     safi: octets[3],

@@ -146,8 +146,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let note =
-            NotificationMessage::with_data(ErrorCode::UpdateMessageError, 3, vec![1, 2, 3]);
+        let note = NotificationMessage::with_data(ErrorCode::UpdateMessageError, 3, vec![1, 2, 3]);
         let mut buf = Vec::new();
         note.encode_body(&mut buf);
         let decoded = NotificationMessage::decode_body(&buf).unwrap();

@@ -54,10 +54,8 @@ impl Capability {
     fn decode(code: u8, value: &[u8]) -> Result<Self, WireError> {
         match code {
             1 => {
-                let octets: [u8; 4] = value.try_into().map_err(|_| {
-                    WireError::MalformedOpen {
-                        field: "multiprotocol capability length",
-                    }
+                let octets: [u8; 4] = value.try_into().map_err(|_| WireError::MalformedOpen {
+                    field: "multiprotocol capability length",
                 })?;
                 Ok(Capability::Multiprotocol {
                     afi: u16::from_be_bytes([octets[0], octets[1]]),
@@ -173,7 +171,9 @@ impl OpenMessage {
         }
         let asn = Asn(u16::from_be_bytes([input[1], input[2]]));
         if asn.0 == 0 {
-            return Err(WireError::MalformedOpen { field: "zero AS number" });
+            return Err(WireError::MalformedOpen {
+                field: "zero AS number",
+            });
         }
         let hold_time_secs = u16::from_be_bytes([input[3], input[4]]);
         if hold_time_secs == 1 || hold_time_secs == 2 {
@@ -182,9 +182,7 @@ impl OpenMessage {
                 field: "hold time below three seconds",
             });
         }
-        let router_id = RouterId(u32::from_be_bytes([
-            input[5], input[6], input[7], input[8],
-        ]));
+        let router_id = RouterId(u32::from_be_bytes([input[5], input[6], input[7], input[8]]));
         if router_id.0 == 0 {
             return Err(WireError::MalformedOpen {
                 field: "zero BGP identifier",

@@ -359,7 +359,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_bad_syntax() {
-        for text in ["", "10.0.0.0", "10.0.0.0/33", "10.0.0.1/24", "x/8", "10.0.0.0/y"] {
+        for text in [
+            "",
+            "10.0.0.0",
+            "10.0.0.0/33",
+            "10.0.0.1/24",
+            "x/8",
+            "10.0.0.0/y",
+        ] {
             assert!(text.parse::<Prefix>().is_err(), "{text:?} should fail");
         }
     }

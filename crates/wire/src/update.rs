@@ -257,9 +257,7 @@ mod tests {
     #[test]
     fn roundtrip_mixed_large() {
         let prefixes: Vec<Prefix> = (0u32..500)
-            .map(|i| {
-                Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 | (i << 8)), 24).unwrap()
-            })
+            .map(|i| Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 | (i << 8)), 24).unwrap())
             .collect();
         let mut builder = UpdateMessage::builder();
         for attr in sample_attrs() {

@@ -6,8 +6,8 @@
 use std::net::Ipv4Addr;
 
 use bgpbench_wire::{
-    AsPath, Asn, ErrorCode, Message, NotificationMessage, OpenMessage, Origin,
-    PathAttribute, RouterId, UpdateMessage,
+    AsPath, Asn, ErrorCode, Message, NotificationMessage, OpenMessage, Origin, PathAttribute,
+    RouterId, UpdateMessage,
 };
 
 const MARKER: [u8; 16] = [0xFF; 16];
@@ -51,8 +51,7 @@ fn golden_open_with_route_refresh_capability() {
     // One optional parameter: type 2 (capabilities), containing
     // capability code 2 (route refresh), length 0.
     let body = [
-        0x04, 0xFD, 0xE9, 0x00, 0x5A, 0x0A, 0x00, 0x00, 0x01,
-        0x04, // opt param len
+        0x04, 0xFD, 0xE9, 0x00, 0x5A, 0x0A, 0x00, 0x00, 0x01, 0x04, // opt param len
         0x02, 0x02, // param type 2, param len 2
         0x02, 0x00, // capability 2, cap len 0
     ];

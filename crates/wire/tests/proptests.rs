@@ -3,8 +3,8 @@
 use std::net::Ipv4Addr;
 
 use bgpbench_wire::{
-    AsPath, AsPathSegment, Asn, Capability, ErrorCode, Message, NotificationMessage,
-    OpenMessage, Origin, PathAttribute, Prefix, RouterId, StreamDecoder, UpdateMessage,
+    AsPath, AsPathSegment, Asn, Capability, ErrorCode, Message, NotificationMessage, OpenMessage,
+    Origin, PathAttribute, Prefix, RouterId, StreamDecoder, UpdateMessage,
 };
 use proptest::prelude::*;
 
@@ -50,8 +50,12 @@ fn arb_attribute() -> impl Strategy<Value = PathAttribute> {
         }),
         prop::collection::vec(any::<u32>(), 0..6).prop_map(PathAttribute::Communities),
         // Unknown optional attribute with arbitrary payload.
-        (any::<bool>(), 16u8..=255, prop::collection::vec(any::<u8>(), 0..300)).prop_map(
-            |(transitive, type_code, value)| {
+        (
+            any::<bool>(),
+            16u8..=255,
+            prop::collection::vec(any::<u8>(), 0..300)
+        )
+            .prop_map(|(transitive, type_code, value)| {
                 let mut flags = 0x80; // optional
                 if transitive {
                     flags |= 0x40;
@@ -61,8 +65,7 @@ fn arb_attribute() -> impl Strategy<Value = PathAttribute> {
                     type_code,
                     value,
                 }
-            }
-        ),
+            }),
     ]
 }
 
@@ -110,15 +113,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_open().prop_map(Message::Open),
         arb_update().prop_map(Message::Update),
-        (any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..32)).prop_map(
-            |(code, sub, data)| {
+        (
+            any::<u8>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..32)
+        )
+            .prop_map(|(code, sub, data)| {
                 Message::Notification(NotificationMessage::with_data(
                     ErrorCode::from_wire(code),
                     sub,
                     data,
                 ))
-            }
-        ),
+            }),
         Just(Message::Keepalive),
     ]
 }

@@ -7,9 +7,9 @@
 //! cargo run --release --example cross_traffic -- 8       # Scenario 8
 //! ```
 
-use bgpbench::bench::experiments::{cross_levels, run_cell};
+use bgpbench::bench::experiments::cross_levels;
 use bgpbench::bench::report::ascii_plot;
-use bgpbench::bench::Scenario;
+use bgpbench::bench::{CellSpec, GridRunner, Scenario};
 use bgpbench::models::all_platforms;
 
 fn main() {
@@ -22,14 +22,35 @@ fn main() {
         bgpbench::bench::PacketSize::Small => 600,
         bgpbench::bench::PacketSize::Large => 4000,
     };
-    println!("{scenario} ({}) under increasing cross-traffic\n", scenario.description());
+    println!(
+        "{scenario} ({}) under increasing cross-traffic\n",
+        scenario.description()
+    );
 
-    for platform in all_platforms() {
-        let points: Vec<(f64, f64)> = cross_levels(&platform, 6)
+    // One grid over every platform × cross-traffic level, executed in
+    // parallel; results come back in cell order regardless of the
+    // thread count.
+    let platforms = all_platforms();
+    let cells: Vec<CellSpec> = platforms
+        .iter()
+        .flat_map(|platform| {
+            cross_levels(platform, 6).into_iter().map(|mbps| {
+                CellSpec::new(scenario, platform.clone())
+                    .prefixes(prefixes)
+                    .cross_traffic(mbps)
+            })
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut runs = GridRunner::new(threads).run_cells(&cells).into_iter();
+
+    for platform in &platforms {
+        let points: Vec<(f64, f64)> = cross_levels(platform, 6)
             .into_iter()
             .map(|mbps| {
-                let result = run_cell(&platform, scenario, prefixes, mbps);
-                (mbps, result.tps())
+                let run = runs.next().expect("one run per cell");
+                let tps = run.result.map(|r| r.tps()).unwrap_or(0.0);
+                (mbps, tps)
             })
             .collect();
         println!("{} (x = Mbps offered, y = transactions/s):", platform.name);

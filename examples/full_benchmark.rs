@@ -7,7 +7,7 @@
 //! ```
 
 use bgpbench::bench::experiments::{table3, ExperimentConfig};
-use bgpbench::bench::report::{render_table3, table3_csv};
+use bgpbench::bench::{GridRunner, Render};
 
 fn main() {
     let quick = std::env::args().any(|arg| arg == "--quick");
@@ -16,12 +16,13 @@ fn main() {
     } else {
         ExperimentConfig::full()
     };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
-        "running Table III with {} prefixes (small) / {} (large)...",
+        "running Table III with {} prefixes (small) / {} (large) on {threads} threads...",
         config.small_prefixes, config.large_prefixes
     );
-    let table = table3(&config);
-    println!("{}", render_table3(&table));
+    let table = table3(&mut GridRunner::new(threads), &config);
+    println!("{}", table.text());
 
     let violations = table.check_observations();
     if violations.is_empty() {
@@ -33,5 +34,5 @@ fn main() {
         }
     }
 
-    println!("\nCSV:\n{}", table3_csv(&table));
+    println!("\nCSV:\n{}", table.csv());
 }

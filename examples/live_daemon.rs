@@ -22,10 +22,7 @@ fn main() -> std::io::Result<()> {
         "benchmarking the live daemon with {} prefixes per scenario\n",
         config.prefixes
     );
-    println!(
-        "{:<12} {:<55} {:>12}",
-        "scenario", "description", "tps"
-    );
+    println!("{:<12} {:<55} {:>12}", "scenario", "description", "tps");
     // Each scenario gets a fresh daemon so runs are independent.
     for scenario in Scenario::ALL {
         let daemon = BgpDaemon::start(DaemonConfig::default())?;

@@ -28,6 +28,10 @@ fn main() {
     println!("\n{} across all platforms:", Scenario::S2);
     for platform in all_platforms() {
         let result = run_scenario(&platform, Scenario::S2, &config);
-        println!("  {:<12} {:>10.1} transactions/s", platform.name, result.tps());
+        println!(
+            "  {:<12} {:>10.1} transactions/s",
+            platform.name,
+            result.tps()
+        );
     }
 }

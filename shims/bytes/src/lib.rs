@@ -1,0 +1,119 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no network access and no registry cache, so
+//! the workspace vendors the tiny subset of `bytes` it actually uses:
+//! [`BytesMut`] as a growable receive buffer and [`Buf::advance`] to
+//! consume decoded frames. Semantics match the real crate for this
+//! subset; swap the path dependency back to crates.io to use the real
+//! implementation.
+
+use std::ops::Deref;
+
+/// Minimal `Buf`: only the cursor-advancing part of the real trait.
+pub trait Buf {
+    /// Number of bytes between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor past `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt` exceeds [`Buf::remaining`].
+    fn advance(&mut self, cnt: usize);
+}
+
+/// A growable byte buffer with an amortized-O(1) front cursor.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Appends `bytes` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        // Reclaim consumed space before growing, like the real
+        // BytesMut reuses its region.
+        if self.start > 0 && self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        }
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.start += cnt;
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_advance_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(&buf[..2], &[1, 2]);
+        buf.advance(2);
+        assert_eq!(&buf[..], &[3, 4]);
+        buf.advance(2);
+        assert!(buf.is_empty());
+        // Space is reclaimed once fully consumed.
+        buf.extend_from_slice(&[9]);
+        assert_eq!(&buf[..], &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[1]);
+        buf.advance(2);
+    }
+}

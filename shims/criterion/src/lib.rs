@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the measurement API the workspace's benches use —
+//! groups, `bench_function`, `Bencher::iter` / `iter_batched`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!`
+//! macros — over a simple mean-of-samples timer. No statistical
+//! analysis, plots, or baseline comparison; output is one line per
+//! benchmark with mean wall-clock time per iteration and derived
+//! throughput.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this shim's timer;
+/// kept for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: batch many inputs per measurement.
+    SmallInput,
+    /// Large routine input: one input per measurement.
+    LargeInput,
+    /// Input that should never be duplicated.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples >= 2, "sample_size must be at least 2");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// one of its `iter` methods.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iterations > 0 {
+            bencher.total / bencher.iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        let mut line = format!(
+            "{}/{}: {:>12.3?} per iter ({} iters)",
+            self.name,
+            id.as_ref(),
+            mean,
+            bencher.iterations,
+        );
+        if let Some(throughput) = self.throughput {
+            let per_iter = match throughput {
+                Throughput::Elements(n) => n,
+                Throughput::Bytes(n) => n,
+            };
+            let unit = match throughput {
+                Throughput::Elements(_) => "elem/s",
+                Throughput::Bytes(_) => "B/s",
+            };
+            if mean > Duration::ZERO {
+                let rate = per_iter as f64 / mean.as_secs_f64();
+                line.push_str(&format!("  [{rate:.3e} {unit}]"));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (no-op; matches the real API).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let output = routine();
+            self.total += start.elapsed();
+            self.iterations += 1;
+            drop(output);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let output = routine(input);
+            self.total += start.elapsed();
+            self.iterations += 1;
+            drop(output);
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro (both the `name/config/targets` and positional forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_iterations() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0;
+        group.bench_function("count_calls", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Provides the non-poisoning [`Mutex`] API the daemon uses, backed by
+//! `std::sync::Mutex`. A poisoned std lock is recovered transparently,
+//! matching parking_lot's no-poisoning semantics.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A mutual-exclusion lock whose `lock` never fails.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a lock around `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Unlike
+    /// `std::sync::Mutex`, panics in other holders do not poison the
+    /// lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (the borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_survives_a_panicked_holder() {
+        let lock = std::sync::Arc::new(Mutex::new(7));
+        let cloned = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = cloned.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*lock.lock(), 7);
+    }
+}

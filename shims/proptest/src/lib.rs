@@ -1,0 +1,673 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container cannot reach crates.io, so this crate vendors
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (multiple `fn name(arg in strategy)` test
+//!   cases per block);
+//! * [`Strategy`] with `prop_map`, integer/float range strategies,
+//!   tuple composition, [`Just`], [`prop_oneof!`],
+//!   `prop::collection::{vec, btree_set, btree_map}`,
+//!   `prop::option::of`, `prop::sample::Index`, and [`any`] for
+//!   primitives;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case
+//! reports the assertion message and the case's RNG seed. Case count
+//! defaults to 64 and honours `PROPTEST_CASES`.
+
+use std::marker::PhantomData;
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    /// The deterministic generator driving each test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `seed`.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+
+        /// The next 64 random bits (xoshiro256++).
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+
+        /// 53 uniform bits as a float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Runs `case` until the configured number of cases pass.
+    ///
+    /// Each case draws from a fresh [`TestRng`] whose seed is derived
+    /// from the test name and case number, so failures print a seed
+    /// that exactly reproduces the case.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails, or when `prop_assume!` rejects too
+    /// many cases in a row.
+    pub fn run(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let cases: u64 = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        // FNV-1a over the test name: distinct tests explore distinct
+        // streams, and the stream is stable across runs.
+        let mut name_hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            name_hash ^= u64::from(byte);
+            name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut passed = 0u64;
+        let mut attempts = 0u64;
+        while passed < cases {
+            let seed = name_hash ^ attempts;
+            attempts += 1;
+            assert!(
+                attempts <= cases.saturating_mul(50),
+                "{name}: gave up after {attempts} attempts \
+                 ({passed}/{cases} cases passed; prop_assume! rejects too much)"
+            );
+            let mut rng = TestRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("{name}: case {passed} (seed {seed:#x}) failed: {message}")
+                }
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f` applied to this strategy's values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe strategy handle.
+pub type BoxedStrategy<T> = Box<dyn DynStrategy<T>>;
+
+/// Object-safe mirror of [`Strategy`]; implemented blanketly.
+pub trait DynStrategy<T> {
+    /// Draws one value from `rng`.
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.as_ref().generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (see [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate_dyn(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    (self.start as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128) - (start as u128) + 1;
+                    (start as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    #[doc(hidden)]
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// The canonical strategy for `T` (see [`any`]).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::collections::{BTreeMap, BTreeSet};
+        use std::ops::Range;
+
+        /// A `Vec` of `element` values with a length drawn from
+        /// `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.clone().generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A `BTreeSet` of `element` values with a size drawn from
+        /// `size` (distinctness permitting).
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        /// Strategy returned by [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let target = self.size.clone().generate(rng);
+                let mut set = BTreeSet::new();
+                // Bounded attempts: duplicates may make the exact
+                // target unreachable for tiny value domains.
+                for _ in 0..(target + 1) * 20 {
+                    if set.len() >= target {
+                        break;
+                    }
+                    set.insert(self.element.generate(rng));
+                }
+                set
+            }
+        }
+
+        /// A `BTreeMap` with keys from `key`, values from `value`,
+        /// and a size drawn from `size` (distinctness permitting).
+        pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            BTreeMapStrategy { key, value, size }
+        }
+
+        /// Strategy returned by [`btree_map`].
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: Range<usize>,
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+                let target = self.size.clone().generate(rng);
+                let mut map = BTreeMap::new();
+                for _ in 0..(target + 1) * 20 {
+                    if map.len() >= target {
+                        break;
+                    }
+                    map.insert(self.key.generate(rng), self.value.generate(rng));
+                }
+                map
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// `Some` of the inner strategy three times out of four,
+        /// `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// Strategy returned by [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::{Arbitrary, TestRng};
+
+        /// An index into a collection whose length is only known at
+        /// use time.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// This index projected into `0..len`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len` is zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index(0)");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use super::test_runner::TestCaseError;
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` block
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), proptest_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+    }
+
+    fn arb_shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![Just(Shape::Dot), (1u8..=10).prop_map(Shape::Line),]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(
+            small in 0u8..=32,
+            (index, weight) in (0usize..4, 1_000.0f64..2_000.0),
+            items in prop::collection::vec(any::<u16>(), 1..8),
+            shape in arb_shape(),
+        ) {
+            prop_assert!(small <= 32);
+            prop_assert!(index < 4);
+            prop_assert!((1_000.0..2_000.0).contains(&weight));
+            prop_assert!(!items.is_empty() && items.len() < 8);
+            match shape {
+                Shape::Dot => {}
+                Shape::Line(n) => prop_assert!((1..=10).contains(&n)),
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(value in 0u32..100) {
+            prop_assume!(value % 2 == 0);
+            prop_assert_eq!(value % 2, 0);
+            prop_assert_ne!(value % 2, 1);
+        }
+
+        #[test]
+        fn sets_and_maps_respect_bounds(
+            set in prop::collection::btree_set(any::<u16>(), 1..20),
+            map in prop::collection::btree_map(0u16..64, any::<u32>(), 0..32),
+            maybe in prop::option::of(0u32..1000),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(!set.is_empty() && set.len() < 20);
+            prop_assert!(map.len() < 32);
+            if let Some(v) = maybe {
+                prop_assert!(v < 1000);
+            }
+            prop_assert!(pick.index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_context() {
+        super::test_runner::run("always_fails", |_rng| {
+            Err(TestCaseError::fail("intentional"))
+        });
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Supplies the deterministic-PRNG subset the workload generators use:
+//! [`rngs::StdRng`] seeded with [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen`] / [`Rng::gen_range`] over integer and float types.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a
+//! different stream than the real crate's ChaCha-based `StdRng`, which
+//! is fine here: the benchmark asserts distributional *properties* of
+//! generated workloads, never exact values, and determinism per seed is
+//! what the harness relies on.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of reproducible generators.
+pub trait SeedableRng: Sized {
+    /// Derives a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    #[doc(hidden)]
+    fn from_u64(word: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            fn from_u64(word: u64) -> $t {
+                word as $t
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(word: u64) -> bool {
+        word & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(word: u64) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    #[doc(hidden)]
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end as u128) - (self.start as u128);
+                    let offset = (rng() as u128) % span;
+                    (self.start as u128 + offset) as $t
+                }
+            }
+
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range in gen_range");
+                    let span = (end as u128) - (start as u128) + 1;
+                    let offset = (rng() as u128) % span;
+                    (start as u128 + offset) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + f64::from_u64(rng()) * (self.end - self.start)
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator:
+    /// xoshiro256++ with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u16 = rng.gen_range(1000..60_000);
+            assert!((1000..60_000).contains(&v));
+            let w = rng.gen_range(0u32..3);
+            assert!(w < 3);
+            let f = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+            let full = rng.gen_range(1u16..=u16::MAX);
+            assert!(full >= 1);
+        }
+    }
+
+    #[test]
+    fn ranges_are_covered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -83,7 +83,9 @@ fn wire_to_rib_to_fib_to_forwarding_chain() {
             if let Some(directive) = outcome.fib {
                 match directive {
                     bgpbench::rib::FibDirective::Install { prefix, next_hop } => {
-                        forwarder.fib_mut().insert(prefix, NextHop::new(next_hop, 1));
+                        forwarder
+                            .fib_mut()
+                            .insert(prefix, NextHop::new(next_hop, 1));
                     }
                     bgpbench::rib::FibDirective::Remove { prefix } => {
                         forwarder.fib_mut().remove(&prefix);
@@ -211,14 +213,15 @@ fn mixed_updates_churn_through_the_pipeline() {
 
 #[test]
 fn hypothetical_platforms_scale_sanely() {
-    use bgpbench::bench::experiments::run_cell;
+    use bgpbench::bench::CellSpec;
     use bgpbench::models::hypothetical;
     // Faster hypothetical hardware must be monotonically faster, and a
     // 1x/2-core hypothetical must equal the stock Xeon (it is one).
-    let stock = run_cell(&bgpbench::models::xeon(), Scenario::S2, 600, 0.0);
-    let same = run_cell(&hypothetical(2, 1.0), Scenario::S2, 600, 0.0);
+    let cell = |platform| CellSpec::new(Scenario::S2, platform).prefixes(600).run();
+    let stock = cell(bgpbench::models::xeon());
+    let same = cell(hypothetical(2, 1.0));
     assert!((stock.tps() - same.tps()).abs() < 1e-6);
-    let fast = run_cell(&hypothetical(2, 4.0), Scenario::S2, 600, 0.0);
+    let fast = cell(hypothetical(2, 4.0));
     assert!(
         fast.tps() > stock.tps() * 3.0,
         "4x cores should be ~4x faster: {} vs {}",

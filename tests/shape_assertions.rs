@@ -1,13 +1,26 @@
 //! Shape assertions: the paper's qualitative findings must hold in the
 //! reproduction (reduced sizes; the bench binaries run full size).
 
-use bgpbench::bench::experiments::{run_cell, table3, ExperimentConfig};
-use bgpbench::bench::Scenario;
-use bgpbench::models::{cisco3620, ixp2400, pentium3, xeon};
+use bgpbench::bench::experiments::{table3, ExperimentConfig};
+use bgpbench::bench::{CellSpec, GridRunner, Scenario, ScenarioResult};
+use bgpbench::models::{cisco3620, ixp2400, pentium3, xeon, PlatformSpec};
+
+/// One cell at the quick sizes used throughout this suite.
+fn run_cell(
+    platform: &PlatformSpec,
+    scenario: Scenario,
+    prefixes: usize,
+    cross_traffic_mbps: f64,
+) -> ScenarioResult {
+    CellSpec::new(scenario, platform.clone())
+        .prefixes(prefixes)
+        .cross_traffic(cross_traffic_mbps)
+        .run()
+}
 
 #[test]
 fn table3_observations_hold_at_quick_size() {
-    let table = table3(&ExperimentConfig::quick());
+    let table = table3(&mut GridRunner::serial(), &ExperimentConfig::quick());
     let violations = table.check_observations();
     assert!(
         violations.is_empty(),
@@ -22,7 +35,7 @@ fn table3_cells_are_within_2x_of_the_paper() {
     // the right decade. Every measured cell must be within a factor of
     // two of the paper's value (the paper's own Xeon inversions are the
     // loosest fit).
-    let table = table3(&ExperimentConfig::quick());
+    let table = table3(&mut GridRunner::serial(), &ExperimentConfig::quick());
     for scenario in Scenario::ALL {
         for platform in 0..4 {
             let cell = table.cell(scenario, platform);
