@@ -51,6 +51,70 @@ fn bench_startup(c: &mut Criterion) {
                 for update in &updates {
                     black_box(engine.apply_update(PeerId(1), update).unwrap());
                 }
+                engine
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Same flood into a pre-sized table: what a production speaker
+    // configured for the expected table size would see.
+    group.bench_function("5k_prefixes_large_pkts_reserved", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = engine();
+                engine.reserve(8192);
+                engine
+            },
+            |mut engine| {
+                for update in &updates {
+                    black_box(engine.apply_update(PeerId(1), update).unwrap());
+                }
+                engine
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// The interner itself: intern hits (the per-prefix hot-path cost) and
+/// the release bookkeeping on withdraw.
+fn bench_attr_store(c: &mut Criterion) {
+    use bgpbench_rib::AttrStore;
+    use bgpbench_rib::RouteAttributes;
+    let updates = announcements(65001, 3, 500);
+    let attrs: Vec<RouteAttributes> = updates
+        .iter()
+        .map(|u| RouteAttributes::from_wire(u.attributes()).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("rib/attr_store");
+    group.throughput(Throughput::Elements(attrs.len() as u64));
+    group.bench_function("intern_hit_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut store = AttrStore::new();
+                // Seed so every intern below is a hit.
+                let seeds: Vec<_> = attrs.iter().map(|a| store.intern(a.clone())).collect();
+                (store, seeds)
+            },
+            |(mut store, seeds)| {
+                for a in &attrs {
+                    black_box(store.intern(a.clone()));
+                }
+                (store, seeds)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("intern_miss_release_cycle", |b| {
+        b.iter_batched(
+            AttrStore::new,
+            |mut store| {
+                for a in &attrs {
+                    let interned = store.intern(a.clone());
+                    store.release(interned);
+                }
+                store
             },
             BatchSize::SmallInput,
         )
@@ -78,6 +142,7 @@ fn bench_decision_losing_and_winning(c: &mut Criterion) {
                     for update in phase3.iter() {
                         black_box(engine.apply_update(PeerId(2), update).unwrap());
                     }
+                    engine
                 },
                 BatchSize::SmallInput,
             )
@@ -105,6 +170,7 @@ fn bench_withdrawals(c: &mut Criterion) {
                 for update in &withdrawals {
                     black_box(engine.apply_update(PeerId(1), update).unwrap());
                 }
+                engine
             },
             BatchSize::SmallInput,
         )
@@ -144,6 +210,7 @@ fn bench_damping_ablation(c: &mut Criterion) {
                         }
                         now += 15.0;
                     }
+                    engine
                 },
                 BatchSize::SmallInput,
             )
@@ -192,6 +259,7 @@ fn bench_decision_config_ablation(c: &mut Criterion) {
                     for update in &contest {
                         black_box(engine.apply_update(PeerId(2), update).unwrap());
                     }
+                    engine
                 },
                 BatchSize::SmallInput,
             )
@@ -235,6 +303,7 @@ fn bench_peer_scaling(c: &mut Criterion) {
                     for update in &contest {
                         black_box(engine.apply_update(PeerId(npeers as u32), update).unwrap());
                     }
+                    engine
                 },
                 BatchSize::SmallInput,
             )
@@ -246,7 +315,8 @@ fn bench_peer_scaling(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = bench_startup, bench_decision_losing_and_winning, bench_withdrawals,
-        bench_damping_ablation, bench_decision_config_ablation, bench_peer_scaling
+    targets = bench_startup, bench_attr_store, bench_decision_losing_and_winning,
+        bench_withdrawals, bench_damping_ablation, bench_decision_config_ablation,
+        bench_peer_scaling
 }
 criterion_main!(benches);

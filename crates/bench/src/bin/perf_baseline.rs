@@ -1,0 +1,294 @@
+//! Tracked RIB performance baseline: times the update-processing hot
+//! paths the attribute interner and single-table layout optimize, and
+//! writes the results to a JSON artifact (`BENCH_rib.json` by default)
+//! so regressions show up as a diffable number rather than a feeling.
+//!
+//! ```text
+//! cargo run --release -p bgpbench-bench --bin perf_baseline -- \
+//!     [--quick] [--samples <n>] [--out <path>]
+//! ```
+//!
+//! Each scenario reports the median wall time per iteration and the
+//! derived per-prefix cost, next to the corresponding measurement
+//! taken at the pre-interning two-map engine (commit d66c2f8) on the
+//! same harness, so the speedup the optimization bought is recorded in
+//! the artifact itself.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use bgpbench_rib::{PeerId, PeerInfo, RibEngine};
+use bgpbench_speaker::{workload, TableGenerator};
+use bgpbench_wire::{Asn, RouterId, UpdateMessage};
+
+const PREFIXES: usize = 5000;
+/// Expected table size passed to [`RibEngine::reserve`] in the
+/// reserved scenarios; headroom above `PREFIXES` mirrors a speaker
+/// configured for a maximum rather than the exact count.
+const RESERVE: usize = 8192;
+
+/// Median times per iteration measured at the pre-interning engine
+/// (two hash maps, no attribute store), in nanoseconds. `None` where
+/// the scenario did not exist before this harness.
+const BASELINE_NS: &[(&str, Option<f64>)] = &[
+    ("startup_large_pkts", Some(1_120_000.0)),
+    ("startup_large_pkts_reserved", Some(1_120_000.0)),
+    ("startup_small_pkts", None),
+    ("incremental_losing", Some(1_194_000.0)),
+    ("incremental_winning", Some(1_171_000.0)),
+    ("withdraw_storm", Some(891_711.0)),
+];
+
+struct Options {
+    samples: usize,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut samples: Option<usize> = None;
+    let mut quick = false;
+    let mut out = String::from("BENCH_rib.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--samples" => {
+                let value = args.next().unwrap_or_default();
+                samples = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--samples expects a positive integer, got {value:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: perf_baseline [--quick] [--samples <n>] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    Options {
+        samples: samples.unwrap_or(if quick { 5 } else { 20 }),
+        out,
+    }
+}
+
+fn engine() -> RibEngine {
+    let mut engine = RibEngine::new(Asn(65000), RouterId(1));
+    engine.add_peer(PeerInfo::new(
+        PeerId(1),
+        Asn(65001),
+        RouterId(2),
+        Ipv4Addr::new(10, 0, 0, 2),
+    ));
+    engine.add_peer(PeerInfo::new(
+        PeerId(2),
+        Asn(65002),
+        RouterId(3),
+        Ipv4Addr::new(10, 0, 0, 3),
+    ));
+    engine
+}
+
+fn announcements(asn: u16, path_len: usize, per_update: usize) -> Vec<UpdateMessage> {
+    let table = TableGenerator::new(5).generate(PREFIXES);
+    workload::announcements(
+        &table,
+        &workload::AnnounceSpec {
+            speaker_asn: Asn(asn),
+            path_len,
+            next_hop: Ipv4Addr::new(10, 0, 0, if asn == 65001 { 2 } else { 3 }),
+            prefixes_per_update: per_update,
+            seed: 5,
+        },
+    )
+}
+
+/// Times `routine` over fresh state from `setup`: per sample, the
+/// setup runs untimed, the routine runs timed, and the routine's
+/// return value drops untimed. Returns the median ns/iteration.
+fn measure<T, R>(
+    samples: usize,
+    mut setup: impl FnMut() -> T,
+    mut routine: impl FnMut(T) -> R,
+) -> f64 {
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..2 {
+        std::hint::black_box(routine(setup()));
+    }
+    for _ in 0..samples {
+        let input = setup();
+        let start = Instant::now();
+        let output = routine(input);
+        times.push(start.elapsed().as_nanos() as f64);
+        drop(output);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    ns_per_iter: f64,
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+fn main() {
+    let options = parse_args();
+    let large = announcements(65001, 3, 500);
+    let small = announcements(65001, 3, 1);
+    let losing = announcements(65002, 6, 500);
+    let winning = announcements(65002, 2, 500);
+    let withdrawals = workload::withdrawals(&TableGenerator::new(5).generate(PREFIXES), 500);
+
+    let loaded = || {
+        let mut engine = engine();
+        for update in &large {
+            engine.apply_update(PeerId(1), update).unwrap();
+        }
+        engine
+    };
+    fn flood(updates: &[UpdateMessage], peer: PeerId) -> impl FnMut(RibEngine) -> RibEngine + '_ {
+        move |mut engine| {
+            for update in updates {
+                engine.apply_update(peer, update).unwrap();
+            }
+            engine
+        }
+    }
+
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    let mut run = |name: &'static str, ns: f64| {
+        eprintln!(
+            "{name:32} {:10.1} us/iter  ({:.0} ns/prefix)",
+            ns / 1e3,
+            ns / PREFIXES as f64
+        );
+        results.push(ScenarioResult {
+            name,
+            ns_per_iter: ns,
+        });
+    };
+
+    run(
+        "startup_large_pkts",
+        measure(options.samples, engine, flood(&large, PeerId(1))),
+    );
+    run(
+        "startup_large_pkts_reserved",
+        measure(
+            options.samples,
+            || {
+                let mut engine = engine();
+                engine.reserve(RESERVE);
+                engine
+            },
+            flood(&large, PeerId(1)),
+        ),
+    );
+    run(
+        "startup_small_pkts",
+        measure(options.samples, engine, flood(&small, PeerId(1))),
+    );
+    run(
+        "incremental_losing",
+        measure(options.samples, loaded, flood(&losing, PeerId(2))),
+    );
+    run(
+        "incremental_winning",
+        measure(options.samples, loaded, flood(&winning, PeerId(2))),
+    );
+    run(
+        "withdraw_storm",
+        measure(options.samples, loaded, flood(&withdrawals, PeerId(1))),
+    );
+
+    // Attribute-store effectiveness over a representative startup run:
+    // the workload carries one attribute set per UPDATE, so 5000
+    // routes collapse to one canonical allocation per packet.
+    let loaded_engine = loaded();
+    let store = loaded_engine.attr_store();
+    let stats = store.stats();
+    let announced = loaded_engine.stats().announcements;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"rib_perf_baseline\",\n");
+    json.push_str(&format!("  \"samples\": {},\n", options.samples));
+    json.push_str(&format!("  \"prefixes\": {PREFIXES},\n"));
+    json.push_str(
+        "  \"baseline\": \"pre-interning two-map engine (d66c2f8), same harness and host class\",\n",
+    );
+    json.push_str("  \"scenarios\": [\n");
+    for (i, result) in results.iter().enumerate() {
+        let baseline = BASELINE_NS
+            .iter()
+            .find(|(name, _)| *name == result.name)
+            .and_then(|(_, ns)| *ns);
+        json.push_str("    {\n");
+        json.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            json_escape_free(result.name)
+        ));
+        json.push_str(&format!(
+            "      \"median_ns_per_iter\": {:.0},\n",
+            result.ns_per_iter
+        ));
+        json.push_str(&format!(
+            "      \"ns_per_prefix\": {:.1},\n",
+            result.ns_per_iter / PREFIXES as f64
+        ));
+        json.push_str(&format!(
+            "      \"prefixes_per_sec\": {:.0},\n",
+            PREFIXES as f64 / (result.ns_per_iter / 1e9)
+        ));
+        match baseline {
+            Some(baseline_ns) => {
+                json.push_str(&format!(
+                    "      \"baseline_ns_per_iter\": {baseline_ns:.0},\n"
+                ));
+                json.push_str(&format!(
+                    "      \"speedup_vs_baseline\": {:.2}\n",
+                    baseline_ns / result.ns_per_iter
+                ));
+            }
+            None => {
+                json.push_str("      \"baseline_ns_per_iter\": null,\n");
+                json.push_str("      \"speedup_vs_baseline\": null\n");
+            }
+        }
+        json.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"attr_store\": {\n");
+    json.push_str(&format!("    \"routes_announced\": {announced},\n"));
+    json.push_str(&format!("    \"distinct_sets\": {},\n", store.len()));
+    json.push_str(&format!(
+        "    \"routes_per_set\": {:.1},\n",
+        announced as f64 / store.len().max(1) as f64
+    ));
+    json.push_str(&format!("    \"intern_hits\": {},\n", stats.hits));
+    json.push_str(&format!("    \"intern_misses\": {},\n", stats.misses));
+    json.push_str(&format!("    \"released\": {}\n", stats.released));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&options.out, &json).unwrap_or_else(|err| {
+        eprintln!("failed to write {}: {err}", options.out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", options.out);
+}

@@ -8,11 +8,14 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use crossbeam::channel::Sender;
 
 use bgpbench_fib::{Fib, NextHop};
-use bgpbench_rib::{AdjRibOut, ExportAction, FibDirective, PeerId, PeerInfo, RibEngine, RibStats};
+use bgpbench_rib::{
+    AdjRibOut, ExportAction, FibDirective, PeerId, PeerInfo, RibEngine, RibStats, RouteAttributes,
+};
 use bgpbench_wire::{Message, Prefix, UpdateMessage};
 
 use crate::DaemonConfig;
@@ -163,6 +166,12 @@ impl Core {
     /// established peer and sends the resulting UPDATEs.
     fn propagate(&mut self, prefixes: &[Prefix]) {
         let peer_ids: Vec<PeerId> = self.writers.keys().copied().collect();
+        // The exported form of an attribute set is peer-independent
+        // (own AS prepended, next hop rewritten), and the engine interns
+        // attribute sets, so one cache keyed on pointer identity covers
+        // every prefix and every peer in this propagation round. This
+        // also keeps Adj-RIB-Out grouping on the pointer fast path.
+        let mut exported: HashMap<*const RouteAttributes, Arc<RouteAttributes>> = HashMap::new();
         for peer in peer_ids {
             let mut actions: Vec<ExportAction> = Vec::new();
             for prefix in prefixes {
@@ -170,11 +179,18 @@ impl Core {
                     if route.learned_from() == peer {
                         None // never advertise a route back to its source
                     } else {
-                        Some(std::sync::Arc::new(
-                            route
-                                .attrs()
-                                .exported(self.config.local_asn, self.config.next_hop),
-                        ))
+                        Some(
+                            exported
+                                .entry(Arc::as_ptr(route.attrs()))
+                                .or_insert_with(|| {
+                                    Arc::new(
+                                        route
+                                            .attrs()
+                                            .exported(self.config.local_asn, self.config.next_hop),
+                                    )
+                                })
+                                .clone(),
+                        )
                     }
                 });
                 let adj_out = self.adj_out.get_mut(&peer).expect("writer implies adj_out");

@@ -537,6 +537,29 @@ mod tests {
     }
 
     #[test]
+    fn interning_shares_attributes_across_a_simulated_run() {
+        // Attribute interning is a host-side optimization: the model
+        // charges cycles per RouteChange classification, which the
+        // calibrated-band tests pin. This test pins the other side —
+        // after a full simulated startup, every prefix of the single
+        // large update shares one interned allocation.
+        let mut sim = pentium3_sim();
+        let table = TableGenerator::new(1).generate(200);
+        let updates = workload::announcements(&table, &spec_for(65001, 500, 3));
+        assert_eq!(updates.len(), 1);
+        sim.model_mut().load_script(0, SpeakerScript::new(updates));
+        let outcome = sim.run(SimDuration::from_secs(60));
+        assert!(outcome.went_idle());
+        let model = sim.model();
+        assert_eq!(model.engine().loc_rib().len(), 200);
+        assert_eq!(model.engine().attr_store().len(), 1);
+        let rib = model.engine().adj_rib_in(PeerId(1)).unwrap();
+        let a = rib.get(&table[0]).unwrap();
+        let b = rib.get(&table[199]).unwrap();
+        assert!(std::sync::Arc::ptr_eq(a, b));
+    }
+
+    #[test]
     fn throughput_matches_the_calibrated_scenario_2_rate() {
         // Scenario 2 on the Pentium III: large-packet start-up
         // announcements; the paper reports 312.5 transactions/s.

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use bgpbench_wire::{Prefix, UpdateMessage};
 
+use crate::fxhash::FxHashMap;
 use crate::route::RouteAttributes;
 
 /// One advertisement-stream action toward a neighbor.
@@ -64,7 +65,7 @@ impl AdjRibOut {
             let unchanged = self
                 .advertised
                 .get(prefix)
-                .is_some_and(|old| old == attrs || Arc::ptr_eq(old, attrs));
+                .is_some_and(|old| Arc::ptr_eq(old, attrs) || old == attrs);
             if !unchanged {
                 actions.push(ExportAction::Announce(*prefix, attrs.clone()));
             }
@@ -96,7 +97,7 @@ impl AdjRibOut {
                 let unchanged = self
                     .advertised
                     .get(&prefix)
-                    .is_some_and(|old| old == &attrs || Arc::ptr_eq(old, &attrs));
+                    .is_some_and(|old| Arc::ptr_eq(old, &attrs) || old == &attrs);
                 if unchanged {
                     return None;
                 }
@@ -144,19 +145,36 @@ impl AdjRibOut {
         }
 
         // Group announcements by attribute set, preserving first-seen
-        // order of each group.
+        // order of each group. Interned attribute sets resolve through
+        // the O(1) pointer-keyed map; the value-keyed map behind it
+        // keeps grouping correct for value-equal sets allocated
+        // separately (callers that bypass the interner), exactly as the
+        // old linear scan did.
         let mut groups: Vec<(Arc<RouteAttributes>, Vec<Prefix>)> = Vec::new();
+        let mut index_by_ptr: FxHashMap<*const RouteAttributes, usize> = FxHashMap::default();
+        let mut index_by_value: FxHashMap<Arc<RouteAttributes>, usize> = FxHashMap::default();
         for action in actions {
             let ExportAction::Announce(prefix, attrs) = action else {
                 continue;
             };
-            match groups
-                .iter_mut()
-                .find(|(group_attrs, _)| group_attrs == attrs || Arc::ptr_eq(group_attrs, attrs))
-            {
-                Some((_, prefixes)) => prefixes.push(*prefix),
-                None => groups.push((attrs.clone(), vec![*prefix])),
-            }
+            let ptr = Arc::as_ptr(attrs);
+            let index = match index_by_ptr.get(&ptr) {
+                Some(&index) => index,
+                None => {
+                    let index = match index_by_value.get(attrs) {
+                        Some(&index) => index,
+                        None => {
+                            let index = groups.len();
+                            groups.push((attrs.clone(), Vec::new()));
+                            index_by_value.insert(attrs.clone(), index);
+                            index
+                        }
+                    };
+                    index_by_ptr.insert(ptr, index);
+                    index
+                }
+            };
+            groups[index].1.push(*prefix);
         }
         for (attrs, prefixes) in groups {
             let wire_attrs = attrs.to_wire();
@@ -281,6 +299,22 @@ mod tests {
         assert_eq!(updates.len(), 2);
         assert_eq!(updates[0].nlri().len(), 2);
         assert_eq!(updates[1].nlri().len(), 1);
+    }
+
+    #[test]
+    fn to_updates_groups_value_equal_distinct_arcs() {
+        let a = attrs(1);
+        // Value-equal but separately allocated: must land in the same
+        // group even though the pointer-keyed fast path misses.
+        let b = Arc::new((*a).clone());
+        let actions = vec![
+            ExportAction::Announce(p("10.0.0.0/8"), a.clone()),
+            ExportAction::Announce(p("11.0.0.0/8"), b),
+            ExportAction::Announce(p("12.0.0.0/8"), a),
+        ];
+        let updates = AdjRibOut::to_updates(&actions, 500);
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].nlri().len(), 3);
     }
 
     #[test]

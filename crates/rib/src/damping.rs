@@ -13,10 +13,9 @@
 //! simulated or wall-clock time supplied by the caller (seconds), so
 //! the same code serves the simulator and the live daemon.
 
-use std::collections::HashMap;
-
 use bgpbench_wire::Prefix;
 
+use crate::fxhash::FxHashMap;
 use crate::PeerId;
 
 /// Damping parameters (RFC 2439 §4.2; defaults follow the classic
@@ -92,7 +91,7 @@ struct FlapState {
 #[derive(Debug, Clone)]
 pub struct RouteDamper {
     config: DampingConfig,
-    states: HashMap<(PeerId, Prefix), FlapState>,
+    states: FxHashMap<(PeerId, Prefix), FlapState>,
 }
 
 impl RouteDamper {
@@ -100,7 +99,7 @@ impl RouteDamper {
     pub fn new(config: DampingConfig) -> Self {
         RouteDamper {
             config,
-            states: HashMap::new(),
+            states: FxHashMap::default(),
         }
     }
 

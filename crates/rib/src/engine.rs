@@ -1,92 +1,288 @@
 //! The RIB engine: Adj-RIB-In, Loc-RIB, and the update-processing
 //! pipeline that classifies every prefix-level change.
+//!
+//! Internally the engine keeps a *single* prefix-keyed table whose
+//! entries hold every peer's route for that prefix plus the index of
+//! the decision winner — the shared-entry layout production stacks
+//! use. One hash probe per prefix then covers "look up the peer's old
+//! route", "store the new one", and "consult the current best", where
+//! the textbook per-peer-map-plus-Loc-RIB-map arrangement needs three.
+//! [`AdjRibIn`] and [`LocRib`] remain available as borrowing views
+//! over that table, so the RFC 4271 §3.2 structure is still visible at
+//! the API.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 use bgpbench_wire::{Asn, Prefix, RouterId, UpdateMessage};
 
+use crate::attr_store::AttrStore;
 use crate::damping::{DampingConfig, FlapKind, RouteDamper};
 use crate::decision::{compare_routes, DecisionConfig};
+use crate::fxhash::FxHashMap;
 use crate::policy::PolicyEngine;
 use crate::route::{PeerId, PeerInfo, Route, RouteAttributes};
 use crate::RibError;
 
-/// One peer's Adj-RIB-In: the unprocessed routes received from that
-/// neighbor (RFC 4271 §3.2).
-#[derive(Debug, Clone, Default)]
-pub struct AdjRibIn {
-    table: HashMap<Prefix, Arc<RouteAttributes>>,
+/// One peer's contribution to a prefix entry.
+type PeerRoute = (PeerId, Arc<RouteAttributes>);
+
+/// Everything the engine knows about one prefix: each peer's route
+/// (the Adj-RIB-In slices) and which of them the decision process
+/// selected (the Loc-RIB slice). `rest` stays empty — and therefore
+/// allocation-free — in the common case of a prefix announced by a
+/// single peer, so installing a fresh route costs one table slot and
+/// nothing else.
+#[derive(Debug, Clone)]
+struct PrefixEntry {
+    first: PeerRoute,
+    rest: Vec<PeerRoute>,
+    /// Index of the selected best: 0 is `first`, `i` is `rest[i - 1]`.
+    best: u32,
 }
 
-impl AdjRibIn {
-    /// Creates an empty table.
-    pub fn new() -> Self {
-        AdjRibIn::default()
+impl PrefixEntry {
+    fn new(peer: PeerId, attrs: Arc<RouteAttributes>) -> Self {
+        PrefixEntry {
+            first: (peer, attrs),
+            rest: Vec::new(),
+            best: 0,
+        }
     }
 
-    /// Number of routes held.
+    fn len(&self) -> u32 {
+        1 + self.rest.len() as u32
+    }
+
+    fn route(&self, index: u32) -> &PeerRoute {
+        if index == 0 {
+            &self.first
+        } else {
+            &self.rest[index as usize - 1]
+        }
+    }
+
+    fn route_mut(&mut self, index: u32) -> &mut PeerRoute {
+        if index == 0 {
+            &mut self.first
+        } else {
+            &mut self.rest[index as usize - 1]
+        }
+    }
+
+    fn best_route(&self) -> &PeerRoute {
+        self.route(self.best)
+    }
+
+    fn position(&self, peer: PeerId) -> Option<u32> {
+        if self.first.0 == peer {
+            return Some(0);
+        }
+        self.rest
+            .iter()
+            .position(|(candidate, _)| *candidate == peer)
+            .map(|i| i as u32 + 1)
+    }
+
+    fn get(&self, peer: PeerId) -> Option<&Arc<RouteAttributes>> {
+        if self.first.0 == peer {
+            return Some(&self.first.1);
+        }
+        self.rest
+            .iter()
+            .find(|(candidate, _)| *candidate == peer)
+            .map(|(_, attrs)| attrs)
+    }
+
+    fn push(&mut self, peer: PeerId, attrs: Arc<RouteAttributes>) -> u32 {
+        self.rest.push((peer, attrs));
+        self.rest.len() as u32
+    }
+
+    /// Removes the route at `index`, preserving the order of the
+    /// others. The caller is responsible for fixing up `best`.
+    fn remove(&mut self, index: u32) -> PeerRoute {
+        if index == 0 {
+            let promoted = self.rest.remove(0);
+            std::mem::replace(&mut self.first, promoted)
+        } else {
+            self.rest.remove(index as usize - 1)
+        }
+    }
+
+    fn into_only(self) -> PeerRoute {
+        debug_assert!(self.rest.is_empty());
+        self.first
+    }
+}
+
+/// Re-runs the decision process over one entry's routes and returns
+/// the index of the winner. First-seen wins a tie, which cannot arise
+/// between distinct peers: [`compare_routes`] breaks exact attribute
+/// ties by router id.
+fn best_index(
+    config: &DecisionConfig,
+    local_asn: Asn,
+    peers: &FxHashMap<PeerId, PeerInfo>,
+    entry: &PrefixEntry,
+) -> u32 {
+    let mut best = 0;
+    for index in 1..entry.len() {
+        let (peer, attrs) = entry.route(index);
+        let (best_peer, best_attrs) = entry.route(best);
+        if compare_routes(
+            config,
+            local_asn,
+            attrs,
+            &peers[peer],
+            best_attrs,
+            &peers[best_peer],
+        ) == Ordering::Greater
+        {
+            best = index;
+        }
+    }
+    best
+}
+
+/// Lets the (non-best) route at `index` challenge the current best:
+/// if it wins the comparison it becomes the best and the change is a
+/// replacement; otherwise nothing changes. `compare_routes` is a total
+/// order, so a route that loses to the maximum leaves it untouched —
+/// this is the Scenario 5/6 "no FIB change" fast path.
+fn challenge(
+    config: &DecisionConfig,
+    local_asn: Asn,
+    peers: &FxHashMap<PeerId, PeerInfo>,
+    prefix: Prefix,
+    entry: &mut PrefixEntry,
+    index: u32,
+) -> (RouteChange, Option<FibDirective>) {
+    let (peer, attrs) = entry.route(index);
+    let (best_peer, best_attrs) = entry.best_route();
+    if compare_routes(
+        config,
+        local_asn,
+        attrs,
+        &peers[peer],
+        best_attrs,
+        &peers[best_peer],
+    ) != Ordering::Greater
+    {
+        return (RouteChange::Unchanged, None);
+    }
+    // One route per peer per prefix, so a winning challenger is
+    // necessarily from a different peer than the previous best.
+    let fib_changed = best_attrs.next_hop() != attrs.next_hop();
+    let next_hop = attrs.next_hop();
+    entry.best = index;
+    let fib = fib_changed.then_some(FibDirective::Install { prefix, next_hop });
+    (RouteChange::Replaced { fib_changed }, fib)
+}
+
+/// Classifies the transition from the previously selected
+/// `(old_peer, old_attrs)` to the entry's new best.
+fn classify_replacement(
+    prefix: Prefix,
+    old_peer: PeerId,
+    old_attrs: &Arc<RouteAttributes>,
+    new_peer: PeerId,
+    new_attrs: &Arc<RouteAttributes>,
+) -> (RouteChange, Option<FibDirective>) {
+    let same_attrs = Arc::ptr_eq(old_attrs, new_attrs) || old_attrs == new_attrs;
+    if old_peer == new_peer && same_attrs {
+        return (RouteChange::Unchanged, None);
+    }
+    let fib_changed = old_attrs.next_hop() != new_attrs.next_hop();
+    let fib = fib_changed.then_some(FibDirective::Install {
+        prefix,
+        next_hop: new_attrs.next_hop(),
+    });
+    (RouteChange::Replaced { fib_changed }, fib)
+}
+
+/// A read-only view of one peer's Adj-RIB-In: the unprocessed routes
+/// received from that neighbor (RFC 4271 §3.2).
+///
+/// Obtained from [`RibEngine::adj_rib_in`]. The engine stores every
+/// peer's routes in one shared prefix-keyed table; this view filters
+/// it down to a single peer, so [`AdjRibIn::get`] is one lookup while
+/// [`AdjRibIn::len`] and [`AdjRibIn::iter`] walk the table.
+#[derive(Debug, Clone, Copy)]
+pub struct AdjRibIn<'a> {
+    rib: &'a FxHashMap<Prefix, PrefixEntry>,
+    peer: PeerId,
+}
+
+impl<'a> AdjRibIn<'a> {
+    /// Number of routes held for this peer.
     pub fn len(&self) -> usize {
-        self.table.len()
+        let peer = self.peer;
+        self.rib
+            .values()
+            .filter(|entry| entry.get(peer).is_some())
+            .count()
     }
 
-    /// Whether the table is empty.
+    /// Whether the peer contributed no routes.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        let peer = self.peer;
+        !self.rib.values().any(|entry| entry.get(peer).is_some())
     }
 
     /// The attributes stored for `prefix`, if any.
-    pub fn get(&self, prefix: &Prefix) -> Option<&Arc<RouteAttributes>> {
-        self.table.get(prefix)
+    pub fn get(&self, prefix: &Prefix) -> Option<&'a Arc<RouteAttributes>> {
+        self.rib.get(prefix).and_then(|entry| entry.get(self.peer))
     }
 
     /// Iterates over `(prefix, attributes)` pairs in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &Arc<RouteAttributes>)> {
-        self.table.iter()
-    }
-
-    fn insert(&mut self, prefix: Prefix, attrs: Arc<RouteAttributes>) {
-        self.table.insert(prefix, attrs);
-    }
-
-    fn remove(&mut self, prefix: &Prefix) -> Option<Arc<RouteAttributes>> {
-        self.table.remove(prefix)
+    pub fn iter(&self) -> impl Iterator<Item = (&'a Prefix, &'a Arc<RouteAttributes>)> + 'a {
+        let peer = self.peer;
+        self.rib
+            .iter()
+            .filter_map(move |(prefix, entry)| entry.get(peer).map(|attrs| (prefix, attrs)))
     }
 }
 
-/// The Loc-RIB: routes selected by the local decision process
-/// (RFC 4271 §3.2). Distinct from the forwarding table — the paper
-/// emphasizes that updating the FIB after a Loc-RIB change is a
-/// separately costed operation.
-#[derive(Debug, Clone, Default)]
-pub struct LocRib {
-    table: HashMap<Prefix, Route>,
+/// A read-only view of the Loc-RIB: the routes selected by the local
+/// decision process (RFC 4271 §3.2). Distinct from the forwarding
+/// table — the paper emphasizes that updating the FIB after a Loc-RIB
+/// change is a separately costed operation.
+///
+/// Obtained from [`RibEngine::loc_rib`]. Every entry in the engine's
+/// shared table carries its selected best, so [`LocRib::len`] is the
+/// table length and [`LocRib::get`] is one lookup; it returns an owned
+/// [`Route`] (two `Copy` fields plus an `Arc` bump).
+#[derive(Debug, Clone, Copy)]
+pub struct LocRib<'a> {
+    rib: &'a FxHashMap<Prefix, PrefixEntry>,
 }
 
-impl LocRib {
-    /// Creates an empty Loc-RIB.
-    pub fn new() -> Self {
-        LocRib::default()
-    }
-
+impl<'a> LocRib<'a> {
     /// Number of selected routes.
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.rib.len()
     }
 
     /// Whether no routes are selected.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.rib.is_empty()
     }
 
     /// The selected route for `prefix`, if any.
-    pub fn get(&self, prefix: &Prefix) -> Option<&Route> {
-        self.table.get(prefix)
+    pub fn get(&self, prefix: &Prefix) -> Option<Route> {
+        self.rib.get(prefix).map(|entry| {
+            let (peer, attrs) = entry.best_route();
+            Route::new(*prefix, attrs.clone(), *peer)
+        })
     }
 
     /// Iterates over selected routes in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
-        self.table.iter()
+    pub fn iter(&self) -> impl Iterator<Item = Route> + 'a {
+        self.rib.iter().map(|(prefix, entry)| {
+            let (peer, attrs) = entry.best_route();
+            Route::new(*prefix, attrs.clone(), *peer)
+        })
     }
 }
 
@@ -180,9 +376,9 @@ pub struct RibEngine {
     local_id: RouterId,
     config: DecisionConfig,
     import_policy: PolicyEngine,
-    peers: HashMap<PeerId, PeerInfo>,
-    adj_in: HashMap<PeerId, AdjRibIn>,
-    loc_rib: LocRib,
+    peers: FxHashMap<PeerId, PeerInfo>,
+    rib: FxHashMap<Prefix, PrefixEntry>,
+    attr_store: AttrStore,
     stats: RibStats,
     damper: Option<RouteDamper>,
 }
@@ -196,9 +392,9 @@ impl RibEngine {
             local_id,
             config: DecisionConfig::default(),
             import_policy: PolicyEngine::permit_all(),
-            peers: HashMap::new(),
-            adj_in: HashMap::new(),
-            loc_rib: LocRib::new(),
+            peers: FxHashMap::default(),
+            rib: FxHashMap::default(),
+            attr_store: AttrStore::new(),
             stats: RibStats::default(),
             damper: None,
         }
@@ -262,7 +458,6 @@ impl RibEngine {
         let id = info.id();
         assert!(!self.peers.contains_key(&id), "peer {id} registered twice");
         self.peers.insert(id, info);
-        self.adj_in.insert(id, AdjRibIn::new());
         id
     }
 
@@ -277,16 +472,16 @@ impl RibEngine {
             return Err(RibError::UnknownPeer(peer.0));
         }
         let prefixes: Vec<Prefix> = self
-            .adj_in
-            .get(&peer)
-            .map(|rib| rib.iter().map(|(prefix, _)| *prefix).collect())
-            .unwrap_or_default();
+            .rib
+            .iter()
+            .filter(|(_, entry)| entry.get(peer).is_some())
+            .map(|(prefix, _)| *prefix)
+            .collect();
         let mut outcomes = Vec::with_capacity(prefixes.len());
         for prefix in prefixes {
             outcomes.push(self.withdraw_one(peer, prefix));
         }
         self.peers.remove(&peer);
-        self.adj_in.remove(&peer);
         Ok(outcomes)
     }
 
@@ -295,19 +490,37 @@ impl RibEngine {
         self.peers.values()
     }
 
-    /// A peer's Adj-RIB-In.
-    pub fn adj_rib_in(&self, peer: PeerId) -> Option<&AdjRibIn> {
-        self.adj_in.get(&peer)
+    /// A view of a peer's Adj-RIB-In, or `None` for an unknown peer.
+    pub fn adj_rib_in(&self, peer: PeerId) -> Option<AdjRibIn<'_>> {
+        self.peers.contains_key(&peer).then_some(AdjRibIn {
+            rib: &self.rib,
+            peer,
+        })
     }
 
-    /// The Loc-RIB.
-    pub fn loc_rib(&self) -> &LocRib {
-        &self.loc_rib
+    /// A view of the Loc-RIB.
+    pub fn loc_rib(&self) -> LocRib<'_> {
+        LocRib { rib: &self.rib }
     }
 
     /// Accumulated statistics.
     pub fn stats(&self) -> RibStats {
         self.stats
+    }
+
+    /// The path-attribute interner backing this engine's RIBs.
+    pub fn attr_store(&self) -> &AttrStore {
+        &self.attr_store
+    }
+
+    /// Pre-sizes the routing table for about `prefixes` routes,
+    /// avoiding incremental rehashing during a full-table load.
+    /// Production BGP speakers know the expected table size (a
+    /// configured maximum or the current Internet table size); calling
+    /// this before the initial flood is the moral equivalent of those
+    /// pre-sized allocations.
+    pub fn reserve(&mut self, prefixes: usize) {
+        self.rib.reserve(prefixes.saturating_sub(self.rib.len()));
     }
 
     /// Processes one UPDATE from `peer`: withdrawals first, then
@@ -351,13 +564,15 @@ impl RibEngine {
 
         for prefix in update.withdrawn() {
             self.stats.withdrawals += 1;
-            let had_route = self
-                .adj_in
-                .get(&peer)
-                .is_some_and(|rib| rib.get(prefix).is_some());
-            if had_route {
-                if let Some(damper) = &mut self.damper {
-                    damper.record_flap(peer, *prefix, FlapKind::Withdraw, now_secs);
+            if self.damper.is_some() {
+                let had_route = self
+                    .rib
+                    .get(prefix)
+                    .is_some_and(|entry| entry.get(peer).is_some());
+                if had_route {
+                    if let Some(damper) = &mut self.damper {
+                        damper.record_flap(peer, *prefix, FlapKind::Withdraw, now_secs);
+                    }
                 }
             }
             outcomes.push(self.withdraw_one(peer, *prefix));
@@ -382,21 +597,26 @@ impl RibEngine {
             return Ok(outcomes);
         }
 
-        // Policy may rewrite attributes per prefix; cache the common
-        // case where the result is prefix-independent (permit-all).
-        let shared: Option<Arc<RouteAttributes>> = if self.import_policy.is_empty() {
-            Some(Arc::new(attrs.clone()))
-        } else {
-            None
-        };
+        // The batched hot path: the packet's attribute set is decoded
+        // once (above) and interned once — every prefix below shares
+        // the same canonical Arc, and attribute equality against
+        // stored routes degenerates to pointer identity.
+        let interned = self.attr_store.intern(attrs);
+        // Policy may rewrite attributes per prefix; the permit-all
+        // common case reuses the interned Arc without evaluation.
+        let permit_all = self.import_policy.is_empty();
+        // Grow the table once per batch, not mid-loop.
+        self.rib.reserve(update.nlri().len());
 
         for prefix in update.nlri() {
             self.stats.announcements += 1;
             // Flap accounting and suppression check (RFC 2439).
             if let Some(damper) = &mut self.damper {
-                let existing = self.adj_in.get(&peer).and_then(|rib| rib.get(prefix));
+                let existing = self.rib.get(prefix).and_then(|entry| entry.get(peer));
                 let kind = match existing {
-                    Some(old) if old.as_ref() != &attrs => Some(FlapKind::AttributeChange),
+                    // Stored routes are interned, so pointer inequality
+                    // is value inequality.
+                    Some(old) if !Arc::ptr_eq(old, &interned) => Some(FlapKind::AttributeChange),
                     Some(_) => None, // identical re-announcement: no flap
                     None => Some(FlapKind::Reannounce),
                 };
@@ -413,12 +633,12 @@ impl RibEngine {
                     continue;
                 }
             }
-            let final_attrs = match &shared {
-                Some(arc) => Some(arc.clone()),
-                None => self
-                    .import_policy
-                    .evaluate(prefix, attrs.clone())
-                    .map(Arc::new),
+            let final_attrs = if permit_all {
+                Some(interned.clone())
+            } else {
+                self.import_policy
+                    .evaluate(prefix, (*interned).clone())
+                    .map(|rewritten| self.attr_store.intern(rewritten))
             };
             let outcome = match final_attrs {
                 Some(final_attrs) => self.announce_one(peer, *prefix, final_attrs),
@@ -433,38 +653,10 @@ impl RibEngine {
             };
             outcomes.push(outcome);
         }
+        // Drop the batch's working reference; if nothing admitted the
+        // set (all dampened/rejected), this evicts it from the store.
+        self.attr_store.release(interned);
         Ok(outcomes)
-    }
-
-    /// Re-runs the decision process for `prefix` over all Adj-RIBs-In
-    /// and returns the winning route, if any.
-    fn decide(&self, prefix: &Prefix) -> Option<Route> {
-        let mut best: Option<(&PeerInfo, &Arc<RouteAttributes>)> = None;
-        for (peer_id, rib) in &self.adj_in {
-            let Some(attrs) = rib.get(prefix) else {
-                continue;
-            };
-            let info = &self.peers[peer_id];
-            best = match best {
-                None => Some((info, attrs)),
-                Some((best_info, best_attrs)) => {
-                    let ordering = compare_routes(
-                        &self.config,
-                        self.local_asn,
-                        attrs,
-                        info,
-                        best_attrs,
-                        best_info,
-                    );
-                    if ordering == std::cmp::Ordering::Greater {
-                        Some((info, attrs))
-                    } else {
-                        Some((best_info, best_attrs))
-                    }
-                }
-            };
-        }
-        best.map(|(info, attrs)| Route::new(*prefix, attrs.clone(), info.id()))
     }
 
     fn announce_one(
@@ -473,62 +665,126 @@ impl RibEngine {
         prefix: Prefix,
         attrs: Arc<RouteAttributes>,
     ) -> PrefixOutcome {
-        self.adj_in
-            .get_mut(&peer)
-            .expect("peer checked by caller")
-            .insert(prefix, attrs);
-        self.reselect(prefix)
+        use std::collections::hash_map::Entry;
+        let (change, fib, old) = match self.rib.entry(prefix) {
+            Entry::Vacant(slot) => {
+                // First route for the prefix: it wins by definition,
+                // with no comparison and no further lookup.
+                let next_hop = attrs.next_hop();
+                slot.insert(PrefixEntry::new(peer, attrs));
+                (
+                    RouteChange::Installed,
+                    Some(FibDirective::Install { prefix, next_hop }),
+                    None,
+                )
+            }
+            Entry::Occupied(slot) => {
+                let entry = slot.into_mut();
+                match entry.position(peer) {
+                    Some(index) => {
+                        // Identical re-announcement (interned sets are
+                        // value-equal iff pointer-equal): the route set
+                        // did not change, so the decision outcome
+                        // cannot change either.
+                        if Arc::ptr_eq(&entry.route(index).1, &attrs) {
+                            (RouteChange::Unchanged, None, None)
+                        } else {
+                            let old = std::mem::replace(&mut entry.route_mut(index).1, attrs);
+                            let (change, fib) = if entry.best == index {
+                                // The best route's attributes changed:
+                                // any route may now win — rescan.
+                                entry.best =
+                                    best_index(&self.config, self.local_asn, &self.peers, entry);
+                                let (new_peer, new_attrs) = entry.best_route();
+                                classify_replacement(prefix, peer, &old, *new_peer, new_attrs)
+                            } else {
+                                challenge(
+                                    &self.config,
+                                    self.local_asn,
+                                    &self.peers,
+                                    prefix,
+                                    entry,
+                                    index,
+                                )
+                            };
+                            (change, fib, Some(old))
+                        }
+                    }
+                    None => {
+                        let index = entry.push(peer, attrs);
+                        let (change, fib) = challenge(
+                            &self.config,
+                            self.local_asn,
+                            &self.peers,
+                            prefix,
+                            entry,
+                            index,
+                        );
+                        (change, fib, None)
+                    }
+                }
+            }
+        };
+        if let Some(old) = old {
+            self.attr_store.release(old);
+        }
+        self.finish(prefix, change, fib)
     }
 
     fn withdraw_one(&mut self, peer: PeerId, prefix: Prefix) -> PrefixOutcome {
-        let removed = self
-            .adj_in
-            .get_mut(&peer)
-            .and_then(|rib| rib.remove(&prefix));
-        if removed.is_none() {
+        use std::collections::hash_map::Entry;
+        let Entry::Occupied(slot) = self.rib.entry(prefix) else {
             return PrefixOutcome {
                 prefix,
                 change: RouteChange::WithdrawnUnknown,
                 fib: None,
             };
-        }
-        self.reselect(prefix)
+        };
+        let Some(index) = slot.get().position(peer) else {
+            return PrefixOutcome {
+                prefix,
+                change: RouteChange::WithdrawnUnknown,
+                fib: None,
+            };
+        };
+        let (change, fib, old) = if slot.get().len() == 1 {
+            // Last route for the prefix: drop the whole entry.
+            let (_, old) = slot.remove().into_only();
+            (
+                RouteChange::Withdrawn,
+                Some(FibDirective::Remove { prefix }),
+                old,
+            )
+        } else {
+            let entry = slot.into_mut();
+            let was_best = entry.best == index;
+            let (_, old) = entry.remove(index);
+            let (change, fib) = if was_best {
+                entry.best = best_index(&self.config, self.local_asn, &self.peers, entry);
+                let (new_peer, new_attrs) = entry.best_route();
+                classify_replacement(prefix, peer, &old, *new_peer, new_attrs)
+            } else {
+                // Removing a losing route cannot change the best; just
+                // repair the index shifted by the removal.
+                if entry.best > index {
+                    entry.best -= 1;
+                }
+                (RouteChange::Unchanged, None)
+            };
+            (change, fib, old)
+        };
+        self.attr_store.release(old);
+        self.finish(prefix, change, fib)
     }
 
-    /// Recomputes the best route for `prefix` and classifies the change
-    /// against the previous Loc-RIB entry.
-    fn reselect(&mut self, prefix: Prefix) -> PrefixOutcome {
-        let new_best = self.decide(&prefix);
-        let old_best = self.loc_rib.table.get(&prefix);
-        let (change, fib) = match (old_best, &new_best) {
-            (None, None) => (RouteChange::Unchanged, None),
-            (None, Some(new)) => (
-                RouteChange::Installed,
-                Some(FibDirective::Install {
-                    prefix,
-                    next_hop: new.attrs().next_hop(),
-                }),
-            ),
-            (Some(old), None) => {
-                let _ = old;
-                (
-                    RouteChange::Withdrawn,
-                    Some(FibDirective::Remove { prefix }),
-                )
-            }
-            (Some(old), Some(new)) => {
-                if old.learned_from() == new.learned_from() && old.attrs() == new.attrs() {
-                    (RouteChange::Unchanged, None)
-                } else {
-                    let fib_changed = old.attrs().next_hop() != new.attrs().next_hop();
-                    let fib = fib_changed.then_some(FibDirective::Install {
-                        prefix,
-                        next_hop: new.attrs().next_hop(),
-                    });
-                    (RouteChange::Replaced { fib_changed }, fib)
-                }
-            }
-        };
+    /// Folds a classified change into the statistics and wraps it in
+    /// the per-prefix outcome.
+    fn finish(
+        &mut self,
+        prefix: Prefix,
+        change: RouteChange,
+        fib: Option<FibDirective>,
+    ) -> PrefixOutcome {
         match &fib {
             Some(FibDirective::Install { .. }) => self.stats.fib_installs += 1,
             Some(FibDirective::Remove { .. }) => self.stats.fib_removes += 1,
@@ -536,14 +792,6 @@ impl RibEngine {
         }
         if !matches!(change, RouteChange::Unchanged) {
             self.stats.best_changed += 1;
-        }
-        match new_best {
-            Some(route) => {
-                self.loc_rib.table.insert(prefix, route);
-            }
-            None => {
-                self.loc_rib.table.remove(&prefix);
-            }
         }
         PrefixOutcome {
             prefix,
@@ -561,18 +809,17 @@ impl RibEngine {
         peer: PeerId,
         local_address: std::net::Ipv4Addr,
     ) -> Vec<(Prefix, Arc<RouteAttributes>)> {
-        let mut cache: HashMap<*const RouteAttributes, Arc<RouteAttributes>> = HashMap::new();
+        let mut cache: FxHashMap<*const RouteAttributes, Arc<RouteAttributes>> =
+            FxHashMap::default();
         let mut routes: Vec<(Prefix, Arc<RouteAttributes>)> = self
-            .loc_rib
+            .rib
             .iter()
-            .filter(|(_, route)| route.learned_from() != peer)
-            .map(|(prefix, route)| {
-                let key = Arc::as_ptr(route.attrs());
+            .filter(|(_, entry)| entry.best_route().0 != peer)
+            .map(|(prefix, entry)| {
+                let attrs = &entry.best_route().1;
                 let exported = cache
-                    .entry(key)
-                    .or_insert_with(|| {
-                        Arc::new(route.attrs().exported(self.local_asn, local_address))
-                    })
+                    .entry(Arc::as_ptr(attrs))
+                    .or_insert_with(|| Arc::new(attrs.exported(self.local_asn, local_address)))
                     .clone();
                 (*prefix, exported)
             })
@@ -581,7 +828,6 @@ impl RibEngine {
         routes
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -942,5 +1188,65 @@ mod tests {
         assert_eq!(stats.fib_installs, 1);
         assert_eq!(stats.fib_removes, 1);
         assert_eq!(stats.best_changed, 2);
+    }
+
+    #[test]
+    fn attributes_are_interned_across_prefixes_and_messages() {
+        let (mut engine, p1, _) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8", "11.0.0.0/8"]))
+            .unwrap();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["12.0.0.0/8"]))
+            .unwrap();
+        // Three prefixes, one attribute set: one allocation.
+        assert_eq!(engine.attr_store().len(), 1);
+        let rib = engine.adj_rib_in(p1).unwrap();
+        let a = rib.get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        let b = rib.get(&"12.0.0.0/8".parse().unwrap()).unwrap();
+        assert!(Arc::ptr_eq(a, b));
+        // The Loc-RIB best shares the same allocation.
+        let best = engine
+            .loc_rib()
+            .get(&"10.0.0.0/8".parse().unwrap())
+            .unwrap();
+        assert!(Arc::ptr_eq(best.attrs(), a));
+    }
+
+    #[test]
+    fn attr_store_drains_after_withdraw_storm() {
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        let prefixes: Vec<String> = (0..64).map(|i| format!("10.{i}.0.0/16")).collect();
+        let prefix_refs: Vec<&str> = prefixes.iter().map(String::as_str).collect();
+        for round in 0..10u16 {
+            engine
+                .apply_update(p1, &announce(&[65001, 64000 + round], HOP1, &prefix_refs))
+                .unwrap();
+            engine
+                .apply_update(p2, &announce(&[65002, 64000 + round], HOP2, &prefix_refs))
+                .unwrap();
+            engine.apply_update(p1, &withdraw(&prefix_refs)).unwrap();
+            engine.apply_update(p2, &withdraw(&prefix_refs)).unwrap();
+        }
+        // Every round's attribute sets were fully withdrawn: the store
+        // must not accumulate dead entries.
+        assert_eq!(engine.attr_store().len(), 0);
+        assert!(engine.loc_rib().is_empty());
+        assert_eq!(engine.attr_store().stats().released, 20);
+    }
+
+    #[test]
+    fn remove_peer_releases_interned_attributes() {
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        engine
+            .apply_update(p2, &announce(&[65002, 65001], HOP2, &["10.0.0.0/8"]))
+            .unwrap();
+        assert_eq!(engine.attr_store().len(), 2);
+        engine.remove_peer(p1).unwrap();
+        engine.remove_peer(p2).unwrap();
+        assert_eq!(engine.attr_store().len(), 0);
     }
 }

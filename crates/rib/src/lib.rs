@@ -40,14 +40,17 @@
 //! ```
 
 mod adj_out;
+mod attr_store;
 mod damping;
 mod decision;
 mod engine;
 mod error;
+pub mod fxhash;
 mod policy;
 mod route;
 
 pub use adj_out::{AdjRibOut, ExportAction};
+pub use attr_store::{AttrStore, AttrStoreStats};
 pub use damping::{DampingConfig, FlapKind, RouteDamper};
 pub use decision::{compare_routes, DecisionConfig};
 pub use engine::{AdjRibIn, FibDirective, LocRib, PrefixOutcome, RibEngine, RibStats, RouteChange};

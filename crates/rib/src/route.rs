@@ -65,8 +65,9 @@ impl PeerInfo {
 ///
 /// Attribute sets are immutable once built and shared via [`Arc`], the
 /// same "path attribute interning" real BGP implementations use to keep
-/// per-prefix memory small.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// per-prefix memory small. [`crate::AttrStore`] hash-conses them, so
+/// the `Hash` implementation must stay consistent with `Eq`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RouteAttributes {
     origin: Origin,
     as_path: AsPath,
@@ -117,11 +118,29 @@ impl RouteAttributes {
     /// Extracts an attribute set from the attributes of an UPDATE that
     /// announces NLRI.
     ///
+    /// Clones each attribute value exactly once; when the caller owns
+    /// the attribute vector, [`RouteAttributes::from_wire_owned`]
+    /// avoids even that.
+    ///
     /// # Errors
     ///
     /// Returns [`RibError::MissingMandatoryAttribute`] if ORIGIN,
     /// AS_PATH, or NEXT_HOP is absent (RFC 4271 §6.3).
     pub fn from_wire(attrs: &[PathAttribute]) -> Result<Self, RibError> {
+        Self::from_wire_owned(attrs.iter().cloned())
+    }
+
+    /// [`RouteAttributes::from_wire`] over owned attributes: the AS
+    /// path and community vectors are moved into the result instead of
+    /// cloned.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RouteAttributes::from_wire`].
+    pub fn from_wire_owned<I>(attrs: I) -> Result<Self, RibError>
+    where
+        I: IntoIterator<Item = PathAttribute>,
+    {
         let mut origin = None;
         let mut as_path = None;
         let mut next_hop = None;
@@ -131,13 +150,13 @@ impl RouteAttributes {
         let mut communities = Vec::new();
         for attr in attrs {
             match attr {
-                PathAttribute::Origin(value) => origin = Some(*value),
-                PathAttribute::AsPath(value) => as_path = Some(value.clone()),
-                PathAttribute::NextHop(value) => next_hop = Some(*value),
-                PathAttribute::Med(value) => med = Some(*value),
-                PathAttribute::LocalPref(value) => local_pref = Some(*value),
+                PathAttribute::Origin(value) => origin = Some(value),
+                PathAttribute::AsPath(value) => as_path = Some(value),
+                PathAttribute::NextHop(value) => next_hop = Some(value),
+                PathAttribute::Med(value) => med = Some(value),
+                PathAttribute::LocalPref(value) => local_pref = Some(value),
                 PathAttribute::AtomicAggregate => atomic_aggregate = true,
-                PathAttribute::Communities(values) => communities = values.clone(),
+                PathAttribute::Communities(values) => communities = values,
                 PathAttribute::Aggregator { .. } | PathAttribute::Unknown { .. } => {}
             }
         }
@@ -158,11 +177,19 @@ impl RouteAttributes {
         })
     }
 
-    /// Serializes back into wire path attributes.
+    /// Serializes back into wire path attributes (cloning the AS path
+    /// and community vectors; [`RouteAttributes::into_wire`] moves
+    /// them instead).
     pub fn to_wire(&self) -> Vec<PathAttribute> {
+        self.clone().into_wire()
+    }
+
+    /// Consumes the set, serializing into wire path attributes without
+    /// cloning the AS path or community vectors.
+    pub fn into_wire(self) -> Vec<PathAttribute> {
         let mut attrs = vec![
             PathAttribute::Origin(self.origin),
-            PathAttribute::AsPath(self.as_path.clone()),
+            PathAttribute::AsPath(self.as_path),
             PathAttribute::NextHop(self.next_hop),
         ];
         if let Some(med) = self.med {
@@ -175,7 +202,7 @@ impl RouteAttributes {
             attrs.push(PathAttribute::AtomicAggregate);
         }
         if !self.communities.is_empty() {
-            attrs.push(PathAttribute::Communities(self.communities.clone()));
+            attrs.push(PathAttribute::Communities(self.communities));
         }
         attrs
     }
@@ -339,6 +366,17 @@ mod tests {
         let wire = attrs.to_wire();
         let back = RouteAttributes::from_wire(&wire).unwrap();
         assert_eq!(back, attrs);
+    }
+
+    #[test]
+    fn owned_wire_roundtrip_matches_borrowed() {
+        let mut wire = base_attrs();
+        wire.push(PathAttribute::Communities(vec![7, 8, 9]));
+        let borrowed = RouteAttributes::from_wire(&wire).unwrap();
+        let owned = RouteAttributes::from_wire_owned(wire.clone()).unwrap();
+        assert_eq!(borrowed, owned);
+        assert_eq!(owned.clone().into_wire(), owned.to_wire());
+        assert_eq!(owned.into_wire(), wire);
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! Equivalence proptests: the interned, batched engine must behave
+//! exactly like a naive reference implementation that clones attribute
+//! sets per prefix and re-runs the full decision scan on every change
+//! (the pre-interning semantics).
+//!
+//! The reference engine here deliberately avoids every fast path the
+//! real engine uses: no hash-consing (fresh `RouteAttributes` value per
+//! prefix), value-equality everywhere, `BTreeMap` tables, and a full
+//! rescan of all Adj-RIBs-In after each announce/withdraw. If the real
+//! engine's pointer-identity shortcuts or decision early-outs ever
+//! diverge from plain value semantics, these tests catch it.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use bgpbench_rib::{
+    compare_routes, DampingConfig, DecisionConfig, FibDirective, FlapKind, PeerId, PeerInfo,
+    PolicyAction, PolicyEngine, PolicyRule, PrefixOutcome, RibEngine, RibStats, RouteAttributes,
+    RouteChange, RouteDamper, RouteMatcher,
+};
+use bgpbench_wire::{AsPath, Asn, Origin, Prefix, RouterId, UpdateMessage};
+use proptest::prelude::*;
+
+const LOCAL_ASN: Asn = Asn(65000);
+
+/// The naive reference: value semantics, full rescans, no sharing.
+struct RefEngine {
+    local_asn: Asn,
+    config: DecisionConfig,
+    policy: PolicyEngine,
+    peers: Vec<PeerInfo>,
+    adj_in: BTreeMap<PeerId, BTreeMap<Prefix, RouteAttributes>>,
+    loc_rib: BTreeMap<Prefix, (PeerId, RouteAttributes)>,
+    damper: Option<RouteDamper>,
+    stats: RibStats,
+}
+
+impl RefEngine {
+    fn new(peers: Vec<PeerInfo>, policy: PolicyEngine, damping: Option<DampingConfig>) -> Self {
+        let adj_in = peers
+            .iter()
+            .map(|info| (info.id(), BTreeMap::new()))
+            .collect();
+        RefEngine {
+            local_asn: LOCAL_ASN,
+            config: DecisionConfig::default(),
+            policy,
+            peers,
+            adj_in,
+            loc_rib: BTreeMap::new(),
+            damper: damping.map(RouteDamper::new),
+            stats: RibStats::default(),
+        }
+    }
+
+    fn peer_info(&self, peer: PeerId) -> &PeerInfo {
+        self.peers.iter().find(|info| info.id() == peer).unwrap()
+    }
+
+    fn apply_update_at(
+        &mut self,
+        peer: PeerId,
+        update: &UpdateMessage,
+        now_secs: f64,
+    ) -> Vec<PrefixOutcome> {
+        self.stats.updates += 1;
+        let mut outcomes = Vec::new();
+
+        for prefix in update.withdrawn() {
+            self.stats.withdrawals += 1;
+            let had_route = self.adj_in[&peer].contains_key(prefix);
+            if had_route {
+                if let Some(damper) = &mut self.damper {
+                    damper.record_flap(peer, *prefix, FlapKind::Withdraw, now_secs);
+                }
+            }
+            outcomes.push(self.withdraw_one(peer, *prefix));
+        }
+
+        if update.nlri().is_empty() {
+            return outcomes;
+        }
+        let attrs = RouteAttributes::from_wire(update.attributes()).unwrap();
+        if attrs.as_path().contains(self.local_asn) {
+            for prefix in update.nlri() {
+                self.stats.announcements += 1;
+                self.stats.loop_rejected += 1;
+                outcomes.push(PrefixOutcome {
+                    prefix: *prefix,
+                    change: RouteChange::RejectedAsLoop,
+                    fib: None,
+                });
+            }
+            return outcomes;
+        }
+
+        for prefix in update.nlri() {
+            self.stats.announcements += 1;
+            if let Some(damper) = &mut self.damper {
+                let existing = self.adj_in[&peer].get(prefix);
+                let kind = match existing {
+                    Some(old) if old != &attrs => Some(FlapKind::AttributeChange),
+                    Some(_) => None,
+                    None => Some(FlapKind::Reannounce),
+                };
+                if let Some(kind) = kind {
+                    damper.record_flap(peer, *prefix, kind, now_secs);
+                }
+                if damper.is_suppressed(peer, prefix, now_secs) {
+                    self.stats.dampened += 1;
+                    outcomes.push(PrefixOutcome {
+                        prefix: *prefix,
+                        change: RouteChange::Dampened,
+                        fib: None,
+                    });
+                    continue;
+                }
+            }
+            let outcome = match self.policy.evaluate(prefix, attrs.clone()) {
+                Some(final_attrs) => {
+                    self.adj_in
+                        .get_mut(&peer)
+                        .unwrap()
+                        .insert(*prefix, final_attrs);
+                    self.reselect(*prefix)
+                }
+                None => {
+                    self.stats.policy_rejected += 1;
+                    PrefixOutcome {
+                        prefix: *prefix,
+                        change: RouteChange::RejectedByPolicy,
+                        fib: None,
+                    }
+                }
+            };
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+
+    fn withdraw_one(&mut self, peer: PeerId, prefix: Prefix) -> PrefixOutcome {
+        if self
+            .adj_in
+            .get_mut(&peer)
+            .unwrap()
+            .remove(&prefix)
+            .is_none()
+        {
+            return PrefixOutcome {
+                prefix,
+                change: RouteChange::WithdrawnUnknown,
+                fib: None,
+            };
+        }
+        self.reselect(prefix)
+    }
+
+    /// Full rescan of every Adj-RIB-In, exactly the pre-optimization
+    /// classification.
+    fn reselect(&mut self, prefix: Prefix) -> PrefixOutcome {
+        let mut new_best: Option<(PeerId, RouteAttributes)> = None;
+        for info in &self.peers {
+            let Some(attrs) = self.adj_in[&info.id()].get(&prefix) else {
+                continue;
+            };
+            new_best = match new_best {
+                None => Some((info.id(), attrs.clone())),
+                Some((best_peer, best_attrs)) => {
+                    let ordering = compare_routes(
+                        &self.config,
+                        self.local_asn,
+                        attrs,
+                        info,
+                        &best_attrs,
+                        self.peer_info(best_peer),
+                    );
+                    if ordering == Ordering::Greater {
+                        Some((info.id(), attrs.clone()))
+                    } else {
+                        Some((best_peer, best_attrs))
+                    }
+                }
+            };
+        }
+        let old_best = self.loc_rib.get(&prefix);
+        let (change, fib) = match (old_best, &new_best) {
+            (None, None) => (RouteChange::Unchanged, None),
+            (None, Some((_, new))) => (
+                RouteChange::Installed,
+                Some(FibDirective::Install {
+                    prefix,
+                    next_hop: new.next_hop(),
+                }),
+            ),
+            (Some(_), None) => (
+                RouteChange::Withdrawn,
+                Some(FibDirective::Remove { prefix }),
+            ),
+            (Some((old_peer, old)), Some((new_peer, new))) => {
+                if old_peer == new_peer && old == new {
+                    (RouteChange::Unchanged, None)
+                } else {
+                    let fib_changed = old.next_hop() != new.next_hop();
+                    let fib = fib_changed.then_some(FibDirective::Install {
+                        prefix,
+                        next_hop: new.next_hop(),
+                    });
+                    (RouteChange::Replaced { fib_changed }, fib)
+                }
+            }
+        };
+        match &fib {
+            Some(FibDirective::Install { .. }) => self.stats.fib_installs += 1,
+            Some(FibDirective::Remove { .. }) => self.stats.fib_removes += 1,
+            None => {}
+        }
+        if !matches!(change, RouteChange::Unchanged) {
+            self.stats.best_changed += 1;
+        }
+        match new_best {
+            Some((peer, attrs)) => {
+                self.loc_rib.insert(prefix, (peer, attrs));
+            }
+            None => {
+                self.loc_rib.remove(&prefix);
+            }
+        }
+        PrefixOutcome {
+            prefix,
+            change,
+            fib,
+        }
+    }
+}
+
+fn peer_pool() -> Vec<PeerInfo> {
+    vec![
+        PeerInfo::new(
+            PeerId(1),
+            Asn(65001),
+            RouterId(0x0A00_0002),
+            Ipv4Addr::new(10, 0, 0, 2),
+        ),
+        PeerInfo::new(
+            PeerId(2),
+            Asn(65002),
+            RouterId(0x0A00_0003),
+            Ipv4Addr::new(10, 0, 0, 3),
+        ),
+        PeerInfo::new(
+            PeerId(3),
+            Asn(65003),
+            RouterId(0x0A00_0004),
+            Ipv4Addr::new(10, 0, 0, 4),
+        ),
+    ]
+}
+
+fn arb_attrs() -> impl Strategy<Value = RouteAttributes> {
+    (
+        prop_oneof![
+            Just(Origin::Igp),
+            Just(Origin::Egp),
+            Just(Origin::Incomplete)
+        ],
+        prop::collection::vec(1u16..9999, 1..5),
+        any::<u32>(),
+        prop::option::of(0u32..1000),
+        prop::option::of(0u32..1000),
+    )
+        .prop_map(|(origin, path, hop, med, pref)| {
+            let mut attrs = RouteAttributes::new(
+                origin,
+                AsPath::from_sequence(path.into_iter().map(Asn)),
+                Ipv4Addr::from(hop),
+            );
+            if let Some(med) = med {
+                attrs = attrs.with_med(med);
+            }
+            if let Some(pref) = pref {
+                attrs = attrs.with_local_pref(pref);
+            }
+            attrs
+        })
+}
+
+/// One step of an update stream: a subset of the prefix pool announced
+/// with one attribute set from the pool, another subset withdrawn, from
+/// one peer, some time after the previous step.
+#[derive(Debug, Clone)]
+struct Op {
+    peer: usize,
+    attr: prop::sample::Index,
+    announce_mask: u8,
+    withdraw_mask: u8,
+    dt_secs: f64,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (
+            0..3usize,
+            any::<prop::sample::Index>(),
+            any::<u8>(),
+            any::<u8>(),
+            0.0..30.0f64,
+        )
+            .prop_map(|(peer, attr, announce_mask, withdraw_mask, dt_secs)| Op {
+                peer,
+                attr,
+                announce_mask,
+                withdraw_mask,
+                dt_secs,
+            }),
+        1..32,
+    )
+}
+
+fn masked(pool: &[Prefix], mask: u8) -> Vec<Prefix> {
+    pool.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << (i % 8)) != 0 && *i < 8)
+        .map(|(_, prefix)| *prefix)
+        .collect()
+}
+
+fn build_message(
+    attrs: &RouteAttributes,
+    announce: &[Prefix],
+    withdraw: &[Prefix],
+) -> UpdateMessage {
+    let mut builder = UpdateMessage::builder().withdraw_all(withdraw.iter().copied());
+    if !announce.is_empty() {
+        for attr in attrs.to_wire() {
+            builder = builder.attribute(attr);
+        }
+        builder = builder.announce_all(announce.iter().copied());
+    }
+    builder.build()
+}
+
+/// Drives both engines through the same stream and asserts identical
+/// outcome sequences, Loc-RIB contents, Adj-RIB-In contents, and stats.
+fn check_equivalence(
+    attr_pool: &[RouteAttributes],
+    prefix_pool: &[Prefix],
+    ops: &[Op],
+    policy: PolicyEngine,
+    damping: Option<DampingConfig>,
+) -> Result<(), TestCaseError> {
+    let peers = peer_pool();
+    let mut real = RibEngine::new(LOCAL_ASN, RouterId(1));
+    for info in &peers {
+        real.add_peer(*info);
+    }
+    real.set_import_policy(policy.clone());
+    if let Some(config) = damping {
+        real.enable_damping(config);
+    }
+    let mut reference = RefEngine::new(peers.clone(), policy, damping);
+
+    let mut now = 0.0f64;
+    for op in ops {
+        now += op.dt_secs;
+        let peer = peers[op.peer].id();
+        let attrs = &attr_pool[op.attr.index(attr_pool.len())];
+        let announce = masked(prefix_pool, op.announce_mask);
+        let withdraw = masked(prefix_pool, op.withdraw_mask);
+        let update = build_message(attrs, &announce, &withdraw);
+
+        let got = real.apply_update_at(peer, &update, now).unwrap();
+        let want = reference.apply_update_at(peer, &update, now);
+        prop_assert_eq!(&got, &want, "outcomes diverge at t={}", now);
+    }
+
+    // Loc-RIB: same prefixes, same selected peer, same attribute values.
+    prop_assert_eq!(real.loc_rib().len(), reference.loc_rib.len());
+    for (prefix, (want_peer, want_attrs)) in &reference.loc_rib {
+        let route = real.loc_rib().get(prefix).expect("missing Loc-RIB entry");
+        prop_assert_eq!(route.learned_from(), *want_peer);
+        prop_assert_eq!(route.attrs().as_ref(), want_attrs);
+    }
+    // Adj-RIBs-In: identical contents by value.
+    for info in &peer_pool() {
+        let real_rib = real.adj_rib_in(info.id()).unwrap();
+        let want_rib = &reference.adj_in[&info.id()];
+        prop_assert_eq!(real_rib.len(), want_rib.len());
+        for (prefix, want_attrs) in want_rib {
+            let got = real_rib.get(prefix).expect("missing Adj-RIB-In entry");
+            prop_assert_eq!(got.as_ref(), want_attrs);
+        }
+    }
+    prop_assert_eq!(real.stats(), reference.stats);
+    Ok(())
+}
+
+fn arb_prefix_pool() -> impl Strategy<Value = Vec<Prefix>> {
+    prop::collection::btree_set(any::<u16>(), 3..8).prop_map(|seeds| {
+        seeds
+            .into_iter()
+            .map(|seed| Prefix::new_masked(Ipv4Addr::from(u32::from(seed) << 12), 20).unwrap())
+            .collect()
+    })
+}
+
+fn test_policy() -> PolicyEngine {
+    PolicyEngine::from_rules([
+        PolicyRule::new(RouteMatcher::AsPathContains(Asn(666)), PolicyAction::Reject),
+        PolicyRule::new(
+            RouteMatcher::PrefixLengthBetween(0, 20),
+            PolicyAction::SetLocalPref(120),
+        ),
+        PolicyRule::new(RouteMatcher::Any, PolicyAction::AddCommunity(0x0001_0002)),
+    ])
+}
+
+proptest! {
+    /// Permit-all policy, no damping: the pure interned fast path.
+    #[test]
+    fn interned_engine_matches_reference(
+        attr_pool in prop::collection::vec(arb_attrs(), 2..5),
+        prefix_pool in arb_prefix_pool(),
+        ops in arb_ops(),
+    ) {
+        check_equivalence(
+            &attr_pool,
+            &prefix_pool,
+            &ops,
+            PolicyEngine::permit_all(),
+            None,
+        )?;
+    }
+
+    /// A rewriting/rejecting policy exercises the intern-after-policy
+    /// path (rewritten attribute sets are interned separately).
+    #[test]
+    fn interned_engine_matches_reference_under_policy(
+        attr_pool in prop::collection::vec(arb_attrs(), 2..5),
+        prefix_pool in arb_prefix_pool(),
+        ops in arb_ops(),
+    ) {
+        check_equivalence(&attr_pool, &prefix_pool, &ops, test_policy(), None)?;
+    }
+
+    /// Damping on: flap-kind classification via pointer identity must
+    /// match the reference's value comparisons.
+    #[test]
+    fn interned_engine_matches_reference_with_damping(
+        attr_pool in prop::collection::vec(arb_attrs(), 2..5),
+        prefix_pool in arb_prefix_pool(),
+        ops in arb_ops(),
+    ) {
+        check_equivalence(
+            &attr_pool,
+            &prefix_pool,
+            &ops,
+            PolicyEngine::permit_all(),
+            Some(DampingConfig::default()),
+        )?;
+    }
+}
+
+/// Sustained churn must not leak interned attribute sets: after a full
+/// withdraw of everything, the store is empty.
+#[test]
+fn attr_store_is_bounded_across_withdraw_storms() {
+    let peers = peer_pool();
+    let mut engine = RibEngine::new(LOCAL_ASN, RouterId(1));
+    for info in &peers {
+        engine.add_peer(*info);
+    }
+    let prefixes: Vec<Prefix> = (0..32u32)
+        .map(|i| Prefix::new_masked(Ipv4Addr::from(i << 16), 16).unwrap())
+        .collect();
+    for round in 0..20u16 {
+        for info in &peers {
+            let attrs = RouteAttributes::new(
+                Origin::Igp,
+                AsPath::from_sequence([Asn(info.asn().0), Asn(1000 + round)]),
+                info.address(),
+            );
+            let update = build_message(&attrs, &prefixes, &[]);
+            engine.apply_update(info.id(), &update).unwrap();
+        }
+        // The store holds exactly one entry per announcing peer.
+        assert_eq!(engine.attr_store().len(), peers.len());
+        let withdraw = build_message(
+            &RouteAttributes::new(
+                Origin::Igp,
+                AsPath::from_sequence([Asn(1)]),
+                Ipv4Addr::UNSPECIFIED,
+            ),
+            &[],
+            &prefixes,
+        );
+        for info in &peers {
+            engine.apply_update(info.id(), &withdraw).unwrap();
+        }
+        assert_eq!(
+            engine.attr_store().len(),
+            0,
+            "store leaked in round {round}"
+        );
+    }
+    assert!(engine.loc_rib().is_empty());
+}
