@@ -1,0 +1,32 @@
+//! The measured Figures 3–4 report: per-process decomposition derived
+//! from telemetry spans and the simulator's cycle attribution, instead
+//! of the model-emitted CPU series `fig3`/`fig4` plot.
+//!
+//! ```text
+//! cargo run --release -p bgpbench-bench --bin fig34_breakdown -- [--quick] [--csv [<path>]]
+//! ```
+//!
+//! Cells run serially regardless of `--threads`: the telemetry registry
+//! is process-global, so parallel cells would blend their attribution.
+
+use bgpbench_bench::Cli;
+use bgpbench_core::fig34_breakdown;
+
+fn main() {
+    let cli = Cli::from_env();
+    eprintln!(
+        "measuring 8 scenarios on the Pentium III ({}/{} prefixes small/large), serially...",
+        cli.config.small_prefixes, cli.config.large_prefixes
+    );
+    let breakdown = fig34_breakdown(&cli.config);
+    cli.emit(&breakdown);
+    let violations = breakdown.check_shape();
+    if violations.is_empty() {
+        println!("\nthe paper's Fig. 3-4 shape emerges from the instrumentation");
+    } else {
+        println!("\nshape mismatches:");
+        for violation in &violations {
+            println!("  - {violation}");
+        }
+    }
+}

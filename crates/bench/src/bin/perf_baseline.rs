@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p bgpbench-bench --bin perf_baseline -- \
-//!     [--quick] [--samples <n>] [--out <path>]
+//!     [--quick] [--samples <n>] [--out <path>] \
+//!     [--init | --check] [--tolerance <pct>] [--telemetry]
 //! ```
 //!
 //! Each scenario reports the median wall time per iteration and the
@@ -13,12 +14,25 @@
 //! taken at the pre-interning two-map engine (commit d66c2f8) on the
 //! same harness, so the speedup the optimization bought is recorded in
 //! the artifact itself.
+//!
+//! The tracked baseline at `--out` must already exist: by default the
+//! run compares against it and rewrites it, and exits non-zero with a
+//! pointer at `--init` when the file is missing — a missing baseline
+//! used to be silently replaced by a fresh one, which turned every
+//! comparison into new-vs-new. `--init` creates the baseline;
+//! `--check` compares without rewriting and fails the process when any
+//! scenario's median regresses more than `--tolerance` percent
+//! (default 2.0) — that is the mode CI's telemetry-overhead job runs
+//! with telemetry off. `--telemetry` enables the registry for the run
+//! (to measure the instrumented path's overhead) and dumps its
+//! snapshot to stderr.
 
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
 use bgpbench_rib::{PeerId, PeerInfo, RibEngine};
 use bgpbench_speaker::{workload, TableGenerator};
+use bgpbench_telemetry as telemetry;
 use bgpbench_wire::{Asn, RouterId, UpdateMessage};
 
 const PREFIXES: usize = 5000;
@@ -39,25 +53,55 @@ const BASELINE_NS: &[(&str, Option<f64>)] = &[
     ("withdraw_storm", Some(891_711.0)),
 ];
 
+/// What to do with the tracked baseline file at `--out`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BaselineMode {
+    /// Compare against the existing file and rewrite it (the default;
+    /// errors out when the file is missing).
+    Update,
+    /// Create the file without requiring it to exist (`--init`).
+    Init,
+    /// Compare only, never write; exit 1 on a regression beyond the
+    /// tolerance (`--check`).
+    Check,
+}
+
 struct Options {
     samples: usize,
     out: String,
+    mode: BaselineMode,
+    /// Allowed regression in percent before `--check` fails.
+    tolerance: f64,
+    telemetry: bool,
 }
 
 fn parse_args() -> Options {
     let mut samples: Option<usize> = None;
     let mut quick = false;
     let mut out = String::from("BENCH_rib.json");
+    let mut mode = BaselineMode::Update;
+    let mut tolerance = 2.0;
+    let mut telemetry = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--init" => mode = BaselineMode::Init,
+            "--check" => mode = BaselineMode::Check,
+            "--telemetry" => telemetry = true,
             "--samples" => {
                 let value = args.next().unwrap_or_default();
                 samples = Some(value.parse().unwrap_or_else(|_| {
                     eprintln!("--samples expects a positive integer, got {value:?}");
                     std::process::exit(2);
                 }));
+            }
+            "--tolerance" => {
+                let value = args.next().unwrap_or_default();
+                tolerance = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance expects a percentage, got {value:?}");
+                    std::process::exit(2);
+                });
             }
             "--out" => {
                 out = args.next().unwrap_or_else(|| {
@@ -67,7 +111,10 @@ fn parse_args() -> Options {
             }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: perf_baseline [--quick] [--samples <n>] [--out <path>]");
+                eprintln!(
+                    "usage: perf_baseline [--quick] [--samples <n>] [--out <path>] \
+                     [--init | --check] [--tolerance <pct>] [--telemetry]"
+                );
                 std::process::exit(2);
             }
         }
@@ -75,7 +122,76 @@ fn parse_args() -> Options {
     Options {
         samples: samples.unwrap_or(if quick { 5 } else { 20 }),
         out,
+        mode,
+        tolerance,
+        telemetry,
     }
+}
+
+struct TrackedScenario {
+    name: String,
+    median_ns: f64,
+    min_ns: Option<f64>,
+}
+
+/// Pulls each scenario's `"name"`, `"median_ns_per_iter"`, and
+/// `"min_ns_per_iter"` fields out of a previously written baseline
+/// artifact. The format is our own line-per-field JSON, so a line
+/// scan is exact, not a heuristic.
+fn parse_tracked(json: &str) -> Vec<TrackedScenario> {
+    let mut scenarios: Vec<TrackedScenario> = Vec::new();
+    let mut name: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix("\",").map(str::to_owned);
+        } else if let Some(rest) = line.strip_prefix("\"median_ns_per_iter\": ") {
+            if let (Some(name), Ok(ns)) = (name.take(), rest.trim_end_matches(',').parse()) {
+                scenarios.push(TrackedScenario {
+                    name,
+                    median_ns: ns,
+                    min_ns: None,
+                });
+            }
+        } else if let Some(rest) = line.strip_prefix("\"min_ns_per_iter\": ") {
+            if let (Some(last), Ok(ns)) = (scenarios.last_mut(), rest.trim_end_matches(',').parse())
+            {
+                last.min_ns = Some(ns);
+            }
+        }
+    }
+    scenarios
+}
+
+/// Compares the fresh run against the tracked baseline; returns the
+/// names of scenarios that regressed beyond `tolerance` percent. The
+/// comparison runs on the per-scenario *minimum*: on a shared host the
+/// median swings with load, while the fastest sample is reproducible
+/// (baselines written before the minimum was recorded fall back to
+/// the median).
+fn compare(results: &[ScenarioResult], tracked: &[TrackedScenario], tolerance: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    eprintln!("\nvs tracked baseline, fastest sample (tolerance {tolerance:.1}%):");
+    for result in results {
+        match tracked.iter().find(|entry| entry.name == result.name) {
+            Some(entry) => {
+                let tracked_ns = entry.min_ns.unwrap_or(entry.median_ns);
+                let delta = (result.min_ns_per_iter - tracked_ns) / tracked_ns * 100.0;
+                let verdict = if delta > tolerance { "REGRESSED" } else { "ok" };
+                eprintln!(
+                    "{:32} {:10.1} -> {:10.1} us/iter  {delta:+6.1}%  {verdict}",
+                    result.name,
+                    tracked_ns / 1e3,
+                    result.min_ns_per_iter / 1e3
+                );
+                if delta > tolerance {
+                    regressions.push(result.name.to_owned());
+                }
+            }
+            None => eprintln!("{:32} (no tracked measurement)", result.name),
+        }
+    }
+    regressions
 }
 
 fn engine() -> RibEngine {
@@ -111,12 +227,12 @@ fn announcements(asn: u16, path_len: usize, per_update: usize) -> Vec<UpdateMess
 
 /// Times `routine` over fresh state from `setup`: per sample, the
 /// setup runs untimed, the routine runs timed, and the routine's
-/// return value drops untimed. Returns the median ns/iteration.
-fn measure<T, R>(
+/// return value drops untimed. Returns the raw sample times in ns.
+fn measure_times<T, R>(
     samples: usize,
     mut setup: impl FnMut() -> T,
     mut routine: impl FnMut(T) -> R,
-) -> f64 {
+) -> Vec<f64> {
     let mut times: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..2 {
         std::hint::black_box(routine(setup()));
@@ -128,13 +244,23 @@ fn measure<T, R>(
         times.push(start.elapsed().as_nanos() as f64);
         drop(output);
     }
+    times
+}
+
+/// (median, minimum) ns/iteration over a scenario's pooled samples:
+/// the median is the honest typical cost, the minimum is the
+/// noise-robust number regression checks compare (timing noise on a
+/// shared host is strictly additive, so the fastest sample is the
+/// closest observable to the code's true cost).
+fn summarize(times: &mut [f64]) -> (f64, f64) {
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
+    (times[times.len() / 2], times[0])
 }
 
 struct ScenarioResult {
     name: &'static str,
     ns_per_iter: f64,
+    min_ns_per_iter: f64,
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -144,6 +270,26 @@ fn json_escape_free(s: &str) -> &str {
 
 fn main() {
     let options = parse_args();
+    if options.telemetry {
+        telemetry::enable();
+    }
+    // Load the tracked baseline up front so a missing file fails
+    // before minutes of measurement, not after.
+    let tracked: Option<Vec<TrackedScenario>> = match std::fs::read_to_string(&options.out) {
+        Ok(json) => Some(parse_tracked(&json)),
+        Err(_) if options.mode == BaselineMode::Init => None,
+        Err(error) => {
+            eprintln!(
+                "error: tracked baseline {} is not readable: {error}",
+                options.out
+            );
+            eprintln!(
+                "a fresh baseline is never written implicitly (that would make every \
+                 comparison new-vs-new); run with --init to create one"
+            );
+            std::process::exit(1);
+        }
+    };
     let large = announcements(65001, 3, 500);
     let small = announcements(65001, 3, 1);
     let losing = announcements(65002, 6, 500);
@@ -166,51 +312,73 @@ fn main() {
         }
     }
 
+    // The scenarios measure round-robin: each round takes a slice of
+    // every scenario's samples, so one scenario's pool spans the whole
+    // run instead of a contiguous ~0.1 s window. A noise burst on a
+    // shared host then has to outlast the entire run to poison a
+    // scenario's minimum, rather than just its slice of the schedule.
+    type ScenarioSampler<'a> = Box<dyn FnMut(usize) -> Vec<f64> + 'a>;
+    let mut specs: Vec<(&'static str, ScenarioSampler)> = vec![
+        (
+            "startup_large_pkts",
+            Box::new(|n| measure_times(n, engine, flood(&large, PeerId(1)))),
+        ),
+        (
+            "startup_large_pkts_reserved",
+            Box::new(|n| {
+                measure_times(
+                    n,
+                    || {
+                        let mut engine = engine();
+                        engine.reserve(RESERVE);
+                        engine
+                    },
+                    flood(&large, PeerId(1)),
+                )
+            }),
+        ),
+        (
+            "startup_small_pkts",
+            Box::new(|n| measure_times(n, engine, flood(&small, PeerId(1)))),
+        ),
+        (
+            "incremental_losing",
+            Box::new(|n| measure_times(n, &loaded, flood(&losing, PeerId(2)))),
+        ),
+        (
+            "incremental_winning",
+            Box::new(|n| measure_times(n, &loaded, flood(&winning, PeerId(2)))),
+        ),
+        (
+            "withdraw_storm",
+            Box::new(|n| measure_times(n, &loaded, flood(&withdrawals, PeerId(1)))),
+        ),
+    ];
+
+    let rounds = options.samples.min(10);
+    let per_round = options.samples.div_ceil(rounds);
+    let mut pools: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+    for _ in 0..rounds {
+        for (pool, (_, spec)) in pools.iter_mut().zip(specs.iter_mut()) {
+            pool.extend(spec(per_round));
+        }
+    }
+
     let mut results: Vec<ScenarioResult> = Vec::new();
-    let mut run = |name: &'static str, ns: f64| {
+    for ((name, _), pool) in specs.iter().zip(pools.iter_mut()) {
+        let (ns, min_ns) = summarize(pool);
         eprintln!(
-            "{name:32} {:10.1} us/iter  ({:.0} ns/prefix)",
+            "{name:32} {:10.1} us/iter  ({:.0} ns/prefix, fastest {:.1} us)",
             ns / 1e3,
-            ns / PREFIXES as f64
+            ns / PREFIXES as f64,
+            min_ns / 1e3
         );
         results.push(ScenarioResult {
             name,
             ns_per_iter: ns,
+            min_ns_per_iter: min_ns,
         });
-    };
-
-    run(
-        "startup_large_pkts",
-        measure(options.samples, engine, flood(&large, PeerId(1))),
-    );
-    run(
-        "startup_large_pkts_reserved",
-        measure(
-            options.samples,
-            || {
-                let mut engine = engine();
-                engine.reserve(RESERVE);
-                engine
-            },
-            flood(&large, PeerId(1)),
-        ),
-    );
-    run(
-        "startup_small_pkts",
-        measure(options.samples, engine, flood(&small, PeerId(1))),
-    );
-    run(
-        "incremental_losing",
-        measure(options.samples, loaded, flood(&losing, PeerId(2))),
-    );
-    run(
-        "incremental_winning",
-        measure(options.samples, loaded, flood(&winning, PeerId(2))),
-    );
-    run(
-        "withdraw_storm",
-        measure(options.samples, loaded, flood(&withdrawals, PeerId(1))),
-    );
+    }
 
     // Attribute-store effectiveness over a representative startup run:
     // the workload carries one attribute set per UPDATE, so 5000
@@ -242,6 +410,10 @@ fn main() {
         json.push_str(&format!(
             "      \"median_ns_per_iter\": {:.0},\n",
             result.ns_per_iter
+        ));
+        json.push_str(&format!(
+            "      \"min_ns_per_iter\": {:.0},\n",
+            result.min_ns_per_iter
         ));
         json.push_str(&format!(
             "      \"ns_per_prefix\": {:.1},\n",
@@ -286,9 +458,36 @@ fn main() {
     json.push_str("  }\n");
     json.push_str("}\n");
 
-    std::fs::write(&options.out, &json).unwrap_or_else(|err| {
-        eprintln!("failed to write {}: {err}", options.out);
-        std::process::exit(1);
-    });
-    eprintln!("wrote {}", options.out);
+    let regressions = tracked
+        .as_deref()
+        .map(|tracked| compare(&results, tracked, options.tolerance))
+        .unwrap_or_default();
+    if options.telemetry {
+        eprint!("{}", telemetry::snapshot().to_text());
+    }
+    match options.mode {
+        BaselineMode::Check => {
+            if !regressions.is_empty() {
+                eprintln!(
+                    "error: {} scenario(s) regressed more than {:.1}% vs {}: {}",
+                    regressions.len(),
+                    options.tolerance,
+                    options.out,
+                    regressions.join(", ")
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "check passed within {:.1}%; {} left untouched",
+                options.tolerance, options.out
+            );
+        }
+        BaselineMode::Update | BaselineMode::Init => {
+            std::fs::write(&options.out, &json).unwrap_or_else(|err| {
+                eprintln!("failed to write {}: {err}", options.out);
+                std::process::exit(1);
+            });
+            eprintln!("wrote {}", options.out);
+        }
+    }
 }

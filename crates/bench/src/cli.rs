@@ -4,6 +4,7 @@ use std::path::PathBuf;
 
 use bgpbench_core::experiments::ExperimentConfig;
 use bgpbench_core::{GridRunner, Render, StderrProgress};
+use bgpbench_telemetry as telemetry;
 
 /// Where `--csv` output goes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,6 +13,30 @@ pub enum CsvSink {
     Stdout,
     /// Write the CSV to a file.
     File(PathBuf),
+}
+
+/// Rendering of the `--telemetry` metrics dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryFormat {
+    /// Human-readable listing (the bare `--telemetry` default).
+    Text,
+    /// JSON object per metric.
+    Json,
+    /// CSV rows.
+    Csv,
+}
+
+impl TelemetryFormat {
+    fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "text" => Ok(TelemetryFormat::Text),
+            "json" => Ok(TelemetryFormat::Json),
+            "csv" => Ok(TelemetryFormat::Csv),
+            other => Err(format!(
+                "unknown telemetry format `{other}` (expected text, json, or csv)"
+            )),
+        }
+    }
 }
 
 /// Parsed command line of a benchmark binary.
@@ -23,6 +48,9 @@ pub struct Cli {
     pub threads: usize,
     /// CSV output destination, if `--csv` was given.
     pub csv: Option<CsvSink>,
+    /// Dump the telemetry registry to stderr after the run
+    /// (`--telemetry [text|json|csv]`).
+    pub telemetry: Option<TelemetryFormat>,
 }
 
 impl Cli {
@@ -30,10 +58,18 @@ impl Cli {
     /// status 2 on an invalid command line.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(cli) => cli,
+            Ok(cli) => {
+                if cli.telemetry.is_some() {
+                    telemetry::enable();
+                }
+                cli
+            }
             Err(message) => {
                 eprintln!("error: {message}");
-                eprintln!("usage: <bin> [--quick] [--threads <n>] [--csv [<path>]]");
+                eprintln!(
+                    "usage: <bin> [--quick] [--threads <n>] [--csv [<path>]] \
+                     [--telemetry [text|json|csv]]"
+                );
                 std::process::exit(2);
             }
         }
@@ -48,10 +84,23 @@ impl Cli {
         let mut quick = false;
         let mut threads: Option<usize> = None;
         let mut csv: Option<CsvSink> = None;
+        let mut telemetry_format: Option<TelemetryFormat> = None;
         let mut iter = args.into_iter().map(Into::into).peekable();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--quick" => quick = true,
+                "--telemetry" => {
+                    // The format operand is optional: bare `--telemetry`
+                    // prints the human-readable listing.
+                    let format = iter.peek().filter(|next| !next.starts_with("--")).cloned();
+                    telemetry_format = Some(match format {
+                        Some(value) => {
+                            iter.next();
+                            TelemetryFormat::parse(&value)?
+                        }
+                        None => TelemetryFormat::Text,
+                    });
+                }
                 "--threads" => {
                     let value = iter
                         .next()
@@ -75,6 +124,8 @@ impl Cli {
                         threads = Some(parse_threads(value)?);
                     } else if let Some(value) = other.strip_prefix("--csv=") {
                         csv = Some(CsvSink::File(PathBuf::from(value)));
+                    } else if let Some(value) = other.strip_prefix("--telemetry=") {
+                        telemetry_format = Some(TelemetryFormat::parse(value)?);
                     } else {
                         return Err(format!("unknown argument `{other}`"));
                     }
@@ -90,6 +141,7 @@ impl Cli {
             config,
             threads: threads.unwrap_or_else(default_threads),
             csv,
+            telemetry: telemetry_format,
         })
     }
 
@@ -100,7 +152,9 @@ impl Cli {
     }
 
     /// Prints the artifact's text rendering to stdout and routes its
-    /// CSV to wherever `--csv` pointed.
+    /// CSV to wherever `--csv` pointed. With `--telemetry`, dumps the
+    /// registry snapshot to stderr afterwards (stderr so the metrics
+    /// never mix into a piped artifact).
     pub fn emit(&self, artifact: &dyn Render) {
         print!("{}", artifact.text());
         match &self.csv {
@@ -113,6 +167,15 @@ impl Cli {
                     std::process::exit(1);
                 }
             },
+        }
+        if let Some(format) = self.telemetry {
+            let snapshot = telemetry::snapshot();
+            let rendered = match format {
+                TelemetryFormat::Text => snapshot.to_text(),
+                TelemetryFormat::Json => snapshot.to_json(),
+                TelemetryFormat::Csv => snapshot.to_csv(),
+            };
+            eprint!("{rendered}");
         }
     }
 }
@@ -175,6 +238,23 @@ mod tests {
         let cli = Cli::parse(["--csv", "--quick"]).unwrap();
         assert_eq!(cli.csv, Some(CsvSink::Stdout));
         assert_eq!(cli.config, ExperimentConfig::quick());
+    }
+
+    #[test]
+    fn telemetry_flag_parses_every_form() {
+        assert_eq!(Cli::parse(Vec::<String>::new()).unwrap().telemetry, None);
+        let cli = Cli::parse(["--telemetry"]).unwrap();
+        assert_eq!(cli.telemetry, Some(TelemetryFormat::Text));
+        let cli = Cli::parse(["--telemetry", "json", "--quick"]).unwrap();
+        assert_eq!(cli.telemetry, Some(TelemetryFormat::Json));
+        assert_eq!(cli.config, ExperimentConfig::quick());
+        let cli = Cli::parse(["--telemetry=csv"]).unwrap();
+        assert_eq!(cli.telemetry, Some(TelemetryFormat::Csv));
+        // A following flag is not mistaken for the format operand.
+        let cli = Cli::parse(["--telemetry", "--csv"]).unwrap();
+        assert_eq!(cli.telemetry, Some(TelemetryFormat::Text));
+        assert_eq!(cli.csv, Some(CsvSink::Stdout));
+        assert!(Cli::parse(["--telemetry", "yaml"]).is_err());
     }
 
     #[test]

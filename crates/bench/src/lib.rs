@@ -1,5 +1,6 @@
 //! Shared driver for the benchmark binaries (`table1`–`table3`,
-//! `fig3`–`fig6`, `ablation_*`) and the criterion micro-benchmarks.
+//! `fig3`–`fig6`, `fig34_breakdown`, `ablation_*`) and the criterion
+//! micro-benchmarks.
 //!
 //! Every binary regenerates one table or figure of the paper's
 //! evaluation section. All of them share one command line ([`cli`]):
@@ -9,9 +10,11 @@
 //!   (defaults to the host's parallelism; results are bit-identical
 //!   at any thread count);
 //! * `--csv [<path>]` — emit the artifact's raw data as CSV, to the
-//!   given file or to stdout.
+//!   given file or to stdout;
+//! * `--telemetry [text|json|csv]` — enable the telemetry registry for
+//!   the run and dump its snapshot to stderr at the end.
 
 pub mod cli;
 pub mod statics;
 
-pub use cli::Cli;
+pub use cli::{Cli, TelemetryFormat};

@@ -4,6 +4,7 @@ use std::net::Ipv4Addr;
 
 use bgpbench_models::{PlatformSpec, SimRouter, SPEAKER_1, SPEAKER_2};
 use bgpbench_speaker::{workload, SpeakerScript, TableGenerator};
+use bgpbench_telemetry::{self as telemetry, EventKind, SpanId};
 use bgpbench_wire::Asn;
 
 use crate::scenario::{BgpOperation, Scenario};
@@ -56,6 +57,11 @@ pub struct ScenarioResult {
     pub cross_traffic_mbps: f64,
     /// Whether the run finished before the safety time limit.
     pub completed: bool,
+    /// Full simulator ticks the whole run consumed (all phases). This
+    /// is virtual cost: deterministic for a given cell, and directly
+    /// comparable between serial and parallel grid executions, unlike
+    /// wall-clock.
+    pub virtual_ticks: u64,
 }
 
 impl ScenarioResult {
@@ -208,7 +214,8 @@ fn drive(
     router.set_cross_traffic_mbps(config.cross_traffic_mbps);
     let (transactions, elapsed) = match scenario.operation() {
         BgpOperation::StartupAnnounce => {
-            router.mark("phase 1");
+            mark_phase(router, 1);
+            let _span = telemetry::span(SpanId::Phase1);
             let spec = workload::AnnounceSpec {
                 prefixes_per_update: pkt,
                 ..speaker1_base
@@ -220,15 +227,19 @@ fn drive(
             (n, router.run_until_transactions(n, PHASE_LIMIT_SECS))
         }
         BgpOperation::EndingWithdraw => {
-            router.mark("phase 1");
-            router.load_script(
-                SPEAKER_1,
-                SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
-            );
-            router
-                .run_until_transactions(n, PHASE_LIMIT_SECS)
-                .expect("setup phase must complete");
-            router.mark("phase 3");
+            {
+                mark_phase(router, 1);
+                let _span = telemetry::span(SpanId::Phase1);
+                router.load_script(
+                    SPEAKER_1,
+                    SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
+                );
+                router
+                    .run_until_transactions(n, PHASE_LIMIT_SECS)
+                    .expect("setup phase must complete");
+            }
+            mark_phase(router, 3);
+            let _span = telemetry::span(SpanId::Phase3);
             router.load_script(
                 SPEAKER_1,
                 SpeakerScript::new(workload::withdrawals(&table, pkt)),
@@ -236,20 +247,27 @@ fn drive(
             (n, router.run_until_transactions(2 * n, PHASE_LIMIT_SECS))
         }
         BgpOperation::IncrementalNoChange | BgpOperation::IncrementalChange => {
-            router.mark("phase 1");
-            router.load_script(
-                SPEAKER_1,
-                SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
-            );
-            router
-                .run_until_transactions(n, PHASE_LIMIT_SECS)
-                .expect("setup phase must complete");
-            router.mark("phase 2");
-            router.queue_export(SPEAKER_2, workload::LARGE_PACKET_PREFIXES);
-            router
-                .run_until_exports(n, PHASE_LIMIT_SECS)
-                .expect("export phase must complete");
-            router.mark("phase 3");
+            {
+                mark_phase(router, 1);
+                let _span = telemetry::span(SpanId::Phase1);
+                router.load_script(
+                    SPEAKER_1,
+                    SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
+                );
+                router
+                    .run_until_transactions(n, PHASE_LIMIT_SECS)
+                    .expect("setup phase must complete");
+            }
+            {
+                mark_phase(router, 2);
+                let _span = telemetry::span(SpanId::Phase2);
+                router.queue_export(SPEAKER_2, workload::LARGE_PACKET_PREFIXES);
+                router
+                    .run_until_exports(n, PHASE_LIMIT_SECS)
+                    .expect("export phase must complete");
+            }
+            mark_phase(router, 3);
+            let _span = telemetry::span(SpanId::Phase3);
             let path_len = if scenario.operation() == BgpOperation::IncrementalNoChange {
                 LONGER_PATH_LEN
             } else {
@@ -276,7 +294,20 @@ fn drive(
         elapsed_secs: elapsed.unwrap_or(PHASE_LIMIT_SECS),
         cross_traffic_mbps: config.cross_traffic_mbps,
         completed: elapsed.is_some(),
+        virtual_ticks: router.ticks_elapsed(),
     }
+}
+
+/// Marks a phase boundary on the router's recorder and in the
+/// telemetry journal (the journal entry carries the virtual tick at
+/// which the phase began).
+fn mark_phase(router: &mut SimRouter, phase: u64) {
+    router.mark(match phase {
+        1 => "phase 1",
+        2 => "phase 2",
+        _ => "phase 3",
+    });
+    telemetry::event(EventKind::PhaseStart, phase, router.ticks_elapsed());
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@
 //!   bit-identical serial/parallel results (see [`runner`]);
 //! * [`experiments`] — drivers for Table III and Figures 3–6, all
 //!   running on the grid engine;
+//! * [`breakdown`] — the Fig. 3–4 per-process decomposition re-derived
+//!   from telemetry spans and simulator cycle attribution instead of
+//!   model constants;
 //! * [`live`] — the same methodology against a real BGP daemon over
 //!   TCP;
 //! * [`report`] — the [`Render`] trait: text and CSV output for every
@@ -41,6 +44,7 @@
 //! assert!(result.tps() > 100.0);
 //! ```
 
+pub mod breakdown;
 pub mod experiments;
 pub mod extensions;
 mod harness;
@@ -49,6 +53,7 @@ pub mod report;
 pub mod runner;
 mod scenario;
 
+pub use breakdown::{fig34_breakdown, BreakdownRow, Fig34Breakdown};
 pub use harness::{
     run_scenario, run_scenario_repeated, RepeatedResult, ScenarioConfig, ScenarioResult,
 };

@@ -156,6 +156,9 @@ pub fn run_live_scenario(
         elapsed_secs: elapsed,
         cross_traffic_mbps: 0.0,
         completed: true,
+        // The live daemon runs on host time; there is no simulator
+        // clock to count.
+        virtual_ticks: 0,
     })
 }
 

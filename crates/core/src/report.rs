@@ -18,6 +18,58 @@ pub trait Render {
 
     /// Machine-readable CSV rendering (with a header row).
     fn csv(&self) -> String;
+
+    /// Machine-readable JSON rendering: an array of row objects keyed
+    /// by the CSV header, derived from [`Render::csv`] by default so
+    /// every artifact gets JSON output for free.
+    fn json(&self) -> String {
+        csv_to_json(&self.csv())
+    }
+}
+
+/// Converts header-row CSV into a JSON array of row objects. Fields
+/// that parse as finite numbers are emitted bare; everything else is
+/// emitted as an escaped string.
+pub fn csv_to_json(csv: &str) -> String {
+    let mut lines = csv.lines();
+    let Some(header) = lines.next() else {
+        return "[]\n".to_owned();
+    };
+    let keys: Vec<&str> = header.split(',').collect();
+    let rows: Vec<String> = lines
+        .filter(|line| !line.is_empty())
+        .map(|line| {
+            let fields: Vec<String> = line
+                .split(',')
+                .zip(&keys)
+                .map(|(field, key)| {
+                    let value = match field.parse::<f64>() {
+                        Ok(n) if n.is_finite() => field.to_owned(),
+                        _ => format!("\"{}\"", json_escape(field)),
+                    };
+                    format!("\"{}\": {value}", json_escape(key))
+                })
+                .collect();
+            format!("  {{{}}}", fields.join(", "))
+        })
+        .collect();
+    if rows.is_empty() {
+        "[]\n".to_owned()
+    } else {
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    }
+}
+
+fn json_escape(field: &str) -> String {
+    field
+        .chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<char>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 impl Render for Table3 {
@@ -252,6 +304,25 @@ mod tests {
         assert_eq!(lines.len(), 8); // 6 rows + axis + label
         assert!(plot.contains('*'));
         assert_eq!(ascii_plot(&[], 10, 3, "_"), "_(no data)");
+    }
+
+    #[test]
+    fn csv_to_json_quotes_text_and_leaves_numbers_bare() {
+        let json = csv_to_json("name,tps\nScenario 1,185.2\n\"quoted\",7\n");
+        assert!(json.contains("\"name\": \"Scenario 1\", \"tps\": 185.2"));
+        assert!(json.contains("\"name\": \"\\\"quoted\\\"\", \"tps\": 7"));
+        assert_eq!(csv_to_json(""), "[]\n");
+        assert_eq!(csv_to_json("only,a,header\n"), "[]\n");
+    }
+
+    #[test]
+    fn render_json_default_follows_the_csv() {
+        let table = tiny_table();
+        let json = table.json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"scenario\": 1, \"platform\": \"Pentium III\""));
+        // One object per CSV data row.
+        assert_eq!(json.matches("{\"scenario\"").count(), 32);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use bgpbench_models::PlatformSpec;
+use bgpbench_telemetry as telemetry;
 use crossbeam::channel;
 
 use crate::experiments::ExperimentConfig;
@@ -284,14 +285,19 @@ pub trait RunObserver {
     }
 
     /// Cell `index` finished; `error` is the captured panic, if any.
+    /// `virtual_ticks` is the cell's simulated-clock cost when the job
+    /// produces a [`ScenarioResult`] (None for custom `run_map` jobs)
+    /// — deterministic per cell, so serial and parallel runs report
+    /// the same value.
     fn on_cell_complete(
         &mut self,
         index: usize,
         cell: &CellSpec,
         error: Option<&CellError>,
         wall: Duration,
+        virtual_ticks: Option<u64>,
     ) {
-        let _ = (index, cell, error, wall);
+        let _ = (index, cell, error, wall, virtual_ticks);
     }
 
     /// The whole grid finished.
@@ -326,24 +332,47 @@ impl RunObserver for StderrProgress {
         cell: &CellSpec,
         error: Option<&CellError>,
         wall: Duration,
+        virtual_ticks: Option<u64>,
     ) {
         self.done += 1;
         match error {
-            None => eprintln!(
-                "[{}/{}] {} done in {:.2?}",
-                self.done,
-                self.total,
-                cell.label(),
-                wall
-            ),
-            Some(error) => eprintln!(
-                "[{}/{}] {} FAILED after {:.2?}: {}",
-                self.done,
-                self.total,
-                cell.label(),
-                wall,
-                error.message
-            ),
+            None => match virtual_ticks {
+                Some(ticks) => eprintln!(
+                    "[{}/{}] {} done in {:.2?} ({ticks} virtual ticks)",
+                    self.done,
+                    self.total,
+                    cell.label(),
+                    wall
+                ),
+                None => eprintln!(
+                    "[{}/{}] {} done in {:.2?}",
+                    self.done,
+                    self.total,
+                    cell.label(),
+                    wall
+                ),
+            },
+            Some(error) => {
+                eprintln!(
+                    "[{}/{}] {} FAILED after {:.2?}: {}",
+                    self.done,
+                    self.total,
+                    cell.label(),
+                    wall,
+                    error.message
+                );
+                // Post-mortem: the most recent journal events (decision
+                // outcomes, damping transitions, session churn) leading
+                // up to the panic, when telemetry is recording.
+                if telemetry::enabled() {
+                    let dump = telemetry::journal_dump_text(32);
+                    if !dump.is_empty() {
+                        eprintln!("--- telemetry journal (most recent last) ---");
+                        eprint!("{dump}");
+                        eprintln!("--------------------------------------------");
+                    }
+                }
+            }
         }
     }
 
@@ -414,7 +443,7 @@ impl GridRunner {
 
     /// Runs explicit cells through the standard scenario harness.
     pub fn run_cells(&mut self, cells: &[CellSpec]) -> Vec<CellRun> {
-        self.run_map(cells, CellSpec::run)
+        self.run_map_inner(cells, CellSpec::run, |result| Some(result.virtual_ticks))
     }
 
     /// Runs `job` once per cell across the thread pool and returns the
@@ -429,6 +458,18 @@ impl GridRunner {
         T: Send,
         F: Fn(&CellSpec) -> T + Sync,
     {
+        self.run_map_inner(cells, job, |_| None)
+    }
+
+    /// The shared engine behind [`GridRunner::run_cells`] and
+    /// [`GridRunner::run_map`]. `ticks_of` extracts the virtual-tick
+    /// count the observer reports, when the job's product carries one.
+    fn run_map_inner<T, F, V>(&mut self, cells: &[CellSpec], job: F, ticks_of: V) -> Vec<CellRun<T>>
+    where
+        T: Send,
+        F: Fn(&CellSpec) -> T + Sync,
+        V: Fn(&T) -> Option<u64>,
+    {
         let started = Instant::now();
         self.observer.on_run_start(cells.len());
         let mut slots: Vec<Option<CellRun<T>>> = Vec::new();
@@ -438,8 +479,14 @@ impl GridRunner {
             for (index, cell) in cells.iter().enumerate() {
                 self.observer.on_cell_start(index, cell);
                 let run = execute(index, cell, &job);
-                self.observer
-                    .on_cell_complete(index, cell, run.result.as_ref().err(), run.wall);
+                let ticks = run.result.as_ref().ok().and_then(&ticks_of);
+                self.observer.on_cell_complete(
+                    index,
+                    cell,
+                    run.result.as_ref().err(),
+                    run.wall,
+                    ticks,
+                );
                 slots[index] = Some(run);
             }
         } else {
@@ -472,11 +519,13 @@ impl GridRunner {
                         }
                         Event::Finished(run) => {
                             let index = run.index;
+                            let ticks = run.result.as_ref().ok().and_then(&ticks_of);
                             observer.on_cell_complete(
                                 index,
                                 &cells[index],
                                 run.result.as_ref().err(),
                                 run.wall,
+                                ticks,
                             );
                             slots[index] = Some(run);
                         }
@@ -594,6 +643,7 @@ mod tests {
                 _cell: &CellSpec,
                 error: Option<&CellError>,
                 _wall: Duration,
+                _virtual_ticks: Option<u64>,
             ) {
                 self.0
                     .borrow_mut()

@@ -1,0 +1,61 @@
+//! Acceptance check for the measured Fig. 3–4 report: the paper's
+//! qualitative decomposition must emerge from span data, not model
+//! constants.
+//!
+//! This test lives alone in its own binary because [`fig34_breakdown`]
+//! enables the process-global telemetry registry; sharing the process
+//! with other scenario-running tests would blend their recordings into
+//! the per-cell attribution diffs.
+
+use bgpbench_core::breakdown::fig34_breakdown;
+use bgpbench_core::experiments::ExperimentConfig;
+use bgpbench_core::Scenario;
+
+#[test]
+fn measured_breakdown_reproduces_the_paper_shape() {
+    let breakdown = fig34_breakdown(&ExperimentConfig::quick());
+    eprintln!("{}", bgpbench_core::Render::text(&breakdown));
+    assert_eq!(breakdown.rows.len(), 8);
+
+    // Every row actually measured something through the spans.
+    for row in &breakdown.rows {
+        let total: u64 = row.span_host_ns.iter().sum();
+        assert!(total > 0, "{}: no span time recorded", row.scenario);
+        let cycles: u64 = row.sim_cycles.iter().sum();
+        assert!(cycles > 0, "{}: no cycles attributed", row.scenario);
+    }
+
+    // The paper's shape: bgp dominates; fea share grows in the
+    // forwarding-table-change scenarios.
+    let violations = breakdown.check_shape();
+    assert!(
+        violations.is_empty(),
+        "Fig. 3-4 shape not reproduced from instrumentation:\n{}",
+        violations.join("\n")
+    );
+
+    // The simulator's (deterministic) cycle attribution agrees on the
+    // fea contrast: the route-replacing scenarios burn strictly more
+    // FEA cycles than their losing counterparts, because their timed
+    // phase rewrites the forwarding table.
+    for (lose, win) in [(Scenario::S5, Scenario::S7), (Scenario::S6, Scenario::S8)] {
+        let lose_fea = breakdown.row(lose).sim_cycles[3];
+        let win_fea = breakdown.row(win).sim_cycles[3];
+        assert!(
+            win_fea > lose_fea,
+            "{win} fea cycles {win_fea} not above {lose} {lose_fea}"
+        );
+        // And the BGP process itself worked in both.
+        assert!(breakdown.row(lose).sim_cycles[0] > 0);
+        assert!(breakdown.row(win).sim_cycles[0] > 0);
+    }
+
+    // The replace scenarios actually wrote the FIB during the timed
+    // phase; the losing ones did not add FIB writes beyond table load.
+    let s6_fea = breakdown.row(Scenario::S6).span_count[1];
+    let s8_fea = breakdown.row(Scenario::S8).span_count[1];
+    assert!(
+        s8_fea > s6_fea,
+        "S8 fea spans {s8_fea} not above S6 {s6_fea}"
+    );
+}

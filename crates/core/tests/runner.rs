@@ -115,9 +115,14 @@ fn observer_failure_reporting_matches_results() {
             _cell: &CellSpec,
             error: Option<&bgpbench_core::CellError>,
             _wall: std::time::Duration,
+            virtual_ticks: Option<u64>,
         ) {
             if error.is_some() {
                 self.failed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // run_cells produces ScenarioResults, so every healthy
+                // cell must report its virtual-clock cost.
+                assert!(virtual_ticks.is_some_and(|ticks| ticks > 0));
             }
             self.completed.fetch_add(1, Ordering::Relaxed);
         }

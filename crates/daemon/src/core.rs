@@ -16,6 +16,7 @@ use bgpbench_fib::{Fib, NextHop};
 use bgpbench_rib::{
     AdjRibOut, ExportAction, FibDirective, PeerId, PeerInfo, RibEngine, RibStats, RouteAttributes,
 };
+use bgpbench_telemetry::{self as telemetry, EventKind, MetricId, SpanId};
 use bgpbench_wire::{Message, Prefix, UpdateMessage};
 
 use crate::DaemonConfig;
@@ -94,6 +95,7 @@ impl Core {
         let routes = self.engine.export_routes(id, self.config.next_hop);
         let actions = adj_out.sync(routes);
         let updates = AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
+        telemetry::add(MetricId::DaemonUpdatesSent, updates.len() as u64);
         let mut snapshot = PeerSnapshot {
             asn,
             address,
@@ -110,19 +112,27 @@ impl Core {
         self.peer_stats.insert(id, snapshot);
         self.adj_out.insert(id, adj_out);
         self.writers.insert(id, writer);
+        telemetry::incr(MetricId::SessionsOpened);
+        telemetry::event(EventKind::SessionUp, u64::from(id.0), u64::from(asn.0));
         id
     }
 
     /// Tears a session down: withdraws everything learned from the
     /// peer and propagates the fallout to the remaining peers.
     pub(crate) fn unregister_peer(&mut self, peer: PeerId) {
-        self.writers.remove(&peer);
+        if self.writers.remove(&peer).is_some() {
+            telemetry::incr(MetricId::SessionsClosed);
+            telemetry::event(EventKind::SessionDown, u64::from(peer.0), 0);
+        }
         self.adj_out.remove(&peer);
         self.peer_stats.remove(&peer);
         if let Ok(outcomes) = self.engine.remove_peer(peer) {
             let prefixes: Vec<Prefix> = outcomes.iter().map(|o| o.prefix).collect();
-            for outcome in &outcomes {
-                self.apply_fib(outcome.fib);
+            {
+                let _span = telemetry::span(SpanId::FibApply);
+                for outcome in &outcomes {
+                    self.apply_fib(outcome.fib);
+                }
             }
             self.propagate(&prefixes);
         }
@@ -144,8 +154,11 @@ impl Core {
             peer_stats.prefixes_in += outcomes.len() as u64;
         }
         let prefixes: Vec<Prefix> = outcomes.iter().map(|o| o.prefix).collect();
-        for outcome in &outcomes {
-            self.apply_fib(outcome.fib);
+        {
+            let _span = telemetry::span(SpanId::FibApply);
+            for outcome in &outcomes {
+                self.apply_fib(outcome.fib);
+            }
         }
         self.propagate(&prefixes);
     }
@@ -153,9 +166,11 @@ impl Core {
     fn apply_fib(&mut self, directive: Option<FibDirective>) {
         match directive {
             Some(FibDirective::Install { prefix, next_hop }) => {
+                telemetry::incr(MetricId::FibInstalls);
                 self.fib.insert(prefix, NextHop::new(next_hop, 0));
             }
             Some(FibDirective::Remove { prefix }) => {
+                telemetry::incr(MetricId::FibRemoves);
                 self.fib.remove(&prefix);
             }
             None => {}
@@ -165,6 +180,8 @@ impl Core {
     /// Re-syncs the advertisement state of `prefixes` toward every
     /// established peer and sends the resulting UPDATEs.
     fn propagate(&mut self, prefixes: &[Prefix]) {
+        let _span = telemetry::span(SpanId::DaemonPropagate);
+        telemetry::incr(MetricId::DaemonPropagateRounds);
         let peer_ids: Vec<PeerId> = self.writers.keys().copied().collect();
         // The exported form of an attribute set is peer-independent
         // (own AS prepended, next hop rewritten), and the engine interns
@@ -202,6 +219,7 @@ impl Core {
                 continue;
             }
             let updates = AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
+            telemetry::add(MetricId::DaemonUpdatesSent, updates.len() as u64);
             let writer = &self.writers[&peer];
             for update in &updates {
                 send_update(writer, update);
@@ -227,6 +245,7 @@ impl Core {
         *adj_out = AdjRibOut::new();
         let actions = adj_out.sync(routes);
         let updates = AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
+        telemetry::add(MetricId::DaemonUpdatesSent, updates.len() as u64);
         for update in updates {
             send_update(&writer, &update);
         }

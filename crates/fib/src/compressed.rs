@@ -236,6 +236,12 @@ impl<T> CompressedTrie<T> {
         })
     }
 
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.root = Node::leaf(Prefix::DEFAULT, None);
+        self.len = 0;
+    }
+
     /// Number of trie nodes (compression diagnostic: compare with the
     /// plain binary trie's node count).
     pub fn node_count(&self) -> usize {

@@ -4,11 +4,11 @@
 //! routers:
 //!
 //! * [`LpmTrie`] — a binary trie keyed by IPv4 prefixes supporting
-//!   longest-prefix-match lookup, the core FIB structure every scenario
-//!   that "changes the forwarding table" exercises;
-//! * [`Fib`] — the forwarding table proper, mapping prefixes to next
-//!   hops, with a generation counter so the control plane can observe
-//!   update visibility;
+//!   longest-prefix-match lookup, and [`CompressedTrie`] — its
+//!   path-compressed (Patricia) refinement;
+//! * [`Fib`] — the forwarding table proper (backed by the compressed
+//!   trie), mapping prefixes to next hops, with a generation counter so
+//!   the control plane can observe update visibility;
 //! * [`Ipv4Header`] and the RFC 1071/1624 checksum helpers
 //!   ([`internet_checksum`], [`incremental_update`]);
 //! * [`Forwarder`] — an RFC 1812-compliant forwarding pipeline

@@ -241,6 +241,15 @@ impl SimRouter {
         }
     }
 
+    /// Full simulator ticks elapsed so far — the virtual-time cost of
+    /// the run, comparable across serial and parallel grid executions.
+    pub fn ticks_elapsed(&self) -> u64 {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.ticks_elapsed(),
+            Inner::Ios(sim) => sim.ticks_elapsed(),
+        }
+    }
+
     /// Current simulated time in seconds.
     pub fn now_secs(&self) -> f64 {
         match &self.inner {

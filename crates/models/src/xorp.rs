@@ -8,6 +8,7 @@ use bgpbench_fib::{Fib, NextHop};
 use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange};
 use bgpbench_simnet::{Job, Model, ProcessBuilder, ProcessId, SchedClass, TickContext};
 use bgpbench_speaker::SpeakerScript;
+use bgpbench_telemetry::{self as telemetry, MetricId, SpanId};
 use bgpbench_wire::{Asn, RouterId, UpdateMessage};
 
 use crate::costs::XorpCosts;
@@ -335,12 +336,17 @@ impl XorpModel {
         }
         // Pipeline complete: apply the FIB writes and count.
         let pending = self.pending.remove(&tag).expect("checked above");
+        let _span = (!pending.directives.is_empty())
+            .then(|| telemetry::span(SpanId::FibApply))
+            .flatten();
         for directive in pending.directives {
             match directive {
                 FibDirective::Install { prefix, next_hop } => {
+                    telemetry::incr(MetricId::FibInstalls);
                     self.fib.insert(prefix, NextHop::new(next_hop, 0));
                 }
                 FibDirective::Remove { prefix } => {
+                    telemetry::incr(MetricId::FibRemoves);
                     self.fib.remove(&prefix);
                 }
             }

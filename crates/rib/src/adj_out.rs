@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bgpbench_telemetry::{self as telemetry, MetricId, SpanId};
 use bgpbench_wire::{Prefix, UpdateMessage};
 
 use crate::fxhash::FxHashMap;
@@ -59,6 +60,7 @@ impl AdjRibOut {
     where
         I: IntoIterator<Item = (Prefix, Arc<RouteAttributes>)>,
     {
+        let _span = telemetry::span(SpanId::AdjOutSync);
         let desired: HashMap<Prefix, Arc<RouteAttributes>> = desired.into_iter().collect();
         let mut actions = Vec::new();
         for (prefix, attrs) in &desired {
@@ -82,6 +84,7 @@ impl AdjRibOut {
             ExportAction::Withdraw(prefix) => (0, *prefix),
             ExportAction::Announce(prefix, _) => (1, *prefix),
         });
+        telemetry::add(MetricId::AdjOutActions, actions.len() as u64);
         actions
     }
 
@@ -102,12 +105,13 @@ impl AdjRibOut {
                     return None;
                 }
                 self.advertised.insert(prefix, attrs.clone());
+                telemetry::incr(MetricId::AdjOutActions);
                 Some(ExportAction::Announce(prefix, attrs))
             }
-            None => self
-                .advertised
-                .remove(&prefix)
-                .map(|_| ExportAction::Withdraw(prefix)),
+            None => self.advertised.remove(&prefix).map(|_| {
+                telemetry::incr(MetricId::AdjOutActions);
+                ExportAction::Withdraw(prefix)
+            }),
         }
     }
 
@@ -127,6 +131,7 @@ impl AdjRibOut {
         max_prefixes_per_update: usize,
     ) -> Vec<UpdateMessage> {
         assert!(max_prefixes_per_update > 0, "packet size must be positive");
+        let _span = telemetry::span(SpanId::AdjOutPacketize);
         let mut updates = Vec::new();
 
         let withdrawals: Vec<Prefix> = actions
@@ -176,6 +181,7 @@ impl AdjRibOut {
             };
             groups[index].1.push(*prefix);
         }
+        telemetry::add(MetricId::AdjOutAttrGroups, groups.len() as u64);
         for (attrs, prefixes) in groups {
             let wire_attrs = attrs.to_wire();
             for chunk in prefixes.chunks(max_prefixes_per_update) {
@@ -186,6 +192,7 @@ impl AdjRibOut {
                 updates.push(builder.announce_all(chunk.iter().copied()).build());
             }
         }
+        telemetry::add(MetricId::AdjOutUpdates, updates.len() as u64);
         updates
     }
 }

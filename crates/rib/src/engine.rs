@@ -14,6 +14,7 @@
 use std::cmp::Ordering;
 use std::sync::Arc;
 
+use bgpbench_telemetry::{self as telemetry, EventKind, MetricId, SpanId};
 use bgpbench_wire::{Asn, Prefix, RouterId, UpdateMessage};
 
 use crate::attr_store::AttrStore;
@@ -364,6 +365,13 @@ pub struct RibStats {
     pub loop_rejected: u64,
     /// Announcements suppressed by route-flap damping.
     pub dampened: u64,
+    /// Distinct attribute sets currently interned by the engine's
+    /// store (a point-in-time size, not a running count).
+    pub attr_store_entries: u64,
+    /// Attribute groups a full-table Adj-RIB-Out export would pack:
+    /// the number of distinct best-route attribute sets in the
+    /// Loc-RIB (also point-in-time).
+    pub adj_out_groups: u64,
 }
 
 /// A complete BGP routing-table engine: per-peer Adj-RIBs-In, the
@@ -503,9 +511,18 @@ impl RibEngine {
         LocRib { rib: &self.rib }
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, with the point-in-time table sizes
+    /// (`attr_store_entries`, `adj_out_groups`) filled in at call time.
     pub fn stats(&self) -> RibStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.attr_store_entries = self.attr_store.len() as u64;
+        let mut groups: crate::fxhash::FxHashSet<*const RouteAttributes> =
+            crate::fxhash::FxHashSet::default();
+        for entry in self.rib.values() {
+            groups.insert(Arc::as_ptr(&entry.best_route().1));
+        }
+        stats.adj_out_groups = groups.len() as u64;
+        stats
     }
 
     /// The path-attribute interner backing this engine's RIBs.
@@ -551,6 +568,74 @@ impl RibEngine {
     ///
     /// As for [`RibEngine::apply_update`].
     pub fn apply_update_at(
+        &mut self,
+        peer: PeerId,
+        update: &UpdateMessage,
+        now_secs: f64,
+    ) -> Result<Vec<PrefixOutcome>, RibError> {
+        // The disabled path pays one relaxed load and a predicted
+        // branch; everything else (spans, the host clock, counter
+        // deltas, journal entries) lives behind it.
+        if telemetry::disabled() {
+            return self.apply_update_inner(peer, update, now_secs);
+        }
+        let _span = telemetry::span(SpanId::RibApplyUpdate);
+        let start = std::time::Instant::now();
+        let attrs_before = self.attr_store.stats();
+        let result = self.apply_update_inner(peer, update, now_secs);
+        telemetry::observe(MetricId::ApplyHostNs, start.elapsed().as_nanos() as u64);
+        telemetry::observe(MetricId::UpdatePrefixes, update.transaction_count() as u64);
+        telemetry::incr(MetricId::RibUpdates);
+        let attrs_after = self.attr_store.stats();
+        telemetry::add(
+            MetricId::AttrStoreHits,
+            attrs_after.hits - attrs_before.hits,
+        );
+        telemetry::add(
+            MetricId::AttrStoreMisses,
+            attrs_after.misses - attrs_before.misses,
+        );
+        telemetry::add(
+            MetricId::AttrStoreReleased,
+            attrs_after.released - attrs_before.released,
+        );
+        telemetry::gauge(MetricId::AttrStoreEntries, self.attr_store.len() as u64);
+        telemetry::gauge(MetricId::LocRibPrefixes, self.rib.len() as u64);
+        if let Ok(outcomes) = &result {
+            telemetry::add(MetricId::RibPrefixes, outcomes.len() as u64);
+            for outcome in outcomes {
+                let packed =
+                    telemetry::pack_prefix(outcome.prefix.network_bits(), outcome.prefix.len());
+                let peer_bits = u64::from(peer.0);
+                match outcome.change {
+                    RouteChange::Installed => {
+                        telemetry::incr(MetricId::RibBestChanged);
+                        telemetry::event(EventKind::BestInstalled, packed, peer_bits);
+                    }
+                    RouteChange::Replaced { .. } => {
+                        telemetry::incr(MetricId::RibBestChanged);
+                        telemetry::event(EventKind::BestReplaced, packed, peer_bits);
+                    }
+                    RouteChange::Withdrawn => {
+                        telemetry::incr(MetricId::RibBestChanged);
+                        telemetry::event(EventKind::BestWithdrawn, packed, peer_bits);
+                    }
+                    RouteChange::Dampened => {
+                        telemetry::incr(MetricId::RibDampened);
+                        telemetry::event(EventKind::Dampened, packed, peer_bits);
+                    }
+                    RouteChange::Unchanged
+                    | RouteChange::WithdrawnUnknown
+                    | RouteChange::RejectedByPolicy
+                    | RouteChange::RejectedAsLoop => {}
+                }
+            }
+        }
+        result
+    }
+
+    /// The uninstrumented body of [`RibEngine::apply_update_at`].
+    fn apply_update_inner(
         &mut self,
         peer: PeerId,
         update: &UpdateMessage,
@@ -809,6 +894,7 @@ impl RibEngine {
         peer: PeerId,
         local_address: std::net::Ipv4Addr,
     ) -> Vec<(Prefix, Arc<RouteAttributes>)> {
+        let _span = telemetry::span(SpanId::ExportRoutes);
         let mut cache: FxHashMap<*const RouteAttributes, Arc<RouteAttributes>> =
             FxHashMap::default();
         let mut routes: Vec<(Prefix, Arc<RouteAttributes>)> = self

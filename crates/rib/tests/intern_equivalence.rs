@@ -232,6 +232,31 @@ impl RefEngine {
             fib,
         }
     }
+
+    /// Point-in-time table sizes by value semantics: where the real
+    /// engine counts interned entries and distinct best-route Arc
+    /// pointers, the reference counts distinct attribute *values* —
+    /// the two must agree if hash-consing upholds its invariant.
+    fn stats(&self) -> RibStats {
+        let mut stats = self.stats;
+        let mut distinct: Vec<&RouteAttributes> = Vec::new();
+        for rib in self.adj_in.values() {
+            for attrs in rib.values() {
+                if !distinct.contains(&attrs) {
+                    distinct.push(attrs);
+                }
+            }
+        }
+        stats.attr_store_entries = distinct.len() as u64;
+        let mut groups: Vec<&RouteAttributes> = Vec::new();
+        for (_, attrs) in self.loc_rib.values() {
+            if !groups.contains(&attrs) {
+                groups.push(attrs);
+            }
+        }
+        stats.adj_out_groups = groups.len() as u64;
+        stats
+    }
 }
 
 fn peer_pool() -> Vec<PeerInfo> {
@@ -391,7 +416,17 @@ fn check_equivalence(
             prop_assert_eq!(got.as_ref(), want_attrs);
         }
     }
-    prop_assert_eq!(real.stats(), reference.stats);
+    let stats = real.stats();
+    prop_assert_eq!(stats, reference.stats());
+    // The point-in-time sizes are internally consistent too: the store
+    // backs every live Adj-RIB-In entry, and each export group is one
+    // of its interned sets chosen as a best route.
+    prop_assert_eq!(stats.attr_store_entries, real.attr_store().len() as u64);
+    prop_assert!(stats.adj_out_groups <= stats.attr_store_entries);
+    prop_assert!(stats.adj_out_groups <= real.loc_rib().len() as u64);
+    if !reference.loc_rib.is_empty() {
+        prop_assert!(stats.adj_out_groups >= 1);
+    }
     Ok(())
 }
 

@@ -1,5 +1,7 @@
 //! The tick loop: scheduling, job completion dispatch, and sampling.
 
+use bgpbench_telemetry::{self as telemetry, MetricId};
+
 use crate::process::{Job, Process, ProcessId, ProcessStats, SchedClass};
 use crate::recorder::Recorder;
 use crate::time::{SimDuration, SimTime};
@@ -162,6 +164,10 @@ pub struct Simulator<M> {
     recorder: Recorder,
     deferred: Vec<(ProcessId, Job)>,
     last_sample: SimTime,
+    /// Telemetry cycle counter for each process, resolved from its
+    /// name at build time so the per-tick attribution loop is an
+    /// indexed lookup.
+    cycle_metric: Vec<MetricId>,
     /// Whether the most recent step injected, executed, or completed
     /// anything — used to distinguish a drained system from one that is
     /// busy every tick.
@@ -175,6 +181,11 @@ impl<M: Model> Simulator<M> {
         config.validate();
         let mut builder = ProcessBuilder::default();
         let model = build(&mut builder);
+        let cycle_metric = builder
+            .processes
+            .iter()
+            .map(|p| MetricId::for_process(&p.name))
+            .collect();
         Simulator {
             config,
             now: SimTime::ZERO,
@@ -183,6 +194,7 @@ impl<M: Model> Simulator<M> {
             recorder: Recorder::new(),
             deferred: Vec::new(),
             last_sample: SimTime::ZERO,
+            cycle_metric,
             step_was_active: false,
         }
     }
@@ -232,11 +244,22 @@ impl<M: Model> Simulator<M> {
         self.deferred.is_empty() && self.processes.iter().all(|p| p.queue.is_empty())
     }
 
+    /// Full ticks the clock has advanced since construction.
+    pub fn ticks_elapsed(&self) -> u64 {
+        self.now.as_nanos() / self.config.tick.as_nanos()
+    }
+
     /// Advances one tick.
     pub fn step(&mut self) {
         let queue_budget = self.config.core_budget();
         let ncores = self.config.cores.len();
         let tick_ns = self.config.tick.as_nanos();
+        let telemetry_on = telemetry::enabled();
+        if telemetry_on {
+            // Publish the virtual clock before the model runs so spans
+            // opened inside its callbacks stamp this tick's time.
+            telemetry::set_virtual_now_ns(self.now.as_nanos());
+        }
 
         let mut active = !self.deferred.is_empty();
 
@@ -306,6 +329,7 @@ impl<M: Model> Simulator<M> {
         }
 
         // 5. Completion callbacks; their pushes land next tick.
+        let n_completed = completed.len();
         active |= !completed.is_empty();
         active |= self.processes.iter().any(|p| p.tick_used > 1e-9);
         self.step_was_active = active;
@@ -336,6 +360,20 @@ impl<M: Model> Simulator<M> {
                 self.processes[i].sample_busy = 0.0;
             }
             self.last_sample = self.now;
+        }
+
+        // 7. Telemetry: advance the published virtual clock and
+        //    attribute this tick's cycles to each process's component
+        //    counter (the raw material of the Fig. 3–4 breakdown).
+        if telemetry_on {
+            telemetry::set_virtual_now_ns(self.now.as_nanos());
+            telemetry::incr(MetricId::SimTicks);
+            telemetry::add(MetricId::SimJobsCompleted, n_completed as u64);
+            for (i, process) in self.processes.iter().enumerate() {
+                if process.tick_used > 0.0 {
+                    telemetry::add(self.cycle_metric[i], process.tick_used as u64);
+                }
+            }
         }
     }
 

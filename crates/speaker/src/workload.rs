@@ -8,6 +8,7 @@
 
 use std::net::Ipv4Addr;
 
+use bgpbench_telemetry::{self as telemetry, MetricId, SpanId};
 use bgpbench_wire::{AsPath, Asn, Origin, PathAttribute, Prefix, UpdateMessage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,8 +49,9 @@ pub fn announcements(prefixes: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMess
         spec.prefixes_per_update >= 1,
         "packet size must be positive"
     );
+    let _span = telemetry::span(SpanId::WorkloadGen);
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    prefixes
+    let updates: Vec<UpdateMessage> = prefixes
         .chunks(spec.prefixes_per_update)
         .map(|chunk| {
             let path = generate_path(&mut rng, spec.speaker_asn, spec.path_len);
@@ -62,7 +64,9 @@ pub fn announcements(prefixes: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMess
             }
             builder.build()
         })
-        .collect()
+        .collect();
+    telemetry::add(MetricId::SpeakerUpdatesGenerated, updates.len() as u64);
+    updates
 }
 
 /// Builds a withdrawal stream for `prefixes`, chunked into UPDATEs of
@@ -73,14 +77,17 @@ pub fn announcements(prefixes: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMess
 /// Panics if `prefixes_per_update` is zero.
 pub fn withdrawals(prefixes: &[Prefix], prefixes_per_update: usize) -> Vec<UpdateMessage> {
     assert!(prefixes_per_update >= 1, "packet size must be positive");
-    prefixes
+    let _span = telemetry::span(SpanId::WorkloadGen);
+    let updates: Vec<UpdateMessage> = prefixes
         .chunks(prefixes_per_update)
         .map(|chunk| {
             UpdateMessage::builder()
                 .withdraw_all(chunk.iter().copied())
                 .build()
         })
-        .collect()
+        .collect();
+    telemetry::add(MetricId::SpeakerUpdatesGenerated, updates.len() as u64);
+    updates
 }
 
 /// Builds a route-flap stream: alternating announce/withdraw rounds for
@@ -115,9 +122,10 @@ pub fn flap_storm(prefixes: &[Prefix], spec: &AnnounceSpec, rounds: usize) -> Ve
 pub fn mixed_churn(prefixes: &[Prefix], spec: &AnnounceSpec, window: usize) -> Vec<UpdateMessage> {
     assert!(window >= 1, "window must be positive");
     assert!(spec.path_len >= 1, "AS path must contain the speaker's AS");
+    let _span = telemetry::span(SpanId::WorkloadGen);
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let windows: Vec<&[Prefix]> = prefixes.chunks(window).collect();
-    windows
+    let updates: Vec<UpdateMessage> = windows
         .iter()
         .enumerate()
         .map(|(k, announce)| {
@@ -131,7 +139,9 @@ pub fn mixed_churn(prefixes: &[Prefix], spec: &AnnounceSpec, window: usize) -> V
             }
             builder.announce_all(announce.iter().copied()).build()
         })
-        .collect()
+        .collect();
+    telemetry::add(MetricId::SpeakerUpdatesGenerated, updates.len() as u64);
+    updates
 }
 
 fn generate_path(rng: &mut StdRng, first: Asn, len: usize) -> AsPath {

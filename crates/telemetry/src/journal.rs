@@ -1,0 +1,223 @@
+//! A bounded, overwrite-oldest event journal for post-mortem dumps.
+//!
+//! The journal keeps the last [`Journal::capacity`] interesting events
+//! (decision outcomes, damping transitions, session churn) in a fixed
+//! ring. Recording never blocks progress on anything but the ring's own
+//! lock, never allocates after construction, and silently overwrites
+//! the oldest entry when full — exactly what you want from a flight
+//! recorder that is only read when a cell panics.
+
+use parking_lot::Mutex;
+
+use crate::span::virtual_now_ns;
+
+/// What happened. Payload words `a`/`b` are event-specific (documented
+/// per variant) so events stay `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A prefix gained its first best route. `a` = packed prefix.
+    BestInstalled,
+    /// A prefix's best route was replaced. `a` = packed prefix,
+    /// `b` = 1 if the forwarding table changed.
+    BestReplaced,
+    /// A prefix lost its best route. `a` = packed prefix.
+    BestWithdrawn,
+    /// An announcement was suppressed by damping. `a` = packed prefix.
+    Dampened,
+    /// A BGP session reached Established. `a` = peer id.
+    SessionUp,
+    /// An established session went down. `a` = peer id.
+    SessionDown,
+    /// A benchmark phase boundary. `a` = phase number.
+    PhaseStart,
+}
+
+impl EventKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::BestInstalled => "best_installed",
+            EventKind::BestReplaced => "best_replaced",
+            EventKind::BestWithdrawn => "best_withdrawn",
+            EventKind::Dampened => "dampened",
+            EventKind::SessionUp => "session_up",
+            EventKind::SessionDown => "session_down",
+            EventKind::PhaseStart => "phase_start",
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (see [`EventKind`]).
+    pub b: u64,
+    /// Virtual time of the event, if recorded inside a simulation.
+    pub virt_ns: u64,
+}
+
+impl Event {
+    /// An event stamped with the thread's current virtual time.
+    pub fn now(kind: EventKind, a: u64, b: u64) -> Self {
+        Event {
+            kind,
+            a,
+            b,
+            virt_ns: virtual_now_ns(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Event>,
+    /// Next write position.
+    next: usize,
+    /// Whether the ring has wrapped at least once.
+    wrapped: bool,
+    /// Events ever pushed (including overwritten ones).
+    total: u64,
+}
+
+/// The bounded ring of recent events.
+#[derive(Debug)]
+pub struct Journal {
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+impl Journal {
+    /// Default ring size used by the global journal.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A journal holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "journal capacity must be positive");
+        Journal {
+            capacity,
+            inner: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                next: 0,
+                wrapped: false,
+                total: 0,
+            }),
+        }
+    }
+
+    /// The ring size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&self, event: Event) {
+        let mut ring = self.inner.lock();
+        ring.total += 1;
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(event);
+            return;
+        }
+        let slot = ring.next;
+        ring.buf[slot] = event;
+        ring.next = (slot + 1) % self.capacity;
+        ring.wrapped = true;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let ring = self.inner.lock();
+        if !ring.wrapped {
+            return ring.buf.clone();
+        }
+        let mut out = Vec::with_capacity(self.capacity);
+        out.extend_from_slice(&ring.buf[ring.next..]);
+        out.extend_from_slice(&ring.buf[..ring.next]);
+        out
+    }
+
+    /// Events ever pushed, including those already overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().total
+    }
+
+    /// Empties the ring (the total count is kept).
+    pub fn clear(&self) {
+        let mut ring = self.inner.lock();
+        ring.buf.clear();
+        ring.next = 0;
+        ring.wrapped = false;
+    }
+
+    /// Renders the newest `limit` events for a post-mortem dump.
+    pub fn dump_text(&self, limit: usize) -> String {
+        let events = self.events();
+        let total = self.total_recorded();
+        let shown = events.len().min(limit);
+        let mut out = format!(
+            "journal: {} event(s) recorded, showing last {}\n",
+            total, shown
+        );
+        for event in events.iter().rev().take(limit).rev() {
+            out.push_str(&format!(
+                "  [{:>10.3}s] {:<14} a={:#x} b={}\n",
+                event.virt_ns as f64 / 1e9,
+                event.kind.name(),
+                event.a,
+                event.b,
+            ));
+        }
+        out
+    }
+}
+
+/// Packs a prefix (IPv4 address bits + length) into one payload word.
+pub fn pack_prefix(addr: u32, len: u8) -> u64 {
+    (u64::from(addr) << 8) | u64::from(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let journal = Journal::new(3);
+        for i in 0..5u64 {
+            journal.push(Event::now(EventKind::BestInstalled, i, 0));
+        }
+        let events = journal.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest events must be overwritten, order preserved"
+        );
+        assert_eq!(journal.total_recorded(), 5);
+    }
+
+    #[test]
+    fn dump_shows_newest_events() {
+        let journal = Journal::new(8);
+        for i in 0..4u64 {
+            journal.push(Event::now(EventKind::SessionUp, i, 0));
+        }
+        let dump = journal.dump_text(2);
+        assert!(dump.contains("4 event(s) recorded, showing last 2"));
+        assert!(dump.contains("a=0x3"));
+        assert!(!dump.contains("a=0x0"));
+    }
+
+    #[test]
+    fn prefix_packing_is_injective_enough() {
+        assert_ne!(pack_prefix(0x0A000000, 8), pack_prefix(0x0A000000, 16));
+        assert_eq!(pack_prefix(0x0A000000, 8) & 0xFF, 8);
+    }
+}

@@ -1,0 +1,430 @@
+//! Immutable views of a registry: diffable, mergeable, renderable.
+
+use crate::metrics::{bucket_bounds, MetricId, MetricKind, HIST_BUCKETS, N_HISTS, N_SCALARS};
+use crate::span::{SpanId, N_SPANS};
+
+/// One histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Occupancy per log-linear bucket (see
+    /// [`crate::bucket_bounds`]).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the bucket containing quantile `q` (in `0..=1`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (index, occupancy) in self.buckets.iter().enumerate() {
+            seen += occupancy;
+            if seen >= rank {
+                return bucket_bounds(index).0;
+            }
+        }
+        bucket_bounds(HIST_BUCKETS - 1).0
+    }
+}
+
+/// Accumulated totals for one span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanTotals {
+    /// Completed span occurrences.
+    pub count: u64,
+    /// Total host-clock nanoseconds inside the span.
+    pub host_ns: u64,
+    /// Total virtual (simulated) nanoseconds inside the span.
+    pub virt_ns: u64,
+}
+
+/// A point-in-time copy of every metric, histogram, and span total.
+///
+/// Snapshots support the two operations a grid runner needs:
+/// [`Snapshot::diff`] to attribute activity to one cell (snapshot
+/// before and after, subtract) and [`Snapshot::merge`] to combine the
+/// per-thread shards of a parallel run into one report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub(crate) scalars: Vec<u64>,
+    pub(crate) hists: Vec<HistogramSnapshot>,
+    pub(crate) spans: Vec<SpanTotals>,
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot {
+            scalars: vec![0; N_SCALARS],
+            hists: vec![HistogramSnapshot::default(); N_HISTS],
+            spans: vec![SpanTotals::default(); N_SPANS],
+        }
+    }
+}
+
+impl Snapshot {
+    /// The value of a counter or gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` names a histogram.
+    pub fn get(&self, id: MetricId) -> u64 {
+        assert!(
+            id.kind() != MetricKind::Histogram,
+            "{} is a histogram; use Snapshot::histogram",
+            id.name()
+        );
+        self.scalars[id as usize]
+    }
+
+    /// A histogram's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a histogram.
+    pub fn histogram(&self, id: MetricId) -> &HistogramSnapshot {
+        assert!(
+            id.kind() == MetricKind::Histogram,
+            "{} is not a histogram",
+            id.name()
+        );
+        &self.hists[id as usize - N_SCALARS]
+    }
+
+    /// A span's accumulated totals.
+    pub fn span(&self, id: SpanId) -> SpanTotals {
+        self.spans[id as usize]
+    }
+
+    /// Activity between `earlier` and `self`: counters, histograms,
+    /// and spans subtract; gauges keep their current (newer) level.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let scalars = MetricId::ALL
+            .iter()
+            .take(N_SCALARS)
+            .map(|id| {
+                let slot = *id as usize;
+                match id.kind() {
+                    MetricKind::Gauge => self.scalars[slot],
+                    _ => self.scalars[slot].saturating_sub(earlier.scalars[slot]),
+                }
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .zip(&earlier.hists)
+            .map(|(now, then)| HistogramSnapshot {
+                buckets: now
+                    .buckets
+                    .iter()
+                    .zip(&then.buckets)
+                    .map(|(a, b)| a.saturating_sub(*b))
+                    .collect(),
+                count: now.count.saturating_sub(then.count),
+                sum: now.sum.saturating_sub(then.sum),
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .zip(&earlier.spans)
+            .map(|(now, then)| SpanTotals {
+                count: now.count.saturating_sub(then.count),
+                host_ns: now.host_ns.saturating_sub(then.host_ns),
+                virt_ns: now.virt_ns.saturating_sub(then.virt_ns),
+            })
+            .collect();
+        Snapshot {
+            scalars,
+            hists,
+            spans,
+        }
+    }
+
+    /// Folds `other` into `self`: counters, histograms, and spans add;
+    /// gauges take the max.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for id in MetricId::ALL.iter().take(N_SCALARS) {
+            let slot = *id as usize;
+            match id.kind() {
+                MetricKind::Gauge => {
+                    self.scalars[slot] = self.scalars[slot].max(other.scalars[slot]);
+                }
+                _ => self.scalars[slot] += other.scalars[slot],
+            }
+        }
+        for (mine, theirs) in self.hists.iter_mut().zip(&other.hists) {
+            for (a, b) in mine.buckets.iter_mut().zip(&theirs.buckets) {
+                *a += b;
+            }
+            mine.count += theirs.count;
+            mine.sum = mine.sum.saturating_add(theirs.sum);
+        }
+        for (mine, theirs) in self.spans.iter_mut().zip(&other.spans) {
+            mine.count += theirs.count;
+            mine.host_ns += theirs.host_ns;
+            mine.virt_ns += theirs.virt_ns;
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.scalars.iter().all(|v| *v == 0)
+            && self.hists.iter().all(|h| h.count == 0)
+            && self.spans.iter().all(|s| s.count == 0)
+    }
+
+    /// Human-readable rendering; zero-valued entries are omitted.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("telemetry snapshot\n");
+        for id in MetricId::ALL {
+            match id.kind() {
+                MetricKind::Histogram => {
+                    let hist = self.histogram(id);
+                    if hist.count == 0 {
+                        continue;
+                    }
+                    out.push_str(&format!(
+                        "  hist    {:<26} count={} mean={:.1} p50={} p99={}\n",
+                        id.name(),
+                        hist.count,
+                        hist.mean(),
+                        hist.quantile(0.50),
+                        hist.quantile(0.99),
+                    ));
+                }
+                kind => {
+                    let value = self.get(id);
+                    if value == 0 {
+                        continue;
+                    }
+                    let tag = if kind == MetricKind::Gauge {
+                        "gauge"
+                    } else {
+                        "counter"
+                    };
+                    out.push_str(&format!("  {:<7} {:<26} {}\n", tag, id.name(), value));
+                }
+            }
+        }
+        for id in SpanId::ALL {
+            let span = self.span(id);
+            if span.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  span    {:<26} count={} host={:.3}ms virt={:.3}ms ({})\n",
+                id.name(),
+                span.count,
+                span.host_ns as f64 / 1e6,
+                span.virt_ns as f64 / 1e6,
+                id.component().name(),
+            ));
+        }
+        out
+    }
+
+    /// Long-format CSV: `kind,name,field,value`; zero entries omitted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for id in MetricId::ALL {
+            match id.kind() {
+                MetricKind::Histogram => {
+                    let hist = self.histogram(id);
+                    if hist.count == 0 {
+                        continue;
+                    }
+                    for (field, value) in [
+                        ("count", hist.count),
+                        ("sum", hist.sum),
+                        ("p50", hist.quantile(0.50)),
+                        ("p90", hist.quantile(0.90)),
+                        ("p99", hist.quantile(0.99)),
+                    ] {
+                        out.push_str(&format!("hist,{},{field},{value}\n", id.name()));
+                    }
+                }
+                kind => {
+                    let value = self.get(id);
+                    if value == 0 {
+                        continue;
+                    }
+                    let tag = if kind == MetricKind::Gauge {
+                        "gauge"
+                    } else {
+                        "counter"
+                    };
+                    out.push_str(&format!("{tag},{},value,{value}\n", id.name()));
+                }
+            }
+        }
+        for id in SpanId::ALL {
+            let span = self.span(id);
+            if span.count == 0 {
+                continue;
+            }
+            for (field, value) in [
+                ("count", span.count),
+                ("host_ns", span.host_ns),
+                ("virt_ns", span.virt_ns),
+            ] {
+                out.push_str(&format!("span,{},{field},{value}\n", id.name()));
+            }
+        }
+        out
+    }
+
+    /// Structured JSON rendering; zero entries omitted.
+    pub fn to_json(&self) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for id in MetricId::ALL {
+            match id.kind() {
+                MetricKind::Counter => {
+                    let value = self.get(id);
+                    if value != 0 {
+                        counters.push(format!("    \"{}\": {}", id.name(), value));
+                    }
+                }
+                MetricKind::Gauge => {
+                    let value = self.get(id);
+                    if value != 0 {
+                        gauges.push(format!("    \"{}\": {}", id.name(), value));
+                    }
+                }
+                MetricKind::Histogram => {
+                    let hist = self.histogram(id);
+                    if hist.count == 0 {
+                        continue;
+                    }
+                    hists.push(format!(
+                        "    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.3}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        id.name(),
+                        hist.count,
+                        hist.sum,
+                        hist.mean(),
+                        hist.quantile(0.50),
+                        hist.quantile(0.90),
+                        hist.quantile(0.99),
+                    ));
+                }
+            }
+        }
+        let spans: Vec<String> = SpanId::ALL
+            .iter()
+            .filter(|id| self.span(**id).count != 0)
+            .map(|id| {
+                let span = self.span(*id);
+                format!(
+                    "    \"{}\": {{\"component\": \"{}\", \"count\": {}, \
+                     \"host_ns\": {}, \"virt_ns\": {}}}",
+                    id.name(),
+                    id.component().name(),
+                    span.count,
+                    span.host_ns,
+                    span.virt_ns,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"counters\": {{\n{}\n  }},\n  \"gauges\": {{\n{}\n  }},\n  \
+             \"histograms\": {{\n{}\n  }},\n  \"spans\": {{\n{}\n  }}\n}}\n",
+            counters.join(",\n"),
+            gauges.join(",\n"),
+            hists.join(",\n"),
+            spans.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_gauges() {
+        let reg = Registry::new();
+        reg.add(MetricId::RibUpdates, 10);
+        reg.gauge_set(MetricId::AttrStoreEntries, 5);
+        let before = reg.snapshot();
+        reg.add(MetricId::RibUpdates, 3);
+        reg.gauge_set(MetricId::AttrStoreEntries, 9);
+        let delta = reg.snapshot().diff(&before);
+        assert_eq!(delta.get(MetricId::RibUpdates), 3);
+        assert_eq!(delta.get(MetricId::AttrStoreEntries), 9);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let a = Registry::new();
+        a.add(MetricId::RibUpdates, 4);
+        a.gauge_set(MetricId::AttrStoreEntries, 3);
+        let b = Registry::new();
+        b.add(MetricId::RibUpdates, 6);
+        b.gauge_set(MetricId::AttrStoreEntries, 8);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.get(MetricId::RibUpdates), 10);
+        assert_eq!(merged.get(MetricId::AttrStoreEntries), 8);
+    }
+
+    #[test]
+    fn renderings_include_recorded_entries_only() {
+        let reg = Registry::new();
+        reg.add(MetricId::RibUpdates, 2);
+        reg.observe(MetricId::UpdatePrefixes, 500);
+        let snapshot = reg.snapshot();
+        let text = snapshot.to_text();
+        assert!(text.contains("rib.updates"));
+        assert!(!text.contains("attr_store.hits"));
+        let csv = snapshot.to_csv();
+        assert!(csv.starts_with("kind,name,field,value\n"));
+        assert!(csv.contains("hist,rib.update_prefixes,count,1"));
+        let json = snapshot.to_json();
+        assert!(json.contains("\"rib.updates\": 2"));
+        assert!(json.contains("\"histograms\""));
+    }
+
+    #[test]
+    fn quantiles_track_bucket_lower_bounds() {
+        let reg = Registry::new();
+        for v in [1u64, 1, 1, 1000] {
+            reg.observe(MetricId::ApplyHostNs, v);
+        }
+        let snapshot = reg.snapshot();
+        let hist = snapshot.histogram(MetricId::ApplyHostNs);
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum, 1003);
+        assert_eq!(hist.quantile(0.5), 1);
+        let p100 = hist.quantile(1.0);
+        assert!(p100 <= 1000 && p100 > 500, "p100 bucket floor {p100}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Histogram bucket-boundary coverage: every value must land in
+//! exactly the bucket whose `[lo, hi)` range contains it, with no gaps
+//! or overlaps across the whole log-linear layout.
+
+use bgpbench_telemetry::{bucket_bounds, bucket_index, MetricId, Registry, HIST_BUCKETS};
+use proptest::prelude::*;
+
+#[test]
+fn buckets_tile_the_value_space_without_gaps() {
+    let mut expected_lo = 0u64;
+    for index in 0..HIST_BUCKETS {
+        let (lo, hi) = bucket_bounds(index);
+        assert_eq!(
+            lo, expected_lo,
+            "bucket {index} must start where the previous ended"
+        );
+        assert!(hi > lo, "bucket {index} must be non-empty");
+        expected_lo = hi;
+    }
+    assert_eq!(
+        bucket_bounds(HIST_BUCKETS - 1).1,
+        u64::MAX,
+        "the last bucket must absorb every remaining value"
+    );
+}
+
+#[test]
+fn boundary_values_land_on_their_own_side() {
+    for index in 0..HIST_BUCKETS {
+        let (lo, hi) = bucket_bounds(index);
+        assert_eq!(bucket_index(lo), index, "lo bound of bucket {index}");
+        if hi != u64::MAX {
+            assert_eq!(bucket_index(hi - 1), index, "last value of bucket {index}");
+            assert_eq!(bucket_index(hi), index + 1, "hi bound of bucket {index}");
+        }
+    }
+    assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+}
+
+#[test]
+fn small_values_are_exact() {
+    // The linear head gives exact counts for the values the stack
+    // cares most about (prefixes-per-update of 1 is the small-packet
+    // scenario class).
+    for v in 0..4u64 {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        assert_eq!((lo, hi), (v, v + 1), "value {v} must get its own bucket");
+    }
+}
+
+#[test]
+fn relative_error_is_bounded_by_sub_bucket_width() {
+    // Log-linear with 4 sub-buckets per power of two: bucket width is
+    // at most lo/4, so the lower bound understates a value by < 25 %.
+    for value in [5u64, 17, 100, 499, 500, 501, 65_535, 1_000_000, 123_456_789] {
+        let (lo, hi) = bucket_bounds(bucket_index(value));
+        assert!(lo <= value && value < hi);
+        if hi != u64::MAX {
+            assert!(
+                (hi - lo) * 4 <= lo.max(4),
+                "bucket [{lo},{hi}) too wide for value {value}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds(value in any::<u64>()) {
+        let index = bucket_index(value);
+        prop_assert!(index < HIST_BUCKETS);
+        let (lo, hi) = bucket_bounds(index);
+        prop_assert!(lo <= value);
+        if hi != u64::MAX {
+            prop_assert!(value < hi);
+        }
+    }
+}
+
+#[test]
+fn recorded_observations_sum_to_the_count() {
+    let registry = Registry::new();
+    let values = [0u64, 1, 3, 4, 7, 8, 500, 1 << 20, u64::MAX];
+    for v in values {
+        registry.observe(MetricId::UpdatePrefixes, v);
+    }
+    let snapshot = registry.snapshot();
+    let hist = snapshot.histogram(MetricId::UpdatePrefixes);
+    assert_eq!(hist.count, values.len() as u64);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), values.len() as u64);
+    // Each value occupies exactly the bucket its bounds predict.
+    for v in values {
+        assert!(hist.buckets[bucket_index(v)] > 0, "value {v} unaccounted");
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-shard and cross-thread `Snapshot::merge` coverage.
+//!
+//! The key property: splitting a recording stream across shards (or
+//! registries, or threads) and merging the snapshots must equal
+//! recording the concatenated stream single-threaded.
+
+use bgpbench_telemetry::{MetricId, Registry, Snapshot, SpanTotals, N_SHARDS};
+use proptest::prelude::*;
+
+/// One recorded operation: which metric, and what value.
+fn apply(registry: &Registry, shard: usize, op: &(u8, u64)) {
+    let (which, value) = *op;
+    match which % 4 {
+        0 => registry.add_to_shard(shard, MetricId::RibUpdates, value % 1000),
+        1 => registry.add_to_shard(shard, MetricId::AttrStoreHits, value % 7),
+        2 => registry.observe_in_shard(shard, MetricId::UpdatePrefixes, value % 600),
+        _ => registry.observe_in_shard(shard, MetricId::ApplyHostNs, value),
+    }
+}
+
+proptest! {
+    #[test]
+    fn merged_shard_snapshots_equal_single_threaded_recording(
+        ops in prop::collection::vec((0u8..4, 0u64..1 << 40), 0..200),
+        split in 1usize..8,
+    ) {
+        // Sharded: operation i lands in shard (i % split) of its own
+        // registry; one snapshot per "thread", merged.
+        let mut merged = Snapshot::default();
+        let registries: Vec<Registry> = (0..split).map(|_| Registry::new()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            // Spread across both registries and shard slots to cover
+            // the summation in Registry::snapshot too.
+            apply(&registries[i % split], i % N_SHARDS, op);
+        }
+        for registry in &registries {
+            merged.merge(&registry.snapshot());
+        }
+
+        // Reference: the concatenated stream into one shard of one
+        // registry.
+        let single = Registry::new();
+        for op in &ops {
+            apply(&single, 0, op);
+        }
+
+        prop_assert_eq!(merged, single.snapshot());
+    }
+}
+
+#[test]
+fn concurrent_threads_recording_into_one_registry_lose_nothing() {
+    let registry = Registry::new();
+    let threads = 8;
+    let per_thread = 5_000u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for i in 0..per_thread {
+                    registry.add(MetricId::RibPrefixes, 1);
+                    registry.observe(MetricId::UpdatePrefixes, i % 512);
+                }
+            });
+        }
+    });
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.get(MetricId::RibPrefixes), threads * per_thread);
+    let hist = snapshot.histogram(MetricId::UpdatePrefixes);
+    assert_eq!(hist.count, threads * per_thread);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), threads * per_thread);
+}
+
+#[test]
+fn merge_is_associative_over_span_totals() {
+    let a = Registry::new();
+    let b = Registry::new();
+    let c = Registry::new();
+    a.span_record(bgpbench_telemetry::SpanId::RibApplyUpdate, 100, 10);
+    b.span_record(bgpbench_telemetry::SpanId::RibApplyUpdate, 200, 20);
+    c.span_record(bgpbench_telemetry::SpanId::FibApply, 50, 5);
+
+    let mut left = a.snapshot();
+    left.merge(&b.snapshot());
+    left.merge(&c.snapshot());
+
+    let mut right = b.snapshot();
+    right.merge(&c.snapshot());
+    let mut right_total = a.snapshot();
+    right_total.merge(&right);
+
+    assert_eq!(left, right_total);
+    assert_eq!(
+        left.span(bgpbench_telemetry::SpanId::RibApplyUpdate),
+        SpanTotals {
+            count: 2,
+            host_ns: 300,
+            virt_ns: 30
+        }
+    );
+}
