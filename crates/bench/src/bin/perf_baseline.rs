@@ -163,14 +163,24 @@ fn parse_tracked(json: &str) -> Vec<TrackedScenario> {
     scenarios
 }
 
-/// Compares the fresh run against the tracked baseline; returns the
-/// names of scenarios that regressed beyond `tolerance` percent. The
+/// Outcome of comparing a fresh run against the tracked baseline.
+#[derive(Default)]
+struct Comparison {
+    /// Scenarios that regressed beyond the tolerance.
+    regressions: Vec<String>,
+    /// Scenarios the current run measures but the baseline does not
+    /// track — a stale baseline, fatal under `--check` (an untracked
+    /// scenario can regress forever without failing anything).
+    untracked: Vec<String>,
+}
+
+/// Compares the fresh run against the tracked baseline. The
 /// comparison runs on the per-scenario *minimum*: on a shared host the
 /// median swings with load, while the fastest sample is reproducible
 /// (baselines written before the minimum was recorded fall back to
 /// the median).
-fn compare(results: &[ScenarioResult], tracked: &[TrackedScenario], tolerance: f64) -> Vec<String> {
-    let mut regressions = Vec::new();
+fn compare(results: &[ScenarioResult], tracked: &[TrackedScenario], tolerance: f64) -> Comparison {
+    let mut comparison = Comparison::default();
     eprintln!("\nvs tracked baseline, fastest sample (tolerance {tolerance:.1}%):");
     for result in results {
         match tracked.iter().find(|entry| entry.name == result.name) {
@@ -185,13 +195,16 @@ fn compare(results: &[ScenarioResult], tracked: &[TrackedScenario], tolerance: f
                     result.min_ns_per_iter / 1e3
                 );
                 if delta > tolerance {
-                    regressions.push(result.name.to_owned());
+                    comparison.regressions.push(result.name.to_owned());
                 }
             }
-            None => eprintln!("{:32} (no tracked measurement)", result.name),
+            None => {
+                eprintln!("{:32} (no tracked measurement)", result.name);
+                comparison.untracked.push(result.name.to_owned());
+            }
         }
     }
-    regressions
+    comparison
 }
 
 fn engine() -> RibEngine {
@@ -458,7 +471,7 @@ fn main() {
     json.push_str("  }\n");
     json.push_str("}\n");
 
-    let regressions = tracked
+    let comparison = tracked
         .as_deref()
         .map(|tracked| compare(&results, tracked, options.tolerance))
         .unwrap_or_default();
@@ -467,13 +480,26 @@ fn main() {
     }
     match options.mode {
         BaselineMode::Check => {
-            if !regressions.is_empty() {
+            if !comparison.untracked.is_empty() {
+                eprintln!(
+                    "error: {} scenario(s) have no tracked measurement in {}: {}",
+                    comparison.untracked.len(),
+                    options.out,
+                    comparison.untracked.join(", ")
+                );
+                eprintln!(
+                    "the baseline is stale; re-run without --check (or with --init) to \
+                     record them"
+                );
+                std::process::exit(1);
+            }
+            if !comparison.regressions.is_empty() {
                 eprintln!(
                     "error: {} scenario(s) regressed more than {:.1}% vs {}: {}",
-                    regressions.len(),
+                    comparison.regressions.len(),
                     options.tolerance,
                     options.out,
-                    regressions.join(", ")
+                    comparison.regressions.join(", ")
                 );
                 std::process::exit(1);
             }

@@ -14,6 +14,8 @@
 //! * `--telemetry [text|json|csv]` — enable the telemetry registry for
 //!   the run and dump its snapshot to stderr at the end.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod statics;
 

@@ -1,0 +1,254 @@
+//! The lint allowlist (`check/allow.toml`).
+//!
+//! Violations the repo keeps on purpose are declared here with a
+//! justification, so the lint pass stays zero-tolerance for anything
+//! new. The file is a small TOML subset parsed in tree (no `toml`
+//! crate in this environment): a sequence of `[[allow]]` tables with
+//! string-valued keys.
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "no-panic"
+//! path = "crates/rib/src/fxhash.rs"
+//! contains = "try_into().unwrap()"
+//! reason = "chunks_exact(8) guarantees an 8-byte slice"
+//! ```
+//!
+//! `rule` and `path` select violations; `contains` (optional) narrows
+//! the entry to lines containing the substring, so a file-wide waiver
+//! does not mask unrelated new violations; `reason` is mandatory —
+//! an allowlist entry without a why is a lint violation itself.
+
+use std::fmt;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The lint rule id this entry waives (e.g. `no-panic`).
+    pub rule: String,
+    /// Repo-relative path (forward slashes) of the waived file.
+    pub path: String,
+    /// When set, only lines containing this substring are waived.
+    pub contains: Option<String>,
+    /// Why the violation is intentional.
+    pub reason: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowParseError {}
+
+impl Allowlist {
+    /// An empty allowlist (everything is a violation).
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, AllowParseError> {
+        let mut entries = Vec::new();
+        let mut current: Option<(usize, Vec<(String, String)>)> = None;
+
+        let finish = |current: &mut Option<(usize, Vec<(String, String)>)>,
+                      entries: &mut Vec<AllowEntry>|
+         -> Result<(), AllowParseError> {
+            if let Some((line, pairs)) = current.take() {
+                let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
+                let missing = |key: &str| AllowParseError {
+                    line,
+                    message: format!("[[allow]] entry is missing required key `{key}`"),
+                };
+                entries.push(AllowEntry {
+                    rule: get("rule").ok_or_else(|| missing("rule"))?,
+                    path: get("path").ok_or_else(|| missing("path"))?,
+                    contains: get("contains"),
+                    reason: get("reason").ok_or_else(|| missing("reason"))?,
+                });
+            }
+            Ok(())
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = match raw.find('#') {
+                // A `#` outside a quoted value starts a comment.
+                Some(pos) if !in_string(raw, pos) => &raw[..pos],
+                _ => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(&mut current, &mut entries)?;
+                current = Some((line_no, Vec::new()));
+            } else if let Some((key, value)) = line.split_once('=') {
+                let Some((_, pairs)) = current.as_mut() else {
+                    return Err(AllowParseError {
+                        line: line_no,
+                        message: "key outside any [[allow]] table".to_owned(),
+                    });
+                };
+                let key = key.trim().to_owned();
+                let value = value.trim();
+                let unquoted = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| AllowParseError {
+                        line: line_no,
+                        message: format!("value for `{key}` must be a double-quoted string"),
+                    })?;
+                pairs.push((key, unescape(unquoted)));
+            } else {
+                return Err(AllowParseError {
+                    line: line_no,
+                    message: format!("unrecognized line: {line}"),
+                });
+            }
+        }
+        finish(&mut current, &mut entries)?;
+        Ok(Allowlist { entries })
+    }
+
+    /// The parsed entries.
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+
+    /// The entry waiving `rule` at `path` for a line with `text`,
+    /// if any.
+    pub fn waiver(&self, rule: &str, path: &str, text: &str) -> Option<&AllowEntry> {
+        self.entries.iter().find(|entry| {
+            entry.rule == rule
+                && entry.path == path
+                && entry
+                    .contains
+                    .as_deref()
+                    .is_none_or(|needle| text.contains(needle))
+        })
+    }
+}
+
+/// Whether `pos` in `line` falls inside a double-quoted string.
+fn in_string(line: &str, pos: usize) -> bool {
+    let mut inside = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if i == pos {
+            return inside;
+        }
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            inside = !inside;
+        }
+    }
+    false
+}
+
+/// Resolves the TOML basic-string escapes the allowlist needs.
+fn unescape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_and_without_contains() {
+        let text = r#"
+# repo allowlist
+[[allow]]
+rule = "no-panic"
+path = "crates/rib/src/fxhash.rs"
+contains = "try_into().unwrap()"
+reason = "chunks_exact(8) guarantees an 8-byte slice"
+
+[[allow]]
+rule = "no-instant"
+path = "crates/daemon/src/session.rs"
+reason = "real TCP hold/keepalive timers need the host clock"
+"#;
+        let list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.entries().len(), 2);
+        assert!(list
+            .waiver(
+                "no-panic",
+                "crates/rib/src/fxhash.rs",
+                "x.try_into().unwrap()"
+            )
+            .is_some());
+        // `contains` narrows the waiver to matching lines.
+        assert!(list
+            .waiver("no-panic", "crates/rib/src/fxhash.rs", "y.expect(\"..\")")
+            .is_none());
+        // File-wide waiver matches any line.
+        assert!(list
+            .waiver("no-instant", "crates/daemon/src/session.rs", "anything")
+            .is_some());
+        // Other rules and paths are unaffected.
+        assert!(list
+            .waiver("no-instant", "crates/rib/src/engine.rs", "anything")
+            .is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let text = "[[allow]]\nrule = \"r\"\npath = \"p\"\n";
+        let err = Allowlist::parse(text).unwrap_err();
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn key_outside_table_is_an_error() {
+        assert!(Allowlist::parse("rule = \"r\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_inside_strings_are_preserved() {
+        let text = "[[allow]]\nrule = \"r\"\npath = \"p\"\nreason = \"uses # in text\"\n";
+        let list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.entries()[0].reason, "uses # in text");
+    }
+}

@@ -1,0 +1,232 @@
+//! A bounded exhaustive-schedule mini-interleaver (loom-lite).
+//!
+//! Real model checkers (loom) intercept every atomic operation.
+//! Offline, this module keeps the useful core for *algebraic*
+//! concurrency properties: given each thread's operation sequence, it
+//! enumerates **every** interleaving (all order-preserving merges),
+//! applies each schedule to a fresh copy of the state, and asserts an
+//! invariant on the outcome. If an operation set is genuinely
+//! commutative — as sharded counter increments or snapshot merges must
+//! be — then every schedule reaches the same result, and a schedule
+//! that does not is reported with the exact thread order that broke.
+//!
+//! The enumeration is exact, so it is bounded: `C(n; k1..km)` (the
+//! multinomial) schedules for m threads with ki ops each. [`explore`]
+//! refuses budgets above [`MAX_SCHEDULES`] rather than silently
+//! sampling.
+
+use std::fmt;
+
+/// Ceiling on enumerated schedules; above this, exhaustiveness would
+/// mean minutes of CI time and the test should shrink its op set.
+pub const MAX_SCHEDULES: u64 = 200_000;
+
+/// One op in a schedule: `(thread index, op index within thread)`.
+pub type ScheduledOp = (usize, usize);
+
+/// Why an exploration could not run or did not hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The multinomial exceeds [`MAX_SCHEDULES`].
+    TooManySchedules {
+        /// The exact schedule count.
+        count: u64,
+    },
+    /// The invariant failed on some schedule.
+    InvariantViolated {
+        /// The schedule that failed, as `(thread, op)` pairs.
+        schedule: Vec<ScheduledOp>,
+        /// The invariant's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::TooManySchedules { count } => write!(
+                f,
+                "{count} schedules exceed the exhaustiveness budget of {MAX_SCHEDULES}"
+            ),
+            ExploreError::InvariantViolated { schedule, message } => {
+                write!(f, "invariant violated on schedule {schedule:?}: {message}")
+            }
+        }
+    }
+}
+
+/// Number of order-preserving merges of sequences with these lengths.
+pub fn schedule_count(lens: &[usize]) -> u64 {
+    // C(n; k1..km) computed incrementally: product of C(prefix, ki).
+    let mut total: u64 = 1;
+    let mut placed: u64 = 0;
+    for &len in lens {
+        for i in 1..=len as u64 {
+            placed += 1;
+            // total *= placed; total /= i — kept exact by interleaving
+            // multiply/divide (C is always integral).
+            total = total.saturating_mul(placed) / i;
+            if total > MAX_SCHEDULES.saturating_mul(1000) {
+                return u64::MAX;
+            }
+        }
+    }
+    total
+}
+
+/// Explores every interleaving of `threads` (each a list of opaque
+/// ops), calling `run(schedule)` per schedule; `run` applies the ops
+/// in schedule order to a fresh state and returns `Err(message)` if
+/// the invariant does not hold.
+///
+/// Returns the number of schedules explored.
+///
+/// # Errors
+///
+/// [`ExploreError::TooManySchedules`] when the op set is too large to
+/// exhaust, [`ExploreError::InvariantViolated`] with the exact failing
+/// schedule otherwise.
+pub fn explore<F>(thread_op_counts: &[usize], mut run: F) -> Result<u64, ExploreError>
+where
+    F: FnMut(&[ScheduledOp]) -> Result<(), String>,
+{
+    let count = schedule_count(thread_op_counts);
+    if count > MAX_SCHEDULES {
+        return Err(ExploreError::TooManySchedules { count });
+    }
+
+    let total_ops: usize = thread_op_counts.iter().sum();
+    let mut progress = vec![0usize; thread_op_counts.len()];
+    let mut schedule: Vec<ScheduledOp> = Vec::with_capacity(total_ops);
+    let mut explored = 0u64;
+    backtrack(
+        thread_op_counts,
+        &mut progress,
+        &mut schedule,
+        total_ops,
+        &mut run,
+        &mut explored,
+    )?;
+    Ok(explored)
+}
+
+fn backtrack<F>(
+    counts: &[usize],
+    progress: &mut [usize],
+    schedule: &mut Vec<ScheduledOp>,
+    total_ops: usize,
+    run: &mut F,
+    explored: &mut u64,
+) -> Result<(), ExploreError>
+where
+    F: FnMut(&[ScheduledOp]) -> Result<(), String>,
+{
+    if schedule.len() == total_ops {
+        *explored += 1;
+        return run(schedule).map_err(|message| ExploreError::InvariantViolated {
+            schedule: schedule.clone(),
+            message,
+        });
+    }
+    for thread in 0..counts.len() {
+        if progress[thread] < counts[thread] {
+            schedule.push((thread, progress[thread]));
+            progress[thread] += 1;
+            backtrack(counts, progress, schedule, total_ops, run, explored)?;
+            progress[thread] -= 1;
+            schedule.pop();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_multinomials() {
+        assert_eq!(schedule_count(&[1, 1]), 2);
+        assert_eq!(schedule_count(&[2, 2]), 6);
+        assert_eq!(schedule_count(&[3, 3]), 20);
+        assert_eq!(schedule_count(&[2, 2, 2]), 90);
+        assert_eq!(schedule_count(&[]), 1);
+    }
+
+    #[test]
+    fn explores_exactly_the_multinomial() {
+        let explored = explore(&[2, 2, 2], |_| Ok(())).unwrap();
+        assert_eq!(explored, 90);
+    }
+
+    #[test]
+    fn commutative_ops_pass() {
+        // Two threads each add to a shared sum; addition commutes, so
+        // every schedule ends at the same total.
+        let ops = [vec![1i64, 2], vec![10, 20]];
+        let explored = explore(&[2, 2], |schedule| {
+            let mut sum = 0i64;
+            for &(t, i) in schedule {
+                sum += ops[t][i];
+            }
+            if sum == 33 {
+                Ok(())
+            } else {
+                Err(format!("sum {sum} != 33"))
+            }
+        })
+        .unwrap();
+        assert_eq!(explored, 6);
+    }
+
+    #[test]
+    fn non_commutative_ops_report_the_schedule() {
+        // `set` vs `double` do not commute; some schedule must differ
+        // from the sequential baseline.
+        let baseline = 10i64; // set(5) then double
+        let err = explore(&[1, 1], |schedule| {
+            let mut value = 0i64;
+            for &(t, _) in schedule {
+                value = if t == 0 { 5 } else { value * 2 };
+            }
+            if value == baseline {
+                Ok(())
+            } else {
+                Err(format!("value {value} != {baseline}"))
+            }
+        })
+        .unwrap_err();
+        match err {
+            ExploreError::InvariantViolated { schedule, .. } => {
+                // double-then-set yields 5, not 10.
+                assert_eq!(schedule, vec![(1, 0), (0, 0)]);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_budgets_are_refused() {
+        let err = explore(&[10, 10, 10], |_| Ok(())).unwrap_err();
+        assert!(matches!(err, ExploreError::TooManySchedules { .. }));
+    }
+
+    #[test]
+    fn schedules_preserve_per_thread_order() {
+        explore(&[3, 2], |schedule| {
+            let mut last = [None::<usize>; 2];
+            for &(t, i) in schedule {
+                if let Some(prev) = last[t] {
+                    if i != prev + 1 {
+                        return Err(format!("thread {t} ran op {i} after {prev}"));
+                    }
+                } else if i != 0 {
+                    return Err(format!("thread {t} started at op {i}"));
+                }
+                last[t] = Some(i);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,309 @@
+//! A minimal Rust source scrubber.
+//!
+//! The lint pass does not need a real parser: every invariant it
+//! enforces is a token-presence question *outside* comments, string
+//! literals, and `#[cfg(test)]` items. This module produces a
+//! "scrubbed" copy of a source file — same byte length, same line
+//! structure, with the contents of comments, string/char literals,
+//! and (optionally) test-only items blanked out — so rules can be
+//! implemented as plain substring scans with trustworthy `file:line`
+//! positions.
+//!
+//! Handled syntax: line comments (`//`, `///`, `//!`), nested block
+//! comments (`/* /* */ */`), string literals with escapes, raw
+//! strings with any hash depth (`r#"…"#`), byte and byte-raw strings,
+//! char literals (including `'\''`), and lifetimes (which look like
+//! unterminated char literals to a naive scanner).
+
+/// Replaces the contents of comments and string/char literals with
+/// spaces, preserving newlines and byte offsets.
+pub fn scrub(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Blank `len` bytes starting at `i`, keeping newlines.
+    fn blank(out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize) {
+        for &b in &bytes[from..to] {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if b == b'/' && next == Some(b'/') {
+            let end = bytes[i..]
+                .iter()
+                .position(|&c| c == b'\n')
+                .map_or(bytes.len(), |p| i + p);
+            blank(&mut out, bytes, i, end);
+            i = end;
+        } else if b == b'/' && next == Some(b'*') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, bytes, i, j);
+            i = j;
+        } else if b == b'r' || b == b'b' {
+            // Possible raw / byte string starts: r"…", r#"…"#, b"…",
+            // br#"…"#. Only treat as a literal when the prefix is not
+            // part of a longer identifier (e.g. `for`, `rb_tree`).
+            let prev_ident =
+                i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let mut j = i + 1;
+            let mut raw = b == b'r';
+            if b == b'b' && bytes.get(j) == Some(&b'r') {
+                raw = true;
+                j += 1;
+            }
+            let mut hashes = 0;
+            while raw && bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if !prev_ident && bytes.get(j) == Some(&b'"') {
+                // Raw or byte string. Byte strings (`b"…"`) still obey
+                // escapes; raw strings close at `"` + `hashes` hashes.
+                out.push(bytes[i]);
+                blank(&mut out, bytes, i + 1, j + 1);
+                let mut k = j + 1;
+                if raw {
+                    while k < bytes.len() {
+                        if bytes[k] == b'"'
+                            && bytes[k + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&c| c == b'#')
+                                .count()
+                                == hashes
+                        {
+                            k += 1 + hashes;
+                            break;
+                        }
+                        k += 1;
+                    }
+                } else {
+                    // b"…" — escaped string body.
+                    k = skip_escaped_string(bytes, k);
+                }
+                blank(&mut out, bytes, j + 1, k);
+                i = k;
+            } else {
+                out.push(b);
+                i += 1;
+            }
+        } else if b == b'"' {
+            out.push(b'"');
+            let end = skip_escaped_string(bytes, i + 1);
+            blank(&mut out, bytes, i + 1, end);
+            i = end;
+        } else if b == b'\'' {
+            // Char literal or lifetime. A lifetime is `'` followed by
+            // an identifier not closed by a matching quote.
+            let end = char_literal_end(bytes, i);
+            match end {
+                Some(end) => {
+                    out.push(b'\'');
+                    blank(&mut out, bytes, i + 1, end);
+                    i = end;
+                }
+                None => {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|e| {
+        // Multi-byte characters inside code (outside literals) are
+        // copied verbatim, so the output stays valid UTF-8; this
+        // fallback only guards byte-slicing bugs.
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    })
+}
+
+/// Skips past an escaped (non-raw) string body starting after the
+/// opening quote; returns the index one past the closing quote.
+fn skip_escaped_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If a char literal starts at `i` (which holds `'`), returns the
+/// index one past its closing quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        j += 2;
+        // Escapes like \x41 and \u{…} are longer; scan to the quote.
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (j < bytes.len()).then_some(j + 1);
+    }
+    // Unescaped: a char literal closes within a few bytes (one UTF-8
+    // scalar). A lifetime never has a closing quote right after its
+    // identifier start.
+    let mut k = j;
+    while k < bytes.len() && k - j < 5 {
+        if bytes[k] == b'\'' {
+            // `''` is not a char literal; `'a'` is.
+            return (k > j).then_some(k + 1);
+        }
+        if bytes[k] == b'\n' {
+            return None;
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Per-line mask of code that belongs to `#[cfg(test)]` items.
+///
+/// Works on scrubbed text: finds each `#[cfg(test)]` attribute and
+/// masks through the end of the item it gates — the matching closing
+/// brace of the item's body, or the terminating semicolon for
+/// brace-less items (`use`, fields).
+pub fn cfg_test_mask(scrubbed: &str) -> Vec<bool> {
+    let line_count = scrubbed.lines().count();
+    let mut mask = vec![false; line_count];
+    let bytes = scrubbed.as_bytes();
+
+    // Line number (0-based) for each byte offset.
+    let line_of = |offset: usize| scrubbed[..offset].bytes().filter(|&b| b == b'\n').count();
+
+    let mut search_from = 0;
+    while let Some(found) = scrubbed[search_from..].find("#[cfg(test)]") {
+        let start = search_from + found;
+        let mut j = start + "#[cfg(test)]".len();
+        // Scan forward to the gated item's extent: first `{` opens the
+        // body (match braces), but a `;` first means a brace-less item.
+        let mut end = bytes.len();
+        while j < bytes.len() {
+            match bytes[j] {
+                b';' => {
+                    end = j + 1;
+                    break;
+                }
+                b'{' => {
+                    let mut depth = 1;
+                    let mut k = j + 1;
+                    while k < bytes.len() && depth > 0 {
+                        match bytes[k] {
+                            b'{' => depth += 1,
+                            b'}' => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end = k;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let first = line_of(start);
+        let last = line_of(end.min(bytes.len().saturating_sub(1)));
+        for line in mask.iter_mut().take((last + 1).min(line_count)).skip(first) {
+            *line = true;
+        }
+        search_from = end.max(start + 1);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_preserves_length_and_newlines() {
+        let src = "let x = \"a\\\"b\"; // comment\nlet y = 'c';\n/* multi\nline */ let z = 1;\n";
+        let out = scrub(src);
+        assert_eq!(out.len(), src.len());
+        assert_eq!(
+            out.bytes().filter(|&b| b == b'\n').count(),
+            src.bytes().filter(|&b| b == b'\n').count()
+        );
+        assert!(!out.contains("comment"));
+        assert!(!out.contains("multi"));
+        assert!(!out.contains("a\\\"b"));
+        assert!(out.contains("let z = 1;"));
+    }
+
+    #[test]
+    fn scrub_hides_tokens_inside_literals() {
+        let src = r#"let s = "unwrap() inside"; s.len();"#;
+        let out = scrub(src);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("s.len();"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings() {
+        let src = "let s = r#\"panic! \"quoted\" body\"#; after();";
+        let out = scrub(src);
+        assert!(!out.contains("panic!"));
+        assert!(out.contains("after();"));
+    }
+
+    #[test]
+    fn scrub_handles_nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment */ code();";
+        let out = scrub(src);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("code();"));
+    }
+
+    #[test]
+    fn scrub_keeps_lifetimes_intact() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let out = scrub(src);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn scrub_handles_escaped_quote_char() {
+        let src = "let q = '\\''; next();";
+        let out = scrub(src);
+        assert!(out.contains("next();"));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_test_module() {
+        let src = "fn hot() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn after() {}\n";
+        let scrubbed = scrub(src);
+        let mask = cfg_test_mask(&scrubbed);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_mask_handles_braceless_items() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let mask = cfg_test_mask(&scrub(src));
+        assert_eq!(mask, vec![true, true, false]);
+    }
+}

@@ -1,0 +1,38 @@
+//! In-tree static analysis and correctness tooling for the bgpbench
+//! workspace.
+//!
+//! The build environment has no crates.io access, so the external
+//! analysis stack (dylint, cargo-fuzz, loom, miri) is unavailable.
+//! This crate rebuilds the subset the benchmark's claims actually
+//! rest on, in tree:
+//!
+//! * [`lint`] — a token/line-level scanner (backed by the minimal
+//!   [`lexer`]) enforcing repo-specific invariants: no panicking
+//!   calls in hot-path crates, no host-clock reads outside
+//!   `telemetry`/`bench`, no `std::collections::HashMap` in `rib`,
+//!   `#![forbid(unsafe_code)]` in every crate root, and every
+//!   `MetricId` registered exactly once. Intentional violations live
+//!   in `check/allow.toml` ([`allow`]) with one-line justifications.
+//! * [`fuzz`] — a deterministic mutational fuzzer over the BGP wire
+//!   format, seeded from the valid-message [`corpus`]: decode must
+//!   never panic, decode→encode→decode must be a fixpoint, and
+//!   failures shrink to a minimized hex reproducer.
+//! * [`sync`] + [`interleave`] — a lock-order-cycle detector over the
+//!   acquisition log the `parking_lot` shim records under its
+//!   `check-sync` feature, and a bounded exhaustive-schedule
+//!   mini-interleaver for algebraic concurrency properties
+//!   (loom-lite).
+//!
+//! The `bgpbench-check` binary fronts the lint pass and the fuzzer;
+//! the concurrency checks run as `cargo test -p bgpbench-check
+//! --features check-sync`.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod corpus;
+pub mod fuzz;
+pub mod interleave;
+pub mod lexer;
+pub mod lint;
+pub mod sync;

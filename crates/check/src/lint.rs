@@ -1,0 +1,500 @@
+//! The workspace lint pass.
+//!
+//! Five repo-specific invariants, enforced as token scans over
+//! [`crate::lexer::scrub`]bed source (comments, strings, and
+//! `#[cfg(test)]` items excluded), with `file:line` diagnostics and
+//! the `check/allow.toml` waiver mechanism:
+//!
+//! * `no-panic` — hot-path crates (`wire`, `rib`, `fib`, `telemetry`)
+//!   must not call `unwrap()`/`expect()` or invoke panicking macros:
+//!   a malformed UPDATE must surface as a typed `WireError`, and a
+//!   telemetry record must never abort a measured run.
+//! * `no-instant` — `Instant::now()` belongs to `telemetry` (the
+//!   dual-clock tracer) and `bench` (the harness); anywhere else it
+//!   is an unattributed clock read the paper's methodology cannot
+//!   account for.
+//! * `no-std-hashmap` — `rib` hot paths hash `Prefix` keys millions
+//!   of times per run; `std::collections::HashMap`'s SipHash costs
+//!   ~2× `fxhash` there, so the crate-local `FxHashMap` is mandatory.
+//! * `forbid-unsafe` — every crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//! * `metric-once` — every `MetricId` variant is registered exactly
+//!   once in the `MetricId::ALL` catalog (a variant missing from the
+//!   catalog silently drops its slot from every snapshot).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::allow::Allowlist;
+use crate::lexer::{cfg_test_mask, scrub};
+
+/// Crates whose `src/` is a hot path for the `no-panic` rule.
+const HOT_PATH_CRATES: [&str; 4] = ["wire", "rib", "fib", "telemetry"];
+
+/// Crates allowed to read the host clock.
+const CLOCK_CRATES: [&str; 2] = ["telemetry", "bench"];
+
+/// One unwaived lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (e.g. `no-panic`).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings not covered by the allowlist, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Findings waived by `check/allow.toml`.
+    pub waived: usize,
+    /// Source files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading sources.
+pub fn run(root: &Path, allowlist: &Allowlist) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "src"] {
+        collect_rust_sources(&root.join(top), &mut files)?;
+    }
+    files.sort();
+
+    for file in &files {
+        let rel = relative(root, file);
+        let source = fs::read_to_string(file)?;
+        report.files_scanned += 1;
+        scan_file(&rel, &source, allowlist, &mut report);
+    }
+
+    check_crate_roots(root, &files, allowlist, &mut report);
+    check_metric_catalog(root, &mut report)?;
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files, skipping build output.
+fn collect_rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_sources(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Whether `rel` (repo-relative, forward slashes) is library source of
+/// one of `crates`' `src/` trees (integration `tests/` excluded).
+fn in_crate_src(rel: &str, crates: &[&str]) -> bool {
+    crates
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Whether `rel` is any scanned library source (crate `src/`, shim
+/// `src/`, or the facade), as opposed to integration tests.
+fn is_library_source(rel: &str) -> bool {
+    (rel.starts_with("crates/") || rel.starts_with("shims/") || rel.starts_with("src/"))
+        && !rel.contains("/tests/")
+}
+
+fn push_finding(
+    report: &mut LintReport,
+    allowlist: &Allowlist,
+    rule: &'static str,
+    path: &str,
+    line: usize,
+    line_text: &str,
+    message: String,
+) {
+    if allowlist.waiver(rule, path, line_text).is_some() {
+        report.waived += 1;
+    } else {
+        report.violations.push(Violation {
+            rule,
+            path: path.to_owned(),
+            line,
+            message,
+        });
+    }
+}
+
+/// The token-scan rules (`no-panic`, `no-instant`, `no-std-hashmap`).
+fn scan_file(rel: &str, source: &str, allowlist: &Allowlist, report: &mut LintReport) {
+    if !is_library_source(rel) {
+        return;
+    }
+    let scrubbed = scrub(source);
+    let mask = cfg_test_mask(&scrubbed);
+    let original_lines: Vec<&str> = source.lines().collect();
+
+    let panic_rule = in_crate_src(rel, &HOT_PATH_CRATES);
+    let instant_rule =
+        rel.starts_with("crates/") && !in_crate_src(rel, &CLOCK_CRATES) || rel.starts_with("src/");
+    let hashmap_rule = in_crate_src(rel, &["rib"]);
+
+    for (idx, line) in scrubbed.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let line_no = idx + 1;
+        let original = original_lines.get(idx).copied().unwrap_or("").trim();
+        if panic_rule {
+            for token in [
+                ".unwrap()",
+                ".expect(",
+                "panic!",
+                "unreachable!",
+                "todo!",
+                "unimplemented!",
+            ] {
+                if line.contains(token) {
+                    push_finding(
+                        report,
+                        allowlist,
+                        "no-panic",
+                        rel,
+                        line_no,
+                        original,
+                        format!("`{token}` in hot-path crate (return a typed error instead)"),
+                    );
+                }
+            }
+        }
+        if instant_rule && line.contains("Instant::now") {
+            push_finding(
+                report,
+                allowlist,
+                "no-instant",
+                rel,
+                line_no,
+                original,
+                "host clock read outside `telemetry`/`bench` (use the telemetry tracer)".to_owned(),
+            );
+        }
+        if hashmap_rule && line.contains("collections::HashMap") {
+            push_finding(
+                report,
+                allowlist,
+                "no-std-hashmap",
+                rel,
+                line_no,
+                original,
+                "std HashMap in rib hot path (use crate::fxhash::FxHashMap)".to_owned(),
+            );
+        }
+    }
+}
+
+/// The `forbid-unsafe` rule over every crate root in the file set.
+fn check_crate_roots(
+    root: &Path,
+    files: &[PathBuf],
+    allowlist: &Allowlist,
+    report: &mut LintReport,
+) {
+    for file in files {
+        let rel = relative(root, file);
+        let is_root = rel == "src/lib.rs"
+            || (rel.starts_with("crates/") || rel.starts_with("shims/"))
+                && rel.ends_with("/src/lib.rs");
+        if !is_root {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(file) else {
+            continue;
+        };
+        if !scrub(&source).contains("#![forbid(unsafe_code)]") {
+            push_finding(
+                report,
+                allowlist,
+                "forbid-unsafe",
+                &rel,
+                0,
+                "",
+                "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+            );
+        }
+    }
+}
+
+/// The `metric-once` rule: every `MetricId` variant appears in
+/// `MetricId::ALL` exactly once, and the catalog length matches the
+/// variant count.
+fn check_metric_catalog(root: &Path, report: &mut LintReport) -> io::Result<()> {
+    let rel = "crates/telemetry/src/metrics.rs";
+    let path = root.join(rel);
+    if !path.is_file() {
+        report.violations.push(Violation {
+            rule: "metric-once",
+            path: rel.to_owned(),
+            line: 0,
+            message: "metric catalog file not found".to_owned(),
+        });
+        return Ok(());
+    }
+    let scrubbed = scrub(&fs::read_to_string(&path)?);
+
+    let variants = enum_variants(&scrubbed, "pub enum MetricId");
+    let registered = catalog_entries(&scrubbed);
+    if variants.is_empty() || registered.is_empty() {
+        report.violations.push(Violation {
+            rule: "metric-once",
+            path: rel.to_owned(),
+            line: 0,
+            message: "could not locate `pub enum MetricId` or `MetricId::ALL`".to_owned(),
+        });
+        return Ok(());
+    }
+    for variant in &variants {
+        let count = registered.iter().filter(|r| *r == variant).count();
+        if count != 1 {
+            report.violations.push(Violation {
+                rule: "metric-once",
+                path: rel.to_owned(),
+                line: 0,
+                message: format!(
+                    "MetricId::{variant} is registered {count} times in MetricId::ALL (want exactly 1)"
+                ),
+            });
+        }
+    }
+    for entry in &registered {
+        if !variants.contains(entry) {
+            report.violations.push(Violation {
+                rule: "metric-once",
+                path: rel.to_owned(),
+                line: 0,
+                message: format!("MetricId::ALL names unknown variant `{entry}`"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Variant names of the enum declared by `header` (e.g.
+/// `pub enum MetricId`): identifiers at brace depth 1 that are
+/// followed by `=` (explicit discriminants) or `,`.
+fn enum_variants(scrubbed: &str, header: &str) -> Vec<String> {
+    let Some(start) = scrubbed.find(header) else {
+        return Vec::new();
+    };
+    let Some(open) = scrubbed[start..].find('{') else {
+        return Vec::new();
+    };
+    let body_start = start + open + 1;
+    let mut depth = 1;
+    let mut end = body_start;
+    for (i, c) in scrubbed[body_start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = body_start + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &scrubbed[body_start..end];
+    let mut variants = Vec::new();
+    // Variants in this catalog are `Name = N,` — split on commas at
+    // depth 0 and take the leading identifier.
+    for item in body.split(',') {
+        let item = item.trim();
+        let name: String = item
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            variants.push(name);
+        }
+    }
+    variants
+}
+
+/// `MetricId::X` entries of the `ALL` catalog array.
+fn catalog_entries(scrubbed: &str) -> Vec<String> {
+    let Some(start) = scrubbed.find("const ALL") else {
+        return Vec::new();
+    };
+    let Some(open) = scrubbed[start..].find("= [") else {
+        return Vec::new();
+    };
+    let body_start = start + open + 3;
+    let Some(close) = scrubbed[body_start..].find(']') else {
+        return Vec::new();
+    };
+    let body = &scrubbed[body_start..body_start + close];
+    body.split(',')
+        .filter_map(|item| {
+            item.trim()
+                .strip_prefix("MetricId::")
+                .map(|name| name.trim().to_owned())
+        })
+        .filter(|name| !name.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_and_catalog_extraction() {
+        let src = "
+pub enum MetricId {
+    AlphaOne = 0,
+    BetaTwo = 1,
+}
+impl MetricId {
+    pub const ALL: [MetricId; 2] = [
+        MetricId::AlphaOne,
+        MetricId::BetaTwo,
+    ];
+}
+";
+        let scrubbed = scrub(src);
+        assert_eq!(
+            enum_variants(&scrubbed, "pub enum MetricId"),
+            vec!["AlphaOne", "BetaTwo"]
+        );
+        assert_eq!(catalog_entries(&scrubbed), vec!["AlphaOne", "BetaTwo"]);
+    }
+
+    #[test]
+    fn scan_flags_panics_in_hot_crates_only() {
+        let mut report = LintReport::default();
+        let allow = Allowlist::empty();
+        scan_file(
+            "crates/rib/src/x.rs",
+            "fn f() { y.unwrap(); }\n",
+            &allow,
+            &mut report,
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "no-panic");
+        assert_eq!(report.violations[0].line, 1);
+
+        let mut report = LintReport::default();
+        scan_file(
+            "crates/models/src/x.rs",
+            "fn f() { y.unwrap(); }\n",
+            &allow,
+            &mut report,
+        );
+        assert!(report.is_clean(), "models is not a hot-path crate");
+    }
+
+    #[test]
+    fn scan_ignores_tests_and_comments() {
+        let mut report = LintReport::default();
+        let allow = Allowlist::empty();
+        let src = "\
+// x.unwrap() in a comment
+/// doc: y.expect(\"..\")
+fn hot() {}
+#[cfg(test)]
+mod tests {
+    fn t() { z.unwrap(); }
+}
+";
+        scan_file("crates/wire/src/x.rs", src, &allow, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn instant_rule_spares_telemetry_and_bench() {
+        let allow = Allowlist::empty();
+        for (path, clean) in [
+            ("crates/telemetry/src/span.rs", true),
+            ("crates/bench/src/cli.rs", true),
+            ("crates/rib/src/engine.rs", false),
+        ] {
+            let mut report = LintReport::default();
+            scan_file(
+                path,
+                "fn f() { let t = std::time::Instant::now(); }\n",
+                &allow,
+                &mut report,
+            );
+            assert_eq!(report.is_clean(), clean, "{path}");
+        }
+    }
+
+    #[test]
+    fn waived_findings_are_counted_not_reported() {
+        let allow = Allowlist::parse(
+            "[[allow]]\nrule = \"no-panic\"\npath = \"crates/rib/src/x.rs\"\ncontains = \"unwrap\"\nreason = \"test\"\n",
+        )
+        .unwrap();
+        let mut report = LintReport::default();
+        scan_file(
+            "crates/rib/src/x.rs",
+            "fn f() { y.unwrap(); }\n",
+            &allow,
+            &mut report,
+        );
+        assert!(report.is_clean());
+        assert_eq!(report.waived, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! `bgpbench-check`: the workspace's static-analysis and fuzzing
+//! front end.
+//!
+//! ```text
+//! bgpbench-check lint [--root DIR] [--allow FILE]
+//! bgpbench-check fuzz-wire [--seed N] [--iters N]
+//! bgpbench-check fuzz-wire --repro HEX
+//! ```
+//!
+//! `lint` exits 1 when any unwaived violation exists; `fuzz-wire`
+//! exits 1 when a mutant violates a fuzz property (and prints a
+//! minimized hex reproducer). Both are wired into the CI `check` job.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bgpbench_check::allow::Allowlist;
+use bgpbench_check::{fuzz, lint};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("fuzz-wire") => run_fuzz(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            if let Some(cmd) = other {
+                eprintln!("unknown command `{cmd}`\n");
+            }
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         bgpbench-check lint [--root DIR] [--allow FILE]\n  \
+         bgpbench-check fuzz-wire [--seed N] [--iters N]\n  \
+         bgpbench-check fuzz-wire --repro HEX"
+    );
+}
+
+/// Value of `--flag VALUE` in `args`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The workspace root: `--root`, else the nearest ancestor of the
+/// current directory whose `Cargo.toml` declares `[workspace]`, else
+/// this crate's grandparent (checked-out layout).
+fn workspace_root(args: &[String]) -> PathBuf {
+    if let Some(root) = flag_value(args, "--root") {
+        return PathBuf::from(root);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf()
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let root = workspace_root(args);
+    let allow_path = flag_value(args, "--allow")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("check/allow.toml"));
+
+    let allowlist = if allow_path.is_file() {
+        match std::fs::read_to_string(&allow_path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(list) => list,
+                Err(err) => {
+                    eprintln!("{}: {err}", allow_path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(err) => {
+                eprintln!("{}: {err}", allow_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Allowlist::empty()
+    };
+
+    let report = match lint::run(&root, &allowlist) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("lint walk failed under {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for violation in &report.violations {
+        println!("{violation}");
+    }
+    println!(
+        "lint: {} file(s) scanned, {} violation(s), {} waived",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_fuzz(args: &[String]) -> ExitCode {
+    if let Some(hex) = flag_value(args, "--repro") {
+        return match fuzz::run_reproducer(hex) {
+            Ok(()) => {
+                println!("reproducer no longer fails");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                println!("reproducer still fails: {failure}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let seed = match flag_value(args, "--seed").unwrap_or("7").parse::<u64>() {
+        Ok(seed) => seed,
+        Err(_) => {
+            eprintln!("--seed expects an unsigned integer");
+            return ExitCode::from(2);
+        }
+    };
+    let iters = match flag_value(args, "--iters")
+        .unwrap_or("10000")
+        .parse::<u64>()
+    {
+        Ok(iters) => iters,
+        Err(_) => {
+            eprintln!("--iters expects an unsigned integer");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = fuzz::run(seed, iters);
+    println!(
+        "fuzz-wire: seed {}, {} iteration(s): {} decoded, {} rejected with typed errors",
+        report.seed, report.iterations, report.decoded_ok, report.rejected
+    );
+    match report.failure {
+        None => ExitCode::SUCCESS,
+        Some(reproducer) => {
+            println!("FAILURE at {reproducer}");
+            println!(
+                "replay with: bgpbench-check fuzz-wire --repro {}",
+                reproducer.hex()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

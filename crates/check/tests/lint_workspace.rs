@@ -1,0 +1,60 @@
+//! The lint pass, run against this workspace with the checked-in
+//! allowlist — the same invocation CI's `check` job performs via the
+//! `bgpbench-check lint` binary. Keeping it as a test too means a
+//! bare `cargo test` catches new violations without the extra job.
+
+use std::path::Path;
+
+use bgpbench_check::allow::Allowlist;
+use bgpbench_check::lint;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check sits two levels under the workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let allow_text = std::fs::read_to_string(root.join("check/allow.toml"))
+        .expect("check/allow.toml is checked in");
+    let allowlist = Allowlist::parse(&allow_text).expect("allowlist parses");
+    let report = lint::run(root, &allowlist).expect("workspace walk succeeds");
+
+    assert!(report.files_scanned > 50, "walker found too few sources");
+    assert!(
+        report.is_clean(),
+        "lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_allowlist_entry_is_load_bearing() {
+    // A waiver nothing matches is stale documentation; fail until it
+    // is removed. Run the lint with an empty allowlist and require
+    // each entry to cover at least one raw finding.
+    let root = workspace_root();
+    let allow_text = std::fs::read_to_string(root.join("check/allow.toml")).unwrap();
+    let allowlist = Allowlist::parse(&allow_text).unwrap();
+    let raw = lint::run(root, &Allowlist::empty()).unwrap();
+
+    for entry in allowlist.entries() {
+        let used = raw
+            .violations
+            .iter()
+            .any(|v| v.rule == entry.rule && v.path == entry.path);
+        assert!(
+            used,
+            "allowlist entry [{} @ {}] no longer matches any finding — delete it",
+            entry.rule, entry.path
+        );
+    }
+}

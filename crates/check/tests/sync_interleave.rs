@@ -1,0 +1,352 @@
+//! Concurrency checks over real workspace subsystems, built on the
+//! `check-sync` instrumentation in the `parking_lot`/`crossbeam`
+//! shims plus the [`bgpbench_check::interleave`] mini-interleaver.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p bgpbench-check --features check-sync
+//! ```
+//!
+//! The shim recorders are process-global, so every test touching them
+//! takes the [`serial`] guard — the harness's default parallelism
+//! would otherwise interleave unrelated tests' lock/channel logs.
+
+#![cfg(feature = "check-sync")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+use bgpbench_check::interleave::{explore, ExploreError};
+use bgpbench_check::sync::{recorded_lock_graph, LockOrderGraph};
+use bgpbench_core::{CellSpec, GridRunner, Scenario};
+use bgpbench_models::pentium3;
+use bgpbench_telemetry::{EventKind, Journal, MetricId, Registry, Snapshot};
+use crossbeam::sync_check::ChannelOp;
+use parking_lot::Mutex;
+
+/// Serializes tests that read or reset the global shim recorders.
+fn serial() -> StdMutexGuard<'static, ()> {
+    static GUARD: OnceLock<StdMutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| StdMutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+// ───────────────────────── lock ordering ─────────────────────────
+
+#[test]
+fn consistent_lock_order_leaves_no_cycle() {
+    let _serial = serial();
+    parking_lot::sync_check::reset();
+
+    let a = Arc::new(Mutex::new(0u64));
+    let b = Arc::new(Mutex::new(0u64));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let mut outer = a.lock();
+                    let mut inner = b.lock();
+                    *outer += 1;
+                    *inner += 1;
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+
+    let graph = recorded_lock_graph();
+    assert!(graph.edge_count() >= 1, "nesting must record an edge");
+    assert_eq!(graph.find_cycle(), None);
+}
+
+#[test]
+fn inverted_lock_order_is_detected_without_a_deadlock() {
+    // The negative test the detector exists for: A→B in one region,
+    // B→A in another. Run *sequentially*, this never deadlocks — an
+    // execution-based checker sees nothing — but the order graph has
+    // the cycle that an unlucky parallel schedule would hit.
+    let _serial = serial();
+    parking_lot::sync_check::reset();
+
+    let a = Mutex::new(0u64);
+    let b = Mutex::new(0u64);
+    {
+        let _first = a.lock();
+        let _second = b.lock();
+    }
+    {
+        let _first = b.lock();
+        let _second = a.lock();
+    }
+
+    let graph = recorded_lock_graph();
+    let cycle = graph
+        .find_cycle()
+        .expect("inverted acquisition order must produce a cycle");
+    assert_eq!(cycle.first(), cycle.last());
+    assert!(cycle.contains(&a.sync_id()) && cycle.contains(&b.sync_id()));
+}
+
+#[test]
+fn telemetry_journal_locking_is_cycle_free() {
+    // A real subsystem under the detector: concurrent pushes into the
+    // telemetry journal's ring buffer (a single parking_lot mutex —
+    // there must be no nested acquisition at all).
+    let _serial = serial();
+    parking_lot::sync_check::reset();
+
+    let journal = Arc::new(Journal::new(256));
+    let handles: Vec<_> = (0..4)
+        .map(|thread| {
+            let journal = Arc::clone(&journal);
+            std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    journal.push(bgpbench_telemetry::Event::now(
+                        EventKind::PhaseStart,
+                        thread,
+                        i,
+                    ));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("journal writer panicked");
+    }
+
+    assert_eq!(journal.total_recorded(), 200);
+    let graph = recorded_lock_graph();
+    assert_eq!(
+        graph.find_cycle(),
+        None,
+        "journal writes must not nest locks"
+    );
+}
+
+#[test]
+fn lock_graph_builds_from_arbitrary_edges() {
+    // The graph logic itself is feature-independent; exercise it here
+    // too so a `--features check-sync` run covers both layers.
+    let graph = LockOrderGraph::from_edges([(10, 20), (20, 30)]);
+    assert_eq!(graph.find_cycle(), None);
+}
+
+// ─────────────── registry sharded recording (loom-lite) ───────────────
+
+#[test]
+fn sharded_metric_recording_commutes_across_all_schedules() {
+    // Three "threads" record into three distinct registry shards —
+    // the exact write pattern GridRunner workers produce. Every
+    // interleaving must yield the same snapshot, or sharding would
+    // make measured numbers schedule-dependent.
+    let ops: [Vec<(usize, MetricId, u64)>; 3] = [
+        vec![
+            (0, MetricId::RibUpdates, 1),
+            (0, MetricId::RibPrefixes, 10),
+            (0, MetricId::RibUpdates, 2),
+        ],
+        vec![(1, MetricId::RibUpdates, 4), (1, MetricId::FibInstalls, 7)],
+        vec![(2, MetricId::RibPrefixes, 5), (2, MetricId::RibUpdates, 8)],
+    ];
+
+    let apply = |schedule: &[(usize, usize)]| {
+        let registry = Registry::new();
+        for &(thread, index) in schedule {
+            let (shard, id, n) = ops[thread][index];
+            registry.add_to_shard(shard, id, n);
+        }
+        registry.snapshot()
+    };
+
+    // Sequential baseline: thread 0 fully, then 1, then 2.
+    let baseline = {
+        let sequential: Vec<(usize, usize)> = (0..3)
+            .flat_map(|t| (0..ops[t].len()).map(move |i| (t, i)))
+            .collect();
+        apply(&sequential)
+    };
+    assert_eq!(baseline.get(MetricId::RibUpdates), 15);
+    assert_eq!(baseline.get(MetricId::RibPrefixes), 15);
+    assert_eq!(baseline.get(MetricId::FibInstalls), 7);
+
+    let lens = [ops[0].len(), ops[1].len(), ops[2].len()];
+    let explored = explore(&lens, |schedule| {
+        let snapshot = apply(schedule);
+        if snapshot == baseline {
+            Ok(())
+        } else {
+            Err(format!(
+                "snapshot diverged: RibUpdates {} vs {}",
+                snapshot.get(MetricId::RibUpdates),
+                baseline.get(MetricId::RibUpdates)
+            ))
+        }
+    })
+    .expect("all schedules must agree");
+    // C(7; 3,2,2) = 210 distinct interleavings.
+    assert_eq!(explored, 210);
+}
+
+#[test]
+fn histogram_shard_recording_commutes() {
+    let ops: [Vec<u64>; 2] = [vec![3, 900, 17], vec![250_000, 12]];
+    let apply = |schedule: &[(usize, usize)]| {
+        let registry = Registry::new();
+        for &(thread, index) in schedule {
+            registry.observe_in_shard(thread, MetricId::UpdatePrefixes, ops[thread][index]);
+        }
+        registry.snapshot()
+    };
+    let baseline = apply(&[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
+    assert_eq!(baseline.histogram(MetricId::UpdatePrefixes).count, 5);
+
+    explore(&[3, 2], |schedule| {
+        if apply(schedule) == baseline {
+            Ok(())
+        } else {
+            Err("histogram snapshot diverged".to_owned())
+        }
+    })
+    .expect("histogram recording must commute");
+}
+
+// ───────────────────── snapshot merge algebra ─────────────────────
+
+#[test]
+fn snapshot_merge_is_schedule_independent() {
+    // GridRunner merges per-worker snapshots in completion order,
+    // which varies run to run; the merged report must not.
+    let part = |updates: u64, gauge: u64, observed: u64| {
+        let registry = Registry::new();
+        registry.add(MetricId::RibUpdates, updates);
+        registry.gauge_set(MetricId::LocRibPrefixes, gauge);
+        registry.observe(MetricId::UpdatePrefixes, observed);
+        registry.snapshot()
+    };
+    let parts = [part(3, 100, 7), part(5, 900, 2), part(11, 4, 40)];
+
+    let merged_in = |schedule: &[(usize, usize)]| {
+        let mut total = Snapshot::default();
+        for &(thread, _) in schedule {
+            total.merge(&parts[thread]);
+        }
+        total
+    };
+    let baseline = merged_in(&[(0, 0), (1, 0), (2, 0)]);
+    assert_eq!(baseline.get(MetricId::RibUpdates), 19);
+    // Gauges merge by max, not sum.
+    assert_eq!(baseline.get(MetricId::LocRibPrefixes), 900);
+    assert_eq!(baseline.histogram(MetricId::UpdatePrefixes).count, 3);
+
+    let explored = explore(&[1, 1, 1], |schedule| {
+        if merged_in(schedule) == baseline {
+            Ok(())
+        } else {
+            Err("merge order changed the merged snapshot".to_owned())
+        }
+    })
+    .expect("merge must commute");
+    assert_eq!(explored, 6);
+}
+
+#[test]
+fn interleaver_rejects_a_planted_non_commutative_op() {
+    // Self-test of the harness: feed the interleaver an op set that is
+    // *not* commutative and require it to find the breaking schedule.
+    let result = explore(&[1, 1], |schedule| {
+        let mut value = 1u64;
+        for &(thread, _) in schedule {
+            value = if thread == 0 { value + 10 } else { value * 2 };
+        }
+        if value == 22 {
+            Ok(())
+        } else {
+            Err(format!("value {value}"))
+        }
+    });
+    assert!(matches!(
+        result,
+        Err(ExploreError::InvariantViolated { .. })
+    ));
+}
+
+// ─────────────────── grid runner work queue (FIFO) ───────────────────
+
+#[test]
+fn grid_runner_channels_obey_fifo_and_lose_nothing() {
+    let _serial = serial();
+    crossbeam::sync_check::reset();
+    parking_lot::sync_check::reset();
+
+    const CELLS: usize = 24;
+    let cells: Vec<CellSpec> = (0..CELLS)
+        .map(|i| {
+            CellSpec::new(Scenario::S2, pentium3())
+                .prefixes(10)
+                .seed(i as u64)
+        })
+        .collect();
+    let touched = AtomicU64::new(0);
+    let runs = GridRunner::new(4).run_map(&cells, |cell| {
+        touched.fetch_add(1, Ordering::Relaxed);
+        cell.cell_seed()
+    });
+
+    // The runner's contract first: everything ran, in grid order.
+    assert_eq!(runs.len(), CELLS);
+    assert_eq!(touched.load(Ordering::Relaxed), CELLS as u64);
+    for (i, run) in runs.iter().enumerate() {
+        assert_eq!(*run.result.as_ref().expect("cell failed"), i as u64);
+    }
+
+    // Now the recorded channel discipline. Group operations by
+    // channel id.
+    use std::collections::BTreeMap;
+    let mut sends: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut recvs: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for op in crossbeam::sync_check::ops() {
+        match op {
+            ChannelOp::Send { chan, seq } => sends.entry(chan).or_default().push(seq),
+            ChannelOp::Recv { chan, seq } => recvs.entry(chan).or_default().push(seq),
+            ChannelOp::SendDisconnected { .. } | ChannelOp::RecvDisconnected { .. } => {}
+        }
+    }
+    assert!(!sends.is_empty(), "the runner must use recorded channels");
+
+    for (chan, seqs) in &recvs {
+        // FIFO: dequeue order equals enqueue order, per channel.
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "channel {chan} delivered out of order: {seqs:?}"
+        );
+        let sent = &sends[chan];
+        assert!(
+            seqs.len() <= sent.len(),
+            "channel {chan} delivered more than was sent"
+        );
+    }
+    // The work queue: some channel carried exactly one send and one
+    // receive per cell, with nothing lost.
+    let work_queues: Vec<u64> = sends
+        .iter()
+        .filter(|(chan, sent)| {
+            sent.len() == CELLS && recvs.get(chan).is_some_and(|r| r.len() == CELLS)
+        })
+        .map(|(chan, _)| *chan)
+        .collect();
+    assert!(
+        !work_queues.is_empty(),
+        "no channel matches the work queue's send/recv profile"
+    );
+
+    // And while the workers ran: no lock-order hazard anywhere in the
+    // runner/telemetry stack they exercised.
+    assert_eq!(recorded_lock_graph().find_cycle(), None);
+}

@@ -44,6 +44,8 @@
 //! assert!(result.tps() > 100.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod breakdown;
 pub mod experiments;
 pub mod extensions;

@@ -28,6 +28,8 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod core;
 mod daemon;

@@ -31,6 +31,8 @@
 //! assert_eq!(hop.gateway(), Ipv4Addr::new(192, 0, 2, 1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod checksum;
 mod compressed;
 mod fib;

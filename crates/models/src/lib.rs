@@ -26,6 +26,8 @@
 //! [`SimRouter`] wraps either model behind one interface for the
 //! benchmark harness.
 
+#![forbid(unsafe_code)]
+
 mod costs;
 mod crosstraffic;
 mod ios;

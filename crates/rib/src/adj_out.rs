@@ -1,7 +1,6 @@
 //! The Adj-RIB-Out: per-neighbor advertisement state and UPDATE
 //! generation (RFC 4271 §3.2, §9.2).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use bgpbench_telemetry::{self as telemetry, MetricId, SpanId};
@@ -28,7 +27,7 @@ pub enum ExportAction {
 /// `max_prefixes_per_update` prefixes each.
 #[derive(Debug, Clone, Default)]
 pub struct AdjRibOut {
-    advertised: HashMap<Prefix, Arc<RouteAttributes>>,
+    advertised: FxHashMap<Prefix, Arc<RouteAttributes>>,
 }
 
 impl AdjRibOut {
@@ -61,7 +60,7 @@ impl AdjRibOut {
         I: IntoIterator<Item = (Prefix, Arc<RouteAttributes>)>,
     {
         let _span = telemetry::span(SpanId::AdjOutSync);
-        let desired: HashMap<Prefix, Arc<RouteAttributes>> = desired.into_iter().collect();
+        let desired: FxHashMap<Prefix, Arc<RouteAttributes>> = desired.into_iter().collect();
         let mut actions = Vec::new();
         for (prefix, attrs) in &desired {
             let unchanged = self

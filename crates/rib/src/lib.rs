@@ -39,6 +39,8 @@
 //! # Ok::<(), bgpbench_rib::RibError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adj_out;
 mod attr_store;
 mod damping;

@@ -69,6 +69,8 @@
 //! assert_eq!(outcome.elapsed.as_millis(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod process;
 mod recorder;
 mod simulator;

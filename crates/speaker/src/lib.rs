@@ -38,6 +38,8 @@
 //! assert_eq!(updates.len(), 2); // 1000 prefixes / 500 per update
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod generator;
 mod live;
 mod script;

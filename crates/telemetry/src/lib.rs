@@ -44,6 +44,8 @@
 //! assert_eq!(delta.histogram(MetricId::UpdatePrefixes).count, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod journal;
 mod metrics;
 mod snapshot;

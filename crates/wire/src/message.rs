@@ -116,14 +116,15 @@ impl Message {
     /// # Errors
     ///
     /// Returns [`WireError::MessageTooLong`] if the encoding would
-    /// exceed [`MAX_MESSAGE_LEN`].
+    /// exceed [`MAX_MESSAGE_LEN`], and [`WireError::MalformedOpen`]
+    /// for OPEN capabilities that overflow the u8 length fields.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(&[0xFF; 16]);
         buf.extend_from_slice(&[0, 0]); // length placeholder
         buf.push(self.message_type().to_wire());
         match self {
-            Message::Open(open) => open.encode_body(&mut buf),
+            Message::Open(open) => open.encode_body(&mut buf)?,
             Message::Update(update) => update.encode_body(&mut buf),
             Message::Notification(note) => note.encode_body(&mut buf),
             Message::Keepalive => {}

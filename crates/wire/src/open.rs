@@ -133,23 +133,50 @@ impl OpenMessage {
     }
 
     /// Appends the OPEN body (everything after the common header).
-    pub(crate) fn encode_body(&self, out: &mut Vec<u8>) {
+    ///
+    /// All capabilities are packed into a single Capabilities optional
+    /// parameter (RFC 5492 §4 allows either packing; the dense form
+    /// keeps any OPEN that *decodes* within the u8 length budget
+    /// re-encodable, since the decoder's 255-octet optional-parameter
+    /// region bounds the total capability bytes at 253).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MalformedOpen`] when a capability value
+    /// exceeds 253 octets or the packed capabilities exceed the
+    /// 253-octet parameter budget — both only reachable through
+    /// hand-built messages, never through `decode_body`.
+    pub(crate) fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         out.push(BGP_VERSION);
         out.extend_from_slice(&self.asn.0.to_be_bytes());
         out.extend_from_slice(&self.hold_time_secs.to_be_bytes());
         out.extend_from_slice(&self.router_id.0.to_be_bytes());
-        let mut params = Vec::new();
+        let mut caps = Vec::new();
         for capability in &self.capabilities {
             let value = capability.value_bytes();
-            // One capability per optional parameter, the common choice.
-            params.push(OPT_PARAM_CAPABILITIES);
-            params.push((value.len() + 2) as u8);
-            params.push(capability.code());
-            params.push(value.len() as u8);
-            params.extend_from_slice(&value);
+            if value.len() > u8::MAX as usize - 2 {
+                return Err(WireError::MalformedOpen {
+                    field: "capability value exceeds 253 octets",
+                });
+            }
+            caps.push(capability.code());
+            caps.push(value.len() as u8);
+            caps.extend_from_slice(&value);
         }
-        out.push(params.len() as u8);
-        out.extend_from_slice(&params);
+        if caps.len() > u8::MAX as usize - 2 {
+            return Err(WireError::MalformedOpen {
+                field: "capabilities exceed the optional-parameter budget",
+            });
+        }
+        if caps.is_empty() {
+            out.push(0);
+        } else {
+            out.push(caps.len() as u8 + 2);
+            out.push(OPT_PARAM_CAPABILITIES);
+            out.push(caps.len() as u8);
+            out.extend_from_slice(&caps);
+        }
+        Ok(())
     }
 
     /// Decodes an OPEN body.
@@ -249,7 +276,7 @@ mod tests {
 
     fn roundtrip(open: OpenMessage) {
         let mut buf = Vec::new();
-        open.encode_body(&mut buf);
+        open.encode_body(&mut buf).unwrap();
         let decoded = OpenMessage::decode_body(&buf).unwrap();
         assert_eq!(decoded, open);
     }
@@ -276,7 +303,7 @@ mod tests {
     fn rejects_wrong_version() {
         let open = OpenMessage::new(Asn(1), 90, RouterId(1));
         let mut buf = Vec::new();
-        open.encode_body(&mut buf);
+        open.encode_body(&mut buf).unwrap();
         buf[0] = 3;
         assert_eq!(
             OpenMessage::decode_body(&buf),
@@ -288,7 +315,7 @@ mod tests {
     fn rejects_zero_asn_and_router_id() {
         let open = OpenMessage::new(Asn(1), 90, RouterId(1));
         let mut buf = Vec::new();
-        open.encode_body(&mut buf);
+        open.encode_body(&mut buf).unwrap();
         let mut zero_as = buf.clone();
         zero_as[1] = 0;
         zero_as[2] = 0;
@@ -308,7 +335,9 @@ mod tests {
     fn rejects_hold_time_one_and_two() {
         for ht in [1u16, 2] {
             let mut buf = Vec::new();
-            OpenMessage::new(Asn(1), 90, RouterId(1)).encode_body(&mut buf);
+            OpenMessage::new(Asn(1), 90, RouterId(1))
+                .encode_body(&mut buf)
+                .unwrap();
             buf[3..5].copy_from_slice(&ht.to_be_bytes());
             assert!(matches!(
                 OpenMessage::decode_body(&buf),
@@ -318,7 +347,9 @@ mod tests {
         // Zero and three are fine.
         for ht in [0u16, 3] {
             let mut buf = Vec::new();
-            OpenMessage::new(Asn(1), ht, RouterId(1)).encode_body(&mut buf);
+            OpenMessage::new(Asn(1), ht, RouterId(1))
+                .encode_body(&mut buf)
+                .unwrap();
             assert!(OpenMessage::decode_body(&buf).is_ok());
         }
     }
@@ -326,7 +357,9 @@ mod tests {
     #[test]
     fn rejects_inconsistent_param_length() {
         let mut buf = Vec::new();
-        OpenMessage::new(Asn(1), 90, RouterId(1)).encode_body(&mut buf);
+        OpenMessage::new(Asn(1), 90, RouterId(1))
+            .encode_body(&mut buf)
+            .unwrap();
         buf[9] = 7; // claims parameters that are not present
         assert!(matches!(
             OpenMessage::decode_body(&buf),
@@ -337,12 +370,54 @@ mod tests {
     #[test]
     fn skips_non_capability_parameters() {
         let mut buf = Vec::new();
-        OpenMessage::new(Asn(1), 90, RouterId(1)).encode_body(&mut buf);
+        OpenMessage::new(Asn(1), 90, RouterId(1))
+            .encode_body(&mut buf)
+            .unwrap();
         // Append a deprecated authentication parameter (type 1).
         buf[9] = 4;
         buf.extend_from_slice(&[1, 2, 0xAA, 0xBB]);
         let decoded = OpenMessage::decode_body(&buf).unwrap();
         assert!(decoded.capabilities().is_empty());
+    }
+
+    #[test]
+    fn dense_capability_packing_stays_encodable() {
+        // 80 zero-length capabilities occupy 160 octets packed densely
+        // (2 per cap) — within the 253-octet parameter budget, and the
+        // kind of OPEN the one-parameter-per-capability packing used to
+        // overflow past 255.
+        let mut open = OpenMessage::new(Asn(1), 90, RouterId(1));
+        for code in 0..80u8 {
+            open = open.with_capability(Capability::Unknown {
+                code: 100 + (code % 100),
+                value: Vec::new(),
+            });
+        }
+        roundtrip(open);
+    }
+
+    #[test]
+    fn oversized_capabilities_error_instead_of_wrapping() {
+        let mut buf = Vec::new();
+        // A single capability value above 253 octets cannot be framed.
+        let open = OpenMessage::new(Asn(1), 90, RouterId(1)).with_capability(Capability::Unknown {
+            code: 200,
+            value: vec![0; 254],
+        });
+        assert!(matches!(
+            open.encode_body(&mut buf),
+            Err(WireError::MalformedOpen { .. })
+        ));
+        // So can a set of capabilities that jointly exceed the budget.
+        let mut open = OpenMessage::new(Asn(1), 90, RouterId(1));
+        for _ in 0..127 {
+            open = open.with_capability(Capability::RouteRefresh);
+        }
+        let mut buf = Vec::new();
+        assert!(matches!(
+            open.encode_body(&mut buf),
+            Err(WireError::MalformedOpen { .. })
+        ));
     }
 
     #[test]

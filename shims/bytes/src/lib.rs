@@ -7,6 +7,8 @@
 //! subset; swap the path dependency back to crates.io to use the real
 //! implementation.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Deref;
 
 /// Minimal `Buf`: only the cursor-advancing part of the real trait.

@@ -8,6 +8,8 @@
 //! benchmark with mean wall-clock time per iteration and derived
 //! throughput.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Throughput annotation for a benchmark group.

@@ -5,6 +5,81 @@
 //! semantics — `Sender` and `Receiver` are both `Clone`, `recv` blocks
 //! until a message arrives or every sender is dropped, and dropping
 //! all receivers makes sends fail.
+//!
+//! # Concurrency checking (`check-sync`)
+//!
+//! With the `check-sync` feature enabled, every channel gets a stable
+//! numeric identity, every enqueued message gets a per-channel
+//! sequence number, and every send/receive is recorded into a global
+//! log. `bgpbench-check`'s queue-discipline tests replay the log to
+//! assert FIFO dequeue order and send/receive accounting for the
+//! `GridRunner` work queue. Off by default: zero overhead.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "check-sync")]
+pub mod sync_check {
+    //! The channel-operation recorder behind the `check-sync` feature.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    static NEXT_CHANNEL_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// One recorded channel operation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ChannelOp {
+        /// A message with per-channel sequence number `seq` was
+        /// enqueued.
+        Send {
+            /// The channel's id.
+            chan: u64,
+            /// The message's per-channel sequence number.
+            seq: u64,
+        },
+        /// The message with sequence number `seq` was dequeued.
+        Recv {
+            /// The channel's id.
+            chan: u64,
+            /// The dequeued message's sequence number.
+            seq: u64,
+        },
+        /// A send failed because every receiver was gone.
+        SendDisconnected {
+            /// The channel's id.
+            chan: u64,
+        },
+        /// A receive failed because the channel was empty and every
+        /// sender was gone.
+        RecvDisconnected {
+            /// The channel's id.
+            chan: u64,
+        },
+    }
+
+    fn log() -> &'static Mutex<Vec<ChannelOp>> {
+        static LOG: OnceLock<Mutex<Vec<ChannelOp>>> = OnceLock::new();
+        LOG.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    pub(crate) fn next_channel_id() -> u64 {
+        NEXT_CHANNEL_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn record(op: ChannelOp) {
+        log().lock().unwrap_or_else(|e| e.into_inner()).push(op);
+    }
+
+    /// Clears the global operation log.
+    pub fn reset() {
+        log().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// The operations recorded since the last [`reset`].
+    pub fn ops() -> Vec<ChannelOp> {
+        log().lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -15,11 +90,19 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Sequence numbers paralleling `queue`, plus the next number
+        /// to assign (recording only).
+        #[cfg(feature = "check-sync")]
+        seqs: VecDeque<u64>,
+        #[cfg(feature = "check-sync")]
+        next_seq: u64,
     }
 
     struct Shared<T> {
         state: Mutex<State<T>>,
         ready: Condvar,
+        #[cfg(feature = "check-sync")]
+        chan_id: u64,
     }
 
     /// Error returned by [`Sender::send`] when no receiver remains;
@@ -71,8 +154,14 @@ pub mod channel {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                #[cfg(feature = "check-sync")]
+                seqs: VecDeque::new(),
+                #[cfg(feature = "check-sync")]
+                next_seq: 0,
             }),
             ready: Condvar::new(),
+            #[cfg(feature = "check-sync")]
+            chan_id: crate::sync_check::next_channel_id(),
         });
         (
             Sender {
@@ -83,13 +172,33 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// The channel's stable identity in the `check-sync` log.
+        #[cfg(feature = "check-sync")]
+        pub fn sync_id(&self) -> u64 {
+            self.shared.chan_id
+        }
+
         /// Enqueues `value`, failing only when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.state.lock().unwrap();
             if state.receivers == 0 {
+                #[cfg(feature = "check-sync")]
+                crate::sync_check::record(crate::sync_check::ChannelOp::SendDisconnected {
+                    chan: self.shared.chan_id,
+                });
                 return Err(SendError(value));
             }
             state.queue.push_back(value);
+            #[cfg(feature = "check-sync")]
+            {
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                state.seqs.push_back(seq);
+                crate::sync_check::record(crate::sync_check::ChannelOp::Send {
+                    chan: self.shared.chan_id,
+                    seq,
+                });
+            }
             drop(state);
             self.shared.ready.notify_one();
             Ok(())
@@ -123,15 +232,37 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// The channel's stable identity in the `check-sync` log.
+        #[cfg(feature = "check-sync")]
+        pub fn sync_id(&self) -> u64 {
+            self.shared.chan_id
+        }
+
+        #[cfg(feature = "check-sync")]
+        fn record_pop(&self, state: &mut State<T>) {
+            if let Some(seq) = state.seqs.pop_front() {
+                crate::sync_check::record(crate::sync_check::ChannelOp::Recv {
+                    chan: self.shared.chan_id,
+                    seq,
+                });
+            }
+        }
+
         /// Dequeues the next message, blocking while the channel is
         /// empty and senders remain.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut state = self.shared.state.lock().unwrap();
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    #[cfg(feature = "check-sync")]
+                    self.record_pop(&mut state);
                     return Ok(value);
                 }
                 if state.senders == 0 {
+                    #[cfg(feature = "check-sync")]
+                    crate::sync_check::record(crate::sync_check::ChannelOp::RecvDisconnected {
+                        chan: self.shared.chan_id,
+                    });
                     return Err(RecvError);
                 }
                 state = self.shared.ready.wait(state).unwrap();
@@ -142,8 +273,14 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.state.lock().unwrap();
             if let Some(value) = state.queue.pop_front() {
+                #[cfg(feature = "check-sync")]
+                self.record_pop(&mut state);
                 Ok(value)
             } else if state.senders == 0 {
+                #[cfg(feature = "check-sync")]
+                crate::sync_check::record(crate::sync_check::ChannelOp::RecvDisconnected {
+                    chan: self.shared.chan_id,
+                });
                 Err(TryRecvError::Disconnected)
             } else {
                 Err(TryRecvError::Empty)
@@ -239,5 +376,27 @@ mod tests {
         let a = rx1.recv().unwrap();
         let b = rx2.recv().unwrap();
         assert_eq!([a, b], [1, 2]);
+    }
+
+    #[cfg(feature = "check-sync")]
+    #[test]
+    fn recorded_seqs_follow_fifo_order() {
+        use crate::sync_check::{self, ChannelOp};
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for _ in 0..10 {
+            rx.recv().unwrap();
+        }
+        let chan = tx.sync_id();
+        let recvs: Vec<u64> = sync_check::ops()
+            .into_iter()
+            .filter_map(|op| match op {
+                ChannelOp::Recv { chan: c, seq } if c == chan => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recvs, (0..10).collect::<Vec<u64>>());
     }
 }

@@ -3,39 +3,222 @@
 //! Provides the non-poisoning [`Mutex`] API the daemon uses, backed by
 //! `std::sync::Mutex`. A poisoned std lock is recovered transparently,
 //! matching parking_lot's no-poisoning semantics.
+//!
+//! # Concurrency checking (`check-sync`)
+//!
+//! With the `check-sync` feature enabled, every `Mutex` gets a stable
+//! numeric identity and every acquisition is recorded into a global
+//! log together with the set of locks the acquiring thread already
+//! holds. `bgpbench-check` consumes the recorded held→acquired edges
+//! to detect lock-order cycles (potential deadlocks) without needing
+//! the unlucky schedule to actually occur. The feature is strictly
+//! additive: with it disabled, the lock compiles down to the plain
+//! std wrapper below.
+
+#![forbid(unsafe_code)]
 
 use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
+#[cfg(feature = "check-sync")]
+pub mod sync_check {
+    //! The lock-acquisition recorder behind the `check-sync` feature.
+    //!
+    //! Recording is process-global: tests that inspect the log should
+    //! [`reset`] first and run single-scenario (the workspace's
+    //! check-sync tests serialize on a private mutex for this).
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// One recorded lock event.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum LockEvent {
+        /// A thread acquired the lock while holding `held_top` (the
+        /// innermost lock already held, 0 when none).
+        Acquired {
+            /// The acquired lock's id.
+            lock: u64,
+            /// Innermost lock already held by this thread, 0 if none.
+            held_top: u64,
+        },
+        /// A thread released the lock.
+        Released {
+            /// The released lock's id.
+            lock: u64,
+        },
+    }
+
+    struct Recorder {
+        events: Vec<LockEvent>,
+        /// Distinct (held, acquired) pairs observed across all threads.
+        edges: Vec<(u64, u64)>,
+    }
+
+    fn recorder() -> &'static Mutex<Recorder> {
+        static RECORDER: OnceLock<Mutex<Recorder>> = OnceLock::new();
+        RECORDER.get_or_init(|| {
+            Mutex::new(Recorder {
+                events: Vec::new(),
+                edges: Vec::new(),
+            })
+        })
+    }
+
+    thread_local! {
+        static HELD: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+
+    pub(crate) fn next_lock_id() -> u64 {
+        NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn on_acquire(lock: u64) {
+        let held: Vec<u64> = HELD.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let snapshot = stack.clone();
+            stack.push(lock);
+            snapshot
+        });
+        let mut rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
+        rec.events.push(LockEvent::Acquired {
+            lock,
+            held_top: held.last().copied().unwrap_or(0),
+        });
+        for h in held {
+            if !rec.edges.contains(&(h, lock)) {
+                rec.edges.push((h, lock));
+            }
+        }
+    }
+
+    pub(crate) fn on_release(lock: u64) {
+        HELD.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == lock) {
+                stack.remove(pos);
+            }
+        });
+        let mut rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
+        rec.events.push(LockEvent::Released { lock });
+    }
+
+    /// Clears the global log (edges and events).
+    pub fn reset() {
+        let mut rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
+        rec.events.clear();
+        rec.edges.clear();
+    }
+
+    /// Every distinct held→acquired ordering edge recorded since the
+    /// last [`reset`].
+    pub fn edges() -> Vec<(u64, u64)> {
+        recorder()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .edges
+            .clone()
+    }
+
+    /// The raw event log since the last [`reset`].
+    pub fn events() -> Vec<LockEvent> {
+        recorder()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .events
+            .clone()
+    }
+}
+
 /// A mutual-exclusion lock whose `lock` never fails.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(StdMutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "check-sync")]
+    id: std::sync::OnceLock<u64>,
+    inner: StdMutex<T>,
+}
 
 /// Guard returned by [`Mutex::lock`].
+#[cfg(not(feature = "check-sync"))]
 pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+/// Guard returned by [`Mutex::lock`]; under `check-sync` it records
+/// the release when dropped.
+#[cfg(feature = "check-sync")]
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock_id: u64,
+    inner: StdMutexGuard<'a, T>,
+}
+
+#[cfg(feature = "check-sync")]
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "check-sync")]
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "check-sync")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        sync_check::on_release(self.lock_id);
+    }
+}
 
 impl<T> Mutex<T> {
     /// Creates a lock around `value`.
     pub fn new(value: T) -> Self {
-        Mutex(StdMutex::new(value))
+        Mutex {
+            #[cfg(feature = "check-sync")]
+            id: std::sync::OnceLock::new(),
+            inner: StdMutex::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// The lock's stable identity in the `check-sync` log (assigned
+    /// lazily on first use, so `Mutex::default()` stays const-free).
+    #[cfg(feature = "check-sync")]
+    pub fn sync_id(&self) -> u64 {
+        *self.id.get_or_init(sync_check::next_lock_id)
+    }
+
     /// Acquires the lock, blocking until available. Unlike
     /// `std::sync::Mutex`, panics in other holders do not poison the
     /// lock.
+    #[cfg(not(feature = "check-sync"))]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires the lock, recording the acquisition (and the lock set
+    /// the thread already holds) into the `check-sync` log.
+    #[cfg(feature = "check-sync")]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let lock_id = self.sync_id();
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        sync_check::on_acquire(lock_id);
+        MutexGuard { lock_id, inner }
     }
 
     /// Mutable access without locking (the borrow proves uniqueness).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -53,5 +236,18 @@ mod tests {
         })
         .join();
         assert_eq!(*lock.lock(), 7);
+    }
+
+    #[cfg(feature = "check-sync")]
+    #[test]
+    fn nested_acquisition_records_an_edge() {
+        sync_check::reset();
+        let a = Mutex::new(0u8);
+        let b = Mutex::new(0u8);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+        assert!(sync_check::edges().contains(&(a.sync_id(), b.sync_id())));
     }
 }

@@ -17,6 +17,8 @@
 //! reports the assertion message and the case's RNG seed. Case count
 //! defaults to 64 and honours `PROPTEST_CASES`.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 
 pub mod test_runner {

@@ -10,6 +10,8 @@
 //! generated workloads, never exact values, and determinism per seed is
 //! what the harness relies on.
 
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// The next 64 random bits.

@@ -38,6 +38,8 @@
 //! assert!(result.completed);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use bgpbench_core as bench;
 pub use bgpbench_daemon as daemon;
 pub use bgpbench_fib as fib;
