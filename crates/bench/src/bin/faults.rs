@@ -1,0 +1,77 @@
+//! Runs the session-churn fault scenarios S9–S12 on every platform
+//! and sweeps the S9 flap-storm rate into a convergence figure.
+//!
+//! ```text
+//! cargo run --release -p bgpbench-bench --bin faults -- [--quick] [--threads <n>] [--csv [<path>]]
+//! ```
+//!
+//! Two artifacts come out: the S9–S12 convergence table (ticks to
+//! converge, session flaps, duplicate re-advertisements, purged
+//! prefixes) and the flap-storm figure (convergence time and duplicate
+//! announcements versus flap rate). With `--csv <path>`, the table goes
+//! to `<path>` and the figure to `<path>` with a `_sweep` suffix.
+
+use std::path::PathBuf;
+
+use bgpbench_bench::cli::CsvSink;
+use bgpbench_bench::Cli;
+use bgpbench_core::{convergence_report, flap_storm_figure, CellSpec, Render, Scenario};
+use bgpbench_models::all_platforms;
+
+/// Storm-flap spacings swept for the figure, densest first; `--quick`
+/// takes the first [`ExperimentConfig::cross_points`] of them.
+const FLAP_INTERVALS: [u64; 6] = [400, 800, 1500, 2500, 4000, 6000];
+
+/// `<path>.csv` -> `<path>_sweep.csv` for the figure's CSV.
+fn sweep_path(path: &std::path::Path) -> PathBuf {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("faults");
+    let mut name = format!("{stem}_sweep");
+    if let Some(ext) = path.extension().and_then(|s| s.to_str()) {
+        name = format!("{name}.{ext}");
+    }
+    path.with_file_name(name)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let platforms = all_platforms();
+    let intervals = &FLAP_INTERVALS[..cli.config.cross_points.min(FLAP_INTERVALS.len())];
+    let base = CellSpec::new(Scenario::S9, platforms[0].clone())
+        .prefixes(cli.config.small_prefixes)
+        .seed(cli.config.seed);
+
+    eprintln!(
+        "running scenarios 9-12 x {} platforms plus a {}-point flap sweep ({} prefixes/peer) on {} threads...",
+        platforms.len(),
+        intervals.len(),
+        cli.config.small_prefixes,
+        cli.threads
+    );
+    let mut runner = cli.runner();
+    let report = convergence_report(&mut runner, &platforms, &base);
+    let figure = flap_storm_figure(&mut runner, &platforms, intervals, &base);
+
+    // The report goes through the shared emitter (honoring `--csv` and
+    // `--telemetry`); the figure follows with its own CSV sink so the
+    // two artifacts never overwrite each other.
+    cli.emit(&report);
+    println!();
+    match &cli.csv {
+        None => print!("{}", figure.text()),
+        Some(CsvSink::Stdout) => print!("{}\n{}", figure.text(), figure.csv()),
+        Some(CsvSink::File(path)) => {
+            print!("{}", figure.text());
+            let path = sweep_path(path);
+            match std::fs::write(&path, figure.csv()) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(error) => {
+                    eprintln!("error: cannot write {}: {error}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

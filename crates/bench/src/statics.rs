@@ -13,6 +13,7 @@ fn operation_columns(scenario: Scenario) -> (&'static str, &'static str) {
         BgpOperation::IncrementalNoChange | BgpOperation::IncrementalChange => {
             ("Incremental Operation", "ANNOUNCE")
         }
+        BgpOperation::SessionChurn => ("Session Churn", "ANNOUNCE"),
     }
 }
 

@@ -6,9 +6,11 @@
 //! the `check/allow.toml` waiver mechanism:
 //!
 //! * `no-panic` — hot-path crates (`wire`, `rib`, `fib`, `telemetry`)
-//!   must not call `unwrap()`/`expect()` or invoke panicking macros:
-//!   a malformed UPDATE must surface as a typed `WireError`, and a
-//!   telemetry record must never abort a measured run.
+//!   and the daemon's session FSM must not call `unwrap()`/`expect()`
+//!   or invoke panicking macros: a malformed UPDATE must surface as a
+//!   typed `WireError`, a telemetry record must never abort a measured
+//!   run, and an unexpected FSM event must drop the session, not the
+//!   process.
 //! * `no-instant` — `Instant::now()` belongs to `telemetry` (the
 //!   dual-clock tracer) and `bench` (the harness); anywhere else it
 //!   is an unattributed clock read the paper's methodology cannot
@@ -31,6 +33,12 @@ use crate::lexer::{cfg_test_mask, scrub};
 
 /// Crates whose `src/` is a hot path for the `no-panic` rule.
 const HOT_PATH_CRATES: [&str; 4] = ["wire", "rib", "fib", "telemetry"];
+
+/// Individual files under the `no-panic` rule in crates that are not
+/// hot paths as a whole. The session FSM runs once per peer per simnet
+/// tick and inside the live daemon's reader threads; an `unwrap()`
+/// there turns a malformed peer message into a process abort.
+const HOT_PATH_FILES: [&str; 1] = ["crates/daemon/src/fsm.rs"];
 
 /// Crates allowed to read the host clock.
 const CLOCK_CRATES: [&str; 2] = ["telemetry", "bench"];
@@ -185,7 +193,7 @@ fn scan_file(rel: &str, source: &str, allowlist: &Allowlist, report: &mut LintRe
     let mask = cfg_test_mask(&scrubbed);
     let original_lines: Vec<&str> = source.lines().collect();
 
-    let panic_rule = in_crate_src(rel, &HOT_PATH_CRATES);
+    let panic_rule = in_crate_src(rel, &HOT_PATH_CRATES) || HOT_PATH_FILES.contains(&rel);
     let instant_rule =
         rel.starts_with("crates/") && !in_crate_src(rel, &CLOCK_CRATES) || rel.starts_with("src/");
     let hashmap_rule = in_crate_src(rel, &["rib"]);
@@ -443,6 +451,29 @@ impl MetricId {
             &mut report,
         );
         assert!(report.is_clean(), "models is not a hot-path crate");
+    }
+
+    #[test]
+    fn scan_flags_panics_in_the_session_fsm_only() {
+        let allow = Allowlist::empty();
+        let mut report = LintReport::default();
+        scan_file(
+            "crates/daemon/src/fsm.rs",
+            "fn f() { unreachable!(); }\n",
+            &allow,
+            &mut report,
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "no-panic");
+
+        let mut report = LintReport::default();
+        scan_file(
+            "crates/daemon/src/core.rs",
+            "fn f() { y.unwrap(); }\n",
+            &allow,
+            &mut report,
+        );
+        assert!(report.is_clean(), "the rest of the daemon is exempt");
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Seeded fault plans for the session-churn scenarios (S9–S12).
+//!
+//! A [`FaultPlan`] is a tick-ordered schedule of link and session
+//! faults, built deterministically from a seed. The topology engine
+//! ([`crate::Topology`]) injects each due event at the simnet layer
+//! before stepping the router, so the same plan produces the same
+//! message interleaving — and therefore bit-identical convergence
+//! reports — on every run, serial or parallel.
+
+use crate::scenario::ChurnKind;
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Immediate session reset of one peer (administrative flap). The
+    /// peer reconnects on its own and re-advertises its full table.
+    Flap {
+        /// Index of the affected peer.
+        peer: usize,
+    },
+    /// The peer's link goes dark until the given tick: no handshake
+    /// progress, no keepalives, no input. Outlasting the hold timer
+    /// forces an expiry-driven session reset.
+    BlackoutUntil {
+        /// Index of the affected peer.
+        peer: usize,
+        /// First tick at which the link carries traffic again.
+        until_tick: u64,
+    },
+    /// Drop the peer's next `n` messages on the wire.
+    Drop {
+        /// Index of the affected peer.
+        peer: usize,
+        /// Messages to drop.
+        n: u32,
+    },
+    /// Swap the peer's next `pairs` message pairs on the wire.
+    Reorder {
+        /// Index of the affected peer.
+        peer: usize,
+        /// Message pairs to swap.
+        pairs: u32,
+    },
+}
+
+/// A fault scheduled at an absolute simulation tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Tick at which the fault fires.
+    pub at_tick: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic, tick-ordered fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults — S11's startup convergence).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan over explicit events (sorted by tick on construction;
+    /// same-tick events keep their given order).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_tick);
+        FaultPlan { events }
+    }
+
+    /// S9: `flaps` session resets at seeded-random ticks across
+    /// `peers` random peers, with mean spacing `interval_ticks`, plus
+    /// occasional seeded message drops and reorders between them.
+    pub fn flap_storm(seed: u64, peers: usize, flaps: usize, interval_ticks: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut events = Vec::new();
+        let window = interval_ticks.max(1) * flaps as u64;
+        for _ in 0..flaps {
+            let at_tick = 50 + rng.below(window.max(1));
+            let peer = rng.below(peers as u64) as usize;
+            events.push(FaultEvent {
+                at_tick,
+                action: FaultAction::Flap { peer },
+            });
+            // Roughly every other flap rides with a wire fault on
+            // another seeded peer: a short loss burst or a swap.
+            match rng.below(4) {
+                0 => events.push(FaultEvent {
+                    at_tick: 50 + rng.below(window.max(1)),
+                    action: FaultAction::Drop {
+                        peer: rng.below(peers as u64) as usize,
+                        n: 1 + rng.below(3) as u32,
+                    },
+                }),
+                1 => events.push(FaultEvent {
+                    at_tick: 50 + rng.below(window.max(1)),
+                    action: FaultAction::Reorder {
+                        peer: rng.below(peers as u64) as usize,
+                        pairs: 1 + rng.below(2) as u32,
+                    },
+                }),
+                _ => {}
+            }
+        }
+        FaultPlan::from_events(events)
+    }
+
+    /// S10: staggered blackouts, one per peer, each long enough to
+    /// expire the hold timer (`hold_ticks` plus margin), starting
+    /// `hold_ticks / 2` apart so the expiries cascade instead of
+    /// coinciding.
+    pub fn hold_expiry_cascade(peers: usize, hold_ticks: u64) -> Self {
+        let stagger = (hold_ticks / 2).max(1);
+        let events = (0..peers)
+            .map(|peer| {
+                let start = 100 + peer as u64 * stagger;
+                FaultEvent {
+                    at_tick: start,
+                    action: FaultAction::BlackoutUntil {
+                        peer,
+                        until_tick: start + hold_ticks + hold_ticks / 4 + 10,
+                    },
+                }
+            })
+            .collect();
+        FaultPlan::from_events(events)
+    }
+
+    /// S12: one peer restarts at `at_tick` and re-advertises its full
+    /// table on re-establishment.
+    pub fn restart(peer: usize, at_tick: u64) -> Self {
+        FaultPlan::from_events(vec![FaultEvent {
+            at_tick,
+            action: FaultAction::Flap { peer },
+        }])
+    }
+
+    /// The plan a churn scenario runs, sized from the cell's knobs.
+    pub fn for_churn(
+        churn: ChurnKind,
+        seed: u64,
+        peers: usize,
+        flap_interval_ticks: u64,
+        hold_ticks: u64,
+    ) -> Self {
+        match churn {
+            ChurnKind::FlapStorm => {
+                FaultPlan::flap_storm(seed, peers, peers * 2, flap_interval_ticks)
+            }
+            ChurnKind::HoldExpiryCascade => FaultPlan::hold_expiry_cascade(peers, hold_ticks),
+            ChurnKind::StartupConvergence => FaultPlan::none(),
+            ChurnKind::RestartResync => FaultPlan::restart(0, hold_ticks.max(200)),
+        }
+    }
+
+    /// The scheduled events, tick-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The last tick at which anything fires (blackouts count until
+    /// they lift), or 0 for the empty plan.
+    pub fn horizon(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.action {
+                FaultAction::BlackoutUntil { until_tick, .. } => e.at_tick.max(until_tick),
+                _ => e.at_tick,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// SplitMix64 — the workspace's no-dependency seeded generator (the
+/// speaker crate uses the same construction for workload synthesis).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` 0 yields 0.
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let a = FaultPlan::flap_storm(7, 4, 8, 1000);
+        let b = FaultPlan::flap_storm(7, 4, 8, 1000);
+        let c = FaultPlan::flap_storm(8, 4, 8, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn events_come_back_tick_ordered() {
+        let plan = FaultPlan::flap_storm(3, 5, 10, 700);
+        let ticks: Vec<u64> = plan.events().iter().map(|e| e.at_tick).collect();
+        let mut sorted = ticks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ticks, sorted);
+    }
+
+    #[test]
+    fn cascade_covers_every_peer_and_outlasts_hold() {
+        let plan = FaultPlan::hold_expiry_cascade(3, 400);
+        assert_eq!(plan.len(), 3);
+        for (peer, event) in plan.events().iter().enumerate() {
+            let FaultAction::BlackoutUntil {
+                peer: p,
+                until_tick,
+            } = event.action
+            else {
+                panic!("cascade must be blackouts");
+            };
+            assert_eq!(p, peer);
+            assert!(until_tick - event.at_tick > 400, "must outlast hold");
+        }
+    }
+
+    #[test]
+    fn horizon_accounts_for_blackout_tails() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at_tick: 10,
+                action: FaultAction::BlackoutUntil {
+                    peer: 0,
+                    until_tick: 900,
+                },
+            },
+            FaultEvent {
+                at_tick: 500,
+                action: FaultAction::Flap { peer: 1 },
+            },
+        ]);
+        assert_eq!(plan.horizon(), 900);
+        assert_eq!(FaultPlan::none().horizon(), 0);
+    }
+
+    #[test]
+    fn restart_is_a_single_flap() {
+        let plan = FaultPlan::restart(2, 300);
+        assert_eq!(
+            plan.events(),
+            &[FaultEvent {
+                at_tick: 300,
+                action: FaultAction::Flap { peer: 2 },
+            }]
+        );
+    }
+}

@@ -7,7 +7,9 @@ use bgpbench_speaker::{workload, SpeakerScript, TableGenerator};
 use bgpbench_telemetry::{self as telemetry, EventKind, SpanId};
 use bgpbench_wire::Asn;
 
+use crate::faults::FaultPlan;
 use crate::scenario::{BgpOperation, Scenario};
+use crate::topology::{ConvergenceRun, Topology, TopologyConfig};
 
 /// AS-path length Speaker 1 uses for its table.
 const BASE_PATH_LEN: usize = 3;
@@ -30,6 +32,9 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Cross-traffic offered load during the *timed* phase, in Mbps.
     pub cross_traffic_mbps: f64,
+    /// Topology and fault sizing for session-churn scenarios (S9–S12);
+    /// ignored by the paper's eight.
+    pub churn: ChurnConfig,
 }
 
 impl Default for ScenarioConfig {
@@ -38,6 +43,30 @@ impl Default for ScenarioConfig {
             prefixes: 4000,
             seed: 2007,
             cross_traffic_mbps: 0.0,
+            churn: ChurnConfig::default(),
+        }
+    }
+}
+
+/// Session-churn knobs of a scenario run: topology size and fault
+/// timing. Hold times are in simnet ticks and deliberately short next
+/// to RFC 4271's 90 s, so expiry cascades fit in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnConfig {
+    /// Peers attached to the router under test.
+    pub peers: usize,
+    /// Mean spacing of storm flaps, in ticks (S9; the sweep's axis).
+    pub flap_interval_ticks: u64,
+    /// Session hold time in ticks (keepalive is derived as hold/3).
+    pub hold_ticks: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            peers: 4,
+            flap_interval_ticks: 1500,
+            hold_ticks: 900,
         }
     }
 }
@@ -189,9 +218,81 @@ pub(crate) fn run_scenario_with_packetization(
     prefixes_per_update: Option<usize>,
 ) -> (ScenarioResult, SimRouter) {
     assert!(config.prefixes > 0, "scenario needs at least one prefix");
+    if scenario.operation() == BgpOperation::SessionChurn {
+        let (run, router) = run_churn_with_router(platform, scenario, config, prefixes_per_update);
+        let result = ScenarioResult {
+            scenario: run.scenario,
+            platform: run.platform,
+            transactions: run.outcome.transactions,
+            elapsed_secs: router.now_secs(),
+            cross_traffic_mbps: config.cross_traffic_mbps,
+            completed: run.outcome.converged,
+            virtual_ticks: router.ticks_elapsed(),
+        };
+        return (result, router);
+    }
     let mut router = SimRouter::new(platform);
     let result = drive(&mut router, platform, scenario, config, prefixes_per_update);
     (result, router)
+}
+
+/// Safety limit on a churn run, in ticks (10 simulated minutes).
+const CHURN_LIMIT_TICKS: u64 = 600_000;
+
+/// Runs a session-churn scenario (S9–S12) through the topology engine
+/// and returns its full convergence row.
+///
+/// # Panics
+///
+/// Panics if `scenario` is not a fault scenario or `config.prefixes`
+/// is zero.
+pub fn run_churn(
+    platform: &PlatformSpec,
+    scenario: Scenario,
+    config: &ScenarioConfig,
+) -> ConvergenceRun {
+    run_churn_with_router(platform, scenario, config, None).0
+}
+
+pub(crate) fn run_churn_with_router(
+    platform: &PlatformSpec,
+    scenario: Scenario,
+    config: &ScenarioConfig,
+    prefixes_per_update: Option<usize>,
+) -> (ConvergenceRun, SimRouter) {
+    let churn = scenario
+        .churn()
+        .unwrap_or_else(|| panic!("{scenario} is not a session-churn scenario"));
+    let topology_config = TopologyConfig {
+        peers: config.churn.peers,
+        prefixes: config.prefixes,
+        seed: config.seed,
+        hold_ticks: config.churn.hold_ticks,
+        prefixes_per_update: prefixes_per_update
+            .unwrap_or_else(|| scenario.packet_size().prefixes_per_update()),
+        limit_ticks: CHURN_LIMIT_TICKS,
+    };
+    let plan = FaultPlan::for_churn(
+        churn,
+        config.seed,
+        topology_config.peers,
+        config.churn.flap_interval_ticks,
+        topology_config.hold_ticks,
+    );
+    let mut topology = Topology::new(platform, &topology_config, plan);
+    topology.set_cross_traffic_mbps(config.cross_traffic_mbps);
+    let _span = telemetry::span(SpanId::Phase1);
+    let outcome = topology.run_to_convergence();
+    let run = ConvergenceRun {
+        scenario,
+        platform: platform.name,
+        peers: topology_config.peers,
+        prefixes: topology_config.prefixes,
+        seed: topology_config.seed,
+        flap_interval_ticks: config.churn.flap_interval_ticks,
+        outcome,
+    };
+    (run, topology.into_router())
 }
 
 fn drive(
@@ -286,6 +387,9 @@ fn drive(
             );
             (n, router.run_until_transactions(2 * n, PHASE_LIMIT_SECS))
         }
+        // Intercepted in `run_scenario_with_packetization` and routed
+        // through the topology engine.
+        BgpOperation::SessionChurn => unreachable!("churn runs through the topology engine"),
     };
     ScenarioResult {
         scenario,
@@ -319,7 +423,7 @@ mod tests {
         ScenarioConfig {
             prefixes,
             seed: 1,
-            cross_traffic_mbps: 0.0,
+            ..ScenarioConfig::default()
         }
     }
 

@@ -17,9 +17,14 @@
 //!
 //! # Entry points
 //!
-//! * [`Scenario`] — the eight benchmark scenarios;
+//! * [`Scenario`] — the open scenario registry: the paper's eight
+//!   ([`Scenario::ALL`]) plus the session-churn fault scenarios
+//!   S9–S12 ([`Scenario::FAULTS`]);
 //! * [`CellSpec`] — one scenario × platform cell as data, with a
-//!   builder for sizing, seed, and cross-traffic;
+//!   builder for sizing, seed, cross-traffic, and churn knobs;
+//! * [`Topology`] — the multi-peer session engine: N speakers, a
+//!   per-peer RFC 4271 FSM, and a seeded [`FaultPlan`] injected at the
+//!   simnet layer (see [`topology`] and [`faults`]);
 //! * [`GridRunner`] — executes cell grids across a thread pool with
 //!   bit-identical serial/parallel results (see [`runner`]);
 //! * [`experiments`] — drivers for Table III and Figures 3–6, all
@@ -38,7 +43,7 @@
 //! use bgpbench_core::{run_scenario, Scenario, ScenarioConfig};
 //! use bgpbench_models::xeon;
 //!
-//! let config = ScenarioConfig { prefixes: 500, seed: 1, cross_traffic_mbps: 0.0 };
+//! let config = ScenarioConfig { prefixes: 500, seed: 1, ..ScenarioConfig::default() };
 //! let result = run_scenario(&xeon(), Scenario::S2, &config);
 //! assert_eq!(result.transactions, 500);
 //! assert!(result.tps() > 100.0);
@@ -49,19 +54,27 @@
 pub mod breakdown;
 pub mod experiments;
 pub mod extensions;
+pub mod faults;
 mod harness;
 pub mod live;
 pub mod report;
 pub mod runner;
 mod scenario;
+pub mod topology;
 
 pub use breakdown::{fig34_breakdown, BreakdownRow, Fig34Breakdown};
+pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use harness::{
-    run_scenario, run_scenario_repeated, RepeatedResult, ScenarioConfig, ScenarioResult,
+    run_churn, run_scenario, run_scenario_repeated, ChurnConfig, RepeatedResult, ScenarioConfig,
+    ScenarioResult,
 };
 pub use report::{Render, StaticReport};
 pub use runner::{
     CellError, CellRun, CellSpec, ExperimentSpec, GridRunner, NullObserver, RunObserver,
     StderrProgress,
 };
-pub use scenario::{BgpOperation, PacketSize, Scenario};
+pub use scenario::{BgpOperation, ChurnKind, PacketSize, Scenario, ScenarioSpec};
+pub use topology::{
+    convergence_report, flap_storm_figure, ConvergenceOutcome, ConvergenceReport, ConvergenceRun,
+    Topology, TopologyConfig,
+};

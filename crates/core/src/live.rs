@@ -147,6 +147,12 @@ pub fn run_live_scenario(
             wait_transactions(daemon, 2 * n, config.phase_timeout)?;
             (n, start.elapsed().as_secs_f64())
         }
+        BgpOperation::SessionChurn => {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("{scenario} needs the simulated topology engine, not a live daemon"),
+            ));
+        }
     };
 
     Ok(ScenarioResult {

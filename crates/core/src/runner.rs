@@ -48,7 +48,9 @@ use bgpbench_telemetry as telemetry;
 use crossbeam::channel;
 
 use crate::experiments::ExperimentConfig;
-use crate::harness::{run_scenario_with_packetization, ScenarioConfig, ScenarioResult};
+use crate::harness::{
+    run_scenario_with_packetization, ChurnConfig, ScenarioConfig, ScenarioResult,
+};
 use crate::scenario::Scenario;
 use bgpbench_models::SimRouter;
 
@@ -76,11 +78,13 @@ pub struct CellSpec {
     seed: u64,
     cross_traffic_mbps: f64,
     prefixes_per_update: Option<usize>,
+    churn: ChurnConfig,
 }
 
 impl CellSpec {
     /// A cell with the default sizing: 4000 prefixes, seed 2007, no
-    /// cross-traffic, the scenario's own packetization.
+    /// cross-traffic, the scenario's own packetization, and default
+    /// churn knobs for fault scenarios.
     pub fn new(scenario: Scenario, platform: PlatformSpec) -> Self {
         CellSpec {
             scenario,
@@ -89,6 +93,7 @@ impl CellSpec {
             seed: 2007,
             cross_traffic_mbps: 0.0,
             prefixes_per_update: None,
+            churn: ChurnConfig::default(),
         }
     }
 
@@ -117,6 +122,33 @@ impl CellSpec {
         self
     }
 
+    /// Sets the attached-peer count for session-churn scenarios.
+    pub fn peers(mut self, peers: usize) -> Self {
+        self.churn.peers = peers;
+        self
+    }
+
+    /// Sets the mean flap spacing (ticks) for S9's storm plan — the
+    /// flap-rate sweep's axis.
+    pub fn flap_interval(mut self, ticks: u64) -> Self {
+        self.churn.flap_interval_ticks = ticks;
+        self
+    }
+
+    /// Sets the session hold time in ticks for churn scenarios.
+    pub fn hold_ticks(mut self, ticks: u64) -> Self {
+        self.churn.hold_ticks = ticks;
+        self
+    }
+
+    /// The same cell retargeted at another scenario/platform pair —
+    /// how grid builders stamp one sizing template across a grid.
+    pub fn with_scenario_platform(mut self, scenario: Scenario, platform: PlatformSpec) -> Self {
+        self.scenario = scenario;
+        self.platform = platform;
+        self
+    }
+
     /// The scenario this cell runs.
     pub fn scenario(&self) -> Scenario {
         self.scenario
@@ -142,12 +174,18 @@ impl CellSpec {
         self.cross_traffic_mbps
     }
 
+    /// The configured churn knobs (used by fault scenarios).
+    pub fn churn_config(&self) -> ChurnConfig {
+        self.churn
+    }
+
     /// The harness configuration this cell resolves to.
     pub fn scenario_config(&self) -> ScenarioConfig {
         ScenarioConfig {
             prefixes: self.prefixes,
             seed: self.seed,
             cross_traffic_mbps: self.cross_traffic_mbps,
+            churn: self.churn,
         }
     }
 
@@ -171,6 +209,17 @@ impl CellSpec {
             &self.scenario_config(),
             self.prefixes_per_update,
         )
+    }
+
+    /// Runs a session-churn cell (S9–S12) through the topology engine
+    /// and returns its full convergence row (flaps, duplicate updates,
+    /// ticks to converge) instead of the flattened [`ScenarioResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's scenario is not a fault scenario.
+    pub fn run_churn(&self) -> crate::topology::ConvergenceRun {
+        crate::harness::run_churn(&self.platform, self.scenario, &self.scenario_config())
     }
 
     fn label(&self) -> String {

@@ -1,4 +1,12 @@
-//! The eight benchmark scenarios (paper Table I).
+//! The benchmark scenario registry.
+//!
+//! The paper's Table I fixes eight scenarios; this module keeps those
+//! eight as [`Scenario::ALL`] but stores every scenario — including the
+//! fault-injection scenarios S9–S12 added on top of the paper — in an
+//! open [`ScenarioSpec`] registry. Downstream code looks behaviour up
+//! from the spec (`operation`, `packet_size`, `churn`) instead of
+//! matching on a closed enum, so new scenarios register here without
+//! touching every `match` in the workspace.
 
 use std::fmt;
 
@@ -18,6 +26,10 @@ pub enum BgpOperation {
     /// (shorter AS path from Speaker 2) and rewrite the forwarding
     /// table (Phase 3 timed).
     IncrementalChange,
+    /// Session churn under a seeded fault plan: the timed quantity is
+    /// convergence (ticks until every session is Established and the
+    /// pipeline drains), not steady-state transactions per second.
+    SessionChurn,
 }
 
 /// The benchmark's two packetizations.
@@ -48,33 +60,203 @@ impl fmt::Display for PacketSize {
     }
 }
 
-/// One of the eight benchmark scenarios of Table I.
+/// The session-churn workload a fault scenario runs (its "workload
+/// builder" — [`crate::faults`] turns this into a concrete
+/// [`crate::FaultPlan`] from the cell seed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scenario {
-    /// Start-up announcements, small packets.
-    S1,
-    /// Start-up announcements, large packets.
-    S2,
-    /// Ending withdrawals, small packets.
-    S3,
-    /// Ending withdrawals, large packets.
-    S4,
-    /// Incremental announcements without forwarding-table change,
-    /// small packets.
-    S5,
-    /// Incremental announcements without forwarding-table change,
-    /// large packets.
-    S6,
-    /// Incremental announcements with forwarding-table change, small
-    /// packets.
-    S7,
-    /// Incremental announcements with forwarding-table change, large
-    /// packets.
-    S8,
+pub enum ChurnKind {
+    /// S9: seeded random session flaps across all peers.
+    FlapStorm,
+    /// S10: staggered link blackouts long enough to expire hold
+    /// timers on every peer.
+    HoldExpiryCascade,
+    /// S11: no faults — N peers advertise full tables from cold start.
+    StartupConvergence,
+    /// S12: one peer restarts and re-advertises its full table.
+    RestartResync,
 }
 
+/// Descriptor for one registered scenario.
+///
+/// The registry entry carries everything the harness, the grid runner,
+/// and the report layer need: the paper-style number and name, the BGP
+/// operation, the packetization, and — for fault scenarios — which
+/// churn workload to build.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Paper-style scenario number (Table I uses 1–8; faults are 9–12).
+    pub number: u8,
+    /// Short name, e.g. `"S1"`.
+    pub name: &'static str,
+    /// The BGP operation exercised.
+    pub operation: BgpOperation,
+    /// Prefixes per UPDATE for the scenario's workload.
+    pub packet_size: PacketSize,
+    /// Whether the timed phase changes the forwarding table (Table I's
+    /// "Forwarding Table Changes" row; fault scenarios rewrite it on
+    /// every purge).
+    pub changes_forwarding_table: bool,
+    /// One-line description matching the paper's Table I column.
+    pub description: &'static str,
+    /// The churn workload for fault scenarios; `None` for Table I.
+    pub churn: Option<ChurnKind>,
+}
+
+/// The scenario registry, in number order. `Scenario` values are
+/// indices into this table, so lookups never fail.
+static REGISTRY: [ScenarioSpec; 12] = [
+    ScenarioSpec {
+        number: 1,
+        name: "S1",
+        operation: BgpOperation::StartupAnnounce,
+        packet_size: PacketSize::Small,
+        changes_forwarding_table: true,
+        description: "start-up announcements, small packets",
+        churn: None,
+    },
+    ScenarioSpec {
+        number: 2,
+        name: "S2",
+        operation: BgpOperation::StartupAnnounce,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "start-up announcements, large packets",
+        churn: None,
+    },
+    ScenarioSpec {
+        number: 3,
+        name: "S3",
+        operation: BgpOperation::EndingWithdraw,
+        packet_size: PacketSize::Small,
+        changes_forwarding_table: true,
+        description: "ending withdrawals, small packets",
+        churn: None,
+    },
+    ScenarioSpec {
+        number: 4,
+        name: "S4",
+        operation: BgpOperation::EndingWithdraw,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "ending withdrawals, large packets",
+        churn: None,
+    },
+    ScenarioSpec {
+        number: 5,
+        name: "S5",
+        operation: BgpOperation::IncrementalNoChange,
+        packet_size: PacketSize::Small,
+        changes_forwarding_table: false,
+        description: "incremental announcements (no FIB change), small packets",
+        churn: None,
+    },
+    ScenarioSpec {
+        number: 6,
+        name: "S6",
+        operation: BgpOperation::IncrementalNoChange,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: false,
+        description: "incremental announcements (no FIB change), large packets",
+        churn: None,
+    },
+    ScenarioSpec {
+        number: 7,
+        name: "S7",
+        operation: BgpOperation::IncrementalChange,
+        packet_size: PacketSize::Small,
+        changes_forwarding_table: true,
+        description: "incremental announcements (FIB change), small packets",
+        churn: None,
+    },
+    ScenarioSpec {
+        number: 8,
+        name: "S8",
+        operation: BgpOperation::IncrementalChange,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "incremental announcements (FIB change), large packets",
+        churn: None,
+    },
+    ScenarioSpec {
+        number: 9,
+        name: "S9",
+        operation: BgpOperation::SessionChurn,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "peer-flap storm, seeded random session resets",
+        churn: Some(ChurnKind::FlapStorm),
+    },
+    ScenarioSpec {
+        number: 10,
+        name: "S10",
+        operation: BgpOperation::SessionChurn,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "hold-timer expiry cascade under staggered blackouts",
+        churn: Some(ChurnKind::HoldExpiryCascade),
+    },
+    ScenarioSpec {
+        number: 11,
+        name: "S11",
+        operation: BgpOperation::SessionChurn,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "N-peer start-up convergence, no faults",
+        churn: Some(ChurnKind::StartupConvergence),
+    },
+    ScenarioSpec {
+        number: 12,
+        name: "S12",
+        operation: BgpOperation::SessionChurn,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "peer restart with full re-advertisement",
+        churn: Some(ChurnKind::RestartResync),
+    },
+];
+
+/// A registered benchmark scenario.
+///
+/// Values are handles into the scenario registry; the paper's eight
+/// scenarios are [`Scenario::S1`]–[`Scenario::S8`] and the fault
+/// scenarios are [`Scenario::S9`]–[`Scenario::S12`]. Scenario values
+/// can only be obtained for registered numbers, so every accessor is
+/// total.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario(u8);
+
 impl Scenario {
-    /// All scenarios in table order.
+    /// Start-up announcements, small packets.
+    pub const S1: Scenario = Scenario(0);
+    /// Start-up announcements, large packets.
+    pub const S2: Scenario = Scenario(1);
+    /// Ending withdrawals, small packets.
+    pub const S3: Scenario = Scenario(2);
+    /// Ending withdrawals, large packets.
+    pub const S4: Scenario = Scenario(3);
+    /// Incremental announcements without forwarding-table change,
+    /// small packets.
+    pub const S5: Scenario = Scenario(4);
+    /// Incremental announcements without forwarding-table change,
+    /// large packets.
+    pub const S6: Scenario = Scenario(5);
+    /// Incremental announcements with forwarding-table change, small
+    /// packets.
+    pub const S7: Scenario = Scenario(6);
+    /// Incremental announcements with forwarding-table change, large
+    /// packets.
+    pub const S8: Scenario = Scenario(7);
+    /// Peer-flap storm (fault scenario).
+    pub const S9: Scenario = Scenario(8);
+    /// Hold-timer expiry cascade (fault scenario).
+    pub const S10: Scenario = Scenario(9);
+    /// N-peer start-up convergence (fault scenario).
+    pub const S11: Scenario = Scenario(10);
+    /// Peer restart with full re-advertisement (fault scenario).
+    pub const S12: Scenario = Scenario(11);
+
+    /// The paper's eight scenarios in Table I order. Table III and the
+    /// golden CSVs iterate exactly this set, so it stays at eight.
     pub const ALL: [Scenario; 8] = [
         Scenario::S1,
         Scenario::S2,
@@ -86,68 +268,73 @@ impl Scenario {
         Scenario::S8,
     ];
 
-    /// The scenario number as used in the paper (1–8).
-    pub fn number(self) -> u8 {
-        match self {
-            Scenario::S1 => 1,
-            Scenario::S2 => 2,
-            Scenario::S3 => 3,
-            Scenario::S4 => 4,
-            Scenario::S5 => 5,
-            Scenario::S6 => 6,
-            Scenario::S7 => 7,
-            Scenario::S8 => 8,
-        }
+    /// The fault-injection scenarios (S9–S12).
+    pub const FAULTS: [Scenario; 4] = [Scenario::S9, Scenario::S10, Scenario::S11, Scenario::S12];
+
+    /// Every registered scenario, in number order.
+    pub fn registered() -> impl Iterator<Item = Scenario> {
+        (0..REGISTRY.len()).map(|i| Scenario(i as u8))
     }
 
-    /// The scenario with the given paper number.
+    /// The registry entry backing this scenario.
+    pub fn spec(self) -> &'static ScenarioSpec {
+        // The only constructors are the associated consts and
+        // `from_number`, all of which stay in bounds.
+        &REGISTRY[usize::from(self.0)]
+    }
+
+    /// The scenario number as used in the paper (Table I: 1–8; fault
+    /// scenarios: 9–12).
+    pub fn number(self) -> u8 {
+        self.spec().number
+    }
+
+    /// The scenario with the given number.
     ///
     /// # Panics
     ///
-    /// Panics for numbers outside 1–8.
+    /// Panics for unregistered numbers.
     pub fn from_number(number: u8) -> Scenario {
-        Scenario::ALL
-            .into_iter()
+        Scenario::registered()
             .find(|s| s.number() == number)
             .unwrap_or_else(|| panic!("no scenario {number}"))
     }
 
     /// The BGP operation this scenario exercises.
     pub fn operation(self) -> BgpOperation {
-        match self {
-            Scenario::S1 | Scenario::S2 => BgpOperation::StartupAnnounce,
-            Scenario::S3 | Scenario::S4 => BgpOperation::EndingWithdraw,
-            Scenario::S5 | Scenario::S6 => BgpOperation::IncrementalNoChange,
-            Scenario::S7 | Scenario::S8 => BgpOperation::IncrementalChange,
-        }
+        self.spec().operation
     }
 
     /// The packetization this scenario uses.
     pub fn packet_size(self) -> PacketSize {
-        match self {
-            Scenario::S1 | Scenario::S3 | Scenario::S5 | Scenario::S7 => PacketSize::Small,
-            Scenario::S2 | Scenario::S4 | Scenario::S6 | Scenario::S8 => PacketSize::Large,
-        }
+        self.spec().packet_size
+    }
+
+    /// The churn workload, for fault scenarios.
+    pub fn churn(self) -> Option<ChurnKind> {
+        self.spec().churn
+    }
+
+    /// Whether this is a session-churn fault scenario (S9–S12).
+    pub fn is_fault(self) -> bool {
+        self.spec().churn.is_some()
     }
 
     /// Whether the timed phase changes the forwarding table (Table I's
     /// "Forwarding Table Changes" row).
     pub fn changes_forwarding_table(self) -> bool {
-        !matches!(self.operation(), BgpOperation::IncrementalNoChange)
+        self.spec().changes_forwarding_table
     }
 
     /// One-line description matching the paper's Table I column.
     pub fn description(self) -> &'static str {
-        match self {
-            Scenario::S1 => "start-up announcements, small packets",
-            Scenario::S2 => "start-up announcements, large packets",
-            Scenario::S3 => "ending withdrawals, small packets",
-            Scenario::S4 => "ending withdrawals, large packets",
-            Scenario::S5 => "incremental announcements (no FIB change), small packets",
-            Scenario::S6 => "incremental announcements (no FIB change), large packets",
-            Scenario::S7 => "incremental announcements (FIB change), small packets",
-            Scenario::S8 => "incremental announcements (FIB change), large packets",
-        }
+        self.spec().description
+    }
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().name)
     }
 }
 
@@ -181,15 +368,15 @@ mod tests {
 
     #[test]
     fn numbers_roundtrip() {
-        for scenario in Scenario::ALL {
+        for scenario in Scenario::registered() {
             assert_eq!(Scenario::from_number(scenario.number()), scenario);
         }
     }
 
     #[test]
-    #[should_panic(expected = "no scenario 9")]
+    #[should_panic(expected = "no scenario 99")]
     fn invalid_number_panics() {
-        let _ = Scenario::from_number(9);
+        let _ = Scenario::from_number(99);
     }
 
     #[test]
@@ -211,5 +398,27 @@ mod tests {
     fn display_matches_paper_naming() {
         assert_eq!(Scenario::S5.to_string(), "Scenario 5");
         assert_eq!(PacketSize::Large.to_string(), "large");
+        assert_eq!(format!("{:?}", Scenario::S5), "S5");
+    }
+
+    #[test]
+    fn registry_is_in_number_order_and_all_is_the_paper() {
+        let numbers: Vec<u8> = Scenario::registered().map(Scenario::number).collect();
+        assert_eq!(numbers, (1..=12).collect::<Vec<u8>>());
+        assert_eq!(Scenario::ALL.len(), 8);
+        assert!(Scenario::ALL.iter().all(|s| !s.is_fault()));
+        assert!(Scenario::FAULTS.iter().all(|s| s.is_fault()));
+        for s in Scenario::FAULTS {
+            assert_eq!(s.operation(), BgpOperation::SessionChurn);
+        }
+    }
+
+    #[test]
+    fn fault_scenarios_map_to_their_churn_kinds() {
+        assert_eq!(Scenario::S9.churn(), Some(ChurnKind::FlapStorm));
+        assert_eq!(Scenario::S10.churn(), Some(ChurnKind::HoldExpiryCascade));
+        assert_eq!(Scenario::S11.churn(), Some(ChurnKind::StartupConvergence));
+        assert_eq!(Scenario::S12.churn(), Some(ChurnKind::RestartResync));
+        assert_eq!(Scenario::S1.churn(), None);
     }
 }

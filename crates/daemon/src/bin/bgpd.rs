@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS]
+//!      [--keepalive SECS] [--connect-retry SECS]
 //! ```
 //!
 //! Prints a state snapshot once per second; terminate with Ctrl-C.
@@ -14,38 +15,48 @@ use bgpbench_daemon::{BgpDaemon, DaemonConfig};
 use bgpbench_wire::{Asn, RouterId};
 
 fn usage() -> ! {
-    eprintln!("usage: bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS]");
+    eprintln!(
+        "usage: bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS] \
+         [--keepalive SECS] [--connect-retry SECS]"
+    );
     exit(2);
 }
 
 fn main() {
-    let mut config = DaemonConfig {
-        bind_addr: "127.0.0.1:1179".parse().expect("static addr parses"),
-        ..DaemonConfig::default()
-    };
+    let mut builder =
+        DaemonConfig::builder().bind_addr("127.0.0.1:1179".parse().expect("static addr parses"));
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let Some(value) = args.next() else { usage() };
-        match flag.as_str() {
+        builder = match flag.as_str() {
             "--listen" => match value.parse() {
-                Ok(addr) => config.bind_addr = addr,
+                Ok(addr) => builder.bind_addr(addr),
                 Err(_) => usage(),
             },
             "--asn" => match value.parse::<u16>() {
-                Ok(asn) => config.local_asn = Asn(asn),
+                Ok(asn) => builder.local_asn(Asn(asn)),
                 Err(_) => usage(),
             },
             "--router-id" => match value.parse::<Ipv4Addr>() {
-                Ok(addr) => config.router_id = RouterId::from(addr),
+                Ok(addr) => builder.router_id(RouterId::from(addr)),
                 Err(_) => usage(),
             },
             "--hold" => match value.parse::<u16>() {
-                Ok(secs) => config.hold_time_secs = secs,
+                Ok(secs) => builder.hold_time_secs(secs),
+                Err(_) => usage(),
+            },
+            "--keepalive" => match value.parse::<u16>() {
+                Ok(secs) => builder.keepalive_secs(secs),
+                Err(_) => usage(),
+            },
+            "--connect-retry" => match value.parse::<u16>() {
+                Ok(secs) => builder.connect_retry_secs(secs),
                 Err(_) => usage(),
             },
             _ => usage(),
-        }
+        };
     }
+    let config = builder.build();
 
     let daemon = match BgpDaemon::start(config.clone()) {
         Ok(daemon) => daemon,

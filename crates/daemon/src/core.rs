@@ -32,6 +32,8 @@ pub(crate) struct CoreStats {
 /// [`crate::BgpDaemon::peer_snapshots`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PeerSnapshot {
+    /// The daemon-side session id.
+    pub peer: PeerId,
     /// The peer's AS number.
     pub asn: bgpbench_wire::Asn,
     /// The peer's session address.
@@ -97,6 +99,7 @@ impl Core {
         let updates = AdjRibOut::to_updates(&actions, self.config.export_prefixes_per_update);
         telemetry::add(MetricId::DaemonUpdatesSent, updates.len() as u64);
         let mut snapshot = PeerSnapshot {
+            peer: id,
             asn,
             address,
             updates_in: 0,
@@ -253,6 +256,21 @@ impl Core {
 
     pub(crate) fn established_sessions(&self) -> usize {
         self.writers.len()
+    }
+
+    /// Whether `peer` still has an established session (a live writer).
+    pub(crate) fn is_registered(&self, peer: PeerId) -> bool {
+        self.writers.contains_key(&peer)
+    }
+
+    pub(crate) fn peer_snapshot(&self, peer: PeerId) -> Option<PeerSnapshot> {
+        self.peer_stats.get(&peer).cloned()
+    }
+
+    pub(crate) fn peer_ids(&self) -> Vec<PeerId> {
+        let mut ids: Vec<PeerId> = self.peer_stats.keys().copied().collect();
+        ids.sort();
+        ids
     }
 
     pub(crate) fn peer_snapshots(&self) -> Vec<PeerSnapshot> {

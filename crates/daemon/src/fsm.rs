@@ -1,0 +1,429 @@
+//! The RFC 4271 session FSM on simnet ticks.
+//!
+//! [`SessionFsm`] is a pure, socket-free state machine over the five
+//! classic states (Idle, Connect, OpenSent, OpenConfirm, Established).
+//! Transport and message arrivals are fed in as [`FsmEvent`]s; timers
+//! (hold, keepalive, connect-retry) are counted in discrete ticks and
+//! advanced by [`SessionFsm::on_tick`], so a simulated topology drives
+//! N sessions deterministically off the simnet clock while the
+//! socket-backed session loop in [`crate::session`] keeps its own
+//! wall-clock timers. Every transition is total: unexpected events are
+//! FSM errors that reset the session to Idle (RFC 4271 §6.6), never
+//! panics — this module is under the workspace no-panic lint.
+//!
+//! Deviations from the full RFC figure, chosen for the simulator:
+//!
+//! * no `Active` state — the simulated transport either connects on
+//!   request or reports failure, so the passive-wait state collapses
+//!   into `Connect`;
+//! * hold-timer expiry from *every* state lands in Idle (the RFC
+//!   leaves the timer stopped in Idle/Connect; treating a stray expiry
+//!   as a reset keeps the transition table total);
+//! * restart policy (when Idle re-enters Connect) belongs to the
+//!   caller via [`FsmEvent::ManualStart`].
+
+use std::fmt;
+
+/// The five session states of RFC 4271 §8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsmState {
+    /// No session; all timers stopped.
+    Idle,
+    /// Waiting for the transport to come up (connect-retry running).
+    Connect,
+    /// Transport up, OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPEN exchanged, waiting for the first KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow and the hold timer is armed.
+    Established,
+}
+
+impl fmt::Display for FsmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FsmState::Idle => "Idle",
+            FsmState::Connect => "Connect",
+            FsmState::OpenSent => "OpenSent",
+            FsmState::OpenConfirm => "OpenConfirm",
+            FsmState::Established => "Established",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Input events of the session FSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsmEvent {
+    /// Operator/topology start: leave Idle and begin connecting.
+    ManualStart,
+    /// Operator stop or peer restart: tear the session down.
+    ManualStop,
+    /// The transport connection came up.
+    TcpConnected,
+    /// The transport connection failed or dropped.
+    TcpFailed,
+    /// The connect-retry timer fired (re-attempt the transport).
+    ConnectRetryExpired,
+    /// The peer's OPEN message arrived.
+    OpenReceived,
+    /// A KEEPALIVE arrived.
+    KeepaliveReceived,
+    /// An UPDATE arrived.
+    UpdateReceived,
+    /// A NOTIFICATION arrived.
+    NotificationReceived,
+    /// The hold timer expired without hearing from the peer.
+    HoldTimerExpired,
+    /// Time to send our own KEEPALIVE.
+    KeepaliveTimerExpired,
+}
+
+impl FsmEvent {
+    /// Every event, for exhaustive property tests.
+    pub const ALL: [FsmEvent; 11] = [
+        FsmEvent::ManualStart,
+        FsmEvent::ManualStop,
+        FsmEvent::TcpConnected,
+        FsmEvent::TcpFailed,
+        FsmEvent::ConnectRetryExpired,
+        FsmEvent::OpenReceived,
+        FsmEvent::KeepaliveReceived,
+        FsmEvent::UpdateReceived,
+        FsmEvent::NotificationReceived,
+        FsmEvent::HoldTimerExpired,
+        FsmEvent::KeepaliveTimerExpired,
+    ];
+}
+
+/// Output actions the caller must perform after a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsmAction {
+    /// Initiate the transport connection.
+    StartConnect,
+    /// Send our OPEN message.
+    SendOpen,
+    /// Send a KEEPALIVE.
+    SendKeepalive,
+    /// Send a NOTIFICATION (session is being torn down with cause).
+    SendNotification,
+    /// The session reached Established.
+    SessionUp,
+    /// The session left Established (purge the peer's routes).
+    SessionDown,
+}
+
+/// Session timer durations in simnet ticks. Zero disables a timer
+/// (matching the hold-time-zero convention of RFC 4271 §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTimers {
+    /// Ticks without hearing from the peer before the session resets.
+    pub hold_ticks: u64,
+    /// Ticks between our own KEEPALIVEs (conventionally hold/3).
+    pub keepalive_ticks: u64,
+    /// Ticks between transport connection attempts.
+    pub connect_retry_ticks: u64,
+}
+
+impl SessionTimers {
+    /// Timers from second-granularity configuration at `ticks_per_sec`
+    /// simnet resolution. A zero keepalive derives hold/3.
+    pub fn from_secs(hold: u16, keepalive: u16, connect_retry: u16, ticks_per_sec: u64) -> Self {
+        let keepalive = if keepalive == 0 { hold / 3 } else { keepalive };
+        SessionTimers {
+            hold_ticks: u64::from(hold) * ticks_per_sec,
+            keepalive_ticks: u64::from(keepalive) * ticks_per_sec,
+            connect_retry_ticks: u64::from(connect_retry) * ticks_per_sec,
+        }
+    }
+
+    /// Paper-faithful defaults: hold 90 s, keepalive 30 s,
+    /// connect-retry 120 s (RFC 4271 §10 suggested values).
+    pub fn paper_default(ticks_per_sec: u64) -> Self {
+        SessionTimers::from_secs(90, 30, 120, ticks_per_sec)
+    }
+}
+
+/// A deterministic, tick-driven BGP session FSM.
+#[derive(Debug, Clone)]
+pub struct SessionFsm {
+    state: FsmState,
+    timers: SessionTimers,
+    hold_remaining: u64,
+    keepalive_remaining: u64,
+    connect_retry_remaining: u64,
+    flaps: u64,
+    transitions: u64,
+}
+
+impl SessionFsm {
+    /// A new FSM in Idle with all timers stopped.
+    pub fn new(timers: SessionTimers) -> Self {
+        SessionFsm {
+            state: FsmState::Idle,
+            timers,
+            hold_remaining: 0,
+            keepalive_remaining: 0,
+            connect_retry_remaining: 0,
+            flaps: 0,
+            transitions: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> FsmState {
+        self.state
+    }
+
+    /// Times the session has left Established.
+    pub fn flaps(&self) -> u64 {
+        self.flaps
+    }
+
+    /// Total state transitions processed (self-transitions included).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The configured timer durations.
+    pub fn timers(&self) -> SessionTimers {
+        self.timers
+    }
+
+    /// Advances the clock by one tick, firing any timers that reach
+    /// zero. Actions are appended to `actions`.
+    pub fn on_tick(&mut self, actions: &mut Vec<FsmAction>) {
+        if matches!(self.state, FsmState::Connect) && self.connect_retry_remaining > 0 {
+            self.connect_retry_remaining -= 1;
+            if self.connect_retry_remaining == 0 {
+                self.handle(FsmEvent::ConnectRetryExpired, actions);
+            }
+        }
+        if matches!(
+            self.state,
+            FsmState::OpenSent | FsmState::OpenConfirm | FsmState::Established
+        ) && self.hold_remaining > 0
+        {
+            self.hold_remaining -= 1;
+            if self.hold_remaining == 0 {
+                self.handle(FsmEvent::HoldTimerExpired, actions);
+                return;
+            }
+        }
+        if matches!(self.state, FsmState::OpenConfirm | FsmState::Established)
+            && self.keepalive_remaining > 0
+        {
+            self.keepalive_remaining -= 1;
+            if self.keepalive_remaining == 0 {
+                self.handle(FsmEvent::KeepaliveTimerExpired, actions);
+            }
+        }
+    }
+
+    /// Feeds one event through the transition table, appending the
+    /// resulting actions. Total: every `(state, event)` pair is
+    /// defined; unexpected messages are FSM errors that reset to Idle.
+    pub fn handle(&mut self, event: FsmEvent, actions: &mut Vec<FsmAction>) {
+        self.transitions += 1;
+        match (self.state, event) {
+            // Stop and hold-expiry reset the session from any state.
+            (_, FsmEvent::ManualStop) | (_, FsmEvent::HoldTimerExpired) => {
+                let notify = matches!(
+                    self.state,
+                    FsmState::OpenSent | FsmState::OpenConfirm | FsmState::Established
+                );
+                self.reset(notify, actions);
+            }
+
+            (FsmState::Idle, FsmEvent::ManualStart) => {
+                self.state = FsmState::Connect;
+                self.connect_retry_remaining = self.timers.connect_retry_ticks;
+                actions.push(FsmAction::StartConnect);
+            }
+            // Idle ignores everything else (RFC 4271 §8.2.2).
+            (FsmState::Idle, _) => {}
+
+            (FsmState::Connect, FsmEvent::TcpConnected) => {
+                self.state = FsmState::OpenSent;
+                self.connect_retry_remaining = 0;
+                self.hold_remaining = self.timers.hold_ticks;
+                actions.push(FsmAction::SendOpen);
+            }
+            // Transport failure: stay in Connect and retry (this model
+            // folds the RFC's Active state into Connect).
+            (FsmState::Connect, FsmEvent::TcpFailed)
+            | (FsmState::Connect, FsmEvent::ConnectRetryExpired) => {
+                self.connect_retry_remaining = self.timers.connect_retry_ticks;
+                actions.push(FsmAction::StartConnect);
+            }
+            (FsmState::Connect, FsmEvent::ManualStart) => {}
+            // BGP messages without a transport are an FSM error.
+            (FsmState::Connect, _) => self.reset(false, actions),
+
+            (FsmState::OpenSent, FsmEvent::OpenReceived) => {
+                self.state = FsmState::OpenConfirm;
+                self.hold_remaining = self.timers.hold_ticks;
+                self.keepalive_remaining = self.timers.keepalive_ticks;
+                actions.push(FsmAction::SendKeepalive);
+            }
+            (FsmState::OpenSent, FsmEvent::TcpFailed)
+            | (FsmState::OpenSent, FsmEvent::NotificationReceived) => self.reset(false, actions),
+            (FsmState::OpenSent, FsmEvent::ManualStart)
+            | (FsmState::OpenSent, FsmEvent::ConnectRetryExpired) => {}
+            (FsmState::OpenSent, _) => self.reset(true, actions),
+
+            (FsmState::OpenConfirm, FsmEvent::KeepaliveReceived) => {
+                self.state = FsmState::Established;
+                self.hold_remaining = self.timers.hold_ticks;
+                actions.push(FsmAction::SessionUp);
+            }
+            (FsmState::OpenConfirm, FsmEvent::KeepaliveTimerExpired) => {
+                self.keepalive_remaining = self.timers.keepalive_ticks;
+                actions.push(FsmAction::SendKeepalive);
+            }
+            (FsmState::OpenConfirm, FsmEvent::TcpFailed)
+            | (FsmState::OpenConfirm, FsmEvent::NotificationReceived) => self.reset(false, actions),
+            (FsmState::OpenConfirm, FsmEvent::ManualStart)
+            | (FsmState::OpenConfirm, FsmEvent::ConnectRetryExpired) => {}
+            (FsmState::OpenConfirm, _) => self.reset(true, actions),
+
+            (FsmState::Established, FsmEvent::KeepaliveReceived)
+            | (FsmState::Established, FsmEvent::UpdateReceived) => {
+                self.hold_remaining = self.timers.hold_ticks;
+            }
+            (FsmState::Established, FsmEvent::KeepaliveTimerExpired) => {
+                self.keepalive_remaining = self.timers.keepalive_ticks;
+                actions.push(FsmAction::SendKeepalive);
+            }
+            (FsmState::Established, FsmEvent::TcpFailed)
+            | (FsmState::Established, FsmEvent::NotificationReceived) => self.reset(false, actions),
+            (FsmState::Established, FsmEvent::ManualStart)
+            | (FsmState::Established, FsmEvent::ConnectRetryExpired) => {}
+            (FsmState::Established, _) => self.reset(true, actions),
+        }
+    }
+
+    /// Drops to Idle, stopping all timers. Emits `SendNotification`
+    /// when we are tearing down an open exchange ourselves, and
+    /// `SessionDown` when leaving Established.
+    fn reset(&mut self, notify: bool, actions: &mut Vec<FsmAction>) {
+        if notify {
+            actions.push(FsmAction::SendNotification);
+        }
+        if matches!(self.state, FsmState::Established) {
+            self.flaps += 1;
+            actions.push(FsmAction::SessionDown);
+        }
+        self.state = FsmState::Idle;
+        self.hold_remaining = 0;
+        self.keepalive_remaining = 0;
+        self.connect_retry_remaining = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn established(timers: SessionTimers) -> SessionFsm {
+        let mut fsm = SessionFsm::new(timers);
+        let mut actions = Vec::new();
+        fsm.handle(FsmEvent::ManualStart, &mut actions);
+        fsm.handle(FsmEvent::TcpConnected, &mut actions);
+        fsm.handle(FsmEvent::OpenReceived, &mut actions);
+        fsm.handle(FsmEvent::KeepaliveReceived, &mut actions);
+        assert_eq!(fsm.state(), FsmState::Established);
+        assert!(actions.contains(&FsmAction::SessionUp));
+        fsm
+    }
+
+    fn timers() -> SessionTimers {
+        SessionTimers {
+            hold_ticks: 9,
+            keepalive_ticks: 3,
+            connect_retry_ticks: 5,
+        }
+    }
+
+    #[test]
+    fn happy_path_reaches_established() {
+        let fsm = established(timers());
+        assert_eq!(fsm.flaps(), 0);
+    }
+
+    #[test]
+    fn hold_timer_expires_without_keepalives() {
+        let mut fsm = established(timers());
+        let mut actions = Vec::new();
+        for _ in 0..9 {
+            fsm.on_tick(&mut actions);
+        }
+        assert_eq!(fsm.state(), FsmState::Idle);
+        assert!(actions.contains(&FsmAction::SessionDown));
+        assert_eq!(fsm.flaps(), 1);
+    }
+
+    #[test]
+    fn keepalives_refresh_the_hold_timer() {
+        let mut fsm = established(timers());
+        let mut actions = Vec::new();
+        for tick in 0..40 {
+            if tick % 4 == 0 {
+                fsm.handle(FsmEvent::KeepaliveReceived, &mut actions);
+            }
+            fsm.on_tick(&mut actions);
+            assert_eq!(fsm.state(), FsmState::Established, "tick {tick}");
+        }
+        // Our own keepalive timer fired along the way.
+        assert!(actions.contains(&FsmAction::SendKeepalive));
+    }
+
+    #[test]
+    fn connect_retry_fires_until_transport_comes_up() {
+        let mut fsm = SessionFsm::new(timers());
+        let mut actions = Vec::new();
+        fsm.handle(FsmEvent::ManualStart, &mut actions);
+        actions.clear();
+        for _ in 0..11 {
+            fsm.on_tick(&mut actions);
+        }
+        assert_eq!(fsm.state(), FsmState::Connect);
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a, FsmAction::StartConnect))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unexpected_update_in_open_sent_is_an_fsm_error() {
+        let mut fsm = SessionFsm::new(timers());
+        let mut actions = Vec::new();
+        fsm.handle(FsmEvent::ManualStart, &mut actions);
+        fsm.handle(FsmEvent::TcpConnected, &mut actions);
+        actions.clear();
+        fsm.handle(FsmEvent::UpdateReceived, &mut actions);
+        assert_eq!(fsm.state(), FsmState::Idle);
+        assert_eq!(actions, vec![FsmAction::SendNotification]);
+    }
+
+    #[test]
+    fn zero_hold_time_disables_the_hold_timer() {
+        let mut fsm = established(SessionTimers::from_secs(0, 0, 5, 1));
+        let mut actions = Vec::new();
+        for _ in 0..10_000 {
+            fsm.on_tick(&mut actions);
+        }
+        assert_eq!(fsm.state(), FsmState::Established);
+    }
+
+    #[test]
+    fn paper_default_timers() {
+        let t = SessionTimers::paper_default(1000);
+        assert_eq!(t.hold_ticks, 90_000);
+        assert_eq!(t.keepalive_ticks, 30_000);
+        assert_eq!(t.connect_retry_ticks, 120_000);
+    }
+}

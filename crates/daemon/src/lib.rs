@@ -33,9 +33,13 @@
 mod config;
 mod core;
 mod daemon;
+pub mod fsm;
+mod peer;
 mod session;
 
-pub use config::DaemonConfig;
+pub use config::{DaemonConfig, DaemonConfigBuilder};
 pub use core::PeerSnapshot;
 pub use daemon::{BgpDaemon, DaemonSnapshot};
+pub use fsm::{FsmAction, FsmEvent, FsmState, SessionFsm, SessionTimers};
+pub use peer::{DaemonPeerHandle, PeerCounters, PeerHandle};
 pub use session::SessionState;

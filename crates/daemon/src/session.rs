@@ -34,6 +34,23 @@ pub enum SessionState {
     Closed,
 }
 
+impl SessionState {
+    /// The equivalent state in the full tick-driven FSM
+    /// ([`crate::fsm::SessionFsm`]), for the unified
+    /// [`crate::PeerHandle`] surface. The passive side's `Active`
+    /// (transport up, awaiting OPEN) maps to `OpenSent` — the same
+    /// point in the handshake seen from the initiating side — and
+    /// `Closed` maps to `Idle`.
+    pub fn fsm_state(self) -> crate::fsm::FsmState {
+        match self {
+            SessionState::Active => crate::fsm::FsmState::OpenSent,
+            SessionState::OpenConfirm => crate::fsm::FsmState::OpenConfirm,
+            SessionState::Established => crate::fsm::FsmState::Established,
+            SessionState::Closed => crate::fsm::FsmState::Idle,
+        }
+    }
+}
+
 /// Runs one accepted connection to completion. Returns when the
 /// session closes for any reason.
 pub(crate) fn run_session(
@@ -114,6 +131,14 @@ fn session_loop(
     }
     let peer_open = peer_open.expect("established implies OPEN received");
     let negotiated_hold = effective_hold(local_open.hold_time_secs(), peer_open.hold_time_secs());
+    // Our keepalive interval: the configured value, never slower than
+    // a third of the negotiated hold time.
+    let keepalive = negotiated_hold.map(|hold| {
+        let configured = Duration::from_secs(u64::from(
+            core.lock().config().effective_keepalive_secs().max(1),
+        ));
+        configured.min(hold / 3)
+    });
 
     // --- Writer thread: serializes everything the core or the timer
     // sends toward this peer.
@@ -137,6 +162,7 @@ fn session_loop(
         shutdown,
         peer_id,
         negotiated_hold,
+        keepalive,
         &tx,
     );
 
@@ -146,6 +172,7 @@ fn session_loop(
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn established_loop(
     stream: &mut TcpStream,
     decoder: &mut StreamDecoder,
@@ -153,6 +180,7 @@ fn established_loop(
     shutdown: &Arc<AtomicBool>,
     peer_id: PeerId,
     hold: Option<Duration>,
+    keepalive: Option<Duration>,
     tx: &crossbeam::channel::Sender<Vec<u8>>,
 ) -> io::Result<()> {
     let mut last_received = Instant::now();
@@ -169,7 +197,7 @@ fn established_loop(
                 queue(tx, &Message::Notification(note));
                 return Ok(());
             }
-            if last_sent.elapsed() > hold / 3 {
+            if last_sent.elapsed() > keepalive.unwrap_or(hold / 3) {
                 queue(tx, &Message::Keepalive);
                 last_sent = Instant::now();
             }

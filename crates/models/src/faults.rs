@@ -1,0 +1,34 @@
+//! Per-link fault state shared by the platform models.
+//!
+//! The topology engine injects faults *at the simnet layer*: each
+//! simulated speaker link carries a [`LinkFaults`] record the model's
+//! input loop consults before taking messages off the speaker script.
+//! Faults are set by the engine between ticks, so the same seeded
+//! fault plan produces the same message interleaving on every run.
+
+/// Fault controls for one speaker link.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkFaults {
+    /// Whether the session accepts input at all. A down session (flap,
+    /// hold expiry, restart) blocks the speaker without consuming its
+    /// script.
+    pub enabled: bool,
+    /// Messages to silently drop on arrival (consumed off the script,
+    /// never parsed) — a lossy link.
+    pub drop_next: u32,
+    /// No input before this simulated time (seconds) — link delay.
+    pub delay_until_s: f64,
+    /// Message pairs to swap on arrival — link reordering.
+    pub reorder_next: u32,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            enabled: true,
+            drop_next: 0,
+            delay_until_s: 0.0,
+            reorder_next: 0,
+        }
+    }
+}

@@ -12,6 +12,7 @@ use bgpbench_wire::{Asn, RouterId, UpdateMessage};
 
 use crate::costs::IosCosts;
 use crate::crosstraffic::{CrossTraffic, JOB_KFWD};
+use crate::faults::LinkFaults;
 use crate::CrossCosts;
 
 const JOB_MSG: u16 = 20;
@@ -19,6 +20,17 @@ const JOB_EXPORT: u16 = 21;
 
 /// Messages buffered ahead of the serialized IOS BGP process.
 const INPUT_LIMIT: usize = 4;
+
+/// One attached test speaker and its link state.
+#[derive(Debug)]
+struct Speaker {
+    peer: PeerId,
+    script: Option<SpeakerScript>,
+    rate_msgs_per_sec: Option<f64>,
+    carry: f64,
+    /// Session/link fault state (the topology engine's injection point).
+    faults: LinkFaults,
+}
 
 /// The Cisco 3620 model (paper §IV.A.4 treats it as a black box).
 ///
@@ -38,8 +50,8 @@ pub struct IosModel {
     irq: ProcessId,
     engine: RibEngine,
     fib: Fib,
-    speakers: Vec<(PeerId, Option<SpeakerScript>, Option<f64>, f64)>,
-    pending: HashMap<u64, (u32, Vec<FibDirective>)>,
+    speakers: Vec<Speaker>,
+    pending: HashMap<u64, (u32, PeerId, Vec<FibDirective>)>,
     next_tag: u64,
     export_queue: VecDeque<UpdateMessage>,
     cross: CrossTraffic,
@@ -88,7 +100,13 @@ impl IosModel {
         let mut engine = RibEngine::new(local_asn, RouterId(u32::from(local_address)));
         let speakers = speakers
             .iter()
-            .map(|info| (engine.add_peer(*info), None, None, 0.0))
+            .map(|info| Speaker {
+                peer: engine.add_peer(*info),
+                script: None,
+                rate_msgs_per_sec: None,
+                carry: 0.0,
+                faults: LinkFaults::default(),
+            })
             .collect();
         IosModel {
             costs,
@@ -111,23 +129,23 @@ impl IosModel {
 
     /// Assigns the message stream a speaker will send.
     pub fn load_script(&mut self, speaker: usize, script: SpeakerScript) {
-        self.speakers[speaker].1 = Some(script);
-        self.speakers[speaker].2 = None;
-        self.speakers[speaker].3 = 0.0;
+        self.speakers[speaker].script = Some(script);
+        self.speakers[speaker].rate_msgs_per_sec = None;
+        self.speakers[speaker].carry = 0.0;
     }
 
     /// Like [`IosModel::load_script`], but paced to `msgs_per_sec`.
     pub fn load_script_rated(&mut self, speaker: usize, script: SpeakerScript, msgs_per_sec: f64) {
         assert!(msgs_per_sec > 0.0, "rate must be positive");
-        self.speakers[speaker].1 = Some(script);
-        self.speakers[speaker].2 = Some(msgs_per_sec);
-        self.speakers[speaker].3 = 0.0;
+        self.speakers[speaker].script = Some(script);
+        self.speakers[speaker].rate_msgs_per_sec = Some(msgs_per_sec);
+        self.speakers[speaker].carry = 0.0;
     }
 
     /// Queues a Phase-2 export toward `speaker`; returns the number of
     /// UPDATE messages queued.
     pub fn queue_export(&mut self, speaker: usize, prefixes_per_update: usize) -> usize {
-        let peer = self.speakers[speaker].0;
+        let peer = self.speakers[speaker].peer;
         let routes = self.engine.export_routes(peer, self.local_address);
         let mut adj_out = AdjRibOut::new();
         let actions = adj_out.sync(routes);
@@ -154,7 +172,79 @@ impl IosModel {
             && self
                 .speakers
                 .iter()
-                .all(|(_, s, _, _)| s.as_ref().is_none_or(SpeakerScript::is_exhausted))
+                .all(|s| s.script.as_ref().is_none_or(SpeakerScript::is_exhausted))
+    }
+
+    /// Gates speaker input on session state: while `false` the speaker
+    /// link is down and its script is untouched.
+    pub fn set_speaker_enabled(&mut self, speaker: usize, enabled: bool) {
+        self.speakers[speaker].faults.enabled = enabled;
+    }
+
+    /// Arms the link to drop the speaker's next `n` messages (taken
+    /// off the script, never processed).
+    pub fn drop_next(&mut self, speaker: usize, n: u32) {
+        self.speakers[speaker].faults.drop_next = n;
+    }
+
+    /// Holds the speaker's input back until simulated time `until_s`.
+    pub fn delay_input_until(&mut self, speaker: usize, until_s: f64) {
+        self.speakers[speaker].faults.delay_until_s = until_s;
+    }
+
+    /// Arms the link to swap the speaker's next `n` message pairs.
+    pub fn reorder_next(&mut self, speaker: usize, n: u32) {
+        self.speakers[speaker].faults.reorder_next = n;
+    }
+
+    /// Rewinds the speaker's script for a full re-advertisement (peer
+    /// restart).
+    pub fn reset_script(&mut self, speaker: usize) {
+        if let Some(script) = self.speakers[speaker].script.as_mut() {
+            script.reset();
+        }
+    }
+
+    /// Prefix-level transactions the speaker's script has handed out
+    /// since its last load or reset.
+    pub fn speaker_transactions_taken(&self, speaker: usize) -> u64 {
+        self.speakers[speaker]
+            .script
+            .as_ref()
+            .map_or(0, |s| s.transactions_taken() as u64)
+    }
+
+    /// Session-down purge: withdraws everything learned from the
+    /// speaker's peer and applies the FIB fallout immediately; stale
+    /// directives from the peer's in-flight messages are cancelled.
+    /// Returns the number of affected prefixes.
+    pub fn purge_speaker(&mut self, speaker: usize) -> usize {
+        let peer = self.speakers[speaker].peer;
+        for (_, from, directives) in self.pending.values_mut() {
+            if *from == peer {
+                directives.clear();
+            }
+        }
+        let Ok(outcomes) = self.engine.purge_peer(peer) else {
+            return 0;
+        };
+        let _span = (!outcomes.is_empty())
+            .then(|| telemetry::span(SpanId::FibApply))
+            .flatten();
+        for outcome in &outcomes {
+            match outcome.fib {
+                Some(FibDirective::Install { prefix, next_hop }) => {
+                    telemetry::incr(MetricId::FibInstalls);
+                    self.fib.insert(prefix, NextHop::new(next_hop, 0));
+                }
+                Some(FibDirective::Remove { prefix }) => {
+                    telemetry::incr(MetricId::FibRemoves);
+                    self.fib.remove(&prefix);
+                }
+                None => {}
+            }
+        }
+        outcomes.len()
     }
 
     /// Sets the cross-traffic offered load.
@@ -197,52 +287,82 @@ impl Model for IosModel {
         self.cross
             .on_tick(ctx, self.tick_secs, self.irq, self.kernel, kernel_backlog);
 
+        let now = ctx.now().as_secs_f64();
         let mut room = INPUT_LIMIT.saturating_sub(ctx.queue_len(self.ios));
         for idx in 0..self.speakers.len() {
-            let mut allowance = match self.speakers[idx].2 {
+            // Down or delayed links accept no input and accrue no send
+            // allowance — the speaker backs off with the session.
+            if !self.speakers[idx].faults.enabled || now < self.speakers[idx].faults.delay_until_s {
+                continue;
+            }
+            let mut allowance = match self.speakers[idx].rate_msgs_per_sec {
                 Some(rate) => {
-                    self.speakers[idx].3 += rate * self.tick_secs;
-                    let whole = self.speakers[idx].3.floor();
-                    self.speakers[idx].3 -= whole;
+                    self.speakers[idx].carry += rate * self.tick_secs;
+                    let whole = self.speakers[idx].carry.floor();
+                    self.speakers[idx].carry -= whole;
                     whole as usize
                 }
                 None => usize::MAX,
             };
             while room > 0 && allowance > 0 {
-                allowance -= 1;
-                let Some(script) = self.speakers[idx].1.as_mut() else {
-                    break;
-                };
-                let batch = script.take(1);
-                let Some(update) = batch.first().cloned() else {
-                    break;
-                };
-                let peer = self.speakers[idx].0;
-                let n_wd = update.withdrawn().len();
-                let outcomes = self
-                    .engine
-                    .apply_update(peer, &update)
-                    .expect("benchmark updates are well-formed");
-                let mut cycles = 0.0;
-                let mut directives = Vec::new();
-                for (i, outcome) in outcomes.iter().enumerate() {
-                    cycles += self.cost_of(outcome.change, i < n_wd);
-                    if let Some(directive) = outcome.fib {
-                        directives.push(directive);
+                // Lossy link: messages arrive but are dropped before
+                // the BGP process sees them — they consume the script
+                // and the sender's allowance without being applied.
+                if self.speakers[idx].faults.drop_next > 0 {
+                    allowance -= 1;
+                    let Some(script) = self.speakers[idx].script.as_mut() else {
+                        break;
+                    };
+                    if script.take(1).is_empty() {
+                        break;
                     }
+                    self.speakers[idx].faults.drop_next -= 1;
+                    continue;
                 }
-                let tag = self.next_tag;
-                self.next_tag += 1;
-                let count = outcomes.len() as u32;
-                self.pending.insert(tag, (count, directives));
-                ctx.push(
-                    self.ios,
-                    Job::new(JOB_MSG, cycles)
-                        .with_tag(tag)
-                        .with_count(count)
-                        .with_delay_ns(self.costs.pkt_delay_ns),
-                );
-                room -= 1;
+                // Reordering link: take the next pair and apply it in
+                // reversed arrival order (needs room for both).
+                let swap =
+                    self.speakers[idx].faults.reorder_next > 0 && room >= 2 && allowance >= 2;
+                let Some(script) = self.speakers[idx].script.as_mut() else {
+                    break;
+                };
+                let mut batch = script.take(if swap { 2 } else { 1 }).to_vec();
+                if batch.is_empty() {
+                    break;
+                }
+                if swap && batch.len() == 2 {
+                    self.speakers[idx].faults.reorder_next -= 1;
+                    batch.reverse();
+                }
+                for update in batch {
+                    allowance = allowance.saturating_sub(1);
+                    room -= 1;
+                    let peer = self.speakers[idx].peer;
+                    let n_wd = update.withdrawn().len();
+                    let outcomes = self
+                        .engine
+                        .apply_update(peer, &update)
+                        .expect("benchmark updates are well-formed");
+                    let mut cycles = 0.0;
+                    let mut directives = Vec::new();
+                    for (i, outcome) in outcomes.iter().enumerate() {
+                        cycles += self.cost_of(outcome.change, i < n_wd);
+                        if let Some(directive) = outcome.fib {
+                            directives.push(directive);
+                        }
+                    }
+                    let tag = self.next_tag;
+                    self.next_tag += 1;
+                    let count = outcomes.len() as u32;
+                    self.pending.insert(tag, (count, peer, directives));
+                    ctx.push(
+                        self.ios,
+                        Job::new(JOB_MSG, cycles)
+                            .with_tag(tag)
+                            .with_count(count)
+                            .with_delay_ns(self.costs.pkt_delay_ns),
+                    );
+                }
             }
         }
 
@@ -262,7 +382,7 @@ impl Model for IosModel {
     fn on_job_complete(&mut self, _pid: ProcessId, job: Job, _ctx: &mut TickContext<'_>) {
         match job.kind {
             JOB_MSG => {
-                let (count, directives) = self
+                let (count, _peer, directives) = self
                     .pending
                     .remove(&job.tag)
                     .expect("completion without pending entry");

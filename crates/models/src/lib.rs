@@ -30,6 +30,7 @@
 
 mod costs;
 mod crosstraffic;
+mod faults;
 mod ios;
 mod platform;
 mod router;

@@ -69,8 +69,6 @@ impl SimRouter {
     /// chaining several simulated routers (each must have a distinct
     /// AS, or loop prevention rejects re-exported routes).
     pub fn with_local_asn(spec: &PlatformSpec, local_asn: Asn) -> Self {
-        let config = SimConfig::new(vec![spec.core; spec.cores]);
-        let tick_secs = config.tick.as_secs_f64();
         let speakers = [
             PeerInfo::new(
                 PeerId(1),
@@ -85,20 +83,31 @@ impl SimRouter {
                 Ipv4Addr::new(10, 0, 0, 3),
             ),
         ];
+        Self::with_peers(spec, &speakers, local_asn)
+    }
+
+    /// Builds a router with an arbitrary set of attached speakers —
+    /// the constructor behind multi-peer topologies. Speaker index `i`
+    /// (as a [`SpeakerHandle`]) maps to `peers[i]`; peer IDs should be
+    /// `PeerId(i + 1)` for [`SimRouter::export_messages`] to resolve
+    /// handles.
+    pub fn with_peers(spec: &PlatformSpec, peers: &[PeerInfo], local_asn: Asn) -> Self {
+        let config = SimConfig::new(vec![spec.core; spec.cores]);
+        let tick_secs = config.tick.as_secs_f64();
         let inner = match spec.kind {
             PlatformKind::Xorp(costs) => {
                 let cross = spec.cross;
                 let hz = spec.core.hz;
                 Inner::Xorp(Simulator::new(config, |builder| {
                     XorpModel::with_local_asn(
-                        costs, cross, hz, tick_secs, builder, &speakers, local_asn,
+                        costs, cross, hz, tick_secs, builder, peers, local_asn,
                     )
                 }))
             }
             PlatformKind::Ios(costs) => {
                 let cross = spec.cross;
                 Inner::Ios(Simulator::new(config, |builder| {
-                    IosModel::with_local_asn(costs, cross, tick_secs, builder, &speakers, local_asn)
+                    IosModel::with_local_asn(costs, cross, tick_secs, builder, peers, local_asn)
                 }))
             }
         };
@@ -238,6 +247,85 @@ impl SimRouter {
         match &mut self.inner {
             Inner::Xorp(sim) => sim.run_for(limit),
             Inner::Ios(sim) => sim.run_for(limit),
+        }
+    }
+
+    /// Advances the simulation by exactly one tick — the granularity
+    /// at which the topology engine interleaves FSM timers and fault
+    /// injection with router work.
+    pub fn step(&mut self) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.step(),
+            Inner::Ios(sim) => sim.step(),
+        }
+    }
+
+    /// Whether all loaded work (scripts, pipeline, exports) has
+    /// drained.
+    pub fn is_quiescent(&self) -> bool {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.model().is_quiescent(),
+            Inner::Ios(sim) => sim.model().is_quiescent(),
+        }
+    }
+
+    /// Gates a speaker's input on session state: while `false` the
+    /// link is down and the script is untouched.
+    pub fn set_speaker_enabled(&mut self, speaker: SpeakerHandle, enabled: bool) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().set_speaker_enabled(speaker.0, enabled),
+            Inner::Ios(sim) => sim.model_mut().set_speaker_enabled(speaker.0, enabled),
+        }
+    }
+
+    /// Arms the speaker's link to drop its next `n` messages.
+    pub fn drop_next(&mut self, speaker: SpeakerHandle, n: u32) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().drop_next(speaker.0, n),
+            Inner::Ios(sim) => sim.model_mut().drop_next(speaker.0, n),
+        }
+    }
+
+    /// Holds the speaker's input back until simulated time `until_s`.
+    pub fn delay_input_until(&mut self, speaker: SpeakerHandle, until_s: f64) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().delay_input_until(speaker.0, until_s),
+            Inner::Ios(sim) => sim.model_mut().delay_input_until(speaker.0, until_s),
+        }
+    }
+
+    /// Arms the speaker's link to swap its next `n` message pairs.
+    pub fn reorder_next(&mut self, speaker: SpeakerHandle, n: u32) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().reorder_next(speaker.0, n),
+            Inner::Ios(sim) => sim.model_mut().reorder_next(speaker.0, n),
+        }
+    }
+
+    /// Rewinds the speaker's script for a full re-advertisement (peer
+    /// restart semantics).
+    pub fn reset_script(&mut self, speaker: SpeakerHandle) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().reset_script(speaker.0),
+            Inner::Ios(sim) => sim.model_mut().reset_script(speaker.0),
+        }
+    }
+
+    /// Prefix-level transactions the speaker's script has handed out
+    /// since its last load or [`SimRouter::reset_script`].
+    pub fn speaker_transactions_taken(&self, speaker: SpeakerHandle) -> u64 {
+        match &self.inner {
+            Inner::Xorp(sim) => sim.model().speaker_transactions_taken(speaker.0),
+            Inner::Ios(sim) => sim.model().speaker_transactions_taken(speaker.0),
+        }
+    }
+
+    /// Session-down purge of everything learned from the speaker's
+    /// peer; returns the number of affected prefixes.
+    pub fn purge_speaker(&mut self, speaker: SpeakerHandle) -> usize {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().purge_speaker(speaker.0),
+            Inner::Ios(sim) => sim.model_mut().purge_speaker(speaker.0),
         }
     }
 

@@ -13,6 +13,7 @@ use bgpbench_wire::{Asn, RouterId, UpdateMessage};
 
 use crate::costs::XorpCosts;
 use crate::crosstraffic::{CrossTraffic, JOB_KFWD};
+use crate::faults::LinkFaults;
 use crate::CrossCosts;
 
 const JOB_PARSE: u16 = 1;
@@ -54,6 +55,7 @@ struct Procs {
 /// Stage costs and bookkeeping for one in-flight UPDATE.
 #[derive(Debug)]
 struct Pending {
+    peer: PeerId,
     transactions: u32,
     policy_cycles: f64,
     decide_cycles: f64,
@@ -73,6 +75,9 @@ struct Speaker {
     rate_msgs_per_sec: Option<f64>,
     /// Fractional-message carry for rated injection.
     carry: f64,
+    /// Session/link fault state (the topology engine's injection
+    /// point).
+    faults: LinkFaults,
 }
 
 /// The XORP 1.3 software model (paper §IV.B): `xorp_bgp`,
@@ -157,6 +162,7 @@ impl XorpModel {
                 script: None,
                 rate_msgs_per_sec: None,
                 carry: 0.0,
+                faults: LinkFaults::default(),
             })
             .collect();
         XorpModel {
@@ -234,6 +240,82 @@ impl XorpModel {
                 .all(|s| s.script.as_ref().is_none_or(SpeakerScript::is_exhausted))
     }
 
+    /// Gates speaker input on session state: while `false` the speaker
+    /// link is down and its script is untouched.
+    pub fn set_speaker_enabled(&mut self, speaker: usize, enabled: bool) {
+        self.speakers[speaker].faults.enabled = enabled;
+    }
+
+    /// Arms the link to drop the speaker's next `n` messages (taken
+    /// off the script, never parsed).
+    pub fn drop_next(&mut self, speaker: usize, n: u32) {
+        self.speakers[speaker].faults.drop_next = n;
+    }
+
+    /// Holds the speaker's input back until simulated time `until_s`.
+    pub fn delay_input_until(&mut self, speaker: usize, until_s: f64) {
+        self.speakers[speaker].faults.delay_until_s = until_s;
+    }
+
+    /// Arms the link to swap the speaker's next `n` message pairs.
+    pub fn reorder_next(&mut self, speaker: usize, n: u32) {
+        self.speakers[speaker].faults.reorder_next = n;
+    }
+
+    /// Rewinds the speaker's script for a full re-advertisement (peer
+    /// restart). The caller accounts for transactions already taken —
+    /// [`SpeakerScript::reset`] zeroes the counter.
+    pub fn reset_script(&mut self, speaker: usize) {
+        if let Some(script) = self.speakers[speaker].script.as_mut() {
+            script.reset();
+        }
+    }
+
+    /// Prefix-level transactions the speaker's script has handed out
+    /// since its last load or reset.
+    pub fn speaker_transactions_taken(&self, speaker: usize) -> u64 {
+        self.speakers[speaker]
+            .script
+            .as_ref()
+            .map_or(0, |s| s.transactions_taken() as u64)
+    }
+
+    /// Session-down purge: withdraws everything learned from the
+    /// speaker's peer, re-running best-path per affected prefix, and
+    /// applies the resulting FIB changes immediately (the purge is a
+    /// local control-plane action, not a scripted message). Stale FIB
+    /// directives from the peer's still-in-flight messages are
+    /// cancelled. Returns the number of affected prefixes.
+    pub fn purge_speaker(&mut self, speaker: usize) -> usize {
+        let peer = self.speakers[speaker].peer;
+        self.inbox.retain(|_, (from, _)| *from != peer);
+        for pending in self.pending.values_mut() {
+            if pending.peer == peer {
+                pending.directives.clear();
+            }
+        }
+        let Ok(outcomes) = self.engine.purge_peer(peer) else {
+            return 0;
+        };
+        let _span = (!outcomes.is_empty())
+            .then(|| telemetry::span(SpanId::FibApply))
+            .flatten();
+        for outcome in &outcomes {
+            match outcome.fib {
+                Some(FibDirective::Install { prefix, next_hop }) => {
+                    telemetry::incr(MetricId::FibInstalls);
+                    self.fib.insert(prefix, NextHop::new(next_hop, 0));
+                }
+                Some(FibDirective::Remove { prefix }) => {
+                    telemetry::incr(MetricId::FibRemoves);
+                    self.fib.remove(&prefix);
+                }
+                None => {}
+            }
+        }
+        outcomes.len()
+    }
+
     /// Sets the cross-traffic offered load.
     pub fn set_cross_rate_mbps(&mut self, mbps: f64) {
         self.cross.set_rate_mbps(mbps);
@@ -264,6 +346,7 @@ impl XorpModel {
             .expect("benchmark updates are well-formed");
         let costs = &self.costs;
         let mut pending = Pending {
+            peer,
             transactions: n_ann + n_wd,
             policy_cycles: f64::from(n_ann) * costs.policy,
             decide_cycles: f64::from(n_ann + n_wd) * costs.decide,
@@ -408,6 +491,11 @@ impl Model for XorpModel {
             .saturating_sub(ctx.queue_len(self.procs.bgp))
             .min(PIPELINE_LIMIT.saturating_sub(inflight_messages));
         for idx in 0..self.speakers.len() {
+            // Down or delayed links accept no input and accrue no send
+            // allowance — the speaker backs off with the session.
+            if !self.speakers[idx].faults.enabled || now < self.speakers[idx].faults.delay_until_s {
+                continue;
+            }
             // Rated speakers accrue an allowance per tick; flooding
             // speakers are bounded only by flow control.
             let mut allowance = match self.speakers[idx].rate_msgs_per_sec {
@@ -420,30 +508,54 @@ impl Model for XorpModel {
                 None => usize::MAX,
             };
             while room > 0 && allowance > 0 {
-                allowance -= 1;
                 let peer = self.speakers[idx].peer;
+                // Lossy link: messages arrive but are dropped before
+                // parse — they consume the script and the sender's
+                // allowance without entering the pipeline.
+                if self.speakers[idx].faults.drop_next > 0 {
+                    allowance -= 1;
+                    let Some(script) = self.speakers[idx].script.as_mut() else {
+                        break;
+                    };
+                    if script.take(1).is_empty() {
+                        break;
+                    }
+                    self.speakers[idx].faults.drop_next -= 1;
+                    continue;
+                }
+                // Reordering link: take the next pair and parse it in
+                // reversed arrival order (needs room for both).
+                let swap =
+                    self.speakers[idx].faults.reorder_next > 0 && room >= 2 && allowance >= 2;
                 let Some(script) = self.speakers[idx].script.as_mut() else {
                     break;
                 };
-                let batch = script.take(1);
-                let Some(update) = batch.first().cloned() else {
+                let mut batch = script.take(if swap { 2 } else { 1 }).to_vec();
+                if batch.is_empty() {
                     break;
-                };
-                let n_ann = update.nlri().len() as u32;
-                let n_wd = update.withdrawn().len() as u32;
-                let cycles = self.costs.pkt_base
-                    + f64::from(n_ann) * self.costs.parse_ann
-                    + f64::from(n_wd) * self.costs.parse_wd;
-                let tag = self.next_tag;
-                self.next_tag += 1;
-                self.inbox.insert(tag, (peer, update));
-                ctx.push(
-                    self.procs.bgp,
-                    Job::new(JOB_PARSE, cycles)
-                        .with_tag(tag)
-                        .with_count(n_ann + n_wd),
-                );
-                room -= 1;
+                }
+                if swap && batch.len() == 2 {
+                    self.speakers[idx].faults.reorder_next -= 1;
+                    batch.reverse();
+                }
+                for update in batch {
+                    allowance = allowance.saturating_sub(1);
+                    room -= 1;
+                    let n_ann = update.nlri().len() as u32;
+                    let n_wd = update.withdrawn().len() as u32;
+                    let cycles = self.costs.pkt_base
+                        + f64::from(n_ann) * self.costs.parse_ann
+                        + f64::from(n_wd) * self.costs.parse_wd;
+                    let tag = self.next_tag;
+                    self.next_tag += 1;
+                    self.inbox.insert(tag, (peer, update));
+                    ctx.push(
+                        self.procs.bgp,
+                        Job::new(JOB_PARSE, cycles)
+                            .with_tag(tag)
+                            .with_count(n_ann + n_wd),
+                    );
+                }
             }
         }
 
@@ -461,7 +573,10 @@ impl Model for XorpModel {
 
     fn on_job_complete(&mut self, _pid: ProcessId, job: Job, ctx: &mut TickContext<'_>) {
         match job.kind {
-            JOB_PARSE => {
+            // The inbox entry may have been purged by a session-down
+            // event while the parse was in flight; such a parse
+            // completes into the catch-all below.
+            JOB_PARSE if self.inbox.contains_key(&job.tag) => {
                 let pending = self.classify(job.tag);
                 self.pending.insert(job.tag, pending);
                 self.advance(job.tag, JOB_PARSE, ctx);

@@ -476,6 +476,24 @@ impl RibEngine {
     ///
     /// Returns [`RibError::UnknownPeer`] for an unregistered id.
     pub fn remove_peer(&mut self, peer: PeerId) -> Result<Vec<PrefixOutcome>, RibError> {
+        let outcomes = self.purge_peer(peer)?;
+        self.peers.remove(&peer);
+        Ok(outcomes)
+    }
+
+    /// Withdraws everything learned from `peer` — re-running best-path
+    /// selection per affected prefix — while keeping the peer
+    /// registered, as happens when a session flaps and is expected to
+    /// re-establish. Returns the per-prefix outcomes (each carrying
+    /// the FIB directive for the new best path, if any).
+    ///
+    /// Equivalent to the peer withdrawing its whole Adj-RIB-In one
+    /// prefix at a time (see the `purge_equals_withdraw_all` proptest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RibError::UnknownPeer`] for an unregistered id.
+    pub fn purge_peer(&mut self, peer: PeerId) -> Result<Vec<PrefixOutcome>, RibError> {
         if !self.peers.contains_key(&peer) {
             return Err(RibError::UnknownPeer(peer.0));
         }
@@ -489,7 +507,6 @@ impl RibEngine {
         for prefix in prefixes {
             outcomes.push(self.withdraw_one(peer, prefix));
         }
-        self.peers.remove(&peer);
         Ok(outcomes)
     }
 

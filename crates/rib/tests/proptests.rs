@@ -178,6 +178,89 @@ proptest! {
         prop_assert_eq!(stats.fib_removes, prefixes.len() as u64);
     }
 
+    /// Session-down purge must be indistinguishable from the peer
+    /// withdrawing its whole table: same Loc-RIB, same per-prefix
+    /// outcomes, same FIB traffic — and the peer stays registered and
+    /// usable afterwards.
+    #[test]
+    fn purge_equals_withdraw_all(
+        attrs1 in arb_attrs(),
+        attrs2 in arb_attrs(),
+        prefixes1 in prop::collection::btree_set(any::<u16>(), 1..24),
+        prefixes2 in prop::collection::btree_set(any::<u16>(), 1..24),
+    ) {
+        prop_assume!(!attrs1.as_path().contains(LOCAL_ASN));
+        prop_assume!(!attrs2.as_path().contains(LOCAL_ASN));
+        let as_prefixes = |seeds: std::collections::BTreeSet<u16>| -> Vec<Prefix> {
+            seeds
+                .into_iter()
+                .map(|seed| Prefix::new_masked(Ipv4Addr::from(u32::from(seed) << 12), 20).unwrap())
+                .collect()
+        };
+        // Overlapping tables so purging peer 1 re-runs best-path onto
+        // peer 2's routes for the shared prefixes.
+        let prefixes1 = as_prefixes(prefixes1);
+        let prefixes2 = as_prefixes(prefixes2);
+
+        let make_engine = || {
+            let mut engine = RibEngine::new(LOCAL_ASN, RouterId(1));
+            engine.add_peer(PeerInfo::new(
+                PeerId(1), Asn(65001), RouterId(2), Ipv4Addr::new(10, 0, 0, 2),
+            ));
+            engine.add_peer(PeerInfo::new(
+                PeerId(2), Asn(65002), RouterId(3), Ipv4Addr::new(10, 0, 0, 3),
+            ));
+            engine
+                .apply_update(PeerId(1), &build_update(&attrs1, &prefixes1))
+                .unwrap();
+            engine
+                .apply_update(PeerId(2), &build_update(&attrs2, &prefixes2))
+                .unwrap();
+            engine
+        };
+
+        let mut purged = make_engine();
+        let mut purge_outcomes = purged.purge_peer(PeerId(1)).unwrap();
+
+        let mut withdrawn = make_engine();
+        let withdraw = UpdateMessage::builder()
+            .withdraw_all(prefixes1.iter().copied())
+            .build();
+        let mut withdraw_outcomes = withdrawn.apply_update(PeerId(1), &withdraw).unwrap();
+
+        // Identical per-prefix outcomes (purge iterates in table order,
+        // the withdraw in message order — prefixes are unique per set,
+        // so sorting by prefix aligns them).
+        purge_outcomes.sort_by_key(|o| o.prefix);
+        withdraw_outcomes.sort_by_key(|o| o.prefix);
+        prop_assert_eq!(&purge_outcomes, &withdraw_outcomes);
+
+        // Identical Loc-RIB afterwards: peer 1's routes are gone and
+        // every surviving prefix selected peer 2's route.
+        prop_assert_eq!(purged.loc_rib().len(), withdrawn.loc_rib().len());
+        for prefix in prefixes1.iter().chain(prefixes2.iter()) {
+            let a = purged.loc_rib().get(prefix).map(|r| (r.learned_from(), r.attrs().clone()));
+            let b = withdrawn.loc_rib().get(prefix).map(|r| (r.learned_from(), r.attrs().clone()));
+            prop_assert_eq!(a.as_ref().map(|(p, _)| *p), b.as_ref().map(|(p, _)| *p));
+            prop_assert_eq!(a.map(|(_, r)| r), b.map(|(_, r)| r));
+            prop_assert_ne!(
+                purged.loc_rib().get(prefix).map(|r| r.learned_from()),
+                Some(PeerId(1))
+            );
+        }
+        prop_assert_eq!(purged.stats().fib_removes, withdrawn.stats().fib_removes);
+        prop_assert_eq!(purged.stats().fib_installs, withdrawn.stats().fib_installs);
+
+        // Unlike remove_peer, the peer survives and can re-announce.
+        prop_assert!(purged.adj_rib_in(PeerId(1)).is_some());
+        purged
+            .apply_update(PeerId(1), &build_update(&attrs1, &prefixes1))
+            .unwrap();
+        for prefix in &prefixes1 {
+            prop_assert!(purged.loc_rib().get(prefix).is_some());
+        }
+    }
+
     /// The Loc-RIB winner must always be the maximum of the Adj-RIBs-In
     /// under the comparison function (engine/decision consistency).
     #[test]

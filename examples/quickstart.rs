@@ -12,7 +12,7 @@ fn main() {
     let config = ScenarioConfig {
         prefixes: 5000,
         seed: 2007,
-        cross_traffic_mbps: 0.0,
+        ..ScenarioConfig::default()
     };
     let result = run_scenario(&xeon(), Scenario::S2, &config);
     println!(

@@ -32,7 +32,7 @@
 //! let result = run_scenario(
 //!     &xeon(),
 //!     Scenario::S2,
-//!     &ScenarioConfig { prefixes: 1000, seed: 1, cross_traffic_mbps: 0.0 },
+//!     &ScenarioConfig { prefixes: 1000, seed: 1, ..ScenarioConfig::default() },
 //! );
 //! println!("{}: {:.1} transactions/s", result.scenario, result.tps());
 //! assert!(result.completed);

@@ -14,7 +14,7 @@ fn quick(prefixes: usize) -> ScenarioConfig {
     ScenarioConfig {
         prefixes,
         seed: 99,
-        cross_traffic_mbps: 0.0,
+        ..ScenarioConfig::default()
     }
 }
 

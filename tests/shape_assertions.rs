@@ -60,7 +60,7 @@ fn fig3_wall_clock_ordering_across_platforms() {
     let config = ScenarioConfig {
         prefixes: 1000,
         seed: 3,
-        cross_traffic_mbps: 0.0,
+        ..ScenarioConfig::default()
     };
     let elapsed = |platform| run_scenario(&platform, Scenario::S6, &config).elapsed_secs;
     let xeon_secs = elapsed(xeon());
