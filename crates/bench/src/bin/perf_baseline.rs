@@ -30,6 +30,7 @@
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
+use bgpbench_core::PolicyProfile;
 use bgpbench_rib::{PeerId, PeerInfo, RibEngine};
 use bgpbench_speaker::{workload, TableGenerator};
 use bgpbench_telemetry as telemetry;
@@ -50,6 +51,7 @@ const BASELINE_NS: &[(&str, Option<f64>)] = &[
     ("startup_small_pkts", None),
     ("incremental_losing", Some(1_194_000.0)),
     ("incremental_winning", Some(1_171_000.0)),
+    ("incremental_policed", None),
     ("withdraw_storm", Some(891_711.0)),
 ];
 
@@ -316,6 +318,14 @@ fn main() {
         }
         engine
     };
+    // The same loaded engine with S13's two-entry import filter
+    // attached — `incremental_policed` vs `incremental_winning` is the
+    // route-map's per-announcement overhead on the import hot path.
+    let policed = || {
+        let mut engine = loaded();
+        engine.set_import_policy(PolicyProfile::FilterChurn.import_map());
+        engine
+    };
     fn flood(updates: &[UpdateMessage], peer: PeerId) -> impl FnMut(RibEngine) -> RibEngine + '_ {
         move |mut engine| {
             for update in updates {
@@ -361,6 +371,10 @@ fn main() {
         (
             "incremental_winning",
             Box::new(|n| measure_times(n, &loaded, flood(&winning, PeerId(2)))),
+        ),
+        (
+            "incremental_policed",
+            Box::new(|n| measure_times(n, &policed, flood(&winning, PeerId(2)))),
         ),
         (
             "withdraw_storm",

@@ -14,6 +14,8 @@ fn operation_columns(scenario: Scenario) -> (&'static str, &'static str) {
             ("Incremental Operation", "ANNOUNCE")
         }
         BgpOperation::SessionChurn => ("Session Churn", "ANNOUNCE"),
+        BgpOperation::ExportRewrite => ("Policy Export", "ANNOUNCE"),
+        BgpOperation::MedOscillation => ("MED Oscillation", "ANNOUNCE"),
     }
 }
 

@@ -9,8 +9,8 @@
 use std::net::Ipv4Addr;
 
 use bgpbench_wire::{
-    AsPath, AsPathSegment, Asn, Capability, ErrorCode, Message, NotificationMessage, OpenMessage,
-    Origin, PathAttribute, Prefix, RouterId, UpdateMessage,
+    AsPath, AsPathSegment, Asn, Capability, ErrorCode, LargeCommunity, Message,
+    NotificationMessage, OpenMessage, Origin, PathAttribute, Prefix, RouterId, UpdateMessage,
 };
 
 /// A prefix that is valid by construction.
@@ -40,8 +40,8 @@ fn update_announce() -> UpdateMessage {
 }
 
 /// An UPDATE exercising the optional attributes: MED, LOCAL_PREF,
-/// ATOMIC_AGGREGATE, AGGREGATOR, COMMUNITIES, an AS_SET segment, and
-/// an unmodeled transitive attribute.
+/// ATOMIC_AGGREGATE, AGGREGATOR, COMMUNITIES, LARGE_COMMUNITIES, an
+/// AS_SET segment, and an unmodeled transitive attribute.
 fn update_rich_attributes() -> UpdateMessage {
     UpdateMessage::builder()
         .attribute(PathAttribute::Origin(Origin::Incomplete))
@@ -61,9 +61,13 @@ fn update_rich_attributes() -> UpdateMessage {
             (65001 << 16) | 100,
             (65001 << 16) | 200,
         ]))
+        .attribute(PathAttribute::LargeCommunities(vec![
+            LargeCommunity::new(65001, 0, 100),
+            LargeCommunity::new(65001, 1, 200),
+        ]))
         .attribute(PathAttribute::Unknown {
             flags: 0xC0,
-            type_code: 32,
+            type_code: 77,
             value: vec![0xDE, 0xAD, 0xBE, 0xEF],
         })
         .announce(prefix(100, 64, 0, 0, 10))

@@ -37,8 +37,10 @@ const HOT_PATH_CRATES: [&str; 4] = ["wire", "rib", "fib", "telemetry"];
 /// Individual files under the `no-panic` rule in crates that are not
 /// hot paths as a whole. The session FSM runs once per peer per simnet
 /// tick and inside the live daemon's reader threads; an `unwrap()`
-/// there turns a malformed peer message into a process abort.
-const HOT_PATH_FILES: [&str; 1] = ["crates/daemon/src/fsm.rs"];
+/// there turns a malformed peer message into a process abort. The
+/// policy-profile builders run inside measured scenario setup, where a
+/// panic aborts a whole grid cell instead of surfacing as a result.
+const HOT_PATH_FILES: [&str; 2] = ["crates/daemon/src/fsm.rs", "crates/core/src/policy.rs"];
 
 /// Crates allowed to read the host clock.
 const CLOCK_CRATES: [&str; 2] = ["telemetry", "bench"];
@@ -474,6 +476,29 @@ impl MetricId {
             &mut report,
         );
         assert!(report.is_clean(), "the rest of the daemon is exempt");
+    }
+
+    #[test]
+    fn scan_flags_panics_in_the_policy_profile_builders() {
+        let allow = Allowlist::empty();
+        let mut report = LintReport::default();
+        scan_file(
+            "crates/core/src/policy.rs",
+            "fn f() { x.expect(\"boom\"); }\n",
+            &allow,
+            &mut report,
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "no-panic");
+
+        let mut report = LintReport::default();
+        scan_file(
+            "crates/core/src/harness.rs",
+            "fn f() { y.unwrap(); }\n",
+            &allow,
+            &mut report,
+        );
+        assert!(report.is_clean(), "the rest of core is exempt");
     }
 
     #[test]

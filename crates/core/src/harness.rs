@@ -8,6 +8,7 @@ use bgpbench_telemetry::{self as telemetry, EventKind, SpanId};
 use bgpbench_wire::Asn;
 
 use crate::faults::FaultPlan;
+use crate::policy::PolicyProfile;
 use crate::scenario::{BgpOperation, Scenario};
 use crate::topology::{ConvergenceRun, Topology, TopologyConfig};
 
@@ -23,6 +24,14 @@ const SPEAKER2_ASN: Asn = Asn(65002);
 const SPEAKER1_HOP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 const SPEAKER2_HOP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
 
+/// Announcement rounds of the MED-oscillation scenario (S15): one with
+/// a high MED (best path flips to Speaker 2), one with MED 0 (flips
+/// back to Speaker 1 on the router-ID tie-break).
+const OSCILLATION_ROUNDS: usize = 2;
+/// MED carried by the odd rounds; anything ≥ 1 trips the profile's
+/// `MedAtLeast(1)` match.
+const OSCILLATION_HIGH_MED: u32 = 50;
+
 /// Parameters of one scenario run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
@@ -35,6 +44,11 @@ pub struct ScenarioConfig {
     /// Topology and fault sizing for session-churn scenarios (S9–S12);
     /// ignored by the paper's eight.
     pub churn: ChurnConfig,
+    /// Policy profile override: `Some` attaches that profile's
+    /// route-maps to the router under test regardless of scenario
+    /// (policy-on/off A-B runs); `None` uses the scenario's own
+    /// profile, if any.
+    pub policy: Option<PolicyProfile>,
 }
 
 impl Default for ScenarioConfig {
@@ -44,6 +58,7 @@ impl Default for ScenarioConfig {
             seed: 2007,
             cross_traffic_mbps: 0.0,
             churn: ChurnConfig::default(),
+            policy: None,
         }
     }
 }
@@ -313,6 +328,13 @@ fn drive(
         seed: config.seed,
     };
     router.set_cross_traffic_mbps(config.cross_traffic_mbps);
+    // A config override beats the scenario's own profile; both absent
+    // leaves the engine's default permit-all maps in place, which is
+    // the paper's unpoliced configuration.
+    if let Some(profile) = config.policy.or_else(|| scenario.policy()) {
+        router.set_import_policy(profile.import_map());
+        router.set_export_policy(profile.export_map());
+    }
     let (transactions, elapsed) = match scenario.operation() {
         BgpOperation::StartupAnnounce => {
             mark_phase(router, 1);
@@ -387,6 +409,62 @@ fn drive(
             );
             (n, router.run_until_transactions(2 * n, PHASE_LIMIT_SECS))
         }
+        BgpOperation::ExportRewrite => {
+            {
+                mark_phase(router, 1);
+                let _span = telemetry::span(SpanId::Phase1);
+                router.load_script(
+                    SPEAKER_1,
+                    SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
+                );
+                router
+                    .run_until_transactions(n, PHASE_LIMIT_SECS)
+                    .expect("setup phase must complete");
+            }
+            // The timed phase is the re-advertisement itself: every
+            // route crosses the export route-map on its way to
+            // Speaker 2's Adj-RIB-Out.
+            mark_phase(router, 2);
+            let _span = telemetry::span(SpanId::Phase2);
+            router.queue_export(SPEAKER_2, pkt);
+            (n, router.run_until_exports(n, PHASE_LIMIT_SECS))
+        }
+        BgpOperation::MedOscillation => {
+            {
+                mark_phase(router, 1);
+                let _span = telemetry::span(SpanId::Phase1);
+                router.load_script(
+                    SPEAKER_1,
+                    SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
+                );
+                router
+                    .run_until_transactions(n, PHASE_LIMIT_SECS)
+                    .expect("setup phase must complete");
+            }
+            mark_phase(router, 3);
+            let _span = telemetry::span(SpanId::Phase3);
+            let spec = workload::AnnounceSpec {
+                speaker_asn: SPEAKER2_ASN,
+                path_len: BASE_PATH_LEN,
+                next_hop: SPEAKER2_HOP,
+                prefixes_per_update: pkt,
+                seed: config.seed + 1,
+            };
+            router.load_script(
+                SPEAKER_2,
+                SpeakerScript::new(workload::med_oscillation(
+                    &table,
+                    &spec,
+                    OSCILLATION_ROUNDS,
+                    OSCILLATION_HIGH_MED,
+                )),
+            );
+            let rounds = OSCILLATION_ROUNDS as u64;
+            (
+                rounds * n,
+                router.run_until_transactions((rounds + 1) * n, PHASE_LIMIT_SECS),
+            )
+        }
         // Intercepted in `run_scenario_with_packetization` and routed
         // through the topology engine.
         BgpOperation::SessionChurn => unreachable!("churn runs through the topology engine"),
@@ -438,6 +516,110 @@ mod tests {
             assert!(result.completed, "{scenario} timed out");
             assert!(result.tps() > 0.0, "{scenario} produced zero tps");
         }
+    }
+
+    #[test]
+    fn policy_scenarios_complete_on_the_xeon() {
+        for scenario in Scenario::POLICY {
+            let result = run_scenario(&xeon(), scenario, &quick(1000));
+            assert!(result.completed, "{scenario} timed out");
+            assert!(result.tps() > 0.0, "{scenario} produced zero tps");
+        }
+    }
+
+    #[test]
+    fn filter_churn_rejects_roughly_half_of_the_fib_rewrites() {
+        // S13 is S8 plus an import filter that denies Speaker 2's
+        // routes in 0.0.0.0/1 — about half the synthetic table. The
+        // rejected half must keep Speaker 1's next hop; the permitted
+        // half flips to Speaker 2.
+        let config = quick(1000);
+        let (result, router) = run_scenario_with_router(&xeon(), Scenario::S13, &config);
+        assert!(result.completed);
+        let table = TableGenerator::new(config.seed).generate(config.prefixes);
+        let from_speaker2 = table
+            .iter()
+            .filter(|p| router.fib_gateway(p) == Some(SPEAKER2_HOP))
+            .count();
+        let from_speaker1 = table
+            .iter()
+            .filter(|p| router.fib_gateway(p) == Some(SPEAKER1_HOP))
+            .count();
+        assert_eq!(from_speaker1 + from_speaker2, config.prefixes);
+        assert!(
+            (300..=700).contains(&from_speaker1),
+            "filter should hold ~half the table on Speaker 1: {from_speaker1}"
+        );
+        // The unpoliced variant hands the whole table to Speaker 2.
+        let (_, unpoliced) = run_scenario_with_router(&xeon(), Scenario::S8, &config);
+        let still_speaker1 = table
+            .iter()
+            .filter(|p| unpoliced.fib_gateway(p) == Some(SPEAKER1_HOP))
+            .count();
+        assert_eq!(still_speaker1, 0);
+    }
+
+    #[test]
+    fn med_oscillation_ends_back_on_speaker_one() {
+        // Round 1 (MED 50) lifts Speaker 2's routes via LOCAL_PREF;
+        // round 2 (MED 0) drops them back to the router-ID tie-break,
+        // which Speaker 1 wins — so the final FIB points at Speaker 1
+        // again even though every round rewrote it.
+        let config = quick(500);
+        let (result, router) = run_scenario_with_router(&xeon(), Scenario::S15, &config);
+        assert!(result.completed);
+        assert_eq!(result.transactions, 2 * config.prefixes as u64);
+        let table = TableGenerator::new(config.seed).generate(config.prefixes);
+        assert!(table
+            .iter()
+            .all(|p| router.fib_gateway(p) == Some(SPEAKER1_HOP)));
+    }
+
+    #[test]
+    fn export_rewrite_is_slower_than_the_plain_export_phase() {
+        // S14 times the same Phase-2 export as S6, but through a
+        // one-entry export map — on the process-model platforms the
+        // extra evaluation pass must cost measurable time.
+        let config = quick(1000);
+        let s14 = run_scenario(&xeon(), Scenario::S14, &config);
+        assert!(s14.completed);
+        assert_eq!(s14.transactions, 1000);
+        let baseline = run_scenario(
+            &xeon(),
+            Scenario::S14,
+            &ScenarioConfig {
+                // FilterChurn's export side is permit-all, and its
+                // import filter never matches Speaker 1's routes, so
+                // this override isolates the export-map cost.
+                policy: Some(PolicyProfile::FilterChurn),
+                ..config
+            },
+        );
+        assert!(
+            s14.elapsed_secs > baseline.elapsed_secs,
+            "export map must add cost: {} vs {}",
+            s14.elapsed_secs,
+            baseline.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn config_policy_override_beats_the_scenario_profile() {
+        // S8 with the FilterChurn profile attached must match S13
+        // (same operation, same packetization, same maps).
+        let config = quick(800);
+        let s13 = run_scenario(&xeon(), Scenario::S13, &config);
+        let overridden = run_scenario(
+            &xeon(),
+            Scenario::S8,
+            &ScenarioConfig {
+                policy: Some(PolicyProfile::FilterChurn),
+                ..config
+            },
+        );
+        assert_eq!(s13.transactions, overridden.transactions);
+        assert!((s13.elapsed_secs - overridden.elapsed_secs).abs() < 1e-9);
+        assert_eq!(s13.virtual_ticks, overridden.virtual_ticks);
     }
 
     #[test]

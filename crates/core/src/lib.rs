@@ -19,7 +19,8 @@
 //!
 //! * [`Scenario`] — the open scenario registry: the paper's eight
 //!   ([`Scenario::ALL`]) plus the session-churn fault scenarios
-//!   S9–S12 ([`Scenario::FAULTS`]);
+//!   S9–S12 ([`Scenario::FAULTS`]) and the route-map policy scenarios
+//!   S13–S15 ([`Scenario::POLICY`], see [`PolicyProfile`]);
 //! * [`CellSpec`] — one scenario × platform cell as data, with a
 //!   builder for sizing, seed, cross-traffic, and churn knobs;
 //! * [`Topology`] — the multi-peer session engine: N speakers, a
@@ -57,6 +58,7 @@ pub mod extensions;
 pub mod faults;
 mod harness;
 pub mod live;
+pub mod policy;
 pub mod report;
 pub mod runner;
 mod scenario;
@@ -68,6 +70,7 @@ pub use harness::{
     run_churn, run_scenario, run_scenario_repeated, ChurnConfig, RepeatedResult, ScenarioConfig,
     ScenarioResult,
 };
+pub use policy::PolicyProfile;
 pub use report::{Render, StaticReport};
 pub use runner::{
     CellError, CellRun, CellSpec, ExperimentSpec, GridRunner, NullObserver, RunObserver,

@@ -153,6 +153,12 @@ pub fn run_live_scenario(
                 format!("{scenario} needs the simulated topology engine, not a live daemon"),
             ));
         }
+        BgpOperation::ExportRewrite | BgpOperation::MedOscillation => {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("{scenario} needs route-map configuration, which the live daemon lacks"),
+            ));
+        }
     };
 
     Ok(ScenarioResult {

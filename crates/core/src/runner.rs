@@ -51,6 +51,7 @@ use crate::experiments::ExperimentConfig;
 use crate::harness::{
     run_scenario_with_packetization, ChurnConfig, ScenarioConfig, ScenarioResult,
 };
+use crate::policy::PolicyProfile;
 use crate::scenario::Scenario;
 use bgpbench_models::SimRouter;
 
@@ -79,6 +80,7 @@ pub struct CellSpec {
     cross_traffic_mbps: f64,
     prefixes_per_update: Option<usize>,
     churn: ChurnConfig,
+    policy: Option<PolicyProfile>,
 }
 
 impl CellSpec {
@@ -94,6 +96,7 @@ impl CellSpec {
             cross_traffic_mbps: 0.0,
             prefixes_per_update: None,
             churn: ChurnConfig::default(),
+            policy: None,
         }
     }
 
@@ -138,6 +141,14 @@ impl CellSpec {
     /// Sets the session hold time in ticks for churn scenarios.
     pub fn hold_ticks(mut self, ticks: u64) -> Self {
         self.churn.hold_ticks = ticks;
+        self
+    }
+
+    /// Attaches a policy profile's route-maps to the router under
+    /// test, overriding the scenario's own profile — the knob behind
+    /// policy-on/off A-B comparisons on the paper's eight scenarios.
+    pub fn policy(mut self, profile: PolicyProfile) -> Self {
+        self.policy = Some(profile);
         self
     }
 
@@ -186,6 +197,7 @@ impl CellSpec {
             seed: self.seed,
             cross_traffic_mbps: self.cross_traffic_mbps,
             churn: self.churn,
+            policy: self.policy,
         }
     }
 

@@ -8,6 +8,7 @@
 //! matching on a closed enum, so new scenarios register here without
 //! touching every `match` in the workspace.
 
+use crate::policy::PolicyProfile;
 use std::fmt;
 
 /// The BGP operation a scenario exercises.
@@ -30,6 +31,14 @@ pub enum BgpOperation {
     /// convergence (ticks until every session is Established and the
     /// pipeline drains), not steady-state transactions per second.
     SessionChurn,
+    /// Export with a rewriting route-map: Phase 2 (re-advertisement to
+    /// Speaker 2 through the export policy) is the timed phase.
+    ExportRewrite,
+    /// MED oscillation: Speaker 2 repeatedly re-announces the same
+    /// prefixes with the MED toggling between high and zero, so the
+    /// import policy flips the best path on every round (Phase 3
+    /// timed).
+    MedOscillation,
 }
 
 /// The benchmark's two packetizations.
@@ -100,11 +109,14 @@ pub struct ScenarioSpec {
     pub description: &'static str,
     /// The churn workload for fault scenarios; `None` for Table I.
     pub churn: Option<ChurnKind>,
+    /// The route-map pair attached to the router under test before
+    /// Phase 1; `None` runs the paper's unpoliced configuration.
+    pub policy: Option<PolicyProfile>,
 }
 
 /// The scenario registry, in number order. `Scenario` values are
 /// indices into this table, so lookups never fail.
-static REGISTRY: [ScenarioSpec; 12] = [
+static REGISTRY: [ScenarioSpec; 15] = [
     ScenarioSpec {
         number: 1,
         name: "S1",
@@ -113,6 +125,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "start-up announcements, small packets",
         churn: None,
+        policy: None,
     },
     ScenarioSpec {
         number: 2,
@@ -122,6 +135,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "start-up announcements, large packets",
         churn: None,
+        policy: None,
     },
     ScenarioSpec {
         number: 3,
@@ -131,6 +145,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "ending withdrawals, small packets",
         churn: None,
+        policy: None,
     },
     ScenarioSpec {
         number: 4,
@@ -140,6 +155,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "ending withdrawals, large packets",
         churn: None,
+        policy: None,
     },
     ScenarioSpec {
         number: 5,
@@ -149,6 +165,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: false,
         description: "incremental announcements (no FIB change), small packets",
         churn: None,
+        policy: None,
     },
     ScenarioSpec {
         number: 6,
@@ -158,6 +175,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: false,
         description: "incremental announcements (no FIB change), large packets",
         churn: None,
+        policy: None,
     },
     ScenarioSpec {
         number: 7,
@@ -167,6 +185,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "incremental announcements (FIB change), small packets",
         churn: None,
+        policy: None,
     },
     ScenarioSpec {
         number: 8,
@@ -176,6 +195,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "incremental announcements (FIB change), large packets",
         churn: None,
+        policy: None,
     },
     ScenarioSpec {
         number: 9,
@@ -185,6 +205,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "peer-flap storm, seeded random session resets",
         churn: Some(ChurnKind::FlapStorm),
+        policy: None,
     },
     ScenarioSpec {
         number: 10,
@@ -194,6 +215,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "hold-timer expiry cascade under staggered blackouts",
         churn: Some(ChurnKind::HoldExpiryCascade),
+        policy: None,
     },
     ScenarioSpec {
         number: 11,
@@ -203,6 +225,7 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "N-peer start-up convergence, no faults",
         churn: Some(ChurnKind::StartupConvergence),
+        policy: None,
     },
     ScenarioSpec {
         number: 12,
@@ -212,6 +235,37 @@ static REGISTRY: [ScenarioSpec; 12] = [
         changes_forwarding_table: true,
         description: "peer restart with full re-advertisement",
         churn: Some(ChurnKind::RestartResync),
+        policy: None,
+    },
+    ScenarioSpec {
+        number: 13,
+        name: "S13",
+        operation: BgpOperation::IncrementalChange,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "incremental announcements through an import filter",
+        churn: None,
+        policy: Some(PolicyProfile::FilterChurn),
+    },
+    ScenarioSpec {
+        number: 14,
+        name: "S14",
+        operation: BgpOperation::ExportRewrite,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: false,
+        description: "table re-advertisement through a rewriting export map",
+        churn: None,
+        policy: Some(PolicyProfile::CommunityRewrite),
+    },
+    ScenarioSpec {
+        number: 15,
+        name: "S15",
+        operation: BgpOperation::MedOscillation,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "MED oscillation flipping the best path every round",
+        churn: None,
+        policy: Some(PolicyProfile::MedOscillation),
     },
 ];
 
@@ -254,6 +308,15 @@ impl Scenario {
     pub const S11: Scenario = Scenario(10);
     /// Peer restart with full re-advertisement (fault scenario).
     pub const S12: Scenario = Scenario(11);
+    /// Incremental announcements through an import filter (policy
+    /// scenario).
+    pub const S13: Scenario = Scenario(12);
+    /// Table re-advertisement through a rewriting export map (policy
+    /// scenario).
+    pub const S14: Scenario = Scenario(13);
+    /// MED oscillation flipping the best path every round (policy
+    /// scenario).
+    pub const S15: Scenario = Scenario(14);
 
     /// The paper's eight scenarios in Table I order. Table III and the
     /// golden CSVs iterate exactly this set, so it stays at eight.
@@ -270,6 +333,9 @@ impl Scenario {
 
     /// The fault-injection scenarios (S9–S12).
     pub const FAULTS: [Scenario; 4] = [Scenario::S9, Scenario::S10, Scenario::S11, Scenario::S12];
+
+    /// The route-map policy scenarios (S13–S15).
+    pub const POLICY: [Scenario; 3] = [Scenario::S13, Scenario::S14, Scenario::S15];
 
     /// Every registered scenario, in number order.
     pub fn registered() -> impl Iterator<Item = Scenario> {
@@ -318,6 +384,12 @@ impl Scenario {
     /// Whether this is a session-churn fault scenario (S9–S12).
     pub fn is_fault(self) -> bool {
         self.spec().churn.is_some()
+    }
+
+    /// The policy profile the scenario attaches to the router under
+    /// test, for policy scenarios (S13–S15).
+    pub fn policy(self) -> Option<PolicyProfile> {
+        self.spec().policy
     }
 
     /// Whether the timed phase changes the forwarding table (Table I's
@@ -404,13 +476,35 @@ mod tests {
     #[test]
     fn registry_is_in_number_order_and_all_is_the_paper() {
         let numbers: Vec<u8> = Scenario::registered().map(Scenario::number).collect();
-        assert_eq!(numbers, (1..=12).collect::<Vec<u8>>());
+        assert_eq!(numbers, (1..=15).collect::<Vec<u8>>());
         assert_eq!(Scenario::ALL.len(), 8);
         assert!(Scenario::ALL.iter().all(|s| !s.is_fault()));
+        assert!(Scenario::ALL.iter().all(|s| s.policy().is_none()));
         assert!(Scenario::FAULTS.iter().all(|s| s.is_fault()));
         for s in Scenario::FAULTS {
             assert_eq!(s.operation(), BgpOperation::SessionChurn);
         }
+        assert!(Scenario::POLICY.iter().all(|s| !s.is_fault()));
+        assert!(Scenario::POLICY.iter().all(|s| s.policy().is_some()));
+    }
+
+    #[test]
+    fn policy_scenarios_map_to_their_profiles() {
+        assert_eq!(Scenario::S13.policy(), Some(PolicyProfile::FilterChurn));
+        assert_eq!(
+            Scenario::S14.policy(),
+            Some(PolicyProfile::CommunityRewrite)
+        );
+        assert_eq!(Scenario::S15.policy(), Some(PolicyProfile::MedOscillation));
+        assert_eq!(Scenario::S13.operation(), BgpOperation::IncrementalChange);
+        assert_eq!(Scenario::S14.operation(), BgpOperation::ExportRewrite);
+        assert_eq!(Scenario::S15.operation(), BgpOperation::MedOscillation);
+        assert!(Scenario::POLICY
+            .iter()
+            .all(|s| s.packet_size() == PacketSize::Large));
+        assert!(!Scenario::S14.changes_forwarding_table());
+        assert!(Scenario::S13.changes_forwarding_table());
+        assert!(Scenario::S15.changes_forwarding_table());
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Policy-engine guarantees at the grid level: the route-map scenarios
+//! S13–S15 produce bit-identical results at any thread count, the
+//! [`CellSpec`] policy knob matches the scenarios' built-in profiles,
+//! and attaching an empty-impact profile leaves the paper's scenarios
+//! untouched.
+
+use bgpbench_core::{CellSpec, GridRunner, PolicyProfile, Scenario, ScenarioResult};
+use bgpbench_models::{pentium3, xeon, PlatformSpec};
+
+fn platforms() -> Vec<PlatformSpec> {
+    vec![pentium3(), xeon()]
+}
+
+/// The S13–S15 × platform grid under quick sizing.
+fn policy_cells() -> Vec<CellSpec> {
+    Scenario::POLICY
+        .iter()
+        .flat_map(|&scenario| {
+            platforms()
+                .into_iter()
+                .map(move |platform| CellSpec::new(scenario, platform).prefixes(400).seed(5))
+        })
+        .collect()
+}
+
+fn results(runs: Vec<bgpbench_core::CellRun>) -> Vec<ScenarioResult> {
+    runs.into_iter()
+        .map(|run| run.result.expect("policy cell must not panic"))
+        .collect()
+}
+
+#[test]
+fn policy_grid_is_bit_identical_serial_vs_parallel() {
+    let cells = policy_cells();
+    let serial = results(GridRunner::new(1).run_cells(&cells));
+    let parallel = results(GridRunner::new(8).run_cells(&cells));
+    assert_eq!(
+        serial, parallel,
+        "thread count must never change policy-scenario outcomes"
+    );
+    assert_eq!(serial.len(), Scenario::POLICY.len() * platforms().len());
+    for result in &serial {
+        assert!(result.completed, "{} timed out", result.scenario);
+        assert!(result.tps() > 0.0, "{} produced zero tps", result.scenario);
+        assert!(result.virtual_ticks > 0);
+    }
+}
+
+#[test]
+fn cell_policy_knob_reproduces_the_scenario_profile() {
+    // S8 is S13's operation without the profile; attaching FilterChurn
+    // through the knob must reproduce S13's numbers exactly.
+    let s13 = CellSpec::new(Scenario::S13, xeon()).prefixes(400).seed(5);
+    let knob = CellSpec::new(Scenario::S8, xeon())
+        .prefixes(400)
+        .seed(5)
+        .policy(PolicyProfile::FilterChurn);
+    let a = s13.run();
+    let b = knob.run();
+    assert_eq!(a.transactions, b.transactions);
+    assert_eq!(a.virtual_ticks, b.virtual_ticks);
+    assert!((a.elapsed_secs - b.elapsed_secs).abs() < 1e-12);
+}
+
+#[test]
+fn import_policies_slow_the_no_change_scenario_down() {
+    // S6's phase-3 routes lose the decision process and never touch
+    // the RIB or FIB, so a route-map can only *add* work there: the
+    // policed twin must cost strictly more virtual time. (On scenarios
+    // with FIB churn a filter can win overall by skipping expensive
+    // installs, so this is the clean A-B.)
+    let unpoliced = CellSpec::new(Scenario::S6, xeon()).prefixes(400).seed(5);
+    let policed = unpoliced.clone().policy(PolicyProfile::FilterChurn);
+    let off = unpoliced.run();
+    let on = policed.run();
+    assert_eq!(off.transactions, on.transactions);
+    assert!(
+        on.virtual_ticks > off.virtual_ticks,
+        "policy must cost cycles: {} vs {}",
+        on.virtual_ticks,
+        off.virtual_ticks
+    );
+}
+
+#[test]
+fn filtering_fib_churn_can_be_cheaper_than_installing_it() {
+    // The counterpart observation: on S8 every phase-3 announcement
+    // rewrites the FIB, and rejecting half of them at the policy stage
+    // saves more install work than the map evaluation costs.
+    let unpoliced = CellSpec::new(Scenario::S8, xeon()).prefixes(400).seed(5);
+    let policed = unpoliced.clone().policy(PolicyProfile::FilterChurn);
+    let off = unpoliced.run();
+    let on = policed.run();
+    assert_eq!(off.transactions, on.transactions);
+    assert!(
+        on.virtual_ticks < off.virtual_ticks,
+        "filtering half the churn should be cheaper: {} vs {}",
+        on.virtual_ticks,
+        off.virtual_ticks
+    );
+}

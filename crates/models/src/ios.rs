@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use bgpbench_fib::{Fib, NextHop};
-use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange};
+use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange, RouteMap};
 use bgpbench_simnet::{Job, Model, ProcessBuilder, ProcessId, SchedClass, TickContext};
 use bgpbench_speaker::SpeakerScript;
 use bgpbench_telemetry::{self as telemetry, MetricId, SpanId};
@@ -265,6 +265,19 @@ impl IosModel {
     /// The forwarding table.
     pub fn fib(&self) -> &Fib {
         &self.fib
+    }
+
+    /// Installs the import route-map. The IOS model is black-box — its
+    /// per-update costs come from measured totals, so a policy changes
+    /// *which* outcome each route takes (a rejection prices as
+    /// `nochange`) rather than scaling a separate policy process.
+    pub fn set_import_policy(&mut self, policy: RouteMap) {
+        self.engine.set_import_policy(policy);
+    }
+
+    /// Installs the export route-map.
+    pub fn set_export_policy(&mut self, policy: RouteMap) {
+        self.engine.set_export_policy(policy);
     }
 
     fn cost_of(&self, change: RouteChange, is_withdrawal: bool) -> f64 {

@@ -2,7 +2,7 @@
 
 use std::net::Ipv4Addr;
 
-use bgpbench_rib::{PeerId, PeerInfo};
+use bgpbench_rib::{PeerId, PeerInfo, RouteMap};
 use bgpbench_simnet::{Recorder, RunOutcome, SimConfig, SimDuration, Simulator};
 use bgpbench_speaker::SpeakerScript;
 use bgpbench_wire::{Asn, RouterId};
@@ -359,6 +359,34 @@ impl SimRouter {
         match &self.inner {
             Inner::Xorp(sim) => sim.model().fib().len(),
             Inner::Ios(sim) => sim.model().fib().len(),
+        }
+    }
+
+    /// The gateway currently installed for `prefix`, if any — lets the
+    /// harness assert which speaker won the decision process.
+    pub fn fib_gateway(&self, prefix: &bgpbench_wire::Prefix) -> Option<Ipv4Addr> {
+        let hop = match &self.inner {
+            Inner::Xorp(sim) => sim.model().fib().get(prefix),
+            Inner::Ios(sim) => sim.model().fib().get(prefix),
+        };
+        hop.map(|hop| hop.gateway())
+    }
+
+    /// Installs the import route-map (Adj-RIB-In → Loc-RIB) on the
+    /// platform's routing engine.
+    pub fn set_import_policy(&mut self, policy: RouteMap) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().set_import_policy(policy),
+            Inner::Ios(sim) => sim.model_mut().set_import_policy(policy),
+        }
+    }
+
+    /// Installs the export route-map (Loc-RIB → Adj-RIB-Out) on the
+    /// platform's routing engine.
+    pub fn set_export_policy(&mut self, policy: RouteMap) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().set_export_policy(policy),
+            Inner::Ios(sim) => sim.model_mut().set_export_policy(policy),
         }
     }
 

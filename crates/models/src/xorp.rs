@@ -5,7 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use bgpbench_fib::{Fib, NextHop};
-use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange};
+use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange, RouteMap};
 use bgpbench_simnet::{Job, Model, ProcessBuilder, ProcessId, SchedClass, TickContext};
 use bgpbench_speaker::SpeakerScript;
 use bgpbench_telemetry::{self as telemetry, MetricId, SpanId};
@@ -336,6 +336,18 @@ impl XorpModel {
         &self.fib
     }
 
+    /// Installs the import route-map (Adj-RIB-In → Loc-RIB). Each
+    /// configured entry adds one evaluation pass to the policy
+    /// process's per-announcement cost.
+    pub fn set_import_policy(&mut self, policy: RouteMap) {
+        self.engine.set_import_policy(policy);
+    }
+
+    /// Installs the export route-map (Loc-RIB → Adj-RIB-Out).
+    pub fn set_export_policy(&mut self, policy: RouteMap) {
+        self.engine.set_export_policy(policy);
+    }
+
     fn classify(&mut self, tag: u64) -> Pending {
         let (peer, update) = self.inbox.remove(&tag).expect("parse without inbox entry");
         let n_ann = update.nlri().len() as u32;
@@ -345,10 +357,14 @@ impl XorpModel {
             .apply_update(peer, &update)
             .expect("benchmark updates are well-formed");
         let costs = &self.costs;
+        // Each configured route-map entry adds one evaluation pass on
+        // top of the baseline policy cost, so an empty (permit-all)
+        // map prices exactly as before policies existed.
+        let policy_scale = 1.0 + self.engine.import_policy().len() as f64;
         let mut pending = Pending {
             peer,
             transactions: n_ann + n_wd,
-            policy_cycles: f64::from(n_ann) * costs.policy,
+            policy_cycles: f64::from(n_ann) * costs.policy * policy_scale,
             decide_cycles: f64::from(n_ann + n_wd) * costs.decide,
             rib_cycles: 0.0,
             fea_cycles: 0.0,
@@ -559,13 +575,16 @@ impl Model for XorpModel {
             }
         }
 
-        // Phase-2 exports share the BGP process.
+        // Phase-2 exports share the BGP process. Export route-map
+        // entries scale the per-prefix cost like import entries do.
+        let export_scale = 1.0 + self.engine.export_policy().len() as f64;
         while room > 0 {
             let Some(update) = self.export_queue.pop_front() else {
                 break;
             };
             let n = update.transaction_count() as u32;
-            let cycles = self.costs.pkt_base + f64::from(n) * self.costs.export_per_prefix;
+            let cycles =
+                self.costs.pkt_base + f64::from(n) * self.costs.export_per_prefix * export_scale;
             ctx.push(self.procs.bgp, Job::new(JOB_EXPORT, cycles).with_count(n));
             room -= 1;
         }

@@ -121,6 +121,22 @@ mod tests {
         )
     }
 
+    fn attrs_med(path: &[u16], med: u32) -> RouteAttributes {
+        RouteAttributes::builder()
+            .as_path(AsPath::from_sequence(path.iter().copied().map(Asn)))
+            .next_hop(Ipv4Addr::new(10, 0, 0, 2))
+            .med(med)
+            .build()
+    }
+
+    fn attrs_pref(path: &[u16], local_pref: u32) -> RouteAttributes {
+        RouteAttributes::builder()
+            .as_path(AsPath::from_sequence(path.iter().copied().map(Asn)))
+            .next_hop(Ipv4Addr::new(10, 0, 0, 2))
+            .local_pref(local_pref)
+            .build()
+    }
+
     const LOCAL: Asn = Asn(65000);
 
     fn prefer(a: &RouteAttributes, ap: &PeerInfo, b: &RouteAttributes, bp: &PeerInfo) -> Ordering {
@@ -129,7 +145,7 @@ mod tests {
 
     #[test]
     fn local_pref_dominates_everything() {
-        let long_but_preferred = attrs(&[1, 2, 3, 4, 5]).with_local_pref(200);
+        let long_but_preferred = attrs_pref(&[1, 2, 3, 4, 5], 200);
         let short = attrs(&[1]);
         let p1 = peer(1, 65001, 1, 1);
         let p2 = peer(2, 65002, 2, 2);
@@ -164,8 +180,8 @@ mod tests {
 
     #[test]
     fn lower_med_wins_when_rest_equal() {
-        let cheap = attrs(&[1, 2]).with_med(10);
-        let expensive = attrs(&[9, 8]).with_med(20);
+        let cheap = attrs_med(&[1, 2], 10);
+        let expensive = attrs_med(&[9, 8], 20);
         let p1 = peer(1, 65001, 1, 1);
         let p2 = peer(2, 65002, 2, 2);
         assert_eq!(prefer(&cheap, &p1, &expensive, &p2), Ordering::Greater);
@@ -174,7 +190,7 @@ mod tests {
     #[test]
     fn missing_med_is_treated_as_zero() {
         let none = attrs(&[1, 2]);
-        let some = attrs(&[3, 4]).with_med(1);
+        let some = attrs_med(&[3, 4], 1);
         let p1 = peer(1, 65001, 1, 1);
         let p2 = peer(2, 65002, 2, 2);
         assert_eq!(prefer(&none, &p1, &some, &p2), Ordering::Greater);
@@ -186,8 +202,8 @@ mod tests {
             always_compare_med: false,
             ..DecisionConfig::default()
         };
-        let a = attrs(&[1, 2]).with_med(50);
-        let b = attrs(&[3, 4]).with_med(10);
+        let a = attrs_med(&[1, 2], 50);
+        let b = attrs_med(&[3, 4], 10);
         // Different first AS → MED incomparable → falls through to
         // router-ID tie-break (peer 1 has the lower ID and wins).
         let p1 = peer(1, 65001, 1, 1);
@@ -226,8 +242,8 @@ mod tests {
 
     #[test]
     fn comparison_is_antisymmetric() {
-        let a = attrs(&[1]).with_med(3);
-        let b = attrs(&[2, 3]).with_local_pref(90);
+        let a = attrs_med(&[1], 3);
+        let b = attrs_pref(&[2, 3], 90);
         let p1 = peer(1, 65001, 1, 1);
         let p2 = peer(2, 65002, 2, 2);
         let forward = prefer(&a, &p1, &b, &p2);
@@ -241,8 +257,8 @@ mod tests {
             ignore_as_path_length: true,
             ..DecisionConfig::default()
         };
-        let long_cheap = attrs(&[1, 2, 3, 4]).with_med(0);
-        let short_costly = attrs(&[1]).with_med(10);
+        let long_cheap = attrs_med(&[1, 2, 3, 4], 0);
+        let short_costly = attrs_med(&[1], 10);
         let p1 = peer(1, 65001, 1, 1);
         let p2 = peer(2, 65002, 2, 2);
         assert_eq!(

@@ -21,7 +21,7 @@ use crate::attr_store::AttrStore;
 use crate::damping::{DampingConfig, FlapKind, RouteDamper};
 use crate::decision::{compare_routes, DecisionConfig};
 use crate::fxhash::FxHashMap;
-use crate::policy::PolicyEngine;
+use crate::policy::RouteMap;
 use crate::route::{PeerId, PeerInfo, Route, RouteAttributes};
 use crate::RibError;
 
@@ -383,7 +383,8 @@ pub struct RibEngine {
     local_asn: Asn,
     local_id: RouterId,
     config: DecisionConfig,
-    import_policy: PolicyEngine,
+    import_policy: RouteMap,
+    export_policy: RouteMap,
     peers: FxHashMap<PeerId, PeerInfo>,
     rib: FxHashMap<Prefix, PrefixEntry>,
     attr_store: AttrStore,
@@ -399,7 +400,8 @@ impl RibEngine {
             local_asn,
             local_id,
             config: DecisionConfig::default(),
-            import_policy: PolicyEngine::permit_all(),
+            import_policy: RouteMap::permit_all(),
+            export_policy: RouteMap::permit_all(),
             peers: FxHashMap::default(),
             rib: FxHashMap::default(),
             attr_store: AttrStore::new(),
@@ -436,14 +438,26 @@ impl RibEngine {
         self.config = config;
     }
 
-    /// Replaces the import policy.
-    pub fn set_import_policy(&mut self, policy: PolicyEngine) {
+    /// Replaces the import route-map, evaluated per prefix before the
+    /// decision process.
+    pub fn set_import_policy(&mut self, policy: RouteMap) {
         self.import_policy = policy;
     }
 
-    /// The import policy currently in force.
-    pub fn import_policy(&self) -> &PolicyEngine {
+    /// The import route-map currently in force.
+    pub fn import_policy(&self) -> &RouteMap {
         &self.import_policy
+    }
+
+    /// Replaces the export route-map, evaluated per prefix when routes
+    /// are staged for an Adj-RIB-Out via [`RibEngine::export_routes`].
+    pub fn set_export_policy(&mut self, policy: RouteMap) {
+        self.export_policy = policy;
+    }
+
+    /// The export route-map currently in force.
+    pub fn export_policy(&self) -> &RouteMap {
+        &self.export_policy
     }
 
     /// The local AS number.
@@ -903,9 +917,10 @@ impl RibEngine {
     }
 
     /// Computes the routes to advertise to `peer`: every Loc-RIB best
-    /// not learned from that peer, in exported form (own AS prepended,
-    /// next hop set to `local_address`). Attribute sets shared by many
-    /// prefixes are transformed once.
+    /// not learned from that peer, passed through the export route-map,
+    /// in exported form (own AS prepended, next hop set to
+    /// `local_address`). Attribute sets shared by many prefixes are
+    /// transformed once; routes the export policy denies are omitted.
     pub fn export_routes(
         &self,
         peer: PeerId,
@@ -914,17 +929,35 @@ impl RibEngine {
         let _span = telemetry::span(SpanId::ExportRoutes);
         let mut cache: FxHashMap<*const RouteAttributes, Arc<RouteAttributes>> =
             FxHashMap::default();
+        let permit_all = self.export_policy.is_empty();
+        // The export route-map can rewrite per prefix, which would break
+        // the pointer-keyed sharing above; a value-keyed table re-groups
+        // rewritten sets so Adj-RIB-Out packing still sees shared Arcs.
+        let mut rewritten_cache: FxHashMap<RouteAttributes, Arc<RouteAttributes>> =
+            FxHashMap::default();
         let mut routes: Vec<(Prefix, Arc<RouteAttributes>)> = self
             .rib
             .iter()
             .filter(|(_, entry)| entry.best_route().0 != peer)
-            .map(|(prefix, entry)| {
+            .filter_map(|(prefix, entry)| {
                 let attrs = &entry.best_route().1;
                 let exported = cache
                     .entry(Arc::as_ptr(attrs))
                     .or_insert_with(|| Arc::new(attrs.exported(self.local_asn, local_address)))
                     .clone();
-                (*prefix, exported)
+                if permit_all {
+                    return Some((*prefix, exported));
+                }
+                let rewritten = self.export_policy.evaluate(prefix, (*exported).clone())?;
+                let shared = match rewritten_cache.get(&rewritten) {
+                    Some(arc) => arc.clone(),
+                    None => {
+                        let arc = Arc::new(rewritten.clone());
+                        rewritten_cache.insert(rewritten, Arc::clone(&arc));
+                        arc
+                    }
+                };
+                Some((*prefix, shared))
             })
             .collect();
         routes.sort_by_key(|(prefix, _)| *prefix);
@@ -1148,12 +1181,15 @@ mod tests {
 
     #[test]
     fn policy_rejection_is_reported() {
-        use crate::{PolicyAction, PolicyRule, RouteMatcher};
+        use crate::policy::{MatchClause, PrefixList, PrefixMatch, RouteMapEntry};
         let (mut engine, p1, _) = engine_with_two_peers();
-        engine.set_import_policy(PolicyEngine::from_rules([PolicyRule::new(
-            RouteMatcher::PrefixWithin("10.0.0.0/8".parse().unwrap()),
-            PolicyAction::Reject,
-        )]));
+        engine.set_import_policy(RouteMap::new([
+            RouteMapEntry::deny(10).matching(MatchClause::Prefix(PrefixList::new([(
+                true,
+                PrefixMatch::within("10.0.0.0/8".parse().unwrap()),
+            )]))),
+            RouteMapEntry::permit(20),
+        ]));
         let outcomes = engine
             .apply_update(
                 p1,
@@ -1163,6 +1199,51 @@ mod tests {
         assert_eq!(outcomes[0].change, RouteChange::RejectedByPolicy);
         assert_eq!(outcomes[1].change, RouteChange::Installed);
         assert_eq!(engine.stats().policy_rejected, 1);
+    }
+
+    #[test]
+    fn import_policy_rewrites_are_interned() {
+        use crate::policy::{RouteMapEntry, SetClause};
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine.set_import_policy(RouteMap::new([
+            RouteMapEntry::permit(10).set(SetClause::LocalPref(300))
+        ]));
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8"]))
+            .unwrap();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["11.0.0.0/8"]))
+            .unwrap();
+        let _ = p2;
+        let rib = engine.loc_rib();
+        let a = rib.get(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        let b = rib.get(&"11.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(a.attrs().local_pref(), Some(300));
+        // The rewritten sets are re-interned: equal values share one Arc.
+        assert!(Arc::ptr_eq(a.attrs(), b.attrs()));
+    }
+
+    #[test]
+    fn export_policy_filters_and_rewrites() {
+        use crate::policy::{MatchClause, PrefixList, PrefixMatch, RouteMapEntry, SetClause};
+        let (mut engine, p1, p2) = engine_with_two_peers();
+        engine
+            .apply_update(p1, &announce(&[65001], HOP1, &["10.0.0.0/8", "11.0.0.0/8"]))
+            .unwrap();
+        engine.set_export_policy(RouteMap::new([
+            RouteMapEntry::deny(10).matching(MatchClause::Prefix(PrefixList::new([(
+                true,
+                PrefixMatch::exact("11.0.0.0/8".parse().unwrap()),
+            )]))),
+            RouteMapEntry::permit(20).set(SetClause::AddCommunity(0x0001_0002)),
+        ]));
+        let exported = engine.export_routes(p2, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(exported.len(), 1);
+        let (prefix, attrs) = &exported[0];
+        assert_eq!(*prefix, "10.0.0.0/8".parse().unwrap());
+        assert!(attrs.communities().contains(&0x0001_0002));
+        // Export transform still applied under the policy.
+        assert_eq!(attrs.as_path().first_as(), Some(LOCAL_ASN));
     }
 
     #[test]

@@ -57,5 +57,7 @@ pub use damping::{DampingConfig, FlapKind, RouteDamper};
 pub use decision::{compare_routes, DecisionConfig};
 pub use engine::{AdjRibIn, FibDirective, LocRib, PrefixOutcome, RibEngine, RibStats, RouteChange};
 pub use error::RibError;
-pub use policy::{PolicyAction, PolicyEngine, PolicyRule, RouteMatcher};
-pub use route::{PeerId, PeerInfo, Route, RouteAttributes};
+pub use policy::{MatchClause, PrefixList, PrefixMatch, RouteMap, RouteMapEntry, SetClause};
+pub use route::{
+    Aggregator, PeerId, PeerInfo, Route, RouteAttributes, RouteAttributesBuilder, UnknownTransitive,
+};

@@ -1,0 +1,478 @@
+//! Import/export routing policy: route-maps over compiled match
+//! structures.
+//!
+//! The paper (§III.A) stresses that BGP route selection "is always
+//! policy-based". This module provides the route-map engine the
+//! benchmark's router models evaluate between the Adj-RIB-In and the
+//! decision process (import) and between the Loc-RIB and each
+//! Adj-RIB-Out (export): ordered permit/deny entries, each pairing a
+//! conjunction of match clauses with a list of set actions.
+//!
+//! Semantics follow the vendor convention:
+//!
+//! * entries are evaluated in ascending sequence order; the **first
+//!   entry whose clauses all match** decides the route;
+//! * a `permit` entry applies its set actions and accepts;
+//! * a `deny` entry rejects;
+//! * a non-empty route-map ends in an **implicit deny**; the empty
+//!   route-map ([`RouteMap::permit_all`]) accepts everything untouched.
+//!
+//! Match structures are compiled at construction (see
+//! [`PrefixList`]), so the per-route cost on the hot path is the
+//! ordered scan itself — measurable, not accidental.
+
+mod prefix_list;
+
+pub use prefix_list::{PrefixList, PrefixMatch};
+
+use std::net::Ipv4Addr;
+
+use bgpbench_wire::{Asn, LargeCommunity, Origin, Prefix};
+
+use crate::route::RouteAttributes;
+
+/// One condition of a route-map entry; an entry matches when **all**
+/// its clauses do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchClause {
+    /// The prefix satisfies a compiled prefix list.
+    Prefix(PrefixList),
+    /// The AS path contains the given AS anywhere.
+    AsPathContains(Asn),
+    /// The route was originated by the given AS.
+    OriginatedBy(Asn),
+    /// The AS-path comparison length is at most the given bound.
+    PathLengthAtMost(u8),
+    /// The ORIGIN attribute equals the given value.
+    Origin(Origin),
+    /// The route carries the given community.
+    HasCommunity(u32),
+    /// The route carries at least one of the given communities.
+    HasAnyCommunity(Vec<u32>),
+    /// The route carries the given large community (RFC 8092).
+    HasLargeCommunity(LargeCommunity),
+    /// The MULTI_EXIT_DISC is present and at least the given value.
+    MedAtLeast(u32),
+}
+
+impl MatchClause {
+    /// Whether a route satisfies this clause.
+    pub fn matches(&self, prefix: &Prefix, attrs: &RouteAttributes) -> bool {
+        match self {
+            MatchClause::Prefix(list) => list.permits(prefix),
+            MatchClause::AsPathContains(asn) => attrs.as_path().contains(*asn),
+            MatchClause::OriginatedBy(asn) => attrs.as_path().origin_as() == Some(*asn),
+            MatchClause::PathLengthAtMost(bound) => attrs.as_path().length() <= usize::from(*bound),
+            MatchClause::Origin(origin) => attrs.origin() == *origin,
+            MatchClause::HasCommunity(community) => attrs.communities().contains(community),
+            MatchClause::HasAnyCommunity(communities) => communities
+                .iter()
+                .any(|community| attrs.communities().contains(community)),
+            MatchClause::HasLargeCommunity(lc) => attrs.large_communities().contains(lc),
+            MatchClause::MedAtLeast(bound) => attrs.med().is_some_and(|med| med >= *bound),
+        }
+    }
+}
+
+/// One action a matching `permit` entry applies to the route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetClause {
+    /// Overwrite LOCAL_PREF.
+    LocalPref(u32),
+    /// Overwrite MED.
+    Med(u32),
+    /// Overwrite NEXT_HOP.
+    NextHop(Ipv4Addr),
+    /// Prepend the AS the given number of times.
+    PrependAsPath(Asn, u8),
+    /// Attach a community (idempotent).
+    AddCommunity(u32),
+    /// Remove a community if present.
+    DeleteCommunity(u32),
+    /// Replace the whole community list.
+    SetCommunities(Vec<u32>),
+    /// Attach a large community (idempotent).
+    AddLargeCommunity(LargeCommunity),
+    /// Remove every large community with the given global
+    /// administrator.
+    DeleteLargeCommunitiesOf(u32),
+}
+
+impl SetClause {
+    fn apply(&self, attrs: &mut RouteAttributes) {
+        match self {
+            SetClause::LocalPref(value) => attrs.set_local_pref(*value),
+            SetClause::Med(value) => attrs.set_med(*value),
+            SetClause::NextHop(addr) => attrs.set_next_hop(*addr),
+            SetClause::PrependAsPath(asn, count) => attrs.prepend_as(*asn, *count),
+            SetClause::AddCommunity(community) => attrs.add_community(*community),
+            SetClause::DeleteCommunity(community) => attrs.delete_community(*community),
+            SetClause::SetCommunities(communities) => {
+                attrs.set_communities(communities.clone());
+            }
+            SetClause::AddLargeCommunity(lc) => attrs.add_large_community(*lc),
+            SetClause::DeleteLargeCommunitiesOf(global) => {
+                attrs.delete_large_communities_of(*global);
+            }
+        }
+    }
+}
+
+/// One sequenced permit/deny entry of a [`RouteMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteMapEntry {
+    seq: u16,
+    permit: bool,
+    matches: Vec<MatchClause>,
+    sets: Vec<SetClause>,
+}
+
+impl RouteMapEntry {
+    /// Starts a `permit` entry at the given sequence number.
+    pub fn permit(seq: u16) -> Self {
+        RouteMapEntry {
+            seq,
+            permit: true,
+            matches: Vec::new(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// Starts a `deny` entry at the given sequence number.
+    pub fn deny(seq: u16) -> Self {
+        RouteMapEntry {
+            seq,
+            permit: false,
+            matches: Vec::new(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// Adds a match clause (the entry matches when all clauses do; an
+    /// entry with no clauses matches every route).
+    pub fn matching(mut self, clause: MatchClause) -> Self {
+        self.matches.push(clause);
+        self
+    }
+
+    /// Adds a set action (applied only by `permit` entries).
+    pub fn set(mut self, clause: SetClause) -> Self {
+        self.sets.push(clause);
+        self
+    }
+
+    /// The sequence number.
+    pub fn seq(&self) -> u16 {
+        self.seq
+    }
+
+    /// Whether this entry permits.
+    pub fn is_permit(&self) -> bool {
+        self.permit
+    }
+
+    /// The match clauses.
+    pub fn match_clauses(&self) -> &[MatchClause] {
+        &self.matches
+    }
+
+    /// The set actions.
+    pub fn set_clauses(&self) -> &[SetClause] {
+        &self.sets
+    }
+
+    fn matches_route(&self, prefix: &Prefix, attrs: &RouteAttributes) -> bool {
+        self.matches.iter().all(|m| m.matches(prefix, attrs))
+    }
+}
+
+/// A route-map: the ordered permit/deny policy evaluated per route at
+/// import and export.
+///
+/// ```
+/// use bgpbench_rib::{MatchClause, RouteAttributes, RouteMap, RouteMapEntry, SetClause};
+/// use bgpbench_wire::{AsPath, Asn, Origin};
+/// use std::net::Ipv4Addr;
+///
+/// let map = RouteMap::new([
+///     RouteMapEntry::deny(10).matching(MatchClause::AsPathContains(Asn(666))),
+///     RouteMapEntry::permit(20).set(SetClause::LocalPref(200)),
+/// ]);
+/// let bad = RouteAttributes::new(
+///     Origin::Igp,
+///     AsPath::from_sequence([Asn(666)]),
+///     Ipv4Addr::new(10, 0, 0, 1),
+/// );
+/// let good = RouteAttributes::new(
+///     Origin::Igp,
+///     AsPath::from_sequence([Asn(65001)]),
+///     Ipv4Addr::new(10, 0, 0, 1),
+/// );
+/// let prefix = "10.0.0.0/8".parse().unwrap();
+/// assert_eq!(map.evaluate(&prefix, bad), None);
+/// assert_eq!(
+///     map.evaluate(&prefix, good).unwrap().local_pref(),
+///     Some(200),
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteMap {
+    entries: Vec<RouteMapEntry>,
+}
+
+impl RouteMap {
+    /// The empty route-map: everything is accepted unmodified.
+    pub fn permit_all() -> Self {
+        RouteMap::default()
+    }
+
+    /// Builds a route-map, ordering entries by sequence number (stable
+    /// for equal sequence numbers).
+    pub fn new<I: IntoIterator<Item = RouteMapEntry>>(entries: I) -> Self {
+        let mut entries: Vec<RouteMapEntry> = entries.into_iter().collect();
+        entries.sort_by_key(RouteMapEntry::seq);
+        RouteMap { entries }
+    }
+
+    /// The entries in evaluation order.
+    pub fn entries(&self) -> &[RouteMapEntry] {
+        &self.entries
+    }
+
+    /// Number of entries a route is evaluated against in the worst
+    /// case (used by the simulator's cost model).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries (and therefore accepts
+    /// everything unmodified).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evaluates a route: the first entry whose clauses all match
+    /// decides. Returns the (possibly rewritten) attributes, or `None`
+    /// if the route is rejected — by a `deny` entry or by the implicit
+    /// deny at the end of a non-empty map.
+    pub fn evaluate(&self, prefix: &Prefix, mut attrs: RouteAttributes) -> Option<RouteAttributes> {
+        if self.entries.is_empty() {
+            return Some(attrs);
+        }
+        for entry in &self.entries {
+            if !entry.matches_route(prefix, &attrs) {
+                continue;
+            }
+            if !entry.permit {
+                return None;
+            }
+            for set in &entry.sets {
+                set.apply(&mut attrs);
+            }
+            return Some(attrs);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpbench_wire::AsPath;
+    use std::net::Ipv4Addr;
+
+    fn attrs_with_path(path: &[u16]) -> RouteAttributes {
+        RouteAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence(path.iter().copied().map(Asn)),
+            Ipv4Addr::new(10, 0, 0, 2),
+        )
+    }
+
+    fn p(text: &str) -> Prefix {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn permit_all_accepts_unmodified() {
+        let map = RouteMap::permit_all();
+        let attrs = attrs_with_path(&[1, 2]);
+        let result = map.evaluate(&p("10.0.0.0/8"), attrs.clone()).unwrap();
+        assert_eq!(result, attrs);
+    }
+
+    #[test]
+    fn non_empty_map_ends_in_implicit_deny() {
+        let map =
+            RouteMap::new(
+                [RouteMapEntry::permit(10).matching(MatchClause::AsPathContains(Asn(1)))],
+            );
+        assert!(map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1]))
+            .is_some());
+        assert!(map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[2]))
+            .is_none());
+    }
+
+    #[test]
+    fn entries_evaluate_in_sequence_order() {
+        // Built out of order; sequence numbers decide.
+        let map = RouteMap::new([
+            RouteMapEntry::permit(20).set(SetClause::LocalPref(20)),
+            RouteMapEntry::permit(10).set(SetClause::LocalPref(10)),
+        ]);
+        let result = map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1]))
+            .unwrap();
+        assert_eq!(result.local_pref(), Some(10));
+    }
+
+    #[test]
+    fn first_matching_entry_decides() {
+        let map = RouteMap::new([
+            RouteMapEntry::deny(10).matching(MatchClause::HasCommunity(666)),
+            RouteMapEntry::permit(20)
+                .matching(MatchClause::AsPathContains(Asn(1)))
+                .set(SetClause::AddCommunity(100)),
+            RouteMapEntry::permit(30),
+        ]);
+        let tagged = map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1, 2]))
+            .unwrap();
+        assert_eq!(tagged.communities(), &[100]);
+        let plain = map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[3]))
+            .unwrap();
+        assert!(plain.communities().is_empty());
+    }
+
+    #[test]
+    fn all_match_clauses_must_hold() {
+        let map = RouteMap::new([RouteMapEntry::permit(10)
+            .matching(MatchClause::AsPathContains(Asn(1)))
+            .matching(MatchClause::PathLengthAtMost(2))]);
+        assert!(map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1, 2]))
+            .is_some());
+        // Contains 1 but too long.
+        assert!(map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1, 2, 3]))
+            .is_none());
+    }
+
+    #[test]
+    fn deny_entries_ignore_set_clauses() {
+        let map = RouteMap::new([
+            RouteMapEntry::deny(10).set(SetClause::LocalPref(999)),
+            RouteMapEntry::permit(20),
+        ]);
+        assert!(map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1]))
+            .is_none());
+    }
+
+    #[test]
+    fn set_clauses_apply_in_order() {
+        let map = RouteMap::new([RouteMapEntry::permit(10)
+            .set(SetClause::SetCommunities(vec![1, 2, 3]))
+            .set(SetClause::DeleteCommunity(2))
+            .set(SetClause::AddCommunity(7))
+            .set(SetClause::AddCommunity(7))
+            .set(SetClause::LocalPref(250))
+            .set(SetClause::Med(30))
+            .set(SetClause::NextHop(Ipv4Addr::new(192, 0, 2, 1)))
+            .set(SetClause::PrependAsPath(Asn(65000), 2))]);
+        let result = map
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1]))
+            .unwrap();
+        assert_eq!(result.communities(), &[1, 3, 7]);
+        assert_eq!(result.local_pref(), Some(250));
+        assert_eq!(result.med(), Some(30));
+        assert_eq!(result.next_hop(), Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(
+            result.as_path(),
+            &AsPath::from_sequence([Asn(65000), Asn(65000), Asn(1)])
+        );
+    }
+
+    #[test]
+    fn large_community_set_and_match() {
+        let lc = LargeCommunity::new(65000, 1, 2);
+        let tagging =
+            RouteMap::new([RouteMapEntry::permit(10).set(SetClause::AddLargeCommunity(lc))]);
+        let tagged = tagging
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1]))
+            .unwrap();
+        assert_eq!(tagged.large_communities(), &[lc]);
+
+        let matching = RouteMap::new([
+            RouteMapEntry::deny(10).matching(MatchClause::HasLargeCommunity(lc)),
+            RouteMapEntry::permit(20),
+        ]);
+        assert!(matching.evaluate(&p("10.0.0.0/8"), tagged).is_none());
+
+        let scrubbing = RouteMap::new([
+            RouteMapEntry::permit(10).set(SetClause::DeleteLargeCommunitiesOf(65000))
+        ]);
+        let tagged = tagging
+            .evaluate(&p("10.0.0.0/8"), attrs_with_path(&[1]))
+            .unwrap();
+        let scrubbed = scrubbing.evaluate(&p("10.0.0.0/8"), tagged).unwrap();
+        assert!(scrubbed.large_communities().is_empty());
+    }
+
+    #[test]
+    fn match_clauses_cover_all_route_parts() {
+        let attrs = RouteAttributes::builder()
+            .origin(Origin::Igp)
+            .as_path(AsPath::from_sequence([Asn(100), Asn(200)]))
+            .next_hop(Ipv4Addr::new(10, 0, 0, 2))
+            .med(50)
+            .communities(vec![42])
+            .large_communities(vec![LargeCommunity::new(100, 1, 2)])
+            .build();
+        let prefix = p("10.1.0.0/16");
+        let cases = [
+            (
+                MatchClause::Prefix(PrefixList::new([(
+                    true,
+                    PrefixMatch::within(p("10.0.0.0/8")),
+                )])),
+                true,
+            ),
+            (
+                MatchClause::Prefix(PrefixList::new([(
+                    true,
+                    PrefixMatch::exact(p("10.0.0.0/8")),
+                )])),
+                false,
+            ),
+            (MatchClause::AsPathContains(Asn(200)), true),
+            (MatchClause::AsPathContains(Asn(300)), false),
+            (MatchClause::OriginatedBy(Asn(200)), true),
+            (MatchClause::OriginatedBy(Asn(100)), false),
+            (MatchClause::PathLengthAtMost(2), true),
+            (MatchClause::PathLengthAtMost(1), false),
+            (MatchClause::Origin(Origin::Igp), true),
+            (MatchClause::Origin(Origin::Egp), false),
+            (MatchClause::HasCommunity(42), true),
+            (MatchClause::HasCommunity(43), false),
+            (MatchClause::HasAnyCommunity(vec![1, 42]), true),
+            (MatchClause::HasAnyCommunity(vec![1, 2]), false),
+            (
+                MatchClause::HasLargeCommunity(LargeCommunity::new(100, 1, 2)),
+                true,
+            ),
+            (
+                MatchClause::HasLargeCommunity(LargeCommunity::new(100, 1, 3)),
+                false,
+            ),
+            (MatchClause::MedAtLeast(50), true),
+            (MatchClause::MedAtLeast(51), false),
+        ];
+        for (clause, expected) in cases {
+            assert_eq!(clause.matches(&prefix, &attrs), expected, "{clause:?}");
+        }
+    }
+}

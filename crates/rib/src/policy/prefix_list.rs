@@ -1,0 +1,229 @@
+//! Compiled prefix lists.
+//!
+//! A prefix list is an ordered set of permit/deny entries, each
+//! matching a covering prefix plus a mask-length range — the
+//! `ip prefix-list NAME permit 10.0.0.0/8 ge 16 le 24` idiom. Because
+//! the route-map hot path consults prefix lists once per announced
+//! prefix, the list is *compiled* at construction: entries whose
+//! covering prefix is at least /8 are bucketed by first octet, so a
+//! lookup scans only the handful of entries that could possibly match
+//! instead of the whole list.
+
+use bgpbench_wire::Prefix;
+
+/// One prefix-list term: a covering prefix and an inclusive
+/// mask-length range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixMatch {
+    prefix: Prefix,
+    min_len: u8,
+    max_len: u8,
+}
+
+impl PrefixMatch {
+    /// Matches exactly this prefix.
+    pub fn exact(prefix: Prefix) -> Self {
+        PrefixMatch {
+            prefix,
+            min_len: prefix.len(),
+            max_len: prefix.len(),
+        }
+    }
+
+    /// Matches this prefix and every more-specific prefix inside it.
+    pub fn within(prefix: Prefix) -> Self {
+        PrefixMatch {
+            prefix,
+            min_len: prefix.len(),
+            max_len: 32,
+        }
+    }
+
+    /// Matches prefixes inside `prefix` whose mask length lies in the
+    /// inclusive `[ge, le]` range (clamped to sane bounds).
+    pub fn range(prefix: Prefix, ge: u8, le: u8) -> Self {
+        PrefixMatch {
+            prefix,
+            min_len: ge.max(prefix.len()),
+            max_len: le.min(32),
+        }
+    }
+
+    /// The covering prefix.
+    pub fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+
+    /// Whether `candidate` satisfies this term.
+    pub fn matches(&self, candidate: &Prefix) -> bool {
+        (self.min_len..=self.max_len).contains(&candidate.len()) && self.prefix.covers(candidate)
+    }
+}
+
+/// One ordered entry of a [`PrefixList`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PrefixListEntry {
+    permit: bool,
+    term: PrefixMatch,
+}
+
+/// An ordered permit/deny prefix list, compiled for fast lookup.
+///
+/// Semantics follow the vendor convention: entries are evaluated in
+/// order, the first matching entry decides, and a non-empty list ends
+/// in an implicit deny. The empty list permits everything.
+///
+/// ```
+/// use bgpbench_rib::{PrefixList, PrefixMatch};
+///
+/// let list = PrefixList::new([
+///     (false, PrefixMatch::within("10.13.0.0/16".parse().unwrap())),
+///     (true, PrefixMatch::range("10.0.0.0/8".parse().unwrap(), 8, 24)),
+/// ]);
+/// assert!(!list.permits(&"10.13.7.0/24".parse().unwrap())); // denied by term 1
+/// assert!(list.permits(&"10.64.0.0/16".parse().unwrap())); // permitted by term 2
+/// assert!(!list.permits(&"192.0.2.0/24".parse().unwrap())); // implicit deny
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixList {
+    entries: Vec<PrefixListEntry>,
+    /// Entry indices per first octet, for entries whose covering prefix
+    /// is /8 or longer (they can only match prefixes sharing their
+    /// first octet). Lazily sized: indices are ascending.
+    buckets: Vec<Vec<u32>>,
+    /// Indices of entries with a covering prefix shorter than /8; these
+    /// can match anywhere, so every lookup merges them in.
+    wild: Vec<u32>,
+}
+
+impl PrefixList {
+    /// Compiles an ordered `(permit, term)` list.
+    pub fn new<I: IntoIterator<Item = (bool, PrefixMatch)>>(terms: I) -> Self {
+        let entries: Vec<PrefixListEntry> = terms
+            .into_iter()
+            .map(|(permit, term)| PrefixListEntry { permit, term })
+            .collect();
+        let mut buckets = vec![Vec::new(); 256];
+        let mut wild = Vec::new();
+        for (index, entry) in entries.iter().enumerate() {
+            if entry.term.prefix().len() >= 8 {
+                let octet = entry.term.prefix().network().octets()[0];
+                buckets[usize::from(octet)].push(index as u32);
+            } else {
+                wild.push(index as u32);
+            }
+        }
+        PrefixList {
+            entries,
+            buckets,
+            wild,
+        }
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list has no terms (and therefore permits everything).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evaluates the list: the first matching term decides; a
+    /// non-empty list denies unmatched prefixes, the empty list
+    /// permits everything.
+    pub fn permits(&self, prefix: &Prefix) -> bool {
+        if self.entries.is_empty() {
+            return true;
+        }
+        let bucket = &self.buckets[usize::from(prefix.network().octets()[0])];
+        // Merge the per-octet bucket with the wildcard entries in
+        // ascending entry order, preserving first-match semantics.
+        let mut b = 0;
+        let mut w = 0;
+        loop {
+            let next = match (bucket.get(b), self.wild.get(w)) {
+                (Some(&x), Some(&y)) => {
+                    if x < y {
+                        b += 1;
+                        x
+                    } else {
+                        w += 1;
+                        y
+                    }
+                }
+                (Some(&x), None) => {
+                    b += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    w += 1;
+                    y
+                }
+                (None, None) => return false, // implicit deny
+            };
+            let entry = &self.entries[next as usize];
+            if entry.term.matches(prefix) {
+                return entry.permit;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(text: &str) -> Prefix {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_list_permits_everything() {
+        let list = PrefixList::new([]);
+        assert!(list.is_empty());
+        assert!(list.permits(&p("10.0.0.0/8")));
+        assert!(list.permits(&p("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn first_match_wins_across_buckets_and_wildcards() {
+        // Wildcard deny sits between two bucketed permits; order must
+        // be preserved when merging.
+        let list = PrefixList::new([
+            (true, PrefixMatch::exact(p("10.1.0.0/16"))),
+            (false, PrefixMatch::range(p("0.0.0.0/0"), 16, 16)),
+            (true, PrefixMatch::within(p("10.0.0.0/8"))),
+        ]);
+        assert!(list.permits(&p("10.1.0.0/16"))); // term 1
+        assert!(!list.permits(&p("10.2.0.0/16"))); // term 2 (wildcard deny)
+        assert!(list.permits(&p("10.2.0.0/24"))); // term 3
+        assert!(!list.permits(&p("192.0.2.0/24"))); // implicit deny
+    }
+
+    #[test]
+    fn range_terms_bound_mask_length() {
+        let term = PrefixMatch::range(p("10.0.0.0/8"), 16, 24);
+        assert!(!term.matches(&p("10.0.0.0/8")));
+        assert!(term.matches(&p("10.7.0.0/16")));
+        assert!(term.matches(&p("10.7.7.0/24")));
+        assert!(!term.matches(&p("10.7.7.128/25")));
+        assert!(!term.matches(&p("11.0.0.0/16")));
+    }
+
+    #[test]
+    fn exact_and_within_terms() {
+        assert!(PrefixMatch::exact(p("10.0.0.0/8")).matches(&p("10.0.0.0/8")));
+        assert!(!PrefixMatch::exact(p("10.0.0.0/8")).matches(&p("10.1.0.0/16")));
+        assert!(PrefixMatch::within(p("10.0.0.0/8")).matches(&p("10.1.0.0/16")));
+        assert!(!PrefixMatch::within(p("10.0.0.0/8")).matches(&p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn short_covering_prefixes_are_wildcards() {
+        let list = PrefixList::new([(true, PrefixMatch::range(p("0.0.0.0/0"), 0, 32))]);
+        assert!(list.permits(&p("203.0.113.0/24")));
+        assert!(list.permits(&p("0.0.0.0/0")));
+    }
+}

@@ -4,9 +4,15 @@ use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use bgpbench_wire::{AsPath, Asn, Origin, PathAttribute, Prefix, RouterId};
+use bgpbench_wire::{AsPath, Asn, LargeCommunity, Origin, PathAttribute, Prefix, RouterId};
 
 use crate::RibError;
+
+/// Transitive flag bit of a path-attribute flag octet (RFC 4271 §4.3).
+const FLAG_TRANSITIVE: u8 = 0x40;
+/// Partial flag bit: set when an optional transitive attribute crossed
+/// a speaker that did not recognize it (RFC 4271 §5).
+const FLAG_PARTIAL: u8 = 0x20;
 
 /// Identifies a configured neighbor within a [`crate::RibEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -60,6 +66,29 @@ impl PeerInfo {
     }
 }
 
+/// The AGGREGATOR attribute carried with a route: the AS and router
+/// that performed aggregation (RFC 4271 §5.1.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Aggregator {
+    /// AS that performed the aggregation.
+    pub asn: Asn,
+    /// Router that performed the aggregation.
+    pub router_id: Ipv4Addr,
+}
+
+/// An optional transitive attribute this stack does not model
+/// structurally, carried byte-for-byte so it survives the trip through
+/// the RIB and back onto the wire (RFC 4271 §5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UnknownTransitive {
+    /// The flag octet as seen on the wire.
+    pub flags: u8,
+    /// Attribute type code.
+    pub type_code: u8,
+    /// Raw attribute value.
+    pub value: Vec<u8>,
+}
+
 /// The decomposed path-attribute set shared by every prefix announced
 /// in one UPDATE.
 ///
@@ -67,6 +96,11 @@ impl PeerInfo {
 /// same "path attribute interning" real BGP implementations use to keep
 /// per-prefix memory small. [`crate::AttrStore`] hash-conses them, so
 /// the `Hash` implementation must stay consistent with `Eq`.
+///
+/// Construction goes through [`RouteAttributes::new`] for the three
+/// mandatory attributes or [`RouteAttributes::builder`] for anything
+/// richer; the fields themselves are private so every set in the system
+/// is built through one of those two doors.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RouteAttributes {
     origin: Origin,
@@ -75,7 +109,10 @@ pub struct RouteAttributes {
     med: Option<u32>,
     local_pref: Option<u32>,
     atomic_aggregate: bool,
+    aggregator: Option<Aggregator>,
     communities: Vec<u32>,
+    large_communities: Vec<LargeCommunity>,
+    unknown_transitive: Vec<UnknownTransitive>,
 }
 
 impl RouteAttributes {
@@ -83,8 +120,8 @@ impl RouteAttributes {
     /// (the near-universal vendor default).
     pub const DEFAULT_LOCAL_PREF: u32 = 100;
 
-    /// Builds an attribute set directly (primarily for tests and
-    /// workload generators).
+    /// Builds an attribute set carrying only the three mandatory
+    /// attributes (primarily for tests and workload generators).
     pub fn new(origin: Origin, as_path: AsPath, next_hop: Ipv4Addr) -> Self {
         RouteAttributes {
             origin,
@@ -93,26 +130,32 @@ impl RouteAttributes {
             med: None,
             local_pref: None,
             atomic_aggregate: false,
+            aggregator: None,
             communities: Vec::new(),
+            large_communities: Vec::new(),
+            unknown_transitive: Vec::new(),
         }
     }
 
-    /// Sets the MULTI_EXIT_DISC, returning `self` for chaining.
-    pub fn with_med(mut self, med: u32) -> Self {
-        self.med = Some(med);
-        self
-    }
-
-    /// Sets the LOCAL_PREF, returning `self` for chaining.
-    pub fn with_local_pref(mut self, local_pref: u32) -> Self {
-        self.local_pref = Some(local_pref);
-        self
-    }
-
-    /// Sets the communities, returning `self` for chaining.
-    pub fn with_communities(mut self, communities: Vec<u32>) -> Self {
-        self.communities = communities;
-        self
+    /// Starts a builder over the full attribute set.
+    ///
+    /// ```
+    /// use bgpbench_rib::RouteAttributes;
+    /// use bgpbench_wire::{AsPath, Asn};
+    /// use std::net::Ipv4Addr;
+    ///
+    /// let attrs = RouteAttributes::builder()
+    ///     .as_path(AsPath::from_sequence([Asn(65001)]))
+    ///     .next_hop(Ipv4Addr::new(10, 0, 0, 2))
+    ///     .local_pref(200)
+    ///     .communities(vec![0xFFFF_0001])
+    ///     .build();
+    /// assert_eq!(attrs.local_pref(), Some(200));
+    /// ```
+    pub fn builder() -> RouteAttributesBuilder {
+        RouteAttributesBuilder {
+            inner: RouteAttributes::new(Origin::Igp, AsPath::empty(), Ipv4Addr::UNSPECIFIED),
+        }
     }
 
     /// Extracts an attribute set from the attributes of an UPDATE that
@@ -134,6 +177,10 @@ impl RouteAttributes {
     /// path and community vectors are moved into the result instead of
     /// cloned.
     ///
+    /// Optional transitive attributes the stack does not model are
+    /// preserved in [`RouteAttributes::unknown_transitive`]; optional
+    /// non-transitive unknowns are quietly dropped (RFC 4271 §5).
+    ///
     /// # Errors
     ///
     /// As for [`RouteAttributes::from_wire`].
@@ -147,7 +194,10 @@ impl RouteAttributes {
         let mut med = None;
         let mut local_pref = None;
         let mut atomic_aggregate = false;
+        let mut aggregator = None;
         let mut communities = Vec::new();
+        let mut large_communities = Vec::new();
+        let mut unknown_transitive = Vec::new();
         for attr in attrs {
             match attr {
                 PathAttribute::Origin(value) => origin = Some(value),
@@ -156,8 +206,24 @@ impl RouteAttributes {
                 PathAttribute::Med(value) => med = Some(value),
                 PathAttribute::LocalPref(value) => local_pref = Some(value),
                 PathAttribute::AtomicAggregate => atomic_aggregate = true,
+                PathAttribute::Aggregator { asn, router_id } => {
+                    aggregator = Some(Aggregator { asn, router_id });
+                }
                 PathAttribute::Communities(values) => communities = values,
-                PathAttribute::Aggregator { .. } | PathAttribute::Unknown { .. } => {}
+                PathAttribute::LargeCommunities(values) => large_communities = values,
+                PathAttribute::Unknown {
+                    flags,
+                    type_code,
+                    value,
+                } => {
+                    if flags & FLAG_TRANSITIVE != 0 {
+                        unknown_transitive.push(UnknownTransitive {
+                            flags,
+                            type_code,
+                            value,
+                        });
+                    }
+                }
             }
         }
         Ok(RouteAttributes {
@@ -173,7 +239,10 @@ impl RouteAttributes {
             med,
             local_pref,
             atomic_aggregate,
+            aggregator,
             communities,
+            large_communities,
+            unknown_transitive,
         })
     }
 
@@ -201,8 +270,24 @@ impl RouteAttributes {
         if self.atomic_aggregate {
             attrs.push(PathAttribute::AtomicAggregate);
         }
+        if let Some(aggregator) = self.aggregator {
+            attrs.push(PathAttribute::Aggregator {
+                asn: aggregator.asn,
+                router_id: aggregator.router_id,
+            });
+        }
         if !self.communities.is_empty() {
             attrs.push(PathAttribute::Communities(self.communities));
+        }
+        if !self.large_communities.is_empty() {
+            attrs.push(PathAttribute::LargeCommunities(self.large_communities));
+        }
+        for unknown in self.unknown_transitive {
+            attrs.push(PathAttribute::Unknown {
+                flags: unknown.flags,
+                type_code: unknown.type_code,
+                value: unknown.value,
+            });
         }
         attrs
     }
@@ -242,15 +327,81 @@ impl RouteAttributes {
         self.atomic_aggregate
     }
 
+    /// The AGGREGATOR attribute, if present.
+    pub fn aggregator(&self) -> Option<Aggregator> {
+        self.aggregator
+    }
+
     /// The communities attached to the route.
     pub fn communities(&self) -> &[u32] {
         &self.communities
     }
 
+    /// The large communities (RFC 8092) attached to the route.
+    pub fn large_communities(&self) -> &[LargeCommunity] {
+        &self.large_communities
+    }
+
+    /// Unmodeled optional transitive attributes riding along with the
+    /// route.
+    pub fn unknown_transitive(&self) -> &[UnknownTransitive] {
+        &self.unknown_transitive
+    }
+
+    // Crate-private mutators: the policy engine rewrites attribute sets
+    // through these before re-interning; outside the crate, attribute
+    // sets stay immutable.
+
+    pub(crate) fn set_local_pref(&mut self, value: u32) {
+        self.local_pref = Some(value);
+    }
+
+    pub(crate) fn set_med(&mut self, value: u32) {
+        self.med = Some(value);
+    }
+
+    pub(crate) fn set_next_hop(&mut self, value: Ipv4Addr) {
+        self.next_hop = value;
+    }
+
+    pub(crate) fn prepend_as(&mut self, asn: Asn, count: u8) {
+        for _ in 0..count {
+            self.as_path = self.as_path.prepend(asn);
+        }
+    }
+
+    pub(crate) fn add_community(&mut self, community: u32) {
+        if !self.communities.contains(&community) {
+            self.communities.push(community);
+        }
+    }
+
+    pub(crate) fn delete_community(&mut self, community: u32) {
+        self.communities.retain(|&c| c != community);
+    }
+
+    pub(crate) fn set_communities(&mut self, communities: Vec<u32>) {
+        self.communities = communities;
+    }
+
+    pub(crate) fn add_large_community(&mut self, community: LargeCommunity) {
+        if !self.large_communities.contains(&community) {
+            self.large_communities.push(community);
+        }
+    }
+
+    pub(crate) fn delete_large_communities_of(&mut self, global_admin: u32) {
+        self.large_communities
+            .retain(|lc| lc.global_admin != global_admin);
+    }
+
     /// Returns the attribute set as advertised over an eBGP session:
     /// own AS prepended, next hop rewritten to the advertising address,
-    /// and non-transitive attributes (MED, LOCAL_PREF) stripped
-    /// (RFC 4271 §5.1.2, §5.1.3).
+    /// non-transitive attributes (MED, LOCAL_PREF) stripped, and
+    /// transitive ones — communities, large communities, AGGREGATOR,
+    /// unmodeled transitive attributes — carried through (RFC 4271
+    /// §5.1.2, §5.1.3; RFC 8092 §5). Unrecognized transitive
+    /// attributes are marked partial on the way out (RFC 4271 §5).
     pub fn exported(&self, local_asn: Asn, next_hop: Ipv4Addr) -> RouteAttributes {
         RouteAttributes {
             origin: self.origin,
@@ -259,8 +410,101 @@ impl RouteAttributes {
             med: None,
             local_pref: None,
             atomic_aggregate: self.atomic_aggregate,
+            aggregator: self.aggregator,
             communities: self.communities.clone(),
+            large_communities: self.large_communities.clone(),
+            unknown_transitive: self
+                .unknown_transitive
+                .iter()
+                .map(|unknown| UnknownTransitive {
+                    flags: unknown.flags | FLAG_PARTIAL,
+                    type_code: unknown.type_code,
+                    value: unknown.value.clone(),
+                })
+                .collect(),
         }
+    }
+}
+
+/// Builder for [`RouteAttributes`], the one construction path that
+/// covers the full attribute set.
+///
+/// Unset mandatory attributes default to `Origin::Igp`, an empty AS
+/// path, and an unspecified next hop — fine for workload generation,
+/// where the builder replaces ad-hoc struct literals.
+#[derive(Debug, Clone)]
+pub struct RouteAttributesBuilder {
+    inner: RouteAttributes,
+}
+
+impl RouteAttributesBuilder {
+    /// Sets the ORIGIN attribute.
+    pub fn origin(mut self, origin: Origin) -> Self {
+        self.inner.origin = origin;
+        self
+    }
+
+    /// Sets the AS_PATH attribute.
+    pub fn as_path(mut self, as_path: AsPath) -> Self {
+        self.inner.as_path = as_path;
+        self
+    }
+
+    /// Sets the NEXT_HOP attribute.
+    pub fn next_hop(mut self, next_hop: Ipv4Addr) -> Self {
+        self.inner.next_hop = next_hop;
+        self
+    }
+
+    /// Sets the MULTI_EXIT_DISC.
+    pub fn med(mut self, med: u32) -> Self {
+        self.inner.med = Some(med);
+        self
+    }
+
+    /// Sets the LOCAL_PREF.
+    pub fn local_pref(mut self, local_pref: u32) -> Self {
+        self.inner.local_pref = Some(local_pref);
+        self
+    }
+
+    /// Sets ATOMIC_AGGREGATE.
+    pub fn atomic_aggregate(mut self, set: bool) -> Self {
+        self.inner.atomic_aggregate = set;
+        self
+    }
+
+    /// Sets the AGGREGATOR attribute.
+    pub fn aggregator(mut self, asn: Asn, router_id: Ipv4Addr) -> Self {
+        self.inner.aggregator = Some(Aggregator { asn, router_id });
+        self
+    }
+
+    /// Sets the COMMUNITIES attribute.
+    pub fn communities(mut self, communities: Vec<u32>) -> Self {
+        self.inner.communities = communities;
+        self
+    }
+
+    /// Sets the LARGE_COMMUNITIES attribute.
+    pub fn large_communities(mut self, large_communities: Vec<LargeCommunity>) -> Self {
+        self.inner.large_communities = large_communities;
+        self
+    }
+
+    /// Appends an unmodeled optional transitive attribute.
+    pub fn unknown_transitive(mut self, flags: u8, type_code: u8, value: Vec<u8>) -> Self {
+        self.inner.unknown_transitive.push(UnknownTransitive {
+            flags: flags | FLAG_TRANSITIVE,
+            type_code,
+            value,
+        });
+        self
+    }
+
+    /// Finishes the set.
+    pub fn build(self) -> RouteAttributes {
+        self.inner
     }
 }
 
@@ -314,6 +558,7 @@ impl fmt::Display for Route {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgpbench_wire::LargeCommunity;
 
     fn base_attrs() -> Vec<PathAttribute> {
         vec![
@@ -329,7 +574,19 @@ mod tests {
         attrs.push(PathAttribute::Med(50));
         attrs.push(PathAttribute::LocalPref(200));
         attrs.push(PathAttribute::AtomicAggregate);
+        attrs.push(PathAttribute::Aggregator {
+            asn: Asn(65009),
+            router_id: Ipv4Addr::new(192, 0, 2, 9),
+        });
         attrs.push(PathAttribute::Communities(vec![0xFFFF0001]));
+        attrs.push(PathAttribute::LargeCommunities(vec![LargeCommunity::new(
+            65001, 7, 8,
+        )]));
+        attrs.push(PathAttribute::Unknown {
+            flags: 0xC0,
+            type_code: 77,
+            value: vec![1, 2],
+        });
         let parsed = RouteAttributes::from_wire(&attrs).unwrap();
         assert_eq!(parsed.origin(), Origin::Igp);
         assert_eq!(parsed.as_path().length(), 2);
@@ -338,7 +595,32 @@ mod tests {
         assert_eq!(parsed.local_pref(), Some(200));
         assert_eq!(parsed.effective_local_pref(), 200);
         assert!(parsed.atomic_aggregate());
+        assert_eq!(
+            parsed.aggregator(),
+            Some(Aggregator {
+                asn: Asn(65009),
+                router_id: Ipv4Addr::new(192, 0, 2, 9),
+            })
+        );
         assert_eq!(parsed.communities(), &[0xFFFF0001]);
+        assert_eq!(
+            parsed.large_communities(),
+            &[LargeCommunity::new(65001, 7, 8)]
+        );
+        assert_eq!(parsed.unknown_transitive().len(), 1);
+        assert_eq!(parsed.unknown_transitive()[0].type_code, 77);
+    }
+
+    #[test]
+    fn from_wire_drops_unknown_non_transitive() {
+        let mut attrs = base_attrs();
+        attrs.push(PathAttribute::Unknown {
+            flags: 0x80, // optional, NOT transitive
+            type_code: 88,
+            value: vec![9],
+        });
+        let parsed = RouteAttributes::from_wire(&attrs).unwrap();
+        assert!(parsed.unknown_transitive().is_empty());
     }
 
     #[test]
@@ -355,14 +637,17 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let attrs = RouteAttributes::new(
-            Origin::Egp,
-            AsPath::from_sequence([Asn(7)]),
-            Ipv4Addr::new(192, 0, 2, 9),
-        )
-        .with_med(5)
-        .with_local_pref(300)
-        .with_communities(vec![1, 2]);
+        let attrs = RouteAttributes::builder()
+            .origin(Origin::Egp)
+            .as_path(AsPath::from_sequence([Asn(7)]))
+            .next_hop(Ipv4Addr::new(192, 0, 2, 9))
+            .med(5)
+            .local_pref(300)
+            .aggregator(Asn(65001), Ipv4Addr::new(10, 0, 0, 9))
+            .communities(vec![1, 2])
+            .large_communities(vec![LargeCommunity::new(65001, 1, 2)])
+            .unknown_transitive(0xC0, 77, vec![3, 4])
+            .build();
         let wire = attrs.to_wire();
         let back = RouteAttributes::from_wire(&wire).unwrap();
         assert_eq!(back, attrs);
@@ -387,14 +672,25 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults_match_new() {
+        assert_eq!(
+            RouteAttributes::builder()
+                .origin(Origin::Igp)
+                .as_path(AsPath::empty())
+                .next_hop(Ipv4Addr::UNSPECIFIED)
+                .build(),
+            RouteAttributes::new(Origin::Igp, AsPath::empty(), Ipv4Addr::UNSPECIFIED)
+        );
+    }
+
+    #[test]
     fn export_prepends_as_and_strips_session_attributes() {
-        let attrs = RouteAttributes::new(
-            Origin::Igp,
-            AsPath::from_sequence([Asn(65001)]),
-            Ipv4Addr::new(10, 0, 0, 2),
-        )
-        .with_med(9)
-        .with_local_pref(500);
+        let attrs = RouteAttributes::builder()
+            .as_path(AsPath::from_sequence([Asn(65001)]))
+            .next_hop(Ipv4Addr::new(10, 0, 0, 2))
+            .med(9)
+            .local_pref(500)
+            .build();
         let exported = attrs.exported(Asn(65000), Ipv4Addr::new(10, 9, 9, 1));
         assert_eq!(
             exported.as_path(),
@@ -403,6 +699,25 @@ mod tests {
         assert_eq!(exported.next_hop(), Ipv4Addr::new(10, 9, 9, 1));
         assert_eq!(exported.med(), None);
         assert_eq!(exported.local_pref(), None);
+    }
+
+    #[test]
+    fn export_carries_transitive_attributes_and_marks_partial() {
+        let attrs = RouteAttributes::builder()
+            .as_path(AsPath::from_sequence([Asn(65001)]))
+            .next_hop(Ipv4Addr::new(10, 0, 0, 2))
+            .aggregator(Asn(65001), Ipv4Addr::new(10, 0, 0, 9))
+            .communities(vec![42])
+            .large_communities(vec![LargeCommunity::new(65001, 0, 1)])
+            .unknown_transitive(0xC0, 77, vec![5])
+            .build();
+        let exported = attrs.exported(Asn(65000), Ipv4Addr::new(10, 9, 9, 1));
+        assert_eq!(exported.aggregator(), attrs.aggregator());
+        assert_eq!(exported.communities(), attrs.communities());
+        assert_eq!(exported.large_communities(), attrs.large_communities());
+        assert_eq!(exported.unknown_transitive().len(), 1);
+        // Partial bit set on the way out (RFC 4271 §5).
+        assert_eq!(exported.unknown_transitive()[0].flags, 0xE0);
     }
 
     #[test]

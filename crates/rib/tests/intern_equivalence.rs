@@ -15,9 +15,9 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use bgpbench_rib::{
-    compare_routes, DampingConfig, DecisionConfig, FibDirective, FlapKind, PeerId, PeerInfo,
-    PolicyAction, PolicyEngine, PolicyRule, PrefixOutcome, RibEngine, RibStats, RouteAttributes,
-    RouteChange, RouteDamper, RouteMatcher,
+    compare_routes, DampingConfig, DecisionConfig, FibDirective, FlapKind, MatchClause, PeerId,
+    PeerInfo, PrefixList, PrefixMatch, PrefixOutcome, RibEngine, RibStats, RouteAttributes,
+    RouteChange, RouteDamper, RouteMap, RouteMapEntry, SetClause,
 };
 use bgpbench_wire::{AsPath, Asn, Origin, Prefix, RouterId, UpdateMessage};
 use proptest::prelude::*;
@@ -28,7 +28,7 @@ const LOCAL_ASN: Asn = Asn(65000);
 struct RefEngine {
     local_asn: Asn,
     config: DecisionConfig,
-    policy: PolicyEngine,
+    policy: RouteMap,
     peers: Vec<PeerInfo>,
     adj_in: BTreeMap<PeerId, BTreeMap<Prefix, RouteAttributes>>,
     loc_rib: BTreeMap<Prefix, (PeerId, RouteAttributes)>,
@@ -37,7 +37,7 @@ struct RefEngine {
 }
 
 impl RefEngine {
-    fn new(peers: Vec<PeerInfo>, policy: PolicyEngine, damping: Option<DampingConfig>) -> Self {
+    fn new(peers: Vec<PeerInfo>, policy: RouteMap, damping: Option<DampingConfig>) -> Self {
         let adj_in = peers
             .iter()
             .map(|info| (info.id(), BTreeMap::new()))
@@ -295,18 +295,17 @@ fn arb_attrs() -> impl Strategy<Value = RouteAttributes> {
         prop::option::of(0u32..1000),
     )
         .prop_map(|(origin, path, hop, med, pref)| {
-            let mut attrs = RouteAttributes::new(
-                origin,
-                AsPath::from_sequence(path.into_iter().map(Asn)),
-                Ipv4Addr::from(hop),
-            );
+            let mut builder = RouteAttributes::builder()
+                .origin(origin)
+                .as_path(AsPath::from_sequence(path.into_iter().map(Asn)))
+                .next_hop(Ipv4Addr::from(hop));
             if let Some(med) = med {
-                attrs = attrs.with_med(med);
+                builder = builder.med(med);
             }
             if let Some(pref) = pref {
-                attrs = attrs.with_local_pref(pref);
+                builder = builder.local_pref(pref);
             }
-            attrs
+            builder.build()
         })
 }
 
@@ -371,7 +370,7 @@ fn check_equivalence(
     attr_pool: &[RouteAttributes],
     prefix_pool: &[Prefix],
     ops: &[Op],
-    policy: PolicyEngine,
+    policy: RouteMap,
     damping: Option<DampingConfig>,
 ) -> Result<(), TestCaseError> {
     let peers = peer_pool();
@@ -439,14 +438,17 @@ fn arb_prefix_pool() -> impl Strategy<Value = Vec<Prefix>> {
     })
 }
 
-fn test_policy() -> PolicyEngine {
-    PolicyEngine::from_rules([
-        PolicyRule::new(RouteMatcher::AsPathContains(Asn(666)), PolicyAction::Reject),
-        PolicyRule::new(
-            RouteMatcher::PrefixLengthBetween(0, 20),
-            PolicyAction::SetLocalPref(120),
-        ),
-        PolicyRule::new(RouteMatcher::Any, PolicyAction::AddCommunity(0x0001_0002)),
+fn test_policy() -> RouteMap {
+    RouteMap::new([
+        RouteMapEntry::deny(10).matching(MatchClause::AsPathContains(Asn(666))),
+        RouteMapEntry::permit(20)
+            .matching(MatchClause::Prefix(PrefixList::new([(
+                true,
+                PrefixMatch::range("0.0.0.0/0".parse().unwrap(), 0, 20),
+            )])))
+            .set(SetClause::LocalPref(120))
+            .set(SetClause::AddCommunity(0x0001_0002)),
+        RouteMapEntry::permit(30).set(SetClause::AddCommunity(0x0001_0002)),
     ])
 }
 
@@ -462,7 +464,7 @@ proptest! {
             &attr_pool,
             &prefix_pool,
             &ops,
-            PolicyEngine::permit_all(),
+            RouteMap::permit_all(),
             None,
         )?;
     }
@@ -490,9 +492,58 @@ proptest! {
             &attr_pool,
             &prefix_pool,
             &ops,
-            PolicyEngine::permit_all(),
+            RouteMap::permit_all(),
             Some(DampingConfig::default()),
         )?;
+    }
+
+    /// A route-map whose single entry permits everything and rewrites
+    /// nothing must be observationally identical to the *empty* map:
+    /// the engine's permit-all fast path (which skips evaluation and
+    /// reuses the interned Arc) may not be distinguishable from the
+    /// evaluate-and-re-intern path.
+    #[test]
+    fn no_op_route_map_is_identity(
+        attr_pool in prop::collection::vec(arb_attrs(), 2..5),
+        prefix_pool in arb_prefix_pool(),
+        ops in arb_ops(),
+    ) {
+        let peers = peer_pool();
+        let build = |policy: RouteMap| {
+            let mut engine = RibEngine::new(LOCAL_ASN, RouterId(1));
+            for info in &peers {
+                engine.add_peer(*info);
+            }
+            engine.set_import_policy(policy);
+            engine
+        };
+        let mut fast = build(RouteMap::permit_all());
+        let mut slow = build(RouteMap::new([RouteMapEntry::permit(10)]));
+
+        let mut now = 0.0f64;
+        for op in &ops {
+            now += op.dt_secs;
+            let peer = peers[op.peer].id();
+            let attrs = &attr_pool[op.attr.index(attr_pool.len())];
+            let update = build_message(
+                attrs,
+                &masked(&prefix_pool, op.announce_mask),
+                &masked(&prefix_pool, op.withdraw_mask),
+            );
+            let a = fast.apply_update_at(peer, &update, now).unwrap();
+            let b = slow.apply_update_at(peer, &update, now).unwrap();
+            prop_assert_eq!(&a, &b, "outcomes diverge at t={}", now);
+        }
+        prop_assert_eq!(fast.stats(), slow.stats());
+        prop_assert_eq!(fast.loc_rib().len(), slow.loc_rib().len());
+        for route in fast.loc_rib().iter() {
+            let other = slow
+                .loc_rib()
+                .get(&route.prefix())
+                .expect("missing Loc-RIB entry");
+            prop_assert_eq!(other.learned_from(), route.learned_from());
+            prop_assert_eq!(other.attrs().as_ref(), route.attrs().as_ref());
+        }
     }
 }
 

@@ -22,18 +22,17 @@ fn arb_attrs() -> impl Strategy<Value = RouteAttributes> {
         prop::option::of(0u32..1000),
     )
         .prop_map(|(origin, path, hop, med, pref)| {
-            let mut attrs = RouteAttributes::new(
-                origin,
-                AsPath::from_sequence(path.into_iter().map(Asn)),
-                Ipv4Addr::from(hop),
-            );
+            let mut builder = RouteAttributes::builder()
+                .origin(origin)
+                .as_path(AsPath::from_sequence(path.into_iter().map(Asn)))
+                .next_hop(Ipv4Addr::from(hop));
             if let Some(med) = med {
-                attrs = attrs.with_med(med);
+                builder = builder.med(med);
             }
             if let Some(pref) = pref {
-                attrs = attrs.with_local_pref(pref);
+                builder = builder.local_pref(pref);
             }
-            attrs
+            builder.build()
         })
 }
 

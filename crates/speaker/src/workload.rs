@@ -144,6 +144,51 @@ pub fn mixed_churn(prefixes: &[Prefix], spec: &AnnounceSpec, window: usize) -> V
     updates
 }
 
+/// Builds a MED-oscillation stream (Scenario 15): `rounds` full
+/// re-announcements of the same prefixes with the *same* AS-path
+/// length, alternating MULTI_EXIT_DISC between `high_med` (even
+/// rounds) and 0 (odd rounds). Under a MED-sensitive import policy the
+/// best path flips on every round, so each re-announcement is a
+/// decision-process rerun plus a forwarding-table rewrite.
+///
+/// # Panics
+///
+/// Panics if `spec.path_len` or `spec.prefixes_per_update` is zero.
+pub fn med_oscillation(
+    prefixes: &[Prefix],
+    spec: &AnnounceSpec,
+    rounds: usize,
+    high_med: u32,
+) -> Vec<UpdateMessage> {
+    assert!(spec.path_len >= 1, "AS path must contain the speaker's AS");
+    assert!(
+        spec.prefixes_per_update >= 1,
+        "packet size must be positive"
+    );
+    let _span = telemetry::span(SpanId::WorkloadGen);
+    let mut updates = Vec::new();
+    for round in 0..rounds {
+        let med = if round % 2 == 0 { high_med } else { 0 };
+        // Same seed every round: the AS paths are identical, so only
+        // the MED distinguishes one round's routes from the next.
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        updates.extend(prefixes.chunks(spec.prefixes_per_update).map(|chunk| {
+            let path = generate_path(&mut rng, spec.speaker_asn, spec.path_len);
+            let mut builder = UpdateMessage::builder()
+                .attribute(PathAttribute::Origin(Origin::Igp))
+                .attribute(PathAttribute::AsPath(path))
+                .attribute(PathAttribute::NextHop(spec.next_hop))
+                .attribute(PathAttribute::Med(med));
+            for prefix in chunk {
+                builder = builder.announce(*prefix);
+            }
+            builder.build()
+        }));
+    }
+    telemetry::add(MetricId::SpeakerUpdatesGenerated, updates.len() as u64);
+    updates
+}
+
 fn generate_path(rng: &mut StdRng, first: Asn, len: usize) -> AsPath {
     let mut asns = Vec::with_capacity(len);
     asns.push(first);
@@ -262,6 +307,31 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn mixed_churn_rejects_zero_window() {
         let _ = mixed_churn(&[], &spec(1, 3), 0);
+    }
+
+    #[test]
+    fn med_oscillation_alternates_med_and_keeps_paths_fixed() {
+        let table = TableGenerator::new(1).generate(40);
+        let updates = med_oscillation(&table, &spec(20, 3), 2, 50);
+        // Two rounds of two updates each.
+        assert_eq!(updates.len(), 4);
+        assert_eq!(transaction_count(&updates), 80);
+        let med_of =
+            |u: &UpdateMessage| match u.find_attribute(|a| matches!(a, PathAttribute::Med(_))) {
+                Some(PathAttribute::Med(med)) => *med,
+                _ => panic!("missing MED"),
+            };
+        assert_eq!(med_of(&updates[0]), 50);
+        assert_eq!(med_of(&updates[1]), 50);
+        assert_eq!(med_of(&updates[2]), 0);
+        assert_eq!(med_of(&updates[3]), 0);
+        // Rounds reuse the same seed, so paths match message-for-message.
+        let path_of = |u: &UpdateMessage| {
+            u.find_attribute(|a| matches!(a, PathAttribute::AsPath(_)))
+                .cloned()
+        };
+        assert_eq!(path_of(&updates[0]), path_of(&updates[2]));
+        assert_eq!(path_of(&updates[1]), path_of(&updates[3]));
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! ORIGIN (type 1, well-known mandatory; RFC 4271 §5.1.1).
+
+use std::fmt;
+
+use crate::WireError;
+
+use super::TYPE_ORIGIN;
+
+/// The ORIGIN attribute value (RFC 4271 §5.1.1).
+///
+/// Lower values are preferred by the decision process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Origin {
+    /// Learned from an interior gateway protocol.
+    #[default]
+    Igp = 0,
+    /// Learned via EGP (historic).
+    Egp = 1,
+    /// Learned by some other means (e.g. redistribution).
+    Incomplete = 2,
+}
+
+impl Origin {
+    /// Decodes the single-octet wire value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MalformedAttribute`] for values above 2.
+    pub fn from_wire(value: u8) -> Result<Self, WireError> {
+        match value {
+            0 => Ok(Origin::Igp),
+            1 => Ok(Origin::Egp),
+            2 => Ok(Origin::Incomplete),
+            _ => Err(WireError::MalformedAttribute {
+                type_code: TYPE_ORIGIN,
+                reason: "origin value out of range",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Origin::Igp => "IGP",
+            Origin::Egp => "EGP",
+            Origin::Incomplete => "INCOMPLETE",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Parses the attribute value octets of an ORIGIN attribute.
+pub(super) fn parse_origin(value: &[u8]) -> Result<Origin, WireError> {
+    let &[v] = value else {
+        return Err(WireError::MalformedAttribute {
+            type_code: TYPE_ORIGIN,
+            reason: "origin must be one octet",
+        });
+    };
+    Origin::from_wire(v)
+}
+
+/// Appends the attribute value octets of an ORIGIN attribute.
+pub(super) fn encode_origin(origin: Origin, out: &mut Vec<u8>) {
+    out.push(origin as u8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_rejects_out_of_range() {
+        assert!(Origin::from_wire(3).is_err());
+    }
+
+    #[test]
+    fn origin_value_roundtrip() {
+        for origin in [Origin::Igp, Origin::Egp, Origin::Incomplete] {
+            let mut buf = Vec::new();
+            encode_origin(origin, &mut buf);
+            assert_eq!(parse_origin(&buf).unwrap(), origin);
+        }
+        assert!(parse_origin(&[]).is_err());
+        assert!(parse_origin(&[0, 0]).is_err());
+    }
+}

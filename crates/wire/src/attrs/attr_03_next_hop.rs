@@ -1,0 +1,38 @@
+//! NEXT_HOP (type 3, well-known mandatory; RFC 4271 §5.1.3).
+
+use std::net::Ipv4Addr;
+
+use crate::WireError;
+
+use super::TYPE_NEXT_HOP;
+
+/// Parses the attribute value octets of a NEXT_HOP attribute.
+pub(super) fn parse_next_hop(value: &[u8]) -> Result<Ipv4Addr, WireError> {
+    let octets: [u8; 4] = value
+        .try_into()
+        .map_err(|_| WireError::MalformedAttribute {
+            type_code: TYPE_NEXT_HOP,
+            reason: "next hop must be four octets",
+        })?;
+    Ok(Ipv4Addr::from(octets))
+}
+
+/// Appends the attribute value octets of a NEXT_HOP attribute.
+pub(super) fn encode_next_hop(addr: Ipv4Addr, out: &mut Vec<u8>) {
+    out.extend_from_slice(&addr.octets());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_hop_value_roundtrip() {
+        let addr = Ipv4Addr::new(192, 0, 2, 7);
+        let mut buf = Vec::new();
+        encode_next_hop(addr, &mut buf);
+        assert_eq!(parse_next_hop(&buf).unwrap(), addr);
+        assert!(parse_next_hop(&[1, 2, 3]).is_err());
+        assert!(parse_next_hop(&[1, 2, 3, 4, 5]).is_err());
+    }
+}

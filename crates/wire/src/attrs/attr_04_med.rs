@@ -1,0 +1,31 @@
+//! MULTI_EXIT_DISC (type 4, optional non-transitive; RFC 4271 §5.1.4).
+
+use crate::WireError;
+
+use super::{decode_u32, TYPE_MED};
+
+/// Parses the attribute value octets of a MULTI_EXIT_DISC attribute.
+pub(super) fn parse_med(value: &[u8]) -> Result<u32, WireError> {
+    decode_u32(value, TYPE_MED)
+}
+
+/// Appends the attribute value octets of a MULTI_EXIT_DISC attribute.
+pub(super) fn encode_med(value: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn med_value_roundtrip() {
+        for med in [0, 1, u32::MAX] {
+            let mut buf = Vec::new();
+            encode_med(med, &mut buf);
+            assert_eq!(parse_med(&buf).unwrap(), med);
+        }
+        assert!(parse_med(&[0, 1]).is_err());
+        assert!(parse_med(&[0, 0, 0, 0, 1]).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! LOCAL_PREF (type 5, well-known on iBGP sessions; RFC 4271 §5.1.5).
+
+use crate::WireError;
+
+use super::{decode_u32, TYPE_LOCAL_PREF};
+
+/// Parses the attribute value octets of a LOCAL_PREF attribute.
+pub(super) fn parse_local_pref(value: &[u8]) -> Result<u32, WireError> {
+    decode_u32(value, TYPE_LOCAL_PREF)
+}
+
+/// Appends the attribute value octets of a LOCAL_PREF attribute.
+pub(super) fn encode_local_pref(value: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_pref_value_roundtrip() {
+        for pref in [0, 100, u32::MAX] {
+            let mut buf = Vec::new();
+            encode_local_pref(pref, &mut buf);
+            assert_eq!(parse_local_pref(&buf).unwrap(), pref);
+        }
+        assert!(parse_local_pref(&[0, 0, 0, 0, 1]).is_err());
+    }
+}

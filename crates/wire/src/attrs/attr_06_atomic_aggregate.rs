@@ -1,0 +1,28 @@
+//! ATOMIC_AGGREGATE (type 6, well-known discretionary; RFC 4271 §5.1.6).
+
+use crate::WireError;
+
+use super::TYPE_ATOMIC_AGGREGATE;
+
+/// Validates the attribute value octets of an ATOMIC_AGGREGATE
+/// attribute (the value carries no information and must be empty).
+pub(super) fn parse_atomic_aggregate(value: &[u8]) -> Result<(), WireError> {
+    if !value.is_empty() {
+        return Err(WireError::MalformedAttribute {
+            type_code: TYPE_ATOMIC_AGGREGATE,
+            reason: "atomic aggregate must be empty",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_aggregate_must_be_empty() {
+        assert!(parse_atomic_aggregate(&[]).is_ok());
+        assert!(parse_atomic_aggregate(&[0]).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! AGGREGATOR (type 7, optional transitive; RFC 4271 §5.1.7).
+
+use std::net::Ipv4Addr;
+
+use crate::{Asn, WireError};
+
+use super::TYPE_AGGREGATOR;
+
+/// Parses the attribute value octets of an AGGREGATOR attribute: the
+/// two-octet AS followed by the four-octet router id of the aggregating
+/// speaker.
+pub(super) fn parse_aggregator(value: &[u8]) -> Result<(Asn, Ipv4Addr), WireError> {
+    let octets: [u8; 6] = value
+        .try_into()
+        .map_err(|_| WireError::MalformedAttribute {
+            type_code: TYPE_AGGREGATOR,
+            reason: "aggregator must be six octets",
+        })?;
+    Ok((
+        Asn(u16::from_be_bytes([octets[0], octets[1]])),
+        Ipv4Addr::new(octets[2], octets[3], octets[4], octets[5]),
+    ))
+}
+
+/// Appends the attribute value octets of an AGGREGATOR attribute.
+pub(super) fn encode_aggregator(asn: Asn, router_id: Ipv4Addr, out: &mut Vec<u8>) {
+    out.extend_from_slice(&asn.0.to_be_bytes());
+    out.extend_from_slice(&router_id.octets());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_value_roundtrip() {
+        let mut buf = Vec::new();
+        encode_aggregator(Asn(65000), Ipv4Addr::new(10, 0, 0, 9), &mut buf);
+        assert_eq!(
+            parse_aggregator(&buf).unwrap(),
+            (Asn(65000), Ipv4Addr::new(10, 0, 0, 9))
+        );
+        assert!(parse_aggregator(&buf[..5]).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! COMMUNITIES (type 8, optional transitive; RFC 1997).
+
+use crate::WireError;
+
+use super::TYPE_COMMUNITIES;
+
+/// Parses the attribute value octets of a COMMUNITIES attribute: a
+/// list of four-octet community values.
+pub(super) fn parse_communities(value: &[u8]) -> Result<Vec<u32>, WireError> {
+    if !value.len().is_multiple_of(4) {
+        return Err(WireError::MalformedAttribute {
+            type_code: TYPE_COMMUNITIES,
+            reason: "communities length not a multiple of four",
+        });
+    }
+    Ok(value
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Appends the attribute value octets of a COMMUNITIES attribute.
+pub(super) fn encode_communities(values: &[u32], out: &mut Vec<u8>) {
+    for v in values {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn communities_value_roundtrip() {
+        let values = [0x0001_0002, 0xFFFF_FF01];
+        let mut buf = Vec::new();
+        encode_communities(&values, &mut buf);
+        assert_eq!(parse_communities(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn communities_reject_ragged_length() {
+        assert!(parse_communities(&[1, 2, 3]).is_err());
+        assert!(parse_communities(&[1, 2, 3, 4, 5]).is_err());
+        assert_eq!(parse_communities(&[]).unwrap(), Vec::<u32>::new());
+    }
+}

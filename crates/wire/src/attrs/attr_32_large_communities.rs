@@ -1,0 +1,120 @@
+//! LARGE_COMMUNITIES (type 32, optional transitive; RFC 8092).
+
+use std::fmt;
+
+use crate::WireError;
+
+use super::TYPE_LARGE_COMMUNITIES;
+
+/// One large community: a twelve-octet triple of a global administrator
+/// (an AS number) and two local data parts (RFC 8092 §3), convention-
+/// ally written `global:data1:data2`.
+///
+/// ```
+/// use bgpbench_wire::LargeCommunity;
+/// let lc = LargeCommunity::new(65000, 1, 20);
+/// assert_eq!(lc.to_string(), "65000:1:20");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LargeCommunity {
+    /// Global administrator: the AS that defined the community.
+    pub global_admin: u32,
+    /// First local data part, semantics defined by the administrator.
+    pub local_data_1: u32,
+    /// Second local data part, semantics defined by the administrator.
+    pub local_data_2: u32,
+}
+
+impl LargeCommunity {
+    /// Builds a `global:data1:data2` triple.
+    pub fn new(global_admin: u32, local_data_1: u32, local_data_2: u32) -> Self {
+        LargeCommunity {
+            global_admin,
+            local_data_1,
+            local_data_2,
+        }
+    }
+
+    /// Decodes one twelve-octet wire triple.
+    fn from_wire(chunk: &[u8]) -> Self {
+        let word =
+            |i: usize| u32::from_be_bytes([chunk[i], chunk[i + 1], chunk[i + 2], chunk[i + 3]]);
+        LargeCommunity {
+            global_admin: word(0),
+            local_data_1: word(4),
+            local_data_2: word(8),
+        }
+    }
+
+    /// Appends the twelve-octet wire triple.
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.global_admin.to_be_bytes());
+        out.extend_from_slice(&self.local_data_1.to_be_bytes());
+        out.extend_from_slice(&self.local_data_2.to_be_bytes());
+    }
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}",
+            self.global_admin, self.local_data_1, self.local_data_2
+        )
+    }
+}
+
+/// Parses the attribute value octets of a LARGE_COMMUNITIES attribute:
+/// one or more twelve-octet triples.
+pub(super) fn parse_large_communities(value: &[u8]) -> Result<Vec<LargeCommunity>, WireError> {
+    if !value.len().is_multiple_of(12) {
+        return Err(WireError::MalformedAttribute {
+            type_code: TYPE_LARGE_COMMUNITIES,
+            reason: "large communities length not a multiple of twelve",
+        });
+    }
+    Ok(value
+        .chunks_exact(12)
+        .map(LargeCommunity::from_wire)
+        .collect())
+}
+
+/// Appends the attribute value octets of a LARGE_COMMUNITIES attribute.
+pub(super) fn encode_large_communities(values: &[LargeCommunity], out: &mut Vec<u8>) {
+    for v in values {
+        v.encode_to(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_communities_value_roundtrip() {
+        let values = [
+            LargeCommunity::new(65000, 0, 1),
+            LargeCommunity::new(u32::MAX, 7, u32::MAX),
+        ];
+        let mut buf = Vec::new();
+        encode_large_communities(&values, &mut buf);
+        assert_eq!(buf.len(), 24);
+        assert_eq!(parse_large_communities(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn large_communities_reject_ragged_length() {
+        assert!(parse_large_communities(&[0; 11]).is_err());
+        assert!(parse_large_communities(&[0; 13]).is_err());
+        assert!(parse_large_communities(&[0; 4]).is_err());
+        assert_eq!(
+            parse_large_communities(&[]).unwrap(),
+            Vec::<LargeCommunity>::new()
+        );
+    }
+
+    #[test]
+    fn large_community_display() {
+        assert_eq!(LargeCommunity::new(65000, 1, 2).to_string(), "65000:1:2");
+    }
+}

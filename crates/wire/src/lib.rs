@@ -50,7 +50,7 @@ mod open;
 mod types;
 mod update;
 
-pub use attrs::{AsPath, AsPathSegment, Origin, PathAttribute};
+pub use attrs::{AsPath, AsPathSegment, LargeCommunity, Origin, PathAttribute};
 pub use error::WireError;
 pub use framing::StreamDecoder;
 pub use message::{Message, MessageType, HEADER_LEN, MAX_MESSAGE_LEN};

@@ -3,8 +3,9 @@
 use std::net::Ipv4Addr;
 
 use bgpbench_wire::{
-    AsPath, AsPathSegment, Asn, Capability, ErrorCode, Message, NotificationMessage, OpenMessage,
-    Origin, PathAttribute, Prefix, RouterId, StreamDecoder, UpdateMessage,
+    AsPath, AsPathSegment, Asn, Capability, ErrorCode, LargeCommunity, Message,
+    NotificationMessage, OpenMessage, Origin, PathAttribute, Prefix, RouterId, StreamDecoder,
+    UpdateMessage,
 };
 use proptest::prelude::*;
 
@@ -28,6 +29,11 @@ fn arb_as_path() -> impl Strategy<Value = AsPath> {
     prop::collection::vec(arb_segment(), 0..4).prop_map(AsPath::from_segments)
 }
 
+fn arb_large_community() -> impl Strategy<Value = LargeCommunity> {
+    (any::<u32>(), any::<u32>(), any::<u32>())
+        .prop_map(|(global, data1, data2)| LargeCommunity::new(global, data1, data2))
+}
+
 fn arb_origin() -> impl Strategy<Value = Origin> {
     prop_oneof![
         Just(Origin::Igp),
@@ -49,10 +55,14 @@ fn arb_attribute() -> impl Strategy<Value = PathAttribute> {
             router_id: Ipv4Addr::from(id),
         }),
         prop::collection::vec(any::<u32>(), 0..6).prop_map(PathAttribute::Communities),
-        // Unknown optional attribute with arbitrary payload.
+        prop::collection::vec(arb_large_community(), 0..4)
+            .prop_map(PathAttribute::LargeCommunities),
+        // Unknown optional attribute with arbitrary payload. Type 32
+        // (LARGE_COMMUNITIES) is excluded: it decodes structurally, so
+        // an arbitrary payload would not round-trip as Unknown.
         (
             any::<bool>(),
-            16u8..=255,
+            prop_oneof![16u8..=31, 33u8..=255],
             prop::collection::vec(any::<u8>(), 0..300)
         )
             .prop_map(|(transitive, type_code, value)| {

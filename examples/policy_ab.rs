@@ -1,0 +1,72 @@
+//! Policy-on/off A-B comparison: what do route-maps cost the paper's
+//! scenarios, and what do the policy scenarios S13–S15 score?
+//!
+//! ```text
+//! cargo run --release --example policy_ab
+//! ```
+//!
+//! Part 1 runs S6 (incremental, no FIB change) and S8 (incremental,
+//! FIB change) on every platform with and without S13's two-entry
+//! import filter attached. S6 isolates the evaluation cost — the map
+//! can only add work there. On S8 the filter rejects half the churn
+//! before it reaches the FIB, so the policed run can come out *ahead*.
+//!
+//! Part 2 scores S13–S15 themselves, next to their closest unpoliced
+//! relative (S8 for S13, S6 for S14/S15's packetization).
+
+use bgpbench::bench::{CellSpec, PolicyProfile, Scenario};
+use bgpbench::models::all_platforms;
+
+const PREFIXES: usize = 4000;
+
+fn cell(scenario: Scenario, platform: &bgpbench::models::PlatformSpec) -> CellSpec {
+    CellSpec::new(scenario, platform.clone()).prefixes(PREFIXES)
+}
+
+fn main() {
+    println!("Policy on/off on the paper's scenarios ({PREFIXES} prefixes, FilterChurn profile)\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}   {:>12} {:>12} {:>8}",
+        "", "S6 off", "S6 on", "Δ", "S8 off", "S8 on", "Δ"
+    );
+    for platform in all_platforms() {
+        let mut tps = Vec::new();
+        for scenario in [Scenario::S6, Scenario::S8] {
+            let off = cell(scenario, &platform).run();
+            let on = cell(scenario, &platform)
+                .policy(PolicyProfile::FilterChurn)
+                .run();
+            assert!(off.completed && on.completed);
+            tps.push((off.tps(), on.tps()));
+        }
+        let pct = |off: f64, on: f64| (on - off) / off * 100.0;
+        println!(
+            "{:<22} {:>12.0} {:>12.0} {:>+7.1}%   {:>12.0} {:>12.0} {:>+7.1}%",
+            platform.name,
+            tps[0].0,
+            tps[0].1,
+            pct(tps[0].0, tps[0].1),
+            tps[1].0,
+            tps[1].1,
+            pct(tps[1].0, tps[1].1),
+        );
+    }
+
+    println!("\nPolicy scenarios S13-S15 (transactions/s)\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>14}",
+        "", "S13", "S14", "S15", "S8 (unpoliced)"
+    );
+    for platform in all_platforms() {
+        let mut row = Vec::new();
+        for scenario in [Scenario::S13, Scenario::S14, Scenario::S15, Scenario::S8] {
+            let result = cell(scenario, &platform).run();
+            assert!(result.completed, "{} on {}", scenario, platform.name);
+            row.push(result.tps());
+        }
+        println!(
+            "{:<22} {:>10.0} {:>10.0} {:>10.0} {:>14.0}",
+            platform.name, row[0], row[1], row[2], row[3]
+        );
+    }
+}
