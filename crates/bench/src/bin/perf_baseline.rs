@@ -5,15 +5,23 @@
 //!
 //! ```text
 //! cargo run --release -p bgpbench-bench --bin perf_baseline -- \
-//!     [--quick] [--samples <n>] [--out <path>] \
+//!     [--quick] [--samples <n>] [--prefixes <n>] [--out <path>] \
 //!     [--init | --check] [--tolerance <pct>] [--telemetry]
 //! ```
 //!
 //! Each scenario reports the median wall time per iteration and the
-//! derived per-prefix cost, next to the corresponding measurement
-//! taken at the pre-interning two-map engine (commit d66c2f8) on the
-//! same harness, so the speedup the optimization bought is recorded in
-//! the artifact itself.
+//! derived per-prefix cost, next to a reference measurement. For the
+//! single-engine scenarios the reference is the pre-interning two-map
+//! engine (commit d66c2f8) on the same harness, so the speedup the
+//! interner bought is recorded in the artifact itself. The `*_sharded`
+//! scenarios instead measure against their own in-run one-shard twin
+//! (`startup_train`, `withdraw_storm_train`), so their
+//! `speedup_vs_baseline` is the parallel scaling factor of the sharded
+//! engine at [`SHARDS`] shards — measured on this host, this run.
+//!
+//! The sharded scenarios run at `max(--prefixes, 100000)` prefixes:
+//! partition and merge are serial, so the parallel win needs tables
+//! big enough that cache-cold per-prefix decision cost dominates.
 //!
 //! The tracked baseline at `--out` must already exist: by default the
 //! run compares against it and rewrites it, and exits non-zero with a
@@ -21,30 +29,48 @@
 //! used to be silently replaced by a fresh one, which turned every
 //! comparison into new-vs-new. `--init` creates the baseline;
 //! `--check` compares without rewriting and fails the process when any
-//! scenario's median regresses more than `--tolerance` percent
-//! (default 2.0) — that is the mode CI's telemetry-overhead job runs
-//! with telemetry off. `--telemetry` enables the registry for the run
-//! (to measure the instrumented path's overhead) and dumps its
-//! snapshot to stderr.
+//! *tracked* scenario's median regresses more than `--tolerance`
+//! percent (default 2.0) — that is the mode CI's telemetry-overhead
+//! and shards jobs run with telemetry off. Scenarios whose baseline
+//! entry carries `"baseline_ns_per_iter": null` are informational:
+//! `--check` prints them with a warning and skips them instead of
+//! gating on numbers that have no reference. `--telemetry` enables the
+//! registry for the run (to measure the instrumented path's overhead)
+//! and dumps its snapshot to stderr.
 
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
 use bgpbench_core::PolicyProfile;
-use bgpbench_rib::{PeerId, PeerInfo, RibEngine};
+use bgpbench_rib::{PeerId, PeerInfo, RibEngine, ShardedRibEngine};
 use bgpbench_speaker::{workload, TableGenerator};
 use bgpbench_telemetry as telemetry;
 use bgpbench_wire::{Asn, RouterId, UpdateMessage};
 
-const PREFIXES: usize = 5000;
-/// Expected table size passed to [`RibEngine::reserve`] in the
-/// reserved scenarios; headroom above `PREFIXES` mirrors a speaker
-/// configured for a maximum rather than the exact count.
+/// Routing-table size of the single-engine scenarios when `--prefixes`
+/// is not given.
+const DEFAULT_PREFIXES: usize = 5000;
+/// Expected table size passed to `reserve` in the reserved scenarios
+/// at the default `--prefixes`; headroom above the table size mirrors
+/// a speaker configured for a maximum rather than the exact count.
+/// Other table sizes scale the same headroom ratio.
 const RESERVE: usize = 8192;
+/// Shard count of the `*_sharded` scenarios.
+const SHARDS: usize = 4;
+/// Floor on the sharded scenarios' table size (see module docs).
+const SHARDED_PREFIX_FLOOR: usize = 100_000;
+
+/// `reserve` argument scaled so the default table size keeps its
+/// historical 8192 and bigger tables keep the same headroom ratio.
+fn reserve_for(prefixes: usize) -> usize {
+    prefixes * RESERVE / DEFAULT_PREFIXES
+}
 
 /// Median times per iteration measured at the pre-interning engine
 /// (two hash maps, no attribute store), in nanoseconds. `None` where
-/// the scenario did not exist before this harness.
+/// the scenario did not exist before this harness. The `*_sharded`
+/// scenarios are absent on purpose: their baseline is the in-run
+/// one-shard twin, not a historical number.
 const BASELINE_NS: &[(&str, Option<f64>)] = &[
     ("startup_large_pkts", Some(1_120_000.0)),
     ("startup_large_pkts_reserved", Some(1_120_000.0)),
@@ -70,6 +96,7 @@ enum BaselineMode {
 
 struct Options {
     samples: usize,
+    prefixes: usize,
     out: String,
     mode: BaselineMode,
     /// Allowed regression in percent before `--check` fails.
@@ -80,6 +107,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut samples: Option<usize> = None;
     let mut quick = false;
+    let mut prefixes = DEFAULT_PREFIXES;
     let mut out = String::from("BENCH_rib.json");
     let mut mode = BaselineMode::Update;
     let mut tolerance = 2.0;
@@ -98,6 +126,17 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 }));
             }
+            "--prefixes" => {
+                let value = args.next().unwrap_or_default();
+                prefixes = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--prefixes expects a positive integer, got {value:?}");
+                    std::process::exit(2);
+                });
+                if prefixes == 0 {
+                    eprintln!("--prefixes expects a positive integer, got 0");
+                    std::process::exit(2);
+                }
+            }
             "--tolerance" => {
                 let value = args.next().unwrap_or_default();
                 tolerance = value.parse().unwrap_or_else(|_| {
@@ -114,8 +153,8 @@ fn parse_args() -> Options {
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: perf_baseline [--quick] [--samples <n>] [--out <path>] \
-                     [--init | --check] [--tolerance <pct>] [--telemetry]"
+                    "usage: perf_baseline [--quick] [--samples <n>] [--prefixes <n>] \
+                     [--out <path>] [--init | --check] [--tolerance <pct>] [--telemetry]"
                 );
                 std::process::exit(2);
             }
@@ -123,6 +162,7 @@ fn parse_args() -> Options {
     }
     Options {
         samples: samples.unwrap_or(if quick { 5 } else { 20 }),
+        prefixes,
         out,
         mode,
         tolerance,
@@ -134,12 +174,15 @@ struct TrackedScenario {
     name: String,
     median_ns: f64,
     min_ns: Option<f64>,
+    /// `false` when the artifact records `"baseline_ns_per_iter":
+    /// null` — the scenario is informational and `--check` skips it.
+    tracked: bool,
 }
 
-/// Pulls each scenario's `"name"`, `"median_ns_per_iter"`, and
-/// `"min_ns_per_iter"` fields out of a previously written baseline
-/// artifact. The format is our own line-per-field JSON, so a line
-/// scan is exact, not a heuristic.
+/// Pulls each scenario's `"name"`, `"median_ns_per_iter"`,
+/// `"min_ns_per_iter"`, and null-baseline marker out of a previously
+/// written baseline artifact. The format is our own line-per-field
+/// JSON, so a line scan is exact, not a heuristic.
 fn parse_tracked(json: &str) -> Vec<TrackedScenario> {
     let mut scenarios: Vec<TrackedScenario> = Vec::new();
     let mut name: Option<String> = None;
@@ -153,12 +196,20 @@ fn parse_tracked(json: &str) -> Vec<TrackedScenario> {
                     name,
                     median_ns: ns,
                     min_ns: None,
+                    tracked: true,
                 });
             }
         } else if let Some(rest) = line.strip_prefix("\"min_ns_per_iter\": ") {
             if let (Some(last), Ok(ns)) = (scenarios.last_mut(), rest.trim_end_matches(',').parse())
             {
                 last.min_ns = Some(ns);
+            }
+        } else if line
+            .strip_prefix("\"baseline_ns_per_iter\": null")
+            .is_some()
+        {
+            if let Some(last) = scenarios.last_mut() {
+                last.tracked = false;
             }
         }
     }
@@ -168,11 +219,13 @@ fn parse_tracked(json: &str) -> Vec<TrackedScenario> {
 /// Outcome of comparing a fresh run against the tracked baseline.
 #[derive(Default)]
 struct Comparison {
-    /// Scenarios that regressed beyond the tolerance.
+    /// Tracked scenarios that regressed beyond the tolerance.
     regressions: Vec<String>,
-    /// Scenarios the current run measures but the baseline does not
-    /// track — a stale baseline, fatal under `--check` (an untracked
-    /// scenario can regress forever without failing anything).
+    /// Scenarios the current run measures but the baseline file does
+    /// not mention at all — a stale baseline, fatal under `--check`
+    /// (an unrecorded scenario can regress forever without failing
+    /// anything). Scenarios *recorded* with a null baseline are not
+    /// in this list; those are warned about and skipped.
     untracked: Vec<String>,
 }
 
@@ -186,6 +239,12 @@ fn compare(results: &[ScenarioResult], tracked: &[TrackedScenario], tolerance: f
     eprintln!("\nvs tracked baseline, fastest sample (tolerance {tolerance:.1}%):");
     for result in results {
         match tracked.iter().find(|entry| entry.name == result.name) {
+            Some(entry) if !entry.tracked => {
+                eprintln!(
+                    "{:32} warning: baseline_ns_per_iter is null; informational only, skipped",
+                    result.name
+                );
+            }
             Some(entry) => {
                 let tracked_ns = entry.min_ns.unwrap_or(entry.median_ns);
                 let delta = (result.min_ns_per_iter - tracked_ns) / tracked_ns * 100.0;
@@ -226,8 +285,13 @@ fn engine() -> RibEngine {
     engine
 }
 
-fn announcements(asn: u16, path_len: usize, per_update: usize) -> Vec<UpdateMessage> {
-    let table = TableGenerator::new(5).generate(PREFIXES);
+fn announcements(
+    prefixes: usize,
+    asn: u16,
+    path_len: usize,
+    per_update: usize,
+) -> Vec<UpdateMessage> {
+    let table = TableGenerator::new(5).generate(prefixes);
     workload::announcements(
         &table,
         &workload::AnnounceSpec {
@@ -274,8 +338,15 @@ fn summarize(times: &mut [f64]) -> (f64, f64) {
 
 struct ScenarioResult {
     name: &'static str,
+    /// Table size this scenario processed per iteration (the sharded
+    /// scenarios run bigger tables than the single-engine ones).
+    prefixes: usize,
     ns_per_iter: f64,
     min_ns_per_iter: f64,
+    /// The reference this scenario's `speedup_vs_baseline` divides
+    /// against: a historical [`BASELINE_NS`] entry, or — for the
+    /// `*_sharded` scenarios — the in-run one-shard twin's median.
+    baseline_ns: Option<f64>,
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -305,11 +376,25 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let large = announcements(65001, 3, 500);
-    let small = announcements(65001, 3, 1);
-    let losing = announcements(65002, 6, 500);
-    let winning = announcements(65002, 2, 500);
-    let withdrawals = workload::withdrawals(&TableGenerator::new(5).generate(PREFIXES), 500);
+    let prefixes = options.prefixes;
+    let sharded_prefixes = prefixes.max(SHARDED_PREFIX_FLOOR);
+    let large = announcements(prefixes, 65001, 3, 500);
+    let small = announcements(prefixes, 65001, 3, 1);
+    let losing = announcements(prefixes, 65002, 6, 500);
+    let winning = announcements(prefixes, 65002, 2, 500);
+    let withdrawals = workload::withdrawals(&TableGenerator::new(5).generate(prefixes), 500);
+    let sharded_table = TableGenerator::new(5).generate(sharded_prefixes);
+    let sharded_large = workload::announcements(
+        &sharded_table,
+        &workload::AnnounceSpec {
+            speaker_asn: Asn(65001),
+            path_len: 3,
+            next_hop: Ipv4Addr::new(10, 0, 0, 2),
+            prefixes_per_update: 500,
+            seed: 5,
+        },
+    );
+    let sharded_withdrawals = workload::withdrawals(&sharded_table, 500);
 
     let loaded = || {
         let mut engine = engine();
@@ -334,6 +419,34 @@ fn main() {
             engine
         }
     }
+    // The sharded scenarios and their one-shard twins go through
+    // `apply_update_train` on both sides, so the comparison isolates
+    // the parallel fan-out from the (identical) train bookkeeping.
+    let sharded_engine = |shards: usize| {
+        let mut engine = ShardedRibEngine::new(Asn(65000), RouterId(1));
+        engine.add_peer(PeerInfo::new(
+            PeerId(1),
+            Asn(65001),
+            RouterId(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+        ));
+        engine.set_shards(shards);
+        engine.reserve(reserve_for(sharded_prefixes));
+        engine
+    };
+    let sharded_loaded = |shards: usize| {
+        let mut engine = sharded_engine(shards);
+        engine
+            .apply_update_train(PeerId(1), &sharded_large)
+            .unwrap();
+        engine
+    };
+    fn train(updates: &[UpdateMessage]) -> impl FnMut(ShardedRibEngine) -> ShardedRibEngine + '_ {
+        move |mut engine| {
+            engine.apply_update_train(PeerId(1), updates).unwrap();
+            engine
+        }
+    }
 
     // The scenarios measure round-robin: each round takes a slice of
     // every scenario's samples, so one scenario's pool spans the whole
@@ -341,19 +454,21 @@ fn main() {
     // shared host then has to outlast the entire run to poison a
     // scenario's minimum, rather than just its slice of the schedule.
     type ScenarioSampler<'a> = Box<dyn FnMut(usize) -> Vec<f64> + 'a>;
-    let mut specs: Vec<(&'static str, ScenarioSampler)> = vec![
+    let mut specs: Vec<(&'static str, usize, ScenarioSampler)> = vec![
         (
             "startup_large_pkts",
+            prefixes,
             Box::new(|n| measure_times(n, engine, flood(&large, PeerId(1)))),
         ),
         (
             "startup_large_pkts_reserved",
+            prefixes,
             Box::new(|n| {
                 measure_times(
                     n,
                     || {
                         let mut engine = engine();
-                        engine.reserve(RESERVE);
+                        engine.reserve(reserve_for(prefixes));
                         engine
                     },
                     flood(&large, PeerId(1)),
@@ -362,23 +477,48 @@ fn main() {
         ),
         (
             "startup_small_pkts",
+            prefixes,
             Box::new(|n| measure_times(n, engine, flood(&small, PeerId(1)))),
         ),
         (
             "incremental_losing",
+            prefixes,
             Box::new(|n| measure_times(n, &loaded, flood(&losing, PeerId(2)))),
         ),
         (
             "incremental_winning",
+            prefixes,
             Box::new(|n| measure_times(n, &loaded, flood(&winning, PeerId(2)))),
         ),
         (
             "incremental_policed",
+            prefixes,
             Box::new(|n| measure_times(n, &policed, flood(&winning, PeerId(2)))),
         ),
         (
             "withdraw_storm",
+            prefixes,
             Box::new(|n| measure_times(n, &loaded, flood(&withdrawals, PeerId(1)))),
+        ),
+        (
+            "startup_train",
+            sharded_prefixes,
+            Box::new(|n| measure_times(n, || sharded_engine(1), train(&sharded_large))),
+        ),
+        (
+            "startup_sharded",
+            sharded_prefixes,
+            Box::new(|n| measure_times(n, || sharded_engine(SHARDS), train(&sharded_large))),
+        ),
+        (
+            "withdraw_storm_train",
+            sharded_prefixes,
+            Box::new(|n| measure_times(n, || sharded_loaded(1), train(&sharded_withdrawals))),
+        ),
+        (
+            "withdraw_storm_sharded",
+            sharded_prefixes,
+            Box::new(|n| measure_times(n, || sharded_loaded(SHARDS), train(&sharded_withdrawals))),
         ),
     ];
 
@@ -386,30 +526,69 @@ fn main() {
     let per_round = options.samples.div_ceil(rounds);
     let mut pools: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
     for _ in 0..rounds {
-        for (pool, (_, spec)) in pools.iter_mut().zip(specs.iter_mut()) {
+        for (pool, (_, _, spec)) in pools.iter_mut().zip(specs.iter_mut()) {
             pool.extend(spec(per_round));
         }
     }
 
     let mut results: Vec<ScenarioResult> = Vec::new();
-    for ((name, _), pool) in specs.iter().zip(pools.iter_mut()) {
+    for ((name, scenario_prefixes, _), pool) in specs.iter().zip(pools.iter_mut()) {
         let (ns, min_ns) = summarize(pool);
         eprintln!(
             "{name:32} {:10.1} us/iter  ({:.0} ns/prefix, fastest {:.1} us)",
             ns / 1e3,
-            ns / PREFIXES as f64,
+            ns / *scenario_prefixes as f64,
             min_ns / 1e3
         );
         results.push(ScenarioResult {
             name,
+            prefixes: *scenario_prefixes,
             ns_per_iter: ns,
             min_ns_per_iter: min_ns,
+            baseline_ns: None,
         });
     }
 
+    // The sharded scenarios' baseline is their in-run one-shard twin:
+    // `speedup_vs_baseline` then *is* the parallel scaling factor on
+    // this host. Everything else compares against the historical
+    // pre-interning measurements.
+    let twin_median = |results: &[ScenarioResult], name: &str| {
+        results
+            .iter()
+            .find(|result| result.name == name)
+            .map(|result| result.ns_per_iter)
+    };
+    let startup_twin = twin_median(&results, "startup_train");
+    let withdraw_twin = twin_median(&results, "withdraw_storm_train");
+    for result in &mut results {
+        result.baseline_ns = match result.name {
+            "startup_sharded" => startup_twin,
+            "withdraw_storm_sharded" => withdraw_twin,
+            name => BASELINE_NS
+                .iter()
+                .find(|(tracked, _)| *tracked == name)
+                .and_then(|(_, ns)| *ns),
+        };
+    }
+    for (sharded, twin) in [
+        ("startup_sharded", "startup_train"),
+        ("withdraw_storm_sharded", "withdraw_storm_train"),
+    ] {
+        if let Some(result) = results.iter().find(|result| result.name == sharded) {
+            if let Some(base) = result.baseline_ns {
+                eprintln!(
+                    "{sharded:32} {:.2}x vs {twin} at {SHARDS} shards, {} prefixes",
+                    base / result.ns_per_iter,
+                    result.prefixes
+                );
+            }
+        }
+    }
+
     // Attribute-store effectiveness over a representative startup run:
-    // the workload carries one attribute set per UPDATE, so 5000
-    // routes collapse to one canonical allocation per packet.
+    // the workload carries one attribute set per UPDATE, so the table
+    // collapses to one canonical allocation per packet.
     let loaded_engine = loaded();
     let store = loaded_engine.attr_store();
     let stats = store.stats();
@@ -419,21 +598,32 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"bench\": \"rib_perf_baseline\",\n");
     json.push_str(&format!("  \"samples\": {},\n", options.samples));
-    json.push_str(&format!("  \"prefixes\": {PREFIXES},\n"));
+    json.push_str(&format!("  \"prefixes\": {prefixes},\n"));
+    json.push_str(&format!("  \"sharded_prefixes\": {sharded_prefixes},\n"));
+    json.push_str(&format!("  \"rib_shards\": {SHARDS},\n"));
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Threads the sharded train actually uses: the engine falls back
+    // to the caller thread when the host has a single CPU, so the
+    // recorded scaling factor must be read against this, not SHARDS.
+    json.push_str(&format!(
+        "  \"threads\": {},\n",
+        if parallelism > 1 { SHARDS } else { 1 }
+    ));
+    json.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
     json.push_str(
-        "  \"baseline\": \"pre-interning two-map engine (d66c2f8), same harness and host class\",\n",
+        "  \"baseline\": \"pre-interning two-map engine (d66c2f8), same harness and host \
+         class; *_sharded scenarios baseline against their in-run one-shard twin\",\n",
     );
     json.push_str("  \"scenarios\": [\n");
     for (i, result) in results.iter().enumerate() {
-        let baseline = BASELINE_NS
-            .iter()
-            .find(|(name, _)| *name == result.name)
-            .and_then(|(_, ns)| *ns);
         json.push_str("    {\n");
         json.push_str(&format!(
             "      \"name\": \"{}\",\n",
             json_escape_free(result.name)
         ));
+        json.push_str(&format!("      \"prefixes\": {},\n", result.prefixes));
         json.push_str(&format!(
             "      \"median_ns_per_iter\": {:.0},\n",
             result.ns_per_iter
@@ -444,13 +634,13 @@ fn main() {
         ));
         json.push_str(&format!(
             "      \"ns_per_prefix\": {:.1},\n",
-            result.ns_per_iter / PREFIXES as f64
+            result.ns_per_iter / result.prefixes as f64
         ));
         json.push_str(&format!(
             "      \"prefixes_per_sec\": {:.0},\n",
-            PREFIXES as f64 / (result.ns_per_iter / 1e9)
+            result.prefixes as f64 / (result.ns_per_iter / 1e9)
         ));
-        match baseline {
+        match result.baseline_ns {
             Some(baseline_ns) => {
                 json.push_str(&format!(
                     "      \"baseline_ns_per_iter\": {baseline_ns:.0},\n"

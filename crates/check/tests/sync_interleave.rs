@@ -350,3 +350,129 @@ fn grid_runner_channels_obey_fifo_and_lose_nothing() {
     // runner/telemetry stack they exercised.
     assert_eq!(recorded_lock_graph().find_cycle(), None);
 }
+
+// ─────────────── sharded RIB fan-out/merge (loom-lite) ───────────────
+
+#[test]
+fn shard_fan_out_and_merge_commute_across_all_schedules() {
+    // The sharded RIB's parallel claim, checked exhaustively: each
+    // shard applies its sub-batches against private state, so *any*
+    // execution order across shards must merge back into exactly the
+    // single engine's outcome stream. Per-shard op order (withdrawals
+    // before announcements) is the per-thread program order the
+    // interleaver preserves; everything across shards is fair game.
+    use std::net::Ipv4Addr;
+
+    use bgpbench_rib::{
+        PeerId, PeerInfo, PrefixOutcome, RibEngine, RouteAttributes, ShardedRibEngine,
+    };
+    use bgpbench_wire::{AsPath, Asn, Origin, Prefix, RouterId, UpdateMessage};
+
+    const SHARDS: usize = 3;
+    let peer = PeerId(1);
+    let info = PeerInfo::new(peer, Asn(65001), RouterId(2), Ipv4Addr::new(10, 0, 0, 2));
+    // A sharded engine used only for its stable prefix→shard key.
+    let partitioner = {
+        let mut engine = ShardedRibEngine::new(Asn(65000), RouterId(1));
+        engine.add_peer(info);
+        engine.set_shards(SHARDS);
+        engine
+    };
+
+    let prefixes: Vec<Prefix> = (0..12u32)
+        .map(|i| Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 + (i << 12)), 20).unwrap())
+        .collect();
+    let attrs_base = RouteAttributes::new(
+        Origin::Igp,
+        AsPath::from_sequence([Asn(65001)]),
+        Ipv4Addr::new(10, 0, 0, 2),
+    );
+    let attrs_new = RouteAttributes::new(
+        Origin::Egp,
+        AsPath::from_sequence([Asn(65001), Asn(64512)]),
+        Ipv4Addr::new(10, 0, 0, 2),
+    );
+    let build = |attrs: &RouteAttributes, announce: &[Prefix], withdraw: &[Prefix]| {
+        let mut builder = UpdateMessage::builder().withdraw_all(withdraw.iter().copied());
+        if !announce.is_empty() {
+            for attr in attrs.to_wire() {
+                builder = builder.attribute(attr);
+            }
+            builder = builder.announce_all(announce.iter().copied());
+        }
+        builder.build()
+    };
+    let partition = |prefixes: &[Prefix]| {
+        let mut parts: Vec<Vec<Prefix>> = vec![Vec::new(); SHARDS];
+        for prefix in prefixes {
+            parts[partitioner.shard_for(prefix)].push(*prefix);
+        }
+        parts
+    };
+
+    // Base table: everything announced; then one message that
+    // withdraws a third of it and flips attributes on another third.
+    let base = build(&attrs_base, &prefixes, &[]);
+    let withdrawn: Vec<Prefix> = prefixes.iter().copied().step_by(3).collect();
+    let announced: Vec<Prefix> = prefixes.iter().copied().skip(1).step_by(3).collect();
+    let update = build(&attrs_new, &announced, &withdrawn);
+
+    // Sequential baseline: the unsharded engine's outcome stream.
+    let single_outcomes = {
+        let mut engine = RibEngine::new(Asn(65000), RouterId(1));
+        engine.add_peer(info);
+        engine.apply_update(peer, &base).expect("base load");
+        engine.apply_update(peer, &update).expect("update")
+    };
+
+    let base_parts = partition(&prefixes);
+    let withdraw_parts = partition(&withdrawn);
+    let announce_parts = partition(&announced);
+    let explored = explore(&[2, 2, 2], |schedule| {
+        // Fresh per-shard engines, each preloaded with its slice of
+        // the base table.
+        let mut shards: Vec<RibEngine> = base_parts
+            .iter()
+            .map(|slice| {
+                let mut engine = RibEngine::new(Asn(65000), RouterId(1));
+                engine.add_peer(info);
+                engine
+                    .apply_update(peer, &build(&attrs_base, slice, &[]))
+                    .expect("shard base load");
+                engine
+            })
+            .collect();
+        let mut per_shard: Vec<Vec<PrefixOutcome>> = vec![Vec::new(); SHARDS];
+        for &(shard, op) in schedule {
+            let message = if op == 0 {
+                build(&attrs_new, &[], &withdraw_parts[shard])
+            } else {
+                build(&attrs_new, &announce_parts[shard], &[])
+            };
+            let outcomes = shards[shard]
+                .apply_update(peer, &message)
+                .map_err(|error| format!("shard {shard} op {op}: {error:?}"))?;
+            per_shard[shard].extend(outcomes);
+        }
+        // The merge step: walk the original message order and pop the
+        // owning shard's next outcome.
+        let mut queues: Vec<std::vec::IntoIter<PrefixOutcome>> =
+            per_shard.into_iter().map(Vec::into_iter).collect();
+        let mut merged = Vec::new();
+        for prefix in withdrawn.iter().chain(&announced) {
+            match queues[partitioner.shard_for(prefix)].next() {
+                Some(outcome) => merged.push(outcome),
+                None => return Err(format!("shard queue exhausted at {prefix:?}")),
+            }
+        }
+        if merged == single_outcomes {
+            Ok(())
+        } else {
+            Err("merged outcome stream diverged from the single engine".to_owned())
+        }
+    })
+    .expect("every schedule must merge to the single-engine stream");
+    // C(6; 2,2,2) = 90 interleavings, each checked against the
+    // sequential baseline.
+    assert_eq!(explored, 90);
+}

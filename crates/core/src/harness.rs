@@ -49,6 +49,10 @@ pub struct ScenarioConfig {
     /// (policy-on/off A-B runs); `None` uses the scenario's own
     /// profile, if any.
     pub policy: Option<PolicyProfile>,
+    /// RIB shard count on the router under test (host-side
+    /// parallelism). Results are bit-identical for every value; 1 (the
+    /// default) is the single-threaded engine.
+    pub rib_shards: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -59,6 +63,7 @@ impl Default for ScenarioConfig {
             cross_traffic_mbps: 0.0,
             churn: ChurnConfig::default(),
             policy: None,
+            rib_shards: 1,
         }
     }
 }
@@ -286,6 +291,7 @@ pub(crate) fn run_churn_with_router(
         prefixes_per_update: prefixes_per_update
             .unwrap_or_else(|| scenario.packet_size().prefixes_per_update()),
         limit_ticks: CHURN_LIMIT_TICKS,
+        rib_shards: config.rib_shards,
     };
     let plan = FaultPlan::for_churn(
         churn,
@@ -327,6 +333,8 @@ fn drive(
         prefixes_per_update: workload::LARGE_PACKET_PREFIXES,
         seed: config.seed,
     };
+    // Shard count must be set while the RIB is still empty.
+    router.set_rib_shards(config.rib_shards);
     router.set_cross_traffic_mbps(config.cross_traffic_mbps);
     // A config override beats the scenario's own profile; both absent
     // leaves the engine's default permit-all maps in place, which is

@@ -81,6 +81,7 @@ pub struct CellSpec {
     prefixes_per_update: Option<usize>,
     churn: ChurnConfig,
     policy: Option<PolicyProfile>,
+    rib_shards: usize,
 }
 
 impl CellSpec {
@@ -97,6 +98,7 @@ impl CellSpec {
             prefixes_per_update: None,
             churn: ChurnConfig::default(),
             policy: None,
+            rib_shards: 1,
         }
     }
 
@@ -141,6 +143,14 @@ impl CellSpec {
     /// Sets the session hold time in ticks for churn scenarios.
     pub fn hold_ticks(mut self, ticks: u64) -> Self {
         self.churn.hold_ticks = ticks;
+        self
+    }
+
+    /// Sets the RIB shard count on the router under test. Results are
+    /// bit-identical for every value; 1 (the default) is the
+    /// single-threaded engine.
+    pub fn rib_shards(mut self, shards: usize) -> Self {
+        self.rib_shards = shards;
         self
     }
 
@@ -198,6 +208,7 @@ impl CellSpec {
             cross_traffic_mbps: self.cross_traffic_mbps,
             churn: self.churn,
             policy: self.policy,
+            rib_shards: self.rib_shards,
         }
     }
 

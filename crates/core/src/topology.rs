@@ -51,6 +51,9 @@ pub struct TopologyConfig {
     pub prefixes_per_update: usize,
     /// Safety limit on the whole run, in ticks.
     pub limit_ticks: u64,
+    /// RIB shard count on the router under test (host-side
+    /// parallelism; results are bit-identical for every value).
+    pub rib_shards: usize,
 }
 
 impl Default for TopologyConfig {
@@ -62,6 +65,7 @@ impl Default for TopologyConfig {
             hold_ticks: 900,
             prefixes_per_update: workload::LARGE_PACKET_PREFIXES,
             limit_ticks: 600_000,
+            rib_shards: 1,
         }
     }
 }
@@ -138,6 +142,8 @@ impl Topology {
             })
             .collect();
         let mut router = SimRouter::with_peers(platform, &infos, Asn(65000));
+        // Shard count must be set while the RIB is still empty.
+        router.set_rib_shards(config.rib_shards);
         let table = TableGenerator::new(config.seed).generate(config.prefixes);
         let timers = SessionTimers {
             hold_ticks: config.hold_ticks.max(3),

@@ -1,0 +1,44 @@
+//! Shard-count invariance: the `rib_shards` knob changes how the
+//! router under test partitions its decision process across host
+//! cores, and must never change a single simulated number. Every
+//! registered scenario runs at one and four shards and the full
+//! [`bgpbench_core::ScenarioResult`] rows are compared bit for bit.
+
+use bgpbench_core::{CellSpec, Scenario};
+use bgpbench_models::xeon;
+
+/// Quick sizing that still drives every scenario family: the paper's
+/// eight, the S9–S12 fault grid, and the S13–S15 policy scenarios.
+fn tiny(scenario: Scenario, rib_shards: usize) -> CellSpec {
+    CellSpec::new(scenario, xeon())
+        .prefixes(100)
+        .seed(7)
+        .peers(3)
+        .hold_ticks(400)
+        .flap_interval(800)
+        .rib_shards(rib_shards)
+}
+
+#[test]
+fn every_scenario_is_bit_identical_at_one_and_four_shards() {
+    for scenario in Scenario::registered() {
+        let single = tiny(scenario, 1).run();
+        let sharded = tiny(scenario, 4).run();
+        assert_eq!(
+            single, sharded,
+            "{scenario}: shard count changed the simulated result"
+        );
+        assert!(single.completed, "{scenario} did not complete");
+    }
+}
+
+#[test]
+fn odd_shard_counts_match_too() {
+    // Uneven partitions (3 shards over a 100-prefix table) and a
+    // count above the benchmarked four.
+    let baseline = tiny(Scenario::S2, 1).run();
+    for shards in [2, 3, 8] {
+        let sharded = tiny(Scenario::S2, shards).run();
+        assert_eq!(baseline, sharded, "S2 diverged at {shards} shards");
+    }
+}

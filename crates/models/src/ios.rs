@@ -4,7 +4,9 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use bgpbench_fib::{Fib, NextHop};
-use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange, RouteMap};
+use bgpbench_rib::{
+    AdjRibOut, FibDirective, PeerId, PeerInfo, RouteChange, RouteMap, ShardedRibEngine,
+};
 use bgpbench_simnet::{Job, Model, ProcessBuilder, ProcessId, SchedClass, TickContext};
 use bgpbench_speaker::SpeakerScript;
 use bgpbench_telemetry::{self as telemetry, MetricId, SpanId};
@@ -48,7 +50,7 @@ pub struct IosModel {
     ios: ProcessId,
     kernel: ProcessId,
     irq: ProcessId,
-    engine: RibEngine,
+    engine: ShardedRibEngine,
     fib: Fib,
     speakers: Vec<Speaker>,
     pending: HashMap<u64, (u32, PeerId, Vec<FibDirective>)>,
@@ -97,7 +99,7 @@ impl IosModel {
         let kernel = builder.add_process("ios_fwd", SchedClass::Kernel);
         let irq = builder.add_process("interrupts", SchedClass::Interrupt);
         let local_address = Ipv4Addr::new(10, 0, 0, 1);
-        let mut engine = RibEngine::new(local_asn, RouterId(u32::from(local_address)));
+        let mut engine = ShardedRibEngine::new(local_asn, RouterId(u32::from(local_address)));
         let speakers = speakers
             .iter()
             .map(|info| Speaker {
@@ -258,8 +260,17 @@ impl IosModel {
     }
 
     /// The routing engine.
-    pub fn engine(&self) -> &RibEngine {
+    pub fn engine(&self) -> &ShardedRibEngine {
         &self.engine
+    }
+
+    /// Repartitions the (still-empty) RIB into `shards` shards — a
+    /// configuration-time knob; see
+    /// [`crate::XorpModel::set_rib_shards`]. Black-box costs depend
+    /// only on the per-prefix outcomes, which are bit-identical across
+    /// shard counts.
+    pub fn set_rib_shards(&mut self, shards: usize) {
+        self.engine.set_shards(shards);
     }
 
     /// The forwarding table.

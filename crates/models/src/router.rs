@@ -372,6 +372,17 @@ impl SimRouter {
         hop.map(|hop| hop.gateway())
     }
 
+    /// Repartitions the platform's (still-empty) RIB into `shards`
+    /// shards. A configuration-time knob: call before any script runs.
+    /// Results are bit-identical across shard counts; only host-side
+    /// throughput changes.
+    pub fn set_rib_shards(&mut self, shards: usize) {
+        match &mut self.inner {
+            Inner::Xorp(sim) => sim.model_mut().set_rib_shards(shards),
+            Inner::Ios(sim) => sim.model_mut().set_rib_shards(shards),
+        }
+    }
+
     /// Installs the import route-map (Adj-RIB-In → Loc-RIB) on the
     /// platform's routing engine.
     pub fn set_import_policy(&mut self, policy: RouteMap) {

@@ -5,7 +5,9 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use bgpbench_fib::{Fib, NextHop};
-use bgpbench_rib::{AdjRibOut, FibDirective, PeerId, PeerInfo, RibEngine, RouteChange, RouteMap};
+use bgpbench_rib::{
+    AdjRibOut, FibDirective, PeerId, PeerInfo, RouteChange, RouteMap, ShardedRibEngine,
+};
 use bgpbench_simnet::{Job, Model, ProcessBuilder, ProcessId, SchedClass, TickContext};
 use bgpbench_speaker::SpeakerScript;
 use bgpbench_telemetry::{self as telemetry, MetricId, SpanId};
@@ -83,15 +85,15 @@ struct Speaker {
 /// The XORP 1.3 software model (paper §IV.B): `xorp_bgp`,
 /// `xorp_policy`, `xorp_rib`, `xorp_fea`, and `xorp_rtrmgr` as
 /// user-space processes, plus kernel forwarding/route-apply and
-/// interrupt handling. Runs the real [`RibEngine`] and [`Fib`]; the
-/// cost table only decides *when* things happen, never *what*.
+/// interrupt handling. Runs the real [`ShardedRibEngine`] and [`Fib`];
+/// the cost table only decides *when* things happen, never *what*.
 #[derive(Debug)]
 pub struct XorpModel {
     costs: XorpCosts,
     cpu_hz: f64,
     tick_secs: f64,
     procs: Procs,
-    engine: RibEngine,
+    engine: ShardedRibEngine,
     fib: Fib,
     speakers: Vec<Speaker>,
     inbox: HashMap<u64, (PeerId, UpdateMessage)>,
@@ -154,7 +156,7 @@ impl XorpModel {
             irq: builder.add_process("interrupts", SchedClass::Interrupt),
         };
         let local_address = Ipv4Addr::new(10, 0, 0, 1);
-        let mut engine = RibEngine::new(local_asn, RouterId(u32::from(local_address)));
+        let mut engine = ShardedRibEngine::new(local_asn, RouterId(u32::from(local_address)));
         let speakers = speakers
             .iter()
             .map(|info| Speaker {
@@ -327,8 +329,18 @@ impl XorpModel {
     }
 
     /// The routing engine (for inspecting RIB state after a run).
-    pub fn engine(&self) -> &RibEngine {
+    pub fn engine(&self) -> &ShardedRibEngine {
         &self.engine
+    }
+
+    /// Repartitions the (still-empty) RIB into `shards` shards — a
+    /// configuration-time knob, set before any script runs. Shard
+    /// count never changes the *simulated* cost attribution: the
+    /// platforms model 2007-era single-threaded daemons, so cycle
+    /// charges depend only on the per-prefix outcomes, which are
+    /// bit-identical across shard counts.
+    pub fn set_rib_shards(&mut self, shards: usize) {
+        self.engine.set_shards(shards);
     }
 
     /// The forwarding table.
@@ -692,7 +704,7 @@ mod tests {
         assert!(outcome.went_idle());
         let model = sim.model();
         assert_eq!(model.engine().loc_rib().len(), 200);
-        assert_eq!(model.engine().attr_store().len(), 1);
+        assert_eq!(model.engine().attr_store_len(), 1);
         let rib = model.engine().adj_rib_in(PeerId(1)).unwrap();
         let a = rib.get(&table[0]).unwrap();
         let b = rib.get(&table[199]).unwrap();

@@ -93,6 +93,14 @@ impl AttrStore {
         self.stats
     }
 
+    /// Iterates over the interned attribute sets in arbitrary order.
+    /// The sharded engine uses this to count distinct attribute
+    /// *values* across per-shard stores (the same set interned in two
+    /// shards is two entries but one value).
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<RouteAttributes>> {
+        self.table.iter()
+    }
+
     /// Canonicalizes `attrs`: returns the shared [`Arc`] for an
     /// existing equal entry, or allocates, records, and returns a new
     /// one. Two interned sets are value-equal iff they are pointer-equal.

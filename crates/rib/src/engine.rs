@@ -561,6 +561,23 @@ impl RibEngine {
         &self.attr_store
     }
 
+    /// The distinct best-route attribute sets currently selected in the
+    /// Loc-RIB, deduplicated by interned pointer. The sharded engine
+    /// merges these across shards (by value) to compute
+    /// [`RibStats::adj_out_groups`].
+    pub(crate) fn distinct_best_attrs(&self) -> Vec<&Arc<RouteAttributes>> {
+        let mut seen: crate::fxhash::FxHashSet<*const RouteAttributes> =
+            crate::fxhash::FxHashSet::default();
+        let mut out = Vec::new();
+        for entry in self.rib.values() {
+            let attrs = &entry.best_route().1;
+            if seen.insert(Arc::as_ptr(attrs)) {
+                out.push(attrs);
+            }
+        }
+        out
+    }
+
     /// Pre-sizes the routing table for about `prefixes` routes,
     /// avoiding incremental rehashing during a full-table load.
     /// Production BGP speakers know the expected table size (a
@@ -614,54 +631,16 @@ impl RibEngine {
         let start = std::time::Instant::now();
         let attrs_before = self.attr_store.stats();
         let result = self.apply_update_inner(peer, update, now_secs);
-        telemetry::observe(MetricId::ApplyHostNs, start.elapsed().as_nanos() as u64);
-        telemetry::observe(MetricId::UpdatePrefixes, update.transaction_count() as u64);
-        telemetry::incr(MetricId::RibUpdates);
-        let attrs_after = self.attr_store.stats();
-        telemetry::add(
-            MetricId::AttrStoreHits,
-            attrs_after.hits - attrs_before.hits,
+        record_apply_telemetry(
+            peer,
+            update,
+            start.elapsed().as_nanos() as u64,
+            attrs_before,
+            self.attr_store.stats(),
+            self.attr_store.len() as u64,
+            self.rib.len() as u64,
+            &result,
         );
-        telemetry::add(
-            MetricId::AttrStoreMisses,
-            attrs_after.misses - attrs_before.misses,
-        );
-        telemetry::add(
-            MetricId::AttrStoreReleased,
-            attrs_after.released - attrs_before.released,
-        );
-        telemetry::gauge(MetricId::AttrStoreEntries, self.attr_store.len() as u64);
-        telemetry::gauge(MetricId::LocRibPrefixes, self.rib.len() as u64);
-        if let Ok(outcomes) = &result {
-            telemetry::add(MetricId::RibPrefixes, outcomes.len() as u64);
-            for outcome in outcomes {
-                let packed =
-                    telemetry::pack_prefix(outcome.prefix.network_bits(), outcome.prefix.len());
-                let peer_bits = u64::from(peer.0);
-                match outcome.change {
-                    RouteChange::Installed => {
-                        telemetry::incr(MetricId::RibBestChanged);
-                        telemetry::event(EventKind::BestInstalled, packed, peer_bits);
-                    }
-                    RouteChange::Replaced { .. } => {
-                        telemetry::incr(MetricId::RibBestChanged);
-                        telemetry::event(EventKind::BestReplaced, packed, peer_bits);
-                    }
-                    RouteChange::Withdrawn => {
-                        telemetry::incr(MetricId::RibBestChanged);
-                        telemetry::event(EventKind::BestWithdrawn, packed, peer_bits);
-                    }
-                    RouteChange::Dampened => {
-                        telemetry::incr(MetricId::RibDampened);
-                        telemetry::event(EventKind::Dampened, packed, peer_bits);
-                    }
-                    RouteChange::Unchanged
-                    | RouteChange::WithdrawnUnknown
-                    | RouteChange::RejectedByPolicy
-                    | RouteChange::RejectedAsLoop => {}
-                }
-            }
-        }
         result
     }
 
@@ -677,8 +656,28 @@ impl RibEngine {
         }
         self.stats.updates += 1;
         let mut outcomes = Vec::with_capacity(update.transaction_count());
+        self.apply_withdrawals(peer, update.withdrawn(), now_secs, &mut outcomes);
+        if update.nlri().is_empty() {
+            return Ok(outcomes);
+        }
+        let attrs = RouteAttributes::from_wire(update.attributes())?;
+        self.apply_announcements(peer, update.nlri(), attrs, now_secs, &mut outcomes);
+        Ok(outcomes)
+    }
 
-        for prefix in update.withdrawn() {
+    /// Processes a batch of withdrawals in order, appending one outcome
+    /// per prefix. Shared by the single-engine path and the sharded
+    /// fan-out (each shard receives the message's sub-slice for its
+    /// prefixes); deliberately does *not* bump [`RibStats::updates`] —
+    /// the caller accounts for whole messages.
+    pub(crate) fn apply_withdrawals(
+        &mut self,
+        peer: PeerId,
+        withdrawn: &[Prefix],
+        now_secs: f64,
+        outcomes: &mut Vec<PrefixOutcome>,
+    ) {
+        for prefix in withdrawn {
             self.stats.withdrawals += 1;
             if self.damper.is_some() {
                 let had_route = self
@@ -693,15 +692,24 @@ impl RibEngine {
             }
             outcomes.push(self.withdraw_one(peer, *prefix));
         }
+    }
 
-        if update.nlri().is_empty() {
-            return Ok(outcomes);
-        }
-
-        let attrs = RouteAttributes::from_wire(update.attributes())?;
+    /// Processes a batch of announcements sharing one decoded attribute
+    /// set, appending one outcome per prefix. Shared by the
+    /// single-engine path and the sharded fan-out; like
+    /// [`RibEngine::apply_withdrawals`], does not bump
+    /// [`RibStats::updates`].
+    pub(crate) fn apply_announcements(
+        &mut self,
+        peer: PeerId,
+        nlri: &[Prefix],
+        attrs: RouteAttributes,
+        now_secs: f64,
+        outcomes: &mut Vec<PrefixOutcome>,
+    ) {
         // Loop prevention applies to the whole attribute set.
         if attrs.as_path().contains(self.local_asn) {
-            for prefix in update.nlri() {
+            for prefix in nlri {
                 self.stats.announcements += 1;
                 self.stats.loop_rejected += 1;
                 outcomes.push(PrefixOutcome {
@@ -710,21 +718,21 @@ impl RibEngine {
                     fib: None,
                 });
             }
-            return Ok(outcomes);
+            return;
         }
 
         // The batched hot path: the packet's attribute set is decoded
-        // once (above) and interned once — every prefix below shares
-        // the same canonical Arc, and attribute equality against
+        // once (by the caller) and interned once — every prefix below
+        // shares the same canonical Arc, and attribute equality against
         // stored routes degenerates to pointer identity.
         let interned = self.attr_store.intern(attrs);
         // Policy may rewrite attributes per prefix; the permit-all
         // common case reuses the interned Arc without evaluation.
         let permit_all = self.import_policy.is_empty();
         // Grow the table once per batch, not mid-loop.
-        self.rib.reserve(update.nlri().len());
+        self.rib.reserve(nlri.len());
 
-        for prefix in update.nlri() {
+        for prefix in nlri {
             self.stats.announcements += 1;
             // Flap accounting and suppression check (RFC 2439).
             if let Some(damper) = &mut self.damper {
@@ -772,7 +780,6 @@ impl RibEngine {
         // Drop the batch's working reference; if nothing admitted the
         // set (all dampened/rejected), this evicts it from the store.
         self.attr_store.release(interned);
-        Ok(outcomes)
     }
 
     fn announce_one(
@@ -964,6 +971,71 @@ impl RibEngine {
         routes
     }
 }
+
+/// Records the per-update metrics, counter deltas, gauges, and
+/// journal events for one applied UPDATE. Shared by
+/// [`RibEngine::apply_update_at`] and the sharded engine's fan-out
+/// path so both emit an identical telemetry shape.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_apply_telemetry(
+    peer: PeerId,
+    update: &UpdateMessage,
+    host_ns: u64,
+    attrs_before: crate::attr_store::AttrStoreStats,
+    attrs_after: crate::attr_store::AttrStoreStats,
+    attr_store_entries: u64,
+    loc_rib_prefixes: u64,
+    result: &Result<Vec<PrefixOutcome>, RibError>,
+) {
+    telemetry::observe(MetricId::ApplyHostNs, host_ns);
+    telemetry::observe(MetricId::UpdatePrefixes, update.transaction_count() as u64);
+    telemetry::incr(MetricId::RibUpdates);
+    telemetry::add(
+        MetricId::AttrStoreHits,
+        attrs_after.hits - attrs_before.hits,
+    );
+    telemetry::add(
+        MetricId::AttrStoreMisses,
+        attrs_after.misses - attrs_before.misses,
+    );
+    telemetry::add(
+        MetricId::AttrStoreReleased,
+        attrs_after.released - attrs_before.released,
+    );
+    telemetry::gauge(MetricId::AttrStoreEntries, attr_store_entries);
+    telemetry::gauge(MetricId::LocRibPrefixes, loc_rib_prefixes);
+    if let Ok(outcomes) = result {
+        telemetry::add(MetricId::RibPrefixes, outcomes.len() as u64);
+        for outcome in outcomes {
+            let packed =
+                telemetry::pack_prefix(outcome.prefix.network_bits(), outcome.prefix.len());
+            let peer_bits = u64::from(peer.0);
+            match outcome.change {
+                RouteChange::Installed => {
+                    telemetry::incr(MetricId::RibBestChanged);
+                    telemetry::event(EventKind::BestInstalled, packed, peer_bits);
+                }
+                RouteChange::Replaced { .. } => {
+                    telemetry::incr(MetricId::RibBestChanged);
+                    telemetry::event(EventKind::BestReplaced, packed, peer_bits);
+                }
+                RouteChange::Withdrawn => {
+                    telemetry::incr(MetricId::RibBestChanged);
+                    telemetry::event(EventKind::BestWithdrawn, packed, peer_bits);
+                }
+                RouteChange::Dampened => {
+                    telemetry::incr(MetricId::RibDampened);
+                    telemetry::event(EventKind::Dampened, packed, peer_bits);
+                }
+                RouteChange::Unchanged
+                | RouteChange::WithdrawnUnknown
+                | RouteChange::RejectedByPolicy
+                | RouteChange::RejectedAsLoop => {}
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

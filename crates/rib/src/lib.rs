@@ -50,6 +50,7 @@ mod error;
 pub mod fxhash;
 mod policy;
 mod route;
+mod shard;
 
 pub use adj_out::{AdjRibOut, ExportAction};
 pub use attr_store::{AttrStore, AttrStoreStats};
@@ -61,3 +62,4 @@ pub use policy::{MatchClause, PrefixList, PrefixMatch, RouteMap, RouteMapEntry, 
 pub use route::{
     Aggregator, PeerId, PeerInfo, Route, RouteAttributes, RouteAttributesBuilder, UnknownTransitive,
 };
+pub use shard::{ShardedAdjRibIn, ShardedLocRib, ShardedRibEngine, MAX_RIB_SHARDS};

@@ -9,6 +9,13 @@
 //! rescan of all Adj-RIBs-In after each announce/withdraw. If the real
 //! engine's pointer-identity shortcuts or decision early-outs ever
 //! diverge from plain value semantics, these tests catch it.
+//!
+//! The real side is a [`ShardedRibEngine`] whose shard count each case
+//! draws from {1, 2, 3, 4, 8}: one shard is the wholesale-delegation
+//! path (the original engine), more shards exercise the partition /
+//! per-shard apply / message-order merge machinery — all against the
+//! same single-table reference, so sharding is proven bit-invariant,
+//! not just internally consistent.
 
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
@@ -17,7 +24,7 @@ use std::net::Ipv4Addr;
 use bgpbench_rib::{
     compare_routes, DampingConfig, DecisionConfig, FibDirective, FlapKind, MatchClause, PeerId,
     PeerInfo, PrefixList, PrefixMatch, PrefixOutcome, RibEngine, RibStats, RouteAttributes,
-    RouteChange, RouteDamper, RouteMap, RouteMapEntry, SetClause,
+    RouteChange, RouteDamper, RouteMap, RouteMapEntry, SetClause, ShardedRibEngine,
 };
 use bgpbench_wire::{AsPath, Asn, Origin, Prefix, RouterId, UpdateMessage};
 use proptest::prelude::*;
@@ -364,9 +371,17 @@ fn build_message(
     builder.build()
 }
 
+/// The shard counts every equivalence property samples: the delegation
+/// path (1), counts that split the three-peer pools unevenly (2, 3),
+/// and the benchmarked count plus one beyond it (4, 8).
+fn arb_shards() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(3), Just(4), Just(8)]
+}
+
 /// Drives both engines through the same stream and asserts identical
 /// outcome sequences, Loc-RIB contents, Adj-RIB-In contents, and stats.
 fn check_equivalence(
+    shards: usize,
     attr_pool: &[RouteAttributes],
     prefix_pool: &[Prefix],
     ops: &[Op],
@@ -374,10 +389,11 @@ fn check_equivalence(
     damping: Option<DampingConfig>,
 ) -> Result<(), TestCaseError> {
     let peers = peer_pool();
-    let mut real = RibEngine::new(LOCAL_ASN, RouterId(1));
+    let mut real = ShardedRibEngine::new(LOCAL_ASN, RouterId(1));
     for info in &peers {
         real.add_peer(*info);
     }
+    real.set_shards(shards);
     real.set_import_policy(policy.clone());
     if let Some(config) = damping {
         real.enable_damping(config);
@@ -420,7 +436,7 @@ fn check_equivalence(
     // The point-in-time sizes are internally consistent too: the store
     // backs every live Adj-RIB-In entry, and each export group is one
     // of its interned sets chosen as a best route.
-    prop_assert_eq!(stats.attr_store_entries, real.attr_store().len() as u64);
+    prop_assert_eq!(stats.attr_store_entries, real.attr_store_len() as u64);
     prop_assert!(stats.adj_out_groups <= stats.attr_store_entries);
     prop_assert!(stats.adj_out_groups <= real.loc_rib().len() as u64);
     if !reference.loc_rib.is_empty() {
@@ -456,11 +472,13 @@ proptest! {
     /// Permit-all policy, no damping: the pure interned fast path.
     #[test]
     fn interned_engine_matches_reference(
+        shards in arb_shards(),
         attr_pool in prop::collection::vec(arb_attrs(), 2..5),
         prefix_pool in arb_prefix_pool(),
         ops in arb_ops(),
     ) {
         check_equivalence(
+            shards,
             &attr_pool,
             &prefix_pool,
             &ops,
@@ -470,31 +488,93 @@ proptest! {
     }
 
     /// A rewriting/rejecting policy exercises the intern-after-policy
-    /// path (rewritten attribute sets are interned separately).
+    /// path (rewritten attribute sets are interned separately) —
+    /// per shard, under sharding.
     #[test]
     fn interned_engine_matches_reference_under_policy(
+        shards in arb_shards(),
         attr_pool in prop::collection::vec(arb_attrs(), 2..5),
         prefix_pool in arb_prefix_pool(),
         ops in arb_ops(),
     ) {
-        check_equivalence(&attr_pool, &prefix_pool, &ops, test_policy(), None)?;
+        check_equivalence(shards, &attr_pool, &prefix_pool, &ops, test_policy(), None)?;
     }
 
     /// Damping on: flap-kind classification via pointer identity must
-    /// match the reference's value comparisons.
+    /// match the reference's value comparisons, with each shard's
+    /// damper seeing exactly its own prefixes' flap history.
     #[test]
     fn interned_engine_matches_reference_with_damping(
+        shards in arb_shards(),
         attr_pool in prop::collection::vec(arb_attrs(), 2..5),
         prefix_pool in arb_prefix_pool(),
         ops in arb_ops(),
     ) {
         check_equivalence(
+            shards,
             &attr_pool,
             &prefix_pool,
             &ops,
             RouteMap::permit_all(),
             Some(DampingConfig::default()),
         )?;
+    }
+
+    /// A whole train through the batch API must be indistinguishable
+    /// from feeding the same messages one at a time: same per-update
+    /// outcome vectors, same tables, same stats, same interned set
+    /// count — at every shard count, which on a multi-core host drives
+    /// the scoped-thread fan-out itself.
+    #[test]
+    fn update_train_matches_one_at_a_time(
+        shards in arb_shards(),
+        attr_pool in prop::collection::vec(arb_attrs(), 2..5),
+        prefix_pool in arb_prefix_pool(),
+        ops in arb_ops(),
+    ) {
+        let peers = peer_pool();
+        let build = || {
+            let mut engine = ShardedRibEngine::new(LOCAL_ASN, RouterId(1));
+            for info in &peers {
+                engine.add_peer(*info);
+            }
+            engine.set_shards(shards);
+            engine.set_import_policy(test_policy());
+            engine
+        };
+        let mut train = build();
+        let mut sequential = build();
+        // Trains run at clock zero from one peer, so damping and the
+        // ops' peer/dt fields stay out of this property.
+        let peer = peers[0].id();
+        let updates: Vec<UpdateMessage> = ops
+            .iter()
+            .map(|op| {
+                build_message(
+                    &attr_pool[op.attr.index(attr_pool.len())],
+                    &masked(&prefix_pool, op.announce_mask),
+                    &masked(&prefix_pool, op.withdraw_mask),
+                )
+            })
+            .collect();
+
+        let got = train.apply_update_train(peer, &updates).unwrap();
+        let mut want = Vec::with_capacity(updates.len());
+        for update in &updates {
+            want.push(sequential.apply_update(peer, update).unwrap());
+        }
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(train.stats(), sequential.stats());
+        prop_assert_eq!(train.attr_store_len(), sequential.attr_store_len());
+        prop_assert_eq!(train.loc_rib().len(), sequential.loc_rib().len());
+        for route in train.loc_rib().iter() {
+            let other = sequential
+                .loc_rib()
+                .get(&route.prefix())
+                .expect("missing Loc-RIB entry");
+            prop_assert_eq!(other.learned_from(), route.learned_from());
+            prop_assert_eq!(other.attrs().as_ref(), route.attrs().as_ref());
+        }
     }
 
     /// A route-map whose single entry permits everything and rewrites
