@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --release -p bgpbench-bench --bin perf_baseline -- \
 //!     [--quick] [--samples <n>] [--prefixes <n>] [--out <path>] \
-//!     [--init | --check] [--tolerance <pct>] [--telemetry]
+//!     [--init | --check] [--tolerance <pct>] [--telemetry] [--trace] \
+//!     [--allow-telemetry-mismatch]
 //! ```
 //!
 //! Each scenario reports the median wall time per iteration and the
@@ -36,7 +37,13 @@
 //! `--check` prints them with a warning and skips them instead of
 //! gating on numbers that have no reference. `--telemetry` enables the
 //! registry for the run (to measure the instrumented path's overhead)
-//! and dumps its snapshot to stderr.
+//! and dumps its snapshot to stderr; `--trace` additionally arms the
+//! flight recorder. The artifact records which recorders were live
+//! (`"telemetry"`, `"trace"`), and `--check` refuses to compare runs
+//! whose recorder state differs from the baseline's — an instrumented
+//! run against a bare baseline measures the instrumentation, not a
+//! regression. `--allow-telemetry-mismatch` downgrades that refusal to
+//! a warning (the overhead-measuring CI job compares on purpose).
 
 use std::net::Ipv4Addr;
 use std::time::Instant;
@@ -102,6 +109,12 @@ struct Options {
     /// Allowed regression in percent before `--check` fails.
     tolerance: f64,
     telemetry: bool,
+    /// Arm the flight recorder for the run (implies recorder-state
+    /// metadata `"trace": true` in the artifact).
+    trace: bool,
+    /// Compare under `--check` even when the baseline's recorder state
+    /// differs from this run's.
+    allow_telemetry_mismatch: bool,
 }
 
 fn parse_args() -> Options {
@@ -112,6 +125,8 @@ fn parse_args() -> Options {
     let mut mode = BaselineMode::Update;
     let mut tolerance = 2.0;
     let mut telemetry = false;
+    let mut trace = false;
+    let mut allow_telemetry_mismatch = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -119,6 +134,8 @@ fn parse_args() -> Options {
             "--init" => mode = BaselineMode::Init,
             "--check" => mode = BaselineMode::Check,
             "--telemetry" => telemetry = true,
+            "--trace" => trace = true,
+            "--allow-telemetry-mismatch" => allow_telemetry_mismatch = true,
             "--samples" => {
                 let value = args.next().unwrap_or_default();
                 samples = Some(value.parse().unwrap_or_else(|_| {
@@ -154,7 +171,8 @@ fn parse_args() -> Options {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: perf_baseline [--quick] [--samples <n>] [--prefixes <n>] \
-                     [--out <path>] [--init | --check] [--tolerance <pct>] [--telemetry]"
+                     [--out <path>] [--init | --check] [--tolerance <pct>] [--telemetry] \
+                     [--trace] [--allow-telemetry-mismatch]"
                 );
                 std::process::exit(2);
             }
@@ -167,7 +185,26 @@ fn parse_args() -> Options {
         mode,
         tolerance,
         telemetry,
+        trace,
+        allow_telemetry_mismatch,
     }
+}
+
+/// Pulls the top-level `"telemetry"` / `"trace"` recorder-state flags
+/// out of a baseline artifact. Artifacts written before the flags
+/// existed read as (false, false) — those baselines were measured bare.
+fn parse_recorder_state(json: &str) -> (bool, bool) {
+    let mut telemetry = false;
+    let mut trace = false;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"telemetry\": ") {
+            telemetry = rest.trim_end_matches(',') == "true";
+        } else if let Some(rest) = line.strip_prefix("\"trace\": ") {
+            trace = rest.trim_end_matches(',') == "true";
+        }
+    }
+    (telemetry, trace)
 }
 
 struct TrackedScenario {
@@ -359,10 +396,17 @@ fn main() {
     if options.telemetry {
         telemetry::enable();
     }
+    if options.trace {
+        telemetry::enable_trace(&telemetry::TraceConfig::default());
+    }
     // Load the tracked baseline up front so a missing file fails
     // before minutes of measurement, not after.
+    let mut baseline_state: Option<(bool, bool)> = None;
     let tracked: Option<Vec<TrackedScenario>> = match std::fs::read_to_string(&options.out) {
-        Ok(json) => Some(parse_tracked(&json)),
+        Ok(json) => {
+            baseline_state = Some(parse_recorder_state(&json));
+            Some(parse_tracked(&json))
+        }
         Err(_) if options.mode == BaselineMode::Init => None,
         Err(error) => {
             eprintln!(
@@ -376,6 +420,31 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // A check across mismatched recorder states compares the
+    // instrumentation's cost, not a code change's — refuse before the
+    // measurement unless the caller says the mismatch is the point.
+    if options.mode == BaselineMode::Check {
+        if let Some((base_telemetry, base_trace)) = baseline_state {
+            let mismatch = base_telemetry != options.telemetry || base_trace != options.trace;
+            if mismatch {
+                let detail = format!(
+                    "baseline {} was recorded with telemetry={base_telemetry} trace={base_trace}; \
+                     this run has telemetry={} trace={}",
+                    options.out, options.telemetry, options.trace
+                );
+                if options.allow_telemetry_mismatch {
+                    eprintln!("warning: recorder-state mismatch allowed: {detail}");
+                } else {
+                    eprintln!("error: recorder-state mismatch: {detail}");
+                    eprintln!(
+                        "re-run with matching flags, or pass --allow-telemetry-mismatch to \
+                         compare across states on purpose (overhead measurements)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     let prefixes = options.prefixes;
     let sharded_prefixes = prefixes.max(SHARDED_PREFIX_FLOOR);
     let large = announcements(prefixes, 65001, 3, 500);
@@ -598,6 +667,8 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"bench\": \"rib_perf_baseline\",\n");
     json.push_str(&format!("  \"samples\": {},\n", options.samples));
+    json.push_str(&format!("  \"telemetry\": {},\n", options.telemetry));
+    json.push_str(&format!("  \"trace\": {},\n", options.trace));
     json.push_str(&format!("  \"prefixes\": {prefixes},\n"));
     json.push_str(&format!("  \"sharded_prefixes\": {sharded_prefixes},\n"));
     json.push_str(&format!("  \"rib_shards\": {SHARDS},\n"));

@@ -51,6 +51,9 @@ pub struct Cli {
     /// Dump the telemetry registry to stderr after the run
     /// (`--telemetry [text|json|csv]`).
     pub telemetry: Option<TelemetryFormat>,
+    /// Record a flight-recorder timeline and write it as Chrome
+    /// trace-event JSON to this path after the run (`--trace <path>`).
+    pub trace: Option<PathBuf>,
 }
 
 impl Cli {
@@ -62,13 +65,16 @@ impl Cli {
                 if cli.telemetry.is_some() {
                     telemetry::enable();
                 }
+                if cli.trace.is_some() {
+                    telemetry::enable_trace(&telemetry::TraceConfig::default());
+                }
                 cli
             }
             Err(message) => {
                 eprintln!("error: {message}");
                 eprintln!(
                     "usage: <bin> [--quick] [--threads <n>] [--csv [<path>]] \
-                     [--telemetry [text|json|csv]]"
+                     [--telemetry [text|json|csv]] [--trace <path>]"
                 );
                 std::process::exit(2);
             }
@@ -85,6 +91,7 @@ impl Cli {
         let mut threads: Option<usize> = None;
         let mut csv: Option<CsvSink> = None;
         let mut telemetry_format: Option<TelemetryFormat> = None;
+        let mut trace: Option<PathBuf> = None;
         let mut iter = args.into_iter().map(Into::into).peekable();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -100,6 +107,12 @@ impl Cli {
                         }
                         None => TelemetryFormat::Text,
                     });
+                }
+                "--trace" => {
+                    let path = iter
+                        .next()
+                        .ok_or_else(|| "--trace needs an output path".to_owned())?;
+                    trace = Some(PathBuf::from(path));
                 }
                 "--threads" => {
                     let value = iter
@@ -126,6 +139,8 @@ impl Cli {
                         csv = Some(CsvSink::File(PathBuf::from(value)));
                     } else if let Some(value) = other.strip_prefix("--telemetry=") {
                         telemetry_format = Some(TelemetryFormat::parse(value)?);
+                    } else if let Some(value) = other.strip_prefix("--trace=") {
+                        trace = Some(PathBuf::from(value));
                     } else {
                         return Err(format!("unknown argument `{other}`"));
                     }
@@ -142,6 +157,7 @@ impl Cli {
             threads: threads.unwrap_or_else(default_threads),
             csv,
             telemetry: telemetry_format,
+            trace,
         })
     }
 
@@ -176,6 +192,16 @@ impl Cli {
                 TelemetryFormat::Csv => snapshot.to_csv(),
             };
             eprint!("{rendered}");
+        }
+        if let Some(path) = &self.trace {
+            let json = telemetry::trace::export::chrome_json(&telemetry::trace_dump());
+            match std::fs::write(path, json) {
+                Ok(()) => eprintln!("wrote trace {}", path.display()),
+                Err(error) => {
+                    eprintln!("error: cannot write trace {}: {error}", path.display());
+                    std::process::exit(1);
+                }
+            }
         }
     }
 }
@@ -255,6 +281,17 @@ mod tests {
         assert_eq!(cli.telemetry, Some(TelemetryFormat::Text));
         assert_eq!(cli.csv, Some(CsvSink::Stdout));
         assert!(Cli::parse(["--telemetry", "yaml"]).is_err());
+    }
+
+    #[test]
+    fn trace_flag_parses_both_forms_and_needs_a_path() {
+        assert_eq!(Cli::parse(Vec::<String>::new()).unwrap().trace, None);
+        let cli = Cli::parse(["--trace", "out.json", "--quick"]).unwrap();
+        assert_eq!(cli.trace, Some(PathBuf::from("out.json")));
+        assert_eq!(cli.config, ExperimentConfig::quick());
+        let cli = Cli::parse(["--trace=s9.json"]).unwrap();
+        assert_eq!(cli.trace, Some(PathBuf::from("s9.json")));
+        assert!(Cli::parse(["--trace"]).is_err());
     }
 
     #[test]

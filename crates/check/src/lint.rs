@@ -1,6 +1,6 @@
 //! The workspace lint pass.
 //!
-//! Five repo-specific invariants, enforced as token scans over
+//! Six repo-specific invariants, enforced as token scans over
 //! [`crate::lexer::scrub`]bed source (comments, strings, and
 //! `#[cfg(test)]` items excluded), with `file:line` diagnostics and
 //! the `check/allow.toml` waiver mechanism:
@@ -23,6 +23,11 @@
 //! * `metric-once` — every `MetricId` variant is registered exactly
 //!   once in the `MetricId::ALL` catalog (a variant missing from the
 //!   catalog silently drops its slot from every snapshot).
+//! * `trace-once` — the same exactly-once invariant over the
+//!   flight-recorder's `TraceEventId` catalog (an uncatalogued event
+//!   would export with no name and break schema validation). The
+//!   recorder's hot path is covered by `no-panic` already: the whole
+//!   `telemetry` crate is a hot-path crate.
 
 use std::fs;
 use std::io;
@@ -111,7 +116,20 @@ pub fn run(root: &Path, allowlist: &Allowlist) -> io::Result<LintReport> {
     }
 
     check_crate_roots(root, &files, allowlist, &mut report);
-    check_metric_catalog(root, &mut report)?;
+    check_id_catalog(
+        root,
+        &mut report,
+        "metric-once",
+        "crates/telemetry/src/metrics.rs",
+        "MetricId",
+    )?;
+    check_id_catalog(
+        root,
+        &mut report,
+        "trace-once",
+        "crates/telemetry/src/trace/mod.rs",
+        "TraceEventId",
+    )?;
 
     report
         .violations
@@ -285,31 +303,36 @@ fn check_crate_roots(
     }
 }
 
-/// The `metric-once` rule: every `MetricId` variant appears in
-/// `MetricId::ALL` exactly once, and the catalog length matches the
-/// variant count.
-fn check_metric_catalog(root: &Path, report: &mut LintReport) -> io::Result<()> {
-    let rel = "crates/telemetry/src/metrics.rs";
+/// The exactly-once catalog rule behind `metric-once` and
+/// `trace-once`: every variant of the id enum at `rel` appears in its
+/// `ALL` catalog exactly once, and the catalog names no strangers.
+fn check_id_catalog(
+    root: &Path,
+    report: &mut LintReport,
+    rule: &'static str,
+    rel: &'static str,
+    type_name: &str,
+) -> io::Result<()> {
     let path = root.join(rel);
     if !path.is_file() {
         report.violations.push(Violation {
-            rule: "metric-once",
+            rule,
             path: rel.to_owned(),
             line: 0,
-            message: "metric catalog file not found".to_owned(),
+            message: format!("{type_name} catalog file not found"),
         });
         return Ok(());
     }
     let scrubbed = scrub(&fs::read_to_string(&path)?);
 
-    let variants = enum_variants(&scrubbed, "pub enum MetricId");
-    let registered = catalog_entries(&scrubbed);
+    let variants = enum_variants(&scrubbed, &format!("pub enum {type_name}"));
+    let registered = catalog_entries(&scrubbed, type_name);
     if variants.is_empty() || registered.is_empty() {
         report.violations.push(Violation {
-            rule: "metric-once",
+            rule,
             path: rel.to_owned(),
             line: 0,
-            message: "could not locate `pub enum MetricId` or `MetricId::ALL`".to_owned(),
+            message: format!("could not locate `pub enum {type_name}` or `{type_name}::ALL`"),
         });
         return Ok(());
     }
@@ -317,11 +340,12 @@ fn check_metric_catalog(root: &Path, report: &mut LintReport) -> io::Result<()> 
         let count = registered.iter().filter(|r| *r == variant).count();
         if count != 1 {
             report.violations.push(Violation {
-                rule: "metric-once",
+                rule,
                 path: rel.to_owned(),
                 line: 0,
                 message: format!(
-                    "MetricId::{variant} is registered {count} times in MetricId::ALL (want exactly 1)"
+                    "{type_name}::{variant} is registered {count} times in {type_name}::ALL \
+                     (want exactly 1)"
                 ),
             });
         }
@@ -329,10 +353,10 @@ fn check_metric_catalog(root: &Path, report: &mut LintReport) -> io::Result<()> 
     for entry in &registered {
         if !variants.contains(entry) {
             report.violations.push(Violation {
-                rule: "metric-once",
+                rule,
                 path: rel.to_owned(),
                 line: 0,
-                message: format!("MetricId::ALL names unknown variant `{entry}`"),
+                message: format!("{type_name}::ALL names unknown variant `{entry}`"),
             });
         }
     }
@@ -382,8 +406,8 @@ fn enum_variants(scrubbed: &str, header: &str) -> Vec<String> {
     variants
 }
 
-/// `MetricId::X` entries of the `ALL` catalog array.
-fn catalog_entries(scrubbed: &str) -> Vec<String> {
+/// `<TypeName>::X` entries of the `ALL` catalog array.
+fn catalog_entries(scrubbed: &str, type_name: &str) -> Vec<String> {
     let Some(start) = scrubbed.find("const ALL") else {
         return Vec::new();
     };
@@ -395,10 +419,11 @@ fn catalog_entries(scrubbed: &str) -> Vec<String> {
         return Vec::new();
     };
     let body = &scrubbed[body_start..body_start + close];
+    let prefix = format!("{type_name}::");
     body.split(',')
         .filter_map(|item| {
             item.trim()
-                .strip_prefix("MetricId::")
+                .strip_prefix(prefix.as_str())
                 .map(|name| name.trim().to_owned())
         })
         .filter(|name| !name.is_empty())
@@ -428,7 +453,14 @@ impl MetricId {
             enum_variants(&scrubbed, "pub enum MetricId"),
             vec!["AlphaOne", "BetaTwo"]
         );
-        assert_eq!(catalog_entries(&scrubbed), vec!["AlphaOne", "BetaTwo"]);
+        assert_eq!(
+            catalog_entries(&scrubbed, "MetricId"),
+            vec!["AlphaOne", "BetaTwo"]
+        );
+        assert!(
+            catalog_entries(&scrubbed, "TraceEventId").is_empty(),
+            "a mismatched type name matches nothing"
+        );
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! bgpbench-check lint [--root DIR] [--allow FILE]
 //! bgpbench-check fuzz-wire [--seed N] [--iters N]
 //! bgpbench-check fuzz-wire --repro HEX
+//! bgpbench-check trace-schema PATH
 //! ```
 //!
 //! `lint` exits 1 when any unwaived violation exists; `fuzz-wire`
 //! exits 1 when a mutant violates a fuzz property (and prints a
-//! minimized hex reproducer). Both are wired into the CI `check` job.
+//! minimized hex reproducer); `trace-schema` exits 1 when a
+//! `--trace` dump is not valid Chrome trace-event JSON. All are wired
+//! into CI.
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +27,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("fuzz-wire") => run_fuzz(&args[1..]),
+        Some("trace-schema") => run_trace_schema(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print_usage();
             ExitCode::SUCCESS
@@ -43,8 +47,38 @@ fn print_usage() {
         "usage:\n  \
          bgpbench-check lint [--root DIR] [--allow FILE]\n  \
          bgpbench-check fuzz-wire [--seed N] [--iters N]\n  \
-         bgpbench-check fuzz-wire --repro HEX"
+         bgpbench-check fuzz-wire --repro HEX\n  \
+         bgpbench-check trace-schema PATH"
     );
+}
+
+/// Validates a `--trace` dump as Chrome trace-event JSON and prints
+/// its track census (the CI trace-smoke step gates on this).
+fn run_trace_schema(args: &[String]) -> ExitCode {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("trace-schema needs the path of a trace dump");
+        return ExitCode::from(2);
+    };
+    let body = match std::fs::read_to_string(path) {
+        Ok(body) => body,
+        Err(err) => {
+            eprintln!("{path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match bgpbench_telemetry::trace::export::validate_chrome_json(&body) {
+        Ok(stats) => {
+            println!(
+                "trace-schema: {path}: {} event(s), {} thread / {} shard / {} peer track(s)",
+                stats.events, stats.thread_tracks, stats.shard_tracks, stats.peer_tracks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{path}: invalid Chrome trace JSON: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Value of `--flag VALUE` in `args`, if present.

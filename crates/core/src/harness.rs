@@ -498,6 +498,11 @@ fn mark_phase(router: &mut SimRouter, phase: u64) {
         _ => "phase 3",
     });
     telemetry::event(EventKind::PhaseStart, phase, router.ticks_elapsed());
+    telemetry::trace_instant(
+        bgpbench_telemetry::TraceEventId::PhaseMark,
+        phase,
+        router.ticks_elapsed(),
+    );
 }
 
 #[cfg(test)]

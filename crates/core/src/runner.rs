@@ -44,7 +44,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use bgpbench_models::PlatformSpec;
-use bgpbench_telemetry as telemetry;
+use bgpbench_telemetry::{self as telemetry, TraceConfig, TraceEventId};
 use crossbeam::channel;
 
 use crate::experiments::ExperimentConfig;
@@ -82,6 +82,7 @@ pub struct CellSpec {
     churn: ChurnConfig,
     policy: Option<PolicyProfile>,
     rib_shards: usize,
+    trace: Option<TraceConfig>,
 }
 
 impl CellSpec {
@@ -99,6 +100,7 @@ impl CellSpec {
             churn: ChurnConfig::default(),
             policy: None,
             rib_shards: 1,
+            trace: None,
         }
     }
 
@@ -151,6 +153,14 @@ impl CellSpec {
     /// single-threaded engine.
     pub fn rib_shards(mut self, shards: usize) -> Self {
         self.rib_shards = shards;
+        self
+    }
+
+    /// Arms the flight recorder for this cell: tracing is enabled
+    /// (idempotently) when the cell runs, and the run opens with a
+    /// `grid.cell_start` instant carrying the seed and table size.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
         self
     }
 
@@ -226,6 +236,7 @@ impl CellSpec {
     /// Runs the cell and hands back the simulated router for post-run
     /// inspection (figure experiments read its recorder).
     pub fn run_with_router(&self) -> (ScenarioResult, SimRouter) {
+        self.arm_trace();
         run_scenario_with_packetization(
             &self.platform,
             self.scenario,
@@ -242,7 +253,15 @@ impl CellSpec {
     ///
     /// Panics if the cell's scenario is not a fault scenario.
     pub fn run_churn(&self) -> crate::topology::ConvergenceRun {
+        self.arm_trace();
         crate::harness::run_churn(&self.platform, self.scenario, &self.scenario_config())
+    }
+
+    fn arm_trace(&self) {
+        if let Some(config) = &self.trace {
+            telemetry::enable_trace(config);
+            telemetry::trace_instant(TraceEventId::CellStart, self.seed, self.prefixes as u64);
+        }
     }
 
     fn label(&self) -> String {
@@ -470,6 +489,7 @@ enum Event<T> {
 pub struct GridRunner {
     threads: usize,
     observer: Box<dyn RunObserver>,
+    trace: Option<TraceConfig>,
 }
 
 impl std::fmt::Debug for GridRunner {
@@ -487,6 +507,7 @@ impl GridRunner {
         GridRunner {
             threads: threads.max(1),
             observer: Box::new(NullObserver),
+            trace: None,
         }
     }
 
@@ -499,6 +520,14 @@ impl GridRunner {
     /// Replaces the progress observer.
     pub fn with_observer(mut self, observer: Box<dyn RunObserver>) -> Self {
         self.observer = observer;
+        self
+    }
+
+    /// Arms the flight recorder for the whole run. When any cell
+    /// panics and the config names a post-mortem path, the ring is
+    /// exported there as Chrome trace JSON next to the journal dump.
+    pub fn with_trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
         self
     }
 
@@ -543,6 +572,9 @@ impl GridRunner {
         V: Fn(&T) -> Option<u64>,
     {
         let started = Instant::now();
+        if let Some(config) = &self.trace {
+            telemetry::enable_trace(config);
+        }
         self.observer.on_run_start(cells.len());
         let mut slots: Vec<Option<CellRun<T>>> = Vec::new();
         slots.resize_with(cells.len(), || None);
@@ -611,9 +643,36 @@ impl GridRunner {
             .map(|slot| slot.expect("every cell reports exactly once"))
             .collect();
         let failed = runs.iter().filter(|run| run.result.is_err()).count();
+        if failed > 0 {
+            self.write_trace_postmortem();
+        }
         self.observer
             .on_run_complete(cells.len(), failed, started.elapsed());
         runs
+    }
+
+    /// Dumps the flight-recorder ring as Chrome trace JSON to the
+    /// configured post-mortem path — the timeline counterpart of the
+    /// journal tail [`StderrProgress`] prints on a cell panic.
+    fn write_trace_postmortem(&self) {
+        let Some(path) = self
+            .trace
+            .as_ref()
+            .and_then(|config| config.postmortem.as_deref())
+        else {
+            return;
+        };
+        if !telemetry::trace_enabled() {
+            return;
+        }
+        let json = telemetry::trace::export::chrome_json(&telemetry::trace_dump());
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("trace post-mortem written to {}", path.display()),
+            Err(error) => eprintln!(
+                "failed to write trace post-mortem {}: {error}",
+                path.display()
+            ),
+        }
     }
 }
 

@@ -25,7 +25,7 @@ use bgpbench_daemon::{FsmAction, FsmEvent, FsmState, SessionFsm, SessionTimers};
 use bgpbench_models::{PlatformSpec, SimRouter, SpeakerHandle};
 use bgpbench_rib::{PeerId, PeerInfo};
 use bgpbench_speaker::{workload, SpeakerScript, TableGenerator};
-use bgpbench_telemetry::{self as telemetry, EventKind, MetricId};
+use bgpbench_telemetry::{self as telemetry, EventKind, MetricId, TraceEventId};
 use bgpbench_wire::{Asn, RouterId};
 
 use crate::experiments::{Figure, Panel};
@@ -170,9 +170,13 @@ impl Topology {
                 );
                 // Sessions start Idle: no input until Established.
                 router.set_speaker_enabled(handle, false);
+                let mut fsm = SessionFsm::new(timers);
+                // Peer ids are 1-based on the trace timeline (0 means
+                // "unlabeled"), matching the journal convention below.
+                fsm.set_trace_label(i as u64 + 1);
                 PeerRuntime {
                     handle,
-                    fsm: SessionFsm::new(timers),
+                    fsm,
                     blackout_until: 0,
                     since_keepalive: 0,
                     announced: 0,
@@ -267,6 +271,13 @@ impl Topology {
     }
 
     fn inject(&mut self, action: FaultAction, tick: u64, actions: &mut Vec<FsmAction>) {
+        let (peer, kind) = match action {
+            FaultAction::Flap { peer } => (peer, 1),
+            FaultAction::BlackoutUntil { peer, .. } => (peer, 2),
+            FaultAction::Drop { peer, .. } => (peer, 3),
+            FaultAction::Reorder { peer, .. } => (peer, 4),
+        };
+        telemetry::trace_instant(TraceEventId::FaultInjected, peer as u64 + 1, kind);
         match action {
             FaultAction::Flap { peer } => {
                 actions.clear();
@@ -329,10 +340,12 @@ impl Topology {
                 FsmAction::SessionDown => {
                     telemetry::incr(MetricId::SessionFlaps);
                     telemetry::event(EventKind::SessionDown, i as u64 + 1, 0);
+                    telemetry::trace_instant(TraceEventId::SessionDown, i as u64 + 1, 0);
                     self.purged += self.router.purge_speaker(handle) as u64;
                 }
                 FsmAction::SessionUp => {
                     telemetry::event(EventKind::SessionUp, i as u64 + 1, 0);
+                    telemetry::trace_instant(TraceEventId::SessionUp, i as u64 + 1, 0);
                     // BGP has no incremental resync: a fresh session
                     // re-advertises the whole table. Bank what the old
                     // session already sent (reset zeroes the counter),

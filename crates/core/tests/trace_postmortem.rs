@@ -1,0 +1,44 @@
+//! A panicking cell under a trace-armed [`GridRunner`] must leave a
+//! Chrome trace-event JSON post-mortem at the configured path.
+//!
+//! This is deliberately the only test in this binary: it flips the
+//! process-global flight-recorder switch, which parallel test threads
+//! in the same process would race.
+
+use bgpbench_core::{CellSpec, GridRunner, Scenario};
+use bgpbench_models::xeon;
+use bgpbench_telemetry::trace::export::validate_chrome_json;
+use bgpbench_telemetry::TraceConfig;
+
+#[test]
+fn panicking_cell_writes_trace_postmortem() {
+    let path =
+        std::env::temp_dir().join(format!("bgpbench_postmortem_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let cells = vec![
+        CellSpec::new(Scenario::S2, xeon()).prefixes(100).seed(1),
+        CellSpec::new(Scenario::S2, xeon()).prefixes(100).seed(2),
+    ];
+    let mut runner =
+        GridRunner::serial().with_trace(TraceConfig::with_capacity(4096).postmortem(path.clone()));
+    let runs = runner.run_map(&cells, |cell| {
+        // Leave something on the ring, then fail the second cell.
+        bgpbench_telemetry::trace_instant(
+            bgpbench_telemetry::TraceEventId::CellStart,
+            cell.cell_seed(),
+            cell.prefix_count() as u64,
+        );
+        if cell.cell_seed() == 2 {
+            panic!("injected post-mortem fault");
+        }
+        cell.cell_seed()
+    });
+    assert!(runs[1].result.is_err(), "cell 2 must have failed");
+
+    let body = std::fs::read_to_string(&path).expect("post-mortem file written");
+    let stats = validate_chrome_json(&body).expect("post-mortem validates as Chrome trace JSON");
+    assert!(stats.events >= 2, "both cell-start instants captured");
+    let _ = std::fs::remove_file(&path);
+    bgpbench_telemetry::disable_trace();
+}

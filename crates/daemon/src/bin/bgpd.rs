@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS]
-//!      [--keepalive SECS] [--connect-retry SECS]
+//!      [--keepalive SECS] [--connect-retry SECS] [--metrics ADDR:PORT]
 //! ```
 //!
 //! Prints a state snapshot once per second; terminate with Ctrl-C.
+//! `--metrics` additionally serves `GET /metrics` (Prometheus text
+//! exposition) and `GET /trace` (Chrome trace-event JSON of the
+//! flight-recorder ring) on the given address, and turns both
+//! recorders on so there is something to scrape.
 
 use std::net::Ipv4Addr;
 use std::process::exit;
@@ -17,7 +21,7 @@ use bgpbench_wire::{Asn, RouterId};
 fn usage() -> ! {
     eprintln!(
         "usage: bgpd [--listen ADDR:PORT] [--asn N] [--router-id A.B.C.D] [--hold SECS] \
-         [--keepalive SECS] [--connect-retry SECS]"
+         [--keepalive SECS] [--connect-retry SECS] [--metrics ADDR:PORT]"
     );
     exit(2);
 }
@@ -25,10 +29,15 @@ fn usage() -> ! {
 fn main() {
     let mut builder =
         DaemonConfig::builder().bind_addr("127.0.0.1:1179".parse().expect("static addr parses"));
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let Some(value) = args.next() else { usage() };
         builder = match flag.as_str() {
+            "--metrics" => {
+                metrics_addr = Some(value);
+                continue;
+            }
             "--listen" => match value.parse() {
                 Ok(addr) => builder.bind_addr(addr),
                 Err(_) => usage(),
@@ -57,6 +66,21 @@ fn main() {
         };
     }
     let config = builder.build();
+
+    let _metrics = metrics_addr.map(|addr| {
+        bgpbench_telemetry::enable();
+        bgpbench_telemetry::enable_trace(&bgpbench_telemetry::TraceConfig::default());
+        match bgpbench_daemon::MetricsServer::bind(&addr) {
+            Ok(server) => {
+                println!("bgpd: metrics on http://{}/metrics", server.local_addr());
+                server
+            }
+            Err(err) => {
+                eprintln!("bgpd: cannot bind metrics endpoint {addr}: {err}");
+                exit(1);
+            }
+        }
+    });
 
     let daemon = match BgpDaemon::start(config.clone()) {
         Ok(daemon) => daemon,

@@ -24,6 +24,8 @@
 
 use std::fmt;
 
+use bgpbench_telemetry::{self as telemetry, TraceEventId};
+
 /// The five session states of RFC 4271 §8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FsmState {
@@ -37,6 +39,20 @@ pub enum FsmState {
     OpenConfirm,
     /// Session up; UPDATEs flow and the hold timer is armed.
     Established,
+}
+
+impl FsmState {
+    /// RFC 4271 §8 state code (Active's 3 is unused in this model),
+    /// packed into flight-recorder transition labels.
+    pub fn code(self) -> u8 {
+        match self {
+            FsmState::Idle => 1,
+            FsmState::Connect => 2,
+            FsmState::OpenSent => 4,
+            FsmState::OpenConfirm => 5,
+            FsmState::Established => 6,
+        }
+    }
 }
 
 impl fmt::Display for FsmState {
@@ -154,6 +170,9 @@ pub struct SessionFsm {
     connect_retry_remaining: u64,
     flaps: u64,
     transitions: u64,
+    /// Peer label stamped on flight-recorder transition events so the
+    /// exported timeline groups this session onto its own track.
+    trace_label: u64,
 }
 
 impl SessionFsm {
@@ -167,7 +186,14 @@ impl SessionFsm {
             connect_retry_remaining: 0,
             flaps: 0,
             transitions: 0,
+            trace_label: 0,
         }
+    }
+
+    /// Sets the peer label carried by this session's flight-recorder
+    /// events (conventionally the peer id; 0 = unlabeled).
+    pub fn set_trace_label(&mut self, label: u64) {
+        self.trace_label = label;
     }
 
     /// The current state.
@@ -225,6 +251,18 @@ impl SessionFsm {
     /// defined; unexpected messages are FSM errors that reset to Idle.
     pub fn handle(&mut self, event: FsmEvent, actions: &mut Vec<FsmAction>) {
         self.transitions += 1;
+        let from = self.state;
+        self.dispatch(event, actions);
+        if self.state != from {
+            telemetry::trace_instant(
+                TraceEventId::FsmTransition,
+                self.trace_label,
+                (u64::from(from.code()) << 8) | u64::from(self.state.code()),
+            );
+        }
+    }
+
+    fn dispatch(&mut self, event: FsmEvent, actions: &mut Vec<FsmAction>) {
         match (self.state, event) {
             // Stop and hold-expiry reset the session from any state.
             (_, FsmEvent::ManualStop) | (_, FsmEvent::HoldTimerExpired) => {

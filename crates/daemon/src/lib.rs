@@ -34,6 +34,7 @@ mod config;
 mod core;
 mod daemon;
 pub mod fsm;
+pub mod http;
 mod peer;
 mod session;
 
@@ -41,5 +42,6 @@ pub use config::{DaemonConfig, DaemonConfigBuilder};
 pub use core::PeerSnapshot;
 pub use daemon::{BgpDaemon, DaemonSnapshot};
 pub use fsm::{FsmAction, FsmEvent, FsmState, SessionFsm, SessionTimers};
+pub use http::MetricsServer;
 pub use peer::{DaemonPeerHandle, PeerCounters, PeerHandle};
 pub use session::SessionState;

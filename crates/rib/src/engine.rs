@@ -639,7 +639,7 @@ impl RibEngine {
             self.attr_store.stats(),
             self.attr_store.len() as u64,
             self.rib.len() as u64,
-            &result,
+            result.as_deref(),
         );
         result
     }
@@ -760,9 +760,16 @@ impl RibEngine {
             let final_attrs = if permit_all {
                 Some(interned.clone())
             } else {
-                self.import_policy
+                let verdict = self
+                    .import_policy
                     .evaluate(prefix, (*interned).clone())
-                    .map(|rewritten| self.attr_store.intern(rewritten))
+                    .map(|rewritten| self.attr_store.intern(rewritten));
+                telemetry::trace_instant(
+                    telemetry::TraceEventId::PolicyEval,
+                    0,
+                    u64::from(verdict.is_some()),
+                );
+                verdict
             };
             let outcome = match final_attrs {
                 Some(final_attrs) => self.announce_one(peer, *prefix, final_attrs),
@@ -955,7 +962,13 @@ impl RibEngine {
                 if permit_all {
                     return Some((*prefix, exported));
                 }
-                let rewritten = self.export_policy.evaluate(prefix, (*exported).clone())?;
+                let rewritten = self.export_policy.evaluate(prefix, (*exported).clone());
+                telemetry::trace_instant(
+                    telemetry::TraceEventId::PolicyEval,
+                    1,
+                    u64::from(rewritten.is_some()),
+                );
+                let rewritten = rewritten?;
                 let shared = match rewritten_cache.get(&rewritten) {
                     Some(arc) => arc.clone(),
                     None => {
@@ -985,7 +998,7 @@ pub(crate) fn record_apply_telemetry(
     attrs_after: crate::attr_store::AttrStoreStats,
     attr_store_entries: u64,
     loc_rib_prefixes: u64,
-    result: &Result<Vec<PrefixOutcome>, RibError>,
+    result: Result<&[PrefixOutcome], &RibError>,
 ) {
     telemetry::observe(MetricId::ApplyHostNs, host_ns);
     telemetry::observe(MetricId::UpdatePrefixes, update.transaction_count() as u64);
@@ -1033,6 +1046,54 @@ pub(crate) fn record_apply_telemetry(
                 | RouteChange::RejectedAsLoop => {}
             }
         }
+    }
+}
+
+/// Records the train-path equivalent of [`record_apply_telemetry`]:
+/// one `RibApplyUpdate` span occurrence plus one per-update metric
+/// set per message, so a multi-shard train is indistinguishable in
+/// telemetry *counts* from sequential application (the span-count
+/// parity the fig. 3–4 breakdown relies on). The train's wall time is
+/// attributed evenly across its updates; attribute-store deltas are
+/// charged to the first update, since the train decodes and interns
+/// up front.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_train_telemetry(
+    peer: PeerId,
+    updates: &[UpdateMessage],
+    host_ns: u64,
+    attrs_before: crate::attr_store::AttrStoreStats,
+    attrs_after: crate::attr_store::AttrStoreStats,
+    attr_store_entries: u64,
+    loc_rib_prefixes: u64,
+    merged: &[Vec<PrefixOutcome>],
+) {
+    let n = updates.len() as u64;
+    if n == 0 {
+        return;
+    }
+    let per_update_ns = host_ns / n;
+    let remainder_ns = host_ns % n;
+    for (index, update) in updates.iter().enumerate() {
+        let slice_ns = per_update_ns + if index == 0 { remainder_ns } else { 0 };
+        let (before, after) = if index == 0 {
+            (attrs_before, attrs_after)
+        } else {
+            (attrs_after, attrs_after)
+        };
+        // Virtual duration is zero, matching a span that opens and
+        // closes within one simulator tick.
+        telemetry::global().span_record(SpanId::RibApplyUpdate, slice_ns, 0);
+        record_apply_telemetry(
+            peer,
+            update,
+            slice_ns,
+            before,
+            after,
+            attr_store_entries,
+            loc_rib_prefixes,
+            Ok(merged.get(index).map(Vec::as_slice).unwrap_or(&[])),
+        );
     }
 }
 

@@ -42,13 +42,15 @@
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use bgpbench_telemetry::{self as telemetry, SpanId};
+use bgpbench_telemetry::{self as telemetry, SpanId, TraceEventId};
 use bgpbench_wire::{Asn, Prefix, RouterId, UpdateMessage};
 
 use crate::attr_store::AttrStoreStats;
 use crate::damping::DampingConfig;
 use crate::decision::DecisionConfig;
-use crate::engine::{record_apply_telemetry, PrefixOutcome, RibEngine, RibStats};
+use crate::engine::{
+    record_apply_telemetry, record_train_telemetry, PrefixOutcome, RibEngine, RibStats,
+};
 use crate::fxhash::FxHashSet;
 use crate::policy::RouteMap;
 use crate::route::{PeerId, PeerInfo, Route, RouteAttributes};
@@ -436,7 +438,14 @@ impl ShardedRibEngine {
     ) -> Result<Vec<PrefixOutcome>, RibError> {
         if self.shards.len() == 1 {
             // Wholesale delegation: telemetry, error paths, and stats
-            // all come from the single engine unmodified.
+            // all come from the single engine unmodified. The flight
+            // recorder still gets a shard-0 busy span so single-shard
+            // runs produce a RIB shard track.
+            let _trace = telemetry::trace_span(
+                TraceEventId::ShardApply,
+                0,
+                update.transaction_count() as u64,
+            );
             return self.shards[0].apply_update_at(peer, update, now_secs);
         }
         if telemetry::disabled() {
@@ -454,7 +463,7 @@ impl ShardedRibEngine {
             self.attr_store_stats(),
             self.attr_store_len() as u64,
             self.loc_rib().len() as u64,
-            &result,
+            result.as_deref(),
         );
         result
     }
@@ -481,6 +490,11 @@ impl ShardedRibEngine {
         let mut per_shard: Vec<Vec<PrefixOutcome>> = vec![Vec::new(); shards];
         for (index, prefixes) in withdrawn.iter().enumerate() {
             if !prefixes.is_empty() {
+                let _busy = telemetry::trace_span(
+                    TraceEventId::ShardApply,
+                    index as u64,
+                    prefixes.len() as u64,
+                );
                 self.shards[index].apply_withdrawals(
                     peer,
                     prefixes,
@@ -503,6 +517,11 @@ impl ShardedRibEngine {
         }
         for (index, prefixes) in nlri.iter().enumerate() {
             if !prefixes.is_empty() {
+                let _busy = telemetry::trace_span(
+                    TraceEventId::ShardApply,
+                    index as u64,
+                    prefixes.len() as u64,
+                );
                 self.shards[index].apply_announcements(
                     peer,
                     prefixes,
@@ -543,6 +562,11 @@ impl ShardedRibEngine {
         peer: PeerId,
         updates: &[UpdateMessage],
     ) -> Result<Vec<Vec<PrefixOutcome>>, RibError> {
+        telemetry::trace_instant(
+            TraceEventId::TrainBegin,
+            updates.len() as u64,
+            self.shards.len() as u64,
+        );
         let mut decoded: Vec<Option<RouteAttributes>> = Vec::with_capacity(updates.len());
         let mut all_ok = true;
         for update in updates {
@@ -594,10 +618,28 @@ impl ShardedRibEngine {
             plans.push(plan);
         }
 
+        // Aggregate-telemetry pre-state; the fallback path above gets
+        // this per update from `apply_update` instead.
+        let train_start = if telemetry::enabled() {
+            Some((std::time::Instant::now(), self.attr_store_stats()))
+        } else {
+            None
+        };
+
         let decoded = &decoded;
-        let run_shard = |engine: &mut RibEngine,
+        let run_shard = |shard_index: usize,
+                         engine: &mut RibEngine,
                          batches: &[(Vec<Prefix>, Vec<Prefix>)]|
          -> Vec<Vec<PrefixOutcome>> {
+            // Recorded from whichever thread runs the shard, so the
+            // exported timeline shows per-shard busy intervals (and
+            // their imbalance) directly.
+            let _busy = if telemetry::trace_enabled() {
+                let prefixes: usize = batches.iter().map(|(w, n)| w.len() + n.len()).sum();
+                telemetry::trace_span(TraceEventId::ShardBusy, shard_index as u64, prefixes as u64)
+            } else {
+                None
+            };
             let mut per_update = Vec::with_capacity(batches.len());
             for (index, (withdrawn, nlri)) in batches.iter().enumerate() {
                 let mut outcomes = Vec::with_capacity(withdrawn.len() + nlri.len());
@@ -626,7 +668,8 @@ impl ShardedRibEngine {
             self.shards
                 .iter_mut()
                 .zip(&work)
-                .map(|(engine, batches)| run_shard(engine, batches))
+                .enumerate()
+                .map(|(index, (engine, batches))| run_shard(index, engine, batches))
                 .collect()
         } else {
             let (first_shard, rest_shards) = match self.shards.split_first_mut() {
@@ -642,10 +685,13 @@ impl ShardedRibEngine {
                 let handles: Vec<_> = rest_shards
                     .iter_mut()
                     .zip(rest_work)
-                    .map(|(engine, batches)| scope.spawn(move || run_shard(engine, batches)))
+                    .enumerate()
+                    .map(|(offset, (engine, batches))| {
+                        scope.spawn(move || run_shard(offset + 1, engine, batches))
+                    })
                     .collect();
                 let mut results = Vec::with_capacity(shards);
-                results.push(run_shard(first_shard, first_work));
+                results.push(run_shard(0, first_shard, first_work));
                 for handle in handles {
                     match handle.join() {
                         Ok(result) => results.push(result),
@@ -663,15 +709,43 @@ impl ShardedRibEngine {
             .map(|per_update| per_update.into_iter().map(Vec::into_iter).collect())
             .collect();
         let mut merged = Vec::with_capacity(updates.len());
-        for (index, plan) in plans.iter().enumerate() {
-            let mut outcomes = Vec::with_capacity(plan.len());
-            for &shard in plan {
-                if let Some(outcome) = queues[shard as usize][index].next() {
-                    outcomes.push(outcome);
+        {
+            let _merge_span = telemetry::trace_span(
+                TraceEventId::TrainMerge,
+                updates.len() as u64,
+                shards as u64,
+            );
+            let mut queued: u64 = if telemetry::trace_enabled() {
+                plans.iter().map(|p| p.len() as u64).sum()
+            } else {
+                0
+            };
+            for (index, plan) in plans.iter().enumerate() {
+                let mut outcomes = Vec::with_capacity(plan.len());
+                for &shard in plan {
+                    if let Some(outcome) = queues[shard as usize][index].next() {
+                        outcomes.push(outcome);
+                    }
+                }
+                debug_assert_eq!(outcomes.len(), plan.len());
+                merged.push(outcomes);
+                if telemetry::trace_enabled() {
+                    queued = queued.saturating_sub(plan.len() as u64);
+                    telemetry::trace_counter(TraceEventId::MergeQueueDepth, queued);
                 }
             }
-            debug_assert_eq!(outcomes.len(), plan.len());
-            merged.push(outcomes);
+        }
+        if let Some((start, attrs_before)) = train_start {
+            record_train_telemetry(
+                peer,
+                updates,
+                start.elapsed().as_nanos() as u64,
+                attrs_before,
+                self.attr_store_stats(),
+                self.attr_store_len() as u64,
+                self.loc_rib().len() as u64,
+                &merged,
+            );
         }
         Ok(merged)
     }

@@ -50,6 +50,7 @@ mod journal;
 mod metrics;
 mod snapshot;
 mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -61,6 +62,11 @@ pub use metrics::{
 };
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanTotals};
 pub use span::{set_virtual_now_ns, virtual_now_ns, Component, SpanGuard, SpanId, N_SPANS};
+pub use trace::{
+    disable_trace, enable_trace, trace_clear, trace_counter, trace_dump, trace_enabled,
+    trace_instant, trace_span, TraceConfig, TraceDump, TraceEvent, TraceEventId, TraceKind,
+    TraceRecorder, TraceSpanGuard, TraceTrack, N_TRACE_EVENTS,
+};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

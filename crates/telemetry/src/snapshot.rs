@@ -35,17 +35,34 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Lower bound of the bucket containing quantile `q` (in `0..=1`).
+    /// Value at quantile `q` (in `0..=1`), log-linearly interpolated:
+    /// the target rank is located in its bucket, then positioned
+    /// proportionally between the bucket's bounds. The result is
+    /// clamped into the half-open bucket range `[lo, hi)`, so it is
+    /// always a value the bucket could actually have observed; the
+    /// unbounded tail bucket reports its lower bound.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut seen = 0u64;
         for (index, occupancy) in self.buckets.iter().enumerate() {
+            if *occupancy == 0 {
+                continue;
+            }
+            let before = seen;
             seen += occupancy;
-            if seen >= rank {
-                return bucket_bounds(index).0;
+            if seen as f64 >= rank {
+                let (lo, hi) = bucket_bounds(index);
+                if hi == u64::MAX {
+                    return lo;
+                }
+                // Fraction of this bucket's occupancy at or below the
+                // target rank, in (0, 1].
+                let frac = (rank - before as f64) / *occupancy as f64;
+                let interpolated = lo as f64 + frac * (hi - lo) as f64;
+                return (interpolated as u64).clamp(lo, hi - 1);
             }
         }
         bucket_bounds(HIST_BUCKETS - 1).0
@@ -362,6 +379,62 @@ impl Snapshot {
             spans.join(",\n"),
         )
     }
+
+    /// Prometheus text exposition (version 0.0.4) of the snapshot, as
+    /// served by the daemon's `/metrics` endpoint. Metric names are
+    /// the catalog's dotted names with `.` mapped to `_` under a
+    /// `bgpbench_` prefix; histograms render as summaries with
+    /// interpolated quantiles; span totals render as counters labeled
+    /// by span and component. Every declared series is always present
+    /// so scrapes see a stable set.
+    pub fn to_prometheus(&self) -> String {
+        fn flat(name: &str) -> String {
+            name.replace(['.', '-'], "_")
+        }
+        let mut out = String::new();
+        for id in MetricId::ALL {
+            let name = format!("bgpbench_{}", flat(id.name()));
+            match id.kind() {
+                MetricKind::Counter => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", self.get(id)));
+                }
+                MetricKind::Gauge => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", self.get(id)));
+                }
+                MetricKind::Histogram => {
+                    let hist = self.histogram(id);
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for q in [0.5, 0.9, 0.99] {
+                        out.push_str(&format!(
+                            "{name}{{quantile=\"{q}\"}} {}\n",
+                            hist.quantile(q)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", hist.sum));
+                    out.push_str(&format!("{name}_count {}\n", hist.count));
+                }
+            }
+        }
+        for series in ["count", "host_ns", "virt_ns"] {
+            let name = format!("bgpbench_span_{series}_total");
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for id in SpanId::ALL {
+                let span = self.span(id);
+                let value = match series {
+                    "count" => span.count,
+                    "host_ns" => span.host_ns,
+                    _ => span.virt_ns,
+                };
+                out.push_str(&format!(
+                    "{name}{{span=\"{}\",component=\"{}\"}} {}\n",
+                    id.name(),
+                    id.component().name(),
+                    value
+                ));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -414,7 +487,8 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_track_bucket_lower_bounds() {
+    fn quantiles_interpolate_within_bucket_bounds() {
+        use crate::metrics::{bucket_bounds, bucket_index};
         let reg = Registry::new();
         for v in [1u64, 1, 1, 1000] {
             reg.observe(MetricId::ApplyHostNs, v);
@@ -423,8 +497,55 @@ mod tests {
         let hist = snapshot.histogram(MetricId::ApplyHostNs);
         assert_eq!(hist.count, 4);
         assert_eq!(hist.sum, 1003);
-        assert_eq!(hist.quantile(0.5), 1);
+        assert_eq!(hist.quantile(0.5), 1, "three of four samples are exactly 1");
+        let (lo, hi) = bucket_bounds(bucket_index(1000));
         let p100 = hist.quantile(1.0);
-        assert!(p100 <= 1000 && p100 > 500, "p100 bucket floor {p100}");
+        assert!(
+            (lo..hi).contains(&p100),
+            "p100 {p100} must land inside 1000's bucket [{lo}, {hi})"
+        );
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly_inside_one_bucket() {
+        use crate::metrics::{bucket_bounds, bucket_index};
+        // Ten observations of the same value: every quantile resolves
+        // into that one bucket, and interpolation sweeps its width.
+        let reg = Registry::new();
+        for _ in 0..10 {
+            reg.observe(MetricId::ApplyHostNs, 700);
+        }
+        let snapshot = reg.snapshot();
+        let hist = snapshot.histogram(MetricId::ApplyHostNs);
+        let (lo, hi) = bucket_bounds(bucket_index(700));
+        let p10 = hist.quantile(0.10);
+        let p100 = hist.quantile(1.0);
+        assert!(p10 >= lo && p10 < hi);
+        assert_eq!(p100, hi - 1, "full occupancy reaches the bucket's top");
+        assert!(p10 < p100, "interpolation distinguishes ranks in-bucket");
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let hist = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(hist.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_has_stable_series() {
+        let reg = Registry::new();
+        reg.add(MetricId::RibUpdates, 7);
+        reg.observe(MetricId::UpdatePrefixes, 120);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE bgpbench_rib_updates counter"));
+        assert!(text.contains("bgpbench_rib_updates 7"));
+        assert!(text.contains("# TYPE bgpbench_rib_update_prefixes summary"));
+        assert!(text.contains("bgpbench_rib_update_prefixes_count 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("bgpbench_span_host_ns_total{span=\"rib.apply_update\""));
+        // Zero-valued series are still exposed.
+        assert!(text.contains("bgpbench_session_flaps 0"));
     }
 }

@@ -77,6 +77,64 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Quantile boundary properties for the log-linear interpolation:
+    /// monotone in `q`, and every reported quantile stays between the
+    /// bucket floor of the smallest observation and the bucket ceiling
+    /// of the largest — interpolation must never escape the observed
+    /// bucket envelope.
+    #[test]
+    fn quantiles_are_monotone_and_stay_in_the_observed_envelope(
+        values in prop::collection::vec(0u64..=1_000_000_000, 1..64),
+        q_millis in prop::collection::vec(0u64..=1000, 2..8),
+    ) {
+        let registry = Registry::new();
+        for v in &values {
+            registry.observe(MetricId::ApplyHostNs, *v);
+        }
+        let snapshot = registry.snapshot();
+        let hist = snapshot.histogram(MetricId::ApplyHostNs);
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let floor = bucket_bounds(bucket_index(min)).0;
+        let ceil = bucket_bounds(bucket_index(max)).1;
+        let mut sorted = q_millis.clone();
+        sorted.sort_unstable();
+        let mut last = None;
+        for q_m in sorted {
+            let q = q_m as f64 / 1000.0;
+            let value = hist.quantile(q);
+            prop_assert!(value >= floor, "q={q}: {value} below floor {floor}");
+            prop_assert!(value < ceil, "q={q}: {value} at/above ceiling {ceil}");
+            if let Some(prev) = last {
+                prop_assert!(value >= prev, "quantile must be monotone in q");
+            }
+            last = Some(value);
+        }
+    }
+
+    /// The extreme quantiles pin to the min/max observations' buckets.
+    #[test]
+    fn extreme_quantiles_land_in_the_extreme_buckets(
+        values in prop::collection::vec(0u64..=1_000_000_000, 1..64),
+    ) {
+        let registry = Registry::new();
+        for v in &values {
+            registry.observe(MetricId::ApplyHostNs, *v);
+        }
+        let hist_snapshot = registry.snapshot();
+        let hist = hist_snapshot.histogram(MetricId::ApplyHostNs);
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let (min_lo, min_hi) = bucket_bounds(bucket_index(min));
+        let (max_lo, max_hi) = bucket_bounds(bucket_index(max));
+        let p0 = hist.quantile(0.0);
+        let p100 = hist.quantile(1.0);
+        prop_assert!(p0 >= min_lo && p0 < min_hi, "p0 {p0} outside [{min_lo},{min_hi})");
+        prop_assert!(p100 >= max_lo && p100 < max_hi, "p100 {p100} outside [{max_lo},{max_hi})");
+    }
+}
+
 #[test]
 fn recorded_observations_sum_to_the_count() {
     let registry = Registry::new();
