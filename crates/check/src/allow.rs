@@ -137,7 +137,15 @@ impl Allowlist {
     /// The entry waiving `rule` at `path` for a line with `text`,
     /// if any.
     pub fn waiver(&self, rule: &str, path: &str, text: &str) -> Option<&AllowEntry> {
-        self.entries.iter().find(|entry| {
+        self.waiver_index(rule, path, text)
+            .and_then(|index| self.entries.get(index))
+    }
+
+    /// Like [`Allowlist::waiver`], but returns the entry's index, so
+    /// the lint pass can track which waivers are still load-bearing
+    /// (the `unused-waiver` rule).
+    pub fn waiver_index(&self, rule: &str, path: &str, text: &str) -> Option<usize> {
+        self.entries.iter().position(|entry| {
             entry.rule == rule
                 && entry.path == path
                 && entry

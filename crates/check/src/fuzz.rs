@@ -23,15 +23,63 @@
 //! A failing mutant is shrunk with a ddmin-lite pass (truncate, drop
 //! spans, zero spans — keeping whatever still fails) and reported as a
 //! hex string ready for [`run_reproducer`].
+//!
+//! The same machinery drives a second [`Target`]: the `BGPBTRC1`
+//! binary trace-dump format (`fuzz-wire --target trace`), where the
+//! properties are parse-never-panics and dump→parse→dump fixpoint.
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 
+use bgpbench_telemetry::trace::export;
+use bgpbench_telemetry::{TraceDump, TraceEvent, TraceEventId};
 use bgpbench_wire::{Message, StreamDecoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::corpus;
+
+/// What the fuzzer mutates and checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// BGP wire messages through `Message::decode` / `StreamDecoder`.
+    Wire,
+    /// `BGPBTRC1` binary trace dumps through `parse_binary`.
+    Trace,
+}
+
+impl Target {
+    /// Parses a `--target` argument.
+    pub fn from_name(name: &str) -> Option<Target> {
+        match name {
+            "wire" => Some(Target::Wire),
+            "trace" => Some(Target::Trace),
+            _ => None,
+        }
+    }
+
+    /// The target's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Wire => "wire",
+            Target::Trace => "trace",
+        }
+    }
+
+    fn seeds(self) -> Vec<Vec<u8>> {
+        match self {
+            Target::Wire => corpus::seed_bytes(),
+            Target::Trace => trace_seed_bytes(),
+        }
+    }
+
+    fn check(self, bytes: &[u8]) -> Result<bool, Failure> {
+        match self {
+            Target::Wire => check_input(bytes),
+            Target::Trace => check_trace(bytes),
+        }
+    }
+}
 
 /// How a mutant violated the fuzz properties.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +94,12 @@ pub enum Failure {
     RedecodeFailed(String),
     /// The second decode produced a different message.
     NotAFixpoint,
+    /// `parse_binary` unwound on a trace-dump mutant.
+    TraceParsePanicked,
+    /// Parsed fine, re-dumped fine, but the second parse failed.
+    TraceReparseFailed(String),
+    /// The second parse produced a different dump.
+    TraceNotAFixpoint,
 }
 
 impl fmt::Display for Failure {
@@ -56,6 +110,11 @@ impl fmt::Display for Failure {
             Failure::ReencodeFailed(e) => write!(f, "re-encode of decoded message failed: {e}"),
             Failure::RedecodeFailed(e) => write!(f, "decode of re-encoded bytes failed: {e}"),
             Failure::NotAFixpoint => write!(f, "decode(encode(decode(bytes))) differs"),
+            Failure::TraceParsePanicked => write!(f, "trace parse_binary panicked"),
+            Failure::TraceReparseFailed(e) => {
+                write!(f, "parse of re-dumped trace bytes failed: {e}")
+            }
+            Failure::TraceNotAFixpoint => write!(f, "parse(dump(parse(bytes))) differs"),
         }
     }
 }
@@ -106,9 +165,14 @@ pub struct FuzzReport {
     pub failure: Option<Reproducer>,
 }
 
-/// Runs `iters` deterministic mutants derived from `seed`.
+/// Runs `iters` deterministic wire-format mutants derived from `seed`.
 pub fn run(seed: u64, iters: u64) -> FuzzReport {
-    let seeds = corpus::seed_bytes();
+    run_target(Target::Wire, seed, iters)
+}
+
+/// Runs `iters` deterministic mutants of `target`'s format.
+pub fn run_target(target: Target, seed: u64, iters: u64) -> FuzzReport {
+    let seeds = target.seeds();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut report = FuzzReport {
         seed,
@@ -126,11 +190,11 @@ pub fn run(seed: u64, iters: u64) -> FuzzReport {
             mutate(&mut bytes, &mut rng, &seeds);
         }
         report.iterations += 1;
-        match check_input(&bytes) {
+        match target.check(&bytes) {
             Ok(true) => report.decoded_ok += 1,
             Ok(false) => report.rejected += 1,
             Err(failure) => {
-                let minimized = minimize(bytes, &failure);
+                let minimized = minimize(target, bytes, &failure);
                 report.failure = Some(Reproducer {
                     iteration,
                     failure,
@@ -143,12 +207,18 @@ pub fn run(seed: u64, iters: u64) -> FuzzReport {
     report
 }
 
-/// Replays one hex reproducer; `Err` is the surviving failure.
+/// Replays one wire-format hex reproducer; `Err` is the surviving
+/// failure.
 ///
 /// Accepts the exact string printed by [`Reproducer::hex`].
 pub fn run_reproducer(hex: &str) -> Result<(), Failure> {
+    run_reproducer_target(Target::Wire, hex)
+}
+
+/// Replays one hex reproducer against `target`'s properties.
+pub fn run_reproducer_target(target: Target, hex: &str) -> Result<(), Failure> {
     let bytes = from_hex(hex).unwrap_or_default();
-    check_input(&bytes).map(|_| ())
+    target.check(&bytes).map(|_| ())
 }
 
 /// One random byte-level mutation, chosen from eight operators.
@@ -257,11 +327,76 @@ fn check_input(bytes: &[u8]) -> Result<bool, Failure> {
     Ok(true)
 }
 
+/// Structurally valid trace-dump seeds: empty, single-thread, and a
+/// multi-thread dump touching every catalogued event id plus a
+/// nonzero drop counter.
+fn trace_seed_bytes() -> Vec<Vec<u8>> {
+    let ev = |id: TraceEventId, ts: u64, dur: u64, a: u64, b: u64| TraceEvent {
+        id,
+        ts_ns: ts,
+        dur_ns: dur,
+        virt_ns: ts / 2,
+        a,
+        b,
+    };
+    let empty = TraceDump::default();
+    let single = TraceDump {
+        threads: vec![bgpbench_telemetry::trace::ThreadTrace {
+            tid: 1,
+            dropped: 0,
+            events: vec![
+                ev(TraceEventId::PhaseMark, 10, 0, 1, 0),
+                ev(TraceEventId::CellStart, 20, 0, 2007, 4000),
+            ],
+        }],
+    };
+    let full = TraceDump {
+        threads: vec![
+            bgpbench_telemetry::trace::ThreadTrace {
+                tid: 1,
+                dropped: 0,
+                events: TraceEventId::ALL
+                    .iter()
+                    .enumerate()
+                    .map(|(i, id)| ev(*id, 100 + i as u64 * 10, (i as u64 % 3) * 500, i as u64, 1))
+                    .collect(),
+            },
+            bgpbench_telemetry::trace::ThreadTrace {
+                tid: 2,
+                dropped: 7,
+                events: vec![ev(TraceEventId::ShardBusy, 250, 900, 1, 7)],
+            },
+        ],
+    };
+    vec![
+        export::binary_dump(&empty),
+        export::binary_dump(&single),
+        export::binary_dump(&full),
+    ]
+}
+
+/// Checks one trace-dump input: `parse_binary` must never unwind, and
+/// a successfully parsed dump must survive dump→parse unchanged.
+fn check_trace(bytes: &[u8]) -> Result<bool, Failure> {
+    let parsed = panic::catch_unwind(AssertUnwindSafe(|| export::parse_binary(bytes)))
+        .map_err(|_| Failure::TraceParsePanicked)?;
+    let dump = match parsed {
+        Ok(dump) => dump,
+        Err(_) => return Ok(false),
+    };
+    let redumped = export::binary_dump(&dump);
+    let again = export::parse_binary(&redumped).map_err(Failure::TraceReparseFailed)?;
+    if again != dump {
+        return Err(Failure::TraceNotAFixpoint);
+    }
+    Ok(true)
+}
+
 /// ddmin-lite: shrink a failing input while the *same* failure
 /// persists. Tries tail truncation, span removal, and span zeroing at
 /// halving granularity.
-fn minimize(mut bytes: Vec<u8>, failure: &Failure) -> Vec<u8> {
-    let still_fails = |candidate: &[u8]| check_input(candidate).as_ref() == Err(failure);
+fn minimize(target: Target, mut bytes: Vec<u8>, failure: &Failure) -> Vec<u8> {
+    let still_fails = |candidate: &[u8]| target.check(candidate).as_ref() == Err(failure);
 
     // Tail truncation first — cheap and usually the biggest win.
     while !bytes.is_empty() && still_fails(&bytes[..bytes.len() - 1]) {
@@ -369,9 +504,63 @@ mod tests {
         // can only exercise the plumbing on a healthy input, so verify
         // minimize() is identity-safe when nothing fails.
         let keepalive = corpus::seed_bytes().remove(8);
-        let minimized = minimize(keepalive.clone(), &Failure::NotAFixpoint);
+        let minimized = minimize(Target::Wire, keepalive.clone(), &Failure::NotAFixpoint);
         // Nothing fails, so nothing shrinks below... anything; the
         // function must still terminate and return bytes.
         assert_eq!(minimized, keepalive);
+    }
+
+    #[test]
+    fn target_names_round_trip() {
+        for target in [Target::Wire, Target::Trace] {
+            assert_eq!(Target::from_name(target.name()), Some(target));
+        }
+        assert_eq!(Target::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn trace_seeds_are_valid_and_fixpoints() {
+        for (i, seed) in trace_seed_bytes().iter().enumerate() {
+            assert_eq!(
+                check_trace(seed),
+                Ok(true),
+                "trace seed {i} must parse and round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_target_same_seed_same_outcome() {
+        let a = run_target(Target::Trace, 42, 500);
+        let b = run_target(Target::Trace, 42, 500);
+        assert_eq!(a.decoded_ok, b.decoded_ok);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.failure.is_none(), b.failure.is_none());
+    }
+
+    #[test]
+    fn trace_ci_configuration_is_clean() {
+        // The exact run CI performs; keep in sync with ci.yml.
+        let report = run_target(Target::Trace, 7, 10_000);
+        assert!(
+            report.failure.is_none(),
+            "trace fuzz failure: {}",
+            report.failure.unwrap()
+        );
+        assert_eq!(report.iterations, 10_000);
+        assert!(report.decoded_ok > 0, "no trace mutant survived parsing");
+        assert!(report.rejected > 0, "no trace mutant was rejected");
+    }
+
+    #[test]
+    fn trace_truncation_is_rejected_not_panicking() {
+        let seed = trace_seed_bytes().remove(2);
+        for keep in 0..seed.len() {
+            assert_eq!(
+                check_trace(&seed[..keep]),
+                Ok(false),
+                "every truncation must be a typed rejection (kept {keep})"
+            );
+        }
     }
 }

@@ -1,42 +1,107 @@
-//! A bounded exhaustive-schedule mini-interleaver (loom-lite).
+//! Deterministic schedule exploration for algebraic concurrency
+//! properties (loom-lite).
 //!
 //! Real model checkers (loom) intercept every atomic operation.
-//! Offline, this module keeps the useful core for *algebraic*
-//! concurrency properties: given each thread's operation sequence, it
-//! enumerates **every** interleaving (all order-preserving merges),
-//! applies each schedule to a fresh copy of the state, and asserts an
-//! invariant on the outcome. If an operation set is genuinely
-//! commutative — as sharded counter increments or snapshot merges must
-//! be — then every schedule reaches the same result, and a schedule
-//! that does not is reported with the exact thread order that broke.
+//! Offline, this module keeps the useful core: given each thread's
+//! operation sequence, enumerate interleavings, apply each schedule to
+//! a fresh copy of the state, and assert an invariant on the outcome.
+//! A schedule that breaks the invariant is reported with the exact
+//! thread order — and a compact, replayable schedule string.
 //!
-//! The enumeration is exact, so it is bounded: `C(n; k1..km)` (the
-//! multinomial) schedules for m threads with ki ops each. [`explore`]
-//! refuses budgets above [`MAX_SCHEDULES`] rather than silently
-//! sampling.
+//! Two explorers share the schedule representation:
+//!
+//! * [`explore`] — the exhaustive baseline: **every** order-preserving
+//!   merge, `C(n; k1..km)` (multinomial) schedules. Exact, so bounded:
+//!   it refuses budgets above [`MAX_SCHEDULES`] rather than silently
+//!   sampling. Kept as the reference the DPOR explorer's pruning is
+//!   measured against.
+//! * [`explore_dpor`] — dynamic partial-order reduction with sleep
+//!   sets (the persistent-set family of prunings). Each op declares
+//!   the shared resources it touches ([`Access`]); two ops of
+//!   different threads are *independent* when no resource is touched
+//!   by both with at least one write. Schedules that differ only by
+//!   swapping adjacent independent ops reach the same state, so the
+//!   explorer executes exactly **one** schedule per equivalence class
+//!   (Mazurkiewicz trace) instead of all of them — for fully
+//!   independent op sets that is 1 execution where the multinomial
+//!   explodes, which is what lets models scale past 3 threads.
+//!
+//! The soundness contract of [`explore_dpor`]: the invariant checked
+//! by `run` may depend only on state reached through the **declared**
+//! accesses. An undeclared shared resource hides reorderings from the
+//! pruner exactly like an unannotated memory access hides races from a
+//! dynamic detector.
+//!
+//! A failing schedule is first greedily minimized (adjacent
+//! independent-order swaps toward the canonical thread-ascending
+//! order, keeping the failure alive), then reported with its
+//! [`schedule_string`]; [`replay`] runs such a string again.
 
 use std::fmt;
 
-/// Ceiling on enumerated schedules; above this, exhaustiveness would
-/// mean minutes of CI time and the test should shrink its op set.
+/// Ceiling on executed schedules; above this, exhaustiveness would
+/// mean minutes of CI time and the test should shrink its op set (or
+/// declare accesses and move to [`explore_dpor`]).
 pub const MAX_SCHEDULES: u64 = 200_000;
 
 /// One op in a schedule: `(thread index, op index within thread)`.
 pub type ScheduledOp = (usize, usize);
 
+/// One declared touch of a shared resource by an op, for the DPOR
+/// independence relation. Resource ids are opaque to the explorer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The op reads the resource.
+    Read(u64),
+    /// The op mutates the resource.
+    Write(u64),
+}
+
+impl Access {
+    fn resource(self) -> u64 {
+        match self {
+            Access::Read(r) | Access::Write(r) => r,
+        }
+    }
+
+    fn is_write(self) -> bool {
+        matches!(self, Access::Write(_))
+    }
+}
+
+/// Whether two access sets conflict: some resource touched by both,
+/// at least one side writing. Conflicting ops are *dependent* — their
+/// order can change the outcome and both orders must be explored.
+pub fn conflicting(a: &[Access], b: &[Access]) -> bool {
+    a.iter()
+        .any(|x| b.iter().any(|y| x.resource() == y.resource() && (x.is_write() || y.is_write())))
+}
+
 /// Why an exploration could not run or did not hold.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExploreError {
-    /// The multinomial exceeds [`MAX_SCHEDULES`].
+    /// The schedule budget exceeds [`MAX_SCHEDULES`]. For [`explore`]
+    /// `count` is the exact multinomial; for [`explore_dpor`] it is
+    /// the number of trace representatives executed before giving up
+    /// (a lower bound).
     TooManySchedules {
-        /// The exact schedule count.
+        /// The offending schedule count.
         count: u64,
     },
     /// The invariant failed on some schedule.
     InvariantViolated {
-        /// The schedule that failed, as `(thread, op)` pairs.
+        /// The (minimized, for DPOR) failing schedule as `(thread,
+        /// op)` pairs.
         schedule: Vec<ScheduledOp>,
+        /// The same schedule as a replayable string (see [`replay`]).
+        replay: String,
         /// The invariant's message.
+        message: String,
+    },
+    /// A schedule string handed to [`replay`] did not parse or did
+    /// not match the declared op counts.
+    MalformedSchedule {
+        /// What was wrong with it.
         message: String,
     },
 }
@@ -48,8 +113,13 @@ impl fmt::Display for ExploreError {
                 f,
                 "{count} schedules exceed the exhaustiveness budget of {MAX_SCHEDULES}"
             ),
-            ExploreError::InvariantViolated { schedule, message } => {
-                write!(f, "invariant violated on schedule {schedule:?}: {message}")
+            ExploreError::InvariantViolated {
+                replay, message, ..
+            } => {
+                write!(f, "invariant violated on schedule \"{replay}\": {message}")
+            }
+            ExploreError::MalformedSchedule { message } => {
+                write!(f, "malformed schedule string: {message}")
             }
         }
     }
@@ -72,6 +142,70 @@ pub fn schedule_count(lens: &[usize]) -> u64 {
         }
     }
     total
+}
+
+/// Renders a schedule as its replayable string: the thread index of
+/// each step, comma-separated (per-thread op order is implied).
+pub fn schedule_string(schedule: &[ScheduledOp]) -> String {
+    let steps: Vec<String> = schedule.iter().map(|&(t, _)| t.to_string()).collect();
+    steps.join(",")
+}
+
+/// Parses a [`schedule_string`] back into `(thread, op)` pairs,
+/// validating it against the per-thread op counts.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed step, out-of-range
+/// thread, overrun thread, or missing op.
+pub fn parse_schedule(text: &str, counts: &[usize]) -> Result<Vec<ScheduledOp>, String> {
+    let mut progress = vec![0usize; counts.len()];
+    let mut schedule = Vec::new();
+    for (pos, step) in text.split(',').enumerate() {
+        let step = step.trim();
+        let thread: usize = step
+            .parse()
+            .map_err(|_| format!("step {pos}: \"{step}\" is not a thread index"))?;
+        let count = *counts
+            .get(thread)
+            .ok_or_else(|| format!("step {pos}: thread {thread} out of range"))?;
+        if progress[thread] >= count {
+            return Err(format!(
+                "step {pos}: thread {thread} has only {count} ops"
+            ));
+        }
+        schedule.push((thread, progress[thread]));
+        progress[thread] += 1;
+    }
+    for (thread, (&done, &count)) in progress.iter().zip(counts).enumerate() {
+        if done != count {
+            return Err(format!(
+                "thread {thread} ran {done} of {count} ops"
+            ));
+        }
+    }
+    Ok(schedule)
+}
+
+/// Re-runs the schedule encoded in `text` against `run` — the replay
+/// side of the schedule string a failing exploration emits.
+///
+/// # Errors
+///
+/// [`ExploreError::MalformedSchedule`] when the string does not parse
+/// against `counts`; [`ExploreError::InvariantViolated`] when the
+/// replayed schedule still fails (reproducing the original report).
+pub fn replay<F>(text: &str, counts: &[usize], mut run: F) -> Result<(), ExploreError>
+where
+    F: FnMut(&[ScheduledOp]) -> Result<(), String>,
+{
+    let schedule = parse_schedule(text, counts)
+        .map_err(|message| ExploreError::MalformedSchedule { message })?;
+    run(&schedule).map_err(|message| ExploreError::InvariantViolated {
+        replay: schedule_string(&schedule),
+        schedule,
+        message,
+    })
 }
 
 /// Explores every interleaving of `threads` (each a list of opaque
@@ -124,6 +258,7 @@ where
     if schedule.len() == total_ops {
         *explored += 1;
         return run(schedule).map_err(|message| ExploreError::InvariantViolated {
+            replay: schedule_string(schedule),
             schedule: schedule.clone(),
             message,
         });
@@ -138,6 +273,145 @@ where
         }
     }
     Ok(())
+}
+
+/// Explores the interleavings of `threads` — where `threads[t][i]` is
+/// the declared access set of thread `t`'s op `i` — executing exactly
+/// one schedule per Mazurkiewicz trace (equivalence class under
+/// swapping adjacent independent ops). `run` has the same contract as
+/// in [`explore`], plus the module-level soundness contract: the
+/// invariant may depend only on state reached through declared
+/// accesses.
+///
+/// Returns the number of schedules *executed* (trace
+/// representatives); the pruning ratio against [`explore`] is
+/// `schedule_count / executed`.
+///
+/// # Errors
+///
+/// [`ExploreError::TooManySchedules`] if more than [`MAX_SCHEDULES`]
+/// representatives exist, [`ExploreError::InvariantViolated`] with a
+/// minimized, replayable schedule when the invariant fails.
+pub fn explore_dpor<F>(threads: &[Vec<Vec<Access>>], mut run: F) -> Result<u64, ExploreError>
+where
+    F: FnMut(&[ScheduledOp]) -> Result<(), String>,
+{
+    let counts: Vec<usize> = threads.iter().map(Vec::len).collect();
+    let total_ops: usize = counts.iter().sum();
+    let mut progress = vec![0usize; threads.len()];
+    let mut schedule: Vec<ScheduledOp> = Vec::with_capacity(total_ops);
+    let mut executed = 0u64;
+    dpor_dfs(
+        threads,
+        &counts,
+        &mut progress,
+        &mut schedule,
+        total_ops,
+        &[],
+        &mut run,
+        &mut executed,
+    )?;
+    Ok(executed)
+}
+
+/// Sleep-set DFS (Godefroid). `sleep` holds threads whose next op was
+/// already explored from this node's parent in an order equivalent to
+/// any order reachable below — re-running them here would only revisit
+/// traces. A chosen op wakes exactly the sleeping threads whose next
+/// op *conflicts* with it (the orders genuinely differ), which is what
+/// collapses each trace to one executed representative.
+#[allow(clippy::too_many_arguments)]
+fn dpor_dfs<F>(
+    threads: &[Vec<Vec<Access>>],
+    counts: &[usize],
+    progress: &mut [usize],
+    schedule: &mut Vec<ScheduledOp>,
+    total_ops: usize,
+    sleep: &[usize],
+    run: &mut F,
+    executed: &mut u64,
+) -> Result<(), ExploreError>
+where
+    F: FnMut(&[ScheduledOp]) -> Result<(), String>,
+{
+    if schedule.len() == total_ops {
+        if *executed >= MAX_SCHEDULES {
+            return Err(ExploreError::TooManySchedules {
+                count: *executed + 1,
+            });
+        }
+        *executed += 1;
+        if let Err(message) = run(schedule) {
+            let minimized = minimize_failing(schedule, run);
+            return Err(ExploreError::InvariantViolated {
+                replay: schedule_string(&minimized),
+                schedule: minimized,
+                message,
+            });
+        }
+        return Ok(());
+    }
+    let mut sleep: Vec<usize> = sleep.to_vec();
+    for thread in 0..counts.len() {
+        if progress[thread] >= counts[thread] || sleep.contains(&thread) {
+            continue;
+        }
+        let chosen = &threads[thread][progress[thread]];
+        // A sleeping thread stays asleep below only while its next op
+        // is independent of the op we just scheduled.
+        let child_sleep: Vec<usize> = sleep
+            .iter()
+            .copied()
+            .filter(|&s| !conflicting(&threads[s][progress[s]], chosen))
+            .collect();
+        schedule.push((thread, progress[thread]));
+        progress[thread] += 1;
+        dpor_dfs(
+            threads,
+            counts,
+            progress,
+            schedule,
+            total_ops,
+            &child_sleep,
+            run,
+            executed,
+        )?;
+        progress[thread] -= 1;
+        schedule.pop();
+        sleep.push(thread);
+    }
+    Ok(())
+}
+
+/// Greedily minimizes a failing schedule: repeatedly swaps adjacent
+/// steps that are out of canonical (thread-ascending) order, keeping
+/// each swap only if the schedule still fails. Each accepted swap
+/// removes one inversion, so this terminates at a failing schedule as
+/// close to the sequential order as the bug allows — the shortest
+/// description of *which* reordering breaks.
+fn minimize_failing<F>(schedule: &[ScheduledOp], run: &mut F) -> Vec<ScheduledOp>
+where
+    F: FnMut(&[ScheduledOp]) -> Result<(), String>,
+{
+    let mut best = schedule.to_vec();
+    loop {
+        let mut improved = false;
+        for i in 0..best.len().saturating_sub(1) {
+            // Swapping adjacent steps of *different* threads preserves
+            // per-thread op order, so the candidate stays well-formed.
+            if best[i].0 > best[i + 1].0 {
+                let mut candidate = best.clone();
+                candidate.swap(i, i + 1);
+                if run(&candidate).is_err() {
+                    best = candidate;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,9 +471,12 @@ mod tests {
         })
         .unwrap_err();
         match err {
-            ExploreError::InvariantViolated { schedule, .. } => {
+            ExploreError::InvariantViolated {
+                schedule, replay, ..
+            } => {
                 // double-then-set yields 5, not 10.
                 assert_eq!(schedule, vec![(1, 0), (0, 0)]);
+                assert_eq!(replay, "1,0");
             }
             other => panic!("wrong error: {other}"),
         }
@@ -228,5 +505,154 @@ mod tests {
             Ok(())
         })
         .unwrap();
+    }
+
+    #[test]
+    fn schedule_strings_round_trip() {
+        let counts = [2usize, 1, 1];
+        let schedule = vec![(0, 0), (2, 0), (0, 1), (1, 0)];
+        let text = schedule_string(&schedule);
+        assert_eq!(text, "0,2,0,1");
+        assert_eq!(parse_schedule(&text, &counts).unwrap(), schedule);
+    }
+
+    #[test]
+    fn malformed_schedule_strings_are_rejected() {
+        assert!(parse_schedule("0,x", &[2]).is_err(), "non-numeric step");
+        assert!(parse_schedule("0,3", &[1, 1]).is_err(), "thread range");
+        assert!(parse_schedule("0,0", &[1, 1]).is_err(), "thread overrun");
+        assert!(parse_schedule("0", &[1, 1]).is_err(), "incomplete");
+    }
+
+    #[test]
+    fn dpor_executes_once_when_everything_is_independent() {
+        // Two threads, two ops each, all on private resources: every
+        // interleaving is equivalent, so one representative suffices.
+        let threads = vec![
+            vec![vec![Access::Write(1)], vec![Access::Write(1)]],
+            vec![vec![Access::Write(2)], vec![Access::Write(2)]],
+        ];
+        let mut ran = 0u64;
+        let executed = explore_dpor(&threads, |_| {
+            ran += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(executed, 1);
+        assert_eq!(ran, 1);
+        assert_eq!(schedule_count(&[2, 2]), 6, "vs 6 exhaustive");
+    }
+
+    #[test]
+    fn dpor_explores_both_orders_of_dependent_ops() {
+        let threads = vec![
+            vec![vec![Access::Write(1)]],
+            vec![vec![Access::Write(1)]],
+        ];
+        let executed = explore_dpor(&threads, |_| Ok(())).unwrap();
+        assert_eq!(executed, 2);
+    }
+
+    #[test]
+    fn dpor_read_read_is_independent_read_write_is_not() {
+        let reads = vec![
+            vec![vec![Access::Read(1)]],
+            vec![vec![Access::Read(1)]],
+        ];
+        assert_eq!(explore_dpor(&reads, |_| Ok(())).unwrap(), 1);
+
+        let mixed = vec![
+            vec![vec![Access::Read(1)]],
+            vec![vec![Access::Write(1)]],
+        ];
+        assert_eq!(explore_dpor(&mixed, |_| Ok(())).unwrap(), 2);
+    }
+
+    #[test]
+    fn dpor_scales_where_exhaustion_refuses() {
+        // 5 threads × 4 private ops: C(20;4,4,4,4,4) ≈ 3×10^11 — far
+        // past the exhaustive budget — but a single trace.
+        let threads: Vec<Vec<Vec<Access>>> = (0..5)
+            .map(|t| (0..4).map(|_| vec![Access::Write(t as u64)]).collect())
+            .collect();
+        let counts = [4usize; 5];
+        assert!(matches!(
+            explore(&counts, |_| Ok(())),
+            Err(ExploreError::TooManySchedules { .. })
+        ));
+        assert_eq!(explore_dpor(&threads, |_| Ok(())).unwrap(), 1);
+    }
+
+    #[test]
+    fn dpor_finds_seeded_violation_with_minimized_replayable_schedule() {
+        // Thread 0: two private preamble ops, then `set(5)`; thread 1:
+        // `double`. Only set/double conflict; the invariant (the
+        // sequential outcome, 10) breaks exactly when double runs
+        // before set.
+        let threads = vec![
+            vec![
+                vec![Access::Write(100)],
+                vec![Access::Write(100)],
+                vec![Access::Write(1)],
+            ],
+            vec![vec![Access::Write(1)]],
+        ];
+        let run = |schedule: &[ScheduledOp]| {
+            let mut value = 0i64;
+            for &(t, i) in schedule {
+                match (t, i) {
+                    (0, 2) => value = 5,
+                    (1, 0) => value *= 2,
+                    _ => {}
+                }
+            }
+            if value == 10 {
+                Ok(())
+            } else {
+                Err(format!("value {value} != 10"))
+            }
+        };
+        let err = explore_dpor(&threads, run).unwrap_err();
+        let ExploreError::InvariantViolated {
+            schedule,
+            replay: replay_text,
+            message,
+        } = err
+        else {
+            panic!("expected a violation");
+        };
+        assert!(message.contains("!= 10"), "{message}");
+        // Minimization pushes the inert preamble ops ahead of the
+        // context switch: the canonical failing order runs thread 1
+        // as late as the bug allows.
+        assert_eq!(schedule_string(&schedule), replay_text);
+        assert_eq!(replay_text, "0,0,1,0");
+
+        // The emitted string reproduces the failure via replay().
+        let replayed = replay(&replay_text, &[3, 1], run).unwrap_err();
+        assert!(matches!(
+            replayed,
+            ExploreError::InvariantViolated { .. }
+        ));
+
+        // And the sequential order passes, confirming the string
+        // carries real information.
+        assert!(replay("0,0,0,1", &[3, 1], run).is_ok());
+    }
+
+    #[test]
+    fn dpor_agrees_with_exhaustive_on_dependent_models() {
+        // Fully dependent 2×2: DPOR must still execute all 6 merges.
+        let threads = vec![
+            vec![vec![Access::Write(1)], vec![Access::Write(1)]],
+            vec![vec![Access::Write(1)], vec![Access::Write(1)]],
+        ];
+        assert_eq!(explore_dpor(&threads, |_| Ok(())).unwrap(), 6);
+    }
+
+    #[test]
+    fn replay_rejects_malformed_strings() {
+        let err = replay("0,banana", &[2], |_| Ok(())).unwrap_err();
+        assert!(matches!(err, ExploreError::MalformedSchedule { .. }));
     }
 }

@@ -19,13 +19,17 @@
 //!   failures shrink to a minimized hex reproducer.
 //! * [`sync`] + [`interleave`] — a lock-order-cycle detector over the
 //!   acquisition log the `parking_lot` shim records under its
-//!   `check-sync` feature, and a bounded exhaustive-schedule
-//!   mini-interleaver for algebraic concurrency properties
-//!   (loom-lite).
+//!   `check-sync` feature, and deterministic schedule exploration
+//!   (exhaustive baseline plus a sleep-set DPOR explorer) for
+//!   algebraic concurrency properties (loom-lite).
+//! * [`vclock`] + [`races`] — a dynamic happens-before race detector:
+//!   vector-clock replay of the unified synchronization event log the
+//!   shims record under `check-sync`, reporting unordered write/write
+//!   and read/write access pairs with both source-site labels.
 //!
-//! The `bgpbench-check` binary fronts the lint pass and the fuzzer;
-//! the concurrency checks run as `cargo test -p bgpbench-check
-//! --features check-sync`.
+//! The `bgpbench-check` binary fronts the lint pass, the fuzzer, and
+//! (when built with `check-sync`) the race pass; the concurrency
+//! checks run as `cargo test -p bgpbench-check --features check-sync`.
 
 #![forbid(unsafe_code)]
 
@@ -35,4 +39,8 @@ pub mod fuzz;
 pub mod interleave;
 pub mod lexer;
 pub mod lint;
+#[cfg(feature = "check-sync")]
+pub mod race_models;
+pub mod races;
 pub mod sync;
+pub mod vclock;

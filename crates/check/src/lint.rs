@@ -28,7 +28,12 @@
 //!   would export with no name and break schema validation). The
 //!   recorder's hot path is covered by `no-panic` already: the whole
 //!   `telemetry` crate is a hot-path crate.
+//! * `unused-waiver` — every `check/allow.toml` entry must still
+//!   cover at least one raw finding; a waiver nothing matches is
+//!   stale documentation that would silently mask the next real
+//!   violation at that path.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -45,7 +50,13 @@ const HOT_PATH_CRATES: [&str; 4] = ["wire", "rib", "fib", "telemetry"];
 /// there turns a malformed peer message into a process abort. The
 /// policy-profile builders run inside measured scenario setup, where a
 /// panic aborts a whole grid cell instead of surfacing as a result.
-const HOT_PATH_FILES: [&str; 2] = ["crates/daemon/src/fsm.rs", "crates/core/src/policy.rs"];
+/// The metrics HTTP endpoint serves requests while a measurement is
+/// live; a panic in its handler kills the serving thread mid-run.
+const HOT_PATH_FILES: [&str; 3] = [
+    "crates/daemon/src/fsm.rs",
+    "crates/core/src/policy.rs",
+    "crates/daemon/src/http.rs",
+];
 
 /// Crates allowed to read the host clock.
 const CLOCK_CRATES: [&str; 2] = ["telemetry", "bench"];
@@ -82,10 +93,16 @@ impl std::fmt::Display for Violation {
 pub struct LintReport {
     /// Findings not covered by the allowlist, in path/line order.
     pub violations: Vec<Violation>,
+    /// Findings waived by `check/allow.toml`, as full records (the
+    /// `--json` output reports them with `"allowlisted": true`).
+    pub waived_findings: Vec<Violation>,
     /// Findings waived by `check/allow.toml`.
     pub waived: usize,
     /// Source files scanned.
     pub files_scanned: usize,
+    /// Indices into the allowlist's entries that waived at least one
+    /// finding; the complement feeds the `unused-waiver` rule.
+    pub matched_waivers: BTreeSet<usize>,
 }
 
 impl LintReport {
@@ -131,8 +148,13 @@ pub fn run(root: &Path, allowlist: &Allowlist) -> io::Result<LintReport> {
         "TraceEventId",
     )?;
 
+    append_unused_waiver_findings(&mut report, allowlist);
+
     report
         .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report
+        .waived_findings
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(report)
 }
@@ -192,8 +214,15 @@ fn push_finding(
     line_text: &str,
     message: String,
 ) {
-    if allowlist.waiver(rule, path, line_text).is_some() {
+    if let Some(index) = allowlist.waiver_index(rule, path, line_text) {
         report.waived += 1;
+        report.matched_waivers.insert(index);
+        report.waived_findings.push(Violation {
+            rule,
+            path: path.to_owned(),
+            line,
+            message,
+        });
     } else {
         report.violations.push(Violation {
             rule,
@@ -201,6 +230,62 @@ fn push_finding(
             line,
             message,
         });
+    }
+}
+
+/// One lint finding as a JSON object (`bgpbench-check lint --json`).
+/// The repo has no JSON dependency, so the string fields are escaped
+/// by hand (the control/quote subset JSON requires).
+pub fn finding_json(violation: &Violation, allowlisted: bool) -> String {
+    format!(
+        r#"{{"path":"{}","line":{},"rule":"{}","allowlisted":{},"message":"{}"}}"#,
+        json_escape(&violation.path),
+        violation.line,
+        json_escape(violation.rule),
+        allowlisted,
+        json_escape(&violation.message)
+    )
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `unused-waiver` rule: every allowlist entry must have waived
+/// at least one finding during the scan, or it is stale and the run
+/// fails.
+fn append_unused_waiver_findings(report: &mut LintReport, allowlist: &Allowlist) {
+    for (index, entry) in allowlist.entries().iter().enumerate() {
+        if !report.matched_waivers.contains(&index) {
+            report.violations.push(Violation {
+                rule: "unused-waiver",
+                path: entry.path.clone(),
+                line: 0,
+                message: match &entry.contains {
+                    Some(needle) => format!(
+                        "allow.toml waiver [{} @ {}] (contains \"{needle}\") matches no \
+                         finding — delete it",
+                        entry.rule, entry.path
+                    ),
+                    None => format!(
+                        "allow.toml waiver [{} @ {}] matches no finding — delete it",
+                        entry.rule, entry.path
+                    ),
+                },
+            });
+        }
     }
 }
 
@@ -584,5 +669,60 @@ mod tests {
         );
         assert!(report.is_clean());
         assert_eq!(report.waived, 1);
+        // The waived finding survives as a full record for --json.
+        assert_eq!(report.waived_findings.len(), 1);
+        assert_eq!(report.waived_findings[0].rule, "no-panic");
+        assert_eq!(report.waived_findings[0].line, 1);
+        // And the entry is marked load-bearing.
+        assert_eq!(report.matched_waivers.iter().copied().collect::<Vec<_>>(), [0]);
+    }
+
+    #[test]
+    fn finding_json_escapes_and_tags() {
+        let violation = Violation {
+            rule: "no-panic",
+            path: "crates/rib/src/x.rs".to_owned(),
+            line: 7,
+            message: "`.unwrap()` in \"hot\" path\n".to_owned(),
+        };
+        assert_eq!(
+            finding_json(&violation, true),
+            r#"{"path":"crates/rib/src/x.rs","line":7,"rule":"no-panic","allowlisted":true,"message":"`.unwrap()` in \"hot\" path\n"}"#
+        );
+    }
+
+    #[test]
+    fn unused_waivers_become_violations() {
+        let allow = Allowlist::parse(
+            "[[allow]]\nrule = \"no-panic\"\npath = \"crates/rib/src/x.rs\"\ncontains = \"unwrap\"\nreason = \"used\"\n\
+             [[allow]]\nrule = \"no-panic\"\npath = \"crates/rib/src/gone.rs\"\nreason = \"stale\"\n",
+        )
+        .unwrap();
+        let mut report = LintReport::default();
+        scan_file(
+            "crates/rib/src/x.rs",
+            "fn f() { y.unwrap(); }\n",
+            &allow,
+            &mut report,
+        );
+        append_unused_waiver_findings(&mut report, &allow);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "unused-waiver");
+        assert_eq!(report.violations[0].path, "crates/rib/src/gone.rs");
+        assert!(report.violations[0].message.contains("matches no finding"));
+    }
+
+    #[test]
+    fn metrics_http_endpoint_is_a_hot_path_file() {
+        let allow = Allowlist::empty();
+        let mut report = LintReport::default();
+        scan_file(
+            "crates/daemon/src/http.rs",
+            "fn f() { y.unwrap(); }\n",
+            &allow,
+            &mut report,
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "no-panic");
     }
 }

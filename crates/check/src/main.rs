@@ -2,17 +2,21 @@
 //! front end.
 //!
 //! ```text
-//! bgpbench-check lint [--root DIR] [--allow FILE]
-//! bgpbench-check fuzz-wire [--seed N] [--iters N]
+//! bgpbench-check lint [--root DIR] [--allow FILE] [--json]
+//! bgpbench-check fuzz-wire [--seed N] [--iters N] [--target wire|trace]
 //! bgpbench-check fuzz-wire --repro HEX
 //! bgpbench-check trace-schema PATH
+//! bgpbench-check races [--seeded]        (needs --features check-sync)
 //! ```
 //!
 //! `lint` exits 1 when any unwaived violation exists; `fuzz-wire`
 //! exits 1 when a mutant violates a fuzz property (and prints a
 //! minimized hex reproducer); `trace-schema` exits 1 when a
-//! `--trace` dump is not valid Chrome trace-event JSON. All are wired
-//! into CI.
+//! `--trace` dump is not valid Chrome trace-event JSON; `races` runs
+//! the instrumented parallel models under the happens-before detector
+//! and exits 1 on any unordered conflicting access pair (`--seeded`
+//! inverts it: run the deliberately racy model and exit 0 only if the
+//! detector catches it). All are wired into CI.
 
 #![forbid(unsafe_code)]
 
@@ -28,6 +32,7 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         Some("fuzz-wire") => run_fuzz(&args[1..]),
         Some("trace-schema") => run_trace_schema(&args[1..]),
+        Some("races") => run_races(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print_usage();
             ExitCode::SUCCESS
@@ -45,10 +50,11 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage:\n  \
-         bgpbench-check lint [--root DIR] [--allow FILE]\n  \
-         bgpbench-check fuzz-wire [--seed N] [--iters N]\n  \
+         bgpbench-check lint [--root DIR] [--allow FILE] [--json]\n  \
+         bgpbench-check fuzz-wire [--seed N] [--iters N] [--target wire|trace]\n  \
          bgpbench-check fuzz-wire --repro HEX\n  \
-         bgpbench-check trace-schema PATH"
+         bgpbench-check trace-schema PATH\n  \
+         bgpbench-check races [--seeded]"
     );
 }
 
@@ -148,15 +154,27 @@ fn run_lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for violation in &report.violations {
-        println!("{violation}");
+    if args.iter().any(|a| a == "--json") {
+        // One JSON object per finding, violations then waived, each
+        // tagged with whether the allowlist covered it. Machine
+        // consumers get every field the text diagnostic carries.
+        for violation in &report.violations {
+            println!("{}", lint::finding_json(violation, false));
+        }
+        for waived in &report.waived_findings {
+            println!("{}", lint::finding_json(waived, true));
+        }
+    } else {
+        for violation in &report.violations {
+            println!("{violation}");
+        }
+        println!(
+            "lint: {} file(s) scanned, {} violation(s), {} waived",
+            report.files_scanned,
+            report.violations.len(),
+            report.waived
+        );
     }
-    println!(
-        "lint: {} file(s) scanned, {} violation(s), {} waived",
-        report.files_scanned,
-        report.violations.len(),
-        report.waived
-    );
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -164,9 +182,75 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
+/// Runs the instrumented parallel models under the happens-before
+/// detector. Without the `check-sync` feature the shims record
+/// nothing, so the pass explains itself and exits 2 rather than
+/// reporting a vacuous pass.
+#[cfg(feature = "check-sync")]
+fn run_races(args: &[String]) -> ExitCode {
+    use bgpbench_check::race_models;
+
+    if args.iter().any(|a| a == "--seeded") {
+        // Negative control: the detector must catch the planted race.
+        let report = race_models::seeded_race_model();
+        for race in &report.races {
+            println!("races: seeded: {race}");
+        }
+        return if report.races.iter().any(|race| race.write_write()) {
+            println!(
+                "races: seeded control caught ({} access(es) over {} cell(s))",
+                report.accesses_checked, report.cells_seen
+            );
+            ExitCode::SUCCESS
+        } else {
+            println!("races: seeded control NOT caught — detector is broken");
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut racy = 0usize;
+    for (name, expect_clean, report) in race_models::run_all() {
+        for race in &report.races {
+            println!("races: {name}: {race}");
+        }
+        let verdict = if report.is_race_free() { "ok" } else { "RACES" };
+        println!(
+            "races: {name}: {verdict} — {} event(s) replayed, {} access(es) over {} cell(s), {} race(s)",
+            report.events_replayed,
+            report.accesses_checked,
+            report.cells_seen,
+            report.races.len()
+        );
+        if expect_clean && !report.is_race_free() {
+            racy += 1;
+        }
+    }
+    if racy == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(not(feature = "check-sync"))]
+fn run_races(_args: &[String]) -> ExitCode {
+    eprintln!(
+        "races: the shims recorded nothing — rebuild with\n  \
+         cargo run -p bgpbench-check --features check-sync -- races"
+    );
+    ExitCode::from(2)
+}
+
 fn run_fuzz(args: &[String]) -> ExitCode {
+    let target = match fuzz::Target::from_name(flag_value(args, "--target").unwrap_or("wire")) {
+        Some(target) => target,
+        None => {
+            eprintln!("--target expects `wire` or `trace`");
+            return ExitCode::from(2);
+        }
+    };
     if let Some(hex) = flag_value(args, "--repro") {
-        return match fuzz::run_reproducer(hex) {
+        return match fuzz::run_reproducer_target(target, hex) {
             Ok(()) => {
                 println!("reproducer no longer fails");
                 ExitCode::SUCCESS
@@ -196,17 +280,22 @@ fn run_fuzz(args: &[String]) -> ExitCode {
         }
     };
 
-    let report = fuzz::run(seed, iters);
+    let report = fuzz::run_target(target, seed, iters);
     println!(
-        "fuzz-wire: seed {}, {} iteration(s): {} decoded, {} rejected with typed errors",
-        report.seed, report.iterations, report.decoded_ok, report.rejected
+        "fuzz-wire[{}]: seed {}, {} iteration(s): {} decoded, {} rejected with typed errors",
+        target.name(),
+        report.seed,
+        report.iterations,
+        report.decoded_ok,
+        report.rejected
     );
     match report.failure {
         None => ExitCode::SUCCESS,
         Some(reproducer) => {
             println!("FAILURE at {reproducer}");
             println!(
-                "replay with: bgpbench-check fuzz-wire --repro {}",
+                "replay with: bgpbench-check fuzz-wire --target {} --repro {}",
+                target.name(),
                 reproducer.hex()
             );
             ExitCode::FAILURE

@@ -1,0 +1,179 @@
+//! The instrumented parallel subsystems the `bgpbench-check races`
+//! pass drives, each returning the happens-before analysis of the
+//! sync-event log its run produced.
+//!
+//! Three real models (the same trio the loom-lite interleaving tests
+//! cover) plus one deliberately broken one:
+//!
+//! * [`sharded_train_model`] — `ShardedRibEngine::apply_update_train`:
+//!   scoped workers write per-shard outcome cells, the caller merges
+//!   them after the joins. Ordering comes from the spawn/join edges
+//!   the shard code records.
+//! * [`telemetry_merge_model`] — worker threads record into registry
+//!   shards and their private trace rings; the parent snapshots and
+//!   drains after joining. Ordering comes from join edges (registry)
+//!   and ring locks (trace).
+//! * [`grid_queue_model`] — `GridRunner::run_map`: workers write
+//!   result cells, the collector reads each on the matching
+//!   `Finished` message. Ordering comes from the channel edges alone —
+//!   no joins are involved while results stream back.
+//! * [`seeded_race_model`] — two plain `std::thread::spawn` threads
+//!   write one shared cell with **no** recorded ordering edge. The
+//!   detector must flag it; this is the pass's built-in negative
+//!   control (`races --seeded`).
+//!
+//! Every model resets the global shim log first, so callers must hold
+//! whatever serialization the process needs (the CLI is
+//! single-threaded; tests take their `serial()` guard).
+
+#![cfg(feature = "check-sync")]
+
+use std::net::Ipv4Addr;
+
+use bgpbench_core::{CellSpec, GridRunner, Scenario};
+use bgpbench_models::pentium3;
+use bgpbench_rib::{PeerId, PeerInfo, RouteAttributes, ShardedRibEngine};
+use bgpbench_telemetry::{MetricId, Registry, TraceConfig, TraceEventId};
+use bgpbench_wire::{AsPath, Asn, Origin, Prefix, RouterId, UpdateMessage};
+use parking_lot::sync_check;
+
+use crate::races::{analyze_recorded, RaceReport};
+
+/// Every model in pass order: `(name, zero races expected, report)`.
+pub fn run_all() -> Vec<(&'static str, bool, RaceReport)> {
+    vec![
+        ("rib::shard::apply_update_train", true, sharded_train_model()),
+        ("telemetry::registry+trace merge", true, telemetry_merge_model()),
+        ("core::runner::grid_queue", true, grid_queue_model()),
+    ]
+}
+
+/// The sharded RIB's parallel train: fan work out to scoped shard
+/// workers, join, merge. The recorded spawn/join edges must order
+/// every worker's outcome-cell write before the merge's reads.
+pub fn sharded_train_model() -> RaceReport {
+    sync_check::reset();
+
+    let peer = PeerId(1);
+    let info = PeerInfo::new(peer, Asn(65001), RouterId(2), Ipv4Addr::new(10, 0, 0, 2));
+    let mut engine = ShardedRibEngine::new(Asn(65000), RouterId(1));
+    engine.add_peer(info);
+    engine.set_shards(4);
+
+    let prefixes: Vec<Prefix> = (0..32u32)
+        .map(|i| {
+            Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 + (i << 12)), 20)
+                .expect("static prefix")
+        })
+        .collect();
+    let attrs = RouteAttributes::new(
+        Origin::Igp,
+        AsPath::from_sequence([Asn(65001)]),
+        Ipv4Addr::new(10, 0, 0, 2),
+    );
+    // Eight announce messages of four prefixes each: enough updates to
+    // take the parallel path, spread across all four shards.
+    let updates: Vec<UpdateMessage> = prefixes
+        .chunks(4)
+        .map(|chunk| {
+            let mut builder = UpdateMessage::builder();
+            for attr in attrs.to_wire() {
+                builder = builder.attribute(attr);
+            }
+            builder.announce_all(chunk.iter().copied()).build()
+        })
+        .collect();
+    engine
+        .apply_update_train(peer, &updates)
+        .expect("train applies");
+
+    analyze_recorded()
+}
+
+/// Registry shards plus trace rings: workers write, the parent merges
+/// after joining. The join edges (recorded manually here, exactly as
+/// the runner records its own) order shard writes before `snapshot`;
+/// the per-ring locks order pushes before the drain.
+pub fn telemetry_merge_model() -> RaceReport {
+    sync_check::reset();
+
+    let registry = Registry::new();
+    bgpbench_telemetry::enable_trace(&TraceConfig::with_capacity(64));
+    let mut tokens = Vec::new();
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let registry = &registry;
+            let token = sync_check::next_task_token();
+            sync_check::on_task_spawn(token);
+            tokens.push(token);
+            scope.spawn(move || {
+                sync_check::on_task_start(token);
+                for i in 0..8u64 {
+                    registry.add_to_shard(worker, MetricId::RibUpdates, i);
+                    registry.observe_in_shard(worker, MetricId::UpdatePrefixes, i * 3);
+                    bgpbench_telemetry::trace_instant(
+                        TraceEventId::PhaseMark,
+                        worker as u64,
+                        i,
+                    );
+                }
+                sync_check::on_task_end(token);
+            });
+        }
+    });
+    // The scope joined every worker when it closed; record the edges
+    // it established so the analyzer sees the same ordering the
+    // runtime guarantees — exactly what the grid runner does for its
+    // own workers.
+    for token in tokens {
+        sync_check::on_task_join(token);
+    }
+    let snapshot = registry.snapshot();
+    assert!(snapshot.get(MetricId::RibUpdates) > 0);
+    let dump = bgpbench_telemetry::trace_dump();
+    assert!(dump.total_events() > 0);
+    bgpbench_telemetry::disable_trace();
+    bgpbench_telemetry::trace_clear();
+
+    analyze_recorded()
+}
+
+/// The grid runner's work queue: channel edges alone must order each
+/// worker's result write before the collector's read.
+pub fn grid_queue_model() -> RaceReport {
+    sync_check::reset();
+
+    let cells: Vec<CellSpec> = (0..8)
+        .map(|i| {
+            CellSpec::new(Scenario::S2, pentium3())
+                .prefixes(10)
+                .seed(i as u64)
+        })
+        .collect();
+    let runs = GridRunner::new(4).run_map(&cells, |cell| cell.cell_seed());
+    assert_eq!(runs.len(), 8);
+
+    analyze_recorded()
+}
+
+/// The negative control: two unsynchronized writers to one recorded
+/// cell. `std::thread::join` *does* order them at runtime, but nothing
+/// records that edge — exactly the shape of a real bug where code
+/// relies on an ordering the synchronization doesn't provide.
+pub fn seeded_race_model() -> RaceReport {
+    sync_check::reset();
+
+    let cell = sync_check::next_cell_id();
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                sync_check::record_cell_write(cell, "race_models::seeded_writer");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("seeded writer panicked");
+    }
+
+    analyze_recorded()
+}

@@ -1,0 +1,503 @@
+//! Dynamic happens-before race detection over the shim event log.
+//!
+//! The `parking_lot` shim (under its `check-sync` feature) records one
+//! global, ordered log of synchronization events: lock acquire/release,
+//! channel send/recv (mirrored in by the `crossbeam` shim), task
+//! spawn/start/end/join edges, and labelled accesses to deliberately
+//! shared cells. This module replays that log through vector clocks
+//! ([`crate::vclock`]) and reports every pair of conflicting accesses
+//! (write/write or read/write on the same cell from different threads)
+//! that the recorded synchronization does **not** order.
+//!
+//! Happens-before edges, in the classic shapes:
+//!
+//! * lock release → next acquire of the same lock;
+//! * channel send of message `seq` → receive of that same message;
+//! * task spawn → task start, and task end → task join.
+//!
+//! The analysis is its own code path so it stays testable without the
+//! recording feature: [`Event`] mirrors the shim's `SyncEvent`, and
+//! seeded-race unit tests below run in the plain test suite. With
+//! `check-sync` enabled, [`analyze_recorded`] pulls the live log.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::vclock::VClock;
+
+/// One event of a recorded (or synthesized) execution, in log order.
+/// Mirrors `parking_lot::sync_check::SyncEvent` one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// `thread` acquired `lock` (joins the lock's release clock).
+    LockAcquired {
+        /// Acquiring thread.
+        thread: u32,
+        /// Lock id.
+        lock: u64,
+    },
+    /// `thread` released `lock` (publishes its clock on the lock).
+    LockReleased {
+        /// Releasing thread.
+        thread: u32,
+        /// Lock id.
+        lock: u64,
+    },
+    /// `thread` sent message `seq` on channel `chan`.
+    Send {
+        /// Sending thread.
+        thread: u32,
+        /// Channel id.
+        chan: u64,
+        /// Per-channel message sequence number.
+        seq: u64,
+    },
+    /// `thread` received message `seq` from channel `chan`.
+    Recv {
+        /// Receiving thread.
+        thread: u32,
+        /// Channel id.
+        chan: u64,
+        /// Per-channel message sequence number.
+        seq: u64,
+    },
+    /// `thread` spawned the task identified by `token`.
+    Spawned {
+        /// Parent thread.
+        thread: u32,
+        /// Spawn token.
+        token: u64,
+    },
+    /// The task identified by `token` started on `thread`.
+    Started {
+        /// Child thread.
+        thread: u32,
+        /// Spawn token.
+        token: u64,
+    },
+    /// The task identified by `token` finished on `thread`.
+    Ended {
+        /// Child thread.
+        thread: u32,
+        /// Spawn token.
+        token: u64,
+    },
+    /// `thread` joined the task identified by `token`.
+    Joined {
+        /// Joining thread.
+        thread: u32,
+        /// Spawn token.
+        token: u64,
+    },
+    /// `thread` accessed shared cell `cell` at source site `site`.
+    Access {
+        /// Accessing thread.
+        thread: u32,
+        /// Cell id.
+        cell: u64,
+        /// Whether the access mutates the cell.
+        write: bool,
+        /// Static label of the access site.
+        site: &'static str,
+    },
+}
+
+/// One side of a reported race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSite {
+    /// The accessing thread's recorder id.
+    pub thread: u32,
+    /// The static source-site label recorded with the access.
+    pub site: &'static str,
+    /// Whether this side was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (thread {}, {})",
+            self.site,
+            self.thread,
+            if self.write { "write" } else { "read" }
+        )
+    }
+}
+
+/// A pair of conflicting accesses with no happens-before order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Race {
+    /// The shared cell both sides touched.
+    pub cell: u64,
+    /// The earlier access in log order.
+    pub first: AccessSite,
+    /// The later access in log order.
+    pub second: AccessSite,
+}
+
+impl Race {
+    /// Whether both sides are writes (the worst kind).
+    pub fn write_write(&self) -> bool {
+        self.first.write && self.second.write
+    }
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race on cell {}: {} vs {}",
+            if self.write_write() {
+                "write/write"
+            } else {
+                "read/write"
+            },
+            self.cell,
+            self.first,
+            self.second
+        )
+    }
+}
+
+/// The result of one happens-before replay.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Unordered conflicting pairs, deduplicated per (cell, site
+    /// pair); empty means the log is race-free.
+    pub races: Vec<Race>,
+    /// Cell accesses examined.
+    pub accesses_checked: usize,
+    /// Distinct shared cells seen in the log.
+    pub cells_seen: usize,
+    /// Total events replayed.
+    pub events_replayed: usize,
+}
+
+impl RaceReport {
+    /// Whether the replay found no unordered conflicting pair.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+/// One recorded access with the clock it carried, kept per cell for
+/// the conflict scan.
+#[derive(Debug, Clone)]
+struct PastAccess {
+    thread: u32,
+    clock: VClock,
+    write: bool,
+    site: &'static str,
+}
+
+/// Replays `events` (in recorded order) through vector clocks and
+/// reports every unordered conflicting access pair.
+pub fn analyze(events: &[Event]) -> RaceReport {
+    let mut clocks: HashMap<u32, VClock> = HashMap::new();
+    let mut lock_clocks: HashMap<u64, VClock> = HashMap::new();
+    let mut message_clocks: HashMap<(u64, u64), VClock> = HashMap::new();
+    let mut spawn_clocks: HashMap<u64, VClock> = HashMap::new();
+    let mut end_clocks: HashMap<u64, VClock> = HashMap::new();
+    let mut cells: HashMap<u64, Vec<PastAccess>> = HashMap::new();
+    let mut report = RaceReport::default();
+    let mut reported: BTreeSet<(u64, &'static str, &'static str)> = BTreeSet::new();
+
+    for event in events {
+        report.events_replayed += 1;
+        let thread = match *event {
+            Event::LockAcquired { thread, .. }
+            | Event::LockReleased { thread, .. }
+            | Event::Send { thread, .. }
+            | Event::Recv { thread, .. }
+            | Event::Spawned { thread, .. }
+            | Event::Started { thread, .. }
+            | Event::Ended { thread, .. }
+            | Event::Joined { thread, .. }
+            | Event::Access { thread, .. } => thread,
+        };
+        let clock = clocks.entry(thread).or_default();
+        clock.tick(thread);
+        match *event {
+            Event::LockAcquired { lock, .. } => {
+                if let Some(release) = lock_clocks.get(&lock) {
+                    clock.join(release);
+                }
+            }
+            Event::LockReleased { lock, .. } => {
+                lock_clocks.insert(lock, clock.clone());
+            }
+            Event::Send { chan, seq, .. } => {
+                message_clocks.insert((chan, seq), clock.clone());
+            }
+            Event::Recv { chan, seq, .. } => {
+                if let Some(sent) = message_clocks.get(&(chan, seq)) {
+                    clock.join(sent);
+                }
+            }
+            Event::Spawned { token, .. } => {
+                spawn_clocks.insert(token, clock.clone());
+            }
+            Event::Started { token, .. } => {
+                if let Some(parent) = spawn_clocks.get(&token) {
+                    clock.join(parent);
+                }
+            }
+            Event::Ended { token, .. } => {
+                end_clocks.insert(token, clock.clone());
+            }
+            Event::Joined { token, .. } => {
+                if let Some(child) = end_clocks.get(&token) {
+                    clock.join(child);
+                }
+            }
+            Event::Access {
+                cell, write, site, ..
+            } => {
+                report.accesses_checked += 1;
+                let history = cells.entry(cell).or_default();
+                for past in history.iter() {
+                    let conflicting = past.thread != thread && (past.write || write);
+                    // `past` happened-before this access exactly when
+                    // this thread's clock has caught up with `past`'s
+                    // own component (the epoch comparison).
+                    let ordered = past.clock.get(past.thread) <= clock.get(past.thread);
+                    if conflicting && !ordered {
+                        let key = (cell, past.site, site);
+                        if reported.insert(key) {
+                            report.races.push(Race {
+                                cell,
+                                first: AccessSite {
+                                    thread: past.thread,
+                                    site: past.site,
+                                    write: past.write,
+                                },
+                                second: AccessSite {
+                                    thread,
+                                    site,
+                                    write,
+                                },
+                            });
+                        }
+                    }
+                }
+                history.push(PastAccess {
+                    thread,
+                    clock: clock.clone(),
+                    write,
+                    site,
+                });
+            }
+        }
+    }
+    report.cells_seen = cells.len();
+    report
+}
+
+/// Converts the shim's recorded log into [`Event`]s and analyzes it.
+#[cfg(feature = "check-sync")]
+pub fn analyze_recorded() -> RaceReport {
+    analyze(&from_shim(&parking_lot::sync_check::sync_events()))
+}
+
+/// Maps the shim's `SyncEvent` log onto the analyzer's [`Event`]s.
+#[cfg(feature = "check-sync")]
+pub fn from_shim(events: &[parking_lot::sync_check::SyncEvent]) -> Vec<Event> {
+    use parking_lot::sync_check::SyncEvent;
+    events
+        .iter()
+        .map(|event| match *event {
+            SyncEvent::LockAcquired { thread, lock } => Event::LockAcquired { thread, lock },
+            SyncEvent::LockReleased { thread, lock } => Event::LockReleased { thread, lock },
+            SyncEvent::ChanSend { thread, chan, seq } => Event::Send { thread, chan, seq },
+            SyncEvent::ChanRecv { thread, chan, seq } => Event::Recv { thread, chan, seq },
+            SyncEvent::TaskSpawned { thread, token } => Event::Spawned { thread, token },
+            SyncEvent::TaskStarted { thread, token } => Event::Started { thread, token },
+            SyncEvent::TaskEnded { thread, token } => Event::Ended { thread, token },
+            SyncEvent::TaskJoined { thread, token } => Event::Joined { thread, token },
+            SyncEvent::CellAccess {
+                thread,
+                cell,
+                write,
+                site,
+            } => Event::Access {
+                thread,
+                cell,
+                write,
+                site,
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(thread: u32, cell: u64, site: &'static str) -> Event {
+        Event::Access {
+            thread,
+            cell,
+            write: true,
+            site,
+        }
+    }
+
+    fn read(thread: u32, cell: u64, site: &'static str) -> Event {
+        Event::Access {
+            thread,
+            cell,
+            write: false,
+            site,
+        }
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        let report = analyze(&[write(1, 7, "site::a"), write(2, 7, "site::b")]);
+        assert_eq!(report.races.len(), 1);
+        let race = report.races[0];
+        assert!(race.write_write());
+        assert_eq!(race.first.site, "site::a");
+        assert_eq!(race.second.site, "site::b");
+        assert_eq!(race.cell, 7);
+    }
+
+    #[test]
+    fn read_write_pair_races_but_reads_do_not() {
+        let report = analyze(&[read(1, 7, "site::r"), write(2, 7, "site::w")]);
+        assert_eq!(report.races.len(), 1);
+        assert!(!report.races[0].write_write());
+
+        let report = analyze(&[read(1, 7, "site::r1"), read(2, 7, "site::r2")]);
+        assert!(report.is_race_free(), "concurrent reads never race");
+    }
+
+    #[test]
+    fn same_thread_accesses_are_program_ordered() {
+        let report = analyze(&[write(1, 7, "a"), write(1, 7, "b"), read(1, 7, "c")]);
+        assert!(report.is_race_free());
+    }
+
+    #[test]
+    fn distinct_cells_never_conflict() {
+        let report = analyze(&[write(1, 7, "a"), write(2, 8, "b")]);
+        assert!(report.is_race_free());
+        assert_eq!(report.cells_seen, 2);
+    }
+
+    #[test]
+    fn lock_release_acquire_orders_accesses() {
+        let events = [
+            Event::LockAcquired { thread: 1, lock: 5 },
+            write(1, 7, "a"),
+            Event::LockReleased { thread: 1, lock: 5 },
+            Event::LockAcquired { thread: 2, lock: 5 },
+            write(2, 7, "b"),
+            Event::LockReleased { thread: 2, lock: 5 },
+        ];
+        assert!(analyze(&events).is_race_free());
+    }
+
+    #[test]
+    fn different_locks_do_not_order_accesses() {
+        let events = [
+            Event::LockAcquired { thread: 1, lock: 5 },
+            write(1, 7, "a"),
+            Event::LockReleased { thread: 1, lock: 5 },
+            Event::LockAcquired { thread: 2, lock: 6 },
+            write(2, 7, "b"),
+            Event::LockReleased { thread: 2, lock: 6 },
+        ];
+        assert_eq!(analyze(&events).races.len(), 1);
+    }
+
+    #[test]
+    fn channel_message_orders_sender_writes_before_receiver_reads() {
+        let events = [
+            write(1, 7, "producer"),
+            Event::Send {
+                thread: 1,
+                chan: 3,
+                seq: 0,
+            },
+            Event::Recv {
+                thread: 2,
+                chan: 3,
+                seq: 0,
+            },
+            read(2, 7, "consumer"),
+        ];
+        assert!(analyze(&events).is_race_free());
+    }
+
+    #[test]
+    fn receiving_a_different_message_gives_no_order() {
+        let events = [
+            write(1, 7, "producer"),
+            Event::Send {
+                thread: 1,
+                chan: 3,
+                seq: 1,
+            },
+            // Message 0 was sent before thread 1's write.
+            Event::Recv {
+                thread: 2,
+                chan: 3,
+                seq: 0,
+            },
+            read(2, 7, "consumer"),
+        ];
+        assert_eq!(analyze(&events).races.len(), 1);
+    }
+
+    #[test]
+    fn spawn_and_join_edges_order_parent_and_child() {
+        let events = [
+            write(1, 7, "parent::init"),
+            Event::Spawned { thread: 1, token: 9 },
+            Event::Started { thread: 2, token: 9 },
+            write(2, 7, "child::work"),
+            Event::Ended { thread: 2, token: 9 },
+            Event::Joined { thread: 1, token: 9 },
+            read(1, 7, "parent::collect"),
+        ];
+        assert!(analyze(&events).is_race_free());
+    }
+
+    #[test]
+    fn access_before_join_races_with_child() {
+        let events = [
+            Event::Spawned { thread: 1, token: 9 },
+            Event::Started { thread: 2, token: 9 },
+            write(2, 7, "child::work"),
+            // Parent reads before observing the child's end.
+            read(1, 7, "parent::early"),
+            Event::Ended { thread: 2, token: 9 },
+            Event::Joined { thread: 1, token: 9 },
+        ];
+        let report = analyze(&events);
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].second.site, "parent::early");
+    }
+
+    #[test]
+    fn duplicate_site_pairs_are_reported_once() {
+        let events = [
+            write(1, 7, "a"),
+            write(1, 7, "a"),
+            write(2, 7, "b"),
+            write(2, 7, "b"),
+        ];
+        assert_eq!(analyze(&events).races.len(), 1);
+    }
+
+    #[test]
+    fn report_display_names_both_sites() {
+        let report = analyze(&[write(1, 7, "alpha"), read(2, 7, "beta")]);
+        let text = report.races[0].to_string();
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("beta"), "{text}");
+        assert!(text.contains("read/write"), "{text}");
+    }
+}

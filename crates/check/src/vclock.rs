@@ -1,0 +1,111 @@
+//! Vector clocks for the happens-before race analysis ([`crate::races`]).
+//!
+//! A [`VClock`] maps thread ids to logical timestamps. Thread `t`'s
+//! own component advances after every event `t` records; joining
+//! another clock (on lock acquire, channel receive, or task start /
+//! join) folds the sender's history into the receiver's. Event `a` by
+//! thread `t` happened-before event `b` exactly when `b`'s clock has
+//! caught up with `a`'s timestamp in component `t` — the standard
+//! epoch comparison FastTrack-style detectors build on.
+
+use std::collections::BTreeMap;
+
+/// A sparse vector clock: absent components are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    components: BTreeMap<u32, u64>,
+}
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// The timestamp of `thread`'s component (0 when never advanced).
+    pub fn get(&self, thread: u32) -> u64 {
+        self.components.get(&thread).copied().unwrap_or(0)
+    }
+
+    /// Advances `thread`'s own component by one.
+    pub fn tick(&mut self, thread: u32) {
+        *self.components.entry(thread).or_insert(0) += 1;
+    }
+
+    /// Folds `other` into `self` componentwise (`self ⊔= other`).
+    pub fn join(&mut self, other: &VClock) {
+        for (&thread, &stamp) in &other.components {
+            let slot = self.components.entry(thread).or_insert(0);
+            if *slot < stamp {
+                *slot = stamp;
+            }
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component
+    /// of `other` — i.e. the event stamped `self` happened-before (or
+    /// equals) the point stamped `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.components
+            .iter()
+            .all(|(&thread, &stamp)| stamp <= other.get(thread))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get_round_trip() {
+        let mut clock = VClock::new();
+        assert_eq!(clock.get(3), 0);
+        clock.tick(3);
+        clock.tick(3);
+        assert_eq!(clock.get(3), 2);
+        assert_eq!(clock.get(4), 0);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = VClock::new();
+        a.tick(1);
+        a.tick(1);
+        let mut b = VClock::new();
+        b.tick(1);
+        b.tick(2);
+        a.join(&b);
+        assert_eq!(a.get(1), 2);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn le_orders_causally_related_clocks() {
+        let mut earlier = VClock::new();
+        earlier.tick(1);
+        let mut later = earlier.clone();
+        later.tick(1);
+        later.tick(2);
+        assert!(earlier.le(&later));
+        assert!(!later.le(&earlier));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered() {
+        let mut a = VClock::new();
+        a.tick(1);
+        let mut b = VClock::new();
+        b.tick(2);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let zero = VClock::new();
+        let mut any = VClock::new();
+        any.tick(9);
+        assert!(zero.le(&any));
+        assert!(zero.le(&zero.clone()));
+    }
+}

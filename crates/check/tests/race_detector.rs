@@ -1,0 +1,156 @@
+//! The happens-before race pass against the real instrumented
+//! subsystems — the test twin of `bgpbench-check races`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p bgpbench-check --features check-sync
+//! ```
+//!
+//! The shim recorders are process-global, so every test serializes on
+//! the local [`serial`] guard (this binary runs in its own process, so
+//! it cannot collide with the sync_interleave binary's tests).
+
+#![cfg(feature = "check-sync")]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+use bgpbench_check::race_models;
+use bgpbench_check::races::{analyze_recorded, from_shim};
+use parking_lot::sync_check;
+
+/// Serializes tests that read or reset the global shim recorders.
+fn serial() -> StdMutexGuard<'static, ()> {
+    static GUARD: OnceLock<StdMutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| StdMutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn sharded_train_protocol_is_race_free() {
+    let _serial = serial();
+    let report = race_models::sharded_train_model();
+    assert!(
+        report.is_race_free(),
+        "apply_update_train raced: {:?}",
+        report.races
+    );
+    assert!(report.accesses_checked >= 8, "model must record accesses");
+}
+
+#[test]
+fn telemetry_merge_protocol_is_race_free() {
+    let _serial = serial();
+    let report = race_models::telemetry_merge_model();
+    assert!(
+        report.is_race_free(),
+        "registry/trace merge raced: {:?}",
+        report.races
+    );
+    // Four workers × (registry shard + trace ring) plus the merge
+    // reads: the model must genuinely exercise the shared cells.
+    assert!(report.cells_seen >= 5, "saw {} cells", report.cells_seen);
+}
+
+#[test]
+fn grid_queue_protocol_is_race_free() {
+    let _serial = serial();
+    let report = race_models::grid_queue_model();
+    assert!(
+        report.is_race_free(),
+        "grid runner result slots raced: {:?}",
+        report.races
+    );
+    // One write (worker) + one read (collector) per cell.
+    assert_eq!(report.cells_seen, 8);
+    assert_eq!(report.accesses_checked, 16);
+}
+
+#[test]
+fn seeded_unordered_writes_are_detected() {
+    // The negative control: two plain spawned threads write one cell
+    // with no recorded ordering edge. The detector must flag exactly
+    // this pair, with both site labels in the report.
+    let _serial = serial();
+    let report = race_models::seeded_race_model();
+    assert!(!report.is_race_free(), "seeded race must be caught");
+    let race = report.races.first().expect("one race reported");
+    assert!(race.write_write());
+    let rendered = race.to_string();
+    assert!(
+        rendered.matches("race_models::seeded_writer").count() == 2,
+        "both sites must be labelled: {rendered}"
+    );
+}
+
+#[test]
+fn recorded_join_edge_suppresses_the_seeded_shape() {
+    // Same two writers, but with spawn/join edges recorded the way
+    // the instrumented runners record theirs: the exact access pair
+    // the seeded model flags is now ordered, and the pass is clean.
+    let _serial = serial();
+    sync_check::reset();
+
+    let cell = sync_check::next_cell_id();
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let token = sync_check::next_task_token();
+            sync_check::on_task_spawn(token);
+            (
+                token,
+                std::thread::spawn(move || {
+                    sync_check::on_task_start(token);
+                    sync_check::record_cell_write(cell, "race_detector::ordered_writer");
+                    sync_check::on_task_end(token);
+                }),
+            )
+        })
+        .collect();
+    for (token, handle) in handles {
+        handle.join().expect("writer panicked");
+        sync_check::on_task_join(token);
+    }
+
+    // Joining both threads back into the parent does NOT order the two
+    // writers against each other — they are still concurrent. What it
+    // does order is each writer against anything the parent does next.
+    let report = analyze_recorded();
+    assert!(!report.is_race_free(), "writers are still unordered");
+
+    // Sequential spawn→join pairs, by contrast, are fully ordered.
+    sync_check::reset();
+    let cell = sync_check::next_cell_id();
+    for _ in 0..2 {
+        let token = sync_check::next_task_token();
+        sync_check::on_task_spawn(token);
+        let handle = std::thread::spawn(move || {
+            sync_check::on_task_start(token);
+            sync_check::record_cell_write(cell, "race_detector::sequential_writer");
+            sync_check::on_task_end(token);
+        });
+        handle.join().expect("writer panicked");
+        sync_check::on_task_join(token);
+    }
+    let report = analyze_recorded();
+    assert!(
+        report.is_race_free(),
+        "spawn→join chains order the writes: {:?}",
+        report.races
+    );
+}
+
+#[test]
+fn from_shim_round_trips_the_unified_log() {
+    let _serial = serial();
+    sync_check::reset();
+
+    let cell = sync_check::next_cell_id();
+    sync_check::record_cell_write(cell, "race_detector::round_trip");
+    let events = from_shim(&sync_check::sync_events());
+    assert!(
+        !events.is_empty(),
+        "the shim log must translate into analyzer events"
+    );
+}

@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
 
-use bgpbench_check::interleave::{explore, ExploreError};
+use bgpbench_check::interleave::{explore, explore_dpor, ExploreError};
 use bgpbench_check::sync::{recorded_lock_graph, LockOrderGraph};
 use bgpbench_core::{CellSpec, GridRunner, Scenario};
 use bgpbench_models::pentium3;
@@ -353,46 +353,38 @@ fn grid_runner_channels_obey_fifo_and_lose_nothing() {
 
 // ─────────────── sharded RIB fan-out/merge (loom-lite) ───────────────
 
-#[test]
-fn shard_fan_out_and_merge_commute_across_all_schedules() {
-    // The sharded RIB's parallel claim, checked exhaustively: each
-    // shard applies its sub-batches against private state, so *any*
-    // execution order across shards must merge back into exactly the
-    // single engine's outcome stream. Per-shard op order (withdrawals
-    // before announcements) is the per-thread program order the
-    // interleaver preserves; everything across shards is fair game.
+/// The 3-shard fan-out/merge model the exhaustive and DPOR
+/// explorations below share: per-shard engines preloaded with slices
+/// of a base table, one withdraw op and one announce op per shard
+/// (that per-thread order is the program order every explorer
+/// preserves), merged back in message order and compared against the
+/// unsharded engine's outcome stream.
+mod shard_model {
     use std::net::Ipv4Addr;
 
+    use bgpbench_check::interleave::Access;
     use bgpbench_rib::{
         PeerId, PeerInfo, PrefixOutcome, RibEngine, RouteAttributes, ShardedRibEngine,
     };
     use bgpbench_wire::{AsPath, Asn, Origin, Prefix, RouterId, UpdateMessage};
 
-    const SHARDS: usize = 3;
-    let peer = PeerId(1);
-    let info = PeerInfo::new(peer, Asn(65001), RouterId(2), Ipv4Addr::new(10, 0, 0, 2));
-    // A sharded engine used only for its stable prefix→shard key.
-    let partitioner = {
-        let mut engine = ShardedRibEngine::new(Asn(65000), RouterId(1));
-        engine.add_peer(info);
-        engine.set_shards(SHARDS);
-        engine
-    };
+    pub const SHARDS: usize = 3;
 
-    let prefixes: Vec<Prefix> = (0..12u32)
-        .map(|i| Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 + (i << 12)), 20).unwrap())
-        .collect();
-    let attrs_base = RouteAttributes::new(
-        Origin::Igp,
-        AsPath::from_sequence([Asn(65001)]),
-        Ipv4Addr::new(10, 0, 0, 2),
-    );
-    let attrs_new = RouteAttributes::new(
-        Origin::Egp,
-        AsPath::from_sequence([Asn(65001), Asn(64512)]),
-        Ipv4Addr::new(10, 0, 0, 2),
-    );
-    let build = |attrs: &RouteAttributes, announce: &[Prefix], withdraw: &[Prefix]| {
+    pub struct ShardModel {
+        peer: PeerId,
+        info: PeerInfo,
+        partitioner: ShardedRibEngine,
+        attrs_base: RouteAttributes,
+        attrs_new: RouteAttributes,
+        withdrawn: Vec<Prefix>,
+        announced: Vec<Prefix>,
+        base_parts: Vec<Vec<Prefix>>,
+        withdraw_parts: Vec<Vec<Prefix>>,
+        announce_parts: Vec<Vec<Prefix>>,
+        single_outcomes: Vec<PrefixOutcome>,
+    }
+
+    fn build(attrs: &RouteAttributes, announce: &[Prefix], withdraw: &[Prefix]) -> UpdateMessage {
         let mut builder = UpdateMessage::builder().withdraw_all(withdraw.iter().copied());
         if !announce.is_empty() {
             for attr in attrs.to_wire() {
@@ -401,78 +393,189 @@ fn shard_fan_out_and_merge_commute_across_all_schedules() {
             builder = builder.announce_all(announce.iter().copied());
         }
         builder.build()
-    };
-    let partition = |prefixes: &[Prefix]| {
-        let mut parts: Vec<Vec<Prefix>> = vec![Vec::new(); SHARDS];
-        for prefix in prefixes {
-            parts[partitioner.shard_for(prefix)].push(*prefix);
-        }
-        parts
-    };
+    }
 
-    // Base table: everything announced; then one message that
-    // withdraws a third of it and flips attributes on another third.
-    let base = build(&attrs_base, &prefixes, &[]);
-    let withdrawn: Vec<Prefix> = prefixes.iter().copied().step_by(3).collect();
-    let announced: Vec<Prefix> = prefixes.iter().copied().skip(1).step_by(3).collect();
-    let update = build(&attrs_new, &announced, &withdrawn);
+    impl ShardModel {
+        pub fn new() -> Self {
+            let peer = PeerId(1);
+            let info = PeerInfo::new(peer, Asn(65001), RouterId(2), Ipv4Addr::new(10, 0, 0, 2));
+            // A sharded engine used only for its stable prefix→shard
+            // key.
+            let partitioner = {
+                let mut engine = ShardedRibEngine::new(Asn(65000), RouterId(1));
+                engine.add_peer(info);
+                engine.set_shards(SHARDS);
+                engine
+            };
 
-    // Sequential baseline: the unsharded engine's outcome stream.
-    let single_outcomes = {
-        let mut engine = RibEngine::new(Asn(65000), RouterId(1));
-        engine.add_peer(info);
-        engine.apply_update(peer, &base).expect("base load");
-        engine.apply_update(peer, &update).expect("update")
-    };
+            let prefixes: Vec<Prefix> = (0..12u32)
+                .map(|i| {
+                    Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 + (i << 12)), 20).unwrap()
+                })
+                .collect();
+            let attrs_base = RouteAttributes::new(
+                Origin::Igp,
+                AsPath::from_sequence([Asn(65001)]),
+                Ipv4Addr::new(10, 0, 0, 2),
+            );
+            let attrs_new = RouteAttributes::new(
+                Origin::Egp,
+                AsPath::from_sequence([Asn(65001), Asn(64512)]),
+                Ipv4Addr::new(10, 0, 0, 2),
+            );
 
-    let base_parts = partition(&prefixes);
-    let withdraw_parts = partition(&withdrawn);
-    let announce_parts = partition(&announced);
-    let explored = explore(&[2, 2, 2], |schedule| {
-        // Fresh per-shard engines, each preloaded with its slice of
-        // the base table.
-        let mut shards: Vec<RibEngine> = base_parts
-            .iter()
-            .map(|slice| {
+            // Base table: everything announced; then one message that
+            // withdraws a third of it and flips attributes on another
+            // third.
+            let base = build(&attrs_base, &prefixes, &[]);
+            let withdrawn: Vec<Prefix> = prefixes.iter().copied().step_by(3).collect();
+            let announced: Vec<Prefix> = prefixes.iter().copied().skip(1).step_by(3).collect();
+            let update = build(&attrs_new, &announced, &withdrawn);
+
+            // Sequential baseline: the unsharded engine's stream.
+            let single_outcomes = {
                 let mut engine = RibEngine::new(Asn(65000), RouterId(1));
                 engine.add_peer(info);
-                engine
-                    .apply_update(peer, &build(&attrs_base, slice, &[]))
-                    .expect("shard base load");
-                engine
-            })
-            .collect();
-        let mut per_shard: Vec<Vec<PrefixOutcome>> = vec![Vec::new(); SHARDS];
-        for &(shard, op) in schedule {
-            let message = if op == 0 {
-                build(&attrs_new, &[], &withdraw_parts[shard])
-            } else {
-                build(&attrs_new, &announce_parts[shard], &[])
+                engine.apply_update(peer, &base).expect("base load");
+                engine.apply_update(peer, &update).expect("update")
             };
-            let outcomes = shards[shard]
-                .apply_update(peer, &message)
-                .map_err(|error| format!("shard {shard} op {op}: {error:?}"))?;
-            per_shard[shard].extend(outcomes);
-        }
-        // The merge step: walk the original message order and pop the
-        // owning shard's next outcome.
-        let mut queues: Vec<std::vec::IntoIter<PrefixOutcome>> =
-            per_shard.into_iter().map(Vec::into_iter).collect();
-        let mut merged = Vec::new();
-        for prefix in withdrawn.iter().chain(&announced) {
-            match queues[partitioner.shard_for(prefix)].next() {
-                Some(outcome) => merged.push(outcome),
-                None => return Err(format!("shard queue exhausted at {prefix:?}")),
+
+            let partition = |prefixes: &[Prefix]| {
+                let mut parts: Vec<Vec<Prefix>> = vec![Vec::new(); SHARDS];
+                for prefix in prefixes {
+                    parts[partitioner.shard_for(prefix)].push(*prefix);
+                }
+                parts
+            };
+            let base_parts = partition(&prefixes);
+            let withdraw_parts = partition(&withdrawn);
+            let announce_parts = partition(&announced);
+
+            ShardModel {
+                peer,
+                info,
+                partitioner,
+                attrs_base,
+                attrs_new,
+                withdrawn,
+                announced,
+                base_parts,
+                withdraw_parts,
+                announce_parts,
+                single_outcomes,
             }
         }
-        if merged == single_outcomes {
-            Ok(())
-        } else {
-            Err("merged outcome stream diverged from the single engine".to_owned())
+
+        /// Runs one cross-shard schedule and checks that the merge
+        /// reproduces the single-engine outcome stream.
+        pub fn check(&self, schedule: &[(usize, usize)]) -> Result<(), String> {
+            // Fresh per-shard engines, each preloaded with its slice
+            // of the base table.
+            let mut shards: Vec<RibEngine> = self
+                .base_parts
+                .iter()
+                .map(|slice| {
+                    let mut engine = RibEngine::new(Asn(65000), RouterId(1));
+                    engine.add_peer(self.info);
+                    engine
+                        .apply_update(self.peer, &build(&self.attrs_base, slice, &[]))
+                        .expect("shard base load");
+                    engine
+                })
+                .collect();
+            let mut per_shard: Vec<Vec<PrefixOutcome>> = vec![Vec::new(); SHARDS];
+            for &(shard, op) in schedule {
+                let message = if op == 0 {
+                    build(&self.attrs_new, &[], &self.withdraw_parts[shard])
+                } else {
+                    build(&self.attrs_new, &self.announce_parts[shard], &[])
+                };
+                let outcomes = shards[shard]
+                    .apply_update(self.peer, &message)
+                    .map_err(|error| format!("shard {shard} op {op}: {error:?}"))?;
+                per_shard[shard].extend(outcomes);
+            }
+            // The merge step: walk the original message order and pop
+            // the owning shard's next outcome.
+            let mut queues: Vec<std::vec::IntoIter<PrefixOutcome>> =
+                per_shard.into_iter().map(Vec::into_iter).collect();
+            let mut merged = Vec::new();
+            for prefix in self.withdrawn.iter().chain(&self.announced) {
+                match queues[self.partitioner.shard_for(prefix)].next() {
+                    Some(outcome) => merged.push(outcome),
+                    None => return Err(format!("shard queue exhausted at {prefix:?}")),
+                }
+            }
+            if merged == self.single_outcomes {
+                Ok(())
+            } else {
+                Err("merged outcome stream diverged from the single engine".to_owned())
+            }
         }
-    })
-    .expect("every schedule must merge to the single-engine stream");
+
+        /// Honest declared accesses: each shard's two ops touch only
+        /// that shard's private engine state.
+        pub fn private_accesses(&self) -> Vec<Vec<Vec<Access>>> {
+            (0..SHARDS)
+                .map(|shard| {
+                    vec![
+                        vec![Access::Write(shard as u64)],
+                        vec![Access::Write(shard as u64)],
+                    ]
+                })
+                .collect()
+        }
+    }
+}
+
+#[test]
+fn shard_fan_out_and_merge_commute_across_all_schedules() {
+    // The sharded RIB's parallel claim, checked exhaustively: each
+    // shard applies its sub-batches against private state, so *any*
+    // execution order across shards must merge back into exactly the
+    // single engine's outcome stream.
+    let model = shard_model::ShardModel::new();
+    let explored = explore(&[2, 2, 2], |schedule| model.check(schedule))
+        .expect("every schedule must merge to the single-engine stream");
     // C(6; 2,2,2) = 90 interleavings, each checked against the
     // sequential baseline.
     assert_eq!(explored, 90);
+}
+
+#[test]
+fn dpor_prunes_the_shard_model_to_one_trace_representative() {
+    // The same model under the sleep-set explorer. Every cross-shard
+    // op pair is independent (private per-shard state), so the 90
+    // exhaustive interleavings collapse into a single Mazurkiewicz
+    // trace — DPOR must execute exactly one representative, and the
+    // asserted pruning ratio is the whole point of the explorer.
+    let model = shard_model::ShardModel::new();
+    let exhaustive = explore(&[2, 2, 2], |schedule| model.check(schedule))
+        .expect("exhaustive baseline must pass");
+    let executed = explore_dpor(&model.private_accesses(), |schedule| model.check(schedule))
+        .expect("DPOR exploration must pass");
+    assert!(
+        executed < exhaustive,
+        "DPOR must execute strictly fewer schedules ({executed} vs {exhaustive})"
+    );
+    assert_eq!(executed, 1, "all cross-shard ops are independent");
+    assert_eq!(exhaustive / executed, 90, "pruning ratio 90:1");
+}
+
+#[test]
+fn dpor_executes_one_representative_per_conflicting_order() {
+    // Declare a shared resource touched by each shard's second op:
+    // now only the relative order of those three ops matters, so the
+    // 90 interleavings collapse to 3! = 6 trace representatives —
+    // pruned, but honestly covering every order of the real conflict.
+    use bgpbench_check::interleave::Access;
+
+    let model = shard_model::ShardModel::new();
+    let mut accesses = model.private_accesses();
+    for (shard, ops) in accesses.iter_mut().enumerate() {
+        ops[1] = vec![Access::Write(shard as u64), Access::Write(100)];
+    }
+    let executed = explore_dpor(&accesses, |schedule| model.check(schedule))
+        .expect("conflicting-order exploration must pass");
+    assert_eq!(executed, 6, "3! orders of the shared-resource writes");
 }

@@ -602,17 +602,45 @@ impl GridRunner {
             }
             drop(work_tx);
             let observer = &mut self.observer;
+            // One race-detector cell per result slot: the worker that
+            // executes the cell writes it, the collecting main thread
+            // reads it, and the `Finished` channel message is the only
+            // thing ordering the two.
+            #[cfg(feature = "check-sync")]
+            let result_cells: Vec<u64> = (0..cells.len())
+                .map(|_| parking_lot::sync_check::next_cell_id())
+                .collect();
+            #[cfg(feature = "check-sync")]
+            let result_cells = &result_cells;
+            #[cfg(feature = "check-sync")]
+            let mut worker_tokens: Vec<u64> = Vec::with_capacity(workers);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let work_rx = work_rx.clone();
                     let event_tx = event_tx.clone();
                     let job = &job;
+                    #[cfg(feature = "check-sync")]
+                    let token = {
+                        let token = parking_lot::sync_check::next_task_token();
+                        parking_lot::sync_check::on_task_spawn(token);
+                        worker_tokens.push(token);
+                        token
+                    };
                     scope.spawn(move || {
+                        #[cfg(feature = "check-sync")]
+                        parking_lot::sync_check::on_task_start(token);
                         while let Ok(index) = work_rx.recv() {
                             let _ = event_tx.send(Event::Started(index));
                             let run = execute(index, &cells[index], job);
+                            #[cfg(feature = "check-sync")]
+                            parking_lot::sync_check::record_cell_write(
+                                result_cells[index],
+                                "core::runner::worker_result",
+                            );
                             let _ = event_tx.send(Event::Finished(run));
                         }
+                        #[cfg(feature = "check-sync")]
+                        parking_lot::sync_check::on_task_end(token);
                     });
                 }
                 drop(event_tx);
@@ -623,6 +651,11 @@ impl GridRunner {
                         }
                         Event::Finished(run) => {
                             let index = run.index;
+                            #[cfg(feature = "check-sync")]
+                            parking_lot::sync_check::record_cell_read(
+                                result_cells[index],
+                                "core::runner::collect",
+                            );
                             let ticks = run.result.as_ref().ok().and_then(&ticks_of);
                             observer.on_cell_complete(
                                 index,
@@ -636,6 +669,10 @@ impl GridRunner {
                     }
                 }
             });
+            #[cfg(feature = "check-sync")]
+            for token in worker_tokens {
+                parking_lot::sync_check::on_task_join(token);
+            }
         }
 
         let runs: Vec<CellRun<T>> = slots

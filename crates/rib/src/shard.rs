@@ -618,6 +618,14 @@ impl ShardedRibEngine {
             plans.push(plan);
         }
 
+        // One race-detector cell per shard's outcome slot: the worker
+        // writes it, the merge reads it, and the scoped join is the
+        // only thing ordering the two.
+        #[cfg(feature = "check-sync")]
+        let train_cells: Vec<u64> = (0..shards)
+            .map(|_| parking_lot::sync_check::next_cell_id())
+            .collect();
+
         // Aggregate-telemetry pre-state; the fallback path above gets
         // this per update from `apply_update` instead.
         let train_start = if telemetry::enabled() {
@@ -627,6 +635,8 @@ impl ShardedRibEngine {
         };
 
         let decoded = &decoded;
+        #[cfg(feature = "check-sync")]
+        let train_cells_ref = &train_cells;
         let run_shard = |shard_index: usize,
                          engine: &mut RibEngine,
                          batches: &[(Vec<Prefix>, Vec<Prefix>)]|
@@ -653,6 +663,11 @@ impl ShardedRibEngine {
                 }
                 per_update.push(outcomes);
             }
+            #[cfg(feature = "check-sync")]
+            parking_lot::sync_check::record_cell_write(
+                train_cells_ref[shard_index],
+                "rib::shard::train_worker",
+            );
             per_update
         };
 
@@ -682,12 +697,28 @@ impl ShardedRibEngine {
             };
             let run_shard = &run_shard;
             std::thread::scope(|scope| {
+                #[cfg(feature = "check-sync")]
+                let mut spawn_tokens: Vec<u64> = Vec::with_capacity(shards - 1);
                 let handles: Vec<_> = rest_shards
                     .iter_mut()
                     .zip(rest_work)
                     .enumerate()
                     .map(|(offset, (engine, batches))| {
-                        scope.spawn(move || run_shard(offset + 1, engine, batches))
+                        #[cfg(feature = "check-sync")]
+                        let token = {
+                            let token = parking_lot::sync_check::next_task_token();
+                            parking_lot::sync_check::on_task_spawn(token);
+                            spawn_tokens.push(token);
+                            token
+                        };
+                        scope.spawn(move || {
+                            #[cfg(feature = "check-sync")]
+                            parking_lot::sync_check::on_task_start(token);
+                            let result = run_shard(offset + 1, engine, batches);
+                            #[cfg(feature = "check-sync")]
+                            parking_lot::sync_check::on_task_end(token);
+                            result
+                        })
                     })
                     .collect();
                 let mut results = Vec::with_capacity(shards);
@@ -698,12 +729,20 @@ impl ShardedRibEngine {
                         Err(payload) => std::panic::resume_unwind(payload),
                     }
                 }
+                #[cfg(feature = "check-sync")]
+                for token in spawn_tokens {
+                    parking_lot::sync_check::on_task_join(token);
+                }
                 results
             })
         };
 
         // Merge: per update, walk the recorded shard sequence (message
         // order) and pop that shard's next outcome.
+        #[cfg(feature = "check-sync")]
+        for cell in &train_cells {
+            parking_lot::sync_check::record_cell_read(*cell, "rib::shard::train_merge");
+        }
         let mut queues: Vec<Vec<std::vec::IntoIter<PrefixOutcome>>> = shard_results
             .into_iter()
             .map(|per_update| per_update.into_iter().map(Vec::into_iter).collect())

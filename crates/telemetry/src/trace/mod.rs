@@ -312,6 +312,11 @@ impl Ring {
 #[derive(Debug)]
 struct ThreadRing {
     tid: u32,
+    /// Shared-cell id for the happens-before race pass. Ring contents
+    /// are always touched under `ring`'s lock, so the recorded reads
+    /// and writes must come out ordered — a zero-race baseline.
+    #[cfg(feature = "check-sync")]
+    cell: u64,
     ring: Mutex<Ring>,
 }
 
@@ -374,6 +379,8 @@ impl TraceRecorder {
     fn register_thread(&self) -> Arc<ThreadRing> {
         let handle = Arc::new(ThreadRing {
             tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
+            #[cfg(feature = "check-sync")]
+            cell: parking_lot::sync_check::next_cell_id(),
             ring: Mutex::new(Ring::new(self.capacity)),
         });
         self.threads.lock().push(Arc::clone(&handle));
@@ -386,7 +393,10 @@ impl TraceRecorder {
     fn push(&'static self, event: TraceEvent) {
         MY_RING.with(|slot| {
             let handle = slot.get_or_init(|| self.register_thread());
-            handle.ring.lock().push(event);
+            let mut ring = handle.ring.lock();
+            #[cfg(feature = "check-sync")]
+            parking_lot::sync_check::record_cell_write(handle.cell, "telemetry::trace::ring_push");
+            ring.push(event);
         });
     }
 
@@ -397,6 +407,11 @@ impl TraceRecorder {
             .iter()
             .map(|handle| {
                 let ring = handle.ring.lock();
+                #[cfg(feature = "check-sync")]
+                parking_lot::sync_check::record_cell_read(
+                    handle.cell,
+                    "telemetry::trace::ring_dump",
+                );
                 ThreadTrace {
                     tid: handle.tid,
                     dropped: ring.dropped(),
@@ -412,7 +427,13 @@ impl TraceRecorder {
     pub fn clear(&self) {
         let threads = self.threads.lock();
         for handle in threads.iter() {
-            handle.ring.lock().clear();
+            let mut ring = handle.ring.lock();
+            #[cfg(feature = "check-sync")]
+            parking_lot::sync_check::record_cell_write(
+                handle.cell,
+                "telemetry::trace::ring_clear",
+            );
+            ring.clear();
         }
     }
 }

@@ -68,6 +68,16 @@ pub mod sync_check {
 
     pub(crate) fn record(op: ChannelOp) {
         log().lock().unwrap_or_else(|e| e.into_inner()).push(op);
+        // Mirror data-carrying operations into the unified sync-event
+        // log hosted by the parking_lot shim, where they become the
+        // send→recv happens-before edges of the race detector. Both
+        // sides of a message record under the channel's state lock, so
+        // the unified log always orders Send{seq} before Recv{seq}.
+        match op {
+            ChannelOp::Send { chan, seq } => parking_lot::sync_check::on_chan_send(chan, seq),
+            ChannelOp::Recv { chan, seq } => parking_lot::sync_check::on_chan_recv(chan, seq),
+            ChannelOp::SendDisconnected { .. } | ChannelOp::RecvDisconnected { .. } => {}
+        }
     }
 
     /// Clears the global operation log.

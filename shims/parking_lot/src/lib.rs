@@ -14,6 +14,15 @@
 //! the unlucky schedule to actually occur. The feature is strictly
 //! additive: with it disabled, the lock compiles down to the plain
 //! std wrapper below.
+//!
+//! This shim also hosts the workspace's **unified synchronization
+//! event log** ([`sync_check::SyncEvent`]): a single ordered record of
+//! lock acquire/release, channel send/recv (fed by the `crossbeam`
+//! shim), task spawn/join edges, and labelled accesses to deliberately
+//! shared cells. `bgpbench-check races` replays that log through a
+//! vector-clock happens-before analysis to find unordered conflicting
+//! accesses. The shim only *records*; all analysis lives in
+//! `bgpbench-check`.
 
 #![forbid(unsafe_code)]
 
@@ -27,10 +36,13 @@ pub mod sync_check {
     //! [`reset`] first and run single-scenario (the workspace's
     //! check-sync tests serialize on a private mutex for this).
 
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
     use std::sync::{Mutex, OnceLock};
 
     static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+    static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+    static NEXT_TASK_TOKEN: AtomicU64 = AtomicU64::new(1);
+    static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(1);
 
     /// One recorded lock event.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,10 +62,96 @@ pub mod sync_check {
         },
     }
 
+    /// One entry of the unified synchronization event log. The log
+    /// order is a valid linearization of the recorded run: every entry
+    /// is appended under one global mutex, per-lock grant order
+    /// matches append order (acquisitions record while the lock is
+    /// held, releases record before the lock is handed over), and
+    /// channel sends/receives record under the channel's own state
+    /// lock.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SyncEvent {
+        /// `thread` acquired lock `lock`.
+        LockAcquired {
+            /// Recording thread.
+            thread: u32,
+            /// The lock's stable id.
+            lock: u64,
+        },
+        /// `thread` released lock `lock`.
+        LockReleased {
+            /// Recording thread.
+            thread: u32,
+            /// The lock's stable id.
+            lock: u64,
+        },
+        /// `thread` enqueued the message with per-channel sequence
+        /// number `seq` into channel `chan`.
+        ChanSend {
+            /// Recording thread.
+            thread: u32,
+            /// The channel's stable id (crossbeam shim namespace).
+            chan: u64,
+            /// The message's per-channel sequence number.
+            seq: u64,
+        },
+        /// `thread` dequeued the message with sequence number `seq`.
+        ChanRecv {
+            /// Recording thread.
+            thread: u32,
+            /// The channel's stable id (crossbeam shim namespace).
+            chan: u64,
+            /// The dequeued message's sequence number.
+            seq: u64,
+        },
+        /// `thread` is about to spawn the task identified by `token`.
+        TaskSpawned {
+            /// The parent thread.
+            thread: u32,
+            /// Spawn token from [`next_task_token`].
+            token: u64,
+        },
+        /// The spawned task's first action on its own thread.
+        TaskStarted {
+            /// The child thread.
+            thread: u32,
+            /// The token the parent spawned with.
+            token: u64,
+        },
+        /// The spawned task's last action on its own thread.
+        TaskEnded {
+            /// The child thread.
+            thread: u32,
+            /// The token the parent spawned with.
+            token: u64,
+        },
+        /// `thread` joined the task identified by `token`.
+        TaskJoined {
+            /// The joining (parent) thread.
+            thread: u32,
+            /// The token the parent spawned with.
+            token: u64,
+        },
+        /// `thread` touched the shared cell `cell` at source site
+        /// `site` (a write when `write`, a read otherwise).
+        CellAccess {
+            /// Recording thread.
+            thread: u32,
+            /// The cell's stable id from [`next_cell_id`].
+            cell: u64,
+            /// Whether the access mutates the cell.
+            write: bool,
+            /// Static label of the access site in the source.
+            site: &'static str,
+        },
+    }
+
     struct Recorder {
         events: Vec<LockEvent>,
         /// Distinct (held, acquired) pairs observed across all threads.
         edges: Vec<(u64, u64)>,
+        /// The unified log consumed by the happens-before analysis.
+        sync_events: Vec<SyncEvent>,
     }
 
     fn recorder() -> &'static Mutex<Recorder> {
@@ -62,19 +160,57 @@ pub mod sync_check {
             Mutex::new(Recorder {
                 events: Vec::new(),
                 edges: Vec::new(),
+                sync_events: Vec::new(),
             })
         })
     }
 
     thread_local! {
         static HELD: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+        static THREAD_ID: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+
+    /// This thread's stable id in the unified log, assigned on first
+    /// use (ids survive [`reset`]: a thread keeps its identity for the
+    /// life of the process).
+    pub fn thread_id() -> u32 {
+        THREAD_ID.with(|slot| {
+            let id = slot.get();
+            if id != 0 {
+                id
+            } else {
+                let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+                slot.set(id);
+                id
+            }
+        })
     }
 
     pub(crate) fn next_lock_id() -> u64 {
         NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Allocates a stable id for one deliberately shared cell.
+    pub fn next_cell_id() -> u64 {
+        NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a spawn token tying one [`SyncEvent::TaskSpawned`] /
+    /// `TaskStarted` / `TaskEnded` / `TaskJoined` quartet together.
+    pub fn next_task_token() -> u64 {
+        NEXT_TASK_TOKEN.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn push_sync(event: SyncEvent) {
+        recorder()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .sync_events
+            .push(event);
+    }
+
     pub(crate) fn on_acquire(lock: u64) {
+        let thread = thread_id();
         let held: Vec<u64> = HELD.with(|stack| {
             let mut stack = stack.borrow_mut();
             let snapshot = stack.clone();
@@ -86,6 +222,7 @@ pub mod sync_check {
             lock,
             held_top: held.last().copied().unwrap_or(0),
         });
+        rec.sync_events.push(SyncEvent::LockAcquired { thread, lock });
         for h in held {
             if !rec.edges.contains(&(h, lock)) {
                 rec.edges.push((h, lock));
@@ -94,6 +231,7 @@ pub mod sync_check {
     }
 
     pub(crate) fn on_release(lock: u64) {
+        let thread = thread_id();
         HELD.with(|stack| {
             let mut stack = stack.borrow_mut();
             if let Some(pos) = stack.iter().rposition(|&id| id == lock) {
@@ -102,13 +240,91 @@ pub mod sync_check {
         });
         let mut rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
         rec.events.push(LockEvent::Released { lock });
+        rec.sync_events.push(SyncEvent::LockReleased { thread, lock });
     }
 
-    /// Clears the global log (edges and events).
+    /// Records a channel send into the unified log. Called by the
+    /// `crossbeam` shim under the channel's state lock, which orders
+    /// the send of sequence `seq` before its receive.
+    pub fn on_chan_send(chan: u64, seq: u64) {
+        push_sync(SyncEvent::ChanSend {
+            thread: thread_id(),
+            chan,
+            seq,
+        });
+    }
+
+    /// Records a channel receive into the unified log.
+    pub fn on_chan_recv(chan: u64, seq: u64) {
+        push_sync(SyncEvent::ChanRecv {
+            thread: thread_id(),
+            chan,
+            seq,
+        });
+    }
+
+    /// Parent-side record immediately before handing `token` to a new
+    /// task (`thread::scope` spawn or `std::thread::spawn`).
+    pub fn on_task_spawn(token: u64) {
+        push_sync(SyncEvent::TaskSpawned {
+            thread: thread_id(),
+            token,
+        });
+    }
+
+    /// Child-side record as the spawned task's first action.
+    pub fn on_task_start(token: u64) {
+        push_sync(SyncEvent::TaskStarted {
+            thread: thread_id(),
+            token,
+        });
+    }
+
+    /// Child-side record as the spawned task's last action.
+    pub fn on_task_end(token: u64) {
+        push_sync(SyncEvent::TaskEnded {
+            thread: thread_id(),
+            token,
+        });
+    }
+
+    /// Parent-side record after the task's completion is observed
+    /// (explicit `join` or `thread::scope` exit).
+    pub fn on_task_join(token: u64) {
+        push_sync(SyncEvent::TaskJoined {
+            thread: thread_id(),
+            token,
+        });
+    }
+
+    /// Records a read of the shared cell `cell` at source site `site`.
+    pub fn record_cell_read(cell: u64, site: &'static str) {
+        push_sync(SyncEvent::CellAccess {
+            thread: thread_id(),
+            cell,
+            write: false,
+            site,
+        });
+    }
+
+    /// Records a write of the shared cell `cell` at source site `site`.
+    pub fn record_cell_write(cell: u64, site: &'static str) {
+        push_sync(SyncEvent::CellAccess {
+            thread: thread_id(),
+            cell,
+            write: true,
+            site,
+        });
+    }
+
+    /// Clears the global log (edges, lock events, and the unified
+    /// sync-event log). Thread, lock, cell, and token ids are *not*
+    /// recycled.
     pub fn reset() {
         let mut rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
         rec.events.clear();
         rec.edges.clear();
+        rec.sync_events.clear();
     }
 
     /// Every distinct held→acquired ordering edge recorded since the
@@ -127,6 +343,15 @@ pub mod sync_check {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .events
+            .clone()
+    }
+
+    /// The unified synchronization event log since the last [`reset`].
+    pub fn sync_events() -> Vec<SyncEvent> {
+        recorder()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .sync_events
             .clone()
     }
 }
@@ -249,5 +474,47 @@ mod tests {
         drop(gb);
         drop(ga);
         assert!(sync_check::edges().contains(&(a.sync_id(), b.sync_id())));
+    }
+
+    #[cfg(feature = "check-sync")]
+    #[test]
+    fn unified_log_carries_lock_task_and_cell_events() {
+        use sync_check::SyncEvent;
+        let me = sync_check::thread_id();
+        assert_eq!(me, sync_check::thread_id(), "thread id is stable");
+
+        let lock = Mutex::new(0u8);
+        drop(lock.lock());
+        let cell = sync_check::next_cell_id();
+        let token = sync_check::next_task_token();
+        sync_check::on_task_spawn(token);
+        sync_check::record_cell_write(cell, "shim::test");
+        sync_check::on_task_join(token);
+
+        let log = sync_check::sync_events();
+        let lock_id = lock.sync_id();
+        assert!(log.contains(&SyncEvent::LockAcquired {
+            thread: me,
+            lock: lock_id
+        }));
+        assert!(log.contains(&SyncEvent::LockReleased {
+            thread: me,
+            lock: lock_id
+        }));
+        let spawn = log
+            .iter()
+            .position(|e| matches!(e, SyncEvent::TaskSpawned { token: t, .. } if *t == token))
+            .expect("spawn recorded");
+        let write = log
+            .iter()
+            .position(
+                |e| matches!(e, SyncEvent::CellAccess { cell: c, write: true, .. } if *c == cell),
+            )
+            .expect("write recorded");
+        let join = log
+            .iter()
+            .position(|e| matches!(e, SyncEvent::TaskJoined { token: t, .. } if *t == token))
+            .expect("join recorded");
+        assert!(spawn < write && write < join, "program order preserved");
     }
 }
