@@ -5,10 +5,21 @@
 //!
 //! ```text
 //! cargo run --release -p bgpbench-bench --bin perf_baseline -- \
-//!     [--quick] [--samples <n>] [--prefixes <n>] [--out <path>] \
+//!     [--quick] [--fulltable] [--samples <n>] [--prefixes <n>] [--out <path>] \
 //!     [--init | --check] [--tolerance <pct>] [--telemetry] [--trace] \
 //!     [--allow-telemetry-mismatch]
 //! ```
+//!
+//! `--fulltable` switches to the Internet-scale workload: a modern
+//! 1M-prefix table (S16–S18's generator) driven through
+//! `apply_update_train` cold-start, bursty update-train replay, and
+//! withdraw-storm samplers, each at one shard and at [`SHARDS`]
+//! shards. The artifact defaults to `BENCH_fulltable.json` and every
+//! `*_sharded` scenario baselines against its in-run one-shard twin,
+//! so the recorded speedups are this host's parallel scaling at full
+//! table size. `--quick` only lowers the sample count there — the
+//! table stays at 1M prefixes unless `--prefixes` overrides it, so
+//! checks always compare like-sized workloads.
 //!
 //! Each scenario reports the median wall time per iteration and the
 //! derived per-prefix cost, next to a reference measurement. For the
@@ -50,7 +61,7 @@ use std::time::Instant;
 
 use bgpbench_core::PolicyProfile;
 use bgpbench_rib::{PeerId, PeerInfo, RibEngine, ShardedRibEngine};
-use bgpbench_speaker::{workload, TableGenerator};
+use bgpbench_speaker::{modern, workload, BurstSpec, ModernTableGenerator, TableGenerator};
 use bgpbench_telemetry as telemetry;
 use bgpbench_wire::{Asn, RouterId, UpdateMessage};
 
@@ -64,6 +75,9 @@ const DEFAULT_PREFIXES: usize = 5000;
 const RESERVE: usize = 8192;
 /// Shard count of the `*_sharded` scenarios.
 const SHARDS: usize = 4;
+/// Table size of `--fulltable` mode when `--prefixes` is not given —
+/// a modern full Internet table.
+const FULLTABLE_PREFIXES: usize = 1_000_000;
 /// Floor on the sharded scenarios' table size (see module docs).
 const SHARDED_PREFIX_FLOOR: usize = 100_000;
 
@@ -104,6 +118,9 @@ enum BaselineMode {
 struct Options {
     samples: usize,
     prefixes: usize,
+    /// Measure the Internet-scale modern-table samplers instead of the
+    /// classic RIB hot paths.
+    fulltable: bool,
     out: String,
     mode: BaselineMode,
     /// Allowed regression in percent before `--check` fails.
@@ -120,8 +137,9 @@ struct Options {
 fn parse_args() -> Options {
     let mut samples: Option<usize> = None;
     let mut quick = false;
-    let mut prefixes = DEFAULT_PREFIXES;
-    let mut out = String::from("BENCH_rib.json");
+    let mut fulltable = false;
+    let mut prefixes: Option<usize> = None;
+    let mut out: Option<String> = None;
     let mut mode = BaselineMode::Update;
     let mut tolerance = 2.0;
     let mut telemetry = false;
@@ -131,6 +149,7 @@ fn parse_args() -> Options {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--fulltable" => fulltable = true,
             "--init" => mode = BaselineMode::Init,
             "--check" => mode = BaselineMode::Check,
             "--telemetry" => telemetry = true,
@@ -145,14 +164,15 @@ fn parse_args() -> Options {
             }
             "--prefixes" => {
                 let value = args.next().unwrap_or_default();
-                prefixes = value.parse().unwrap_or_else(|_| {
+                let parsed: usize = value.parse().unwrap_or_else(|_| {
                     eprintln!("--prefixes expects a positive integer, got {value:?}");
                     std::process::exit(2);
                 });
-                if prefixes == 0 {
+                if parsed == 0 {
                     eprintln!("--prefixes expects a positive integer, got 0");
                     std::process::exit(2);
                 }
+                prefixes = Some(parsed);
             }
             "--tolerance" => {
                 let value = args.next().unwrap_or_default();
@@ -162,17 +182,17 @@ fn parse_args() -> Options {
                 });
             }
             "--out" => {
-                out = args.next().unwrap_or_else(|| {
+                out = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--out expects a path");
                     std::process::exit(2);
-                });
+                }));
             }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: perf_baseline [--quick] [--samples <n>] [--prefixes <n>] \
-                     [--out <path>] [--init | --check] [--tolerance <pct>] [--telemetry] \
-                     [--trace] [--allow-telemetry-mismatch]"
+                    "usage: perf_baseline [--quick] [--fulltable] [--samples <n>] \
+                     [--prefixes <n>] [--out <path>] [--init | --check] [--tolerance <pct>] \
+                     [--telemetry] [--trace] [--allow-telemetry-mismatch]"
                 );
                 std::process::exit(2);
             }
@@ -180,8 +200,19 @@ fn parse_args() -> Options {
     }
     Options {
         samples: samples.unwrap_or(if quick { 5 } else { 20 }),
-        prefixes,
-        out,
+        prefixes: prefixes.unwrap_or(if fulltable {
+            FULLTABLE_PREFIXES
+        } else {
+            DEFAULT_PREFIXES
+        }),
+        fulltable,
+        out: out.unwrap_or_else(|| {
+            String::from(if fulltable {
+                "BENCH_fulltable.json"
+            } else {
+                "BENCH_rib.json"
+            })
+        }),
         mode,
         tolerance,
         telemetry,
@@ -209,6 +240,10 @@ fn parse_recorder_state(json: &str) -> (bool, bool) {
 
 struct TrackedScenario {
     name: String,
+    /// Per-scenario `"prefixes"` from the artifact, where recorded —
+    /// compare() reports it when a mismatch could be a workload-size
+    /// difference rather than a code change.
+    prefixes: Option<usize>,
     median_ns: f64,
     min_ns: Option<f64>,
     /// `false` when the artifact records `"baseline_ns_per_iter":
@@ -223,14 +258,23 @@ struct TrackedScenario {
 fn parse_tracked(json: &str) -> Vec<TrackedScenario> {
     let mut scenarios: Vec<TrackedScenario> = Vec::new();
     let mut name: Option<String> = None;
+    let mut prefixes: Option<usize> = None;
     for line in json.lines() {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("\"name\": \"") {
             name = rest.strip_suffix("\",").map(str::to_owned);
+            prefixes = None;
+        } else if let Some(rest) = line.strip_prefix("\"prefixes\": ") {
+            // Only the per-scenario size (after a "name" line); the
+            // artifact's top-level "prefixes" precedes any scenario.
+            if name.is_some() {
+                prefixes = rest.trim_end_matches(',').parse().ok();
+            }
         } else if let Some(rest) = line.strip_prefix("\"median_ns_per_iter\": ") {
             if let (Some(name), Ok(ns)) = (name.take(), rest.trim_end_matches(',').parse()) {
                 scenarios.push(TrackedScenario {
                     name,
+                    prefixes: prefixes.take(),
                     median_ns: ns,
                     min_ns: None,
                     tracked: true,
@@ -286,18 +330,35 @@ fn compare(results: &[ScenarioResult], tracked: &[TrackedScenario], tolerance: f
                 let tracked_ns = entry.min_ns.unwrap_or(entry.median_ns);
                 let delta = (result.min_ns_per_iter - tracked_ns) / tracked_ns * 100.0;
                 let verdict = if delta > tolerance { "REGRESSED" } else { "ok" };
+                // A size mismatch makes the timing delta meaningless —
+                // say so right on the line instead of letting it read
+                // as a code regression (or a phantom win).
+                let size_note = match entry.prefixes {
+                    Some(base) if base != result.prefixes => {
+                        format!(
+                            "  [workload size differs: baseline {base} vs run {} prefixes]",
+                            result.prefixes
+                        )
+                    }
+                    _ => String::new(),
+                };
                 eprintln!(
-                    "{:32} {:10.1} -> {:10.1} us/iter  {delta:+6.1}%  {verdict}",
+                    "{:32} {:10.1} -> {:10.1} us/iter  {delta:+6.1}%  {verdict}{size_note}",
                     result.name,
                     tracked_ns / 1e3,
                     result.min_ns_per_iter / 1e3
                 );
                 if delta > tolerance {
-                    comparison.regressions.push(result.name.to_owned());
+                    comparison
+                        .regressions
+                        .push(format!("{} ({} prefixes)", result.name, result.prefixes));
                 }
             }
             None => {
-                eprintln!("{:32} (no tracked measurement)", result.name);
+                eprintln!(
+                    "{:32} (no tracked measurement at {} prefixes)",
+                    result.name, result.prefixes
+                );
                 comparison.untracked.push(result.name.to_owned());
             }
         }
@@ -391,60 +452,82 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn main() {
-    let options = parse_args();
-    if options.telemetry {
-        telemetry::enable();
-    }
-    if options.trace {
-        telemetry::enable_trace(&telemetry::TraceConfig::default());
-    }
-    // Load the tracked baseline up front so a missing file fails
-    // before minutes of measurement, not after.
-    let mut baseline_state: Option<(bool, bool)> = None;
-    let tracked: Option<Vec<TrackedScenario>> = match std::fs::read_to_string(&options.out) {
-        Ok(json) => {
-            baseline_state = Some(parse_recorder_state(&json));
-            Some(parse_tracked(&json))
+/// One scenario's sampler: takes a sample count, returns raw times.
+type ScenarioSampler<'a> = Box<dyn FnMut(usize) -> Vec<f64> + 'a>;
+
+/// Everything one measurement mode produces: the per-scenario results
+/// (baselines already assigned), the artifact's attribute-store
+/// fragment where the mode measures one, and artifact metadata.
+struct Measurement {
+    results: Vec<ScenarioResult>,
+    attr_json: Option<String>,
+    sharded_prefixes: usize,
+    bench_name: &'static str,
+    baseline_note: &'static str,
+}
+
+/// Round-robin driver shared by both modes: each round takes a slice
+/// of every scenario's samples, so one scenario's pool spans the whole
+/// run instead of a contiguous ~0.1 s window. A noise burst on a
+/// shared host then has to outlast the entire run to poison a
+/// scenario's minimum, rather than just its slice of the schedule.
+fn run_specs(
+    samples: usize,
+    specs: &mut [(&'static str, usize, ScenarioSampler)],
+) -> Vec<ScenarioResult> {
+    let rounds = samples.min(10);
+    let per_round = samples.div_ceil(rounds);
+    let mut pools: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+    for _ in 0..rounds {
+        for (pool, (_, _, spec)) in pools.iter_mut().zip(specs.iter_mut()) {
+            pool.extend(spec(per_round));
         }
-        Err(_) if options.mode == BaselineMode::Init => None,
-        Err(error) => {
-            eprintln!(
-                "error: tracked baseline {} is not readable: {error}",
-                options.out
-            );
-            eprintln!(
-                "a fresh baseline is never written implicitly (that would make every \
-                 comparison new-vs-new); run with --init to create one"
-            );
-            std::process::exit(1);
-        }
-    };
-    // A check across mismatched recorder states compares the
-    // instrumentation's cost, not a code change's — refuse before the
-    // measurement unless the caller says the mismatch is the point.
-    if options.mode == BaselineMode::Check {
-        if let Some((base_telemetry, base_trace)) = baseline_state {
-            let mismatch = base_telemetry != options.telemetry || base_trace != options.trace;
-            if mismatch {
-                let detail = format!(
-                    "baseline {} was recorded with telemetry={base_telemetry} trace={base_trace}; \
-                     this run has telemetry={} trace={}",
-                    options.out, options.telemetry, options.trace
+    }
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    for ((name, scenario_prefixes, _), pool) in specs.iter().zip(pools.iter_mut()) {
+        let (ns, min_ns) = summarize(pool);
+        eprintln!(
+            "{name:32} {:10.1} us/iter  ({:.0} ns/prefix, fastest {:.1} us)",
+            ns / 1e3,
+            ns / *scenario_prefixes as f64,
+            min_ns / 1e3
+        );
+        results.push(ScenarioResult {
+            name,
+            prefixes: *scenario_prefixes,
+            ns_per_iter: ns,
+            min_ns_per_iter: min_ns,
+            baseline_ns: None,
+        });
+    }
+    results
+}
+
+/// Assigns each `*_sharded` scenario's baseline from its in-run
+/// one-shard twin and prints the resulting scaling factors —
+/// `speedup_vs_baseline` then *is* the parallel scaling on this host.
+fn apply_twin_baselines(results: &mut [ScenarioResult], pairs: &[(&str, &str)]) {
+    for (sharded, twin) in pairs {
+        let twin_ns = results
+            .iter()
+            .find(|result| result.name == *twin)
+            .map(|result| result.ns_per_iter);
+        if let Some(result) = results.iter_mut().find(|result| result.name == *sharded) {
+            result.baseline_ns = twin_ns;
+            if let Some(base) = twin_ns {
+                eprintln!(
+                    "{sharded:32} {:.2}x vs {twin} at {SHARDS} shards, {} prefixes",
+                    base / result.ns_per_iter,
+                    result.prefixes
                 );
-                if options.allow_telemetry_mismatch {
-                    eprintln!("warning: recorder-state mismatch allowed: {detail}");
-                } else {
-                    eprintln!("error: recorder-state mismatch: {detail}");
-                    eprintln!(
-                        "re-run with matching flags, or pass --allow-telemetry-mismatch to \
-                         compare across states on purpose (overhead measurements)"
-                    );
-                    std::process::exit(1);
-                }
             }
         }
     }
+}
+
+/// The classic hot-path scenarios (the 2007-era table) and the
+/// attribute-store effectiveness section.
+fn measure_classic(options: &Options) -> Measurement {
     let prefixes = options.prefixes;
     let sharded_prefixes = prefixes.max(SHARDED_PREFIX_FLOOR);
     let large = announcements(prefixes, 65001, 3, 500);
@@ -522,7 +605,6 @@ fn main() {
     // run instead of a contiguous ~0.1 s window. A noise burst on a
     // shared host then has to outlast the entire run to poison a
     // scenario's minimum, rather than just its slice of the schedule.
-    type ScenarioSampler<'a> = Box<dyn FnMut(usize) -> Vec<f64> + 'a>;
     let mut specs: Vec<(&'static str, usize, ScenarioSampler)> = vec![
         (
             "startup_large_pkts",
@@ -591,69 +673,21 @@ fn main() {
         ),
     ];
 
-    let rounds = options.samples.min(10);
-    let per_round = options.samples.div_ceil(rounds);
-    let mut pools: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
-    for _ in 0..rounds {
-        for (pool, (_, _, spec)) in pools.iter_mut().zip(specs.iter_mut()) {
-            pool.extend(spec(per_round));
-        }
-    }
-
-    let mut results: Vec<ScenarioResult> = Vec::new();
-    for ((name, scenario_prefixes, _), pool) in specs.iter().zip(pools.iter_mut()) {
-        let (ns, min_ns) = summarize(pool);
-        eprintln!(
-            "{name:32} {:10.1} us/iter  ({:.0} ns/prefix, fastest {:.1} us)",
-            ns / 1e3,
-            ns / *scenario_prefixes as f64,
-            min_ns / 1e3
-        );
-        results.push(ScenarioResult {
-            name,
-            prefixes: *scenario_prefixes,
-            ns_per_iter: ns,
-            min_ns_per_iter: min_ns,
-            baseline_ns: None,
-        });
-    }
-
-    // The sharded scenarios' baseline is their in-run one-shard twin:
-    // `speedup_vs_baseline` then *is* the parallel scaling factor on
-    // this host. Everything else compares against the historical
-    // pre-interning measurements.
-    let twin_median = |results: &[ScenarioResult], name: &str| {
-        results
-            .iter()
-            .find(|result| result.name == name)
-            .map(|result| result.ns_per_iter)
-    };
-    let startup_twin = twin_median(&results, "startup_train");
-    let withdraw_twin = twin_median(&results, "withdraw_storm_train");
+    let results = run_specs(options.samples, &mut specs);
+    let mut results = results;
     for result in &mut results {
-        result.baseline_ns = match result.name {
-            "startup_sharded" => startup_twin,
-            "withdraw_storm_sharded" => withdraw_twin,
-            name => BASELINE_NS
-                .iter()
-                .find(|(tracked, _)| *tracked == name)
-                .and_then(|(_, ns)| *ns),
-        };
+        result.baseline_ns = BASELINE_NS
+            .iter()
+            .find(|(tracked, _)| *tracked == result.name)
+            .and_then(|(_, ns)| *ns);
     }
-    for (sharded, twin) in [
-        ("startup_sharded", "startup_train"),
-        ("withdraw_storm_sharded", "withdraw_storm_train"),
-    ] {
-        if let Some(result) = results.iter().find(|result| result.name == sharded) {
-            if let Some(base) = result.baseline_ns {
-                eprintln!(
-                    "{sharded:32} {:.2}x vs {twin} at {SHARDS} shards, {} prefixes",
-                    base / result.ns_per_iter,
-                    result.prefixes
-                );
-            }
-        }
-    }
+    apply_twin_baselines(
+        &mut results,
+        &[
+            ("startup_sharded", "startup_train"),
+            ("withdraw_storm_sharded", "withdraw_storm_train"),
+        ],
+    );
 
     // Attribute-store effectiveness over a representative startup run:
     // the workload carries one attribute set per UPDATE, so the table
@@ -662,15 +696,205 @@ fn main() {
     let store = loaded_engine.attr_store();
     let stats = store.stats();
     let announced = loaded_engine.stats().announcements;
+    let mut attr = String::new();
+    attr.push_str("  \"attr_store\": {\n");
+    attr.push_str(&format!("    \"routes_announced\": {announced},\n"));
+    attr.push_str(&format!("    \"distinct_sets\": {},\n", store.len()));
+    attr.push_str(&format!(
+        "    \"routes_per_set\": {:.1},\n",
+        announced as f64 / store.len().max(1) as f64
+    ));
+    attr.push_str(&format!("    \"intern_hits\": {},\n", stats.hits));
+    attr.push_str(&format!("    \"intern_misses\": {},\n", stats.misses));
+    attr.push_str(&format!("    \"released\": {}\n", stats.released));
+    attr.push_str("  }\n");
+
+    Measurement {
+        results,
+        attr_json: Some(attr),
+        sharded_prefixes,
+        bench_name: "rib_perf_baseline",
+        baseline_note: "pre-interning two-map engine (d66c2f8), same harness and host \
+         class; *_sharded scenarios baseline against their in-run one-shard twin",
+    }
+}
+
+/// The Internet-scale scenarios: a modern full table through the
+/// sharded engine's update-train path — cold start, bursty update
+/// train, and withdraw storm, each at one shard and at [`SHARDS`]
+/// shards. Mirrors S16–S18.
+fn measure_fulltable(options: &Options) -> Measurement {
+    let prefixes = options.prefixes;
+    let table = ModernTableGenerator::new(5).generate(prefixes);
+    let spec = workload::AnnounceSpec {
+        speaker_asn: Asn(65001),
+        path_len: 3,
+        next_hop: Ipv4Addr::new(10, 0, 0, 2),
+        prefixes_per_update: 500,
+        seed: 5,
+    };
+    let announcements = modern::announcements(&table, &spec);
+    // One burst event per prefix, so the train touches the whole table
+    // exactly once — the full-table analogue of S17's timed phase.
+    let update_train = modern::update_train(
+        &table,
+        &spec,
+        &BurstSpec {
+            events: prefixes,
+            ..BurstSpec::default()
+        },
+    );
+    let withdrawals = workload::withdrawals(&table, 500);
+
+    let engine = |shards: usize| {
+        let mut engine = ShardedRibEngine::new(Asn(65000), RouterId(1));
+        engine.add_peer(PeerInfo::new(
+            PeerId(1),
+            Asn(65001),
+            RouterId(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+        ));
+        engine.set_shards(shards);
+        engine.reserve(reserve_for(prefixes));
+        engine
+    };
+    let loaded = |shards: usize| {
+        let mut loaded = engine(shards);
+        loaded
+            .apply_update_train(PeerId(1), &announcements)
+            .unwrap();
+        loaded
+    };
+    fn train(updates: &[UpdateMessage]) -> impl FnMut(ShardedRibEngine) -> ShardedRibEngine + '_ {
+        move |mut engine| {
+            engine.apply_update_train(PeerId(1), updates).unwrap();
+            engine
+        }
+    }
+
+    let mut specs: Vec<(&'static str, usize, ScenarioSampler)> = vec![
+        (
+            "fulltable_startup_train",
+            prefixes,
+            Box::new(|n| measure_times(n, || engine(1), train(&announcements))),
+        ),
+        (
+            "fulltable_startup_sharded",
+            prefixes,
+            Box::new(|n| measure_times(n, || engine(SHARDS), train(&announcements))),
+        ),
+        (
+            "fulltable_update_train",
+            prefixes,
+            Box::new(|n| measure_times(n, || loaded(1), train(&update_train))),
+        ),
+        (
+            "fulltable_update_train_sharded",
+            prefixes,
+            Box::new(|n| measure_times(n, || loaded(SHARDS), train(&update_train))),
+        ),
+        (
+            "fulltable_withdraw_train",
+            prefixes,
+            Box::new(|n| measure_times(n, || loaded(1), train(&withdrawals))),
+        ),
+        (
+            "fulltable_withdraw_sharded",
+            prefixes,
+            Box::new(|n| measure_times(n, || loaded(SHARDS), train(&withdrawals))),
+        ),
+    ];
+    let mut results = run_specs(options.samples, &mut specs);
+    apply_twin_baselines(
+        &mut results,
+        &[
+            ("fulltable_startup_sharded", "fulltable_startup_train"),
+            ("fulltable_update_train_sharded", "fulltable_update_train"),
+            ("fulltable_withdraw_sharded", "fulltable_withdraw_train"),
+        ],
+    );
+    Measurement {
+        results,
+        attr_json: None,
+        sharded_prefixes: prefixes,
+        bench_name: "rib_fulltable_baseline",
+        baseline_note: "each *_sharded scenario baselines against its in-run one-shard \
+         twin on the same modern full table; plain trains are informational",
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    if options.telemetry {
+        telemetry::enable();
+    }
+    if options.trace {
+        telemetry::enable_trace(&telemetry::TraceConfig::default());
+    }
+    // Load the tracked baseline up front so a missing file fails
+    // before minutes of measurement, not after.
+    let mut baseline_state: Option<(bool, bool)> = None;
+    let tracked: Option<Vec<TrackedScenario>> = match std::fs::read_to_string(&options.out) {
+        Ok(json) => {
+            baseline_state = Some(parse_recorder_state(&json));
+            Some(parse_tracked(&json))
+        }
+        Err(_) if options.mode == BaselineMode::Init => None,
+        Err(error) => {
+            eprintln!(
+                "error: tracked baseline {} is not readable: {error}",
+                options.out
+            );
+            eprintln!(
+                "a fresh baseline is never written implicitly (that would make every \
+                 comparison new-vs-new); run with --init to create one"
+            );
+            std::process::exit(1);
+        }
+    };
+    // A check across mismatched recorder states compares the
+    // instrumentation's cost, not a code change's — refuse before the
+    // measurement unless the caller says the mismatch is the point.
+    if options.mode == BaselineMode::Check {
+        if let Some((base_telemetry, base_trace)) = baseline_state {
+            let mismatch = base_telemetry != options.telemetry || base_trace != options.trace;
+            if mismatch {
+                let detail = format!(
+                    "baseline {} was recorded with telemetry={base_telemetry} trace={base_trace}; \
+                     this run has telemetry={} trace={}",
+                    options.out, options.telemetry, options.trace
+                );
+                if options.allow_telemetry_mismatch {
+                    eprintln!("warning: recorder-state mismatch allowed: {detail}");
+                } else {
+                    eprintln!("error: recorder-state mismatch: {detail}");
+                    eprintln!(
+                        "re-run with matching flags, or pass --allow-telemetry-mismatch to \
+                         compare across states on purpose (overhead measurements)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let measurement = if options.fulltable {
+        measure_fulltable(&options)
+    } else {
+        measure_classic(&options)
+    };
+    let results = measurement.results;
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"rib_perf_baseline\",\n");
+    json.push_str(&format!("  \"bench\": \"{}\",\n", measurement.bench_name));
     json.push_str(&format!("  \"samples\": {},\n", options.samples));
     json.push_str(&format!("  \"telemetry\": {},\n", options.telemetry));
     json.push_str(&format!("  \"trace\": {},\n", options.trace));
-    json.push_str(&format!("  \"prefixes\": {prefixes},\n"));
-    json.push_str(&format!("  \"sharded_prefixes\": {sharded_prefixes},\n"));
+    json.push_str(&format!("  \"prefixes\": {},\n", options.prefixes));
+    json.push_str(&format!(
+        "  \"sharded_prefixes\": {},\n",
+        measurement.sharded_prefixes
+    ));
     json.push_str(&format!("  \"rib_shards\": {SHARDS},\n"));
     let parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -683,10 +907,10 @@ fn main() {
         if parallelism > 1 { SHARDS } else { 1 }
     ));
     json.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
-    json.push_str(
-        "  \"baseline\": \"pre-interning two-map engine (d66c2f8), same harness and host \
-         class; *_sharded scenarios baseline against their in-run one-shard twin\",\n",
-    );
+    json.push_str(&format!(
+        "  \"baseline\": \"{}\",\n",
+        json_escape_free(measurement.baseline_note)
+    ));
     json.push_str("  \"scenarios\": [\n");
     for (i, result) in results.iter().enumerate() {
         json.push_str("    {\n");
@@ -732,18 +956,13 @@ fn main() {
             "    },\n"
         });
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"attr_store\": {\n");
-    json.push_str(&format!("    \"routes_announced\": {announced},\n"));
-    json.push_str(&format!("    \"distinct_sets\": {},\n", store.len()));
-    json.push_str(&format!(
-        "    \"routes_per_set\": {:.1},\n",
-        announced as f64 / store.len().max(1) as f64
-    ));
-    json.push_str(&format!("    \"intern_hits\": {},\n", stats.hits));
-    json.push_str(&format!("    \"intern_misses\": {},\n", stats.misses));
-    json.push_str(&format!("    \"released\": {}\n", stats.released));
-    json.push_str("  }\n");
+    match &measurement.attr_json {
+        Some(attr) => {
+            json.push_str("  ],\n");
+            json.push_str(attr);
+        }
+        None => json.push_str("  ]\n"),
+    }
     json.push_str("}\n");
 
     let comparison = tracked

@@ -42,7 +42,9 @@ impl TelemetryFormat {
 /// Parsed command line of a benchmark binary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
-    /// Workload sizing (`--quick` selects [`ExperimentConfig::quick`]).
+    /// Workload sizing (`--quick` selects [`ExperimentConfig::quick`];
+    /// `--prefixes <n>` resizes either base config via
+    /// [`ExperimentConfig::with_prefixes`]).
     pub config: ExperimentConfig,
     /// Worker threads for the experiment grid (`--threads <n>`).
     pub threads: usize,
@@ -74,7 +76,7 @@ impl Cli {
                 eprintln!("error: {message}");
                 eprintln!(
                     "usage: <bin> [--quick] [--threads <n>] [--csv [<path>]] \
-                     [--telemetry [text|json|csv]] [--trace <path>]"
+                     [--prefixes <n>] [--telemetry [text|json|csv]] [--trace <path>]"
                 );
                 std::process::exit(2);
             }
@@ -88,6 +90,7 @@ impl Cli {
         I::Item: Into<String>,
     {
         let mut quick = false;
+        let mut prefixes: Option<usize> = None;
         let mut threads: Option<usize> = None;
         let mut csv: Option<CsvSink> = None;
         let mut telemetry_format: Option<TelemetryFormat> = None;
@@ -120,6 +123,12 @@ impl Cli {
                         .ok_or_else(|| "--threads needs a count".to_owned())?;
                     threads = Some(parse_threads(&value)?);
                 }
+                "--prefixes" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--prefixes needs a table size".to_owned())?;
+                    prefixes = Some(parse_prefixes(&value)?);
+                }
                 "--csv" => {
                     // The path operand is optional: bare `--csv` prints
                     // to stdout.
@@ -135,6 +144,8 @@ impl Cli {
                 other => {
                     if let Some(value) = other.strip_prefix("--threads=") {
                         threads = Some(parse_threads(value)?);
+                    } else if let Some(value) = other.strip_prefix("--prefixes=") {
+                        prefixes = Some(parse_prefixes(value)?);
                     } else if let Some(value) = other.strip_prefix("--csv=") {
                         csv = Some(CsvSink::File(PathBuf::from(value)));
                     } else if let Some(value) = other.strip_prefix("--telemetry=") {
@@ -147,10 +158,14 @@ impl Cli {
                 }
             }
         }
-        let config = if quick {
+        let base = if quick {
             ExperimentConfig::quick()
         } else {
             ExperimentConfig::full()
+        };
+        let config = match prefixes {
+            Some(n) => base.with_prefixes(n),
+            None => base,
         };
         Ok(Cli {
             config,
@@ -206,6 +221,16 @@ impl Cli {
     }
 }
 
+fn parse_prefixes(value: &str) -> Result<usize, String> {
+    let prefixes: usize = value
+        .parse()
+        .map_err(|_| format!("invalid table size `{value}`"))?;
+    if prefixes == 0 {
+        return Err("--prefixes must be at least 1".to_owned());
+    }
+    Ok(prefixes)
+}
+
 fn parse_threads(value: &str) -> Result<usize, String> {
     let threads: usize = value
         .parse()
@@ -256,7 +281,30 @@ mod tests {
         assert!(Cli::parse(["--threads"]).is_err());
         assert!(Cli::parse(["--threads", "zero"]).is_err());
         assert!(Cli::parse(["--threads", "0"]).is_err());
+        assert!(Cli::parse(["--prefixes"]).is_err());
+        assert!(Cli::parse(["--prefixes", "0"]).is_err());
+        assert!(Cli::parse(["--prefixes", "many"]).is_err());
         assert!(Cli::parse(["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn prefixes_flag_resizes_both_table_sizes() {
+        let cli = Cli::parse(["--prefixes", "1000000"]).unwrap();
+        assert_eq!(cli.config.large_prefixes, 1_000_000);
+        assert_eq!(cli.config.small_prefixes, 200_000);
+        // The flag composes with --quick: same sizes, quick cross grid.
+        let quick = Cli::parse(["--quick", "--prefixes=50"]).unwrap();
+        assert_eq!(quick.config.large_prefixes, 50);
+        assert_eq!(quick.config.small_prefixes, 10);
+        assert_eq!(
+            quick.config.cross_points,
+            ExperimentConfig::quick().cross_points
+        );
+        // Bare --quick keeps the quick sizes untouched.
+        assert_eq!(
+            Cli::parse(["--quick"]).unwrap().config,
+            ExperimentConfig::quick()
+        );
     }
 
     #[test]

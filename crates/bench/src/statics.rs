@@ -16,6 +16,7 @@ fn operation_columns(scenario: Scenario) -> (&'static str, &'static str) {
         BgpOperation::SessionChurn => ("Session Churn", "ANNOUNCE"),
         BgpOperation::ExportRewrite => ("Policy Export", "ANNOUNCE"),
         BgpOperation::MedOscillation => ("MED Oscillation", "ANNOUNCE"),
+        BgpOperation::UpdateTrainReplay => ("Update-Train Replay", "MIXED"),
     }
 }
 

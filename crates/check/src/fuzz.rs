@@ -24,18 +24,27 @@
 //! spans, zero spans — keeping whatever still fails) and reported as a
 //! hex string ready for [`run_reproducer`].
 //!
-//! The same machinery drives a second [`Target`]: the `BGPBTRC1`
+//! The same machinery drives two further [`Target`]s: the `BGPBTRC1`
 //! binary trace-dump format (`fuzz-wire --target trace`), where the
-//! properties are parse-never-panics and dump→parse→dump fixpoint.
+//! properties are parse-never-panics and dump→parse→dump fixpoint,
+//! and MRT dumps (`fuzz-wire --target mrt`), where [`MrtReader`] must
+//! never unwind and every decoded record must survive re-encode →
+//! re-decode structurally unchanged.
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 
 use bgpbench_telemetry::trace::export;
 use bgpbench_telemetry::{TraceDump, TraceEvent, TraceEventId};
-use bgpbench_wire::{Message, StreamDecoder};
+use bgpbench_wire::mrt::{
+    self, MrtError, MrtPeer, MrtReader, MrtRecord, PeerIndexTable, RibEntry, RibPrefix,
+};
+use bgpbench_wire::{
+    AsPath, Asn, Message, Origin, PathAttribute, Prefix, RouterId, StreamDecoder, UpdateMessage,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
 
 use crate::corpus;
 
@@ -46,6 +55,8 @@ pub enum Target {
     Wire,
     /// `BGPBTRC1` binary trace dumps through `parse_binary`.
     Trace,
+    /// MRT dumps (TABLE_DUMP_V2 + BGP4MP) through [`MrtReader`].
+    Mrt,
 }
 
 impl Target {
@@ -54,6 +65,7 @@ impl Target {
         match name {
             "wire" => Some(Target::Wire),
             "trace" => Some(Target::Trace),
+            "mrt" => Some(Target::Mrt),
             _ => None,
         }
     }
@@ -63,6 +75,7 @@ impl Target {
         match self {
             Target::Wire => "wire",
             Target::Trace => "trace",
+            Target::Mrt => "mrt",
         }
     }
 
@@ -70,6 +83,7 @@ impl Target {
         match self {
             Target::Wire => corpus::seed_bytes(),
             Target::Trace => trace_seed_bytes(),
+            Target::Mrt => mrt_seed_bytes(),
         }
     }
 
@@ -77,6 +91,7 @@ impl Target {
         match self {
             Target::Wire => check_input(bytes),
             Target::Trace => check_trace(bytes),
+            Target::Mrt => check_mrt(bytes),
         }
     }
 }
@@ -100,6 +115,14 @@ pub enum Failure {
     TraceReparseFailed(String),
     /// The second parse produced a different dump.
     TraceNotAFixpoint,
+    /// [`MrtReader`] unwound on an MRT mutant.
+    MrtDecodePanicked,
+    /// An MRT record decoded fine, but re-encoding it unwound.
+    MrtReencodePanicked,
+    /// A re-encoded MRT record failed to decode.
+    MrtRedecodeFailed(String),
+    /// The re-decoded MRT record differs from the original.
+    MrtNotAFixpoint,
 }
 
 impl fmt::Display for Failure {
@@ -115,6 +138,12 @@ impl fmt::Display for Failure {
                 write!(f, "parse of re-dumped trace bytes failed: {e}")
             }
             Failure::TraceNotAFixpoint => write!(f, "parse(dump(parse(bytes))) differs"),
+            Failure::MrtDecodePanicked => write!(f, "MrtReader panicked"),
+            Failure::MrtReencodePanicked => write!(f, "re-encode of decoded MRT record panicked"),
+            Failure::MrtRedecodeFailed(e) => {
+                write!(f, "decode of re-encoded MRT record failed: {e}")
+            }
+            Failure::MrtNotAFixpoint => write!(f, "decode(encode(decode(record))) differs"),
         }
     }
 }
@@ -392,6 +421,153 @@ fn check_trace(bytes: &[u8]) -> Result<bool, Failure> {
     Ok(true)
 }
 
+/// Structurally valid MRT seeds built with the real encoders: a full
+/// dump (peer index + RIB prefixes + announce/withdraw BGP4MP), a
+/// bare peer index, a BGP4MP-only stream, and a dump containing an
+/// unknown record type the reader must skip by header length.
+fn mrt_seed_bytes() -> Vec<Vec<u8>> {
+    let next_hop = Ipv4Addr::new(10, 0, 0, 2);
+    let peer_index = || PeerIndexTable {
+        collector_id: RouterId(0xC000_0201),
+        view_name: String::from("fuzz"),
+        peers: vec![
+            MrtPeer {
+                bgp_id: RouterId(0x0A00_0002),
+                asn: Asn(65001),
+                addr: Some(next_hop),
+            },
+            MrtPeer {
+                bgp_id: RouterId(0x0A00_0003),
+                asn: Asn(65002),
+                addr: None,
+            },
+        ],
+    };
+    let prefix = |text: &str| text.parse::<Prefix>().expect("seed prefixes are valid");
+    let rib = |seq: u32, text: &str, path: &[u16]| RibPrefix {
+        sequence: seq,
+        prefix: prefix(text),
+        entries: vec![RibEntry {
+            peer_index: (seq % 2) as u16,
+            originated: 1_186_610_000,
+            attributes: vec![
+                PathAttribute::Origin(Origin::Igp),
+                PathAttribute::AsPath(AsPath::from_sequence(path.iter().map(|&a| Asn(a)))),
+                PathAttribute::NextHop(next_hop),
+            ],
+        }],
+    };
+    let announce = UpdateMessage::builder()
+        .attribute(PathAttribute::Origin(Origin::Igp))
+        .attribute(PathAttribute::AsPath(AsPath::from_sequence([
+            Asn(65001),
+            Asn(2914),
+        ])))
+        .attribute(PathAttribute::NextHop(next_hop))
+        .announce(prefix("198.51.100.128/25"))
+        .build();
+    let withdraw = UpdateMessage::builder()
+        .withdraw(prefix("203.0.113.0/24"))
+        .build();
+    let bgp4mp = |ts: u32, update: &UpdateMessage, out: &mut Vec<u8>| {
+        mrt::encode_bgp4mp_update(
+            ts,
+            Asn(65001),
+            Asn(65000),
+            next_hop,
+            Ipv4Addr::new(10, 0, 0, 1),
+            update,
+            out,
+        );
+    };
+
+    let mut full = Vec::new();
+    peer_index().encode(1_186_617_600, &mut full);
+    rib(0, "198.51.100.0/24", &[65001, 3356, 15169]).encode(1_186_617_600, &mut full);
+    rib(1, "192.0.2.0/25", &[65002, 6939, 13335]).encode(1_186_617_600, &mut full);
+    bgp4mp(1_186_617_660, &announce, &mut full);
+    bgp4mp(1_186_617_720, &withdraw, &mut full);
+
+    let mut index_only = Vec::new();
+    peer_index().encode(1_186_617_600, &mut index_only);
+
+    let mut updates_only = Vec::new();
+    bgp4mp(1_186_617_660, &announce, &mut updates_only);
+    bgp4mp(1_186_617_661, &withdraw, &mut updates_only);
+
+    // An unknown record type between two known records: header says
+    // type 42 with a 4-byte body, which the reader must skip cleanly.
+    let mut with_unknown = Vec::new();
+    peer_index().encode(1_186_617_600, &mut with_unknown);
+    with_unknown.extend_from_slice(&1_186_617_601u32.to_be_bytes());
+    with_unknown.extend_from_slice(&42u16.to_be_bytes());
+    with_unknown.extend_from_slice(&0u16.to_be_bytes());
+    with_unknown.extend_from_slice(&4u32.to_be_bytes());
+    with_unknown.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+    bgp4mp(1_186_617_660, &announce, &mut with_unknown);
+
+    vec![full, index_only, updates_only, with_unknown]
+}
+
+/// Checks one MRT input: the reader must never unwind, and every
+/// record it does decode must survive re-encode → re-decode
+/// structurally unchanged (timestamps of index/RIB records are not
+/// part of the decoded structure, so the re-encode uses a fixed one).
+fn check_mrt(bytes: &[u8]) -> Result<bool, Failure> {
+    let records = panic::catch_unwind(AssertUnwindSafe(|| {
+        MrtReader::new(bytes).collect::<Vec<Result<MrtRecord, MrtError>>>()
+    }))
+    .map_err(|_| Failure::MrtDecodePanicked)?;
+    let mut any_rejected = false;
+    for record in records {
+        let record = match record {
+            Ok(record) => record,
+            Err(_) => {
+                any_rejected = true;
+                continue;
+            }
+        };
+        let reencoded = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            match &record {
+                MrtRecord::PeerIndex(table) => table.encode(0, &mut out),
+                MrtRecord::RibIpv4(rib) => rib.encode(0, &mut out),
+                MrtRecord::Update(update) => mrt::encode_bgp4mp_update(
+                    update.timestamp,
+                    update.peer_asn,
+                    Asn(65000),
+                    update.peer_addr,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    &update.update,
+                    &mut out,
+                ),
+                // Skipped records carry no payload to re-encode.
+                MrtRecord::Skipped { .. } => {}
+            }
+            out
+        }))
+        .map_err(|_| Failure::MrtReencodePanicked)?;
+        if reencoded.is_empty() {
+            continue;
+        }
+        let mut again = MrtReader::new(&reencoded);
+        match again.next() {
+            Some(Ok(redecoded)) => {
+                if redecoded != record {
+                    return Err(Failure::MrtNotAFixpoint);
+                }
+            }
+            Some(Err(error)) => return Err(Failure::MrtRedecodeFailed(error.to_string())),
+            None => {
+                return Err(Failure::MrtRedecodeFailed(String::from(
+                    "re-encoded record produced no records",
+                )))
+            }
+        }
+    }
+    Ok(!any_rejected)
+}
+
 /// ddmin-lite: shrink a failing input while the *same* failure
 /// persists. Tries tail truncation, span removal, and span zeroing at
 /// halving granularity.
@@ -512,7 +688,7 @@ mod tests {
 
     #[test]
     fn target_names_round_trip() {
-        for target in [Target::Wire, Target::Trace] {
+        for target in [Target::Wire, Target::Trace, Target::Mrt] {
             assert_eq!(Target::from_name(target.name()), Some(target));
         }
         assert_eq!(Target::from_name("bogus"), None);
@@ -550,6 +726,52 @@ mod tests {
         assert_eq!(report.iterations, 10_000);
         assert!(report.decoded_ok > 0, "no trace mutant survived parsing");
         assert!(report.rejected > 0, "no trace mutant was rejected");
+    }
+
+    #[test]
+    fn mrt_seeds_are_valid_and_fixpoints() {
+        for (i, seed) in mrt_seed_bytes().iter().enumerate() {
+            assert_eq!(
+                check_mrt(seed),
+                Ok(true),
+                "MRT seed {i} must decode and round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn mrt_target_same_seed_same_outcome() {
+        let a = run_target(Target::Mrt, 42, 500);
+        let b = run_target(Target::Mrt, 42, 500);
+        assert_eq!(a.decoded_ok, b.decoded_ok);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.failure.is_none(), b.failure.is_none());
+    }
+
+    #[test]
+    fn mrt_ci_configuration_is_clean() {
+        // The exact run CI performs; keep in sync with ci.yml.
+        let report = run_target(Target::Mrt, 7, 10_000);
+        assert!(
+            report.failure.is_none(),
+            "MRT fuzz failure: {}",
+            report.failure.unwrap()
+        );
+        assert_eq!(report.iterations, 10_000);
+        assert!(report.decoded_ok > 0, "no MRT mutant survived decoding");
+        assert!(report.rejected > 0, "no MRT mutant was rejected");
+    }
+
+    #[test]
+    fn mrt_truncation_is_rejected_not_panicking() {
+        let seed = mrt_seed_bytes().remove(0);
+        for keep in 0..seed.len() {
+            let outcome = check_mrt(&seed[..keep]);
+            assert!(
+                outcome.is_ok(),
+                "truncation to {keep} bytes must not violate a property: {outcome:?}"
+            );
+        }
     }
 
     #[test]

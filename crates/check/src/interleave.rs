@@ -73,8 +73,10 @@ impl Access {
 /// at least one side writing. Conflicting ops are *dependent* — their
 /// order can change the outcome and both orders must be explored.
 pub fn conflicting(a: &[Access], b: &[Access]) -> bool {
-    a.iter()
-        .any(|x| b.iter().any(|y| x.resource() == y.resource() && (x.is_write() || y.is_write())))
+    a.iter().any(|x| {
+        b.iter()
+            .any(|y| x.resource() == y.resource() && (x.is_write() || y.is_write()))
+    })
 }
 
 /// Why an exploration could not run or did not hold.
@@ -170,18 +172,14 @@ pub fn parse_schedule(text: &str, counts: &[usize]) -> Result<Vec<ScheduledOp>, 
             .get(thread)
             .ok_or_else(|| format!("step {pos}: thread {thread} out of range"))?;
         if progress[thread] >= count {
-            return Err(format!(
-                "step {pos}: thread {thread} has only {count} ops"
-            ));
+            return Err(format!("step {pos}: thread {thread} has only {count} ops"));
         }
         schedule.push((thread, progress[thread]));
         progress[thread] += 1;
     }
     for (thread, (&done, &count)) in progress.iter().zip(counts).enumerate() {
         if done != count {
-            return Err(format!(
-                "thread {thread} ran {done} of {count} ops"
-            ));
+            return Err(format!("thread {thread} ran {done} of {count} ops"));
         }
     }
     Ok(schedule)
@@ -545,26 +543,17 @@ mod tests {
 
     #[test]
     fn dpor_explores_both_orders_of_dependent_ops() {
-        let threads = vec![
-            vec![vec![Access::Write(1)]],
-            vec![vec![Access::Write(1)]],
-        ];
+        let threads = vec![vec![vec![Access::Write(1)]], vec![vec![Access::Write(1)]]];
         let executed = explore_dpor(&threads, |_| Ok(())).unwrap();
         assert_eq!(executed, 2);
     }
 
     #[test]
     fn dpor_read_read_is_independent_read_write_is_not() {
-        let reads = vec![
-            vec![vec![Access::Read(1)]],
-            vec![vec![Access::Read(1)]],
-        ];
+        let reads = vec![vec![vec![Access::Read(1)]], vec![vec![Access::Read(1)]]];
         assert_eq!(explore_dpor(&reads, |_| Ok(())).unwrap(), 1);
 
-        let mixed = vec![
-            vec![vec![Access::Read(1)]],
-            vec![vec![Access::Write(1)]],
-        ];
+        let mixed = vec![vec![vec![Access::Read(1)]], vec![vec![Access::Write(1)]]];
         assert_eq!(explore_dpor(&mixed, |_| Ok(())).unwrap(), 2);
     }
 
@@ -630,10 +619,7 @@ mod tests {
 
         // The emitted string reproduces the failure via replay().
         let replayed = replay(&replay_text, &[3, 1], run).unwrap_err();
-        assert!(matches!(
-            replayed,
-            ExploreError::InvariantViolated { .. }
-        ));
+        assert!(matches!(replayed, ExploreError::InvariantViolated { .. }));
 
         // And the sequential order passes, confirming the string
         // carries real information.

@@ -674,7 +674,10 @@ mod tests {
         assert_eq!(report.waived_findings[0].rule, "no-panic");
         assert_eq!(report.waived_findings[0].line, 1);
         // And the entry is marked load-bearing.
-        assert_eq!(report.matched_waivers.iter().copied().collect::<Vec<_>>(), [0]);
+        assert_eq!(
+            report.matched_waivers.iter().copied().collect::<Vec<_>>(),
+            [0]
+        );
     }
 
     #[test]

@@ -42,8 +42,16 @@ use crate::races::{analyze_recorded, RaceReport};
 /// Every model in pass order: `(name, zero races expected, report)`.
 pub fn run_all() -> Vec<(&'static str, bool, RaceReport)> {
     vec![
-        ("rib::shard::apply_update_train", true, sharded_train_model()),
-        ("telemetry::registry+trace merge", true, telemetry_merge_model()),
+        (
+            "rib::shard::apply_update_train",
+            true,
+            sharded_train_model(),
+        ),
+        (
+            "telemetry::registry+trace merge",
+            true,
+            telemetry_merge_model(),
+        ),
         ("core::runner::grid_queue", true, grid_queue_model()),
     ]
 }
@@ -62,8 +70,7 @@ pub fn sharded_train_model() -> RaceReport {
 
     let prefixes: Vec<Prefix> = (0..32u32)
         .map(|i| {
-            Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 + (i << 12)), 20)
-                .expect("static prefix")
+            Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 + (i << 12)), 20).expect("static prefix")
         })
         .collect();
     let attrs = RouteAttributes::new(
@@ -111,11 +118,7 @@ pub fn telemetry_merge_model() -> RaceReport {
                 for i in 0..8u64 {
                     registry.add_to_shard(worker, MetricId::RibUpdates, i);
                     registry.observe_in_shard(worker, MetricId::UpdatePrefixes, i * 3);
-                    bgpbench_telemetry::trace_instant(
-                        TraceEventId::PhaseMark,
-                        worker as u64,
-                        i,
-                    );
+                    bgpbench_telemetry::trace_instant(TraceEventId::PhaseMark, worker as u64, i);
                 }
                 sync_check::on_task_end(token);
             });

@@ -455,11 +455,23 @@ mod tests {
     fn spawn_and_join_edges_order_parent_and_child() {
         let events = [
             write(1, 7, "parent::init"),
-            Event::Spawned { thread: 1, token: 9 },
-            Event::Started { thread: 2, token: 9 },
+            Event::Spawned {
+                thread: 1,
+                token: 9,
+            },
+            Event::Started {
+                thread: 2,
+                token: 9,
+            },
             write(2, 7, "child::work"),
-            Event::Ended { thread: 2, token: 9 },
-            Event::Joined { thread: 1, token: 9 },
+            Event::Ended {
+                thread: 2,
+                token: 9,
+            },
+            Event::Joined {
+                thread: 1,
+                token: 9,
+            },
             read(1, 7, "parent::collect"),
         ];
         assert!(analyze(&events).is_race_free());
@@ -468,13 +480,25 @@ mod tests {
     #[test]
     fn access_before_join_races_with_child() {
         let events = [
-            Event::Spawned { thread: 1, token: 9 },
-            Event::Started { thread: 2, token: 9 },
+            Event::Spawned {
+                thread: 1,
+                token: 9,
+            },
+            Event::Started {
+                thread: 2,
+                token: 9,
+            },
             write(2, 7, "child::work"),
             // Parent reads before observing the child's end.
             read(1, 7, "parent::early"),
-            Event::Ended { thread: 2, token: 9 },
-            Event::Joined { thread: 1, token: 9 },
+            Event::Ended {
+                thread: 2,
+                token: 9,
+            },
+            Event::Joined {
+                thread: 1,
+                token: 9,
+            },
         ];
         let report = analyze(&events);
         assert_eq!(report.races.len(), 1);

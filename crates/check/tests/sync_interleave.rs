@@ -409,9 +409,7 @@ mod shard_model {
             };
 
             let prefixes: Vec<Prefix> = (0..12u32)
-                .map(|i| {
-                    Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 + (i << 12)), 20).unwrap()
-                })
+                .map(|i| Prefix::new_masked(Ipv4Addr::from(0x0A00_0000 + (i << 12)), 20).unwrap())
                 .collect();
             let attrs_base = RouteAttributes::new(
                 Origin::Igp,

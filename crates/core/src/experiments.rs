@@ -63,6 +63,19 @@ impl ExperimentConfig {
         }
     }
 
+    /// The same config resized to `prefixes` large-packet prefixes.
+    /// Small-packet scenarios scale along at a fifth of the size
+    /// (matching the full-size 2000:10 000 ratio), never below one
+    /// prefix — the sizing behind the bench binaries' `--prefixes`
+    /// flag.
+    pub fn with_prefixes(self, prefixes: usize) -> Self {
+        ExperimentConfig {
+            large_prefixes: prefixes.max(1),
+            small_prefixes: (prefixes / 5).max(1),
+            ..self
+        }
+    }
+
     /// The table size a scenario uses under this config (small-packet
     /// scenarios run smaller tables because they are slower per
     /// prefix).

@@ -3,13 +3,13 @@
 use std::net::Ipv4Addr;
 
 use bgpbench_models::{PlatformSpec, SimRouter, SPEAKER_1, SPEAKER_2};
-use bgpbench_speaker::{workload, SpeakerScript, TableGenerator};
+use bgpbench_speaker::{workload, SpeakerScript, WorkloadSpec};
 use bgpbench_telemetry::{self as telemetry, EventKind, SpanId};
 use bgpbench_wire::Asn;
 
 use crate::faults::FaultPlan;
 use crate::policy::PolicyProfile;
-use crate::scenario::{BgpOperation, Scenario};
+use crate::scenario::{BgpOperation, Scenario, WorkloadKind};
 use crate::topology::{ConvergenceRun, Topology, TopologyConfig};
 
 /// AS-path length Speaker 1 uses for its table.
@@ -33,9 +33,12 @@ const OSCILLATION_ROUNDS: usize = 2;
 const OSCILLATION_HIGH_MED: u32 = 50;
 
 /// Parameters of one scenario run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
-    /// Routing-table size (prefixes injected and measured).
+    /// Routing-table size (prefixes injected and measured). Workload
+    /// sources that replay a fixed dump may yield fewer prefixes; the
+    /// harness then sizes its phase targets from what the source
+    /// actually produced.
     pub prefixes: usize,
     /// Workload seed (same seed → identical run).
     pub seed: u64,
@@ -53,6 +56,11 @@ pub struct ScenarioConfig {
     /// parallelism). Results are bit-identical for every value; 1 (the
     /// default) is the single-threaded engine.
     pub rib_shards: usize,
+    /// Workload-source override: `Some` drives the run from that
+    /// source (synthetic classic/modern table or an MRT replay)
+    /// regardless of scenario; `None` uses the scenario's registered
+    /// workload kind (classic for S1–S15, modern for S16–S18).
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl Default for ScenarioConfig {
@@ -64,7 +72,87 @@ impl Default for ScenarioConfig {
             churn: ChurnConfig::default(),
             policy: None,
             rib_shards: 1,
+            workload: None,
         }
+    }
+}
+
+impl ScenarioConfig {
+    /// A fluent builder over the default configuration, mirroring
+    /// [`crate::CellSpec`]'s API:
+    ///
+    /// ```
+    /// use bgpbench_core::ScenarioConfig;
+    ///
+    /// let config = ScenarioConfig::builder()
+    ///     .prefixes(1000)
+    ///     .seed(7)
+    ///     .rib_shards(4)
+    ///     .build();
+    /// assert_eq!(config.prefixes, 1000);
+    /// assert_eq!(config.rib_shards, 4);
+    /// ```
+    pub fn builder() -> ScenarioConfigBuilder {
+        ScenarioConfigBuilder {
+            config: ScenarioConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ScenarioConfig`]; see [`ScenarioConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ScenarioConfigBuilder {
+    config: ScenarioConfig,
+}
+
+impl ScenarioConfigBuilder {
+    /// Sets the routing-table size (prefixes injected and measured).
+    pub fn prefixes(mut self, prefixes: usize) -> Self {
+        self.config.prefixes = prefixes;
+        self
+    }
+
+    /// Sets the workload seed (same seed → identical run).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the cross-traffic offered load during the timed phase.
+    pub fn cross_traffic(mut self, mbps: f64) -> Self {
+        self.config.cross_traffic_mbps = mbps;
+        self
+    }
+
+    /// Sets the churn knobs for session-churn scenarios (S9–S12).
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        self.config.churn = churn;
+        self
+    }
+
+    /// Attaches a policy profile's route-maps to the router under
+    /// test, overriding the scenario's own profile.
+    pub fn policy(mut self, profile: PolicyProfile) -> Self {
+        self.config.policy = Some(profile);
+        self
+    }
+
+    /// Sets the RIB shard count on the router under test.
+    pub fn rib_shards(mut self, shards: usize) -> Self {
+        self.config.rib_shards = shards;
+        self
+    }
+
+    /// Drives the run from the given workload source instead of the
+    /// scenario's registered kind.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.config.workload = Some(spec);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ScenarioConfig {
+        self.config
     }
 }
 
@@ -190,7 +278,7 @@ pub fn run_scenario_repeated(
                 scenario,
                 &ScenarioConfig {
                     seed: config.seed + rep as u64,
-                    ..*config
+                    ..config.clone()
                 },
             )
         })
@@ -323,9 +411,29 @@ fn drive(
     config: &ScenarioConfig,
     prefixes_per_update: Option<usize>,
 ) -> ScenarioResult {
-    let table = TableGenerator::new(config.seed).generate(config.prefixes);
+    // The workload source: a config override wins; otherwise the
+    // scenario's registered kind picks between the 2007-era synthetic
+    // generator (S1–S15) and the modern Internet generator (S16–S18).
+    let workload_spec = config
+        .workload
+        .clone()
+        .unwrap_or_else(|| match scenario.workload() {
+            WorkloadKind::Classic => WorkloadSpec::Classic,
+            WorkloadKind::Modern => WorkloadSpec::Modern,
+        });
+    let mut source = workload_spec
+        .source(config.seed)
+        .unwrap_or_else(|e| panic!("workload source failed to load: {e}"));
+    let table = source.table(config.prefixes);
+    assert!(
+        !table.is_empty(),
+        "workload source {} produced an empty table",
+        source.describe()
+    );
     let pkt = prefixes_per_update.unwrap_or_else(|| scenario.packet_size().prefixes_per_update());
-    let n = config.prefixes as u64;
+    // Replay sources may hold fewer prefixes than requested; phase
+    // targets follow what the source actually produced.
+    let n = table.len() as u64;
     let speaker1_base = workload::AnnounceSpec {
         speaker_asn: SPEAKER1_ASN,
         path_len: BASE_PATH_LEN,
@@ -353,7 +461,7 @@ fn drive(
             };
             router.load_script(
                 SPEAKER_1,
-                SpeakerScript::new(workload::announcements(&table, &spec)),
+                SpeakerScript::new(source.announcements(&table, &spec)),
             );
             (n, router.run_until_transactions(n, PHASE_LIMIT_SECS))
         }
@@ -363,7 +471,7 @@ fn drive(
                 let _span = telemetry::span(SpanId::Phase1);
                 router.load_script(
                     SPEAKER_1,
-                    SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
+                    SpeakerScript::new(source.announcements(&table, &speaker1_base)),
                 );
                 router
                     .run_until_transactions(n, PHASE_LIMIT_SECS)
@@ -373,7 +481,7 @@ fn drive(
             let _span = telemetry::span(SpanId::Phase3);
             router.load_script(
                 SPEAKER_1,
-                SpeakerScript::new(workload::withdrawals(&table, pkt)),
+                SpeakerScript::new(source.withdrawals(&table, pkt)),
             );
             (n, router.run_until_transactions(2 * n, PHASE_LIMIT_SECS))
         }
@@ -383,7 +491,7 @@ fn drive(
                 let _span = telemetry::span(SpanId::Phase1);
                 router.load_script(
                     SPEAKER_1,
-                    SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
+                    SpeakerScript::new(source.announcements(&table, &speaker1_base)),
                 );
                 router
                     .run_until_transactions(n, PHASE_LIMIT_SECS)
@@ -413,7 +521,7 @@ fn drive(
             };
             router.load_script(
                 SPEAKER_2,
-                SpeakerScript::new(workload::announcements(&table, &spec)),
+                SpeakerScript::new(source.announcements(&table, &spec)),
             );
             (n, router.run_until_transactions(2 * n, PHASE_LIMIT_SECS))
         }
@@ -423,7 +531,7 @@ fn drive(
                 let _span = telemetry::span(SpanId::Phase1);
                 router.load_script(
                     SPEAKER_1,
-                    SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
+                    SpeakerScript::new(source.announcements(&table, &speaker1_base)),
                 );
                 router
                     .run_until_transactions(n, PHASE_LIMIT_SECS)
@@ -443,7 +551,7 @@ fn drive(
                 let _span = telemetry::span(SpanId::Phase1);
                 router.load_script(
                     SPEAKER_1,
-                    SpeakerScript::new(workload::announcements(&table, &speaker1_base)),
+                    SpeakerScript::new(source.announcements(&table, &speaker1_base)),
                 );
                 router
                     .run_until_transactions(n, PHASE_LIMIT_SECS)
@@ -471,6 +579,41 @@ fn drive(
             (
                 rounds * n,
                 router.run_until_transactions((rounds + 1) * n, PHASE_LIMIT_SECS),
+            )
+        }
+        BgpOperation::UpdateTrainReplay => {
+            {
+                mark_phase(router, 1);
+                let _span = telemetry::span(SpanId::Phase1);
+                router.load_script(
+                    SPEAKER_1,
+                    SpeakerScript::new(source.announcements(&table, &speaker1_base)),
+                );
+                router
+                    .run_until_transactions(n, PHASE_LIMIT_SECS)
+                    .expect("setup phase must complete");
+            }
+            mark_phase(router, 3);
+            let _span = telemetry::span(SpanId::Phase3);
+            let spec = workload::AnnounceSpec {
+                prefixes_per_update: pkt,
+                ..speaker1_base
+            };
+            // The timed phase replays the source's update train — for
+            // the modern generator a bursty LRD-shaped mix of
+            // re-announcements and withdrawals; for MRT replay the
+            // dump's own BGP4MP messages.
+            let train = source.update_train(&table, &spec);
+            let train_tx = workload::transaction_count(&train) as u64;
+            assert!(
+                train_tx > 0,
+                "workload source {} produced an empty update train",
+                source.describe()
+            );
+            router.load_script(SPEAKER_1, SpeakerScript::new(train));
+            (
+                train_tx,
+                router.run_until_transactions(n + train_tx, PHASE_LIMIT_SECS),
             )
         }
         // Intercepted in `run_scenario_with_packetization` and routed
@@ -509,6 +652,7 @@ fn mark_phase(router: &mut SimRouter, phase: u64) {
 mod tests {
     use super::*;
     use bgpbench_models::{pentium3, xeon};
+    use bgpbench_speaker::TableGenerator;
 
     fn quick(prefixes: usize) -> ScenarioConfig {
         ScenarioConfig {

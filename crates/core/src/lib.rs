@@ -19,8 +19,10 @@
 //!
 //! * [`Scenario`] — the open scenario registry: the paper's eight
 //!   ([`Scenario::ALL`]) plus the session-churn fault scenarios
-//!   S9–S12 ([`Scenario::FAULTS`]) and the route-map policy scenarios
-//!   S13–S15 ([`Scenario::POLICY`], see [`PolicyProfile`]);
+//!   S9–S12 ([`Scenario::FAULTS`]), the route-map policy scenarios
+//!   S13–S15 ([`Scenario::POLICY`], see [`PolicyProfile`]), and the
+//!   Internet-scale full-table scenarios S16–S18
+//!   ([`Scenario::FULLTABLE`], driven by a [`WorkloadSpec`] source);
 //! * [`CellSpec`] — one scenario × platform cell as data, with a
 //!   builder for sizing, seed, cross-traffic, and churn knobs;
 //! * [`Topology`] — the multi-peer session engine: N speakers, a
@@ -64,11 +66,12 @@ pub mod runner;
 mod scenario;
 pub mod topology;
 
+pub use bgpbench_speaker::{BurstSpec, WorkloadError, WorkloadSource, WorkloadSpec};
 pub use breakdown::{fig34_breakdown, BreakdownRow, Fig34Breakdown};
 pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use harness::{
     run_churn, run_scenario, run_scenario_repeated, ChurnConfig, RepeatedResult, ScenarioConfig,
-    ScenarioResult,
+    ScenarioConfigBuilder, ScenarioResult,
 };
 pub use policy::PolicyProfile;
 pub use report::{Render, StaticReport};
@@ -76,7 +79,7 @@ pub use runner::{
     CellError, CellRun, CellSpec, ExperimentSpec, GridRunner, NullObserver, RunObserver,
     StderrProgress,
 };
-pub use scenario::{BgpOperation, ChurnKind, PacketSize, Scenario, ScenarioSpec};
+pub use scenario::{BgpOperation, ChurnKind, PacketSize, Scenario, ScenarioSpec, WorkloadKind};
 pub use topology::{
     convergence_report, flap_storm_figure, ConvergenceOutcome, ConvergenceReport, ConvergenceRun,
     Topology, TopologyConfig,

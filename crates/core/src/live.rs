@@ -12,11 +12,11 @@ use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
 
 use bgpbench_daemon::BgpDaemon;
-use bgpbench_speaker::{workload, LiveSpeaker, LiveSpeakerConfig, TableGenerator};
+use bgpbench_speaker::{workload, LiveSpeaker, LiveSpeakerConfig, WorkloadSpec};
 use bgpbench_wire::{Asn, RouterId};
 
 use crate::harness::ScenarioResult;
-use crate::scenario::{BgpOperation, Scenario};
+use crate::scenario::{BgpOperation, Scenario, WorkloadKind};
 
 /// Parameters of a live scenario run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,9 +79,15 @@ pub fn run_live_scenario(
     scenario: Scenario,
     config: &LiveConfig,
 ) -> io::Result<ScenarioResult> {
-    let table = TableGenerator::new(config.seed).generate(config.prefixes);
+    let mut source = match scenario.workload() {
+        WorkloadKind::Classic => WorkloadSpec::Classic,
+        WorkloadKind::Modern => WorkloadSpec::Modern,
+    }
+    .source(config.seed)
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let table = source.table(config.prefixes);
     let pkt = scenario.packet_size().prefixes_per_update();
-    let n = config.prefixes as u64;
+    let n = table.len() as u64;
     let addr = daemon.local_addr();
     let handshake = Duration::from_secs(10);
 
@@ -96,7 +102,7 @@ pub fn run_live_scenario(
 
     let (transactions, elapsed) = match scenario.operation() {
         BgpOperation::StartupAnnounce => {
-            let updates = workload::announcements(
+            let updates = source.announcements(
                 &table,
                 &workload::AnnounceSpec {
                     prefixes_per_update: pkt,
@@ -109,9 +115,9 @@ pub fn run_live_scenario(
             (n, start.elapsed().as_secs_f64())
         }
         BgpOperation::EndingWithdraw => {
-            speaker1.flood(&workload::announcements(&table, &base_spec))?;
+            speaker1.flood(&source.announcements(&table, &base_spec))?;
             wait_transactions(daemon, n, config.phase_timeout)?;
-            let updates = workload::withdrawals(&table, pkt);
+            let updates = source.withdrawals(&table, pkt);
             let start = Instant::now();
             speaker1.flood(&updates)?;
             wait_transactions(daemon, 2 * n, config.phase_timeout)?;
@@ -119,12 +125,12 @@ pub fn run_live_scenario(
         }
         BgpOperation::IncrementalNoChange | BgpOperation::IncrementalChange => {
             // Phase 1: inject.
-            speaker1.flood(&workload::announcements(&table, &base_spec))?;
+            speaker1.flood(&source.announcements(&table, &base_spec))?;
             wait_transactions(daemon, n, config.phase_timeout)?;
             // Phase 2: speaker 2 connects and receives the table.
             let mut speaker2 =
                 LiveSpeaker::connect(addr, &speaker_config(65002, 0x0A00_0003), handshake)?;
-            speaker2.collect_routes_until(config.prefixes, 0, config.phase_timeout)?;
+            speaker2.collect_routes_until(table.len(), 0, config.phase_timeout)?;
             // Phase 3: speaker 2 announces the same prefixes with a
             // longer (losing) or shorter (winning) path.
             let path_len = if scenario.operation() == BgpOperation::IncrementalNoChange {
@@ -132,7 +138,7 @@ pub fn run_live_scenario(
             } else {
                 2
             };
-            let updates = workload::announcements(
+            let updates = source.announcements(
                 &table,
                 &workload::AnnounceSpec {
                     speaker_asn: Asn(65002),
@@ -146,6 +152,24 @@ pub fn run_live_scenario(
             speaker2.flood(&updates)?;
             wait_transactions(daemon, 2 * n, config.phase_timeout)?;
             (n, start.elapsed().as_secs_f64())
+        }
+        BgpOperation::UpdateTrainReplay => {
+            // Phase 1: inject the full table.
+            speaker1.flood(&source.announcements(&table, &base_spec))?;
+            wait_transactions(daemon, n, config.phase_timeout)?;
+            // Phase 3: replay the source's update train.
+            let train = source.update_train(
+                &table,
+                &workload::AnnounceSpec {
+                    prefixes_per_update: pkt,
+                    ..base_spec
+                },
+            );
+            let train_tx = workload::transaction_count(&train) as u64;
+            let start = Instant::now();
+            speaker1.flood(&train)?;
+            wait_transactions(daemon, n + train_tx, config.phase_timeout)?;
+            (train_tx, start.elapsed().as_secs_f64())
         }
         BgpOperation::SessionChurn => {
             return Err(io::Error::new(

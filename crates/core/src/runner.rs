@@ -54,6 +54,7 @@ use crate::harness::{
 use crate::policy::PolicyProfile;
 use crate::scenario::Scenario;
 use bgpbench_models::SimRouter;
+use bgpbench_speaker::WorkloadSpec;
 
 /// One benchmark cell as data: which scenario runs on which platform,
 /// with which table size, seed, cross-traffic level, and (optionally)
@@ -82,6 +83,7 @@ pub struct CellSpec {
     churn: ChurnConfig,
     policy: Option<PolicyProfile>,
     rib_shards: usize,
+    workload: Option<WorkloadSpec>,
     trace: Option<TraceConfig>,
 }
 
@@ -100,6 +102,7 @@ impl CellSpec {
             churn: ChurnConfig::default(),
             policy: None,
             rib_shards: 1,
+            workload: None,
             trace: None,
         }
     }
@@ -172,6 +175,14 @@ impl CellSpec {
         self
     }
 
+    /// Drives the cell from the given workload source (synthetic
+    /// classic/modern table or an MRT replay) instead of the
+    /// scenario's registered kind.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = Some(spec);
+        self
+    }
+
     /// The same cell retargeted at another scenario/platform pair —
     /// how grid builders stamp one sizing template across a grid.
     pub fn with_scenario_platform(mut self, scenario: Scenario, platform: PlatformSpec) -> Self {
@@ -219,6 +230,7 @@ impl CellSpec {
             churn: self.churn,
             policy: self.policy,
             rib_shards: self.rib_shards,
+            workload: self.workload.clone(),
         }
     }
 

@@ -39,6 +39,24 @@ pub enum BgpOperation {
     /// import policy flips the best path on every round (Phase 3
     /// timed).
     MedOscillation,
+    /// Update-train replay: after a full-table cold start, Phase 3
+    /// replays the workload source's incremental update train (bursty
+    /// mixed announcements and withdrawals for the synthetic sources,
+    /// the recorded BGP4MP messages for MRT replay).
+    UpdateTrainReplay,
+}
+
+/// Which workload source family a scenario runs by default
+/// ([`crate::ScenarioConfig`] can override it with a concrete
+/// [`bgpbench_speaker::WorkloadSpec`], e.g. to point a replay scenario
+/// at an MRT dump).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// The paper's 2007-era synthetic workload.
+    Classic,
+    /// The modern-Internet workload: ~1M-prefix tables, realistic
+    /// AS-path lengths, long-range-dependent bursty trains.
+    Modern,
 }
 
 /// The benchmark's two packetizations.
@@ -112,11 +130,13 @@ pub struct ScenarioSpec {
     /// The route-map pair attached to the router under test before
     /// Phase 1; `None` runs the paper's unpoliced configuration.
     pub policy: Option<PolicyProfile>,
+    /// The default workload source family.
+    pub workload: WorkloadKind,
 }
 
 /// The scenario registry, in number order. `Scenario` values are
 /// indices into this table, so lookups never fail.
-static REGISTRY: [ScenarioSpec; 15] = [
+static REGISTRY: [ScenarioSpec; 18] = [
     ScenarioSpec {
         number: 1,
         name: "S1",
@@ -126,6 +146,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "start-up announcements, small packets",
         churn: None,
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 2,
@@ -136,6 +157,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "start-up announcements, large packets",
         churn: None,
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 3,
@@ -146,6 +168,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "ending withdrawals, small packets",
         churn: None,
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 4,
@@ -156,6 +179,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "ending withdrawals, large packets",
         churn: None,
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 5,
@@ -166,6 +190,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "incremental announcements (no FIB change), small packets",
         churn: None,
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 6,
@@ -176,6 +201,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "incremental announcements (no FIB change), large packets",
         churn: None,
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 7,
@@ -186,6 +212,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "incremental announcements (FIB change), small packets",
         churn: None,
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 8,
@@ -196,6 +223,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "incremental announcements (FIB change), large packets",
         churn: None,
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 9,
@@ -206,6 +234,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "peer-flap storm, seeded random session resets",
         churn: Some(ChurnKind::FlapStorm),
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 10,
@@ -216,6 +245,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "hold-timer expiry cascade under staggered blackouts",
         churn: Some(ChurnKind::HoldExpiryCascade),
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 11,
@@ -226,6 +256,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "N-peer start-up convergence, no faults",
         churn: Some(ChurnKind::StartupConvergence),
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 12,
@@ -236,6 +267,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "peer restart with full re-advertisement",
         churn: Some(ChurnKind::RestartResync),
         policy: None,
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 13,
@@ -246,6 +278,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "incremental announcements through an import filter",
         churn: None,
         policy: Some(PolicyProfile::FilterChurn),
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 14,
@@ -256,6 +289,7 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "table re-advertisement through a rewriting export map",
         churn: None,
         policy: Some(PolicyProfile::CommunityRewrite),
+        workload: WorkloadKind::Classic,
     },
     ScenarioSpec {
         number: 15,
@@ -266,6 +300,40 @@ static REGISTRY: [ScenarioSpec; 15] = [
         description: "MED oscillation flipping the best path every round",
         churn: None,
         policy: Some(PolicyProfile::MedOscillation),
+        workload: WorkloadKind::Classic,
+    },
+    ScenarioSpec {
+        number: 16,
+        name: "S16",
+        operation: BgpOperation::StartupAnnounce,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "full-table cold start at modern Internet scale",
+        churn: None,
+        policy: None,
+        workload: WorkloadKind::Modern,
+    },
+    ScenarioSpec {
+        number: 17,
+        name: "S17",
+        operation: BgpOperation::UpdateTrainReplay,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "bursty update-train replay over a full table",
+        churn: None,
+        policy: None,
+        workload: WorkloadKind::Modern,
+    },
+    ScenarioSpec {
+        number: 18,
+        name: "S18",
+        operation: BgpOperation::EndingWithdraw,
+        packet_size: PacketSize::Large,
+        changes_forwarding_table: true,
+        description: "full-table withdraw storm at modern Internet scale",
+        churn: None,
+        policy: None,
+        workload: WorkloadKind::Modern,
     },
 ];
 
@@ -317,6 +385,15 @@ impl Scenario {
     /// MED oscillation flipping the best path every round (policy
     /// scenario).
     pub const S15: Scenario = Scenario(14);
+    /// Full-table cold start at modern Internet scale (full-table
+    /// scenario).
+    pub const S16: Scenario = Scenario(15);
+    /// Bursty update-train replay over a full table (full-table
+    /// scenario).
+    pub const S17: Scenario = Scenario(16);
+    /// Full-table withdraw storm at modern Internet scale (full-table
+    /// scenario).
+    pub const S18: Scenario = Scenario(17);
 
     /// The paper's eight scenarios in Table I order. Table III and the
     /// golden CSVs iterate exactly this set, so it stays at eight.
@@ -336,6 +413,9 @@ impl Scenario {
 
     /// The route-map policy scenarios (S13–S15).
     pub const POLICY: [Scenario; 3] = [Scenario::S13, Scenario::S14, Scenario::S15];
+
+    /// The Internet-scale full-table scenarios (S16–S18).
+    pub const FULLTABLE: [Scenario; 3] = [Scenario::S16, Scenario::S17, Scenario::S18];
 
     /// Every registered scenario, in number order.
     pub fn registered() -> impl Iterator<Item = Scenario> {
@@ -401,6 +481,11 @@ impl Scenario {
     /// One-line description matching the paper's Table I column.
     pub fn description(self) -> &'static str {
         self.spec().description
+    }
+
+    /// The default workload source family this scenario runs.
+    pub fn workload(self) -> WorkloadKind {
+        self.spec().workload
     }
 }
 
@@ -476,7 +561,7 @@ mod tests {
     #[test]
     fn registry_is_in_number_order_and_all_is_the_paper() {
         let numbers: Vec<u8> = Scenario::registered().map(Scenario::number).collect();
-        assert_eq!(numbers, (1..=15).collect::<Vec<u8>>());
+        assert_eq!(numbers, (1..=18).collect::<Vec<u8>>());
         assert_eq!(Scenario::ALL.len(), 8);
         assert!(Scenario::ALL.iter().all(|s| !s.is_fault()));
         assert!(Scenario::ALL.iter().all(|s| s.policy().is_none()));
@@ -486,6 +571,24 @@ mod tests {
         }
         assert!(Scenario::POLICY.iter().all(|s| !s.is_fault()));
         assert!(Scenario::POLICY.iter().all(|s| s.policy().is_some()));
+        assert!(Scenario::FULLTABLE.iter().all(|s| !s.is_fault()));
+        assert!(Scenario::FULLTABLE.iter().all(|s| s.policy().is_none()));
+    }
+
+    #[test]
+    fn fulltable_scenarios_run_the_modern_workload() {
+        for s in Scenario::FULLTABLE {
+            assert_eq!(s.workload(), WorkloadKind::Modern, "{s}");
+            assert_eq!(s.packet_size(), PacketSize::Large, "{s}");
+            assert!(s.changes_forwarding_table(), "{s}");
+        }
+        assert_eq!(Scenario::S16.operation(), BgpOperation::StartupAnnounce);
+        assert_eq!(Scenario::S17.operation(), BgpOperation::UpdateTrainReplay);
+        assert_eq!(Scenario::S18.operation(), BgpOperation::EndingWithdraw);
+        // Everything before S16 keeps the paper's workload.
+        for s in Scenario::registered().filter(|s| s.number() < 16) {
+            assert_eq!(s.workload(), WorkloadKind::Classic, "{s}");
+        }
     }
 
     #[test]

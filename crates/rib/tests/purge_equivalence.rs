@@ -11,9 +11,7 @@
 
 use std::net::Ipv4Addr;
 
-use bgpbench_rib::{
-    PeerId, PeerInfo, PrefixOutcome, RouteAttributes, ShardedRibEngine,
-};
+use bgpbench_rib::{PeerId, PeerInfo, PrefixOutcome, RouteAttributes, ShardedRibEngine};
 use bgpbench_wire::{AsPath, Asn, Origin, Prefix, RouterId, UpdateMessage};
 use proptest::prelude::*;
 

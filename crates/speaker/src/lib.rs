@@ -42,9 +42,16 @@
 
 mod generator;
 mod live;
+pub mod modern;
 mod script;
+mod source;
 pub mod workload;
 
 pub use generator::TableGenerator;
 pub use live::{LiveSpeaker, LiveSpeakerConfig, SessionSummary};
+pub use modern::{BurstSpec, ModernTableGenerator};
 pub use script::SpeakerScript;
+pub use source::{
+    ModernInternetSource, MrtReplaySource, SyntheticSource, WorkloadError, WorkloadSource,
+    WorkloadSpec,
+};

@@ -1,0 +1,421 @@
+//! The unified workload API.
+//!
+//! Before this module, each scenario wired its own generator calls
+//! together ([`crate::TableGenerator`] here, [`crate::workload`]
+//! functions there), so adding a new *kind* of workload — a bigger
+//! synthetic table, or replay of a real collector dump — meant
+//! touching every call site. [`WorkloadSource`] puts one streaming
+//! interface in front of all of them: a source produces a routing
+//! table and turns it into announcement, withdrawal, and update-train
+//! message streams; the harness consumes those streams without knowing
+//! where they came from.
+//!
+//! Three sources ship today:
+//!
+//! * [`SyntheticSource`] — the paper's 2007-era tables and uniform
+//!   packetization (what every scenario used before);
+//! * [`ModernInternetSource`] — ~1M-prefix modern tables and bursty
+//!   long-range-dependent update trains ([`crate::modern`]);
+//! * [`MrtReplaySource`] — tables and trains decoded from an RFC 6396
+//!   MRT dump ([`bgpbench_wire::mrt`]).
+//!
+//! [`WorkloadSpec`] is the serializable selector configuration carries
+//! (scenario configs, cell specs); `spec.source(seed)` instantiates
+//! the source at run time.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bgpbench_wire::mrt::{MrtReader, MrtRecord};
+use bgpbench_wire::{PathAttribute, Prefix, UpdateMessage};
+
+use crate::modern::{self, BurstSpec, ModernTableGenerator};
+use crate::workload::{self, AnnounceSpec};
+use crate::TableGenerator;
+
+/// A stream of benchmark workload, independent of how it is produced.
+///
+/// Methods take `&mut self` because sources carry generator state
+/// (RNGs, dedup sets, read cursors). The harness calls `table` once,
+/// then derives message streams from the returned table.
+pub trait WorkloadSource: Send {
+    /// Human-readable description for reports and artifacts.
+    fn describe(&self) -> String;
+
+    /// Produces up to `count` prefixes. Synthetic sources always
+    /// return exactly `count`; a replay source returns what its dump
+    /// holds, so callers must size phase targets from the returned
+    /// length, not from `count`.
+    fn table(&mut self, count: usize) -> Vec<Prefix>;
+
+    /// Packetizes a cold-start announcement of `table`.
+    fn announcements(&mut self, table: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage>;
+
+    /// Packetizes a withdrawal of `table`.
+    fn withdrawals(&mut self, table: &[Prefix], prefixes_per_update: usize) -> Vec<UpdateMessage>;
+
+    /// Produces an incremental update train over `table` (the phase-3
+    /// traffic of the replay scenarios).
+    fn update_train(&mut self, table: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage>;
+}
+
+/// The paper's synthetic workload: 2007 prefix-length mix, fixed
+/// AS-path lengths, uniform (non-bursty) update trains.
+#[derive(Debug, Clone)]
+pub struct SyntheticSource {
+    seed: u64,
+}
+
+impl SyntheticSource {
+    /// Creates the classic source with the given workload seed.
+    pub fn new(seed: u64) -> Self {
+        SyntheticSource { seed }
+    }
+}
+
+impl WorkloadSource for SyntheticSource {
+    fn describe(&self) -> String {
+        format!("synthetic 2007 table (seed {})", self.seed)
+    }
+
+    fn table(&mut self, count: usize) -> Vec<Prefix> {
+        TableGenerator::new(self.seed).generate(count)
+    }
+
+    fn announcements(&mut self, table: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage> {
+        workload::announcements(table, spec)
+    }
+
+    fn withdrawals(&mut self, table: &[Prefix], prefixes_per_update: usize) -> Vec<UpdateMessage> {
+        workload::withdrawals(table, prefixes_per_update)
+    }
+
+    fn update_train(&mut self, table: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage> {
+        let window = (table.len() / 10).max(1);
+        workload::mixed_churn(table, spec, window)
+    }
+}
+
+/// Modern-Internet workload: ~1M-prefix tables, realistic AS-path
+/// length distribution, long-range-dependent bursty trains.
+#[derive(Debug, Clone)]
+pub struct ModernInternetSource {
+    seed: u64,
+    burst: BurstSpec,
+}
+
+impl ModernInternetSource {
+    /// Creates a modern source with the default burst shape.
+    pub fn new(seed: u64) -> Self {
+        ModernInternetSource {
+            seed,
+            burst: BurstSpec::default(),
+        }
+    }
+
+    /// Overrides the burst shape of [`WorkloadSource::update_train`].
+    pub fn with_burst(mut self, burst: BurstSpec) -> Self {
+        self.burst = burst;
+        self
+    }
+}
+
+impl WorkloadSource for ModernInternetSource {
+    fn describe(&self) -> String {
+        format!("synthetic modern table (seed {})", self.seed)
+    }
+
+    fn table(&mut self, count: usize) -> Vec<Prefix> {
+        ModernTableGenerator::new(self.seed).generate(count)
+    }
+
+    fn announcements(&mut self, table: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage> {
+        modern::announcements(table, spec)
+    }
+
+    fn withdrawals(&mut self, table: &[Prefix], prefixes_per_update: usize) -> Vec<UpdateMessage> {
+        workload::withdrawals(table, prefixes_per_update)
+    }
+
+    fn update_train(&mut self, table: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage> {
+        // Scale the train to the table so small smoke configs stay
+        // small: one event per table prefix, quarter withdrawals.
+        let burst = BurstSpec {
+            events: if self.burst.events == BurstSpec::default().events {
+                table.len().max(1)
+            } else {
+                self.burst.events
+            },
+            ..self.burst
+        };
+        modern::update_train(table, spec, &burst)
+    }
+}
+
+/// Replays a real MRT dump: the table comes from `RIB_IPV4_UNICAST`
+/// records, the update train from `BGP4MP` messages, both in dump
+/// order. NEXT_HOP attributes are rewritten to the benchmark session's
+/// next hop so replayed routes resolve inside the simulated topology.
+///
+/// Decoding is tolerant the way a collector consumer has to be: the
+/// reader streams until the first framing error and uses what it got.
+#[derive(Debug, Clone)]
+pub struct MrtReplaySource {
+    bytes: Arc<Vec<u8>>,
+    label: String,
+}
+
+impl MrtReplaySource {
+    /// Wraps an in-memory MRT dump.
+    pub fn new(bytes: Arc<Vec<u8>>) -> Self {
+        let label = format!("mrt replay ({} bytes)", bytes.len());
+        MrtReplaySource { bytes, label }
+    }
+
+    /// Reads an MRT dump from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be read.
+    pub fn from_file(path: &std::path::Path) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        let label = format!("mrt replay ({})", path.display());
+        Ok(MrtReplaySource {
+            bytes: Arc::new(bytes),
+            label,
+        })
+    }
+
+    fn rib_prefixes(&self, count: usize) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        for record in MrtReader::new(&self.bytes).flatten() {
+            if let MrtRecord::RibIpv4(rib) = record {
+                out.push(rib.prefix);
+                if out.len() == count {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rewrites the NEXT_HOP attribute (if any) to `spec.next_hop`.
+fn rehome_next_hop(update: UpdateMessage, spec: &AnnounceSpec) -> UpdateMessage {
+    let mut builder = UpdateMessage::builder()
+        .withdraw_all(update.withdrawn().iter().copied())
+        .announce_all(update.nlri().iter().copied());
+    for attr in update.attributes() {
+        let attr = match attr {
+            PathAttribute::NextHop(_) => PathAttribute::NextHop(spec.next_hop),
+            other => other.clone(),
+        };
+        builder = builder.attribute(attr);
+    }
+    builder.build()
+}
+
+impl WorkloadSource for MrtReplaySource {
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+
+    fn table(&mut self, count: usize) -> Vec<Prefix> {
+        self.rib_prefixes(count)
+    }
+
+    fn announcements(&mut self, table: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage> {
+        // Cold start replays the dumped table through the session's
+        // own attributes — the RIB snapshot tells us *what* was
+        // reachable; the session packetization is the benchmark's.
+        workload::announcements(table, spec)
+    }
+
+    fn withdrawals(&mut self, table: &[Prefix], prefixes_per_update: usize) -> Vec<UpdateMessage> {
+        workload::withdrawals(table, prefixes_per_update)
+    }
+
+    fn update_train(&mut self, _table: &[Prefix], spec: &AnnounceSpec) -> Vec<UpdateMessage> {
+        MrtReader::new(&self.bytes)
+            .flatten()
+            .filter_map(|record| match record {
+                MrtRecord::Update(update) => Some(rehome_next_hop(update.update, spec)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Serializable selector for a workload source — the form scenario
+/// configuration carries. `source(seed)` instantiates the source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's 2007-era synthetic workload.
+    Classic,
+    /// The modern-Internet synthetic workload.
+    Modern,
+    /// Replay of an MRT dump loaded from a file at run time.
+    MrtFile(PathBuf),
+    /// Replay of an in-memory MRT dump (tests, generated fixtures).
+    MrtBytes(Arc<Vec<u8>>),
+}
+
+impl WorkloadSpec {
+    /// Instantiates the source this spec selects.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadSpec::MrtFile`] fails if the dump cannot be read.
+    pub fn source(&self, seed: u64) -> Result<Box<dyn WorkloadSource>, WorkloadError> {
+        match self {
+            WorkloadSpec::Classic => Ok(Box::new(SyntheticSource::new(seed))),
+            WorkloadSpec::Modern => Ok(Box::new(ModernInternetSource::new(seed))),
+            WorkloadSpec::MrtFile(path) => MrtReplaySource::from_file(path)
+                .map(|s| Box::new(s) as Box<dyn WorkloadSource>)
+                .map_err(|err| WorkloadError {
+                    path: path.clone(),
+                    message: err.to_string(),
+                }),
+            WorkloadSpec::MrtBytes(bytes) => Ok(Box::new(MrtReplaySource::new(bytes.clone()))),
+        }
+    }
+}
+
+/// A workload source could not be instantiated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError {
+    /// The MRT dump that failed to load.
+    pub path: PathBuf,
+    /// The underlying I/O error text.
+    pub message: String,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot load mrt workload {}: {}",
+            self.path.display(),
+            self.message
+        )
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpbench_wire::mrt::{self, MrtPeer, PeerIndexTable, RibEntry, RibPrefix};
+    use bgpbench_wire::{AsPath, Asn, Origin, RouterId};
+    use std::net::Ipv4Addr;
+
+    fn spec() -> AnnounceSpec {
+        AnnounceSpec {
+            speaker_asn: Asn(65001),
+            path_len: 3,
+            next_hop: Ipv4Addr::new(10, 0, 0, 2),
+            prefixes_per_update: 500,
+            seed: 7,
+        }
+    }
+
+    fn sample_mrt() -> Arc<Vec<u8>> {
+        let mut out = Vec::new();
+        PeerIndexTable {
+            collector_id: RouterId(1),
+            view_name: String::new(),
+            peers: vec![MrtPeer {
+                bgp_id: RouterId(2),
+                asn: Asn(65001),
+                addr: Some(Ipv4Addr::new(10, 0, 0, 2)),
+            }],
+        }
+        .encode(0, &mut out);
+        for (i, text) in ["198.51.100.0/24", "203.0.113.0/24"].iter().enumerate() {
+            RibPrefix {
+                sequence: i as u32,
+                prefix: text.parse().unwrap(),
+                entries: vec![RibEntry {
+                    peer_index: 0,
+                    originated: 0,
+                    attributes: vec![
+                        PathAttribute::Origin(Origin::Igp),
+                        PathAttribute::AsPath(AsPath::from_sequence([Asn(65001)])),
+                        PathAttribute::NextHop(Ipv4Addr::new(192, 0, 2, 1)),
+                    ],
+                }],
+            }
+            .encode(0, &mut out);
+        }
+        let update = UpdateMessage::builder()
+            .attribute(PathAttribute::Origin(Origin::Igp))
+            .attribute(PathAttribute::AsPath(AsPath::from_sequence([Asn(65001)])))
+            .attribute(PathAttribute::NextHop(Ipv4Addr::new(192, 0, 2, 1)))
+            .announce("198.51.100.0/24".parse::<Prefix>().unwrap())
+            .build();
+        mrt::encode_bgp4mp_update(
+            10,
+            Asn(65001),
+            Asn(65000),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            &update,
+            &mut out,
+        );
+        Arc::new(out)
+    }
+
+    #[test]
+    fn synthetic_source_matches_the_legacy_constructors() {
+        let mut source = SyntheticSource::new(2007);
+        let table = source.table(1000);
+        assert_eq!(table, TableGenerator::new(2007).generate(1000));
+        let updates = source.announcements(&table, &spec());
+        assert_eq!(updates, workload::announcements(&table, &spec()));
+        assert_eq!(
+            source.withdrawals(&table, 500),
+            workload::withdrawals(&table, 500)
+        );
+    }
+
+    #[test]
+    fn modern_source_generates_modern_tables() {
+        let mut source = ModernInternetSource::new(9);
+        let table = source.table(4000);
+        assert_eq!(table.len(), 4000);
+        let train = source.update_train(&table, &spec());
+        assert_eq!(workload::transaction_count(&train), 4000);
+    }
+
+    #[test]
+    fn mrt_source_reads_table_and_train_from_the_dump() {
+        let mut source = MrtReplaySource::new(sample_mrt());
+        let table = source.table(10);
+        assert_eq!(table.len(), 2, "dump holds two rib prefixes");
+        let train = source.update_train(&table, &spec());
+        assert_eq!(train.len(), 1);
+        // NEXT_HOP must be rehomed to the session's next hop.
+        let next_hop = train[0]
+            .find_attribute(|a| matches!(a, PathAttribute::NextHop(_)))
+            .unwrap();
+        assert_eq!(
+            *next_hop,
+            PathAttribute::NextHop(Ipv4Addr::new(10, 0, 0, 2))
+        );
+    }
+
+    #[test]
+    fn workload_spec_instantiates_every_source() {
+        assert!(WorkloadSpec::Classic.source(1).is_ok());
+        assert!(WorkloadSpec::Modern.source(1).is_ok());
+        assert!(WorkloadSpec::MrtBytes(sample_mrt()).source(1).is_ok());
+        let missing = WorkloadSpec::MrtFile(PathBuf::from("/nonexistent/dump.mrt"));
+        match missing.source(1) {
+            Err(err) => assert!(err.to_string().contains("/nonexistent/dump.mrt")),
+            Ok(_) => panic!("missing dump must not load"),
+        }
+    }
+}

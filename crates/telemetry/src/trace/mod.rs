@@ -429,10 +429,7 @@ impl TraceRecorder {
         for handle in threads.iter() {
             let mut ring = handle.ring.lock();
             #[cfg(feature = "check-sync")]
-            parking_lot::sync_check::record_cell_write(
-                handle.cell,
-                "telemetry::trace::ring_clear",
-            );
+            parking_lot::sync_check::record_cell_write(handle.cell, "telemetry::trace::ring_clear");
             ring.clear();
         }
     }

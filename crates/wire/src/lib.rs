@@ -45,6 +45,7 @@ mod attrs;
 mod error;
 mod framing;
 mod message;
+pub mod mrt;
 mod notification;
 mod open;
 mod types;

@@ -1,0 +1,1010 @@
+//! MRT export format (RFC 6396) — the subset needed to replay real
+//! routing-table snapshots and update traces through the benchmark.
+//!
+//! Route collectors (RouteViews, RIPE RIS) publish two kinds of MRT
+//! records this module decodes:
+//!
+//! * `TABLE_DUMP_V2` RIB dumps — a `PEER_INDEX_TABLE` naming the
+//!   collector's peers followed by one `RIB_IPV4_UNICAST` record per
+//!   prefix, each carrying the path attributes every peer advertised;
+//! * `BGP4MP` update messages — timestamped BGP UPDATE packets as seen
+//!   on a live session (`BGP4MP_MESSAGE` and the four-octet-AS
+//!   `BGP4MP_MESSAGE_AS4` subtypes).
+//!
+//! `TABLE_DUMP_V2` and `BGP4MP_MESSAGE_AS4` always encode AS numbers
+//! as four octets on the wire (RFC 6396 §4.3, §4.4.3); the benchmark
+//! models classic two-octet ASNs, so this module narrows AS_PATH and
+//! AGGREGATOR values during decode, substituting [`AS_TRANS`]
+//! (RFC 6793) for any AS above 65535, and widens them again on encode.
+//! Everything else reuses the RFC 4271 codecs in the rest of the
+//! crate.
+//!
+//! Like every decoder in this crate, the reader never panics: any
+//! malformed, truncated, or hostile input yields an [`MrtError`].
+//! Record types outside the supported subset are skipped using the
+//! common header's length field rather than rejected, so a reader
+//! pointed at a full collector dump simply streams past what it does
+//! not model.
+//!
+//! # Examples
+//!
+//! ```
+//! use bgpbench_wire::mrt::{self, MrtReader, MrtRecord};
+//! use bgpbench_wire::{Asn, UpdateMessage, PathAttribute, AsPath, Origin, Prefix};
+//! use std::net::Ipv4Addr;
+//!
+//! let update = UpdateMessage::builder()
+//!     .attribute(PathAttribute::Origin(Origin::Igp))
+//!     .attribute(PathAttribute::AsPath(AsPath::from_sequence([Asn(65001)])))
+//!     .attribute(PathAttribute::NextHop(Ipv4Addr::new(10, 0, 0, 2)))
+//!     .announce("198.51.100.0/24".parse::<Prefix>().unwrap())
+//!     .build();
+//! let mut dump = Vec::new();
+//! mrt::encode_bgp4mp_update(
+//!     1_186_617_600,
+//!     Asn(65001),
+//!     Asn(65000),
+//!     Ipv4Addr::new(10, 0, 0, 2),
+//!     Ipv4Addr::new(10, 0, 0, 1),
+//!     &update,
+//!     &mut dump,
+//! );
+//! let records: Vec<_> = MrtReader::new(&dump).collect();
+//! assert_eq!(records.len(), 1);
+//! match records[0].as_ref().unwrap() {
+//!     MrtRecord::Update(replayed) => assert_eq!(replayed.update, update),
+//!     other => panic!("unexpected record {other:?}"),
+//! }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::attrs::{FLAG_EXTENDED, TYPE_AGGREGATOR, TYPE_AS_PATH};
+use crate::{
+    AsPath, AsPathSegment, Asn, PathAttribute, Prefix, RouterId, UpdateMessage, WireError,
+};
+
+/// MRT record type: TABLE_DUMP_V2 (RFC 6396 §4.3).
+pub const TABLE_DUMP_V2: u16 = 13;
+/// MRT record type: BGP4MP (RFC 6396 §4.4).
+pub const BGP4MP: u16 = 16;
+/// TABLE_DUMP_V2 subtype: the peer index table.
+pub const PEER_INDEX_TABLE: u16 = 1;
+/// TABLE_DUMP_V2 subtype: one IPv4 unicast RIB prefix.
+pub const RIB_IPV4_UNICAST: u16 = 2;
+/// BGP4MP subtype: BGP message with two-octet AS numbers.
+pub const BGP4MP_MESSAGE: u16 = 1;
+/// BGP4MP subtype: BGP message with four-octet AS numbers.
+pub const BGP4MP_MESSAGE_AS4: u16 = 4;
+/// The two-octet stand-in for a four-octet AS number (RFC 6793 §9).
+pub const AS_TRANS: Asn = Asn(23456);
+
+const MRT_HEADER_LEN: usize = 12;
+const BGP_HEADER_LEN: usize = 19;
+const TYPE_UPDATE: u8 = 2;
+const AFI_IPV4: u16 = 1;
+
+/// Errors produced while decoding an MRT stream.
+///
+/// MRT framing errors get their own variants; anything wrong inside an
+/// embedded BGP message surfaces as the wrapped [`WireError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtError {
+    /// The input ended before a complete field was read.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A record body disagreed with its own framing.
+    Malformed {
+        /// What was inconsistent.
+        context: &'static str,
+    },
+    /// An embedded BGP message failed to decode.
+    Wire(WireError),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Truncated { context } => {
+                write!(f, "mrt input truncated while decoding {context}")
+            }
+            MrtError::Malformed { context } => write!(f, "malformed mrt record: {context}"),
+            MrtError::Wire(err) => write!(f, "embedded bgp message: {err}"),
+        }
+    }
+}
+
+impl Error for MrtError {}
+
+impl From<WireError> for MrtError {
+    fn from(err: WireError) -> Self {
+        MrtError::Wire(err)
+    }
+}
+
+/// One peer from a `PEER_INDEX_TABLE` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtPeer {
+    /// The peer's BGP identifier.
+    pub bgp_id: RouterId,
+    /// The peer's AS number, narrowed to two octets ([`AS_TRANS`] if it
+    /// does not fit).
+    pub asn: Asn,
+    /// The peer's address; `None` for IPv6 peers, which the IPv4-only
+    /// benchmark records but does not model.
+    pub addr: Option<Ipv4Addr>,
+}
+
+/// The `PEER_INDEX_TABLE` record that opens a TABLE_DUMP_V2 dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerIndexTable {
+    /// The collector's BGP identifier.
+    pub collector_id: RouterId,
+    /// The collector's view name (usually empty).
+    pub view_name: String,
+    /// Peers in index order; `RIB_IPV4_UNICAST` entries refer to them
+    /// by position.
+    pub peers: Vec<MrtPeer>,
+}
+
+/// One route a peer advertised for a RIB prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Index into the dump's [`PeerIndexTable`].
+    pub peer_index: u16,
+    /// Seconds since the epoch when the route was last changed.
+    pub originated: u32,
+    /// The route's path attributes, AS values narrowed to two octets.
+    pub attributes: Vec<PathAttribute>,
+}
+
+/// One `RIB_IPV4_UNICAST` record: a prefix and every peer's route
+/// for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibPrefix {
+    /// Monotonic record sequence number.
+    pub sequence: u32,
+    /// The prefix this record describes.
+    pub prefix: Prefix,
+    /// One entry per peer that advertised the prefix.
+    pub entries: Vec<RibEntry>,
+}
+
+/// One `BGP4MP` UPDATE record: a timestamped message from a peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtUpdate {
+    /// Seconds since the epoch when the collector saw the message.
+    pub timestamp: u32,
+    /// The sending peer's AS, narrowed to two octets.
+    pub peer_asn: Asn,
+    /// The sending peer's address.
+    pub peer_addr: Ipv4Addr,
+    /// The decoded UPDATE, AS values narrowed to two octets.
+    pub update: UpdateMessage,
+}
+
+/// One decoded MRT record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtRecord {
+    /// A `PEER_INDEX_TABLE` record.
+    PeerIndex(PeerIndexTable),
+    /// A `RIB_IPV4_UNICAST` record.
+    RibIpv4(RibPrefix),
+    /// A `BGP4MP` UPDATE message.
+    Update(MrtUpdate),
+    /// A record outside the supported subset (IPv6 subtypes, state
+    /// changes, OPEN/KEEPALIVE messages, unknown types), skipped via
+    /// the header length.
+    Skipped {
+        /// The record type from the common header.
+        record_type: u16,
+        /// The record subtype from the common header.
+        subtype: u16,
+    },
+}
+
+/// A streaming reader over a byte slice of concatenated MRT records.
+///
+/// Implements `Iterator`; iteration ends at the end of input or after
+/// the first error (once framing is broken, record boundaries are no
+/// longer trustworthy).
+#[derive(Debug, Clone)]
+pub struct MrtReader<'a> {
+    input: &'a [u8],
+    offset: usize,
+    failed: bool,
+}
+
+impl<'a> MrtReader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        MrtReader {
+            input,
+            offset: 0,
+            failed: false,
+        }
+    }
+
+    /// Byte offset of the next unread record.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    fn next_record(&mut self) -> Option<Result<MrtRecord, MrtError>> {
+        if self.failed || self.offset >= self.input.len() {
+            return None;
+        }
+        let result = self.read_one();
+        if result.is_err() {
+            self.failed = true;
+        }
+        Some(result)
+    }
+
+    fn read_one(&mut self) -> Result<MrtRecord, MrtError> {
+        let rest = self.input.get(self.offset..).unwrap_or(&[]);
+        let mut header = Cursor::new(rest);
+        let timestamp = header.u32("mrt timestamp")?;
+        let record_type = header.u16("mrt record type")?;
+        let subtype = header.u16("mrt record subtype")?;
+        let length = header.u32("mrt record length")? as usize;
+        let body = header.take(length, "mrt record body")?;
+        self.offset = self
+            .offset
+            .saturating_add(MRT_HEADER_LEN)
+            .saturating_add(length);
+        decode_record(timestamp, record_type, subtype, body)
+    }
+}
+
+impl<'a> Iterator for MrtReader<'a> {
+    type Item = Result<MrtRecord, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record()
+    }
+}
+
+fn decode_record(
+    timestamp: u32,
+    record_type: u16,
+    subtype: u16,
+    body: &[u8],
+) -> Result<MrtRecord, MrtError> {
+    match (record_type, subtype) {
+        (TABLE_DUMP_V2, PEER_INDEX_TABLE) => decode_peer_index(body).map(MrtRecord::PeerIndex),
+        (TABLE_DUMP_V2, RIB_IPV4_UNICAST) => decode_rib_ipv4(body).map(MrtRecord::RibIpv4),
+        (BGP4MP, BGP4MP_MESSAGE) => decode_bgp4mp(timestamp, body, false),
+        (BGP4MP, BGP4MP_MESSAGE_AS4) => decode_bgp4mp(timestamp, body, true),
+        _ => Ok(MrtRecord::Skipped {
+            record_type,
+            subtype,
+        }),
+    }
+}
+
+fn decode_peer_index(body: &[u8]) -> Result<PeerIndexTable, MrtError> {
+    let mut cursor = Cursor::new(body);
+    let collector_id = RouterId(cursor.u32("collector id")?);
+    let view_len = usize::from(cursor.u16("view name length")?);
+    let view_bytes = cursor.take(view_len, "view name")?;
+    let view_name = String::from_utf8_lossy(view_bytes).into_owned();
+    let peer_count = usize::from(cursor.u16("peer count")?);
+    let mut peers = Vec::with_capacity(peer_count.min(4096));
+    for _ in 0..peer_count {
+        let peer_type = cursor.u8("peer type")?;
+        let bgp_id = RouterId(cursor.u32("peer bgp id")?);
+        let addr = if peer_type & 0x01 == 0 {
+            Some(Ipv4Addr::from(cursor.u32("peer ipv4 address")?))
+        } else {
+            cursor.take(16, "peer ipv6 address")?;
+            None
+        };
+        let asn = if peer_type & 0x02 == 0 {
+            Asn(cursor.u16("peer as number")?)
+        } else {
+            narrow_asn(cursor.u32("peer as number")?)
+        };
+        peers.push(MrtPeer { bgp_id, asn, addr });
+    }
+    if !cursor.is_empty() {
+        return Err(MrtError::Malformed {
+            context: "trailing bytes after peer index table",
+        });
+    }
+    Ok(PeerIndexTable {
+        collector_id,
+        view_name,
+        peers,
+    })
+}
+
+fn decode_rib_ipv4(body: &[u8]) -> Result<RibPrefix, MrtError> {
+    let mut cursor = Cursor::new(body);
+    let sequence = cursor.u32("rib sequence number")?;
+    let (prefix, consumed) = Prefix::decode_from(cursor.remaining())?;
+    cursor.take(consumed, "rib prefix")?;
+    let entry_count = usize::from(cursor.u16("rib entry count")?);
+    let mut entries = Vec::with_capacity(entry_count.min(4096));
+    for _ in 0..entry_count {
+        let peer_index = cursor.u16("rib entry peer index")?;
+        let originated = cursor.u32("rib entry originated time")?;
+        let attr_len = usize::from(cursor.u16("rib entry attribute length")?);
+        let blob = cursor.take(attr_len, "rib entry attributes")?;
+        let narrowed = narrow_attribute_block(blob)?;
+        let attributes = decode_attributes(&narrowed)?;
+        entries.push(RibEntry {
+            peer_index,
+            originated,
+            attributes,
+        });
+    }
+    if !cursor.is_empty() {
+        return Err(MrtError::Malformed {
+            context: "trailing bytes after rib entries",
+        });
+    }
+    Ok(RibPrefix {
+        sequence,
+        prefix,
+        entries,
+    })
+}
+
+fn decode_bgp4mp(timestamp: u32, body: &[u8], as4: bool) -> Result<MrtRecord, MrtError> {
+    let mut cursor = Cursor::new(body);
+    let peer_asn = if as4 {
+        narrow_asn(cursor.u32("bgp4mp peer as")?)
+    } else {
+        Asn(cursor.u16("bgp4mp peer as")?)
+    };
+    let _local_asn = if as4 {
+        narrow_asn(cursor.u32("bgp4mp local as")?)
+    } else {
+        Asn(cursor.u16("bgp4mp local as")?)
+    };
+    let _ifindex = cursor.u16("bgp4mp interface index")?;
+    let afi = cursor.u16("bgp4mp address family")?;
+    if afi != AFI_IPV4 {
+        // IPv6 sessions are outside the benchmark's model; skip them
+        // like any other unsupported record.
+        return Ok(MrtRecord::Skipped {
+            record_type: BGP4MP,
+            subtype: if as4 {
+                BGP4MP_MESSAGE_AS4
+            } else {
+                BGP4MP_MESSAGE
+            },
+        });
+    }
+    let peer_addr = Ipv4Addr::from(cursor.u32("bgp4mp peer address")?);
+    let _local_addr = Ipv4Addr::from(cursor.u32("bgp4mp local address")?);
+    let message = cursor.remaining();
+
+    let mut msg = Cursor::new(message);
+    let marker = msg.take(16, "bgp header marker")?;
+    if marker.iter().any(|&b| b != 0xFF) {
+        return Err(MrtError::Wire(WireError::InvalidMarker));
+    }
+    let msg_len = usize::from(msg.u16("bgp header length")?);
+    let msg_type = msg.u8("bgp header type")?;
+    if msg_len != message.len() || msg_len < BGP_HEADER_LEN {
+        return Err(MrtError::Wire(WireError::BadMessageLength(msg_len as u16)));
+    }
+    if msg_type != TYPE_UPDATE {
+        // OPEN/KEEPALIVE/NOTIFICATION records carry no routes.
+        return Ok(MrtRecord::Skipped {
+            record_type: BGP4MP,
+            subtype: if as4 {
+                BGP4MP_MESSAGE_AS4
+            } else {
+                BGP4MP_MESSAGE
+            },
+        });
+    }
+    let body = msg.remaining();
+    let update = if as4 {
+        // RFC 6396 §4.4.3: AS_PATH inside *_AS4 messages is four-octet
+        // encoded; narrow the attribute section before the RFC 4271
+        // codec sees it.
+        let narrowed_body = narrow_update_body(body)?;
+        UpdateMessage::decode_body(&narrowed_body)?
+    } else {
+        UpdateMessage::decode_body(body)?
+    };
+    Ok(MrtRecord::Update(MrtUpdate {
+        timestamp,
+        peer_asn,
+        peer_addr,
+        update,
+    }))
+}
+
+/// Rewrites the attribute section of an UPDATE body from four-octet to
+/// two-octet AS encoding, leaving withdrawn routes and NLRI untouched.
+fn narrow_update_body(body: &[u8]) -> Result<Vec<u8>, MrtError> {
+    let mut cursor = Cursor::new(body);
+    let withdrawn_len = usize::from(cursor.u16("withdrawn routes length")?);
+    let withdrawn = cursor.take(withdrawn_len, "withdrawn routes")?;
+    let attrs_len = usize::from(cursor.u16("path attributes length")?);
+    let attrs = cursor.take(attrs_len, "path attributes")?;
+    let nlri = cursor.remaining();
+    let narrowed = narrow_attribute_block(attrs)?;
+    let mut out = Vec::with_capacity(body.len());
+    out.extend_from_slice(&(withdrawn_len as u16).to_be_bytes());
+    out.extend_from_slice(withdrawn);
+    out.extend_from_slice(&(narrowed.len() as u16).to_be_bytes());
+    out.extend_from_slice(&narrowed);
+    out.extend_from_slice(nlri);
+    Ok(out)
+}
+
+/// Rewrites a block of path attributes from four-octet to two-octet AS
+/// encoding: AS_PATH segment values shrink from 4 to 2 octets each and
+/// AGGREGATOR from 8 to 6, with [`AS_TRANS`] substituted for any AS
+/// that does not fit. All other attributes pass through byte-for-byte.
+fn narrow_attribute_block(mut input: &[u8]) -> Result<Vec<u8>, MrtError> {
+    let mut out = Vec::with_capacity(input.len());
+    while !input.is_empty() {
+        let mut cursor = Cursor::new(input);
+        let flags = cursor.u8("attribute flags")?;
+        let type_code = cursor.u8("attribute type")?;
+        let value_len = if flags & FLAG_EXTENDED != 0 {
+            usize::from(cursor.u16("attribute extended length")?)
+        } else {
+            usize::from(cursor.u8("attribute length")?)
+        };
+        let value = cursor.take(value_len, "attribute value")?;
+        let new_value = match type_code {
+            TYPE_AS_PATH => narrow_as_path_value(value)?,
+            TYPE_AGGREGATOR if value.len() == 8 => {
+                let asn = narrow_asn(u32::from_be_bytes([value[0], value[1], value[2], value[3]]));
+                let mut v = Vec::with_capacity(6);
+                v.extend_from_slice(&asn.0.to_be_bytes());
+                v.extend_from_slice(&value[4..8]);
+                v
+            }
+            _ => value.to_vec(),
+        };
+        push_attribute(flags, type_code, &new_value, &mut out);
+        input = cursor.remaining();
+    }
+    Ok(out)
+}
+
+/// Narrows one AS_PATH attribute value from four-octet to two-octet
+/// segment encoding.
+fn narrow_as_path_value(mut value: &[u8]) -> Result<Vec<u8>, MrtError> {
+    let mut out = Vec::with_capacity(value.len() / 2 + 2);
+    while !value.is_empty() {
+        let mut cursor = Cursor::new(value);
+        let seg_type = cursor.u8("as path segment type")?;
+        let count = cursor.u8("as path segment count")?;
+        out.push(seg_type);
+        out.push(count);
+        for _ in 0..count {
+            let asn = narrow_asn(cursor.u32("as path segment member")?);
+            out.extend_from_slice(&asn.0.to_be_bytes());
+        }
+        value = cursor.remaining();
+    }
+    Ok(out)
+}
+
+fn decode_attributes(mut input: &[u8]) -> Result<Vec<PathAttribute>, MrtError> {
+    let mut attrs = Vec::new();
+    while !input.is_empty() {
+        let (attr, consumed) = PathAttribute::decode_from(input)?;
+        attrs.push(attr);
+        input = input.get(consumed..).unwrap_or(&[]);
+    }
+    Ok(attrs)
+}
+
+fn narrow_asn(value: u32) -> Asn {
+    match u16::try_from(value) {
+        Ok(v) => Asn(v),
+        Err(_) => AS_TRANS,
+    }
+}
+
+fn push_attribute(flags: u8, type_code: u8, value: &[u8], out: &mut Vec<u8>) {
+    let mut flags = flags & !FLAG_EXTENDED;
+    if value.len() > 255 {
+        flags |= FLAG_EXTENDED;
+        out.push(flags);
+        out.push(type_code);
+        out.extend_from_slice(&(value.len() as u16).to_be_bytes());
+    } else {
+        out.push(flags);
+        out.push(type_code);
+        out.push(value.len() as u8);
+    }
+    out.extend_from_slice(value);
+}
+
+// ---------------------------------------------------------------------
+// Encoders — used to build test fixtures, fuzz seeds, and synthetic
+// dumps; they emit the same four-octet AS encoding real collectors do.
+// ---------------------------------------------------------------------
+
+fn push_mrt_header(timestamp: u32, record_type: u16, subtype: u16, body: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&timestamp.to_be_bytes());
+    out.extend_from_slice(&record_type.to_be_bytes());
+    out.extend_from_slice(&subtype.to_be_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body);
+}
+
+impl PeerIndexTable {
+    /// Appends this table as a full MRT record (header included).
+    /// Peers are encoded with IPv4 addresses and four-octet ASNs, the
+    /// form modern collectors emit; IPv6-only peers (`addr == None`)
+    /// encode the unspecified address.
+    pub fn encode(&self, timestamp: u32, out: &mut Vec<u8>) {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.collector_id.0.to_be_bytes());
+        body.extend_from_slice(&(self.view_name.len() as u16).to_be_bytes());
+        body.extend_from_slice(self.view_name.as_bytes());
+        body.extend_from_slice(&(self.peers.len() as u16).to_be_bytes());
+        for peer in &self.peers {
+            body.push(0x02); // IPv4 address, four-octet AS
+            body.extend_from_slice(&peer.bgp_id.0.to_be_bytes());
+            let addr = peer.addr.unwrap_or(Ipv4Addr::UNSPECIFIED);
+            body.extend_from_slice(&u32::from(addr).to_be_bytes());
+            body.extend_from_slice(&u32::from(peer.asn.0).to_be_bytes());
+        }
+        push_mrt_header(timestamp, TABLE_DUMP_V2, PEER_INDEX_TABLE, &body, out);
+    }
+}
+
+impl RibPrefix {
+    /// Appends this prefix as a full `RIB_IPV4_UNICAST` MRT record,
+    /// widening path attributes to the four-octet AS encoding.
+    pub fn encode(&self, timestamp: u32, out: &mut Vec<u8>) {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.sequence.to_be_bytes());
+        self.prefix.encode_to(&mut body);
+        body.extend_from_slice(&(self.entries.len() as u16).to_be_bytes());
+        for entry in &self.entries {
+            body.extend_from_slice(&entry.peer_index.to_be_bytes());
+            body.extend_from_slice(&entry.originated.to_be_bytes());
+            let attrs = widen_attributes(&entry.attributes);
+            body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+            body.extend_from_slice(&attrs);
+        }
+        push_mrt_header(timestamp, TABLE_DUMP_V2, RIB_IPV4_UNICAST, &body, out);
+    }
+}
+
+/// Appends a `BGP4MP_MESSAGE_AS4` UPDATE record (header included),
+/// widening the message's path attributes to four-octet AS encoding as
+/// RFC 6396 §4.4.3 requires.
+pub fn encode_bgp4mp_update(
+    timestamp: u32,
+    peer_asn: Asn,
+    local_asn: Asn,
+    peer_addr: Ipv4Addr,
+    local_addr: Ipv4Addr,
+    update: &UpdateMessage,
+    out: &mut Vec<u8>,
+) {
+    let mut msg_body = Vec::new();
+    let withdrawn_len: usize = update.withdrawn().iter().map(Prefix::wire_len).sum();
+    msg_body.extend_from_slice(&(withdrawn_len as u16).to_be_bytes());
+    for prefix in update.withdrawn() {
+        prefix.encode_to(&mut msg_body);
+    }
+    let attrs = widen_attributes(update.attributes());
+    msg_body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+    msg_body.extend_from_slice(&attrs);
+    for prefix in update.nlri() {
+        prefix.encode_to(&mut msg_body);
+    }
+
+    let mut body = Vec::new();
+    body.extend_from_slice(&u32::from(peer_asn.0).to_be_bytes());
+    body.extend_from_slice(&u32::from(local_asn.0).to_be_bytes());
+    body.extend_from_slice(&0u16.to_be_bytes()); // interface index
+    body.extend_from_slice(&AFI_IPV4.to_be_bytes());
+    body.extend_from_slice(&u32::from(peer_addr).to_be_bytes());
+    body.extend_from_slice(&u32::from(local_addr).to_be_bytes());
+    body.extend_from_slice(&[0xFF; 16]);
+    body.extend_from_slice(&((BGP_HEADER_LEN + msg_body.len()) as u16).to_be_bytes());
+    body.push(TYPE_UPDATE);
+    body.extend_from_slice(&msg_body);
+    push_mrt_header(timestamp, BGP4MP, BGP4MP_MESSAGE_AS4, &body, out);
+}
+
+/// Encodes a list of path attributes with four-octet AS_PATH and
+/// AGGREGATOR values — the inverse of the narrowing pass.
+fn widen_attributes(attrs: &[PathAttribute]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for attr in attrs {
+        match attr {
+            PathAttribute::AsPath(path) => {
+                let value = widen_as_path(path);
+                push_attribute(0x40, TYPE_AS_PATH, &value, &mut out);
+            }
+            PathAttribute::Aggregator { asn, router_id } => {
+                let mut value = Vec::with_capacity(8);
+                value.extend_from_slice(&u32::from(asn.0).to_be_bytes());
+                value.extend_from_slice(&u32::from(*router_id).to_be_bytes());
+                push_attribute(0xC0, TYPE_AGGREGATOR, &value, &mut out);
+            }
+            other => other.encode_to(&mut out),
+        }
+    }
+    out
+}
+
+fn widen_as_path(path: &AsPath) -> Vec<u8> {
+    let mut out = Vec::new();
+    for segment in path.segments() {
+        let (seg_type, asns) = match segment {
+            AsPathSegment::Set(asns) => (1u8, asns),
+            AsPathSegment::Sequence(asns) => (2u8, asns),
+        };
+        out.push(seg_type);
+        out.push(asns.len() as u8);
+        for asn in asns {
+            out.extend_from_slice(&u32::from(asn.0).to_be_bytes());
+        }
+    }
+    out
+}
+
+/// A bounds-checked reading cursor; every read either succeeds or
+/// returns [`MrtError::Truncated`] — nothing here can panic.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn remaining(&self) -> &'a [u8] {
+        self.data
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], MrtError> {
+        if self.data.len() < n {
+            return Err(MrtError::Truncated { context });
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, MrtError> {
+        let bytes = self.take(1, context)?;
+        Ok(bytes[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, MrtError> {
+        let bytes = self.take(2, context)?;
+        Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, MrtError> {
+        let bytes = self.take(4, context)?;
+        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Origin;
+
+    fn sample_attrs(path: &[u16]) -> Vec<PathAttribute> {
+        vec![
+            PathAttribute::Origin(Origin::Igp),
+            PathAttribute::AsPath(AsPath::from_sequence(path.iter().map(|&a| Asn(a)))),
+            PathAttribute::NextHop(Ipv4Addr::new(10, 0, 0, 2)),
+        ]
+    }
+
+    fn sample_dump() -> Vec<u8> {
+        let mut out = Vec::new();
+        let peers = PeerIndexTable {
+            collector_id: RouterId(0xC0000201),
+            view_name: String::new(),
+            peers: vec![MrtPeer {
+                bgp_id: RouterId(0x0A000002),
+                asn: Asn(65001),
+                addr: Some(Ipv4Addr::new(10, 0, 0, 2)),
+            }],
+        };
+        peers.encode(1000, &mut out);
+        let rib = RibPrefix {
+            sequence: 0,
+            prefix: "198.51.100.0/24".parse().unwrap(),
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated: 900,
+                attributes: sample_attrs(&[65001, 3356, 15169]),
+            }],
+        };
+        rib.encode(1000, &mut out);
+        let update = UpdateMessage::builder()
+            .attribute(PathAttribute::Origin(Origin::Igp))
+            .attribute(PathAttribute::AsPath(AsPath::from_sequence([
+                Asn(65001),
+                Asn(1299),
+            ])))
+            .attribute(PathAttribute::NextHop(Ipv4Addr::new(10, 0, 0, 2)))
+            .announce("203.0.113.0/24".parse().unwrap())
+            .build();
+        encode_bgp4mp_update(
+            1001,
+            Asn(65001),
+            Asn(65000),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            &update,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn sample_dump_round_trips() {
+        let dump = sample_dump();
+        let records: Vec<MrtRecord> = MrtReader::new(&dump).map(|r| r.unwrap()).collect();
+        assert_eq!(records.len(), 3);
+        match &records[0] {
+            MrtRecord::PeerIndex(table) => {
+                assert_eq!(table.peers.len(), 1);
+                assert_eq!(table.peers[0].asn, Asn(65001));
+                assert_eq!(table.peers[0].addr, Some(Ipv4Addr::new(10, 0, 0, 2)));
+            }
+            other => panic!("expected peer index, got {other:?}"),
+        }
+        match &records[1] {
+            MrtRecord::RibIpv4(rib) => {
+                assert_eq!(rib.prefix, "198.51.100.0/24".parse().unwrap());
+                assert_eq!(rib.entries.len(), 1);
+                assert_eq!(
+                    rib.entries[0].attributes,
+                    sample_attrs(&[65001, 3356, 15169])
+                );
+            }
+            other => panic!("expected rib record, got {other:?}"),
+        }
+        match &records[2] {
+            MrtRecord::Update(update) => {
+                assert_eq!(update.timestamp, 1001);
+                assert_eq!(update.peer_asn, Asn(65001));
+                assert_eq!(update.update.nlri().len(), 1);
+            }
+            other => panic!("expected update record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_never_panics() {
+        let dump = sample_dump();
+        for cut in 0..dump.len() {
+            // Every record fully contained in the cut must still
+            // decode; the first partial record must error or the
+            // stream must simply end — either way, no panic.
+            let _ = MrtReader::new(&dump[..cut]).collect::<Vec<_>>();
+        }
+    }
+
+    #[test]
+    fn wide_as_numbers_narrow_to_as_trans() {
+        // Build a RIB entry whose AS_PATH holds an AS above 65535 by
+        // hand-editing the widened attribute bytes.
+        let rib = RibPrefix {
+            sequence: 7,
+            prefix: "198.51.100.0/24".parse().unwrap(),
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated: 0,
+                attributes: sample_attrs(&[65001]),
+            }],
+        };
+        let mut out = Vec::new();
+        rib.encode(0, &mut out);
+        // The single AS 65001 sits in the last four bytes of the
+        // AS_PATH value; overwrite it with 4200000000.
+        let needle = u32::from(65001u16).to_be_bytes();
+        let pos = out
+            .windows(4)
+            .rposition(|w| w == needle)
+            .expect("encoded asn present");
+        out[pos..pos + 4].copy_from_slice(&4_200_000_000u32.to_be_bytes());
+        let records: Vec<MrtRecord> = MrtReader::new(&out).map(|r| r.unwrap()).collect();
+        match &records[0] {
+            MrtRecord::RibIpv4(rib) => {
+                let path = rib.entries[0]
+                    .attributes
+                    .iter()
+                    .find_map(|a| match a {
+                        PathAttribute::AsPath(p) => Some(p),
+                        _ => None,
+                    })
+                    .expect("as path present");
+                assert_eq!(path.first_as(), Some(AS_TRANS));
+            }
+            other => panic!("expected rib record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_record_types_are_skipped_not_rejected() {
+        let mut out = Vec::new();
+        // An OSPFv2 record (type 11) with an arbitrary body.
+        push_mrt_header(5, 11, 0, &[1, 2, 3, 4], &mut out);
+        // An IPv6 RIB record (TABLE_DUMP_V2 subtype 4).
+        push_mrt_header(6, TABLE_DUMP_V2, 4, &[0; 8], &mut out);
+        let update = UpdateMessage::default();
+        encode_bgp4mp_update(
+            7,
+            Asn(1),
+            Asn(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            &update,
+            &mut out,
+        );
+        let records: Vec<MrtRecord> = MrtReader::new(&out).map(|r| r.unwrap()).collect();
+        assert_eq!(
+            records[0],
+            MrtRecord::Skipped {
+                record_type: 11,
+                subtype: 0
+            }
+        );
+        assert_eq!(
+            records[1],
+            MrtRecord::Skipped {
+                record_type: TABLE_DUMP_V2,
+                subtype: 4
+            }
+        );
+        assert!(matches!(records[2], MrtRecord::Update(_)));
+    }
+
+    #[test]
+    fn ipv6_peers_parse_with_no_address() {
+        // Hand-build a peer index with one IPv6 peer (type bits 0b11).
+        let mut body = Vec::new();
+        body.extend_from_slice(&0xC0000201u32.to_be_bytes());
+        body.extend_from_slice(&0u16.to_be_bytes()); // empty view name
+        body.extend_from_slice(&1u16.to_be_bytes());
+        body.push(0x03);
+        body.extend_from_slice(&0x0A000002u32.to_be_bytes());
+        body.extend_from_slice(&[0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        body.extend_from_slice(&64512u32.to_be_bytes());
+        let mut out = Vec::new();
+        push_mrt_header(0, TABLE_DUMP_V2, PEER_INDEX_TABLE, &body, &mut out);
+        let records: Vec<MrtRecord> = MrtReader::new(&out).map(|r| r.unwrap()).collect();
+        match &records[0] {
+            MrtRecord::PeerIndex(table) => {
+                assert_eq!(table.peers[0].addr, None);
+                assert_eq!(table.peers[0].asn, Asn(64512));
+            }
+            other => panic!("expected peer index, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_stop_iteration() {
+        let mut out = Vec::new();
+        // A RIB record whose body claims one entry but is empty.
+        let mut body = Vec::new();
+        body.extend_from_slice(&0u32.to_be_bytes());
+        body.push(0); // /0 prefix
+        body.extend_from_slice(&1u16.to_be_bytes());
+        push_mrt_header(0, TABLE_DUMP_V2, RIB_IPV4_UNICAST, &body, &mut out);
+        // A perfectly valid record after it, which must NOT be yielded.
+        PeerIndexTable {
+            collector_id: RouterId(1),
+            view_name: String::new(),
+            peers: Vec::new(),
+        }
+        .encode(0, &mut out);
+        let results: Vec<Result<MrtRecord, MrtError>> = MrtReader::new(&out).collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn bad_marker_is_rejected() {
+        let update = UpdateMessage::default();
+        let mut out = Vec::new();
+        encode_bgp4mp_update(
+            0,
+            Asn(1),
+            Asn(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            &update,
+            &mut out,
+        );
+        // The marker starts 32 bytes in (12-byte MRT header plus the
+        // 20-byte AS4 session preamble).
+        out[32] = 0x00;
+        let results: Vec<Result<MrtRecord, MrtError>> = MrtReader::new(&out).collect();
+        assert_eq!(results[0], Err(MrtError::Wire(WireError::InvalidMarker)));
+    }
+
+    #[test]
+    fn extended_length_attributes_survive_narrowing() {
+        // A 200-AS path widens to >800 value bytes (extended length)
+        // and must narrow back to a decodable two-octet form.
+        let path: Vec<u16> = (1..=200).collect();
+        let rib = RibPrefix {
+            sequence: 1,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated: 0,
+                attributes: sample_attrs(&path),
+            }],
+        };
+        let mut out = Vec::new();
+        rib.encode(0, &mut out);
+        let records: Vec<MrtRecord> = MrtReader::new(&out).map(|r| r.unwrap()).collect();
+        match &records[0] {
+            MrtRecord::RibIpv4(decoded) => {
+                assert_eq!(decoded.entries[0].attributes, sample_attrs(&path));
+            }
+            other => panic!("expected rib record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregator_narrows_from_eight_bytes() {
+        let attrs = vec![
+            PathAttribute::Origin(Origin::Igp),
+            PathAttribute::AsPath(AsPath::from_sequence([Asn(65001)])),
+            PathAttribute::NextHop(Ipv4Addr::new(10, 0, 0, 2)),
+            PathAttribute::Aggregator {
+                asn: Asn(64500),
+                router_id: Ipv4Addr::new(192, 0, 2, 9),
+            },
+        ];
+        let rib = RibPrefix {
+            sequence: 2,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated: 0,
+                attributes: attrs.clone(),
+            }],
+        };
+        let mut out = Vec::new();
+        rib.encode(0, &mut out);
+        let records: Vec<MrtRecord> = MrtReader::new(&out).map(|r| r.unwrap()).collect();
+        match &records[0] {
+            MrtRecord::RibIpv4(decoded) => assert_eq!(decoded.entries[0].attributes, attrs),
+            other => panic!("expected rib record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_covers_all_error_variants() {
+        let samples = [
+            MrtError::Truncated { context: "header" },
+            MrtError::Malformed { context: "trailer" },
+            MrtError::Wire(WireError::InvalidMarker),
+        ];
+        for err in samples {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Golden round-trip test for the MRT reader: a small checked-in
+//! TABLE_DUMP_V2 + BGP4MP dump must decode to known records and
+//! re-encode to the exact fixture bytes.
+//!
+//! Regenerate the fixture after an intentional format change with:
+//! `cargo test -p bgpbench-wire --test mrt_golden -- --ignored regenerate`
+
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+use bgpbench_wire::mrt::{
+    self, MrtPeer, MrtReader, MrtRecord, PeerIndexTable, RibEntry, RibPrefix,
+};
+use bgpbench_wire::{AsPath, Asn, Origin, PathAttribute, Prefix, RouterId, UpdateMessage};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("mrt_small.hex")
+}
+
+fn attrs(path: &[u16], next_hop: Ipv4Addr) -> Vec<PathAttribute> {
+    vec![
+        PathAttribute::Origin(Origin::Igp),
+        PathAttribute::AsPath(AsPath::from_sequence(path.iter().map(|&a| Asn(a)))),
+        PathAttribute::NextHop(next_hop),
+    ]
+}
+
+/// The dump the fixture holds: one peer index, three RIB prefixes,
+/// one announce UPDATE, one withdraw UPDATE.
+fn golden_dump() -> Vec<u8> {
+    let mut out = Vec::new();
+    let next_hop = Ipv4Addr::new(10, 0, 0, 2);
+    PeerIndexTable {
+        collector_id: RouterId(0xC0000201),
+        view_name: String::new(),
+        peers: vec![
+            MrtPeer {
+                bgp_id: RouterId(0x0A000002),
+                asn: Asn(65001),
+                addr: Some(next_hop),
+            },
+            MrtPeer {
+                bgp_id: RouterId(0x0A000003),
+                asn: Asn(65002),
+                addr: Some(Ipv4Addr::new(10, 0, 0, 3)),
+            },
+        ],
+    }
+    .encode(1_186_617_600, &mut out);
+    let prefixes: [(&str, &[u16]); 3] = [
+        ("198.51.100.0/24", &[65001, 3356, 15169]),
+        ("203.0.113.0/24", &[65001, 1299, 714]),
+        ("192.0.2.0/25", &[65002, 6939, 13335]),
+    ];
+    for (seq, (text, path)) in prefixes.into_iter().enumerate() {
+        RibPrefix {
+            sequence: seq as u32,
+            prefix: text.parse().unwrap(),
+            entries: vec![RibEntry {
+                peer_index: (seq % 2) as u16,
+                originated: 1_186_610_000,
+                attributes: attrs(path, next_hop),
+            }],
+        }
+        .encode(1_186_617_600, &mut out);
+    }
+    let announce = UpdateMessage::builder()
+        .attribute(PathAttribute::Origin(Origin::Igp))
+        .attribute(PathAttribute::AsPath(AsPath::from_sequence([
+            Asn(65001),
+            Asn(2914),
+        ])))
+        .attribute(PathAttribute::NextHop(next_hop))
+        .announce("198.51.100.128/25".parse::<Prefix>().unwrap())
+        .build();
+    mrt::encode_bgp4mp_update(
+        1_186_617_660,
+        Asn(65001),
+        Asn(65000),
+        next_hop,
+        Ipv4Addr::new(10, 0, 0, 1),
+        &announce,
+        &mut out,
+    );
+    let withdraw = UpdateMessage::builder()
+        .withdraw("203.0.113.0/24".parse::<Prefix>().unwrap())
+        .build();
+    mrt::encode_bgp4mp_update(
+        1_186_617_720,
+        Asn(65001),
+        Asn(65000),
+        next_hop,
+        Ipv4Addr::new(10, 0, 0, 1),
+        &withdraw,
+        &mut out,
+    );
+    out
+}
+
+fn from_hex(text: &str) -> Vec<u8> {
+    let clean: String = text.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+    clean
+        .as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16).unwrap() as u8;
+            let lo = (pair[1] as char).to_digit(16).unwrap() as u8;
+            (hi << 4) | lo
+        })
+        .collect()
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut text = String::new();
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            text.push('\n');
+        }
+        text.push_str(&format!("{b:02x}"));
+    }
+    text.push('\n');
+    text
+}
+
+#[test]
+fn fixture_decodes_to_known_records_and_reencodes_bit_identically() {
+    let fixture = from_hex(&std::fs::read_to_string(fixture_path()).expect(
+        "missing tests/data/mrt_small.hex — regenerate with \
+         `cargo test -p bgpbench-wire --test mrt_golden -- --ignored regenerate`",
+    ));
+    assert_eq!(
+        fixture,
+        golden_dump(),
+        "checked-in fixture no longer matches the encoder output"
+    );
+
+    let records: Vec<MrtRecord> = MrtReader::new(&fixture)
+        .collect::<Result<_, _>>()
+        .expect("fixture must decode cleanly");
+    assert_eq!(records.len(), 6);
+
+    // Re-encode every record and require the exact fixture bytes back.
+    let mut reencoded = Vec::new();
+    let timestamps = [
+        1_186_617_600u32,
+        1_186_617_600,
+        1_186_617_600,
+        1_186_617_600,
+        1_186_617_660,
+        1_186_617_720,
+    ];
+    for (record, &ts) in records.iter().zip(&timestamps) {
+        match record {
+            MrtRecord::PeerIndex(table) => table.encode(ts, &mut reencoded),
+            MrtRecord::RibIpv4(rib) => rib.encode(ts, &mut reencoded),
+            MrtRecord::Update(update) => mrt::encode_bgp4mp_update(
+                ts,
+                update.peer_asn,
+                Asn(65000),
+                update.peer_addr,
+                Ipv4Addr::new(10, 0, 0, 1),
+                &update.update,
+                &mut reencoded,
+            ),
+            MrtRecord::Skipped { .. } => panic!("fixture has no skipped records"),
+        }
+    }
+    assert_eq!(reencoded, fixture, "decode -> encode must be a fixpoint");
+
+    // Spot-check decoded content.
+    match &records[1] {
+        MrtRecord::RibIpv4(rib) => {
+            assert_eq!(rib.prefix, "198.51.100.0/24".parse().unwrap());
+            assert_eq!(
+                rib.entries[0].attributes,
+                attrs(&[65001, 3356, 15169], Ipv4Addr::new(10, 0, 0, 2))
+            );
+        }
+        other => panic!("expected rib record, got {other:?}"),
+    }
+    match &records[5] {
+        MrtRecord::Update(update) => {
+            assert_eq!(update.update.withdrawn().len(), 1);
+            assert!(update.update.nlri().is_empty());
+        }
+        other => panic!("expected update record, got {other:?}"),
+    }
+}
+
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn regenerate() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, to_hex(&golden_dump())).unwrap();
+}

@@ -1,0 +1,61 @@
+//! Internet-scale workloads: replay a modern ~1M-prefix table through
+//! the full-table scenarios S16–S18 end-to-end.
+//!
+//! ```text
+//! cargo run --release --example fulltable [-- <prefixes>]
+//! ```
+//!
+//! Defaults to 1,000,000 prefixes — the size of a 2020s IPv4 global
+//! routing table. S16 additionally runs at 1 and 4 RIB shards to show
+//! that sharding never changes the simulated result.
+
+use bgpbench::bench::{run_scenario, Scenario, ScenarioConfig};
+use bgpbench::models::xeon;
+
+fn run(scenario: Scenario, prefixes: usize, rib_shards: usize) -> bgpbench::bench::ScenarioResult {
+    let config = ScenarioConfig::builder()
+        .prefixes(prefixes)
+        .seed(2007)
+        .rib_shards(rib_shards)
+        .build();
+    let start = std::time::Instant::now();
+    let result = run_scenario(&xeon(), scenario, &config);
+    let wall = start.elapsed();
+    assert!(
+        result.completed,
+        "{scenario} must complete at {prefixes} prefixes"
+    );
+    println!(
+        "  {scenario} @ {rib_shards} shard(s): {} transactions in {:.2} simulated s \
+         ({:.0} tps), {:.1}s wall",
+        result.transactions,
+        result.elapsed_secs,
+        result.tps(),
+        wall.as_secs_f64(),
+    );
+    result
+}
+
+fn main() {
+    let prefixes: usize = std::env::args()
+        .nth(1)
+        .map(|arg| {
+            arg.parse().unwrap_or_else(|_| {
+                eprintln!("expected a prefix count, got {arg:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1_000_000);
+
+    println!("Full-table scenarios, {prefixes} modern prefixes, simulated Xeon:");
+    for scenario in Scenario::FULLTABLE {
+        run(scenario, prefixes, 1);
+    }
+    let sharded = run(Scenario::S16, prefixes, 4);
+    assert_eq!(
+        run(Scenario::S16, prefixes, 1),
+        sharded,
+        "shard count must never change the simulated result"
+    );
+    println!("  S16 is bit-identical at 1 and 4 shards.");
+}

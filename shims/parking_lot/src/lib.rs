@@ -222,7 +222,8 @@ pub mod sync_check {
             lock,
             held_top: held.last().copied().unwrap_or(0),
         });
-        rec.sync_events.push(SyncEvent::LockAcquired { thread, lock });
+        rec.sync_events
+            .push(SyncEvent::LockAcquired { thread, lock });
         for h in held {
             if !rec.edges.contains(&(h, lock)) {
                 rec.edges.push((h, lock));
@@ -240,7 +241,8 @@ pub mod sync_check {
         });
         let mut rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
         rec.events.push(LockEvent::Released { lock });
-        rec.sync_events.push(SyncEvent::LockReleased { thread, lock });
+        rec.sync_events
+            .push(SyncEvent::LockReleased { thread, lock });
     }
 
     /// Records a channel send into the unified log. Called by the
